@@ -1,0 +1,74 @@
+//! AC-3 and MPEG-2 Layer II audio decode (Table 3; paper: 3-5 %).
+//!
+//! Both decoders are transform-dominated. AC-3: 5.1 channels at 48 kHz,
+//! 256-sample transform blocks → 6 × 187.5 transforms/s, each costed as
+//! the measured radix-4 FFT scaled by N·log₄N, plus windowing/overlap-add
+//! and bit allocation. MP2: 2 channels × 32-band polyphase filterbank
+//! (costed as MAC work) at 1152-sample frame granularity. The row models
+//! both decoders running together, like a set-top feeding a TV.
+
+use serde::Serialize;
+
+use crate::util::{Cost, KernelCosts, Utilization};
+
+/// Scale the measured 1024-point radix-4 FFT to an N-point transform.
+fn fft_cost(n: f64) -> Cost {
+    let k = KernelCosts::get();
+    let base = 1024.0 * 5.0; // butterflies_per_column * stages ~ N log4 N
+    k.fft1024.scale((n * (n.log2() / 2.0)) / base)
+}
+
+pub fn ac3_cycles_per_sec() -> Cost {
+    let blocks_per_sec = 6.0 * 48000.0 / 256.0; // 5.1 channels
+    let imdct = fft_cost(256.0).scale(blocks_per_sec);
+    // Window + overlap-add: ~4 ops/sample; bit allocation/unpack ~ 8k
+    // cycles per block of 6 channels.
+    let wola = Cost::flat(4.0 * 48000.0 * 6.0 / 3.0);
+    let alloc = Cost::flat(8_000.0 * 48000.0 / 256.0 / 6.0);
+    imdct.plus(wola).plus(alloc)
+}
+
+pub fn mp2_cycles_per_sec() -> Cost {
+    let k = KernelCosts::get();
+    // Polyphase synthesis: 32-point matrixing + 512-tap window per 32
+    // output samples, 2 channels at 48 kHz ≈ 1088 MACs per 32 samples.
+    let macs_per_sec = 1088.0 * 48000.0 / 32.0 * 2.0;
+    k.lms.scale(macs_per_sec / 32.0 / 60.0).plus(Cost::flat(macs_per_sec / 3.0))
+}
+
+pub fn utilization() -> Utilization {
+    Utilization::from_cycles_per_sec(ac3_cycles_per_sec().plus(mp2_cycles_per_sec()))
+}
+
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct AudioRow {
+    pub paper_low: f64,
+    pub paper_high: f64,
+    pub measured: Utilization,
+}
+
+pub fn row() -> AudioRow {
+    AudioRow { paper_low: 3.0, paper_high: 5.0, measured: utilization() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_decode_is_a_few_percent() {
+        let u = utilization();
+        assert!(
+            (1.0..=9.0).contains(&u.with_mem),
+            "AC-3+MP2 at {:.2}% (paper: 3-5%)",
+            u.with_mem
+        );
+    }
+
+    #[test]
+    fn fft_scaling_is_superlinear() {
+        let a = fft_cost(256.0);
+        let b = fft_cost(1024.0);
+        assert!(b.dram > 3.9 * a.dram, "N log N scaling");
+    }
+}

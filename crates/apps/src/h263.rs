@@ -1,0 +1,80 @@
+//! H.263 codec at 128 kbps, 15 fps, CIF (Table 3; paper: 50 %).
+//!
+//! A full codec: encode (motion estimation per macroblock, forward DCT +
+//! quantisation, reconstruction IDCT for the prediction loop, entropy
+//! coding) *and* decode of the far-end stream (VLD, IDCT, motion
+//! compensation) — a video-phone runs both directions.
+
+use serde::Serialize;
+
+use crate::util::{Cost, KernelCosts, Utilization};
+
+pub const WIDTH: usize = 352;
+pub const HEIGHT: usize = 288;
+pub const FPS: f64 = 15.0;
+pub const BITRATE: f64 = 128e3;
+
+pub fn macroblocks_per_sec() -> f64 {
+    (WIDTH / 16) as f64 * (HEIGHT / 16) as f64 * FPS
+}
+
+pub fn cycles_per_sec() -> Cost {
+    let k = KernelCosts::get();
+    let mbs = macroblocks_per_sec();
+    // --- encoder ---
+    // Motion estimation on the luma of every inter MB (~90%).
+    let me = k.motion.scale(0.9 * mbs);
+    // Forward DCT+Q and reconstruction IDCT on all 6 blocks.
+    let fdct = k.dctq.scale(6.0 * mbs);
+    let recon = k.idct.scale(6.0 * mbs);
+    // Residual computation + prediction add: ~1.5 cycles/pixel.
+    let resid = Cost::flat(1.5 * 384.0 * mbs);
+    // Entropy coding: ~14 symbols/MB at the measured per-symbol rate.
+    let enc = k.vld_sym.scale(14.0 * mbs);
+    // --- decoder (far end, same format) ---
+    let dec_syms = BITRATE / 5.5;
+    let dec = k
+        .vld_sym
+        .scale(dec_syms)
+        .plus(k.idct.scale(6.0 * mbs))
+        .plus(k.conv_px.scale(4.0 / 25.0).scale(384.0 * mbs))
+        .plus(Cost::flat(0.75 * 384.0 * mbs));
+    me.plus(fdct).plus(recon).plus(resid).plus(enc).plus(dec)
+}
+
+pub fn utilization() -> Utilization {
+    Utilization::from_cycles_per_sec(cycles_per_sec())
+}
+
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct H263Row {
+    pub paper_with_mem: f64,
+    pub measured: Utilization,
+}
+
+pub fn row() -> H263Row {
+    H263Row { paper_with_mem: 50.0, measured: utilization() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_is_tens_of_percent() {
+        let u = utilization();
+        assert!(
+            (15.0..=90.0).contains(&u.with_mem),
+            "H.263 codec at {:.1}% (paper: 50%)",
+            u.with_mem
+        );
+    }
+
+    #[test]
+    fn encode_dominates_decode() {
+        // Motion estimation makes the encoder the heavy side.
+        let k = KernelCosts::get();
+        let me = k.motion.dram * 0.9 * macroblocks_per_sec();
+        assert!(me > cycles_per_sec().dram * 0.3, "ME should be a large fraction");
+    }
+}

@@ -1,0 +1,29 @@
+//! # majc-apps
+//!
+//! Application workload models for every row of the paper's Table 3
+//! ("Application Performance (From Simulators), Single MAJC-5200 CPU
+//! Utilization"). Each application is composed from kernels *measured on
+//! the cycle-accurate simulator* under the real memory system and under
+//! perfect memory, yielding the paper's with/without-memory-effects pairs:
+//!
+//! | row | module |
+//! |-----|--------|
+//! | G.711 (encode), G.729.A (encode) | [`speech`] |
+//! | MPEG-2 Video Decode (5 Mbps, MP@ML) | [`mpeg2`] |
+//! | AC-3, MP2 Audio Decode | [`audio`] |
+//! | JPEG Baseline Encode, Proprietary Lossless Coding | [`imaging`] |
+//! | H.263 Codec (128 kbps, 15 fps, CIF) | [`h263`] |
+//!
+//! Composition counts (kernels per second of media) come from each codec's
+//! published structure and are documented per module; real bitstreams are
+//! replaced by synthetic workloads with matched statistics (DESIGN.md
+//! substitution 4).
+
+pub mod audio;
+pub mod h263;
+pub mod imaging;
+pub mod mpeg2;
+pub mod speech;
+pub mod util;
+
+pub use util::{Cost, KernelCosts, Utilization, CLOCK_HZ};

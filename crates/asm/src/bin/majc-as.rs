@@ -1,0 +1,79 @@
+//! `majc-as` — assemble MAJC text assembly into a binary program image.
+//!
+//! ```sh
+//! majc-as input.s -o out.bin       # assemble to the binary encoding
+//! majc-as input.s --list           # print the packet listing instead
+//! ```
+
+use std::io::Read;
+use std::process::exit;
+
+use majc_asm::{assemble, program_to_string};
+use majc_isa::encode_program;
+
+fn usage() -> ! {
+    eprintln!("usage: majc-as <input.s | -> [-o out.bin] [--list]");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--list" => list = true,
+            "-h" | "--help" => usage(),
+            f if input.is_none() => input = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    let input = input.unwrap_or_else(|| usage());
+    let src = if input == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(&input).unwrap_or_else(|e| {
+            eprintln!("majc-as: cannot read {input}: {e}");
+            exit(1)
+        })
+    };
+    let prog = match assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("majc-as: {e}");
+            exit(1)
+        }
+    };
+    if list {
+        print!("{}", program_to_string(&prog));
+        eprintln!(
+            "; {} packets, {} bytes at base {:#x}",
+            prog.len(),
+            prog.len_bytes(),
+            prog.base()
+        );
+        return;
+    }
+    let image = encode_program(prog.packets()).unwrap_or_else(|e| {
+        eprintln!("majc-as: encoding failed: {e}");
+        exit(1)
+    });
+    match output {
+        Some(o) => {
+            std::fs::write(&o, &image).unwrap_or_else(|e| {
+                eprintln!("majc-as: cannot write {o}: {e}");
+                exit(1)
+            });
+            eprintln!("wrote {} bytes ({} packets) to {o}", image.len(), prog.len());
+        }
+        None => {
+            use std::io::Write;
+            std::io::stdout().write_all(&image).expect("write stdout");
+        }
+    }
+}

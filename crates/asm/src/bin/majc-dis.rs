@@ -1,0 +1,49 @@
+//! `majc-dis` — disassemble a binary MAJC program image back to text.
+//!
+//! ```sh
+//! majc-dis prog.bin [--base 0x1000]
+//! ```
+
+use std::process::exit;
+
+use majc_asm::program_to_string;
+use majc_isa::{decode_program, Program};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut base = 0u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--base" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                let v = v.strip_prefix("0x").unwrap_or(v);
+                base = u32::from_str_radix(v, 16).unwrap_or_else(|_| {
+                    eprintln!("majc-dis: bad --base");
+                    exit(2)
+                });
+            }
+            f if input.is_none() => input = Some(f.to_string()),
+            _ => {
+                eprintln!("usage: majc-dis <prog.bin> [--base HEX]");
+                exit(2)
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: majc-dis <prog.bin> [--base HEX]");
+        exit(2)
+    };
+    let bytes = std::fs::read(&input).unwrap_or_else(|e| {
+        eprintln!("majc-dis: cannot read {input}: {e}");
+        exit(1)
+    });
+    match decode_program(&bytes) {
+        Ok(packets) => print!("{}", program_to_string(&Program::new(base, packets))),
+        Err(e) => {
+            eprintln!("majc-dis: {e}");
+            exit(1)
+        }
+    }
+}

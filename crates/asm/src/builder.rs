@@ -1,0 +1,231 @@
+//! Programmatic program builder with labels.
+//!
+//! Kernels are emitted through this builder: it packs instructions into
+//! VLIW packets, tracks labels, and resolves branch/call displacements once
+//! the variable-length packet layout is known.
+
+use std::collections::HashMap;
+
+use majc_isa::{Cond, Instr, Packet, Program, Reg};
+
+use crate::AsmError;
+
+/// Pending label reference in a packet's slot-0 control instruction.
+#[derive(Clone, Debug)]
+struct Fixup {
+    packet: usize,
+    label: String,
+}
+
+/// A label-aware builder producing a [`Program`].
+#[derive(Debug, Default)]
+pub struct Asm {
+    base: u32,
+    packets: Vec<Vec<Instr>>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Start building at byte address `base`.
+    pub fn new(base: u32) -> Asm {
+        Asm { base, ..Asm::default() }
+    }
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.labels.insert(name.to_string(), self.packets.len());
+        self
+    }
+
+    /// Emit a packet of 1-4 slots (slot `i` runs on FU`i`).
+    pub fn pack(&mut self, slots: &[Instr]) -> &mut Self {
+        self.packets.push(slots.to_vec());
+        self
+    }
+
+    /// Emit a single-slot (FU0) packet.
+    pub fn op(&mut self, ins: Instr) -> &mut Self {
+        self.pack(&[ins])
+    }
+
+    /// Emit a conditional branch to `label` (alone in its packet).
+    pub fn br(&mut self, cond: Cond, rs: Reg, label: &str, hint: bool) -> &mut Self {
+        self.br_pack(cond, rs, label, hint, &[])
+    }
+
+    /// Emit a branch packet with compute companions in slots 1-3 —
+    /// branches share a packet with FU1-3 work, which is how software-
+    /// pipelined loops avoid paying for the back edge.
+    pub fn br_pack(
+        &mut self,
+        cond: Cond,
+        rs: Reg,
+        label: &str,
+        hint: bool,
+        companions: &[Instr],
+    ) -> &mut Self {
+        let mut slots = vec![Instr::Br { cond, rs, off: 0, hint }];
+        slots.extend_from_slice(companions);
+        self.fixups.push(Fixup { packet: self.packets.len(), label: label.to_string() });
+        self.pack(&slots)
+    }
+
+    /// Emit `call rd, label`.
+    pub fn call(&mut self, rd: Reg, label: &str) -> &mut Self {
+        self.fixups.push(Fixup { packet: self.packets.len(), label: label.to_string() });
+        self.op(Instr::Call { rd, off: 0 })
+    }
+
+    /// Load an arbitrary 32-bit constant (setlo, plus sethi when needed).
+    /// Emitted as single-slot packets; for tight loops place constants in
+    /// a prologue.
+    pub fn set32(&mut self, rd: Reg, value: u32) -> &mut Self {
+        let lo = value as u16 as i16;
+        self.op(Instr::SetLo { rd, imm: lo });
+        // SetLo sign-extends; a SetHi is needed unless the extension
+        // already produced the right upper half.
+        if (lo as i32 as u32) != value {
+            self.op(Instr::SetHi { rd, imm: (value >> 16) as u16 });
+        }
+        self
+    }
+
+    /// Convenience: `set32` on an f32 bit pattern.
+    pub fn setf(&mut self, rd: Reg, value: f32) -> &mut Self {
+        self.set32(rd, value.to_bits())
+    }
+
+    /// Current packet count (for size accounting in tests).
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Resolve labels and produce the program.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        // First pass: provisional layout to learn packet addresses.
+        let mut addrs = Vec::with_capacity(self.packets.len());
+        let mut pc = self.base;
+        for slots in &self.packets {
+            addrs.push(pc);
+            pc += 4 * slots.len().max(1) as u32;
+        }
+        // Apply fixups.
+        for f in std::mem::take(&mut self.fixups) {
+            let &target =
+                self.labels.get(&f.label).ok_or_else(|| AsmError::UnknownLabel(f.label.clone()))?;
+            let disp = addrs[target] as i64 - addrs[f.packet] as i64;
+            let slot0 = &mut self.packets[f.packet][0];
+            match slot0 {
+                Instr::Br { off, .. } => {
+                    // Must fit the 12-bit word displacement of the branch
+                    // encoding (±8 KB).
+                    if disp % 4 != 0 || !(-2048..2048).contains(&(disp / 4)) {
+                        return Err(AsmError::BranchOutOfRange { label: f.label.clone(), disp });
+                    }
+                    *off = disp as i32;
+                }
+                Instr::Call { off, .. } => {
+                    // 16-bit word displacement (±128 KB).
+                    if disp % 4 != 0 || !(-32768..32768).contains(&(disp / 4)) {
+                        return Err(AsmError::BranchOutOfRange { label: f.label.clone(), disp });
+                    }
+                    *off = disp as i32;
+                }
+                other => {
+                    return Err(AsmError::Internal(format!(
+                        "fixup on non-control instruction {other:?}"
+                    )))
+                }
+            }
+        }
+        // Validate into real packets.
+        let mut packets = Vec::with_capacity(self.packets.len());
+        for (i, slots) in self.packets.iter().enumerate() {
+            let p = Packet::new(slots).map_err(|e| AsmError::BadPacket { index: i, err: e })?;
+            packets.push(p);
+        }
+        Ok(Program::new(self.base, packets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_isa::{AluOp, Src};
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Asm::new(0x100);
+        a.op(Instr::SetLo { rd: Reg::g(0), imm: 3 });
+        a.label("loop");
+        a.pack(&[Instr::Alu { op: AluOp::Sub, rd: Reg::g(0), rs1: Reg::g(0), src2: Src::Imm(1) }]);
+        a.br(Cond::Gt, Reg::g(0), "loop", true);
+        a.br(Cond::Eq, Reg::g(0), "done", false);
+        a.op(Instr::Nop);
+        a.label("done");
+        a.op(Instr::Halt);
+        let p = a.finish().unwrap();
+        // Packet layout: 0x100, 0x104, 0x108, 0x10c, 0x110, 0x114.
+        let br_back = p.packets()[2];
+        match br_back.slot(0).unwrap() {
+            Instr::Br { off, .. } => assert_eq!(*off, -4),
+            other => panic!("{other:?}"),
+        }
+        let br_fwd = p.packets()[3];
+        match br_fwd.slot(0).unwrap() {
+            Instr::Br { off, .. } => assert_eq!(*off, 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let mut a = Asm::new(0);
+        a.br(Cond::Eq, Reg::g(0), "nowhere", false);
+        assert!(matches!(a.finish(), Err(AsmError::UnknownLabel(_))));
+    }
+
+    #[test]
+    fn set32_is_minimal() {
+        let mut a = Asm::new(0);
+        a.set32(Reg::g(0), 42); // fits setlo
+        a.set32(Reg::g(1), 0xDEAD_BEEF); // needs both
+        a.set32(Reg::g(2), 0xFFFF_FFFF); // -1 fits setlo alone
+        a.op(Instr::Halt);
+        let p = a.finish().unwrap();
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn br_pack_with_companions() {
+        let mut a = Asm::new(0);
+        a.label("l");
+        a.br_pack(
+            Cond::Ne,
+            Reg::g(0),
+            "l",
+            true,
+            &[Instr::FMAdd { rd: Reg::g(1), rs1: Reg::g(2), rs2: Reg::g(3) }],
+        );
+        a.op(Instr::Halt);
+        let p = a.finish().unwrap();
+        assert_eq!(p.packets()[0].width(), 2);
+    }
+
+    #[test]
+    fn bad_packet_reported_with_index() {
+        let mut a = Asm::new(0);
+        a.op(Instr::Nop);
+        // FMAdd cannot go in slot 0.
+        a.pack(&[Instr::FMAdd { rd: Reg::g(0), rs1: Reg::g(1), rs2: Reg::g(2) }]);
+        match a.finish() {
+            Err(AsmError::BadPacket { index, .. }) => assert_eq!(index, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Disassembler: renders instructions, packets, and programs in the text
+//! syntax accepted by [`crate::parser::assemble`].
+
+use std::collections::BTreeMap;
+
+use majc_isa::{CachePolicy, Instr, Off, Program, Reg, SatMode, Src};
+
+fn reg(r: Reg) -> String {
+    match r.local_owner() {
+        None => format!("g{}", r.index()),
+        Some(_) => format!("l{}", (r.index() - 96) % 32),
+    }
+}
+
+fn addr(base: Reg, off: Off) -> String {
+    match off {
+        Off::Imm(0) => format!("[{}]", reg(base)),
+        Off::Imm(i) if i < 0 => format!("[{}-{}]", reg(base), -(i as i32)),
+        Off::Imm(i) => format!("[{}+{i}]", reg(base)),
+        Off::Reg(r) => format!("[{}+{}]", reg(base), reg(r)),
+    }
+}
+
+fn src(s: Src) -> String {
+    match s {
+        Src::Reg(r) => reg(r),
+        Src::Imm(i) => i.to_string(),
+    }
+}
+
+fn sat(m: SatMode) -> &'static str {
+    match m {
+        SatMode::Wrap => "wrap",
+        SatMode::Signed => "sat",
+        SatMode::Unsigned => "usat",
+        SatMode::Sym => "sym",
+    }
+}
+
+fn fmt(f: majc_isa::FixFmt) -> &'static str {
+    match f {
+        majc_isa::FixFmt::Int16 => "i16",
+        majc_isa::FixFmt::S15 => "s15",
+        majc_isa::FixFmt::S2_13 => "s213",
+    }
+}
+
+fn pol(p: CachePolicy) -> &'static str {
+    p.suffix()
+}
+
+/// Render one instruction. Branch/call targets are rendered through
+/// `target`, which maps a byte displacement to a printable target.
+pub fn instr_to_string(ins: &Instr, target: &dyn Fn(i32) -> String) -> String {
+    use Instr::*;
+    match *ins {
+        Nop => "nop".into(),
+        Halt => "halt".into(),
+        Membar => "membar".into(),
+        Prefetch { base, off } => format!("prefetch {}", addr(base, Off::Imm(off))),
+        Ld { w, pol: p, rd, base, off } => {
+            format!("ld.{}{} {}, {}", w.suffix(), pol(p), reg(rd), addr(base, off))
+        }
+        St { w, pol: p, rs, base, off } => {
+            format!("st.{}{} {}, {}", w.suffix(), pol(p), reg(rs), addr(base, off))
+        }
+        CSt { cond, rc, rs, base } => {
+            format!("cst.{} {}, {}, [{}]", cond.mnemonic(), reg(rc), reg(rs), reg(base))
+        }
+        Cas { rd, base, rs } => format!("cas {}, [{}], {}", reg(rd), reg(base), reg(rs)),
+        Swap { rd, base } => format!("swap {}, [{}]", reg(rd), reg(base)),
+        Br { cond, rs, off, hint } => format!(
+            "br.{}.{} {}, {}",
+            cond.mnemonic(),
+            if hint { "t" } else { "nt" },
+            reg(rs),
+            target(off)
+        ),
+        Call { rd, off } => format!("call {}, {}", reg(rd), target(off)),
+        Jmpl { rd, base, off } => format!("jmpl {}, {}, {off}", reg(rd), reg(base)),
+        Div { rd, rs1, rs2 } => format!("div {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        Rem { rd, rs1, rs2 } => format!("rem {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FDiv { rd, rs1, rs2 } => format!("fdiv {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FRsqrt { rd, rs } => format!("frsqrt {}, {}", reg(rd), reg(rs)),
+        PDiv { rd, rs1, rs2 } => format!("pdiv {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        PRsqrt { rd, rs } => format!("prsqrt {}, {}", reg(rd), reg(rs)),
+        Alu { op, rd, rs1, src2 } => {
+            format!("{} {}, {}, {}", op.mnemonic(), reg(rd), reg(rs1), src(src2))
+        }
+        SetLo { rd, imm } => format!("setlo {}, {imm}", reg(rd)),
+        SetHi { rd, imm } => format!("sethi {}, {imm}", reg(rd)),
+        CMove { cond, rc, rd, rs } => {
+            format!("cmove.{} {}, {}, {}", cond.mnemonic(), reg(rd), reg(rc), reg(rs))
+        }
+        Pick { cond, rd, rs1, rs2 } => {
+            format!("pick.{} {}, {}, {}", cond.mnemonic(), reg(rd), reg(rs1), reg(rs2))
+        }
+        Cmp { cond, rd, rs1, rs2 } => {
+            format!("cmp.{} {}, {}, {}", cond.mnemonic(), reg(rd), reg(rs1), reg(rs2))
+        }
+        Mul { rd, rs1, rs2 } => format!("mul {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        MulHi { rd, rs1, rs2 } => format!("mulhi {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        MulAdd { rd, rs1, rs2 } => format!("muladd {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        MulSub { rd, rs1, rs2 } => format!("mulsub {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        PAdd { mode, rd, rs1, rs2 } => {
+            format!("padd.{} {}, {}, {}", sat(mode), reg(rd), reg(rs1), reg(rs2))
+        }
+        PSub { mode, rd, rs1, rs2 } => {
+            format!("psub.{} {}, {}, {}", sat(mode), reg(rd), reg(rs1), reg(rs2))
+        }
+        PMul { fmt: f, rd, rs1, rs2 } => {
+            format!("pmul.{} {}, {}, {}", fmt(f), reg(rd), reg(rs1), reg(rs2))
+        }
+        PMulAdd { fmt: f, rd, rs1, rs2 } => {
+            format!("pmuladd.{} {}, {}, {}", fmt(f), reg(rd), reg(rs1), reg(rs2))
+        }
+        DotP { rd, rs1, rs2 } => format!("dotp {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        PMulS31 { rd, rs1, rs2 } => format!("pmuls31 {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        PDist { rd, rs1, rs2 } => format!("pdist {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        ByteShuf { rd, rs, ctl } => format!("byteshuf {}, {}, {}", reg(rd), reg(rs), reg(ctl)),
+        BitExt { rd, rs, ctl } => format!("bitext {}, {}, {}", reg(rd), reg(rs), reg(ctl)),
+        Lzd { rd, rs } => format!("lzd {}, {}", reg(rd), reg(rs)),
+        FAdd { rd, rs1, rs2 } => format!("fadd {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FSub { rd, rs1, rs2 } => format!("fsub {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FMul { rd, rs1, rs2 } => format!("fmul {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FMAdd { rd, rs1, rs2 } => format!("fmadd {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FMSub { rd, rs1, rs2 } => format!("fmsub {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FMin { rd, rs1, rs2 } => format!("fmin {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FMax { rd, rs1, rs2 } => format!("fmax {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        FNeg { rd, rs } => format!("fneg {}, {}", reg(rd), reg(rs)),
+        FAbs { rd, rs } => format!("fabs {}, {}", reg(rd), reg(rs)),
+        FCmp { cond, rd, rs1, rs2 } => {
+            format!("fcmp.{} {}, {}, {}", cond.mnemonic(), reg(rd), reg(rs1), reg(rs2))
+        }
+        DAdd { rd, rs1, rs2 } => format!("dadd {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        DSub { rd, rs1, rs2 } => format!("dsub {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        DMul { rd, rs1, rs2 } => format!("dmul {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        DMin { rd, rs1, rs2 } => format!("dmin {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        DMax { rd, rs1, rs2 } => format!("dmax {}, {}, {}", reg(rd), reg(rs1), reg(rs2)),
+        DNeg { rd, rs } => format!("dneg {}, {}", reg(rd), reg(rs)),
+        DCmp { cond, rd, rs1, rs2 } => {
+            format!("dcmp.{} {}, {}, {}", cond.mnemonic(), reg(rd), reg(rs1), reg(rs2))
+        }
+        Cvt { kind, rd, rs } => format!("cvt.{} {}, {}", kind.mnemonic(), reg(rd), reg(rs)),
+    }
+}
+
+/// Disassemble a whole program with synthesised labels at branch targets.
+pub fn program_to_string(p: &Program) -> String {
+    // Collect branch targets.
+    let mut labels: BTreeMap<u32, String> = BTreeMap::new();
+    for (i, pkt) in p.packets().iter().enumerate() {
+        if let Some(ctrl) = pkt.control() {
+            let off = match *ctrl {
+                Instr::Br { off, .. } | Instr::Call { off, .. } => off,
+                _ => continue,
+            };
+            let tgt = p.addr_of(i).wrapping_add(off as u32);
+            let n = labels.len();
+            labels.entry(tgt).or_insert_with(|| format!("L{n}"));
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(".org {:#x}\n", p.base()));
+    for (i, pkt) in p.packets().iter().enumerate() {
+        let pc = p.addr_of(i);
+        if let Some(l) = labels.get(&pc) {
+            out.push_str(&format!("{l}:\n"));
+        }
+        let rendered: Vec<String> = pkt
+            .slots()
+            .map(|(_, ins)| {
+                instr_to_string(ins, &|off: i32| {
+                    let tgt = pc.wrapping_add(off as u32);
+                    labels.get(&tgt).cloned().unwrap_or_else(|| format!("{tgt:#x}"))
+                })
+            })
+            .collect();
+        out.push_str("    ");
+        out.push_str(&rendered.join(" | "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::assemble;
+
+    #[test]
+    fn round_trip_through_text() {
+        let src = r"
+            .org 0x40
+            setlo g0, 12
+    top:    ld.w g1, [g2+4] | fmadd g3, g4, g5 | dotp g6, g7, g8 | pdist g9, g10, g11
+            sub g0, g0, 1 | padd.sym l0, g1, g2
+            br.gt.t g0, top
+            st.g.na g16, [g2]
+            halt
+        ";
+        let p1 = assemble(src).unwrap();
+        let text = program_to_string(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.packets(), p2.packets(), "disasm/asm round trip\n{text}");
+    }
+
+    #[test]
+    fn labels_synthesised_for_targets() {
+        let src = "setlo g0, 1\nbr.eq g0, end\nnop\nend: halt\n";
+        let p = assemble(src).unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("L0:"), "{text}");
+        assert!(text.contains("br.eq.t g0, L0"), "{text}");
+    }
+}

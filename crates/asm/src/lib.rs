@@ -1,0 +1,49 @@
+//! # majc-asm
+//!
+//! Assembler toolchain for the MAJC ISA:
+//!
+//! * [`Asm`] — a label-aware programmatic builder (the kernels in
+//!   `majc-kernels` are emitted through it);
+//! * [`assemble`] — a text assembler (one packet per line, `|` separates
+//!   VLIW slots, `;` comments, `name:` labels);
+//! * [`program_to_string`] / [`instr_to_string`] — the disassembler,
+//!   producing text that re-assembles to the identical program.
+
+pub mod builder;
+pub mod disasm;
+pub mod parser;
+
+pub use builder::Asm;
+pub use disasm::{instr_to_string, program_to_string};
+pub use parser::assemble;
+
+/// Assembly-time errors.
+#[derive(Debug)]
+pub enum AsmError {
+    /// Branch/call to an undefined label.
+    UnknownLabel(String),
+    /// Displacement does not fit the branch encoding.
+    BranchOutOfRange { label: String, disp: i64 },
+    /// A packet failed ISA validation.
+    BadPacket { index: usize, err: majc_isa::IsaError },
+    /// Text-syntax error with a 1-based line number.
+    Parse { line: usize, msg: String },
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmError::BranchOutOfRange { label, disp } => {
+                write!(f, "branch to `{label}` out of range (displacement {disp})")
+            }
+            AsmError::BadPacket { index, err } => write!(f, "packet {index}: {err}"),
+            AsmError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            AsmError::Internal(m) => write!(f, "internal assembler error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

@@ -1,0 +1,608 @@
+//! Text assembler.
+//!
+//! One packet per line; slots separated by `|` (slot *i* executes on
+//! FU*i*). `;` starts a comment. Labels are `name:` prefixes. Example:
+//!
+//! ```text
+//! .org 0x1000
+//!         setlo g0, 16
+//! loop:   ld.w g1, [g2+4] | fmadd g10, g8, g9 | dotp g11, g4, g5
+//!         sub g0, g0, 1
+//!         br.gt.t g0, loop
+//!         halt
+//! ```
+
+use majc_isa::{
+    AluOp, CachePolicy, Cond, CvtKind, FixFmt, Instr, MemWidth, Off, Reg, SatMode, Src,
+};
+
+use crate::builder::Asm;
+use crate::AsmError;
+
+/// Assemble a full source text into a program.
+pub fn assemble(src: &str) -> Result<majc_isa::Program, AsmError> {
+    let mut base = 0u32;
+    let mut asm: Option<Asm> = None;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".org") {
+            if asm.is_some() {
+                return Err(err(lineno, ".org must precede code"));
+            }
+            base = parse_imm(rest.trim()).map_err(|m| err(lineno, &m))? as u32;
+            continue;
+        }
+        let a = asm.get_or_insert_with(|| Asm::new(base));
+        let mut rest = line;
+        // Leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (lbl, after) = rest.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty() || !lbl.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            a.label(lbl);
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        // Parse slots.
+        let mut slots = Vec::new();
+        let mut branch: Option<(Cond, Reg, String, bool)> = None;
+        let mut call: Option<(Reg, String)> = None;
+        for (slot, text) in rest.split('|').enumerate() {
+            let text = text.trim();
+            match parse_slot(text, slot as u8).map_err(|m| err(lineno, &m))? {
+                Parsed::Instr(i) => slots.push(i),
+                Parsed::Br { cond, rs, label, hint } => {
+                    if slot != 0 {
+                        return Err(err(lineno, "branch must be slot 0"));
+                    }
+                    branch = Some((cond, rs, label, hint));
+                    slots.push(Instr::Nop); // placeholder, replaced below
+                }
+                Parsed::Call { rd, label } => {
+                    if slot != 0 {
+                        return Err(err(lineno, "call must be slot 0"));
+                    }
+                    call = Some((rd, label));
+                    slots.push(Instr::Nop);
+                }
+            }
+        }
+        if let Some((cond, rs, label, hint)) = branch {
+            a.br_pack(cond, rs, &label, hint, &slots[1..]);
+        } else if let Some((rd, label)) = call {
+            if slots.len() > 1 {
+                return Err(err(lineno, "call packets take no companions"));
+            }
+            a.call(rd, &label);
+        } else {
+            a.pack(&slots);
+        }
+    }
+    asm.unwrap_or_else(|| Asm::new(base)).finish()
+}
+
+fn err(lineno: usize, msg: &str) -> AsmError {
+    AsmError::Parse { line: lineno + 1, msg: msg.to_string() }
+}
+
+enum Parsed {
+    Instr(Instr),
+    Br { cond: Cond, rs: Reg, label: String, hint: bool },
+    Call { rd: Reg, label: String },
+}
+
+fn parse_reg(tok: &str, fu: u8) -> Result<Reg, String> {
+    let tok = tok.trim();
+    if let Some(n) = tok.strip_prefix('g') {
+        let i: u8 = n.parse().map_err(|_| format!("bad register {tok}"))?;
+        if i < 96 {
+            return Ok(Reg::g(i));
+        }
+        return Err(format!("global out of range: {tok}"));
+    }
+    if let Some(n) = tok.strip_prefix('l') {
+        let i: u8 = n.parse().map_err(|_| format!("bad register {tok}"))?;
+        if i < 32 {
+            return Ok(Reg::l(fu, i));
+        }
+        return Err(format!("local out of range: {tok}"));
+    }
+    Err(format!("expected register, got {tok}"))
+}
+
+fn parse_imm(tok: &str) -> Result<i64, String> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| format!("bad immediate {tok}"))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_src(tok: &str, fu: u8) -> Result<Src, String> {
+    let tok = tok.trim();
+    if tok.starts_with('g') || tok.starts_with('l') {
+        Ok(Src::Reg(parse_reg(tok, fu)?))
+    } else {
+        Ok(Src::Imm(parse_imm(tok)? as i16))
+    }
+}
+
+/// Parse `[base]`, `[base+imm]`, `[base-imm]`, `[base+reg]`.
+fn parse_addr(tok: &str, fu: u8) -> Result<(Reg, Off), String> {
+    let t = tok.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [addr], got {t}"))?
+        .trim();
+    if let Some(plus) = inner.find('+') {
+        let base = parse_reg(&inner[..plus], fu)?;
+        let rhs = inner[plus + 1..].trim();
+        if rhs.starts_with('g') || rhs.starts_with('l') {
+            Ok((base, Off::Reg(parse_reg(rhs, fu)?)))
+        } else {
+            Ok((base, Off::Imm(parse_imm(rhs)? as i16)))
+        }
+    } else if let Some(minus) = inner.rfind('-') {
+        if minus == 0 {
+            return Err(format!("bad address {t}"));
+        }
+        let base = parse_reg(&inner[..minus], fu)?;
+        Ok((base, Off::Imm(-(parse_imm(&inner[minus + 1..])? as i16))))
+    } else {
+        Ok((parse_reg(inner, fu)?, Off::Imm(0)))
+    }
+}
+
+fn parse_cond(tok: &str) -> Result<Cond, String> {
+    Cond::ALL
+        .into_iter()
+        .find(|c| c.mnemonic() == tok)
+        .ok_or_else(|| format!("bad condition {tok}"))
+}
+
+fn parse_width(tok: &str) -> Result<MemWidth, String> {
+    MemWidth::ALL
+        .into_iter()
+        .find(|w| w.suffix() == tok)
+        .ok_or_else(|| format!("bad width {tok}"))
+}
+
+fn parse_sat(tok: &str) -> Result<SatMode, String> {
+    match tok {
+        "wrap" => Ok(SatMode::Wrap),
+        "sat" => Ok(SatMode::Signed),
+        "usat" => Ok(SatMode::Unsigned),
+        "sym" => Ok(SatMode::Sym),
+        _ => Err(format!("bad saturation mode {tok}")),
+    }
+}
+
+fn parse_fmt(tok: &str) -> Result<FixFmt, String> {
+    match tok {
+        "i16" => Ok(FixFmt::Int16),
+        "s15" => Ok(FixFmt::S15),
+        "s213" => Ok(FixFmt::S2_13),
+        _ => Err(format!("bad fixed format {tok}")),
+    }
+}
+
+fn parse_policy(tok: Option<&str>) -> Result<CachePolicy, String> {
+    match tok {
+        None => Ok(CachePolicy::Cached),
+        Some("nc") => Ok(CachePolicy::NonCached),
+        Some("na") => Ok(CachePolicy::NonAllocating),
+        Some(x) => Err(format!("bad cache policy {x}")),
+    }
+}
+
+fn parse_slot(text: &str, fu: u8) -> Result<Parsed, String> {
+    let mut it = text.splitn(2, char::is_whitespace);
+    let mn = it.next().unwrap_or("");
+    let rest = it.next().unwrap_or("").trim();
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        split_args(rest)
+    };
+    let parts: Vec<&str> = mn.split('.').collect();
+    let r = |i: usize| -> Result<Reg, String> {
+        parse_reg(args.get(i).ok_or("missing operand")?, fu)
+    };
+    let nargs = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mn} expects {n} operands, got {}", args.len()))
+        }
+    };
+
+    // ALU ops share one shape.
+    if let Some(op) = AluOp::ALL.into_iter().find(|o| o.mnemonic() == parts[0]) {
+        if parts.len() != 1 {
+            return Err(format!("unexpected suffix on {mn}"));
+        }
+        nargs(3)?;
+        return Ok(Parsed::Instr(Instr::Alu {
+            op,
+            rd: r(0)?,
+            rs1: r(1)?,
+            src2: parse_src(args[2], fu)?,
+        }));
+    }
+
+    let ins = match parts[0] {
+        "nop" => Instr::Nop,
+        "halt" => Instr::Halt,
+        "membar" => Instr::Membar,
+        "prefetch" => {
+            nargs(1)?;
+            let (base, off) = parse_addr(args[0], fu)?;
+            let off = match off {
+                Off::Imm(i) => i,
+                Off::Reg(_) => return Err("prefetch takes an immediate offset".into()),
+            };
+            Instr::Prefetch { base, off }
+        }
+        "ld" => {
+            nargs(2)?;
+            let w = parse_width(parts.get(1).copied().ok_or("ld needs a width")?)?;
+            let pol = parse_policy(parts.get(2).copied())?;
+            let (base, off) = parse_addr(args[1], fu)?;
+            Instr::Ld { w, pol, rd: r(0)?, base, off }
+        }
+        "st" => {
+            nargs(2)?;
+            let w = parse_width(parts.get(1).copied().ok_or("st needs a width")?)?;
+            let pol = parse_policy(parts.get(2).copied())?;
+            let (base, off) = parse_addr(args[1], fu)?;
+            Instr::St { w, pol, rs: r(0)?, base, off }
+        }
+        "cst" => {
+            nargs(3)?;
+            let cond = parse_cond(parts.get(1).copied().ok_or("cst needs a condition")?)?;
+            let (base, off) = parse_addr(args[2], fu)?;
+            if off != Off::Imm(0) {
+                return Err("cst takes [base] only".into());
+            }
+            Instr::CSt { cond, rc: r(0)?, rs: r(1)?, base }
+        }
+        "cas" => {
+            nargs(3)?;
+            let (base, _) = parse_addr(args[1], fu)?;
+            Instr::Cas { rd: r(0)?, base, rs: r(2)? }
+        }
+        "swap" => {
+            nargs(2)?;
+            let (base, _) = parse_addr(args[1], fu)?;
+            Instr::Swap { rd: r(0)?, base }
+        }
+        "br" => {
+            nargs(2)?;
+            let cond = parse_cond(parts.get(1).copied().ok_or("br needs a condition")?)?;
+            let hint = match parts.get(2).copied() {
+                None | Some("t") => true,
+                Some("nt") => false,
+                Some(x) => return Err(format!("bad hint {x}")),
+            };
+            return Ok(Parsed::Br { cond, rs: r(0)?, label: args[1].to_string(), hint });
+        }
+        "call" => {
+            nargs(2)?;
+            return Ok(Parsed::Call { rd: r(0)?, label: args[1].to_string() });
+        }
+        "jmpl" => {
+            nargs(3)?;
+            Instr::Jmpl { rd: r(0)?, base: r(1)?, off: parse_imm(args[2])? as i16 }
+        }
+        "div" => {
+            nargs(3)?;
+            Instr::Div { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "rem" => {
+            nargs(3)?;
+            Instr::Rem { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fdiv" => {
+            nargs(3)?;
+            Instr::FDiv { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "frsqrt" => {
+            nargs(2)?;
+            Instr::FRsqrt { rd: r(0)?, rs: r(1)? }
+        }
+        "pdiv" => {
+            nargs(3)?;
+            Instr::PDiv { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "prsqrt" => {
+            nargs(2)?;
+            Instr::PRsqrt { rd: r(0)?, rs: r(1)? }
+        }
+        "setlo" => {
+            nargs(2)?;
+            Instr::SetLo { rd: r(0)?, imm: parse_imm(args[1])? as i16 }
+        }
+        "sethi" => {
+            nargs(2)?;
+            Instr::SetHi { rd: r(0)?, imm: parse_imm(args[1])? as u16 }
+        }
+        "cmove" => {
+            nargs(3)?;
+            let cond = parse_cond(parts.get(1).copied().ok_or("cmove needs a condition")?)?;
+            Instr::CMove { cond, rd: r(0)?, rc: r(1)?, rs: r(2)? }
+        }
+        "pick" => {
+            nargs(3)?;
+            let cond = parse_cond(parts.get(1).copied().ok_or("pick needs a condition")?)?;
+            Instr::Pick { cond, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "cmp" => {
+            nargs(3)?;
+            let cond = parse_cond(parts.get(1).copied().ok_or("cmp needs a condition")?)?;
+            Instr::Cmp { cond, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "mul" => {
+            nargs(3)?;
+            Instr::Mul { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "mulhi" => {
+            nargs(3)?;
+            Instr::MulHi { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "muladd" => {
+            nargs(3)?;
+            Instr::MulAdd { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "mulsub" => {
+            nargs(3)?;
+            Instr::MulSub { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "padd" => {
+            nargs(3)?;
+            let mode = parse_sat(parts.get(1).copied().ok_or("padd needs a mode")?)?;
+            Instr::PAdd { mode, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "psub" => {
+            nargs(3)?;
+            let mode = parse_sat(parts.get(1).copied().ok_or("psub needs a mode")?)?;
+            Instr::PSub { mode, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "pmul" => {
+            nargs(3)?;
+            let fmt = parse_fmt(parts.get(1).copied().ok_or("pmul needs a format")?)?;
+            Instr::PMul { fmt, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "pmuladd" => {
+            nargs(3)?;
+            let fmt = parse_fmt(parts.get(1).copied().ok_or("pmuladd needs a format")?)?;
+            Instr::PMulAdd { fmt, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "dotp" => {
+            nargs(3)?;
+            Instr::DotP { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "pmuls31" => {
+            nargs(3)?;
+            Instr::PMulS31 { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "pdist" => {
+            nargs(3)?;
+            Instr::PDist { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "byteshuf" => {
+            nargs(3)?;
+            Instr::ByteShuf { rd: r(0)?, rs: r(1)?, ctl: r(2)? }
+        }
+        "bitext" => {
+            nargs(3)?;
+            Instr::BitExt { rd: r(0)?, rs: r(1)?, ctl: r(2)? }
+        }
+        "lzd" => {
+            nargs(2)?;
+            Instr::Lzd { rd: r(0)?, rs: r(1)? }
+        }
+        "fadd" => {
+            nargs(3)?;
+            Instr::FAdd { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fsub" => {
+            nargs(3)?;
+            Instr::FSub { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fmul" => {
+            nargs(3)?;
+            Instr::FMul { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fmadd" => {
+            nargs(3)?;
+            Instr::FMAdd { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fmsub" => {
+            nargs(3)?;
+            Instr::FMSub { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fmin" => {
+            nargs(3)?;
+            Instr::FMin { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fmax" => {
+            nargs(3)?;
+            Instr::FMax { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "fneg" => {
+            nargs(2)?;
+            Instr::FNeg { rd: r(0)?, rs: r(1)? }
+        }
+        "fabs" => {
+            nargs(2)?;
+            Instr::FAbs { rd: r(0)?, rs: r(1)? }
+        }
+        "fcmp" => {
+            nargs(3)?;
+            let cond = parse_cond(parts.get(1).copied().ok_or("fcmp needs a condition")?)?;
+            Instr::FCmp { cond, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "dadd" => {
+            nargs(3)?;
+            Instr::DAdd { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "dsub" => {
+            nargs(3)?;
+            Instr::DSub { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "dmul" => {
+            nargs(3)?;
+            Instr::DMul { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "dmin" => {
+            nargs(3)?;
+            Instr::DMin { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "dmax" => {
+            nargs(3)?;
+            Instr::DMax { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "dneg" => {
+            nargs(2)?;
+            Instr::DNeg { rd: r(0)?, rs: r(1)? }
+        }
+        "dcmp" => {
+            nargs(3)?;
+            let cond = parse_cond(parts.get(1).copied().ok_or("dcmp needs a condition")?)?;
+            Instr::DCmp { cond, rd: r(0)?, rs1: r(1)?, rs2: r(2)? }
+        }
+        "cvt" => {
+            nargs(2)?;
+            let kind = CvtKind::ALL
+                .into_iter()
+                .find(|k| Some(k.mnemonic()) == parts.get(1).copied())
+                .ok_or("bad conversion kind")?;
+            Instr::Cvt { kind, rd: r(0)?, rs: r(1)? }
+        }
+        other => return Err(format!("unknown mnemonic {other}")),
+    };
+    Ok(Parsed::Instr(ins))
+}
+
+/// Split on commas, but not inside brackets.
+fn split_args(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_loop() {
+        let src = r"
+            .org 0x200
+            ; simple countdown
+            setlo g0, 5
+            setlo g1, 0
+    loop:   add g1, g1, g0 | mul l0, g0, g0
+            sub g0, g0, 1
+            br.gt.t g0, loop
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.base(), 0x200);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.packets()[2].width(), 2);
+        // FU1 local register resolved.
+        match p.packets()[2].slot(1).unwrap() {
+            Instr::Mul { rd, .. } => assert_eq!(*rd, Reg::l(1, 0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_addressing_forms() {
+        let p = assemble(
+            "ld.w g1, [g2]\nld.l.nc g4, [g2+8]\nst.h g1, [g2-4]\nld.b g3, [g2+g5]\nhalt\n",
+        )
+        .unwrap();
+        match p.packets()[0].slot(0).unwrap() {
+            Instr::Ld { w: MemWidth::W, off: Off::Imm(0), .. } => {}
+            o => panic!("{o:?}"),
+        }
+        match p.packets()[1].slot(0).unwrap() {
+            Instr::Ld { w: MemWidth::L, pol: CachePolicy::NonCached, off: Off::Imm(8), .. } => {}
+            o => panic!("{o:?}"),
+        }
+        match p.packets()[2].slot(0).unwrap() {
+            Instr::St { w: MemWidth::H, off: Off::Imm(-4), .. } => {}
+            o => panic!("{o:?}"),
+        }
+        match p.packets()[3].slot(0).unwrap() {
+            Instr::Ld { off: Off::Reg(r), .. } => assert_eq!(*r, Reg::g(5)),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn simd_and_fp_forms() {
+        let p = assemble(
+            "nop | padd.sat g1, g2, g3 | pmul.s15 g4, g5, g6 | fmadd g7, g8, g9\n\
+             nop | cvt.i2f g1, g2 | fcmp.lt g3, g4, g5 | dadd g6, g8, g10\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(p.packets()[0].width(), 4);
+        match p.packets()[0].slot(1).unwrap() {
+            Instr::PAdd { mode: SatMode::Signed, .. } => {}
+            o => panic!("{o:?}"),
+        }
+        match p.packets()[1].slot(3).unwrap() {
+            Instr::DAdd { .. } => {}
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus g1, g2\n").unwrap_err();
+        match e {
+            AsmError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("bogus"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_not_in_slot_zero_rejected() {
+        let e = assemble("nop | br.eq g0, somewhere\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { .. }));
+    }
+}

@@ -1,0 +1,196 @@
+//! Full-surface assembler tests: every mnemonic family parses, every
+//! parsed instruction disassembles back to itself, and error paths report
+//! usable diagnostics.
+
+use majc_asm::{assemble, program_to_string, AsmError};
+
+/// One line exercising every mnemonic family the parser knows.
+const ALL_MNEMONICS: &str = r"
+    .org 0x0
+            nop
+            membar
+            prefetch [g1+64]
+            ld.b g2, [g3]
+            ld.ub g2, [g3+1]
+            ld.h g2, [g3+2]
+            ld.uh g2, [g3-2]
+            ld.w.nc g2, [g3+4]
+            ld.l.na g4, [g3+8]
+            ld.g g8, [g3+32]
+            st.b g2, [g3]
+            st.h g2, [g3+2]
+            st.w g2, [g3+g5]
+            st.l g4, [g3+8]
+            st.g g8, [g3+32]
+            cst.ne g1, g2, [g3]
+            cas g1, [g3], g2
+            swap g1, [g3]
+            jmpl g1, g2, 8
+            div g1, g2, g3
+            rem g1, g2, g3
+            fdiv g1, g2, g3
+            frsqrt g1, g2
+            pdiv g1, g2, g3
+            prsqrt g1, g2
+            add g1, g2, g3
+            sub g1, g2, 5
+            and g1, g2, g3
+            or g1, g2, g3
+            xor g1, g2, g3
+            andn g1, g2, g3
+            orn g1, g2, g3
+            sll g1, g2, 3
+            srl g1, g2, 3
+            sra g1, g2, 3
+            setlo g1, -100
+            sethi g1, 4660
+            cmove.eq g1, g2, g3
+            nop | adds g1, g2, g3
+            nop | subs g1, g2, g3
+            nop | pick.lt g1, g2, g3
+            nop | cmp.ge g1, g2, g3
+            nop | mul g1, g2, g3
+            nop | mulhi g1, g2, g3
+            nop | muladd g1, g2, g3
+            nop | mulsub g1, g2, g3
+            nop | padd.wrap g1, g2, g3
+            nop | padd.sat g1, g2, g3
+            nop | psub.usat g1, g2, g3
+            nop | psub.sym g1, g2, g3
+            nop | pmul.i16 g1, g2, g3
+            nop | pmul.s15 g1, g2, g3
+            nop | pmuladd.s213 g1, g2, g3
+            nop | dotp g1, g2, g3
+            nop | pmuls31 g1, g2, g3
+            nop | pdist g1, g2, g3
+            nop | byteshuf g1, g2, g3
+            nop | bitext g1, g2, g3
+            nop | lzd g1, g2
+            nop | fadd g1, g2, g3
+            nop | fsub g1, g2, g3
+            nop | fmul g1, g2, g3
+            nop | fmadd g1, g2, g3
+            nop | fmsub g1, g2, g3
+            nop | fmin g1, g2, g3
+            nop | fmax g1, g2, g3
+            nop | fneg g1, g2
+            nop | fabs g1, g2
+            nop | fcmp.lt g1, g2, g3
+            nop | dadd g0, g2, g4
+            nop | dsub g0, g2, g4
+            nop | dmul g0, g2, g4
+            nop | dmin g0, g2, g4
+            nop | dmax g0, g2, g4
+            nop | dneg g0, g2
+            nop | dcmp.eq g1, g2, g4
+            nop | cvt.i2f g1, g2
+            nop | cvt.f2i g1, g2
+            nop | cvt.i2d g2, g3
+            nop | cvt.d2i g1, g2
+            nop | cvt.f2d g2, g3
+            nop | cvt.d2f g1, g2
+            nop | cvt.f2x g1, g2
+            nop | cvt.x2f g1, g2
+    here:   br.eq g1, here
+            br.ne.nt g1, here
+            br.lt g1, here
+            br.le g1, here
+            br.gt g1, here
+            br.ge.t g1, here
+            call g1, here
+            halt
+";
+
+#[test]
+fn every_mnemonic_family_parses() {
+    let prog = assemble(ALL_MNEMONICS).expect("full mnemonic surface assembles");
+    assert!(prog.len() > 90);
+}
+
+#[test]
+fn full_surface_round_trips_through_disassembly() {
+    let p1 = assemble(ALL_MNEMONICS).unwrap();
+    let text = program_to_string(&p1);
+    let p2 = assemble(&text).unwrap_or_else(|e| panic!("re-assembly failed: {e}\n{text}"));
+    assert_eq!(p1.packets(), p2.packets(), "disassembly must be faithful");
+}
+
+#[test]
+fn local_registers_resolve_per_slot() {
+    let p = assemble("nop | add l0, l1, l2 | add l0, l1, l2 | add l0, l1, l2\nhalt").unwrap();
+    let pkt = &p.packets()[0];
+    use majc_isa::{Instr, Reg};
+    for fu in 1..4u8 {
+        match pkt.slot(fu as usize).unwrap() {
+            Instr::Alu { rd, .. } => assert_eq!(*rd, Reg::l(fu, 0)),
+            o => panic!("{o:?}"),
+        }
+    }
+}
+
+#[test]
+fn diagnostics_name_the_problem() {
+    let cases = [
+        ("frobnicate g1, g2", "frobnicate"),
+        ("add g1, g2", "expects 3 operands"),
+        ("ld.w g1, g2", "expected [addr]"),
+        ("ld.q g1, [g2]", "bad width"),
+        ("br.xx g1, somewhere", "bad condition"),
+        ("add g99, g2, g3", "out of range"),
+        ("add l40, g2, g3", "out of range"),
+        ("padd.bogus g1, g2, g3", "bad saturation mode"),
+        ("pmul.q15 g1, g2, g3", "bad fixed format"),
+        ("ld.w.zz g1, [g2]", "bad cache policy"),
+    ];
+    for (src, needle) in cases {
+        match assemble(src) {
+            Err(AsmError::Parse { msg, line }) => {
+                assert!(msg.contains(needle), "for `{src}` got `{msg}`");
+                assert_eq!(line, 1);
+            }
+            other => panic!("`{src}` should fail to parse, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn structural_errors_are_packet_level() {
+    // FU0-only op in a compute slot.
+    match assemble("nop | membar") {
+        Err(AsmError::BadPacket { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+    // Saturating ALU on FU0.
+    match assemble("adds g1, g2, g3") {
+        Err(AsmError::BadPacket { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+    // Odd double pair.
+    match assemble("nop | dadd g1, g2, g4") {
+        Err(AsmError::BadPacket { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn branch_out_of_range_is_reported() {
+    // A forward branch across > 8 KB of packets overflows the 12-bit
+    // word displacement.
+    let mut src = String::from("br.eq g0, far\n");
+    for _ in 0..4000 {
+        src.push_str("nop\n");
+    }
+    src.push_str("far: halt\n");
+    match assemble(&src) {
+        Err(AsmError::BranchOutOfRange { label, .. }) => assert_eq!(label, "far"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn builder_len_and_empty() {
+    let mut a = majc_asm::Asm::new(0);
+    assert!(a.is_empty());
+    a.op(majc_isa::Instr::Nop);
+    assert_eq!(a.len(), 1);
+}

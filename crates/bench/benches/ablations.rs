@@ -1,0 +1,28 @@
+//! Criterion bench regenerating the design-choice ablations.
+//!
+//! The reproduction table prints once at startup (paper vs measured); the
+//! criterion measurement then tracks how fast the simulator regenerates
+//! the artifact, which is the quantity host-side optimisation affects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = majc_bench::ablations();
+    println!("\n{}", table.render());
+    let _ = table.save();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("fir_bypass_row", |b| {
+        b.iter(|| {
+            let coeffs = [0.01f32; 64];
+            let xs = [0.5f32; 127];
+            let (p, m) = majc_kernels::fir::build(&coeffs, &xs);
+            black_box(majc_kernels::harness::measure(&p, m))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

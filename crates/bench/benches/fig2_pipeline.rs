@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 2 (pipeline probes).
+//!
+//! The reproduction table prints once at startup (paper vs measured); the
+//! criterion measurement then tracks how fast the simulator regenerates
+//! the artifact, which is the quantity host-side optimisation affects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = majc_bench::fig2();
+    println!("\n{}", table.render());
+    let _ = table.save();
+    let mut g = c.benchmark_group("fig2_pipeline");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| black_box(majc_bench::fig2())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

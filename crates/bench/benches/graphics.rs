@@ -1,0 +1,25 @@
+//! Criterion bench regenerating the 60-90 Mtriangles/s claim.
+//!
+//! The reproduction table prints once at startup (paper vs measured); the
+//! criterion measurement then tracks how fast the simulator regenerates
+//! the artifact, which is the quantity host-side optimisation affects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = majc_bench::graphics();
+    println!("\n{}", table.render());
+    let _ = table.save();
+    let mut g = c.benchmark_group("graphics");
+    g.sample_size(10);
+    g.bench_function("pipeline_sim", |b| {
+        let scene = majc_gfx::demo_strips(64, 100, 11);
+        let c = majc_gfx::compress(&scene, 100.0);
+        b.iter(|| black_box(majc_gfx::simulate(&c, &majc_gfx::PipelineConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating the 6.16 GFLOPS / 12.33 GOPS headline.
+//!
+//! The reproduction table prints once at startup (paper vs measured); the
+//! criterion measurement then tracks how fast the simulator regenerates
+//! the artifact, which is the quantity host-side optimisation affects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = majc_bench::peak_rates();
+    println!("\n{}", table.render());
+    let _ = table.save();
+    let mut g = c.benchmark_group("peak_rates");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| black_box(majc_bench::peak_rates())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

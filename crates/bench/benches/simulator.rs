@@ -1,0 +1,43 @@
+//! Criterion bench of the simulator itself: host-side throughput in
+//! simulated packets per second for the functional and cycle-accurate
+//! models, over a representative kernel (the 64x64 FIR).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use majc_core::{CycleSim, FuncSim, LocalMemSys, TimingConfig};
+use majc_kernels::fir;
+use majc_kernels::harness::XorShift;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = XorShift::new(11);
+    let coeffs: Vec<f32> = (0..fir::TAPS).map(|_| rng.next_f32() * 0.2).collect();
+    let input: Vec<f32> = (0..fir::OUTPUTS + fir::TAPS - 1).map(|_| rng.next_f32()).collect();
+    let (prog, mem) = fir::build(&coeffs, &input);
+
+    // Packet count of one run, for throughput units.
+    let mut probe = FuncSim::new(prog.clone(), mem.clone());
+    probe.run(10_000_000).unwrap();
+    let packets = probe.stats.packets;
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(packets));
+    g.bench_function("functional", |b| {
+        b.iter(|| {
+            let mut s = FuncSim::new(prog.clone(), mem.clone());
+            s.run(10_000_000).unwrap();
+            black_box(s.stats.packets)
+        })
+    });
+    g.bench_function("cycle_accurate", |b| {
+        b.iter(|| {
+            let port = LocalMemSys::majc5200().with_mem(mem.clone());
+            let mut s = CycleSim::new(prog.clone(), port, TimingConfig::default());
+            s.run(10_000_000).unwrap();
+            black_box(s.stats.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

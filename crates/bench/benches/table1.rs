@@ -1,0 +1,27 @@
+//! Criterion bench regenerating Table 1 (video/image kernels).
+//!
+//! The reproduction table prints once at startup (paper vs measured); the
+//! criterion measurement then tracks how fast the simulator regenerates
+//! the artifact, which is the quantity host-side optimisation affects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = majc_bench::table1();
+    println!("\n{}", table.render());
+    let _ = table.save();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("idct_row", |b| {
+        b.iter(|| {
+            let coeffs = [7i16; 64];
+            let (p, m) = majc_kernels::idct::build(&coeffs);
+            black_box(majc_kernels::harness::measure(&p, m))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

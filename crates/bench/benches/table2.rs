@@ -1,0 +1,27 @@
+//! Criterion bench regenerating Table 2 (signal processing kernels).
+//!
+//! The reproduction table prints once at startup (paper vs measured); the
+//! criterion measurement then tracks how fast the simulator regenerates
+//! the artifact, which is the quantity host-side optimisation affects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = majc_bench::table2();
+    println!("\n{}", table.render());
+    let _ = table.save();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("biquad_row", |b| {
+        b.iter(|| {
+            let c = majc_kernels::biquad::Cascade::demo(4);
+            let (p, m) = majc_kernels::biquad::build(&c, &[0.5f32]);
+            black_box(majc_kernels::harness::measure(&p, m))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench regenerating Table 3 (application utilisation).
+//!
+//! The reproduction table prints once at startup (paper vs measured); the
+//! criterion measurement then tracks how fast the simulator regenerates
+//! the artifact, which is the quantity host-side optimisation affects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = majc_bench::table3();
+    println!("\n{}", table.render());
+    let _ = table.save();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("speech_rows", |b| {
+        b.iter(|| black_box(majc_apps::speech::rows()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

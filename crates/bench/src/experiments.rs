@@ -1,0 +1,507 @@
+//! One function per paper artifact, each regenerating its table/figure
+//! (DESIGN.md experiment index E1-E8).
+
+use majc_core::{BypassModel, TimingConfig};
+use majc_kernels::harness::{measure, run_warm, MemModel, XorShift};
+use majc_kernels::{
+    biquad, bitrev, cfir, colorconv, convolve, dct, fft, fir, idct, lms, maxsearch, motion, peak,
+    transform_light, vld,
+};
+use majc_mem::FlatMem;
+use majc_soc::{Dte, Endpoint, Link};
+
+use rayon::prelude::*;
+
+use crate::report::{Row, Table};
+
+fn k(v: u64) -> String {
+    format!("{v}")
+}
+
+/// Run a batch of independent kernel simulations in parallel (each row is
+/// a self-contained program + memory image) and emit rows in order.
+fn measure_rows(
+    t: &mut Table,
+    jobs: Vec<(String, String, majc_isa::Program, FlatMem, String)>,
+) {
+    let results: Vec<Row> = jobs
+        .into_par_iter()
+        .map(|(name, paper, prog, mem, note)| {
+            let cycles = measure(&prog, mem);
+            Row::new(name, paper, format!("{cycles} cycles"), note)
+        })
+        .collect();
+    for r in results {
+        t.push(r);
+    }
+}
+
+// ------------------------------- E1 -------------------------------
+
+/// Table 1: video/image processing benchmarks.
+pub fn table1() -> Table {
+    let mut t = Table::new("table1", "Video/Image Processing Benchmarks (per single CPU)");
+    let mut rng = XorShift::new(3);
+
+    let mut coeffs = [0i16; 64];
+    coeffs[0] = rng.next_i16(1000);
+    for _ in 0..12 {
+        coeffs[rng.next_range(64)] = rng.next_i16(300);
+    }
+    let (p, m) = idct::build(&coeffs);
+    t.push(Row::new("8x8 IDCT", "304 cycles", format!("{} cycles", measure(&p, m)), ""));
+
+    let px: [i16; 64] = std::array::from_fn(|_| rng.next_i16(255));
+    let (p, m) = dct::build(&px, &dct::demo_qmatrix(2));
+    t.push(Row::new("8x8 DCT + Quantization", "200 cycles", format!("{} cycles", measure(&p, m)), ""));
+
+    let blocks = vld::workload(7, 64);
+    let (stream, nsym) = vld::encode(&blocks);
+    let (p, m) = vld::build(&stream, blocks.len());
+    let cyc = measure(&p, m) as f64 / nsym as f64;
+    t.push(Row::new(
+        "MPEG-2 VLD+IZZ+IQ",
+        "27 MSymbols/sec",
+        format!("{:.1} MSymbols/sec", 500.0 / cyc),
+        format!("{cyc:.1} cyc/sym"),
+    ));
+
+    let (frame, cur) = motion::workload(7, 6, -4);
+    let (p, m) = motion::build(&frame, &cur);
+    t.push(Row::new("Motion Est. / ±16 MV range", "3000 cycles", format!("{} cycles", measure(&p, m)), ""));
+
+    let img: Vec<i16> =
+        (0..convolve::WIDTH * convolve::HEIGHT).map(|_| rng.next_i16(255).abs()).collect();
+    let (p, m) = convolve::build(&img, &convolve::demo_kernel());
+    t.push(Row::new(
+        "5x5 Convolution (512x512)",
+        "1.65 Mcycles",
+        format!("{:.2} Mcycles", measure(&p, m) as f64 / 1e6),
+        "500x508 valid region",
+    ));
+
+    let n = colorconv::WIDTH * colorconv::HEIGHT;
+    let r: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    let g: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    let b: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    let (p, m) = colorconv::build(&r, &g, &b);
+    t.push(Row::new(
+        "512x512 Color Conversion",
+        "0.9 Mcycles",
+        format!("{:.2} Mcycles", measure(&p, m) as f64 / 1e6),
+        "",
+    ));
+    t
+}
+
+// ------------------------------- E2 -------------------------------
+
+/// Table 2: signal processing benchmarks. The nine kernels are
+/// independent simulations, so they run as a Rayon parallel batch.
+pub fn table2() -> Table {
+    let mut t = Table::new("table2", "Signal Processing Benchmarks (per single CPU)");
+    let mut rng = XorShift::new(9);
+    let mut jobs: Vec<(String, String, majc_isa::Program, FlatMem, String)> = Vec::new();
+    let job = |name: &str, paper: &str, pm: (majc_isa::Program, FlatMem), note: &str| {
+        (name.to_string(), paper.to_string(), pm.0, pm.1, note.to_string())
+    };
+
+    let c = biquad::Cascade::demo(4);
+    jobs.push(job(
+        "Cascade of eight 2nd order Biquads",
+        "63 cycles",
+        biquad::build(&c, &[0.5f32]),
+        "1 sample",
+    ));
+
+    let coeffs: Vec<f32> = (0..fir::TAPS).map(|_| rng.next_f32() * 0.2).collect();
+    let xs: Vec<f32> = (0..fir::OUTPUTS + fir::TAPS - 1).map(|_| rng.next_f32()).collect();
+    jobs.push(job("64-sample, 64-tap FIR", "2757 cycles", fir::build(&coeffs, &xs), ""));
+
+    let input: Vec<f32> = (0..64).map(|_| rng.next_f32()).collect();
+    jobs.push(job("64-sample, 16th order IIR", "2021 cycles", biquad::build(&c, &input), ""));
+
+    let cc: Vec<(f32, f32)> =
+        (0..cfir::TAPS).map(|_| (rng.next_f32() * 0.2, rng.next_f32() * 0.2)).collect();
+    let cx: Vec<(f32, f32)> =
+        (0..cfir::OUTPUTS + cfir::TAPS - 1).map(|_| (rng.next_f32(), rng.next_f32())).collect();
+    jobs.push(job("64-sample, 64-tap Complex FIR", "8643 cycles", cfir::build(&cc, &cx), ""));
+
+    let w: Vec<f32> = (0..lms::ORDER).map(|_| rng.next_f32() * 0.5).collect();
+    let x: Vec<f32> = (0..lms::ORDER).map(|_| rng.next_f32()).collect();
+    jobs.push(job(
+        "Single Sample, 16th order LMS",
+        "64 cycles",
+        lms::build(&w, &x, rng.next_f32(), 0.05),
+        "",
+    ));
+
+    let xs: Vec<f32> = (0..maxsearch::N).map(|_| rng.next_f32() * 100.0).collect();
+    jobs.push(job(
+        "Max Search, max value in array of 40",
+        "126 cycles",
+        maxsearch::build(&xs),
+        "",
+    ));
+
+    let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
+    let pre2: Vec<(f32, f32)> = (0..fft::N).map(|i| data[bitrev::rev(i)]).collect();
+    jobs.push(job(
+        "Radix-2, 1024-point complex FFT",
+        "n/a (OCR loss)",
+        fft::build_radix2(&pre2),
+        "paper cell lost",
+    ));
+
+    let pre4: Vec<(f32, f32)> = (0..fft::N).map(|i| data[fft::digit_rev4(i)]).collect();
+    jobs.push(job(
+        "Radix-4, 1024-point complex FFT",
+        "n/a (OCR loss)",
+        fft::build_radix4(&pre4),
+        "paper cell lost",
+    ));
+
+    jobs.push(job("Bit reversal, 1024-point", "2484 cycles", bitrev::build(&data), ""));
+
+    measure_rows(&mut t, jobs);
+    t
+}
+
+// ------------------------------- E3 -------------------------------
+
+/// Table 3: application performance.
+pub fn table3() -> Table {
+    let mut t = Table::new("table3", "Application Performance (single CPU utilization)");
+    for r in majc_apps::speech::rows() {
+        t.push(Row::new(
+            r.name,
+            format!("{:.1}% ({:.0}% w/o mem)", r.paper_with_mem, r.paper_without_mem),
+            format!("{:.1}% ({:.1}% w/o mem)", r.measured.with_mem, r.measured.without_mem),
+            "",
+        ));
+    }
+    let m = majc_apps::mpeg2::row();
+    t.push(Row::new(
+        "MPEG-2 Video Decode (5Mbps, MP@ML)",
+        format!("{:.0}% ({:.0}% w/o mem)", m.paper_with_mem, m.paper_without_mem),
+        format!("{:.1}% ({:.1}% w/o mem)", m.measured.with_mem, m.measured.without_mem),
+        "",
+    ));
+    let a = majc_apps::audio::row();
+    t.push(Row::new(
+        "AC-3, MP2 Audio Decode",
+        format!("{:.0}-{:.0}%", a.paper_low, a.paper_high),
+        format!("{:.1}% ({:.1}% w/o mem)", a.measured.with_mem, a.measured.without_mem),
+        "",
+    ));
+    for r in majc_apps::imaging::rows() {
+        t.push(Row::new(
+            r.name,
+            format!("{:.0} MB/s", r.paper_mbps),
+            format!("{:.1} MB/s ({:.1} w/o mem)", r.measured_mbps, r.measured_mbps_perfect),
+            "",
+        ));
+    }
+    let h = majc_apps::h263::row();
+    t.push(Row::new(
+        "H.263 Codec (128 kbps, 15 fps, CIF)",
+        format!("{:.0}%", h.paper_with_mem),
+        format!("{:.1}% ({:.1}% w/o mem)", h.measured.with_mem, h.measured.without_mem),
+        "",
+    ));
+    t
+}
+
+// ------------------------------- E4 -------------------------------
+
+/// Figure 1 / §3.1: chip interfaces and DMA bandwidths.
+pub fn fig1() -> Table {
+    let mut t = Table::new("fig1", "Chip I/O (Figure 1 block diagram claims)");
+    let clock = 500e6;
+    t.push(Row::new("DRDRAM peak", "1.6 GB/s", format!("{:.2} GB/s", majc_mem::Dram::default().peak_gbps(clock)), "16-bit @ 800 MT/s"));
+    t.push(Row::new("PCI peak", "264 MB/s", format!("{:.0} MB/s", Link::pci().peak_gbps(clock) * 1000.0), "32-bit @ 66 MHz"));
+    t.push(Row::new("North UPA peak", "2.0 GB/s", format!("{:.1} GB/s", Link::upa("NUPA").peak_gbps(clock)), "64-bit @ 250 MHz"));
+    t.push(Row::new("South UPA peak", "2.0 GB/s", format!("{:.1} GB/s", Link::upa("SUPA").peak_gbps(clock)), "64-bit @ 250 MHz"));
+    let aggregate = 2.0 + 2.0 + 0.264 + 1.6;
+    t.push(Row::new("Aggregate peak I/O", "> 4.8 GB/s", format!("{aggregate:.2} GB/s"), "NUPA+SUPA+PCI+DRAM"));
+
+    // Measured DMA transfers through the DTE and crossbar.
+    let run = |src: Endpoint, sa: u32, dst: Endpoint, da: u32, len: u32| -> f64 {
+        let mut dte = Dte::new();
+        let mut xbar = majc_soc::Crossbar::new();
+        let mut mem = FlatMem::new();
+        dte.transfer(&mut xbar, &mut mem, 0, src, sa, dst, da, len).gbps(clock)
+    };
+    t.push(Row::new("DTE: DRAM -> SUPA (64 KB)", "DRAM-bound (1.6)", format!("{:.2} GB/s", run(Endpoint::Dram, 0, Endpoint::Supa, 0, 65536)), "measured DMA"));
+    t.push(Row::new("DTE: NUPA -> DRAM (64 KB)", "DRAM-bound (1.6)", format!("{:.2} GB/s", run(Endpoint::Nupa, 0, Endpoint::Dram, 0x10_0000, 65536)), "measured DMA"));
+    t.push(Row::new("DTE: PCI -> DRAM (16 KB)", "PCI-bound (0.26)", format!("{:.2} GB/s", run(Endpoint::Pci, 0, Endpoint::Dram, 0x20_0000, 16384)), "measured DMA"));
+    t.push(Row::new("DTE: NUPA -> SUPA (64 KB)", "UPA-bound (2.0)", format!("{:.2} GB/s", run(Endpoint::Nupa, 0, Endpoint::Supa, 0, 65536)), "measured DMA"));
+    t
+}
+
+// ------------------------------- E5 -------------------------------
+
+/// Figure 2 / §3.2: CPU pipeline properties.
+pub fn fig2() -> Table {
+    use majc_asm::Asm;
+    use majc_core::{CycleSim, PerfectPort};
+    use majc_isa::{AluOp, Cond, Instr, Reg, Src};
+
+    let mut t = Table::new("fig2", "CPU microarchitecture probes (Figure 2 / section 3.2)");
+
+    // Load-to-use: dependent load/add pair vs independent.
+    let probe = |dep: bool| -> u64 {
+        let mut a = Asm::new(0);
+        a.set32(Reg::g(0), 0x1000);
+        for _ in 0..64 {
+            a.op(Instr::Ld {
+                w: majc_isa::MemWidth::W,
+                pol: majc_isa::CachePolicy::Cached,
+                rd: Reg::g(1),
+                base: Reg::g(0),
+                off: majc_isa::Off::Imm(0),
+            });
+            let src = if dep { Reg::g(1) } else { Reg::g(3) };
+            a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(2), rs1: src, src2: Src::Imm(1) });
+        }
+        a.op(Instr::Halt);
+        let mut sim =
+            CycleSim::new(a.finish().unwrap(), PerfectPort::new(), TimingConfig::default());
+        sim.run(100_000).unwrap();
+        sim.stats.cycles
+    };
+    let (depc, indc) = (probe(true), probe(false));
+    t.push(Row::new(
+        "load-to-use latency",
+        "2 cycles",
+        format!("{} cycles", 1 + (depc - indc) / 64),
+        "dependent minus independent probe",
+    ));
+
+    // Bypass: FU0->FU1 free, FU0->FU2 one cycle.
+    let xfu = TimingConfig::default();
+    t.push(Row::new("bypass FU0<->FU1", "0 extra cycles", format!("{} extra", xfu.xfu_delay(0, 1)), "complete bypass"));
+    t.push(Row::new("bypass FU0->FU2/FU3", "1 extra cycle", format!("{} extra", xfu.xfu_delay(0, 2)), ""));
+
+    // gshare on a biased branch mix.
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 4000);
+    a.label("loop");
+    a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(0), rs1: Reg::g(0), src2: Src::Imm(1) });
+    a.op(Instr::Alu { op: AluOp::And, rd: Reg::g(1), rs1: Reg::g(0), src2: Src::Imm(7) });
+    a.br(Cond::Ne, Reg::g(1), "skip", true);
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
+    a.label("skip");
+    a.br(Cond::Gt, Reg::g(0), "loop", true);
+    a.op(Instr::Halt);
+    let mut sim = CycleSim::new(a.finish().unwrap(), majc_core::PerfectPort::new(), TimingConfig::default());
+    sim.run(1_000_000).unwrap();
+    t.push(Row::new(
+        "gshare (4096 entries, 12 history bits)",
+        "2-level g-share array",
+        format!("{:.1}% accuracy", sim.predictor_stats().accuracy() * 100.0),
+        "period-8 pattern + loop branch",
+    ));
+
+    // Issue-width histogram of a real kernel (FIR).
+    let mut rng = XorShift::new(9);
+    let coeffs: Vec<f32> = (0..fir::TAPS).map(|_| rng.next_f32() * 0.2).collect();
+    let xs: Vec<f32> = (0..fir::OUTPUTS + fir::TAPS - 1).map(|_| rng.next_f32()).collect();
+    let (p, m) = fir::build(&coeffs, &xs);
+    let stats = run_warm(&p, m, MemModel::Dram, TimingConfig::default()).stats;
+    t.push(Row::new(
+        "issue width histogram (FIR kernel)",
+        "1-4 instr packets, 2-bit header",
+        format!("{:?}", stats.width_hist),
+        format!("mean width {:.2}", stats.mean_width()),
+    ));
+    t.push(Row::new("packets/cycle (FIR kernel)", "<= 1 (in-order)", format!("{:.2}", stats.ppc()), ""));
+    t
+}
+
+// ------------------------------- E6 -------------------------------
+
+/// Headline peak rates.
+pub fn peak_rates() -> Table {
+    let mut t = Table::new("peak", "Peak rates (sections 1/4/6)");
+    t.push(Row::new("GFLOPS (analytic)", "6.16", format!("{:.2}", peak::analytic_gflops(500e6)), "2 CPUs x (3 FMA + rsqrt/6)"));
+    let f = peak::measure_gflops(500);
+    t.push(Row::new("GFLOPS (sustained kernel)", "> 6", format!("{:.2}", f.chip_rate), format!("{:.3} flops/cycle/CPU", f.per_cycle)));
+    t.push(Row::new("GOPS 16-bit (analytic)", "12.33", format!("{:.2}", peak::analytic_gops(500e6)), "2 CPUs x (3 dotp + pdiv/6)"));
+    let o = peak::measure_gops(500);
+    t.push(Row::new("GOPS (sustained kernel)", "> 12", format!("{:.2}", o.chip_rate), format!("{:.3} ops/cycle/CPU", o.per_cycle)));
+    t
+}
+
+// ------------------------------- E7 -------------------------------
+
+/// Graphics pipeline: 60-90 Mtriangles/s.
+pub fn graphics() -> Table {
+    let mut t = Table::new("graphics", "Graphics pipeline (section 5: 60-90 Mtri/s)");
+    let cpv = transform_light::cycles_per_vertex(126);
+    t.push(Row::new("transform+light", "-", format!("{cpv:.1} cycles/vertex"), "measured on the cycle simulator"));
+    for (label, strips, len, gpp_rate) in [
+        ("long strips", 32usize, 200usize, 4.0f64),
+        ("short strips", 200, 12, 4.0),
+        ("slow GPP (1 B/cycle)", 32, 200, 1.0),
+    ] {
+        let scene = majc_gfx::demo_strips(strips, len, 11);
+        let c = majc_gfx::compress(&scene, 100.0);
+        let cfg = majc_gfx::PipelineConfig {
+            cycles_per_vertex: cpv,
+            gpp_bytes_per_cycle: gpp_rate,
+            tris_per_vertex: c.triangle_count as f64 / c.vertex_count as f64,
+            ..Default::default()
+        };
+        let r = majc_gfx::simulate(&c, &cfg);
+        t.push(Row::new(
+            format!("GPP pipeline, {label}"),
+            "60-90 Mtri/s",
+            format!("{:.1} Mtri/s", r.mtris_per_sec),
+            format!(
+                "cpu util {:.0}%/{:.0}%, ratio {:.1}x",
+                r.cpu_util[0] * 100.0,
+                r.cpu_util[1] * 100.0,
+                c.ratio()
+            ),
+        ));
+    }
+    t
+}
+
+// ------------------------------- E8 -------------------------------
+
+/// Ablations over the design choices the paper highlights.
+pub fn ablations() -> Table {
+    let mut t = Table::new("ablations", "Design-choice ablations");
+    let mut rng = XorShift::new(21);
+
+    // Bypass network, on the cross-unit-heavy IDCT dataflow.
+    let mut blk = [0i16; 64];
+    for _ in 0..12 {
+        blk[rng.next_range(64)] = rng.next_i16(300);
+    }
+    for (label, model) in [
+        ("MAJC bypass (FU0<->FU1 free)", BypassModel::Majc),
+        ("full bypass (idealised)", BypassModel::Full),
+        ("write-back only (no bypass)", BypassModel::WbOnly),
+    ] {
+        let (p, m) = idct::build(&blk);
+        let cfg = TimingConfig { bypass: model, ..Default::default() };
+        let c = run_warm(&p, m, MemModel::Dram, cfg).stats.cycles;
+        t.push(Row::new(format!("8x8 IDCT, {label}"), "-", k(c), "cycles"));
+    }
+
+    // Branch prediction on a data-dependent (period-8) branch pattern that
+    // static hints cannot capture.
+    {
+        use majc_asm::Asm;
+        use majc_isa::{AluOp, Cond, Reg, Src};
+        fn branchy() -> majc_isa::Program {
+            let mut a = Asm::new(0);
+            a.set32(Reg::g(0), 4096);
+            a.label("loop");
+            a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(0), rs1: Reg::g(0), src2: Src::Imm(1) });
+            a.op(Instr::Alu { op: AluOp::And, rd: Reg::g(1), rs1: Reg::g(0), src2: Src::Imm(3) });
+            a.br(Cond::Ne, Reg::g(1), "skip", true);
+            a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
+            a.label("skip");
+            a.br(Cond::Gt, Reg::g(0), "loop", true);
+            a.op(Instr::Halt);
+            a.finish().unwrap()
+        }
+        use majc_isa::Instr;
+        for (label, dynamic) in [("gshare (4096 x 12)", true), ("static hints only", false)] {
+            let mut cfg = TimingConfig::default();
+            cfg.predictor.dynamic = dynamic;
+            let mut sim =
+                majc_core::CycleSim::new(branchy(), majc_core::PerfectPort::new(), cfg);
+            sim.run(10_000_000).unwrap();
+            t.push(Row::new(
+                format!("period-4 branch loop, {label}"),
+                "-",
+                k(sim.stats.cycles),
+                format!("{:.1}% accuracy", sim.predictor_stats().accuracy() * 100.0),
+            ));
+        }
+    }
+
+    // Non-blocking memory (MSHR count) on the streaming, prefetching
+    // colour conversion.
+    let n = colorconv::WIDTH * colorconv::HEIGHT;
+    let cr: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    let cg: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    let cb: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    for mshrs in [4usize, 1] {
+        let (p, mem) = colorconv::build(&cr, &cg, &cb);
+        let mut ms = majc_core::LocalMemSys::majc5200().with_mem(mem);
+        ms.dcache = majc_mem::DCache::new(majc_mem::DCacheConfig { mshrs, ..Default::default() });
+        let mut sim = majc_core::CycleSim::new(p.clone(), ms, TimingConfig::default());
+        sim.run(200_000_000).unwrap();
+        let mut port = sim.port;
+        port.new_epoch();
+        let mut sim = majc_core::CycleSim::new(p, port, TimingConfig::default());
+        sim.run(200_000_000).unwrap();
+        t.push(Row::new(
+            format!("512x512 color conversion, {mshrs} MSHR{}", if mshrs == 1 { "" } else { "s" }),
+            if mshrs == 4 { "4 outstanding misses" } else { "-" },
+            format!("{:.2} Mcycles", sim.stats.cycles as f64 / 1e6),
+            "",
+        ));
+    }
+
+    // Vertical micro-threading on a pointer-walking (miss-heavy) loop.
+    {
+        use majc_asm::Asm;
+        use majc_isa::{AluOp, Cond, Instr, Reg, Src};
+        fn walker() -> majc_isa::Program {
+            let mut a = Asm::new(0);
+            a.set32(Reg::g(0), 0x0010_0000);
+            a.set32(Reg::g(2), 512);
+            a.label("l");
+            a.op(Instr::Ld {
+                w: majc_isa::MemWidth::W,
+                pol: majc_isa::CachePolicy::Cached,
+                rd: Reg::g(1),
+                base: Reg::g(0),
+                off: majc_isa::Off::Imm(0),
+            });
+            a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(1), src2: Src::Imm(1) });
+            a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(0), rs1: Reg::g(0), src2: Src::Imm(32) });
+            a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
+            a.br(Cond::Gt, Reg::g(2), "l", true);
+            a.op(Instr::Halt);
+            a.finish().unwrap()
+        }
+        for contexts in [1usize, 2] {
+            let mut cfg = TimingConfig::default();
+            cfg.threading.contexts = contexts;
+            cfg.threading.switch_min_gain = 6;
+            let mut sim = majc_core::CycleSim::new(
+                walker(),
+                majc_core::LocalMemSys::majc5200(),
+                cfg,
+            );
+            if contexts == 2 {
+                let skip = sim.program().addr_of(4);
+                sim.set_context_pc(1, skip);
+                sim.regs_mut(1).set(Reg::g(0), 0x0020_0000);
+                sim.regs_mut(1).set(Reg::g(2), 512);
+            }
+            sim.run(10_000_000).unwrap();
+            let per_pkt = sim.stats.cycles as f64 / sim.stats.packets as f64;
+            t.push(Row::new(
+                format!("cache-miss walker, {contexts} context{}", if contexts == 1 { "" } else { "s" }),
+                if contexts == 2 { "vertical microthreading" } else { "-" },
+                format!("{per_pkt:.2} cycles/packet"),
+                format!("{} switches", sim.stats.context_switches),
+            ));
+        }
+    }
+    t
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Table> {
+    vec![table1(), table2(), table3(), fig1(), fig2(), peak_rates(), graphics(), ablations()]
+}

@@ -1,0 +1,11 @@
+//! # majc-bench
+//!
+//! The reproduction harness: one function per paper table/figure
+//! ([`experiments`]) and the text/JSON reporting layer ([`report`]).
+//! `cargo run -p majc-bench --release -- all` regenerates everything.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{ablations, all, fig1, fig2, graphics, peak_rates, table1, table2, table3};
+pub use report::{Row, Table};

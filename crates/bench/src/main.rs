@@ -1,0 +1,41 @@
+//! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
+//!
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|all]`
+//! (default: `all`). Each run prints paper-vs-measured rows and saves a
+//! JSON report under `target/reports/`.
+
+use majc_bench::experiments;
+use majc_bench::report::Table;
+
+fn emit(t: Table) {
+    println!("{}", t.render());
+    match t.save() {
+        Ok(p) => println!("  [saved {}]\n", p.display()),
+        Err(e) => eprintln!("  [report not saved: {e}]\n"),
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "table1" => emit(experiments::table1()),
+        "table2" => emit(experiments::table2()),
+        "table3" => emit(experiments::table3()),
+        "fig1" => emit(experiments::fig1()),
+        "fig2" => emit(experiments::fig2()),
+        "peak" => emit(experiments::peak_rates()),
+        "graphics" => emit(experiments::graphics()),
+        "ablations" => emit(experiments::ablations()),
+        "all" => {
+            for t in experiments::all() {
+                emit(t);
+            }
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected one of table1 table2 table3 fig1 fig2 peak graphics ablations all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Timing configuration for the cycle-accurate model.
+//!
+//! Defaults reproduce the MAJC-5200 numbers stated in the paper (§3.2, §4);
+//! everything the paper leaves unspecified is a parameter here and has an
+//! ablation bench (DESIGN.md §2, substitution 5).
+
+use majc_isa::LatClass;
+use serde::Serialize;
+
+use crate::predictor::PredictorConfig;
+
+/// How results cross functional units (paper §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum BypassModel {
+    /// The MAJC-5200 network: full bypass within a unit and between FU0 and
+    /// FU1; one extra cycle to reach other units.
+    Majc,
+    /// Idealised full bypass between all units (ablation).
+    Full,
+    /// No cross-unit bypass: results visible from write-back only
+    /// (ablation: two extra cycles to any other unit).
+    WbOnly,
+}
+
+/// Vertical micro-threading configuration (paper §2): hardware contexts
+/// with "rapid, low overhead context switching ... triggered through either
+/// a long latency memory fetch or other events".
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ThreadingConfig {
+    /// Hardware contexts (1 disables micro-threading).
+    pub contexts: usize,
+    /// Pipeline cycles lost on a context switch.
+    pub switch_penalty: u64,
+    /// Only switch when the blocking event is at least this many cycles away.
+    pub switch_min_gain: u64,
+}
+
+impl Default for ThreadingConfig {
+    fn default() -> ThreadingConfig {
+        ThreadingConfig { contexts: 1, switch_penalty: 3, switch_min_gain: 12 }
+    }
+}
+
+/// Full timing model parameters, in 500 MHz cycles.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct TimingConfig {
+    /// Core clock (500 MHz).
+    pub clock_hz: f64,
+    /// Latency of the pipelined integer multiply family (2).
+    pub mul_lat: u64,
+    /// Latency of pipelined single-precision FP (4).
+    pub fp_lat: u64,
+    /// Latency of partially-pipelined double-precision FP (4).
+    pub dbl_lat: u64,
+    /// Initiation interval of double-precision FP (2 = "partially
+    /// pipelined ... for optimal performance and simpler scheduling").
+    pub dbl_ii: u64,
+    /// Latency of the 6-cycle FU0 divide/rsqrt family.
+    pub div6_lat: u64,
+    /// Latency of the non-pipelined integer divide.
+    pub idiv_lat: u64,
+    /// Front-end refill after a mispredicted branch resolves in execute.
+    pub mispredict_penalty: u64,
+    /// Bubble for a correctly-predicted taken branch (front-end redirect).
+    pub taken_bubble: u64,
+    /// Front-end depth from fetch to issue (Fetch, Align, Buffer, Decode).
+    pub front_latency: u64,
+    /// LSU load buffer entries (5).
+    pub load_buf: usize,
+    /// LSU store buffer entries (8).
+    pub store_buf: usize,
+    /// Bypass network model.
+    pub bypass: BypassModel,
+    /// Branch predictor.
+    pub predictor: PredictorConfig,
+    /// Vertical micro-threading.
+    pub threading: ThreadingConfig,
+}
+
+impl Default for TimingConfig {
+    fn default() -> TimingConfig {
+        TimingConfig {
+            clock_hz: 500e6,
+            mul_lat: 2,
+            fp_lat: 4,
+            dbl_lat: 4,
+            dbl_ii: 2,
+            div6_lat: 6,
+            idiv_lat: 18,
+            mispredict_penalty: 4,
+            taken_bubble: 1,
+            front_latency: 4,
+            load_buf: 5,
+            store_buf: 8,
+            bypass: BypassModel::Majc,
+            predictor: PredictorConfig::default(),
+            threading: ThreadingConfig::default(),
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Producer latency for a latency class (loads/stores are handled by
+    /// the LSU, branches by the front end).
+    pub fn latency(&self, class: LatClass) -> u64 {
+        match class {
+            LatClass::Single => 1,
+            LatClass::Mul => self.mul_lat,
+            LatClass::FpSingle => self.fp_lat,
+            LatClass::FpDouble => self.dbl_lat,
+            LatClass::Div6 => self.div6_lat,
+            LatClass::IDiv => self.idiv_lat,
+            LatClass::Load | LatClass::Store | LatClass::Branch => 1,
+        }
+    }
+
+    /// Extra forwarding delay from producer unit `prod` to consumer `cons`.
+    pub fn xfu_delay(&self, prod: u8, cons: u8) -> u64 {
+        if prod == cons {
+            return 0;
+        }
+        match self.bypass {
+            BypassModel::Full => 0,
+            // "The results of FU1 are forwarded to FU0 without any delay.
+            // This complete bypass between FU0 and FU1 enables a simple
+            // two-scalar performance" (§3.2).
+            BypassModel::Majc => {
+                if prod <= 1 && cons <= 1 {
+                    0
+                } else {
+                    1
+                }
+            }
+            BypassModel::WbOnly => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        let c = TimingConfig::default();
+        assert_eq!(c.latency(LatClass::Single), 1);
+        assert_eq!(c.latency(LatClass::Mul), 2);
+        assert_eq!(c.latency(LatClass::FpSingle), 4);
+        assert_eq!(c.latency(LatClass::Div6), 6);
+    }
+
+    #[test]
+    fn bypass_matrix() {
+        let c = TimingConfig::default();
+        assert_eq!(c.xfu_delay(0, 0), 0);
+        assert_eq!(c.xfu_delay(0, 1), 0, "FU0<->FU1 complete bypass");
+        assert_eq!(c.xfu_delay(1, 0), 0);
+        assert_eq!(c.xfu_delay(0, 2), 1, "one cycle delay to FU2/FU3");
+        assert_eq!(c.xfu_delay(2, 1), 1);
+        let full = TimingConfig { bypass: BypassModel::Full, ..Default::default() };
+        assert_eq!(full.xfu_delay(2, 1), 0);
+        let wb = TimingConfig { bypass: BypassModel::WbOnly, ..Default::default() };
+        assert_eq!(wb.xfu_delay(2, 1), 2);
+        assert_eq!(wb.xfu_delay(2, 2), 0);
+    }
+}

@@ -1,0 +1,737 @@
+//! Cycle-accurate model of one MAJC-5200 CPU.
+//!
+//! The pipeline (paper §3.2, Figure 2): Fetch (32-byte aligned I-cache
+//! read), Align (2-bit header decode), Instruction Buffer, Decode (branch
+//! prediction), Register Read, per-FU Execute pipelines, Trap/Write-back.
+//! The machine is in-order; "only the non-deterministic loads and long
+//! latency instructions are interlocked through a score-boarding
+//! mechanism" — every other latency is deterministic and compiler-visible.
+//!
+//! The model issues one packet per cycle. For each packet it computes the
+//! issue cycle from: front-end readiness (I-cache, redirects), the
+//! scoreboard (per-register availability *as seen by each consuming
+//! functional unit*, which is how the asymmetric bypass network of §3.2 is
+//! expressed), and structural limits (the non-pipelined FU0 divider, the
+//! double-precision initiation interval, LSU buffers, D-cache MSHRs, the
+//! per-CPU cache port). Architectural execution happens at issue via
+//! [`crate::exec`], so the functional and cycle simulators cannot diverge.
+//!
+//! Vertical micro-threading (paper §2) is modelled as N hardware contexts
+//! sharing the pipeline and LSU: when the running context would stall on a
+//! long-latency load, the machine switches to another ready context for a
+//! small penalty.
+
+use majc_isa::{Instr, LatClass, Packet, Program, NUM_REGS};
+use majc_mem::DPolicy;
+
+use crate::config::TimingConfig;
+use crate::exec::{exec_slot, Flow, Trap};
+use crate::lsu::Lsu;
+use crate::memsys::CorePort;
+use crate::predictor::Gshare;
+use crate::regfile::{RegFile, WriteSet};
+use crate::stats::CycleStats;
+use crate::trace::TraceRec;
+
+/// One hardware context (micro-thread).
+struct Ctx {
+    regs: RegFile,
+    pc: u32,
+    /// Earliest cycle this context can issue its next packet.
+    ready: u64,
+    /// Scoreboard: cycle at which each register is available to each
+    /// consuming FU (bypass-network view).
+    avail: Vec<[u64; 4]>,
+    halted: bool,
+}
+
+impl Ctx {
+    fn new(pc: u32, ready: u64) -> Ctx {
+        Ctx {
+            regs: RegFile::new(),
+            pc,
+            ready,
+            avail: vec![[0; 4]; NUM_REGS as usize],
+            halted: false,
+        }
+    }
+}
+
+/// The cycle-accurate simulator for one CPU.
+pub struct CycleSim<P: CorePort> {
+    cfg: TimingConfig,
+    prog: Program,
+    /// The memory system (owned for a standalone CPU; a shared view inside
+    /// the SoC).
+    pub port: P,
+    /// Which D-cache port this CPU drives (0 or 1).
+    cpu: usize,
+    contexts: Vec<Ctx>,
+    active: usize,
+    lsu: Lsu,
+    gshare: Gshare,
+    /// Non-pipelined FU0 divider busy-until.
+    fu0_free: u64,
+    /// Double-precision initiation interval per FU.
+    dbl_free: [u64; 4],
+    last_issue: u64,
+    pub stats: CycleStats,
+    /// When set, every issued packet is recorded.
+    pub trace: Option<Vec<TraceRec>>,
+}
+
+impl<P: CorePort> CycleSim<P> {
+    pub fn new(prog: Program, port: P, cfg: TimingConfig) -> CycleSim<P> {
+        Self::on_port(prog, port, cfg, 0)
+    }
+
+    /// Construct bound to D-cache port `cpu` (used by the SoC).
+    pub fn on_port(prog: Program, port: P, cfg: TimingConfig, cpu: usize) -> CycleSim<P> {
+        let n = cfg.threading.contexts.max(1);
+        let contexts = (0..n).map(|_| Ctx::new(prog.base(), cfg.front_latency)).collect();
+        CycleSim {
+            lsu: Lsu::new(cfg.load_buf, cfg.store_buf),
+            gshare: Gshare::new(cfg.predictor),
+            cfg,
+            prog,
+            port,
+            cpu,
+            contexts,
+            active: 0,
+            fu0_free: 0,
+            dbl_free: [0; 4],
+            last_issue: 0,
+            stats: CycleStats::default(),
+            trace: None,
+        }
+    }
+
+    pub fn config(&self) -> &TimingConfig {
+        &self.cfg
+    }
+
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Point context `i` at a different entry address (micro-threading).
+    pub fn set_context_pc(&mut self, i: usize, pc: u32) {
+        self.contexts[i].pc = pc;
+        self.contexts[i].halted = false;
+    }
+
+    /// Architectural registers of context `i` (context 0 by default).
+    pub fn regs(&self, i: usize) -> &RegFile {
+        &self.contexts[i].regs
+    }
+
+    pub fn regs_mut(&mut self, i: usize) -> &mut RegFile {
+        &mut self.contexts[i].regs
+    }
+
+    pub fn lsu_stats(&self) -> &crate::lsu::LsuStats {
+        &self.lsu.stats
+    }
+
+    pub fn predictor_stats(&self) -> &crate::predictor::PredictorStats {
+        &self.gshare.stats
+    }
+
+    pub fn halted(&self) -> bool {
+        self.contexts.iter().all(|c| c.halted)
+    }
+
+    /// Pick the context to issue from: stay on the active one unless it is
+    /// halted or another context is ready substantially earlier.
+    fn pick_ctx(&self) -> Option<usize> {
+        let runnable = |i: usize| !self.contexts[i].halted;
+        if self.contexts.len() == 1 {
+            return runnable(0).then_some(0);
+        }
+        let best_other = (0..self.contexts.len())
+            .filter(|&i| i != self.active && runnable(i))
+            .min_by_key(|&i| self.contexts[i].ready);
+        if !runnable(self.active) {
+            return best_other;
+        }
+        if let Some(o) = best_other {
+            let t = &self.cfg.threading;
+            if self.contexts[o].ready + t.switch_penalty + t.switch_min_gain
+                < self.contexts[self.active].ready
+            {
+                return Some(o);
+            }
+        }
+        Some(self.active)
+    }
+
+    /// Issue one packet. `Ok(true)` while running, `Ok(false)` when all
+    /// contexts have halted.
+    pub fn step(&mut self) -> Result<bool, Trap> {
+        for _spin in 0..64 {
+            let Some(ci) = self.pick_ctx() else { return Ok(false) };
+            let switch = ci != self.active;
+            if switch {
+                self.stats.context_switches += 1;
+            }
+            self.active = ci;
+
+            let pc = self.contexts[ci].pc;
+            let Some(&pkt) = self.prog.fetch(pc) else {
+                return Err(Trap::BadPc { pc, target: pc });
+            };
+            let pkt_bytes = pkt.len_bytes();
+
+            // ---- front end ----
+            let mut base = self.contexts[ci].ready.max(self.last_issue + 1);
+            if switch {
+                base += self.cfg.threading.switch_penalty;
+            }
+            let fetch_at = base.saturating_sub(self.cfg.front_latency);
+            let line = pc & !31;
+            let last_line = (pc + pkt_bytes - 1) & !31;
+            let mut fetched = self.port.ifetch(fetch_at, self.cpu, line);
+            if last_line != line {
+                fetched = fetched.max(self.port.ifetch(fetch_at, self.cpu, last_line));
+            }
+            let after_fetch = base.max(fetched + self.cfg.front_latency);
+            self.stats.front_stall_cycles += after_fetch - base;
+
+            // ---- scoreboard: operand readiness per consuming FU ----
+            let mut t = after_fetch;
+            for (fu, ins) in pkt.slots() {
+                for r in ins.uses().iter() {
+                    t = t.max(self.contexts[ci].avail[r.index()][fu as usize]);
+                }
+            }
+            let operand_wait = t - after_fetch;
+
+            // Micro-threading: if this context is about to stall on a long
+            // wait and another context could run, block it and switch.
+            if self.contexts.len() > 1
+                && operand_wait > self.cfg.threading.switch_min_gain
+            {
+                let other_ready = (0..self.contexts.len())
+                    .filter(|&i| i != ci && !self.contexts[i].halted)
+                    .map(|i| self.contexts[i].ready)
+                    .min();
+                if let Some(o) = other_ready {
+                    if o + self.cfg.threading.switch_penalty < t {
+                        self.contexts[ci].ready = t;
+                        continue; // re-pick; min-ready context will win
+                    }
+                }
+            }
+            self.stats.data_stall_cycles += operand_wait;
+
+            // ---- structural hazards ----
+            for (fu, ins) in pkt.slots() {
+                match ins.lat_class() {
+                    LatClass::IDiv => t = t.max(self.fu0_free),
+                    LatClass::FpDouble => t = t.max(self.dbl_free[fu as usize]),
+                    _ => {}
+                }
+            }
+
+            // ---- memory operation (slot 0 only) ----
+            let mem_ins = pkt.slot(0).filter(|i| i.is_mem()).copied();
+            let mut load_avail: Option<u64> = None;
+            if let Some(ins) = mem_ins {
+                let before = t;
+                load_avail = self.issue_mem(ci, &ins, &mut t)?;
+                self.stats.mem_stall_cycles += t - before;
+            }
+
+            // ---- architectural execution at issue ----
+            let mut ws = WriteSet::default();
+            let mut flow = Flow::Next;
+            {
+                let ctx = &mut self.contexts[ci];
+                let mem = self.port.mem();
+                for (_fu, ins) in pkt.slots() {
+                    let out = exec_slot(ins, &ctx.regs, &mut ws, mem, pc, pkt_bytes)?;
+                    if let Some(f) = out.flow {
+                        flow = f;
+                    }
+                }
+                ws.apply(&mut ctx.regs);
+            }
+
+            // ---- scoreboard update ----
+            for (fu, ins) in pkt.slots() {
+                let class = ins.lat_class();
+                let lat = self.cfg.latency(class);
+                match class {
+                    LatClass::IDiv => self.fu0_free = t + self.cfg.idiv_lat,
+                    LatClass::FpDouble => self.dbl_free[fu as usize] = t + self.cfg.dbl_ii,
+                    _ => {}
+                }
+                for d in ins.defs().iter() {
+                    for cfu in 0..4u8 {
+                        let ready = match class {
+                            // Loads/atomics: data returns through the LSU,
+                            // same for every consumer.
+                            LatClass::Load => load_avail.unwrap_or(t + lat),
+                            _ => t + lat + self.cfg.xfu_delay(fu, cfu),
+                        };
+                        self.contexts[ci].avail[d.index()][cfu as usize] = ready;
+                    }
+                }
+            }
+
+            // ---- control flow & next-issue readiness ----
+            let mut next_ready = t + 1;
+            if let Some(ctrl) = pkt.control() {
+                match *ctrl {
+                    Instr::Br { hint, .. } => {
+                        let taken = matches!(flow, Flow::Taken(_));
+                        let pred = self.gshare.predict(pc, hint);
+                        self.gshare.update(pc, taken, pred);
+                        if pred == taken {
+                            next_ready =
+                                t + 1 + if taken { self.cfg.taken_bubble } else { 0 };
+                        } else {
+                            self.stats.mispredicts += 1;
+                            next_ready = t + 1 + self.cfg.mispredict_penalty;
+                        }
+                    }
+                    // Target known at decode: redirect bubble only.
+                    Instr::Call { .. } => next_ready = t + 1 + self.cfg.taken_bubble,
+                    // Register-indirect: resolves in execute.
+                    Instr::Jmpl { .. } => next_ready = t + 1 + self.cfg.mispredict_penalty,
+                    Instr::Halt => {}
+                    _ => {}
+                }
+            }
+            if matches!(mem_ins, Some(Instr::Membar)) {
+                next_ready = next_ready.max(self.lsu.quiesce_time());
+            }
+
+            let ctx = &mut self.contexts[ci];
+            ctx.ready = next_ready;
+            match flow {
+                Flow::Next => ctx.pc = pc + pkt_bytes,
+                Flow::Taken(tgt) => {
+                    if self.prog.index_of(tgt).is_none() {
+                        return Err(Trap::BadPc { pc, target: tgt });
+                    }
+                    ctx.pc = tgt;
+                }
+                Flow::Halt => ctx.halted = true,
+            }
+
+            // ---- accounting ----
+            self.last_issue = t;
+            self.stats.cycles = t + 1;
+            self.stats.packets += 1;
+            self.stats.instrs += pkt.width() as u64;
+            self.stats.width_hist[pkt.width() - 1] += 1;
+            count_mem(&pkt, &mut self.stats);
+            self.stats.branch = self.gshare.stats;
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceRec {
+                    ctx: ci as u8,
+                    pc,
+                    issue: t,
+                    width: pkt.width() as u8,
+                    operand_wait: operand_wait as u32,
+                });
+            }
+            return Ok(!self.halted());
+        }
+        // 64 consecutive context switches without an issue: livelock guard.
+        unreachable!("context scheduler failed to make progress");
+    }
+
+    /// Issue slot 0's memory operation through the LSU, advancing `t` over
+    /// structural stalls. Returns the data-available cycle for loads.
+    fn issue_mem(&mut self, ci: usize, ins: &Instr, t: &mut u64) -> Result<Option<u64>, Trap> {
+        // The architectural address: recompute cheaply from register state.
+        let regs = &self.contexts[ci].regs;
+        use majc_isa::{Instr::*, Off};
+        let (addr, kind) = match *ins {
+            Ld { base, off, pol, .. } | St { base, off, pol, .. } => {
+                let a = match off {
+                    Off::Imm(i) => regs.get(base).wrapping_add(i as i32 as u32),
+                    Off::Reg(r) => regs.get(base).wrapping_add(regs.get(r)),
+                };
+                let pol = match pol {
+                    majc_isa::CachePolicy::Cached => DPolicy::Cached,
+                    majc_isa::CachePolicy::NonCached => DPolicy::NonCached,
+                    majc_isa::CachePolicy::NonAllocating => DPolicy::NonAllocating,
+                };
+                (a, (matches!(ins, Ld { .. }), pol))
+            }
+            CSt { base, .. } => (regs.get(base), (false, DPolicy::Cached)),
+            Prefetch { base, off } => {
+                let a = regs.get(base).wrapping_add(off as i32 as u32) & !31;
+                self.lsu.prefetch(*t, a, &mut self.port, self.cpu);
+                return Ok(None);
+            }
+            Membar => return Ok(None),
+            Cas { base, .. } | Swap { base, .. } => {
+                let a = regs.get(base);
+                loop {
+                    match self.lsu.atomic(*t, a, &mut self.port, self.cpu) {
+                        Ok(avail) => return Ok(Some(avail)),
+                        Err(s) => *t = s.retry_at,
+                    }
+                }
+            }
+            _ => return Ok(None),
+        };
+        let (is_load, pol) = kind;
+        loop {
+            let res = if is_load {
+                self.lsu.load(*t, addr, pol, &mut self.port, self.cpu)
+            } else {
+                self.lsu.store(*t, addr, pol, &mut self.port, self.cpu).map(|_| 0)
+            };
+            match res {
+                Ok(avail) => return Ok(is_load.then_some(avail)),
+                Err(s) => *t = s.retry_at,
+            }
+        }
+    }
+
+    /// Run until halt or `max_packets`; returns the cycle count.
+    pub fn run(&mut self, max_packets: u64) -> Result<u64, Trap> {
+        let start = self.stats.packets;
+        while self.stats.packets - start < max_packets {
+            if !self.step()? {
+                break;
+            }
+        }
+        Ok(self.stats.cycles)
+    }
+}
+
+fn count_mem(pkt: &Packet, stats: &mut CycleStats) {
+    if let Some(ins) = pkt.slot(0) {
+        match ins {
+            Instr::Ld { .. } | Instr::Cas { .. } | Instr::Swap { .. } => stats.loads += 1,
+            Instr::St { .. } | Instr::CSt { .. } => stats.stores += 1,
+            Instr::Prefetch { .. } => stats.prefetches += 1,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memsys::{LocalMemSys, PerfectPort};
+    use majc_isa::{AluOp, CachePolicy, Cond, MemWidth, Off, Reg, Src};
+
+    fn alu(rd: Reg, rs1: Reg, imm: i16) -> Instr {
+        Instr::Alu { op: AluOp::Add, rd, rs1, src2: Src::Imm(imm) }
+    }
+
+    fn prog(pkts: Vec<Packet>) -> Program {
+        Program::new(0, pkts)
+    }
+
+    fn run_perfect(p: Program) -> CycleSim<PerfectPort> {
+        let mut sim = CycleSim::new(p, PerfectPort::new(), TimingConfig::default());
+        sim.run(1_000_000).unwrap();
+        sim
+    }
+
+    #[test]
+    fn independent_packets_issue_every_cycle() {
+        let mut pkts: Vec<Packet> = (0..10)
+            .map(|i| Packet::solo(alu(Reg::g(i), Reg::g(i), 1)).unwrap())
+            .collect();
+        pkts.push(Packet::solo(Instr::Halt).unwrap());
+        let sim = run_perfect(prog(pkts));
+        // 11 packets, 1/cycle after the pipeline fills.
+        assert_eq!(sim.stats.packets, 11);
+        let fill = TimingConfig::default().front_latency;
+        assert_eq!(sim.stats.cycles, fill + 11);
+    }
+
+    #[test]
+    fn single_cycle_dependency_chain() {
+        // Dependent adds on the same FU: still 1 IPC (1-cycle latency).
+        let mut pkts: Vec<Packet> =
+            (0..10).map(|_| Packet::solo(alu(Reg::g(0), Reg::g(0), 1)).unwrap()).collect();
+        pkts.push(Packet::solo(Instr::Halt).unwrap());
+        let sim = run_perfect(prog(pkts));
+        assert_eq!(sim.regs(0).get(Reg::g(0)), 10);
+        let fill = TimingConfig::default().front_latency;
+        assert_eq!(sim.stats.cycles, fill + 11);
+        assert_eq!(sim.stats.data_stall_cycles, 0);
+    }
+
+    #[test]
+    fn fp_dependency_chain_stalls_four_cycles() {
+        // fadd chain on FU1: each must wait 4 cycles for the previous.
+        let mut pkts: Vec<Packet> = (0..5)
+            .map(|_| {
+                Packet::new(&[
+                    Instr::Nop,
+                    Instr::FAdd { rd: Reg::g(0), rs1: Reg::g(0), rs2: Reg::g(2) },
+                ])
+                .unwrap()
+            })
+            .collect();
+        pkts.push(Packet::solo(Instr::Halt).unwrap());
+        let sim = run_perfect(prog(pkts));
+        // Issues at fill, fill+4, fill+8, ... 4 stalls of 3 cycles.
+        assert_eq!(sim.stats.data_stall_cycles, 4 * 3);
+    }
+
+    #[test]
+    fn bypass_fu0_fu1_is_free_but_fu2_pays_one() {
+        let cfg = TimingConfig::default();
+        // FU0 add, consumed by FU1 next packet: no stall.
+        let p1 = prog(vec![
+            Packet::solo(alu(Reg::g(0), Reg::g(1), 1)).unwrap(),
+            Packet::new(&[
+                Instr::Nop,
+                Instr::Alu { op: AluOp::Add, rd: Reg::g(2), rs1: Reg::g(0), src2: Src::Imm(0) },
+            ])
+            .unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let mut s1 = CycleSim::new(p1, PerfectPort::new(), cfg);
+        s1.run(100).unwrap();
+        assert_eq!(s1.stats.data_stall_cycles, 0, "FU0->FU1 complete bypass");
+
+        // Same but consumer on FU2: one extra cycle.
+        let p2 = prog(vec![
+            Packet::solo(alu(Reg::g(0), Reg::g(1), 1)).unwrap(),
+            Packet::new(&[
+                Instr::Nop,
+                Instr::Nop,
+                Instr::Alu { op: AluOp::Add, rd: Reg::g(2), rs1: Reg::g(0), src2: Src::Imm(0) },
+            ])
+            .unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let mut s2 = CycleSim::new(p2, PerfectPort::new(), cfg);
+        s2.run(100).unwrap();
+        assert_eq!(s2.stats.data_stall_cycles, 1, "FU0->FU2 is one cycle late");
+    }
+
+    #[test]
+    fn load_to_use_is_two_cycles() {
+        let p = prog(vec![
+            Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0x100 }).unwrap(),
+            Packet::solo(Instr::Ld {
+                w: MemWidth::W,
+                pol: CachePolicy::Cached,
+                rd: Reg::g(1),
+                base: Reg::g(0),
+                off: Off::Imm(0),
+            })
+            .unwrap(),
+            Packet::solo(alu(Reg::g(2), Reg::g(1), 1)).unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let sim = run_perfect(p);
+        // Consumer waits load_use(2) - 1 extra cycle beyond back-to-back.
+        assert_eq!(sim.stats.data_stall_cycles, 1);
+    }
+
+    #[test]
+    fn loop_with_predictor() {
+        // 100-iteration loop: the back edge predicts well; expect ~1 packet
+        // per 2+taken_bubble cycles steady state (2 packets + bubble).
+        let body = Packet::solo(alu(Reg::g(0), Reg::g(0), -1)).unwrap();
+        let br =
+            Packet::solo(Instr::Br { cond: Cond::Gt, rs: Reg::g(0), off: -4, hint: true }).unwrap();
+        let p = prog(vec![
+            Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 100 }).unwrap(),
+            body,
+            br,
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let sim = run_perfect(p);
+        assert_eq!(sim.regs(0).get(Reg::g(0)), 0);
+        assert!(sim.stats.mispredicts <= 3, "mispredicts {}", sim.stats.mispredicts);
+        assert!(sim.predictor_stats().accuracy() > 0.95);
+    }
+
+    #[test]
+    fn idiv_is_non_pipelined() {
+        let mut pkts: Vec<Packet> = Vec::new();
+        pkts.push(Packet::solo(Instr::SetLo { rd: Reg::g(1), imm: 100 }).unwrap());
+        pkts.push(Packet::solo(Instr::SetLo { rd: Reg::g(2), imm: 3 }).unwrap());
+        for i in 0..3u8 {
+            pkts.push(
+                Packet::solo(Instr::Div { rd: Reg::g(10 + i), rs1: Reg::g(1), rs2: Reg::g(2) })
+                    .unwrap(),
+            );
+        }
+        pkts.push(Packet::solo(Instr::Halt).unwrap());
+        let sim = run_perfect(prog(pkts));
+        let cfg = TimingConfig::default();
+        // Divides serialize on the FU0 divider: ~idiv_lat apart.
+        assert!(
+            sim.stats.cycles >= 2 * cfg.idiv_lat,
+            "cycles {} should reflect non-pipelined divide",
+            sim.stats.cycles
+        );
+    }
+
+    #[test]
+    fn cache_misses_cost_real_time() {
+        // Walk 4 KB strided by line: every load misses in a cold cache.
+        let mut pkts = vec![
+            Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0 }).unwrap(),
+        ];
+        for _ in 0..64 {
+            pkts.push(
+                Packet::solo(Instr::Ld {
+                    w: MemWidth::W,
+                    pol: CachePolicy::Cached,
+                    rd: Reg::g(1),
+                    base: Reg::g(0),
+                    off: Off::Imm(0),
+                })
+                .unwrap(),
+            );
+            pkts.push(Packet::solo(alu(Reg::g(0), Reg::g(0), 32)).unwrap());
+        }
+        pkts.push(Packet::solo(Instr::Halt).unwrap());
+        let p = prog(pkts);
+        let mut dram_sim = CycleSim::new(p.clone(), LocalMemSys::majc5200(), TimingConfig::default());
+        dram_sim.run(10_000).unwrap();
+        let mut perfect_sim = CycleSim::new(p, PerfectPort::new(), TimingConfig::default());
+        perfect_sim.run(10_000).unwrap();
+        assert!(
+            dram_sim.stats.cycles > perfect_sim.stats.cycles,
+            "dram {} vs perfect {}",
+            dram_sim.stats.cycles,
+            perfect_sim.stats.cycles
+        );
+    }
+
+    #[test]
+    fn nonblocking_overlaps_independent_misses() {
+        // Four independent miss loads then use all: overlapping MSHRs beat
+        // serial misses. Compare against a 1-MSHR configuration.
+        fn build() -> Program {
+            let mut pkts = vec![Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0 }).unwrap()];
+            for i in 0..4u8 {
+                // Distinct 4 KB-apart addresses.
+                pkts.push(
+                    Packet::solo(Instr::SetLo { rd: Reg::g(10 + i), imm: (i as i16 + 1) * 4096 })
+                        .unwrap(),
+                );
+            }
+            for i in 0..4u8 {
+                pkts.push(
+                    Packet::solo(Instr::Ld {
+                        w: MemWidth::W,
+                        pol: CachePolicy::Cached,
+                        rd: Reg::g(20 + i),
+                        base: Reg::g(10 + i),
+                        off: Off::Imm(0),
+                    })
+                    .unwrap(),
+                );
+            }
+            // Consume all four.
+            let mut sum = Packet::solo(alu(Reg::g(30), Reg::g(20), 0)).unwrap();
+            pkts.push(sum);
+            sum = Packet::solo(alu(Reg::g(30), Reg::g(21), 0)).unwrap();
+            pkts.push(sum);
+            sum = Packet::solo(alu(Reg::g(30), Reg::g(22), 0)).unwrap();
+            pkts.push(sum);
+            sum = Packet::solo(alu(Reg::g(30), Reg::g(23), 0)).unwrap();
+            pkts.push(sum);
+            pkts.push(Packet::solo(Instr::Halt).unwrap());
+            Program::new(0, pkts)
+        }
+        let mut wide = CycleSim::new(build(), LocalMemSys::majc5200(), TimingConfig::default());
+        wide.run(10_000).unwrap();
+
+        let mut narrow_mem = LocalMemSys::majc5200();
+        narrow_mem.dcache = majc_mem::DCache::new(majc_mem::DCacheConfig {
+            mshrs: 1,
+            ..Default::default()
+        });
+        let mut narrow = CycleSim::new(build(), narrow_mem, TimingConfig::default());
+        narrow.run(10_000).unwrap();
+        assert!(
+            wide.stats.cycles < narrow.stats.cycles,
+            "4 MSHRs {} must beat 1 MSHR {}",
+            wide.stats.cycles,
+            narrow.stats.cycles
+        );
+    }
+
+    #[test]
+    fn microthreading_hides_misses() {
+        // Two contexts, each walking its own cold 8 KB region: switching
+        // on misses should beat a single context... run the same program
+        // with 1 vs 2 contexts and compare per-context throughput.
+        fn walker() -> Program {
+            let mut pkts = vec![Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0 }).unwrap()];
+            // Loop: load; addr += 32; count down.
+            pkts.push(Packet::solo(Instr::SetLo { rd: Reg::g(2), imm: 64 }).unwrap());
+            let body = Packet::solo(Instr::Ld {
+                w: MemWidth::W,
+                pol: CachePolicy::Cached,
+                rd: Reg::g(1),
+                base: Reg::g(0),
+                off: Off::Imm(0),
+            })
+            .unwrap();
+            pkts.push(body);
+            pkts.push(Packet::solo(alu(Reg::g(3), Reg::g(1), 1)).unwrap()); // use the load
+            pkts.push(Packet::solo(alu(Reg::g(0), Reg::g(0), 32)).unwrap());
+            pkts.push(Packet::solo(alu(Reg::g(2), Reg::g(2), -1)).unwrap());
+            pkts.push(
+                Packet::solo(Instr::Br { cond: Cond::Gt, rs: Reg::g(2), off: -16, hint: true })
+                    .unwrap(),
+            );
+            pkts.push(Packet::solo(Instr::Halt).unwrap());
+            Program::new(0, pkts)
+        }
+        let mut single = CycleSim::new(walker(), LocalMemSys::majc5200(), TimingConfig::default());
+        single.run(100_000).unwrap();
+
+        let mut cfg2 = TimingConfig::default();
+        cfg2.threading.contexts = 2;
+        cfg2.threading.switch_min_gain = 6;
+        let mut dual = CycleSim::new(walker(), LocalMemSys::majc5200(), cfg2);
+        // Second context walks a disjoint region.
+        dual.regs_mut(1).set(Reg::g(0), 0x10_0000);
+        // Contexts share one PC space; context 1 starts at base too but its
+        // own g0 was just overridden... it will be reset by SetLo. Instead
+        // start context 1 past the initializers.
+        let skip = dual.program().addr_of(2);
+        dual.set_context_pc(1, skip);
+        dual.regs_mut(1).set(Reg::g(2), 64);
+        dual.regs_mut(1).set(Reg::g(0), 0x10_0000);
+        dual.run(200_000).unwrap();
+
+        // Dual contexts executed ~2x the packets; cycles should be much
+        // less than 2x the single-context time.
+        assert!(dual.stats.context_switches > 0, "switching must engage");
+        let per_packet_single = single.stats.cycles as f64 / single.stats.packets as f64;
+        let per_packet_dual = dual.stats.cycles as f64 / dual.stats.packets as f64;
+        assert!(
+            per_packet_dual < per_packet_single * 0.9,
+            "microthreading should improve throughput: {per_packet_dual:.2} vs {per_packet_single:.2}"
+        );
+    }
+
+    #[test]
+    fn trace_records_issues() {
+        let p = prog(vec![
+            Packet::solo(alu(Reg::g(0), Reg::g(0), 1)).unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let mut sim = CycleSim::new(p, PerfectPort::new(), TimingConfig::default());
+        sim.trace = Some(Vec::new());
+        sim.run(100).unwrap();
+        let tr = sim.trace.as_ref().unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].pc, 0);
+        assert!(tr[1].issue > tr[0].issue);
+    }
+}

@@ -1,0 +1,38 @@
+//! # majc-core
+//!
+//! CPU models for the MAJC-5200:
+//!
+//! * [`FuncSim`] — the instruction-accurate (functional) simulator;
+//! * [`CycleSim`] — the cycle-accurate pipeline model: 7-stage in-order
+//!   front end, per-FU latencies, the asymmetric bypass network, gshare
+//!   branch prediction, the non-blocking LSU (5 loads / 8 stores / 4
+//!   outstanding misses), and vertical micro-threading;
+//! * [`exec`] — the architectural semantics shared by both simulators;
+//! * [`CorePort`] — the interface to the memory system, with standalone
+//!   ([`LocalMemSys`]) and ideal ([`PerfectPort`]) implementations; the SoC
+//!   crate supplies the dual-CPU shared-cache implementation.
+//!
+//! Both simulators execute the same [`exec`] semantics, so they cannot
+//! diverge architecturally; the cycle model only adds time.
+
+pub mod config;
+pub mod cycle;
+pub mod exec;
+pub mod func_sim;
+pub mod lsu;
+pub mod memsys;
+pub mod predictor;
+pub mod regfile;
+pub mod stats;
+pub mod trace;
+
+pub use config::{BypassModel, ThreadingConfig, TimingConfig};
+pub use cycle::CycleSim;
+pub use exec::{branch_taken, exec_slot, Flow, MemEffect, SlotOutcome, Trap};
+pub use func_sim::{FuncSim, FuncStats};
+pub use lsu::{Lsu, LsuStall, LsuStats};
+pub use memsys::{Backend, CorePort, LocalMemSys, PerfectPort};
+pub use predictor::{Gshare, PredictorConfig, PredictorStats};
+pub use regfile::{RegFile, WriteSet};
+pub use stats::CycleStats;
+pub use trace::{render as render_trace, TraceRec};

@@ -1,0 +1,269 @@
+//! The load/store unit.
+//!
+//! Paper §3.2: "The LSU aggressively implements a non-blocking memory
+//! subsystem ... It provides buffering for up to five loads and eight
+//! stores. It allows a maximum of four cache misses without blocking the
+//! execution and handles out-of-order data returns. Non-faulting prefetch
+//! instructions ... are also queued in LSU. Support for memory barrier and
+//! atomic instructions ... is also part of the LSU unit."
+//!
+//! The four-miss limit lives in the D-cache MSHR file ([`majc_mem::DCache`]);
+//! this module models the load/store buffers, the CPU's single cache port,
+//! store draining, and barrier semantics.
+
+use majc_mem::{DKind, DPolicy, DStall};
+use serde::Serialize;
+
+use crate::memsys::CorePort;
+
+/// LSU counters.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LsuStats {
+    pub loads: u64,
+    pub stores: u64,
+    pub prefetches: u64,
+    pub atomics: u64,
+    /// Issue attempts rejected for a full load buffer.
+    pub load_buf_stalls: u64,
+    /// Issue attempts rejected for a full store buffer.
+    pub store_buf_stalls: u64,
+    /// Issue attempts rejected because the cache had no free MSHR.
+    pub mshr_stalls: u64,
+}
+
+/// Why a memory operation could not issue this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LsuStall {
+    /// Earliest cycle at which a retry can succeed.
+    pub retry_at: u64,
+}
+
+/// Timing state of one CPU's LSU.
+#[derive(Clone, Debug)]
+pub struct Lsu {
+    load_buf: usize,
+    store_buf: usize,
+    /// Completion cycles of in-flight loads (out-of-order returns: entries
+    /// retire individually as their data arrives).
+    loads: Vec<u64>,
+    /// Completion cycles of stores drained to the cache.
+    stores: Vec<u64>,
+    /// Next cycle the CPU's data-cache port is free.
+    port_next: u64,
+    pub stats: LsuStats,
+}
+
+impl Lsu {
+    pub fn new(load_buf: usize, store_buf: usize) -> Lsu {
+        Lsu {
+            load_buf,
+            store_buf,
+            loads: Vec::with_capacity(load_buf),
+            stores: Vec::with_capacity(store_buf),
+            port_next: 0,
+            stats: LsuStats::default(),
+        }
+    }
+
+    fn reap(&mut self, now: u64) {
+        self.loads.retain(|&d| d > now);
+        self.stores.retain(|&d| d > now);
+    }
+
+    /// Outstanding loads (for microthreading decisions and tests).
+    pub fn loads_in_flight(&self) -> usize {
+        self.loads.len()
+    }
+
+    pub fn stores_in_flight(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Issue a load at cycle `t`. Returns the cycle its data is available.
+    pub fn load(
+        &mut self,
+        t: u64,
+        addr: u32,
+        pol: DPolicy,
+        port: &mut dyn CorePort,
+        cpu: usize,
+    ) -> Result<u64, LsuStall> {
+        self.reap(t);
+        if self.loads.len() >= self.load_buf {
+            self.stats.load_buf_stalls += 1;
+            // Retry when the earliest outstanding load returns.
+            let retry = self.loads.iter().copied().min().unwrap_or(t + 1).max(t + 1);
+            return Err(LsuStall { retry_at: retry });
+        }
+        let at = t.max(self.port_next);
+        match port.daccess(at, cpu, addr, DKind::Load, pol) {
+            Ok(avail) => {
+                self.port_next = at + 1;
+                self.loads.push(avail);
+                self.stats.loads += 1;
+                Ok(avail)
+            }
+            Err(DStall::MshrFull) => {
+                self.stats.mshr_stalls += 1;
+                Err(LsuStall { retry_at: at + 1 })
+            }
+        }
+    }
+
+    /// Issue a store at cycle `t`: it enters the store buffer and drains to
+    /// the cache as soon as the port allows. Returns the drain-completion
+    /// cycle (used only for barriers; stores never block dependents).
+    pub fn store(
+        &mut self,
+        t: u64,
+        addr: u32,
+        pol: DPolicy,
+        port: &mut dyn CorePort,
+        cpu: usize,
+    ) -> Result<u64, LsuStall> {
+        self.reap(t);
+        if self.stores.len() >= self.store_buf {
+            self.stats.store_buf_stalls += 1;
+            let retry = self.stores.iter().copied().min().unwrap_or(t + 1).max(t + 1);
+            return Err(LsuStall { retry_at: retry });
+        }
+        // Drain: first port slot after issue.
+        let mut at = (t + 1).max(self.port_next);
+        for _ in 0..100_000 {
+            match port.daccess(at, cpu, addr, DKind::Store, pol) {
+                Ok(done) => {
+                    self.port_next = at + 1;
+                    self.stores.push(done.max(at));
+                    self.stats.stores += 1;
+                    return Ok(done.max(at));
+                }
+                Err(DStall::MshrFull) => at += 1,
+            }
+        }
+        unreachable!("store drain starved for 100k cycles");
+    }
+
+    /// Issue an atomic at cycle `t`. Atomics are ordering points: all older
+    /// stores drain first; the result returns like a load.
+    pub fn atomic(
+        &mut self,
+        t: u64,
+        addr: u32,
+        port: &mut dyn CorePort,
+        cpu: usize,
+    ) -> Result<u64, LsuStall> {
+        let ordered = self.quiesce_time().max(t);
+        self.reap(ordered);
+        let at = ordered.max(self.port_next);
+        match port.daccess(at, cpu, addr, DKind::Atomic, DPolicy::Cached) {
+            Ok(avail) => {
+                self.port_next = at + 1;
+                self.loads.push(avail);
+                self.stats.atomics += 1;
+                Ok(avail)
+            }
+            Err(DStall::MshrFull) => {
+                self.stats.mshr_stalls += 1;
+                Err(LsuStall { retry_at: at + 1 })
+            }
+        }
+    }
+
+    /// Queue a non-faulting prefetch; never stalls the pipeline.
+    pub fn prefetch(&mut self, t: u64, addr: u32, port: &mut dyn CorePort, cpu: usize) {
+        let at = t.max(self.port_next);
+        self.stats.prefetches += 1;
+        // Dropped silently on structural conflicts (non-binding).
+        if port.daccess(at, cpu, addr, DKind::Prefetch, DPolicy::Cached).is_ok() {
+            self.port_next = at + 1;
+        }
+    }
+
+    /// Cycle by which every outstanding load and store completes — the
+    /// memory-barrier wait condition.
+    pub fn quiesce_time(&self) -> u64 {
+        self.loads.iter().chain(self.stores.iter()).copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memsys::LocalMemSys;
+
+    fn port() -> LocalMemSys {
+        LocalMemSys::majc5200()
+    }
+
+    #[test]
+    fn load_buffer_limit_is_five() {
+        let mut lsu = Lsu::new(5, 8);
+        let mut p = port();
+        // Misses to distinct lines; first four occupy MSHRs.
+        for i in 0..4 {
+            lsu.load(0, i * 0x1000, DPolicy::Cached, &mut p, 0).unwrap();
+        }
+        assert_eq!(lsu.loads_in_flight(), 4);
+        // Fifth load: MSHRs are full (cache-level), so it stalls even
+        // though a load-buffer slot is free.
+        let e = lsu.load(0, 4 * 0x1000, DPolicy::Cached, &mut p, 0).unwrap_err();
+        assert!(e.retry_at > 0);
+        assert_eq!(lsu.stats.mshr_stalls, 1);
+    }
+
+    #[test]
+    fn five_hits_fill_the_load_buffer() {
+        let mut lsu = Lsu::new(5, 8);
+        let mut p = port();
+        // Warm one line, then issue 5 hits in the same cycle window.
+        let warm = lsu.load(0, 0, DPolicy::Cached, &mut p, 0).unwrap();
+        let t = warm + 1;
+        for k in 0..5 {
+            lsu.load(t, 4 * k, DPolicy::Cached, &mut p, 0).unwrap();
+        }
+        assert_eq!(lsu.loads_in_flight(), 5);
+        let e = lsu.load(t, 24, DPolicy::Cached, &mut p, 0).unwrap_err();
+        assert!(e.retry_at > t);
+        assert_eq!(lsu.stats.load_buf_stalls, 1);
+    }
+
+    #[test]
+    fn store_buffer_limit_is_eight() {
+        let mut lsu = Lsu::new(5, 8);
+        let mut p = port();
+        // Stores to distinct lines keep long completion times (misses).
+        let mut stalled = false;
+        for k in 0..12 {
+            match lsu.store(0, k * 0x1000, DPolicy::Cached, &mut p, 0) {
+                Ok(_) => {}
+                Err(_) => {
+                    stalled = true;
+                    break;
+                }
+            }
+        }
+        assert!(stalled, "store buffer must fill");
+        assert!(lsu.stores_in_flight() <= 8);
+    }
+
+    #[test]
+    fn quiesce_covers_everything() {
+        let mut lsu = Lsu::new(5, 8);
+        let mut p = port();
+        let l = lsu.load(0, 0x100, DPolicy::Cached, &mut p, 0).unwrap();
+        let s = lsu.store(0, 0x2000, DPolicy::Cached, &mut p, 0).unwrap();
+        assert_eq!(lsu.quiesce_time(), l.max(s));
+    }
+
+    #[test]
+    fn port_serializes_accesses() {
+        let mut lsu = Lsu::new(5, 8);
+        let mut p = port();
+        // Warm the line so both loads hit.
+        let warm = lsu.load(0, 0, DPolicy::Cached, &mut p, 0).unwrap();
+        let t = warm + 1;
+        let a = lsu.load(t, 0, DPolicy::Cached, &mut p, 0).unwrap();
+        let b = lsu.load(t, 4, DPolicy::Cached, &mut p, 0).unwrap();
+        assert_eq!(b, a + 1, "one port: second same-cycle load is a cycle later");
+    }
+}

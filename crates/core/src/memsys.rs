@@ -1,0 +1,195 @@
+//! The memory-system interface the CPU core drives, and a standalone
+//! (single-CPU) implementation.
+//!
+//! The SoC crate provides an alternative implementation in which both CPUs
+//! share the dual-ported D-cache and reach DRAM through the crossbar.
+
+use majc_mem::{
+    DCache, DCacheConfig, DKind, DPolicy, DStall, Dram, DramConfig, FlatMem, ICache, ICacheConfig,
+    MemBackend, PerfectMem,
+};
+
+/// What the pipeline needs from the memory system: architectural data,
+/// instruction-line fetch timing, and data-access timing. `cpu` selects the
+/// D-cache port (always 0 for a standalone core).
+pub trait CorePort {
+    /// The architectural backing store.
+    fn mem(&mut self) -> &mut FlatMem;
+    /// Fetch the instruction line containing `addr`; returns availability.
+    fn ifetch(&mut self, now: u64, cpu: usize, addr: u32) -> u64;
+    /// One data access; returns the data-available / globally-performed
+    /// cycle, or a structural stall.
+    fn daccess(
+        &mut self,
+        now: u64,
+        cpu: usize,
+        addr: u32,
+        kind: DKind,
+        pol: DPolicy,
+    ) -> Result<u64, DStall>;
+}
+
+/// Backend selection for the standalone memory system.
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// The DRDRAM channel model.
+    Dram(Dram),
+    /// Fixed-latency ideal memory (the paper's "without memory effects").
+    Perfect(PerfectMem),
+}
+
+impl MemBackend for Backend {
+    fn backend_read(&mut self, now: u64, addr: u32, bytes: u32) -> u64 {
+        match self {
+            Backend::Dram(d) => d.backend_read(now, addr, bytes),
+            Backend::Perfect(p) => p.backend_read(now, addr, bytes),
+        }
+    }
+
+    fn backend_write(&mut self, now: u64, addr: u32, bytes: u32) -> u64 {
+        match self {
+            Backend::Dram(d) => d.backend_write(now, addr, bytes),
+            Backend::Perfect(p) => p.backend_write(now, addr, bytes),
+        }
+    }
+}
+
+/// A single CPU's private memory system: its I-cache, the (here
+/// single-client) D-cache, a backend, and the flat store.
+#[derive(Debug)]
+pub struct LocalMemSys {
+    pub icache: ICache,
+    pub dcache: DCache,
+    pub backend: Backend,
+    pub mem: FlatMem,
+}
+
+impl LocalMemSys {
+    /// The MAJC-5200 configuration: 16 KB caches over a 1.6 GB/s DRDRAM.
+    pub fn majc5200() -> LocalMemSys {
+        LocalMemSys {
+            icache: ICache::new(ICacheConfig::default()),
+            dcache: DCache::new(DCacheConfig::default()),
+            backend: Backend::Dram(Dram::new(DramConfig::default())),
+            mem: FlatMem::new(),
+        }
+    }
+
+    /// Real caches over an idealised zero-latency backend.
+    pub fn perfect_dram() -> LocalMemSys {
+        LocalMemSys { backend: Backend::Perfect(PerfectMem::default()), ..LocalMemSys::majc5200() }
+    }
+
+    pub fn with_mem(mut self, mem: FlatMem) -> LocalMemSys {
+        self.mem = mem;
+        self
+    }
+
+    /// Start a new measurement epoch: caches stay warm, but all in-flight
+    /// timing state (outstanding fills, the DRAM channel clock) is
+    /// completed/rewound so simulated time can restart at zero.
+    pub fn new_epoch(&mut self) {
+        self.dcache.drain(&mut self.backend);
+        if let Backend::Dram(d) = &mut self.backend {
+            d.reset_time();
+        }
+    }
+}
+
+impl CorePort for LocalMemSys {
+    fn mem(&mut self) -> &mut FlatMem {
+        &mut self.mem
+    }
+
+    fn ifetch(&mut self, now: u64, _cpu: usize, addr: u32) -> u64 {
+        self.icache.fetch(now, addr, &mut self.backend)
+    }
+
+    fn daccess(
+        &mut self,
+        now: u64,
+        cpu: usize,
+        addr: u32,
+        kind: DKind,
+        pol: DPolicy,
+    ) -> Result<u64, DStall> {
+        self.dcache.access(now, cpu, addr, kind, pol, &mut self.backend)
+    }
+}
+
+/// A fully ideal memory system: instructions always resident, every data
+/// access a `load_use`-cycle hit. This is the strongest form of the
+/// paper's "without memory effects" accounting.
+#[derive(Debug)]
+pub struct PerfectPort {
+    pub load_use: u64,
+    pub mem: FlatMem,
+}
+
+impl PerfectPort {
+    pub fn new() -> PerfectPort {
+        PerfectPort { load_use: 2, mem: FlatMem::new() }
+    }
+
+    pub fn with_mem(mut self, mem: FlatMem) -> PerfectPort {
+        self.mem = mem;
+        self
+    }
+}
+
+impl Default for PerfectPort {
+    fn default() -> PerfectPort {
+        PerfectPort::new()
+    }
+}
+
+impl CorePort for PerfectPort {
+    fn mem(&mut self) -> &mut FlatMem {
+        &mut self.mem
+    }
+
+    fn ifetch(&mut self, now: u64, _cpu: usize, _addr: u32) -> u64 {
+        now
+    }
+
+    fn daccess(
+        &mut self,
+        now: u64,
+        _cpu: usize,
+        _addr: u32,
+        kind: DKind,
+        _pol: DPolicy,
+    ) -> Result<u64, DStall> {
+        Ok(match kind {
+            DKind::Load | DKind::Atomic => now + self.load_use,
+            DKind::Store | DKind::Prefetch => now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_memsys_routes_to_caches() {
+        let mut m = LocalMemSys::majc5200();
+        let t0 = m.ifetch(0, 0, 0x100);
+        assert!(t0 > 0, "cold I-cache misses");
+        let t1 = m.ifetch(t0, 0, 0x104);
+        assert_eq!(t1, t0, "same line hits");
+
+        let d0 = m.daccess(0, 0, 0x2000, DKind::Load, DPolicy::Cached).unwrap();
+        assert!(d0 > 2);
+        let d1 = m.daccess(d0, 0, 0x2004, DKind::Load, DPolicy::Cached).unwrap();
+        assert_eq!(d1, d0 + 2, "2-cycle load-to-use on a hit");
+    }
+
+    #[test]
+    fn perfect_port_is_flat() {
+        let mut p = PerfectPort::new();
+        assert_eq!(p.ifetch(5, 0, 0xFFF0), 5);
+        assert_eq!(p.daccess(5, 0, 0, DKind::Load, DPolicy::Cached), Ok(7));
+        assert_eq!(p.daccess(5, 0, 0, DKind::Store, DPolicy::Cached), Ok(5));
+    }
+}

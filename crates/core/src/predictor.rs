@@ -1,0 +1,146 @@
+//! Branch prediction: the paper's "2-level, g-share branch prediction
+//! array, 4096 entries, 12 history bits" (Figure 2), combined with static
+//! hints — the decode stage "prepares for both static and dynamic
+//! predictions" (§3.2).
+
+use serde::Serialize;
+
+/// Predictor configuration.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PredictorConfig {
+    /// Pattern-history-table entries (must be a power of two).
+    pub entries: usize,
+    /// Global-history bits XORed into the index.
+    pub history_bits: u32,
+    /// `true`: gshare with static fallback; `false`: static hints only.
+    pub dynamic: bool,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> PredictorConfig {
+        PredictorConfig { entries: 4096, history_bits: 12, dynamic: true }
+    }
+}
+
+/// Prediction statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct PredictorStats {
+    pub lookups: u64,
+    pub correct: u64,
+}
+
+impl PredictorStats {
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// gshare: a table of 2-bit saturating counters indexed by
+/// `pc ^ global_history`.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    cfg: PredictorConfig,
+    table: Vec<u8>,
+    history: u32,
+    pub stats: PredictorStats,
+}
+
+impl Gshare {
+    pub fn new(cfg: PredictorConfig) -> Gshare {
+        assert!(cfg.entries.is_power_of_two());
+        // Counters initialised weakly-taken: loops predict well from cold.
+        Gshare { table: vec![2; cfg.entries], history: 0, cfg, stats: PredictorStats::default() }
+    }
+
+    #[inline]
+    fn index(&self, pc: u32) -> usize {
+        let h = self.history & ((1 << self.cfg.history_bits) - 1);
+        (((pc >> 2) ^ h) as usize) & (self.cfg.entries - 1)
+    }
+
+    /// Predict the direction of the conditional branch at `pc`.
+    /// `static_hint` is the compiler's hint bit from the instruction.
+    pub fn predict(&mut self, pc: u32, static_hint: bool) -> bool {
+        if !self.cfg.dynamic {
+            return static_hint;
+        }
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Train with the resolved direction; call after [`Gshare::predict`].
+    pub fn update(&mut self, pc: u32, taken: bool, predicted: bool) {
+        self.stats.lookups += 1;
+        if taken == predicted {
+            self.stats.correct += 1;
+        }
+        if self.cfg.dynamic {
+            let i = self.index(pc);
+            let c = &mut self.table[i];
+            *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+        }
+        self.history = (self.history << 1) | taken as u32;
+    }
+
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+}
+
+impl Default for Gshare {
+    fn default() -> Gshare {
+        Gshare::new(PredictorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_loop_branch() {
+        let mut g = Gshare::default();
+        // A loop back-edge taken 99 times then falls through.
+        let pc = 0x1000;
+        for _ in 0..99 {
+            let p = g.predict(pc, true);
+            g.update(pc, true, p);
+        }
+        let p = g.predict(pc, true);
+        assert!(p, "saturated taken");
+        g.update(pc, false, p);
+        assert!(g.stats.accuracy() > 0.95, "accuracy {}", g.stats.accuracy());
+    }
+
+    #[test]
+    fn learns_alternation_via_history() {
+        let mut g = Gshare::default();
+        let pc = 0x2000;
+        let mut correct_late = 0;
+        for i in 0..400u32 {
+            let taken = i % 2 == 0;
+            let p = g.predict(pc, true);
+            if i >= 200 && p == taken {
+                correct_late += 1;
+            }
+            g.update(pc, taken, p);
+        }
+        assert!(correct_late > 190, "history should capture alternation: {correct_late}/200");
+    }
+
+    #[test]
+    fn static_mode_follows_hint() {
+        let mut g = Gshare::new(PredictorConfig { dynamic: false, ..Default::default() });
+        assert!(g.predict(0, true));
+        assert!(!g.predict(0, false));
+        // Updates don't change static behaviour.
+        for _ in 0..10 {
+            let p = g.predict(0, false);
+            g.update(0, true, p);
+        }
+        assert!(!g.predict(0, false));
+    }
+}

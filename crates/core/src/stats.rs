@@ -1,0 +1,92 @@
+//! Counters produced by the cycle-accurate simulator.
+
+use serde::Serialize;
+
+use crate::predictor::PredictorStats;
+
+/// Everything the cycle model counts while running.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct CycleStats {
+    /// Total cycles from first issue to halt.
+    pub cycles: u64,
+    pub packets: u64,
+    pub instrs: u64,
+    /// Packets by issue width (index = width-1).
+    pub width_hist: [u64; 4],
+    /// Cycles lost waiting on operands (scoreboard interlocks).
+    pub data_stall_cycles: u64,
+    /// Cycles lost to LSU structural limits (buffers, MSHRs, port).
+    pub mem_stall_cycles: u64,
+    /// Cycles lost in the front end (I-cache misses, redirects).
+    pub front_stall_cycles: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub prefetches: u64,
+    /// Conditional-branch predictor statistics.
+    pub branch: PredictorStats,
+    pub mispredicts: u64,
+    pub context_switches: u64,
+}
+
+impl CycleStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Packets per cycle (≤ 1 for a single context).
+    pub fn ppc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.packets as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean issue width of committed packets.
+    pub fn mean_width(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            self.width_hist.iter().enumerate().map(|(i, &n)| (i as u64 + 1) * n).sum();
+        weighted as f64 / self.packets as f64
+    }
+
+    /// Wall-clock seconds at the configured clock.
+    pub fn seconds(&self, clock_hz: f64) -> f64 {
+        self.cycles as f64 / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = CycleStats {
+            cycles: 100,
+            packets: 50,
+            instrs: 150,
+            width_hist: [10, 20, 10, 10],
+            ..Default::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.ppc() - 0.5).abs() < 1e-12);
+        // (10*1 + 20*2 + 10*3 + 10*4) / 50 = 120/50
+        assert!((s.mean_width() - 2.4).abs() < 1e-12);
+        assert!((s.seconds(500e6) - 2e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_safety() {
+        let s = CycleStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mean_width(), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Pipeline trace records and rendering (Figure 2 reproduction support).
+
+use serde::Serialize;
+
+/// One issued packet.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct TraceRec {
+    /// Hardware context (micro-thread) that issued.
+    pub ctx: u8,
+    /// Packet byte address.
+    pub pc: u32,
+    /// Issue cycle (register-read/execute entry).
+    pub issue: u64,
+    /// Packet width (1-4).
+    pub width: u8,
+    /// Cycles spent waiting on operands before issue.
+    pub operand_wait: u32,
+}
+
+/// Render a compact textual pipeline diagram: one row per packet, `I` at
+/// the issue cycle, `.` for stall cycles before it.
+pub fn render(trace: &[TraceRec], max_rows: usize) -> String {
+    let mut out = String::new();
+    let Some(first) = trace.first() else { return out };
+    let origin = first.issue;
+    out.push_str("cycle:      ");
+    let span = trace
+        .iter()
+        .take(max_rows)
+        .map(|r| r.issue - origin)
+        .max()
+        .unwrap_or(0) as usize;
+    for c in 0..=span.min(70) {
+        out.push(char::from_digit((c % 10) as u32, 10).unwrap());
+    }
+    out.push('\n');
+    for r in trace.iter().take(max_rows) {
+        let off = (r.issue - origin) as usize;
+        if off > 70 {
+            break;
+        }
+        out.push_str(&format!("{:#08x} w{} ", r.pc, r.width));
+        for _ in 0..off.saturating_sub(r.operand_wait as usize) {
+            out.push(' ');
+        }
+        for _ in 0..(r.operand_wait as usize).min(off) {
+            out.push('.');
+        }
+        out.push('I');
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows() {
+        let tr = vec![
+            TraceRec { ctx: 0, pc: 0, issue: 4, width: 1, operand_wait: 0 },
+            TraceRec { ctx: 0, pc: 4, issue: 5, width: 2, operand_wait: 0 },
+            TraceRec { ctx: 0, pc: 12, issue: 9, width: 4, operand_wait: 3 },
+        ];
+        let s = render(&tr, 10);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("w4"));
+        assert!(s.contains("...I"), "stalls drawn as dots:\n{s}");
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(render(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Edge-case tests for the cycle-accurate pipeline: precise traps,
+//! barriers, predicated stores, structural hazards, and the LSU limits —
+//! the behaviours paper §3.2/§4 specifies beyond plain dataflow.
+
+use majc_asm::Asm;
+use majc_core::{CycleSim, FuncSim, LocalMemSys, PerfectPort, TimingConfig, Trap};
+use majc_isa::{AluOp, CachePolicy, Cond, Instr, MemWidth, Off, Program, Reg, Src};
+use majc_mem::FlatMem;
+
+fn ld(rd: Reg, base: Reg, off: i16) -> Instr {
+    Instr::Ld { w: MemWidth::W, pol: CachePolicy::Cached, rd, base, off: Off::Imm(off) }
+}
+
+fn st(rs: Reg, base: Reg, off: i16) -> Instr {
+    Instr::St { w: MemWidth::W, pol: CachePolicy::Cached, rs, base, off: Off::Imm(off) }
+}
+
+#[test]
+fn misaligned_load_traps_in_both_simulators() {
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 0x1001);
+    a.op(ld(Reg::g(1), Reg::g(0), 0));
+    a.op(Instr::Halt);
+    let prog = a.finish().unwrap();
+    let mut f = FuncSim::new(prog.clone(), FlatMem::new());
+    let e1 = loop {
+        match f.step() {
+            Ok(true) => {}
+            Ok(false) => panic!("should trap"),
+            Err(e) => break e,
+        }
+    };
+    let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
+    let e2 = loop {
+        match c.step() {
+            Ok(true) => {}
+            Ok(false) => panic!("should trap"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(e1, e2);
+    assert!(matches!(e1, Trap::Misaligned { addr: 0x1001, .. }));
+}
+
+#[test]
+fn divide_by_zero_is_a_precise_trap() {
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 7);
+    a.op(Instr::Div { rd: Reg::g(1), rs1: Reg::g(0), rs2: Reg::g(2) });
+    a.op(Instr::Halt);
+    let prog = a.finish().unwrap();
+    let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
+    let e = c.run(100).unwrap_err();
+    assert!(matches!(e, Trap::DivZero { .. }));
+}
+
+#[test]
+fn conditional_store_is_predicated() {
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 0x2000);
+    a.set32(Reg::g(1), 111);
+    a.set32(Reg::g(2), 0); // predicate false for Ne
+    a.op(Instr::CSt { cond: Cond::Ne, rc: Reg::g(2), rs: Reg::g(1), base: Reg::g(0) });
+    a.set32(Reg::g(2), 1); // predicate true
+    a.set32(Reg::g(3), 0x2004);
+    a.op(Instr::CSt { cond: Cond::Ne, rc: Reg::g(2), rs: Reg::g(1), base: Reg::g(3) });
+    a.op(Instr::Halt);
+    let prog = a.finish().unwrap();
+    let mut c = CycleSim::new(prog, LocalMemSys::majc5200(), TimingConfig::default());
+    c.run(1000).unwrap();
+    assert_eq!(c.port.mem.read_u32(0x2000), 0, "suppressed store must not land");
+    assert_eq!(c.port.mem.read_u32(0x2004), 111);
+}
+
+#[test]
+fn membar_waits_for_the_store_buffer() {
+    // Store to a cold line (slow drain), membar, then a cheap op: the
+    // membar must push the next issue past the drain.
+    let build = |with_bar: bool| {
+        let mut a = Asm::new(0);
+        a.set32(Reg::g(0), 0x0010_0000);
+        a.op(st(Reg::g(1), Reg::g(0), 0));
+        if with_bar {
+            a.op(Instr::Membar);
+        }
+        for _ in 0..3 {
+            a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
+        }
+        a.op(Instr::Halt);
+        a.finish().unwrap()
+    };
+    let run = |prog: Program| {
+        let mut c = CycleSim::new(prog, LocalMemSys::majc5200(), TimingConfig::default());
+        c.run(1000).unwrap();
+        c.stats.cycles
+    };
+    let without = run(build(false));
+    let with = run(build(true));
+    assert!(
+        with > without + 10,
+        "membar must expose the drain: {with} vs {without}"
+    );
+}
+
+#[test]
+fn store_buffer_hides_miss_latency_without_a_barrier() {
+    // Eight stores to distinct cold lines retire into the buffer without
+    // blocking the ALU stream behind them.
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 0x0010_0000);
+    for i in 0..6i16 {
+        a.op(Instr::St {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rs: Reg::g(1),
+            base: Reg::g(0),
+            off: Off::Imm(i * 32),
+        });
+    }
+    a.op(Instr::Halt);
+    let prog = a.finish().unwrap();
+    let mut c = CycleSim::new(prog, LocalMemSys::majc5200(), TimingConfig::default());
+    c.run(1000).unwrap();
+    // Six cold-line stores would cost ~310 cycles if each write-allocate
+    // miss blocked issue; the buffer and the four MSHRs overlap them.
+    assert!(c.stats.cycles < 250, "stores must not fully serialise: {}", c.stats.cycles);
+    assert!(c.lsu_stats().stores >= 6);
+}
+
+#[test]
+fn integer_divide_serialises_on_fu0() {
+    let build = |n: usize| {
+        let mut a = Asm::new(0);
+        a.set32(Reg::g(0), 1000);
+        a.set32(Reg::g(1), 7);
+        for i in 0..n {
+            a.op(Instr::Div { rd: Reg::g(10 + i as u8), rs1: Reg::g(0), rs2: Reg::g(1) });
+        }
+        a.op(Instr::Halt);
+        a.finish().unwrap()
+    };
+    let run = |p: Program| {
+        let mut c = CycleSim::new(p, PerfectPort::new(), TimingConfig::default());
+        c.run(10_000).unwrap();
+        c.stats.cycles
+    };
+    let one = run(build(1));
+    let four = run(build(4));
+    let idiv = TimingConfig::default().idiv_lat;
+    assert!(
+        four >= one + 3 * idiv - 3,
+        "non-pipelined divides must serialise: 1 -> {one}, 4 -> {four}"
+    );
+}
+
+#[test]
+fn double_precision_initiation_interval_is_visible() {
+    let build = || {
+        let mut a = Asm::new(0);
+        for i in 0..10u8 {
+            // Independent doubles on the same unit (slot 1 = FU1).
+            a.pack(&[
+                Instr::Nop,
+                Instr::DAdd {
+                    rd: Reg::g(32 + 2 * (i % 8)),
+                    rs1: Reg::g(0),
+                    rs2: Reg::g(2),
+                },
+            ]);
+        }
+        a.op(Instr::Halt);
+        a.finish().unwrap()
+    };
+    let run = |ii: u64| {
+        let mut cfg = TimingConfig::default();
+        cfg.dbl_ii = ii;
+        let mut c = CycleSim::new(build(), PerfectPort::new(), cfg);
+        c.run(1000).unwrap();
+        c.stats.cycles
+    };
+    let pipelined = run(1);
+    let partial = run(2);
+    assert!(partial > pipelined, "initiation interval must cost: {partial} vs {pipelined}");
+    assert!(partial >= pipelined + 8, "ten ops at ii=2 add >= 8 cycles");
+}
+
+#[test]
+fn jmpl_returns_precisely() {
+    // call -> work -> jmpl back; the return lands on the packet after the
+    // call in both simulators.
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 5);
+    a.call(Reg::g(2), "sub");
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Imm(100) });
+    a.op(Instr::Halt);
+    a.label("sub");
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(0), src2: Src::Imm(1) });
+    a.op(Instr::Jmpl { rd: Reg::g(3), base: Reg::g(2), off: 0 });
+    let prog = a.finish().unwrap();
+    let mut f = FuncSim::new(prog.clone(), FlatMem::new());
+    f.run(100).unwrap();
+    assert_eq!(f.regs.get(Reg::g(1)), 106);
+    let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
+    c.run(100).unwrap();
+    assert_eq!(c.regs(0).get(Reg::g(1)), 106);
+}
+
+#[test]
+fn swap_is_atomic_exchange() {
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 0x3000);
+    a.set32(Reg::g(1), 42);
+    a.op(Instr::Swap { rd: Reg::g(1), base: Reg::g(0) });
+    a.op(st(Reg::g(1), Reg::g(0), 4));
+    a.op(Instr::Halt);
+    let prog = a.finish().unwrap();
+    let mut mem = FlatMem::new();
+    mem.write_u32(0x3000, 7);
+    let mut c = CycleSim::new(prog, LocalMemSys::majc5200().with_mem(mem), TimingConfig::default());
+    c.run(1000).unwrap();
+    assert_eq!(c.port.mem.read_u32(0x3000), 42, "new value written");
+    assert_eq!(c.port.mem.read_u32(0x3004), 7, "old value returned");
+}
+
+#[test]
+fn trace_captures_stalls() {
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 0x100);
+    a.op(ld(Reg::g(1), Reg::g(0), 0));
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(2), rs1: Reg::g(1), src2: Src::Imm(1) });
+    a.op(Instr::Halt);
+    let prog = a.finish().unwrap();
+    let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
+    c.trace = Some(Vec::new());
+    c.run(100).unwrap();
+    let tr = c.trace.as_ref().unwrap();
+    assert!(tr.iter().any(|r| r.operand_wait > 0), "load consumer must record its wait");
+    let rendered = majc_core::render_trace(tr, 16);
+    assert!(rendered.contains('I'), "trace renders issue points:\n{rendered}");
+}
+
+#[test]
+fn context_registers_are_isolated() {
+    // Two contexts run the same increment loop on their own registers.
+    let mut a = Asm::new(0);
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Reg(Reg::g(0)) });
+    a.op(Instr::Halt);
+    let prog = a.finish().unwrap();
+    let mut cfg = TimingConfig::default();
+    cfg.threading.contexts = 2;
+    let mut c = CycleSim::new(prog, PerfectPort::new(), cfg);
+    c.regs_mut(0).set(Reg::g(0), 10);
+    c.regs_mut(1).set(Reg::g(0), 99);
+    c.run(100).unwrap();
+    assert!(c.halted());
+    assert_eq!(c.regs(0).get(Reg::g(1)), 10);
+    assert_eq!(c.regs(1).get(Reg::g(1)), 99, "contexts must not share registers");
+}

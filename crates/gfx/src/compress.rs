@@ -1,0 +1,286 @@
+//! Compressed-geometry substrate.
+//!
+//! The MAJC-5200 GPP "has built-in support for real-time 3D geometry
+//! decompressing, data parsing, and load balancing between the two
+//! processors" (paper §3.1) — the input format was Sun's proprietary
+//! compressed-geometry stream (Deering-style). We build the closest open
+//! equivalent (DESIGN.md substitution 3): triangle strips of vertices with
+//! 16-bit quantised positions, delta-coded within a strip, and
+//! octahedron-encoded normals, ~8 bytes per vertex against 24 raw.
+
+use serde::{Deserialize, Serialize};
+
+/// Quantisation: positions live in [-scale, scale], 15 bits + sign.
+pub const POS_BITS: u32 = 15;
+
+/// One vertex: position + unit normal.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    pub pos: [f32; 3],
+    pub normal: [f32; 3],
+}
+
+/// A triangle strip.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Strip {
+    pub vertices: Vec<Vertex>,
+}
+
+impl Strip {
+    pub fn triangles(&self) -> usize {
+        self.vertices.len().saturating_sub(2)
+    }
+}
+
+/// Stream commands, pre-serialisation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Cmd {
+    /// Start a strip with an absolute quantised position.
+    Restart { q: [i16; 3], n: [i8; 2] },
+    /// Continue with a position delta.
+    Delta { dq: [i16; 3], n: [i8; 2] },
+}
+
+/// Octahedral normal encoding to two signed bytes.
+pub fn encode_normal(n: [f32; 3]) -> [i8; 2] {
+    let l1 = n[0].abs() + n[1].abs() + n[2].abs();
+    let (mut u, mut v) = (n[0] / l1, n[1] / l1);
+    if n[2] < 0.0 {
+        let (ou, ov) = (u, v);
+        u = (1.0 - ov.abs()) * ou.signum();
+        v = (1.0 - ou.abs()) * ov.signum();
+    }
+    [(u * 127.0).round() as i8, (v * 127.0).round() as i8]
+}
+
+/// Decode an octahedral normal.
+pub fn decode_normal(e: [i8; 2]) -> [f32; 3] {
+    let u = e[0] as f32 / 127.0;
+    let v = e[1] as f32 / 127.0;
+    let mut n = [u, v, 1.0 - u.abs() - v.abs()];
+    if n[2] < 0.0 {
+        let (ou, ov) = (n[0], n[1]);
+        n[0] = (1.0 - ov.abs()) * ou.signum();
+        n[1] = (1.0 - ou.abs()) * ov.signum();
+    }
+    let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt().max(1e-6);
+    [n[0] / len, n[1] / len, n[2] / len]
+}
+
+fn quantise(p: f32, scale: f32) -> i16 {
+    let v = (p / scale * ((1 << POS_BITS) - 1) as f32).round();
+    v.clamp(i16::MIN as f32, i16::MAX as f32) as i16
+}
+
+fn dequantise(q: i16, scale: f32) -> f32 {
+    q as f32 * scale / ((1 << POS_BITS) - 1) as f32
+}
+
+/// An encoded geometry stream.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Compressed {
+    pub bytes: Vec<u8>,
+    pub scale: f32,
+    pub vertex_count: usize,
+    pub triangle_count: usize,
+}
+
+impl Compressed {
+    /// Compression ratio against 24-byte raw vertices.
+    pub fn ratio(&self) -> f64 {
+        (self.vertex_count * 24) as f64 / self.bytes.len() as f64
+    }
+}
+
+/// Encode strips. Per vertex: 1 tag byte + 3×2 position bytes (absolute or
+/// delta) + 2 normal bytes = 9 bytes; deltas that fit a byte use a short
+/// form of 6 bytes.
+pub fn compress(strips: &[Strip], scale: f32) -> Compressed {
+    let mut cmds = Vec::new();
+    for s in strips {
+        let mut prev: Option<[i16; 3]> = None;
+        for v in &s.vertices {
+            let q = [
+                quantise(v.pos[0], scale),
+                quantise(v.pos[1], scale),
+                quantise(v.pos[2], scale),
+            ];
+            let n = encode_normal(v.normal);
+            match prev {
+                None => cmds.push(Cmd::Restart { q, n }),
+                Some(p) => cmds.push(Cmd::Delta {
+                    dq: [
+                        q[0].wrapping_sub(p[0]),
+                        q[1].wrapping_sub(p[1]),
+                        q[2].wrapping_sub(p[2]),
+                    ],
+                    n,
+                }),
+            }
+            prev = Some(q);
+        }
+    }
+    let mut bytes = Vec::new();
+    for c in &cmds {
+        match *c {
+            Cmd::Restart { q, n } => {
+                bytes.push(0x00);
+                for x in q {
+                    bytes.extend_from_slice(&x.to_le_bytes());
+                }
+                bytes.push(n[0] as u8);
+                bytes.push(n[1] as u8);
+            }
+            Cmd::Delta { dq, n } => {
+                let short = dq.iter().all(|&d| (-128..128).contains(&(d as i32)));
+                if short {
+                    bytes.push(0x01);
+                    for d in dq {
+                        bytes.push(d as i8 as u8);
+                    }
+                } else {
+                    bytes.push(0x02);
+                    for d in dq {
+                        bytes.extend_from_slice(&d.to_le_bytes());
+                    }
+                }
+                bytes.push(n[0] as u8);
+                bytes.push(n[1] as u8);
+            }
+        }
+    }
+    let vertex_count = strips.iter().map(|s| s.vertices.len()).sum();
+    let triangle_count = strips.iter().map(Strip::triangles).sum();
+    Compressed { bytes, scale, vertex_count, triangle_count }
+}
+
+/// Decompress back to strips (the GPP's function). Also returns the number
+/// of stream bytes consumed per vertex, which drives the GPP timing model.
+pub fn decompress(c: &Compressed) -> Vec<Strip> {
+    let mut strips = Vec::new();
+    let mut cur = Strip::default();
+    let mut prev = [0i16; 3];
+    let mut i = 0usize;
+    let b = &c.bytes;
+    while i < b.len() {
+        let tag = b[i];
+        i += 1;
+        let (q, n): ([i16; 3], [i8; 2]) = match tag {
+            0x00 => {
+                if !cur.vertices.is_empty() {
+                    strips.push(std::mem::take(&mut cur));
+                }
+                let q = [
+                    i16::from_le_bytes([b[i], b[i + 1]]),
+                    i16::from_le_bytes([b[i + 2], b[i + 3]]),
+                    i16::from_le_bytes([b[i + 4], b[i + 5]]),
+                ];
+                let n = [b[i + 6] as i8, b[i + 7] as i8];
+                i += 8;
+                (q, n)
+            }
+            0x01 => {
+                let d = [b[i] as i8 as i16, b[i + 1] as i8 as i16, b[i + 2] as i8 as i16];
+                let n = [b[i + 3] as i8, b[i + 4] as i8];
+                i += 5;
+                (
+                    [
+                        prev[0].wrapping_add(d[0]),
+                        prev[1].wrapping_add(d[1]),
+                        prev[2].wrapping_add(d[2]),
+                    ],
+                    n,
+                )
+            }
+            0x02 => {
+                let d = [
+                    i16::from_le_bytes([b[i], b[i + 1]]),
+                    i16::from_le_bytes([b[i + 2], b[i + 3]]),
+                    i16::from_le_bytes([b[i + 4], b[i + 5]]),
+                ];
+                let n = [b[i + 6] as i8, b[i + 7] as i8];
+                i += 8;
+                (
+                    [
+                        prev[0].wrapping_add(d[0]),
+                        prev[1].wrapping_add(d[1]),
+                        prev[2].wrapping_add(d[2]),
+                    ],
+                    n,
+                )
+            }
+            t => panic!("corrupt stream tag {t:#x}"),
+        };
+        prev = q;
+        cur.vertices.push(Vertex {
+            pos: [
+                dequantise(q[0], c.scale),
+                dequantise(q[1], c.scale),
+                dequantise(q[2], c.scale),
+            ],
+            normal: decode_normal(n),
+        });
+    }
+    if !cur.vertices.is_empty() {
+        strips.push(cur);
+    }
+    strips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::demo_strips;
+
+    #[test]
+    fn round_trip_within_quantisation_error() {
+        let strips = demo_strips(8, 30, 42);
+        let scale = 100.0;
+        let c = compress(&strips, scale);
+        let back = decompress(&c);
+        assert_eq!(back.len(), strips.len());
+        let step = scale / ((1 << POS_BITS) - 1) as f32;
+        for (a, b) in strips.iter().zip(&back) {
+            assert_eq!(a.vertices.len(), b.vertices.len());
+            for (va, vb) in a.vertices.iter().zip(&b.vertices) {
+                for k in 0..3 {
+                    assert!(
+                        (va.pos[k] - vb.pos[k]).abs() <= step * 1.01,
+                        "position error {} vs step {}",
+                        (va.pos[k] - vb.pos[k]).abs(),
+                        step
+                    );
+                    assert!(
+                        (va.normal[k] - vb.normal[k]).abs() < 0.03,
+                        "normal error too large"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_meaningful() {
+        // Smooth strips have small deltas => short form dominates.
+        let strips = demo_strips(4, 100, 7);
+        let c = compress(&strips, 100.0);
+        assert!(c.ratio() > 2.5, "ratio {:.2}", c.ratio());
+        assert_eq!(c.triangle_count, 4 * 98);
+    }
+
+    #[test]
+    fn normal_codec_covers_the_sphere() {
+        for &n in &[
+            [1.0f32, 0.0, 0.0],
+            [0.0, -1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, -1.0],
+            [0.577, 0.577, 0.577],
+            [-0.267, 0.534, -0.801],
+        ] {
+            let d = decode_normal(encode_normal(n));
+            let dot = n[0] * d[0] + n[1] * d[1] + n[2] * d[2];
+            assert!(dot > 0.995, "normal {n:?} decoded to {d:?} (dot {dot})");
+        }
+    }
+}

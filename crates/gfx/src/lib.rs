@@ -1,0 +1,18 @@
+//! # majc-gfx
+//!
+//! The graphics substrate behind paper §5's 60-90 Mtriangles/s claim:
+//!
+//! * [`mod@compress`] — a Deering-style compressed-geometry codec (quantised
+//!   delta positions + octahedral normals), the open equivalent of the
+//!   proprietary streams the GPP consumed;
+//! * [`scene`] — synthetic triangle-strip scenes;
+//! * [`pipeline`] — the GPP → dual-CPU queueing model with the 4 KB NUPA
+//!   input FIFO and shorter-queue load balancing.
+
+pub mod compress;
+pub mod pipeline;
+pub mod scene;
+
+pub use compress::{compress, decompress, Compressed, Strip, Vertex};
+pub use pipeline::{simulate, PipelineConfig, PipelineResult};
+pub use scene::demo_strips;

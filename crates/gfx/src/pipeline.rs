@@ -1,0 +1,171 @@
+//! The GPP → dual-CPU graphics pipeline model (paper §5: "The GPP
+//! decompresses compressed polygon information and distributes the
+//! uncompressed information to the CPUs using a load balancing mechanism.
+//! ... This pipelined architecture delivers a performance of between 60
+//! and 90 million triangles per second").
+//!
+//! Cycle-stepped queueing model: the GPP consumes the compressed stream at
+//! a configurable bytes/cycle decode rate, pushes decompressed vertices
+//! into two bounded queues (the per-CPU halves of the NUPA input buffer,
+//! paper §3.1: "a 4 KB input FIFO buffer"), choosing the shorter queue;
+//! each CPU drains its queue at the transform/light kernel's measured
+//! cycles-per-vertex. The model reports triangles/second and who the
+//! bottleneck was.
+
+use serde::Serialize;
+
+use crate::compress::Compressed;
+
+/// Pipeline parameters.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PipelineConfig {
+    /// Core clock.
+    pub clock_hz: f64,
+    /// GPP decode throughput in stream bytes per cycle (its front end sits
+    /// on the 8 B/cycle north UPA; parsing costs make it lower).
+    pub gpp_bytes_per_cycle: f64,
+    /// Per-CPU transform+light cost, cycles per vertex (measured from
+    /// `majc_kernels::transform_light`).
+    pub cycles_per_vertex: f64,
+    /// Per-CPU input queue capacity in vertices (half of the 4 KB FIFO at
+    /// 32 B per decompressed vertex = 64 each).
+    pub queue_capacity: usize,
+    /// Triangles per vertex (strips approach 1.0; independent tris 1/3).
+    pub tris_per_vertex: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            clock_hz: 500e6,
+            gpp_bytes_per_cycle: 4.0,
+            cycles_per_vertex: 16.0,
+            queue_capacity: 64,
+            tris_per_vertex: 1.0,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PipelineResult {
+    pub cycles: u64,
+    pub vertices: u64,
+    pub triangles: u64,
+    pub mtris_per_sec: f64,
+    /// Fraction of cycles each CPU spent transforming.
+    pub cpu_util: [f64; 2],
+    /// Fraction of cycles the GPP was stalled on full queues.
+    pub gpp_blocked: f64,
+    /// Worst queue occupancy observed.
+    pub max_queue: usize,
+}
+
+/// Run the pipeline over a compressed stream.
+pub fn simulate(c: &Compressed, cfg: &PipelineConfig) -> PipelineResult {
+    let bytes_per_vertex = c.bytes.len() as f64 / c.vertex_count as f64;
+    let decode_cycles_per_vertex = bytes_per_vertex / cfg.gpp_bytes_per_cycle;
+
+    let mut q = [0usize; 2];
+    let mut busy_until = [0f64; 2];
+    let mut busy_cycles = [0f64; 2];
+    let mut produced = 0u64;
+    let mut gpp_next = 0f64;
+    let mut gpp_blocked = 0u64;
+    let mut max_queue = 0usize;
+    let mut t = 0f64;
+    let total = c.vertex_count as u64;
+    let mut done = 0u64;
+
+    while done < total {
+        // CPU side: retire finished vertices and start new ones.
+        for cpu in 0..2 {
+            if t >= busy_until[cpu] && q[cpu] > 0 {
+                q[cpu] -= 1;
+                busy_until[cpu] = t.max(busy_until[cpu]) + cfg.cycles_per_vertex;
+                busy_cycles[cpu] += cfg.cycles_per_vertex;
+                done += 1;
+            }
+        }
+        // GPP side: decode the next vertex when due; load-balance to the
+        // shorter queue, stall when both are full.
+        if produced < total && t >= gpp_next {
+            let target = if q[0] <= q[1] { 0 } else { 1 };
+            if q[target] < cfg.queue_capacity {
+                q[target] += 1;
+                produced += 1;
+                max_queue = max_queue.max(q[target]);
+                gpp_next = t + decode_cycles_per_vertex;
+            } else {
+                gpp_blocked += 1;
+            }
+        }
+        t += 1.0;
+        // Fast-forward across idle gaps.
+        if produced < total && t < gpp_next && q.iter().all(|&x| x == 0) {
+            t = gpp_next;
+        }
+    }
+    let cycles = t as u64;
+    let triangles = (total as f64 * cfg.tris_per_vertex) as u64;
+    PipelineResult {
+        cycles,
+        vertices: total,
+        triangles,
+        mtris_per_sec: triangles as f64 / (cycles as f64 / cfg.clock_hz) / 1e6,
+        cpu_util: [busy_cycles[0] / cycles as f64, busy_cycles[1] / cycles as f64],
+        gpp_blocked: gpp_blocked as f64 / cycles as f64,
+        max_queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress;
+    use crate::scene::demo_strips;
+
+    fn stream() -> Compressed {
+        compress(&demo_strips(64, 100, 3), 100.0)
+    }
+
+    #[test]
+    fn balanced_pipeline_reaches_paper_band() {
+        let c = stream();
+        // ~16 cycles/vertex on each CPU: combined service rate 62.5 M
+        // vertices/s ≈ 62 Mtri/s with strips.
+        let r = simulate(&c, &PipelineConfig::default());
+        assert!(
+            (55.0..=95.0).contains(&r.mtris_per_sec),
+            "{:.1} Mtri/s out of band",
+            r.mtris_per_sec
+        );
+        assert!(r.cpu_util[0] > 0.85 && r.cpu_util[1] > 0.85, "load balance: {:?}", r.cpu_util);
+    }
+
+    #[test]
+    fn slow_gpp_starves_cpus() {
+        let c = stream();
+        let cfg = PipelineConfig { gpp_bytes_per_cycle: 0.3, ..Default::default() };
+        let r = simulate(&c, &cfg);
+        let fast = simulate(&c, &PipelineConfig::default());
+        assert!(r.mtris_per_sec < fast.mtris_per_sec * 0.8);
+        assert!(r.cpu_util[0] < 0.7, "CPUs should be starved, util {:?}", r.cpu_util);
+    }
+
+    #[test]
+    fn slow_cpus_block_the_gpp() {
+        let c = stream();
+        let cfg = PipelineConfig { cycles_per_vertex: 60.0, ..Default::default() };
+        let r = simulate(&c, &cfg);
+        assert!(r.gpp_blocked > 0.1, "GPP should back-pressure, blocked {}", r.gpp_blocked);
+    }
+
+    #[test]
+    fn both_cpus_share_work() {
+        let c = stream();
+        let r = simulate(&c, &PipelineConfig::default());
+        let ratio = r.cpu_util[0] / r.cpu_util[1];
+        assert!((0.8..1.25).contains(&ratio), "imbalance: {:?}", r.cpu_util);
+    }
+}

@@ -1,0 +1,616 @@
+//! Binary encoding of MAJC instructions and packets.
+//!
+//! The paper never publishes Sun's encoding; only the packet shape is
+//! architecturally specified (32-bit instructions, 1-4 per packet, a 2-bit
+//! header giving the issue width — §3.2). This module defines our own
+//! encoding with that shape:
+//!
+//! ```text
+//! bit 31 30 | 29 ........ 23 | 22 ................. 0
+//!    header |   opcode (7)   |   payload (23 bits)
+//! ```
+//!
+//! The header field of a packet's *first* word holds `width - 1`; it is
+//! zero in the remaining words. Register fields are 7-bit FU-relative
+//! specifiers (`0..96` globals, `96..128` the executing unit's locals),
+//! which is how 224 registers fit the format.
+
+use crate::fixed::{FixFmt, SatMode};
+use crate::instr::{Instr, Off, Src};
+use crate::ops::{AluOp, CachePolicy, Cond, CvtKind, MemWidth};
+use crate::packet::Packet;
+use crate::reg::Reg;
+use crate::IsaError;
+
+// ----------------------------- opcode map -----------------------------
+
+const OP_NOP: u32 = 0x00;
+const OP_HALT: u32 = 0x01;
+const OP_MEMBAR: u32 = 0x02;
+const OP_PREFETCH: u32 = 0x03;
+/// Loads, immediate offset: one opcode per width (B,Bu,H,Hu,W,L,G).
+const OP_LD_I: u32 = 0x04; // ..0x0A
+/// Loads, register offset.
+const OP_LD_R: u32 = 0x0B; // ..0x11
+/// Stores, immediate offset (B,H,W,L,G).
+const OP_ST_I: u32 = 0x12; // ..0x16
+/// Stores, register offset.
+const OP_ST_R: u32 = 0x17; // ..0x1B
+const OP_CST: u32 = 0x1C;
+const OP_CAS: u32 = 0x1D;
+const OP_SWAP: u32 = 0x1E;
+const OP_BR: u32 = 0x1F;
+const OP_CALL: u32 = 0x20;
+const OP_JMPL: u32 = 0x21;
+const OP_DIV: u32 = 0x22;
+const OP_REM: u32 = 0x23;
+const OP_FDIV: u32 = 0x24;
+const OP_FRSQRT: u32 = 0x25;
+const OP_PDIV: u32 = 0x26;
+const OP_PRSQRT: u32 = 0x27;
+/// ALU register forms: one opcode per [`AluOp`] (12).
+const OP_ALU_R: u32 = 0x28; // ..0x33
+/// ALU immediate forms.
+const OP_ALU_I: u32 = 0x34; // ..0x3F
+const OP_SETLO: u32 = 0x40;
+const OP_SETHI: u32 = 0x41;
+const OP_CMOVE: u32 = 0x42;
+const OP_PICK: u32 = 0x43;
+const OP_CMP: u32 = 0x44;
+const OP_MUL: u32 = 0x45;
+const OP_MULHI: u32 = 0x46;
+const OP_MULADD: u32 = 0x47;
+const OP_MULSUB: u32 = 0x48;
+const OP_PADD: u32 = 0x49;
+const OP_PSUB: u32 = 0x4A;
+const OP_PMUL: u32 = 0x4B;
+const OP_PMULADD: u32 = 0x4C;
+const OP_DOTP: u32 = 0x4D;
+const OP_PMULS31: u32 = 0x4E;
+const OP_PDIST: u32 = 0x4F;
+const OP_BYTESHUF: u32 = 0x50;
+const OP_BITEXT: u32 = 0x51;
+const OP_LZD: u32 = 0x52;
+const OP_FADD: u32 = 0x53;
+const OP_FSUB: u32 = 0x54;
+const OP_FMUL: u32 = 0x55;
+const OP_FMADD: u32 = 0x56;
+const OP_FMSUB: u32 = 0x57;
+const OP_FMIN: u32 = 0x58;
+const OP_FMAX: u32 = 0x59;
+const OP_FNEG: u32 = 0x5A;
+const OP_FABS: u32 = 0x5B;
+const OP_FCMP: u32 = 0x5C;
+const OP_DADD: u32 = 0x5D;
+const OP_DSUB: u32 = 0x5E;
+const OP_DMUL: u32 = 0x5F;
+const OP_DMIN: u32 = 0x60;
+const OP_DMAX: u32 = 0x61;
+const OP_DNEG: u32 = 0x62;
+const OP_DCMP: u32 = 0x63;
+const OP_CVT: u32 = 0x64;
+
+// --------------------------- field helpers ---------------------------
+
+#[inline]
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+#[inline]
+fn fits_signed(v: i64, bits: u32) -> bool {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    (lo..=hi).contains(&v)
+}
+
+#[inline]
+fn mask(v: i64, bits: u32) -> u32 {
+    (v as u32) & ((1u32 << bits) - 1)
+}
+
+fn rspec(r: Reg, fu: u8) -> Result<u32, IsaError> {
+    r.funit_spec(fu)
+        .map(u32::from)
+        .ok_or_else(|| IsaError::RegNotVisible { fu, reg: r.to_string() })
+}
+
+fn runspec(spec: u32, fu: u8) -> Result<Reg, IsaError> {
+    Reg::from_funit_spec(fu, spec as u8).ok_or(IsaError::BadEncoding(spec))
+}
+
+fn alu_index(op: AluOp) -> u32 {
+    AluOp::ALL.iter().position(|&o| o == op).unwrap() as u32
+}
+
+fn width_index(w: MemWidth) -> u32 {
+    MemWidth::ALL.iter().position(|&x| x == w).unwrap() as u32
+}
+
+const STORE_WIDTHS: [MemWidth; 5] =
+    [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::L, MemWidth::G];
+
+fn store_width_index(w: MemWidth) -> Result<u32, IsaError> {
+    STORE_WIDTHS
+        .iter()
+        .position(|&x| x == w)
+        .map(|i| i as u32)
+        .ok_or_else(|| IsaError::BadOperand { instr: format!("store width {w:?}") })
+}
+
+fn short_cond(c: Cond) -> Result<u32, IsaError> {
+    c.encode_short().ok_or_else(|| IsaError::BadOperand { instr: format!("cond {c:?}") })
+}
+
+fn word(op: u32, payload: u32) -> u32 {
+    debug_assert!(op < 128 && payload < (1 << 23));
+    (op << 23) | payload
+}
+
+// ------------------------------ encoding ------------------------------
+
+/// Encode one instruction for execution on functional unit `fu`.
+///
+/// The header bits (31:30) are left zero; [`encode_packet`] fills them in
+/// for the first word of each packet.
+pub fn encode_instr(ins: &Instr, fu: u8) -> Result<u32, IsaError> {
+    ins.validate_for_fu(fu)?;
+    let r = |reg: Reg| rspec(reg, fu);
+    use Instr::*;
+    Ok(match *ins {
+        Nop => word(OP_NOP, 0),
+        Halt => word(OP_HALT, 0),
+        Membar => word(OP_MEMBAR, 0),
+        Prefetch { base, off } => word(OP_PREFETCH, (r(base)? << 16) | mask(off as i64, 16)),
+        Ld { w, pol, rd, base, off } => {
+            let (op_base, off_field) = match off {
+                Off::Imm(b) => {
+                    let sz = w.bytes() as i64;
+                    let b = b as i64;
+                    if b % sz != 0 || !fits_signed(b / sz, 7) {
+                        return Err(IsaError::ImmOutOfRange { imm: b, bits: 7 });
+                    }
+                    (OP_LD_I, mask(b / sz, 7))
+                }
+                Off::Reg(ro) => (OP_LD_R, r(ro)?),
+            };
+            word(
+                op_base + width_index(w),
+                (r(rd)? << 16) | (r(base)? << 9) | (off_field << 2) | pol.encode(),
+            )
+        }
+        St { w, pol, rs, base, off } => {
+            let wi = store_width_index(w)?;
+            let (op_base, off_field) = match off {
+                Off::Imm(b) => {
+                    let sz = w.bytes() as i64;
+                    let b = b as i64;
+                    if b % sz != 0 || !fits_signed(b / sz, 7) {
+                        return Err(IsaError::ImmOutOfRange { imm: b, bits: 7 });
+                    }
+                    (OP_ST_I, mask(b / sz, 7))
+                }
+                Off::Reg(ro) => (OP_ST_R, r(ro)?),
+            };
+            word(op_base + wi, (r(rs)? << 16) | (r(base)? << 9) | (off_field << 2) | pol.encode())
+        }
+        CSt { cond, rc, rs, base } => {
+            word(OP_CST, (short_cond(cond)? << 21) | (r(rc)? << 14) | (r(rs)? << 7) | r(base)?)
+        }
+        Cas { rd, base, rs } => word(OP_CAS, (r(rd)? << 16) | (r(base)? << 9) | (r(rs)? << 2)),
+        Swap { rd, base } => word(OP_SWAP, (r(rd)? << 16) | (r(base)? << 9)),
+        Br { cond, rs, off, hint } => {
+            if off % 4 != 0 || !fits_signed(off as i64 / 4, 12) {
+                return Err(IsaError::ImmOutOfRange { imm: off as i64, bits: 12 });
+            }
+            word(
+                OP_BR,
+                (cond.encode() << 20)
+                    | (r(rs)? << 13)
+                    | (mask(off as i64 / 4, 12) << 1)
+                    | hint as u32,
+            )
+        }
+        Call { rd, off } => {
+            if off % 4 != 0 || !fits_signed(off as i64 / 4, 16) {
+                return Err(IsaError::ImmOutOfRange { imm: off as i64, bits: 16 });
+            }
+            word(OP_CALL, (r(rd)? << 16) | mask(off as i64 / 4, 16))
+        }
+        Jmpl { rd, base, off } => {
+            if !fits_signed(off as i64, 9) {
+                return Err(IsaError::ImmOutOfRange { imm: off as i64, bits: 9 });
+            }
+            word(OP_JMPL, (r(rd)? << 16) | (r(base)? << 9) | mask(off as i64, 9))
+        }
+        Div { rd, rs1, rs2 } => word(OP_DIV, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        Rem { rd, rs1, rs2 } => word(OP_REM, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FDiv { rd, rs1, rs2 } => word(OP_FDIV, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FRsqrt { rd, rs } => word(OP_FRSQRT, r3(r(rd)?, r(rs)?, 0, 0)),
+        PDiv { rd, rs1, rs2 } => word(OP_PDIV, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        PRsqrt { rd, rs } => word(OP_PRSQRT, r3(r(rd)?, r(rs)?, 0, 0)),
+        Alu { op, rd, rs1, src2 } => match src2 {
+            Src::Reg(rs2) => word(OP_ALU_R + alu_index(op), r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+            Src::Imm(imm) => {
+                if !fits_signed(imm as i64, 9) {
+                    return Err(IsaError::ImmOutOfRange { imm: imm as i64, bits: 9 });
+                }
+                word(OP_ALU_I + alu_index(op), (r(rd)? << 16) | (r(rs1)? << 9) | mask(imm as i64, 9))
+            }
+        },
+        SetLo { rd, imm } => word(OP_SETLO, (r(rd)? << 16) | mask(imm as i64, 16)),
+        SetHi { rd, imm } => word(OP_SETHI, (r(rd)? << 16) | imm as u32),
+        CMove { cond, rc, rd, rs } => {
+            word(OP_CMOVE, (short_cond(cond)? << 21) | (r(rc)? << 14) | (r(rd)? << 7) | r(rs)?)
+        }
+        Pick { cond, rd, rs1, rs2 } => {
+            word(OP_PICK, (short_cond(cond)? << 21) | (r(rd)? << 14) | (r(rs1)? << 7) | r(rs2)?)
+        }
+        Cmp { cond, rd, rs1, rs2 } => {
+            word(OP_CMP, (short_cond(cond)? << 21) | (r(rd)? << 14) | (r(rs1)? << 7) | r(rs2)?)
+        }
+        Mul { rd, rs1, rs2 } => word(OP_MUL, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        MulHi { rd, rs1, rs2 } => word(OP_MULHI, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        MulAdd { rd, rs1, rs2 } => word(OP_MULADD, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        MulSub { rd, rs1, rs2 } => word(OP_MULSUB, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        PAdd { mode, rd, rs1, rs2 } => word(OP_PADD, r3(r(rd)?, r(rs1)?, r(rs2)?, mode.encode())),
+        PSub { mode, rd, rs1, rs2 } => word(OP_PSUB, r3(r(rd)?, r(rs1)?, r(rs2)?, mode.encode())),
+        PMul { fmt, rd, rs1, rs2 } => word(OP_PMUL, r3(r(rd)?, r(rs1)?, r(rs2)?, fmt.encode())),
+        PMulAdd { fmt, rd, rs1, rs2 } => {
+            word(OP_PMULADD, r3(r(rd)?, r(rs1)?, r(rs2)?, fmt.encode()))
+        }
+        DotP { rd, rs1, rs2 } => word(OP_DOTP, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        PMulS31 { rd, rs1, rs2 } => word(OP_PMULS31, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        PDist { rd, rs1, rs2 } => word(OP_PDIST, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        ByteShuf { rd, rs, ctl } => word(OP_BYTESHUF, r3(r(rd)?, r(rs)?, r(ctl)?, 0)),
+        BitExt { rd, rs, ctl } => word(OP_BITEXT, r3(r(rd)?, r(rs)?, r(ctl)?, 0)),
+        Lzd { rd, rs } => word(OP_LZD, r3(r(rd)?, r(rs)?, 0, 0)),
+        FAdd { rd, rs1, rs2 } => word(OP_FADD, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FSub { rd, rs1, rs2 } => word(OP_FSUB, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FMul { rd, rs1, rs2 } => word(OP_FMUL, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FMAdd { rd, rs1, rs2 } => word(OP_FMADD, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FMSub { rd, rs1, rs2 } => word(OP_FMSUB, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FMin { rd, rs1, rs2 } => word(OP_FMIN, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FMax { rd, rs1, rs2 } => word(OP_FMAX, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        FNeg { rd, rs } => word(OP_FNEG, r3(r(rd)?, r(rs)?, 0, 0)),
+        FAbs { rd, rs } => word(OP_FABS, r3(r(rd)?, r(rs)?, 0, 0)),
+        FCmp { cond, rd, rs1, rs2 } => {
+            word(OP_FCMP, (short_cond(cond)? << 21) | (r(rd)? << 14) | (r(rs1)? << 7) | r(rs2)?)
+        }
+        DAdd { rd, rs1, rs2 } => word(OP_DADD, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        DSub { rd, rs1, rs2 } => word(OP_DSUB, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        DMul { rd, rs1, rs2 } => word(OP_DMUL, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        DMin { rd, rs1, rs2 } => word(OP_DMIN, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        DMax { rd, rs1, rs2 } => word(OP_DMAX, r3(r(rd)?, r(rs1)?, r(rs2)?, 0)),
+        DNeg { rd, rs } => word(OP_DNEG, r3(r(rd)?, r(rs)?, 0, 0)),
+        DCmp { cond, rd, rs1, rs2 } => {
+            word(OP_DCMP, (short_cond(cond)? << 21) | (r(rd)? << 14) | (r(rs1)? << 7) | r(rs2)?)
+        }
+        Cvt { kind, rd, rs } => word(OP_CVT, (kind.encode() << 20) | (r(rd)? << 13) | (r(rs)? << 6)),
+    })
+}
+
+/// R3 payload layout: `rd[22:16] rs1[15:9] rs2[8:2] mode[1:0]`.
+#[inline]
+fn r3(rd: u32, rs1: u32, rs2: u32, mode: u32) -> u32 {
+    (rd << 16) | (rs1 << 9) | (rs2 << 2) | mode
+}
+
+// ------------------------------ decoding ------------------------------
+
+/// Decode one instruction word for functional unit `fu`.
+pub fn decode_instr(w: u32, fu: u8) -> Result<Instr, IsaError> {
+    let op = (w >> 23) & 0x7F;
+    let p = w & 0x7F_FFFF;
+    let rd = (p >> 16) & 0x7F;
+    let rb = (p >> 9) & 0x7F;
+    let rc = (p >> 2) & 0x7F;
+    let mode = p & 3;
+    let r = |spec: u32| runspec(spec, fu);
+    use Instr::*;
+    let ins = match op {
+        OP_NOP => Nop,
+        OP_HALT => Halt,
+        OP_MEMBAR => Membar,
+        OP_PREFETCH => Prefetch { base: r(rd)?, off: sext(p & 0xFFFF, 16) as i16 },
+        o if (OP_LD_I..OP_LD_I + 7).contains(&o) || (OP_LD_R..OP_LD_R + 7).contains(&o) => {
+            let imm_form = o < OP_LD_R;
+            let w = MemWidth::ALL[(o - if imm_form { OP_LD_I } else { OP_LD_R }) as usize];
+            let off = if imm_form {
+                Off::Imm((sext(rc, 7) * w.bytes() as i32) as i16)
+            } else {
+                Off::Reg(r(rc)?)
+            };
+            Ld { w, pol: CachePolicy::decode(mode), rd: r(rd)?, base: r(rb)?, off }
+        }
+        o if (OP_ST_I..OP_ST_I + 5).contains(&o) || (OP_ST_R..OP_ST_R + 5).contains(&o) => {
+            let imm_form = o < OP_ST_R;
+            let w = STORE_WIDTHS[(o - if imm_form { OP_ST_I } else { OP_ST_R }) as usize];
+            let off = if imm_form {
+                Off::Imm((sext(rc, 7) * w.bytes() as i32) as i16)
+            } else {
+                Off::Reg(r(rc)?)
+            };
+            St { w, pol: CachePolicy::decode(mode), rs: r(rd)?, base: r(rb)?, off }
+        }
+        OP_CST => CSt {
+            cond: Cond::decode_short(p >> 21),
+            rc: r((p >> 14) & 0x7F)?,
+            rs: r((p >> 7) & 0x7F)?,
+            base: r(p & 0x7F)?,
+        },
+        OP_CAS => Cas { rd: r(rd)?, base: r(rb)?, rs: r(rc)? },
+        OP_SWAP => Swap { rd: r(rd)?, base: r(rb)? },
+        OP_BR => Br {
+            cond: Cond::decode((p >> 20) & 7).ok_or(IsaError::BadEncoding(w))?,
+            rs: r((p >> 13) & 0x7F)?,
+            off: sext((p >> 1) & 0xFFF, 12) * 4,
+            hint: p & 1 != 0,
+        },
+        OP_CALL => Call { rd: r(rd)?, off: sext(p & 0xFFFF, 16) * 4 },
+        OP_JMPL => Jmpl { rd: r(rd)?, base: r(rb)?, off: sext(p & 0x1FF, 9) as i16 },
+        OP_DIV => Div { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_REM => Rem { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FDIV => FDiv { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FRSQRT => FRsqrt { rd: r(rd)?, rs: r(rb)? },
+        OP_PDIV => PDiv { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_PRSQRT => PRsqrt { rd: r(rd)?, rs: r(rb)? },
+        o if (OP_ALU_R..OP_ALU_R + 12).contains(&o) => Alu {
+            op: AluOp::ALL[(o - OP_ALU_R) as usize],
+            rd: r(rd)?,
+            rs1: r(rb)?,
+            src2: Src::Reg(r(rc)?),
+        },
+        o if (OP_ALU_I..OP_ALU_I + 12).contains(&o) => Alu {
+            op: AluOp::ALL[(o - OP_ALU_I) as usize],
+            rd: r(rd)?,
+            rs1: r(rb)?,
+            src2: Src::Imm(sext(p & 0x1FF, 9) as i16),
+        },
+        OP_SETLO => SetLo { rd: r(rd)?, imm: sext(p & 0xFFFF, 16) as i16 },
+        OP_SETHI => SetHi { rd: r(rd)?, imm: (p & 0xFFFF) as u16 },
+        OP_CMOVE => CMove {
+            cond: Cond::decode_short(p >> 21),
+            rc: r((p >> 14) & 0x7F)?,
+            rd: r((p >> 7) & 0x7F)?,
+            rs: r(p & 0x7F)?,
+        },
+        OP_PICK => Pick {
+            cond: Cond::decode_short(p >> 21),
+            rd: r((p >> 14) & 0x7F)?,
+            rs1: r((p >> 7) & 0x7F)?,
+            rs2: r(p & 0x7F)?,
+        },
+        OP_CMP => Cmp {
+            cond: Cond::decode_short(p >> 21),
+            rd: r((p >> 14) & 0x7F)?,
+            rs1: r((p >> 7) & 0x7F)?,
+            rs2: r(p & 0x7F)?,
+        },
+        OP_MUL => Mul { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_MULHI => MulHi { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_MULADD => MulAdd { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_MULSUB => MulSub { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_PADD => PAdd { mode: SatMode::decode(mode), rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_PSUB => PSub { mode: SatMode::decode(mode), rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_PMUL => PMul { fmt: FixFmt::decode(mode), rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_PMULADD => PMulAdd { fmt: FixFmt::decode(mode), rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_DOTP => DotP { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_PMULS31 => PMulS31 { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_PDIST => PDist { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_BYTESHUF => ByteShuf { rd: r(rd)?, rs: r(rb)?, ctl: r(rc)? },
+        OP_BITEXT => BitExt { rd: r(rd)?, rs: r(rb)?, ctl: r(rc)? },
+        OP_LZD => Lzd { rd: r(rd)?, rs: r(rb)? },
+        OP_FADD => FAdd { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FSUB => FSub { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FMUL => FMul { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FMADD => FMAdd { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FMSUB => FMSub { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FMIN => FMin { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FMAX => FMax { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_FNEG => FNeg { rd: r(rd)?, rs: r(rb)? },
+        OP_FABS => FAbs { rd: r(rd)?, rs: r(rb)? },
+        OP_FCMP => FCmp {
+            cond: Cond::decode_short(p >> 21),
+            rd: r((p >> 14) & 0x7F)?,
+            rs1: r((p >> 7) & 0x7F)?,
+            rs2: r(p & 0x7F)?,
+        },
+        OP_DADD => DAdd { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_DSUB => DSub { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_DMUL => DMul { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_DMIN => DMin { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_DMAX => DMax { rd: r(rd)?, rs1: r(rb)?, rs2: r(rc)? },
+        OP_DNEG => DNeg { rd: r(rd)?, rs: r(rb)? },
+        OP_DCMP => DCmp {
+            cond: Cond::decode_short(p >> 21),
+            rd: r((p >> 14) & 0x7F)?,
+            rs1: r((p >> 7) & 0x7F)?,
+            rs2: r(p & 0x7F)?,
+        },
+        OP_CVT => Cvt { kind: CvtKind::decode(p >> 20), rd: r((p >> 13) & 0x7F)?, rs: r((p >> 6) & 0x7F)? },
+        _ => return Err(IsaError::BadEncoding(w)),
+    };
+    ins.validate_for_fu(fu)?;
+    // Reject non-canonical words (nonzero don't-care bits): the encoding is
+    // a bijection between valid instructions and valid words.
+    if encode_instr(&ins, fu)? != w {
+        return Err(IsaError::BadEncoding(w));
+    }
+    Ok(ins)
+}
+
+/// Encode a packet: each slot at its FU, width in the header bits of the
+/// first word.
+pub fn encode_packet(p: &Packet) -> Result<Vec<u32>, IsaError> {
+    let mut out = Vec::with_capacity(p.width());
+    for (fu, ins) in p.slots() {
+        out.push(encode_instr(ins, fu)?);
+    }
+    out[0] |= ((p.width() as u32 - 1) & 3) << 30;
+    Ok(out)
+}
+
+/// Decode the packet starting at `words[0]`, returning it plus the number
+/// of words consumed.
+pub fn decode_packet(words: &[u32]) -> Result<(Packet, usize), IsaError> {
+    if words.is_empty() {
+        return Err(IsaError::BadPacketWidth(0));
+    }
+    let width = ((words[0] >> 30) & 3) as usize + 1;
+    if words.len() < width {
+        return Err(IsaError::BadPacketWidth(width));
+    }
+    let mut instrs = Vec::with_capacity(width);
+    for (fu, &w) in words[..width].iter().enumerate() {
+        instrs.push(decode_instr(w & 0x3FFF_FFFF, fu as u8)?);
+    }
+    Ok((Packet::new(&instrs)?, width))
+}
+
+/// Encode a whole program into its little-endian byte image.
+pub fn encode_program(packets: &[Packet]) -> Result<Vec<u8>, IsaError> {
+    let mut bytes = Vec::new();
+    for p in packets {
+        for w in encode_packet(p)? {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    Ok(bytes)
+}
+
+/// Decode a byte image back into packets.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Packet>, IsaError> {
+    if bytes.len() % 4 != 0 {
+        return Err(IsaError::BadEncoding(bytes.len() as u32));
+    }
+    let words: Vec<u32> =
+        bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+    let mut packets = Vec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let (p, n) = decode_packet(&words[i..])?;
+        packets.push(p);
+        i += n;
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trips() {
+        let cases: Vec<(Instr, u8)> = vec![
+            (Instr::Nop, 0),
+            (Instr::Halt, 0),
+            (Instr::Membar, 0),
+            (
+                Instr::Ld {
+                    w: MemWidth::W,
+                    pol: CachePolicy::NonAllocating,
+                    rd: Reg::g(5),
+                    base: Reg::g(10),
+                    off: Off::Imm(-16),
+                },
+                0,
+            ),
+            (
+                Instr::St {
+                    w: MemWidth::G,
+                    pol: CachePolicy::Cached,
+                    rs: Reg::g(16),
+                    base: Reg::g(2),
+                    off: Off::Reg(Reg::l(0, 3)),
+                },
+                0,
+            ),
+            (Instr::Br { cond: Cond::Gt, rs: Reg::g(9), off: -64, hint: true }, 0),
+            (Instr::Call { rd: Reg::g(40), off: 4096 }, 0),
+            (Instr::Alu { op: AluOp::Sra, rd: Reg::l(2, 7), rs1: Reg::g(1), src2: Src::Imm(-5) }, 2),
+            (Instr::SetHi { rd: Reg::g(3), imm: 0xBEEF }, 3),
+            (Instr::FMAdd { rd: Reg::l(1, 0), rs1: Reg::g(50), rs2: Reg::g(51) }, 1),
+            (Instr::PAdd { mode: SatMode::Sym, rd: Reg::g(1), rs1: Reg::g(2), rs2: Reg::g(3) }, 2),
+            (Instr::PMul { fmt: FixFmt::S2_13, rd: Reg::g(1), rs1: Reg::g(2), rs2: Reg::g(3) }, 3),
+            (Instr::Cvt { kind: CvtKind::F2D, rd: Reg::g(8), rs: Reg::g(3) }, 1),
+            (Instr::DCmp { cond: Cond::Lt, rd: Reg::g(0), rs1: Reg::g(2), rs2: Reg::g(4) }, 2),
+            (Instr::PDiv { rd: Reg::g(0), rs1: Reg::g(1), rs2: Reg::g(2) }, 0),
+        ];
+        for (ins, fu) in cases {
+            let w = encode_instr(&ins, fu).unwrap();
+            let back = decode_instr(w, fu).unwrap();
+            assert_eq!(back, ins, "round trip failed for {ins:?} on fu{fu}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_immediates_rejected() {
+        let ld = Instr::Ld {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rd: Reg::g(0),
+            base: Reg::g(1),
+            off: Off::Imm(1000), // 250 words > 63
+        };
+        assert!(encode_instr(&ld, 0).is_err());
+        let misaligned = Instr::Ld {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rd: Reg::g(0),
+            base: Reg::g(1),
+            off: Off::Imm(6),
+        };
+        assert!(encode_instr(&misaligned, 0).is_err());
+        let br = Instr::Br { cond: Cond::Eq, rs: Reg::g(0), off: 5, hint: false };
+        assert!(encode_instr(&br, 0).is_err()); // not word aligned
+        let alu = Instr::Alu { op: AluOp::Add, rd: Reg::g(0), rs1: Reg::g(1), src2: Src::Imm(300) };
+        assert!(encode_instr(&alu, 1).is_err()); // > 8-bit signed
+    }
+
+    #[test]
+    fn packet_round_trip() {
+        let p = Packet::new(&[
+            Instr::Ld {
+                w: MemWidth::L,
+                pol: CachePolicy::Cached,
+                rd: Reg::g(8),
+                base: Reg::g(0),
+                off: Off::Imm(8),
+            },
+            Instr::FMAdd { rd: Reg::l(1, 1), rs1: Reg::g(8), rs2: Reg::g(9) },
+            Instr::DotP { rd: Reg::l(2, 0), rs1: Reg::g(10), rs2: Reg::g(11) },
+            Instr::PDist { rd: Reg::l(3, 0), rs1: Reg::g(12), rs2: Reg::g(13) },
+        ])
+        .unwrap();
+        let words = encode_packet(&p).unwrap();
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[0] >> 30, 3); // width-1 header
+        let (back, n) = decode_packet(&words).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn program_image_round_trip() {
+        let packets = vec![
+            Packet::new(&[Instr::SetLo { rd: Reg::g(0), imm: 42 }]).unwrap(),
+            Packet::new(&[
+                Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(0), src2: Src::Imm(1) },
+                Instr::Mul { rd: Reg::g(2), rs1: Reg::g(0), rs2: Reg::g(0) },
+            ])
+            .unwrap(),
+            Packet::new(&[Instr::Halt]).unwrap(),
+        ];
+        let image = encode_program(&packets).unwrap();
+        assert_eq!(image.len(), 16); // 4 + 8 + 4 bytes
+        let back = decode_program(&image).unwrap();
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(decode_instr(0x7F << 23, 0).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Fixed-point formats and saturating arithmetic.
+//!
+//! MAJC-5200 SIMD instructions operate on 16-bit short integer pairs or on
+//! `S.15` / `S2.13` fixed-point formats (sign.integer.fraction), with four
+//! selectable saturation modes (paper §4). The paper does not define the
+//! modes precisely; we implement the four that the MAJC programming model
+//! needs to cover the use cases the paper lists (wrap-around, signed
+//! saturation, unsigned saturation, and symmetric signed saturation that
+//! avoids the -32768 asymmetry — the mode used by e.g. H.263 quantisers).
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction bits of the `S.15` format (value = raw / 2^15, range [-1, 1)).
+pub const S15_FRAC: u32 = 15;
+/// Fraction bits of the `S2.13` format (value = raw / 2^13, range [-4, 4)).
+pub const S2_13_FRAC: u32 = 13;
+
+/// The four SIMD saturation modes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SatMode {
+    /// Modulo 2^16 wrap-around (plain two's-complement).
+    Wrap,
+    /// Clamp to `[-32768, 32767]`.
+    Signed,
+    /// Clamp to `[0, 65535]` (result interpreted as unsigned).
+    Unsigned,
+    /// Clamp to `[-32767, 32767]` (symmetric; never produces -32768).
+    Sym,
+}
+
+impl SatMode {
+    /// All four modes, in encoding order.
+    pub const ALL: [SatMode; 4] = [SatMode::Wrap, SatMode::Signed, SatMode::Unsigned, SatMode::Sym];
+
+    /// 2-bit encoding used by the binary instruction format.
+    #[inline]
+    pub const fn encode(self) -> u32 {
+        match self {
+            SatMode::Wrap => 0,
+            SatMode::Signed => 1,
+            SatMode::Unsigned => 2,
+            SatMode::Sym => 3,
+        }
+    }
+
+    /// Decode a 2-bit saturation-mode field.
+    #[inline]
+    pub const fn decode(bits: u32) -> SatMode {
+        match bits & 3 {
+            0 => SatMode::Wrap,
+            1 => SatMode::Signed,
+            2 => SatMode::Unsigned,
+            _ => SatMode::Sym,
+        }
+    }
+
+    /// Apply this mode to a 32-bit intermediate, producing a 16-bit lane.
+    #[inline]
+    pub fn apply(self, v: i32) -> u16 {
+        match self {
+            SatMode::Wrap => v as u16,
+            SatMode::Signed => v.clamp(i16::MIN as i32, i16::MAX as i32) as u16,
+            SatMode::Unsigned => v.clamp(0, u16::MAX as i32) as u16,
+            SatMode::Sym => v.clamp(-(i16::MAX as i32), i16::MAX as i32) as u16,
+        }
+    }
+}
+
+/// SIMD lane interpretation for packed multiplies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FixFmt {
+    /// Plain 16-bit integers (product keeps the low 16 bits pre-saturation).
+    Int16,
+    /// `S.15` fixed point: product is `(a*b) >> 15`.
+    S15,
+    /// `S2.13` fixed point: product is `(a*b) >> 13`.
+    S2_13,
+}
+
+impl FixFmt {
+    pub const ALL: [FixFmt; 3] = [FixFmt::Int16, FixFmt::S15, FixFmt::S2_13];
+
+    /// 2-bit encoding used by the binary instruction format.
+    #[inline]
+    pub const fn encode(self) -> u32 {
+        match self {
+            FixFmt::Int16 => 0,
+            FixFmt::S15 => 1,
+            FixFmt::S2_13 => 2,
+        }
+    }
+
+    /// Decode a 2-bit format field (3 is reserved and decodes as Int16).
+    #[inline]
+    pub const fn decode(bits: u32) -> FixFmt {
+        match bits & 3 {
+            1 => FixFmt::S15,
+            2 => FixFmt::S2_13,
+            _ => FixFmt::Int16,
+        }
+    }
+
+    /// Full-precision lane product before saturation.
+    #[inline]
+    pub fn mul(self, a: i16, b: i16) -> i32 {
+        let p = a as i32 * b as i32;
+        match self {
+            FixFmt::Int16 => p,
+            FixFmt::S15 => p >> S15_FRAC,
+            FixFmt::S2_13 => p >> S2_13_FRAC,
+        }
+    }
+}
+
+/// Saturate a 64-bit intermediate to signed 32 bits.
+#[inline]
+pub fn sat_i32(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// Saturated `S.31` product of two `S.15` quantities (paper §4).
+///
+/// `(-1.0) * (-1.0)` would be `+1.0`, which is unrepresentable in `S.31`;
+/// it saturates to `i32::MAX`, matching every DSP that defines this op.
+#[inline]
+pub fn s31_product(a: i16, b: i16) -> i32 {
+    let p = (a as i64 * b as i64) << 1;
+    sat_i32(p)
+}
+
+/// `S2.13` parallel divide lane: `a / b` in S2.13, saturated, with the
+/// division-by-zero convention of saturating toward the sign of `a`.
+#[inline]
+pub fn s2_13_div(a: i16, b: i16) -> i16 {
+    if b == 0 {
+        return if a >= 0 { i16::MAX } else { i16::MIN };
+    }
+    let q = ((a as i64) << S2_13_FRAC) / b as i64;
+    q.clamp(i16::MIN as i64, i16::MAX as i64) as i16
+}
+
+/// `S2.13` parallel reciprocal square root lane.
+///
+/// Non-positive inputs saturate to the maximum positive value (the paper
+/// gives no convention; graphics lighting code guards against them anyway).
+#[inline]
+pub fn s2_13_rsqrt(a: i16) -> i16 {
+    if a <= 0 {
+        return i16::MAX;
+    }
+    let x = a as f64 / (1u32 << S2_13_FRAC) as f64;
+    let r = 1.0 / x.sqrt();
+    let q = (r * (1u32 << S2_13_FRAC) as f64).round() as i64;
+    q.clamp(i16::MIN as i64, i16::MAX as i64) as i16
+}
+
+/// Split a 32-bit register into its (high, low) 16-bit lanes.
+#[inline]
+pub const fn lanes(v: u32) -> (i16, i16) {
+    ((v >> 16) as i16, v as i16)
+}
+
+/// Pack (high, low) 16-bit lanes into a 32-bit register value.
+#[inline]
+pub const fn pack(hi: u16, lo: u16) -> u32 {
+    ((hi as u32) << 16) | lo as u32
+}
+
+/// Convert an `f64` to an `S.15` raw value with saturation (test helper and
+/// workload-generation utility).
+#[inline]
+pub fn f64_to_s15(x: f64) -> i16 {
+    let v = (x * (1u32 << S15_FRAC) as f64).round();
+    v.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+/// Convert an `S.15` raw value to `f64`.
+#[inline]
+pub fn s15_to_f64(v: i16) -> f64 {
+    v as f64 / (1u32 << S15_FRAC) as f64
+}
+
+/// Convert an `f64` to an `S2.13` raw value with saturation.
+#[inline]
+pub fn f64_to_s2_13(x: f64) -> i16 {
+    let v = (x * (1u32 << S2_13_FRAC) as f64).round();
+    v.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+/// Convert an `S2.13` raw value to `f64`.
+#[inline]
+pub fn s2_13_to_f64(v: i16) -> f64 {
+    v as f64 / (1u32 << S2_13_FRAC) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_modes() {
+        assert_eq!(SatMode::Wrap.apply(0x1_0005), 5);
+        assert_eq!(SatMode::Signed.apply(40000), 32767);
+        assert_eq!(SatMode::Signed.apply(-40000), (-32768i16) as u16);
+        assert_eq!(SatMode::Unsigned.apply(-5), 0);
+        assert_eq!(SatMode::Unsigned.apply(70000), 65535);
+        assert_eq!(SatMode::Sym.apply(-40000), (-32767i16) as u16);
+        for m in SatMode::ALL {
+            assert_eq!(SatMode::decode(m.encode()), m);
+        }
+    }
+
+    #[test]
+    fn fixfmt_products() {
+        // 0.5 * 0.5 = 0.25 in S.15
+        let h = 1 << 14; // 0.5 in S.15
+        assert_eq!(FixFmt::S15.mul(h, h), 1 << 13);
+        // 1.0 * 1.0 = 1.0 in S2.13
+        let one = 1 << 13;
+        assert_eq!(FixFmt::S2_13.mul(one, one), 1 << 13);
+        for f in FixFmt::ALL {
+            assert_eq!(FixFmt::decode(f.encode()), f);
+        }
+    }
+
+    #[test]
+    fn s31_product_saturates() {
+        assert_eq!(s31_product(i16::MIN, i16::MIN), i32::MAX);
+        // 0.5 * 0.5 = 0.25 => 0x2000_0000 in S.31
+        assert_eq!(s31_product(1 << 14, 1 << 14), 1 << 29);
+    }
+
+    #[test]
+    fn parallel_divide() {
+        let one = 1 << 13;
+        let two = 2 << 13;
+        assert_eq!(s2_13_div(two, two), one);
+        assert_eq!(s2_13_div(one, two), one / 2);
+        assert_eq!(s2_13_div(one, 0), i16::MAX);
+        assert_eq!(s2_13_div(-one, 0), i16::MIN);
+    }
+
+    #[test]
+    fn parallel_rsqrt() {
+        let one = 1 << 13;
+        assert_eq!(s2_13_rsqrt(one), one); // 1/sqrt(1) = 1
+        let four = i16::MAX; // ~3.9998
+        let r = s2_13_to_f64(s2_13_rsqrt(four));
+        assert!((r - 0.5).abs() < 1e-3);
+        assert_eq!(s2_13_rsqrt(0), i16::MAX);
+        assert_eq!(s2_13_rsqrt(-5), i16::MAX);
+    }
+
+    #[test]
+    fn lane_pack_round_trip() {
+        let v = pack(0xBEEF, 0x1234);
+        let (h, l) = lanes(v);
+        assert_eq!(h as u16, 0xBEEF);
+        assert_eq!(l as u16, 0x1234);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(f64_to_s15(0.5), 1 << 14);
+        assert_eq!(f64_to_s15(2.0), i16::MAX); // saturates
+        assert!((s15_to_f64(f64_to_s15(0.123)) - 0.123).abs() < 1e-4);
+        assert_eq!(f64_to_s2_13(1.0), 1 << 13);
+        assert!((s2_13_to_f64(f64_to_s2_13(-2.75)) + 2.75).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,195 @@
+//! VLIW instruction packets.
+//!
+//! A MAJC packet holds one to four 32-bit instructions. A two-bit header
+//! indicates the issue width, "reducing unnecessary nops in the instruction
+//! stream" (paper §3.2). Slot `i` of a packet executes on functional unit
+//! `i`: slot 0 must be an FU0 instruction (memory, control flow, ALU, or
+//! the FU0 math specials), slots 1-3 are compute instructions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::Instr;
+use crate::IsaError;
+
+/// Maximum instructions per packet.
+pub const MAX_SLOTS: usize = 4;
+
+/// One VLIW packet: `width` instructions in slots `0..width`.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    width: u8,
+    slots: [Instr; MAX_SLOTS],
+}
+
+impl Packet {
+    /// Build a packet from 1-4 instructions; slot `i` runs on FU`i`.
+    pub fn new(instrs: &[Instr]) -> Result<Packet, IsaError> {
+        if instrs.is_empty() || instrs.len() > MAX_SLOTS {
+            return Err(IsaError::BadPacketWidth(instrs.len()));
+        }
+        let mut slots = [Instr::Nop; MAX_SLOTS];
+        for (i, ins) in instrs.iter().enumerate() {
+            ins.validate_for_fu(i as u8)?;
+            slots[i] = *ins;
+        }
+        Ok(Packet { width: instrs.len() as u8, slots })
+    }
+
+    /// A single-slot packet holding one FU0 instruction.
+    pub fn solo(i: Instr) -> Result<Packet, IsaError> {
+        Packet::new(&[i])
+    }
+
+    /// Issue width (1-4).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    /// Size of the packet in the instruction stream, in bytes (4-16).
+    #[inline]
+    pub fn len_bytes(&self) -> u32 {
+        self.width as u32 * 4
+    }
+
+    /// The occupied slots, as `(fu, instruction)` pairs.
+    #[inline]
+    pub fn slots(&self) -> impl Iterator<Item = (u8, &Instr)> + '_ {
+        self.slots[..self.width as usize].iter().enumerate().map(|(i, ins)| (i as u8, ins))
+    }
+
+    /// The instruction in slot `fu`, if the packet is that wide.
+    #[inline]
+    pub fn slot(&self, fu: usize) -> Option<&Instr> {
+        self.slots[..self.width as usize].get(fu)
+    }
+
+    /// The packet's control-transfer instruction, if any (always slot 0).
+    #[inline]
+    pub fn control(&self) -> Option<&Instr> {
+        let s0 = &self.slots[0];
+        s0.is_control().then_some(s0)
+    }
+
+    /// Whether any slot touches memory.
+    pub fn has_mem(&self) -> bool {
+        self.slots().any(|(_, i)| i.is_mem())
+    }
+}
+
+/// A sequence of packets plus the byte address of each packet, forming a
+/// loaded program image. Packet addresses reflect the variable-length
+/// encoding: a packet of width `w` occupies `4*w` bytes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    packets: Vec<Packet>,
+    addrs: Vec<u32>,
+    base: u32,
+}
+
+impl Program {
+    /// Lay out packets starting at byte address `base`.
+    pub fn new(base: u32, packets: Vec<Packet>) -> Program {
+        let mut addrs = Vec::with_capacity(packets.len());
+        let mut pc = base;
+        for p in &packets {
+            addrs.push(pc);
+            pc += p.len_bytes();
+        }
+        Program { packets, addrs, base }
+    }
+
+    #[inline]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total size of the encoded instruction stream in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        self.packets.iter().map(|p| p.len_bytes()).sum()
+    }
+
+    #[inline]
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Byte address of packet `idx`.
+    #[inline]
+    pub fn addr_of(&self, idx: usize) -> u32 {
+        self.addrs[idx]
+    }
+
+    /// Index of the packet starting at byte address `pc`.
+    #[inline]
+    pub fn index_of(&self, pc: u32) -> Option<usize> {
+        self.addrs.binary_search(&pc).ok()
+    }
+
+    /// The packet starting at byte address `pc`.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<&Packet> {
+        self.index_of(pc).map(|i| &self.packets[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Src;
+    use crate::ops::AluOp;
+    use crate::reg::Reg;
+
+    fn alu(rd: u8) -> Instr {
+        Instr::Alu { op: AluOp::Add, rd: Reg::g(rd), rs1: Reg::g(0), src2: Src::Imm(1) }
+    }
+
+    fn fma(rd: u8) -> Instr {
+        Instr::FMAdd { rd: Reg::g(rd), rs1: Reg::g(0), rs2: Reg::g(1) }
+    }
+
+    #[test]
+    fn packet_widths() {
+        for w in 1..=4usize {
+            let instrs: Vec<Instr> = (0..w).map(|i| if i == 0 { alu(1) } else { fma(2) }).collect();
+            let p = Packet::new(&instrs).unwrap();
+            assert_eq!(p.width(), w);
+            assert_eq!(p.len_bytes(), 4 * w as u32);
+        }
+        assert!(Packet::new(&[]).is_err());
+        assert!(Packet::new(&[alu(0); 5]).is_err());
+    }
+
+    #[test]
+    fn slot0_must_accept_fu0() {
+        // A compute-only op cannot occupy slot 0.
+        assert!(Packet::new(&[fma(0)]).is_err());
+        // FU0 ops cannot occupy slots 1-3.
+        assert!(Packet::new(&[alu(0), Instr::Membar]).is_err());
+    }
+
+    #[test]
+    fn program_layout() {
+        let p1 = Packet::new(&[alu(0)]).unwrap(); // 4 bytes
+        let p2 = Packet::new(&[alu(1), fma(2), fma(3)]).unwrap(); // 12 bytes
+        let p3 = Packet::new(&[alu(4), fma(5)]).unwrap(); // 8 bytes
+        let prog = Program::new(0x1000, vec![p1, p2, p3]);
+        assert_eq!(prog.addr_of(0), 0x1000);
+        assert_eq!(prog.addr_of(1), 0x1004);
+        assert_eq!(prog.addr_of(2), 0x1010);
+        assert_eq!(prog.len_bytes(), 24);
+        assert_eq!(prog.index_of(0x1004), Some(1));
+        assert_eq!(prog.index_of(0x1006), None);
+        assert!(prog.fetch(0x1010).is_some());
+    }
+}

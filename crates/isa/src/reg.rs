@@ -1,0 +1,199 @@
+//! MAJC register specifiers.
+//!
+//! Each MAJC-5200 CPU has 224 logical registers: 96 globals visible to all
+//! four functional units, plus 32 locals private to each functional unit
+//! (paper §3.2). We number them absolutely: `0..96` are globals `g0..g95`,
+//! `96 + 32*fu + i` is local `l{i}` of functional unit `fu`.
+//!
+//! The binary encoding is *FU-relative*: within an instruction executing on
+//! functional unit `fu`, a 7-bit specifier addresses the 128 registers that
+//! unit can see (`0..96` globals, `96..128` its own locals). This is why a
+//! 224-register file fits 7-bit register fields.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Number of global registers per CPU.
+pub const NUM_GLOBALS: u8 = 96;
+/// Number of local registers per functional unit.
+pub const NUM_LOCALS_PER_FU: u8 = 32;
+/// Number of functional units per CPU.
+pub const NUM_FUS: u8 = 4;
+/// Total logical registers per CPU (96 + 4 * 32).
+pub const NUM_REGS: u16 = NUM_GLOBALS as u16 + NUM_FUS as u16 * NUM_LOCALS_PER_FU as u16;
+
+/// An absolute register specifier in `0..224`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Global register `g{i}`, `i < 96`.
+    #[inline]
+    pub const fn g(i: u8) -> Reg {
+        assert!(i < NUM_GLOBALS);
+        Reg(i)
+    }
+
+    /// Local register `l{i}` of functional unit `fu`.
+    #[inline]
+    pub const fn l(fu: u8, i: u8) -> Reg {
+        assert!(fu < NUM_FUS && i < NUM_LOCALS_PER_FU);
+        Reg(NUM_GLOBALS + fu * NUM_LOCALS_PER_FU + i)
+    }
+
+    /// Construct from an absolute index in `0..224`.
+    #[inline]
+    pub const fn from_index(i: u8) -> Option<Reg> {
+        if (i as u16) < NUM_REGS {
+            Some(Reg(i))
+        } else {
+            None
+        }
+    }
+
+    /// Absolute index in `0..224`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True when this is one of the 96 globals.
+    #[inline]
+    pub const fn is_global(self) -> bool {
+        self.0 < NUM_GLOBALS
+    }
+
+    /// The functional unit owning this local register, if it is local.
+    #[inline]
+    pub const fn local_owner(self) -> Option<u8> {
+        if self.0 < NUM_GLOBALS {
+            None
+        } else {
+            Some((self.0 - NUM_GLOBALS) / NUM_LOCALS_PER_FU)
+        }
+    }
+
+    /// Whether an instruction running on `fu` may name this register.
+    #[inline]
+    pub const fn accessible_by(self, fu: u8) -> bool {
+        match self.local_owner() {
+            None => true,
+            Some(owner) => owner == fu,
+        }
+    }
+
+    /// The paired register `(self, self.pair())` used by 64-bit values.
+    ///
+    /// Pairs are even-aligned: `pair()` of an even register is the next
+    /// register; double-precision and 8-byte loads require even `self`.
+    #[inline]
+    pub const fn pair(self) -> Option<Reg> {
+        if self.0 % 2 == 0 && (self.0 as u16) + 1 < NUM_REGS {
+            // A pair must not straddle the global/local boundary or two FUs'
+            // local windows; even alignment guarantees this because both 96
+            // and 32 are even.
+            Some(Reg(self.0 + 1))
+        } else {
+            None
+        }
+    }
+
+    /// Encode as the 7-bit FU-relative specifier used by the binary format.
+    ///
+    /// Returns `None` when the register is a local of a different unit.
+    #[inline]
+    pub const fn funit_spec(self, fu: u8) -> Option<u8> {
+        if self.0 < NUM_GLOBALS {
+            Some(self.0)
+        } else if self.local_owner().unwrap() == fu {
+            Some(NUM_GLOBALS + (self.0 - NUM_GLOBALS) % NUM_LOCALS_PER_FU)
+        } else {
+            None
+        }
+    }
+
+    /// Decode a 7-bit FU-relative specifier for an instruction on `fu`.
+    #[inline]
+    pub const fn from_funit_spec(fu: u8, spec: u8) -> Option<Reg> {
+        if spec < NUM_GLOBALS {
+            Some(Reg(spec))
+        } else if spec < NUM_GLOBALS + NUM_LOCALS_PER_FU && fu < NUM_FUS {
+            Some(Reg(NUM_GLOBALS + fu * NUM_LOCALS_PER_FU + (spec - NUM_GLOBALS)))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.local_owner() {
+            None => write!(f, "g{}", self.0),
+            Some(fu) => write!(f, "l{}@fu{}", (self.0 - NUM_GLOBALS) % NUM_LOCALS_PER_FU, fu),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_round_trip() {
+        for i in 0..NUM_GLOBALS {
+            let r = Reg::g(i);
+            assert!(r.is_global());
+            assert_eq!(r.index(), i as usize);
+            for fu in 0..NUM_FUS {
+                assert!(r.accessible_by(fu));
+                assert_eq!(Reg::from_funit_spec(fu, r.funit_spec(fu).unwrap()), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn local_ownership() {
+        for fu in 0..NUM_FUS {
+            for i in 0..NUM_LOCALS_PER_FU {
+                let r = Reg::l(fu, i);
+                assert_eq!(r.local_owner(), Some(fu));
+                assert!(r.accessible_by(fu));
+                for other in 0..NUM_FUS {
+                    if other != fu {
+                        assert!(!r.accessible_by(other));
+                        assert_eq!(r.funit_spec(other), None);
+                    }
+                }
+                let spec = r.funit_spec(fu).unwrap();
+                assert_eq!(Reg::from_funit_spec(fu, spec), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn register_count_matches_paper() {
+        assert_eq!(NUM_REGS, 224);
+    }
+
+    #[test]
+    fn pairs_are_even_aligned() {
+        assert!(Reg::g(4).pair().is_some());
+        assert!(Reg::g(5).pair().is_none());
+        assert_eq!(Reg::g(4).pair(), Some(Reg::g(5)));
+        assert_eq!(Reg::l(2, 10).pair(), Some(Reg::l(2, 11)));
+        // The last local of an FU window is odd, so no pair crosses windows.
+        assert!(Reg::l(1, 31).pair().is_none());
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert_eq!(Reg::from_index(223), Some(Reg::l(3, 31)));
+        assert_eq!(Reg::from_index(224), None);
+    }
+}

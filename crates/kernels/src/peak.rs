@@ -1,0 +1,195 @@
+//! Peak-rate saturation kernels (paper §1/§4/§6: "6.16 GFLOPS and 12.33
+//! GOPS", "more than 6 GFLOPS and 12 GOPS of raw performance").
+//!
+//! The arithmetic behind the headline, per CPU at 500 MHz:
+//!
+//! * FLOPS: three fused multiply-adds per cycle on FU1-3 (2 flops each) +
+//!   one FU0 reciprocal square root every 6 cycles = 6 + 1/6 = 6.1667
+//!   flops/cycle → ×2 CPUs × 0.5 GHz = **6.1667 GFLOPS**;
+//! * 16-bit OPS: three dot-products per cycle (2 multiplies + 2 adds
+//!   each) + one 2-lane parallel divide every 6 cycles = 12 + 2/6 =
+//!   12.333 ops/cycle → **12.333 GOPS**.
+//!
+//! These kernels issue exactly that mix and measure how close a real
+//! instruction stream (with a loop branch) gets.
+
+use majc_asm::Asm;
+use majc_isa::{AluOp, Cond, Instr, Program, Reg, Src};
+use majc_mem::FlatMem;
+
+use crate::harness::{run_warm, MemModel};
+use majc_core::TimingConfig;
+
+/// Analytic peak for one CPU in flops/cycle.
+pub const PEAK_FLOPS_PER_CYCLE: f64 = 6.0 + 1.0 / 6.0;
+/// Analytic peak for one CPU in 16-bit ops/cycle.
+pub const PEAK_OPS_PER_CYCLE: f64 = 12.0 + 2.0 / 6.0;
+
+/// Chip-level analytic peaks at a clock (two CPUs).
+pub fn analytic_gflops(clock_hz: f64) -> f64 {
+    2.0 * clock_hz * PEAK_FLOPS_PER_CYCLE / 1e9
+}
+
+pub fn analytic_gops(clock_hz: f64) -> f64 {
+    2.0 * clock_hz * PEAK_OPS_PER_CYCLE / 1e9
+}
+
+const COUNT: Reg = Reg::g(0);
+
+fn facc(fu: u8, i: usize) -> Reg {
+    Reg::l(fu, i as u8)
+}
+
+/// Build the FLOPS saturation loop: `iters` × 48-packet bodies.
+/// Returns (program, flops per body).
+pub fn build_flops(iters: u32) -> (Program, u64, FlatMem) {
+    let mut a = Asm::new(0);
+    a.set32(COUNT, iters);
+    // Initialise accumulators and multiplicands.
+    let mul1 = Reg::g(2);
+    let mul2 = Reg::g(3);
+    let rs = Reg::g(4); // rsqrt input/output chain on FU0
+    a.setf(mul1, 0.5);
+    a.setf(mul2, 0.001);
+    a.setf(rs, 2.0);
+    let one = 1.0f32.to_bits();
+    for fu in 1..4u8 {
+        for i in 0..4usize {
+            let r = facc(fu, i);
+            a.op(Instr::SetLo { rd: Reg::g(5), imm: (one & 0xFFFF) as i16 });
+            a.op(Instr::SetHi { rd: Reg::g(5), imm: (one >> 16) as u16 });
+            a.pack(&[
+                Instr::Nop,
+                if fu == 1 { mv(r, Reg::g(5)) } else { Instr::Nop },
+                if fu == 2 { mv(r, Reg::g(5)) } else { Instr::Nop },
+                if fu == 3 { mv(r, Reg::g(5)) } else { Instr::Nop },
+            ]);
+            let _ = i;
+        }
+    }
+    a.label("body");
+    // 48 packets: eight 6-packet groups; FU0 issues one rsqrt per group.
+    let mut flops_per_body = 0u64;
+    for p in 0..48usize {
+        let i = p % 4; // accumulator rotation: 4-cycle FMA interval
+        let f0 = if p % 6 == 0 {
+            flops_per_body += 1;
+            Instr::FRsqrt { rd: rs, rs }
+        } else {
+            Instr::Nop
+        };
+        flops_per_body += 6;
+        a.pack(&[
+            f0,
+            Instr::FMAdd { rd: facc(1, i), rs1: mul1, rs2: mul2 },
+            Instr::FMAdd { rd: facc(2, i), rs1: mul1, rs2: mul2 },
+            Instr::FMAdd { rd: facc(3, i), rs1: mul1, rs2: mul2 },
+        ]);
+    }
+    a.op(Instr::Alu { op: AluOp::Sub, rd: COUNT, rs1: COUNT, src2: Src::Imm(1) });
+    a.br(Cond::Gt, COUNT, "body", true);
+    a.op(Instr::Halt);
+    (a.finish().expect("flops kernel assembles"), flops_per_body, FlatMem::new())
+}
+
+fn mv(rd: Reg, rsrc: Reg) -> Instr {
+    Instr::Alu { op: AluOp::Or, rd, rs1: rsrc, src2: Src::Imm(0) }
+}
+
+/// Build the 16-bit OPS saturation loop (dot products + parallel divide).
+pub fn build_ops(iters: u32) -> (Program, u64, FlatMem) {
+    let mut a = Asm::new(0);
+    a.set32(COUNT, iters);
+    let x = Reg::g(2);
+    let y = Reg::g(3);
+    let pd = Reg::g(4);
+    let pv = Reg::g(5);
+    a.set32(x, 0x0003_0002);
+    a.set32(y, 0x0001_0004);
+    a.set32(pd, 0x2000_2000); // 1.0 in both S2.13 lanes
+    a.set32(pv, 0x2000_2000);
+    a.label("body");
+    let mut ops_per_body = 0u64;
+    for p in 0..48usize {
+        let f0 = if p % 6 == 0 {
+            ops_per_body += 2; // two lanes
+            Instr::PDiv { rd: pd, rs1: pd, rs2: pv }
+        } else {
+            Instr::Nop
+        };
+        ops_per_body += 12; // 3 dotp × (2 mul + 2 add)
+        a.pack(&[
+            f0,
+            Instr::DotP { rd: Reg::l(1, 0), rs1: x, rs2: y },
+            Instr::DotP { rd: Reg::l(2, 0), rs1: x, rs2: y },
+            Instr::DotP { rd: Reg::l(3, 0), rs1: x, rs2: y },
+        ]);
+    }
+    a.op(Instr::Alu { op: AluOp::Sub, rd: COUNT, rs1: COUNT, src2: Src::Imm(1) });
+    a.br(Cond::Gt, COUNT, "body", true);
+    a.op(Instr::Halt);
+    (a.finish().expect("ops kernel assembles"), ops_per_body, FlatMem::new())
+}
+
+/// Measured sustained rates for one CPU, scaled to chip (×2) GFLOPS/GOPS.
+pub struct PeakResult {
+    pub cycles: u64,
+    pub total_units: u64,
+    pub per_cycle: f64,
+    /// Chip-level rate in G/s at 500 MHz (two CPUs).
+    pub chip_rate: f64,
+}
+
+fn run(prog: &Program, units_per_body: u64, iters: u32) -> PeakResult {
+    let cycles =
+        run_warm(prog, FlatMem::new(), MemModel::Perfect, TimingConfig::default()).stats.cycles;
+    let total = units_per_body * iters as u64;
+    let per_cycle = total as f64 / cycles as f64;
+    PeakResult { cycles, total_units: total, per_cycle, chip_rate: 2.0 * 0.5 * per_cycle }
+}
+
+pub fn measure_gflops(iters: u32) -> PeakResult {
+    let (prog, per_body, _) = build_flops(iters);
+    run(&prog, per_body, iters)
+}
+
+pub fn measure_gops(iters: u32) -> PeakResult {
+    let (prog, per_body, _) = build_ops(iters);
+    run(&prog, per_body, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_peaks_match_paper() {
+        assert!((analytic_gflops(500e6) - 6.1667).abs() < 1e-3);
+        assert!((analytic_gops(500e6) - 12.3333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sustained_flops_close_to_peak() {
+        let r = measure_gflops(500);
+        // The loop branch costs ~2 cycles per 48-packet body.
+        assert!(
+            r.chip_rate > 0.9 * analytic_gflops(500e6),
+            "sustained {:.3} GFLOPS vs peak {:.3}",
+            r.chip_rate,
+            analytic_gflops(500e6)
+        );
+        assert!(r.chip_rate <= analytic_gflops(500e6) + 1e-9);
+    }
+
+    #[test]
+    fn sustained_ops_close_to_peak() {
+        let r = measure_gops(500);
+        assert!(
+            r.chip_rate > 0.9 * analytic_gops(500e6),
+            "sustained {:.3} GOPS vs peak {:.3}",
+            r.chip_rate,
+            analytic_gops(500e6)
+        );
+        assert!(r.chip_rate <= analytic_gops(500e6) + 1e-9);
+    }
+}

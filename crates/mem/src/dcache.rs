@@ -1,0 +1,343 @@
+//! The shared, coherent, dual-ported data cache.
+//!
+//! MAJC-5200's two CPUs "share a coherent four-way set-associative 16-KB
+//! data cache" (paper §3.1) that is dual ported, giving each CPU one access
+//! per cycle and a 2-cycle load-to-use on hits (§3.2). Because both CPUs
+//! front the *same* cache, coherence needs no protocol — exactly the
+//! property the paper advertises as "a powerful, very low overhead
+//! communication between the two CPUs".
+//!
+//! The cache is write-back / write-allocate, with a four-entry MSHR file
+//! supporting "a maximum of four cache misses without blocking the
+//! execution" and out-of-order data returns (§3.2).
+
+use serde::Serialize;
+
+use crate::dram::MemBackend;
+use crate::tags::{CacheStats, TagArray, Victim};
+
+/// Access kinds the LSU can present.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DKind {
+    Load,
+    Store,
+    /// Non-faulting 32-byte block prefetch.
+    Prefetch,
+    /// Atomic read-modify-write (CAS / swap): behaves as load+store.
+    Atomic,
+}
+
+/// Cacheability of an individual access (paper §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DPolicy {
+    #[default]
+    Cached,
+    NonCached,
+    NonAllocating,
+}
+
+/// Why an access could not be accepted this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DStall {
+    /// All MSHRs are in flight; retry next cycle.
+    MshrFull,
+}
+
+/// Configuration of the data cache.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct DCacheConfig {
+    pub size_bytes: usize,
+    pub ways: usize,
+    pub line_bytes: usize,
+    /// Load-to-use latency on a hit (2 on MAJC-5200).
+    pub load_use: u64,
+    /// Outstanding misses supported without blocking (4 on MAJC-5200).
+    pub mshrs: usize,
+    /// Cycles from miss detection to the request reaching the backend.
+    pub miss_overhead: u64,
+}
+
+impl Default for DCacheConfig {
+    fn default() -> DCacheConfig {
+        DCacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 32,
+            load_use: 2,
+            mshrs: 4,
+            miss_overhead: 2,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Mshr {
+    line: u32,
+    done: u64,
+    /// Whether the fill installs the line (false for non-allocating misses
+    /// and prefetch-drops after the line was invalidated).
+    allocate: bool,
+    /// A store is waiting: the line fills dirty.
+    dirty: bool,
+}
+
+/// The shared dual-ported D-cache timing model.
+#[derive(Clone, Debug)]
+pub struct DCache {
+    cfg: DCacheConfig,
+    tags: TagArray,
+    mshrs: Vec<Mshr>,
+    /// Per-port access counts (port = CPU id).
+    pub port_accesses: [u64; 2],
+    pub prefetches: u64,
+    pub prefetch_drops: u64,
+    pub mshr_stall_cycles: u64,
+}
+
+impl DCache {
+    pub fn new(cfg: DCacheConfig) -> DCache {
+        DCache {
+            tags: TagArray::new(cfg.size_bytes, cfg.ways, cfg.line_bytes),
+            mshrs: Vec::with_capacity(cfg.mshrs),
+            cfg,
+            port_accesses: [0; 2],
+            prefetches: 0,
+            prefetch_drops: 0,
+            mshr_stall_cycles: 0,
+        }
+    }
+
+    pub fn config(&self) -> &DCacheConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &CacheStats {
+        &self.tags.stats
+    }
+
+    /// Retire MSHRs whose fills have arrived by `now`, installing lines.
+    fn retire(&mut self, now: u64, backend: &mut dyn MemBackend) {
+        let mut i = 0;
+        while i < self.mshrs.len() {
+            if self.mshrs[i].done <= now {
+                let m = self.mshrs.swap_remove(i);
+                if m.allocate {
+                    match self.tags.fill(m.line, m.dirty) {
+                        Victim::Dirty(victim) => {
+                            backend.backend_write(m.done, victim, self.cfg.line_bytes as u32);
+                        }
+                        Victim::Clean(_) | Victim::None => {}
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Present one access on `port` at cycle `now`. Returns the cycle at
+    /// which the result is available to dependents (loads) or at which the
+    /// access is globally performed (stores), or a stall.
+    pub fn access(
+        &mut self,
+        now: u64,
+        port: usize,
+        addr: u32,
+        kind: DKind,
+        pol: DPolicy,
+        backend: &mut dyn MemBackend,
+    ) -> Result<u64, DStall> {
+        self.retire(now, backend);
+        self.port_accesses[port.min(1)] += 1;
+        let line = self.tags.line_addr(addr);
+        let is_write = matches!(kind, DKind::Store | DKind::Atomic);
+
+        if kind == DKind::Prefetch {
+            self.prefetches += 1;
+            // Non-binding: drop when the line is resident or pending or no
+            // MSHR is free.
+            if self.tags.probe(line)
+                || self.mshrs.iter().any(|m| m.line == line)
+                || self.mshrs.len() >= self.cfg.mshrs
+            {
+                self.prefetch_drops += 1;
+                return Ok(now);
+            }
+            let done = backend.backend_read(
+                now + self.cfg.miss_overhead,
+                line,
+                self.cfg.line_bytes as u32,
+            );
+            self.mshrs.push(Mshr { line, done, allocate: true, dirty: false });
+            return Ok(now);
+        }
+
+        if pol == DPolicy::NonCached {
+            // Bypass the cache entirely; a pending line is unaffected
+            // (data correctness is handled by the flat store).
+            let bytes = 4; // word-granule channel occupancy for uncached
+            let done = if is_write {
+                backend.backend_write(now + self.cfg.miss_overhead, addr, bytes)
+            } else {
+                backend.backend_read(now + self.cfg.miss_overhead, addr, bytes)
+            };
+            return Ok(done);
+        }
+
+        if self.tags.access(addr, is_write) {
+            return Ok(now + self.cfg.load_use);
+        }
+
+        // Miss: merge into a pending MSHR for the same line if any.
+        if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
+            m.dirty |= is_write;
+            m.allocate = true;
+            return Ok(m.done.max(now + self.cfg.load_use));
+        }
+
+        if self.mshrs.len() >= self.cfg.mshrs {
+            self.mshr_stall_cycles += 1;
+            return Err(DStall::MshrFull);
+        }
+
+        let done = backend.backend_read(
+            now + self.cfg.miss_overhead,
+            line,
+            self.cfg.line_bytes as u32,
+        );
+        let allocate = pol != DPolicy::NonAllocating;
+        self.mshrs.push(Mshr { line, done, allocate, dirty: is_write && allocate });
+        if is_write && !allocate {
+            // Non-allocating store: write-through to the backend.
+            let wdone = backend.backend_write(now + self.cfg.miss_overhead, addr, 4);
+            return Ok(wdone);
+        }
+        Ok(done)
+    }
+
+    /// Number of misses currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Complete every outstanding fill immediately (end of a measurement
+    /// epoch: keeps tags warm while discarding in-flight timing state).
+    pub fn drain(&mut self, backend: &mut dyn MemBackend) {
+        self.retire(u64::MAX, backend);
+    }
+
+    /// Cold-start the cache (between benchmark runs).
+    pub fn clear(&mut self) {
+        self.tags.clear();
+        self.mshrs.clear();
+    }
+}
+
+impl Default for DCache {
+    fn default() -> DCache {
+        DCache::new(DCacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::{Dram, PerfectMem};
+
+    fn mk() -> (DCache, Dram) {
+        (DCache::default(), Dram::default())
+    }
+
+    #[test]
+    fn hit_is_two_cycles() {
+        let (mut c, mut d) = mk();
+        let t_miss = c.access(0, 0, 0x100, DKind::Load, DPolicy::Cached, &mut d).unwrap();
+        assert!(t_miss > 2);
+        // After the fill arrives the next access hits.
+        let t_hit = c.access(t_miss + 1, 0, 0x104, DKind::Load, DPolicy::Cached, &mut d).unwrap();
+        assert_eq!(t_hit, t_miss + 1 + 2);
+    }
+
+    #[test]
+    fn four_misses_then_stall() {
+        let (mut c, mut d) = mk();
+        for i in 0..4 {
+            let r = c.access(0, 0, i * 0x1000, DKind::Load, DPolicy::Cached, &mut d);
+            assert!(r.is_ok(), "miss {i} should be accepted");
+        }
+        assert_eq!(c.outstanding(), 4);
+        let r = c.access(0, 0, 5 * 0x1000, DKind::Load, DPolicy::Cached, &mut d);
+        assert_eq!(r, Err(DStall::MshrFull));
+        // Much later, MSHRs have retired and the access is accepted.
+        let r = c.access(10_000, 0, 5 * 0x1000, DKind::Load, DPolicy::Cached, &mut d);
+        assert!(r.is_ok());
+        assert_eq!(c.outstanding(), 1);
+    }
+
+    #[test]
+    fn miss_merge_on_same_line() {
+        let (mut c, mut d) = mk();
+        let t1 = c.access(0, 0, 0x200, DKind::Load, DPolicy::Cached, &mut d).unwrap();
+        let t2 = c.access(1, 1, 0x208, DKind::Load, DPolicy::Cached, &mut d).unwrap();
+        assert_eq!(c.outstanding(), 1, "same-line miss must merge");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn prefetch_is_non_binding() {
+        let (mut c, mut d) = mk();
+        let t = c.access(0, 0, 0x300, DKind::Prefetch, DPolicy::Cached, &mut d).unwrap();
+        assert_eq!(t, 0, "prefetch returns immediately");
+        assert_eq!(c.outstanding(), 1);
+        // Prefetch to a pending line drops.
+        c.access(1, 0, 0x300, DKind::Prefetch, DPolicy::Cached, &mut d).unwrap();
+        assert_eq!(c.prefetch_drops, 1);
+        // After the fill, a demand load hits.
+        let t = c.access(1000, 0, 0x300, DKind::Load, DPolicy::Cached, &mut d).unwrap();
+        assert_eq!(t, 1002);
+    }
+
+    #[test]
+    fn noncached_bypasses_tags() {
+        let (mut c, mut d) = mk();
+        c.access(0, 0, 0x400, DKind::Load, DPolicy::NonCached, &mut d).unwrap();
+        let t = c.access(1000, 0, 0x400, DKind::Load, DPolicy::NonCached, &mut d).unwrap();
+        assert!(t > 1002, "non-cached loads never hit");
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn nonallocating_miss_does_not_fill() {
+        let (mut c, mut p) = (DCache::default(), PerfectMem { latency: 10 });
+        c.access(0, 0, 0x500, DKind::Load, DPolicy::NonAllocating, &mut p).unwrap();
+        // Past the fill time, the line still misses.
+        let t = c.access(100, 0, 0x500, DKind::Load, DPolicy::Cached, &mut p).unwrap();
+        assert!(t > 102);
+        // But a non-allocating *hit* is served from the cache: fill it first.
+        let t2 = c.access(1000, 0, 0x500, DKind::Load, DPolicy::NonAllocating, &mut p).unwrap();
+        assert_eq!(t2, 1002);
+    }
+
+    #[test]
+    fn store_marks_line_dirty_and_writes_back() {
+        let (mut c, mut p) = (DCache::default(), PerfectMem::default());
+        c.access(0, 0, 0x600, DKind::Store, DPolicy::Cached, &mut p).unwrap();
+        // Evict by filling the same set with > 4 distinct lines. Set count
+        // is 128, line 32 B: stride = 128*32 = 4096.
+        for i in 1..=4 {
+            c.access(100 * i, 0, 0x600 + 4096 * i as u32, DKind::Load, DPolicy::Cached, &mut p)
+                .unwrap();
+        }
+        // Run far ahead so fills retire.
+        c.access(10_000, 0, 0x600 + 4096 * 5, DKind::Load, DPolicy::Cached, &mut p).unwrap();
+        assert!(c.stats().writebacks > 0, "dirty victim must write back");
+    }
+
+    #[test]
+    fn both_ports_counted() {
+        let (mut c, mut d) = mk();
+        c.access(0, 0, 0, DKind::Load, DPolicy::Cached, &mut d).unwrap();
+        c.access(0, 1, 64, DKind::Load, DPolicy::Cached, &mut d).unwrap();
+        assert_eq!(c.port_accesses, [1, 1]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Direct Rambus DRAM (DRDRAM) channel model.
+//!
+//! The MAJC-5200 main-memory interface is a direct Rambus channel with a
+//! peak transfer rate of 1.6 GB/s (paper §3.1): a 16-bit channel at
+//! 800 MT/s. All timing here is expressed in 500 MHz CPU cycles, so the
+//! channel moves 3.2 bytes per CPU cycle — a 32-byte cache line occupies
+//! the channel for 10 cycles, which is the steady-state (peak-bandwidth)
+//! cost of a pipelined line transfer.
+
+use serde::Serialize;
+
+/// Timing parameters, in 500 MHz CPU cycles.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct DramConfig {
+    /// Cycles a 32-byte granule occupies the channel (10 => 1.6 GB/s).
+    pub cycles_per_32b: u64,
+    /// Command-to-data latency when the target row is already open.
+    pub row_hit_lat: u64,
+    /// Command-to-data latency including row activate on a row miss.
+    pub row_miss_lat: u64,
+    /// Number of independent banks on the channel.
+    pub banks: usize,
+    /// Row (page) size per bank, bytes.
+    pub row_bytes: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        DramConfig {
+            cycles_per_32b: 10,
+            row_hit_lat: 20,
+            row_miss_lat: 40,
+            banks: 16,
+            row_bytes: 2048,
+        }
+    }
+}
+
+/// Channel statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct DramStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes: u64,
+    pub row_hits: u64,
+    pub row_misses: u64,
+    /// Total cycles the data channel was occupied.
+    pub busy_cycles: u64,
+    /// Completion time of the latest request.
+    pub last_done: u64,
+}
+
+impl DramStats {
+    /// Achieved bandwidth in bytes/cycle over `elapsed` cycles.
+    pub fn bandwidth(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / elapsed as f64
+        }
+    }
+}
+
+/// The DRDRAM channel: banks with open-row tracking and a shared data bus.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    /// Open row per bank (`u32::MAX` = closed).
+    open_rows: Vec<u32>,
+    /// Cycle at which the data channel is next free.
+    channel_free: u64,
+    pub stats: DramStats,
+}
+
+impl Dram {
+    pub fn new(cfg: DramConfig) -> Dram {
+        Dram {
+            open_rows: vec![u32::MAX; cfg.banks],
+            cfg,
+            channel_free: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: u32) -> usize {
+        // Interleave banks on row granularity.
+        ((addr / self.cfg.row_bytes) as usize) % self.cfg.banks
+    }
+
+    #[inline]
+    fn row_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.row_bytes / self.cfg.banks as u32
+    }
+
+    /// Issue a transfer of `bytes` at `addr`; returns the completion cycle.
+    ///
+    /// Command latency overlaps with earlier transfers (the channel
+    /// pipelines across banks), so back-to-back line reads sustain the
+    /// 3.2 B/cycle peak.
+    pub fn request(&mut self, now: u64, addr: u32, bytes: u32, is_write: bool) -> u64 {
+        let bank = self.bank_of(addr);
+        let row = self.row_of(addr);
+        let lat = if self.open_rows[bank] == row {
+            self.stats.row_hits += 1;
+            self.cfg.row_hit_lat
+        } else {
+            self.stats.row_misses += 1;
+            self.open_rows[bank] = row;
+            self.cfg.row_miss_lat
+        };
+        // Cycles of channel time: ceil(bytes / 32) granules.
+        let granules = bytes.div_ceil(32).max(1) as u64;
+        let xfer = granules * self.cfg.cycles_per_32b;
+        let data_ready = now + lat;
+        let start = data_ready.max(self.channel_free);
+        let done = start + xfer;
+        self.channel_free = done;
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.bytes += bytes as u64;
+        self.stats.busy_cycles += xfer;
+        self.stats.last_done = self.stats.last_done.max(done);
+        done
+    }
+
+    /// Theoretical peak bandwidth in GB/s at a given core clock.
+    pub fn peak_gbps(&self, clock_hz: f64) -> f64 {
+        32.0 / self.cfg.cycles_per_32b as f64 * clock_hz / 1e9
+    }
+
+    /// Rewind the channel clock to zero (open rows stay open). Called when
+    /// a new measurement epoch restarts simulated time.
+    pub fn reset_time(&mut self) {
+        self.channel_free = 0;
+    }
+}
+
+impl Default for Dram {
+    fn default() -> Dram {
+        Dram::new(DramConfig::default())
+    }
+}
+
+/// Anything that can service cache-line reads and writebacks with timing:
+/// the raw DRAM channel, or (in the SoC) the crossbar routing to it.
+pub trait MemBackend {
+    /// Fetch `bytes` at `addr`; returns the cycle the data arrives.
+    fn backend_read(&mut self, now: u64, addr: u32, bytes: u32) -> u64;
+    /// Write `bytes` at `addr`; returns the cycle the write completes.
+    fn backend_write(&mut self, now: u64, addr: u32, bytes: u32) -> u64;
+}
+
+impl MemBackend for Dram {
+    fn backend_read(&mut self, now: u64, addr: u32, bytes: u32) -> u64 {
+        self.request(now, addr, bytes, false)
+    }
+
+    fn backend_write(&mut self, now: u64, addr: u32, bytes: u32) -> u64 {
+        self.request(now, addr, bytes, true)
+    }
+}
+
+/// A perfect-memory backend: fixed (default zero) latency, infinite
+/// bandwidth. Used for the paper's "without memory effects" columns in
+/// Table 3 and for ablations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfectMem {
+    pub latency: u64,
+}
+
+impl MemBackend for PerfectMem {
+    fn backend_read(&mut self, now: u64, _addr: u32, _bytes: u32) -> u64 {
+        now + self.latency
+    }
+
+    fn backend_write(&mut self, now: u64, _addr: u32, _bytes: u32) -> u64 {
+        now + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bandwidth_is_1_6_gbps() {
+        let d = Dram::default();
+        let peak = d.peak_gbps(500e6);
+        assert!((peak - 1.6).abs() < 1e-9, "peak {peak}");
+    }
+
+    #[test]
+    fn back_to_back_reads_sustain_peak() {
+        let mut d = Dram::default();
+        let mut now = 0;
+        let n = 1000u64;
+        for i in 0..n {
+            // Stride across banks so activates overlap transfers.
+            let addr = (i as u32) * 2048;
+            now = d.request(0, addr, 32, false);
+        }
+        // Steady state: one 32 B line per 10 cycles.
+        let bw = d.stats.bandwidth(now);
+        assert!(bw > 3.0, "achieved {bw} B/cycle");
+    }
+
+    #[test]
+    fn row_hits_are_faster() {
+        let mut d = Dram::default();
+        let t1 = d.request(0, 0, 32, false); // row miss
+        let t2 = d.request(t1, 64, 32, false); // same row
+        assert_eq!(d.stats.row_misses, 1);
+        assert_eq!(d.stats.row_hits, 1);
+        assert!(t2 - t1 < t1, "hit {t2}, miss {t1}");
+    }
+
+    #[test]
+    fn channel_serializes_transfers() {
+        let mut d = Dram::default();
+        // Two simultaneous requests to different banks: the second's
+        // transfer queues behind the first.
+        let t1 = d.request(0, 0, 32, false);
+        let t2 = d.request(0, 2048, 32, false);
+        assert_eq!(t2, t1 + 10);
+    }
+
+    #[test]
+    fn perfect_memory_is_flat() {
+        let mut p = PerfectMem { latency: 0 };
+        assert_eq!(p.backend_read(17, 0, 32), 17);
+        assert_eq!(p.backend_write(17, 0, 32), 17);
+    }
+}

@@ -1,0 +1,160 @@
+//! Flat backing store for the simulated physical address space.
+//!
+//! The simulator separates *data* from *timing*: architectural data always
+//! lives here (so the shared D-cache is trivially coherent between the two
+//! CPUs, as the real chip's single shared cache was), while the cache and
+//! DRAM models track tags and cycle counts only.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse, paged 32-bit physical memory.
+#[derive(Clone, Debug, Default)]
+pub struct FlatMem {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl FlatMem {
+    pub fn new() -> FlatMem {
+        FlatMem::default()
+    }
+
+    fn page(&mut self, pn: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(pn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Read `buf.len()` bytes starting at `addr` (zero-fill for untouched
+    /// memory). Wraps at the 4 GiB boundary like the 32-bit bus would.
+    pub fn read(&mut self, addr: u32, buf: &mut [u8]) {
+        let mut a = addr;
+        for b in buf.iter_mut() {
+            let pn = a >> PAGE_SHIFT;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            *b = match self.pages.get(&pn) {
+                Some(p) => p[off],
+                None => 0,
+            };
+            a = a.wrapping_add(1);
+        }
+    }
+
+    /// Write `buf` starting at `addr`.
+    pub fn write(&mut self, addr: u32, buf: &[u8]) {
+        let mut a = addr;
+        for &b in buf {
+            let pn = a >> PAGE_SHIFT;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            self.page(pn)[off] = b;
+            a = a.wrapping_add(1);
+        }
+    }
+
+    pub fn read_u8(&mut self, addr: u32) -> u8 {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b);
+        b[0]
+    }
+
+    pub fn read_u16(&mut self, addr: u32) -> u16 {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    pub fn read_u32(&mut self, addr: u32) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    pub fn read_u64(&mut self, addr: u32) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.write(addr, &[v]);
+    }
+
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, addr: u32, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Write an `f32` in its IEEE bit pattern.
+    pub fn write_f32(&mut self, addr: u32, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    pub fn read_f32(&mut self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Write an `f64` as a register pair would store it (high word first,
+    /// matching the `St L` convention of the simulator).
+    pub fn write_f64(&mut self, addr: u32, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    pub fn read_f64(&mut self, addr: u32) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Number of 4 KiB pages touched so far (footprint estimate).
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut m = FlatMem::new();
+        assert_eq!(m.read_u32(0x1234), 0);
+        m.write_u32(0x1234, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x1234), 0xDEAD_BEEF);
+        assert_eq!(m.read_u8(0x1234), 0xEF); // little endian
+        assert_eq!(m.read_u16(0x1236), 0xDEAD);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = FlatMem::new();
+        let addr = PAGE_SIZE as u32 - 2;
+        m.write_u32(addr, 0x0102_0304);
+        assert_eq!(m.read_u32(addr), 0x0102_0304);
+        assert_eq!(m.pages_touched(), 2);
+    }
+
+    #[test]
+    fn floats() {
+        let mut m = FlatMem::new();
+        m.write_f32(64, 3.25);
+        assert_eq!(m.read_f32(64), 3.25);
+        m.write_f64(128, -1.5e300);
+        assert_eq!(m.read_f64(128), -1.5e300);
+    }
+
+    #[test]
+    fn wraparound() {
+        let mut m = FlatMem::new();
+        m.write(u32::MAX - 1, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read(u32::MAX - 1, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(m.read_u8(1), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Model-based property tests for the set-associative tag array: the
+//! hardware model must agree with an obviously-correct reference
+//! implementation (a vector of per-set LRU lists) on every access outcome.
+
+use majc_mem::{TagArray, Victim};
+use proptest::prelude::*;
+
+/// Obviously-correct reference cache: per set, a most-recent-first list of
+/// (tag, dirty).
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    data: Vec<Vec<(u32, bool)>>,
+}
+
+impl RefCache {
+    fn new(size: usize, ways: usize, line: usize) -> RefCache {
+        let sets = size / (ways * line);
+        RefCache { sets, ways, line_shift: line.trailing_zeros(), data: vec![Vec::new(); sets] }
+    }
+
+    fn set_of(&self, addr: u32) -> usize {
+        ((addr >> self.line_shift) as usize) % self.sets
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr >> self.line_shift >> self.sets.trailing_zeros()
+    }
+
+    fn access(&mut self, addr: u32, write: bool) -> bool {
+        let (s, t) = (self.set_of(addr), self.tag_of(addr));
+        let set = &mut self.data[s];
+        if let Some(i) = set.iter().position(|&(tag, _)| tag == t) {
+            let (tag, dirty) = set.remove(i);
+            set.insert(0, (tag, dirty || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u32, dirty: bool) -> Option<(u32, bool)> {
+        let (s, t) = (self.set_of(addr), self.tag_of(addr));
+        let shift = self.line_shift;
+        let sets_bits = self.sets.trailing_zeros();
+        let set = &mut self.data[s];
+        let victim = if set.len() == self.ways {
+            let (vt, vd) = set.pop().unwrap();
+            let vaddr = ((vt << sets_bits) | s as u32) << shift;
+            Some((vaddr, vd))
+        } else {
+            None
+        };
+        set.insert(0, (t, dirty));
+        victim
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tag_array_matches_reference_lru(
+        ops in prop::collection::vec((0u32..4096, any::<bool>()), 1..300),
+        ways_log in 0u32..3,
+    ) {
+        let ways = 1usize << ways_log;
+        let size = 32 * ways * 8; // 8 sets
+        let mut hw = TagArray::new(size, ways, 32);
+        let mut model = RefCache::new(size, ways, 32);
+        for &(addr, write) in &ops {
+            let hit_hw = hw.access(addr, write);
+            let hit_model = model.access(addr, write);
+            prop_assert_eq!(hit_hw, hit_model, "hit/miss diverged at {:#x}", addr);
+            if !hit_hw {
+                let v_hw = hw.fill(addr, write);
+                let v_model = model.fill(addr, write);
+                match (v_hw, v_model) {
+                    (Victim::None, None) => {}
+                    (Victim::Clean(a), Some((b, false))) => prop_assert_eq!(a, b),
+                    (Victim::Dirty(a), Some((b, true))) => prop_assert_eq!(a, b),
+                    (h, m) => prop_assert!(false, "victims diverged: {:?} vs {:?}", h, m),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(
+        ops in prop::collection::vec((0u32..2048, any::<bool>()), 1..200),
+    ) {
+        let mut hw = TagArray::new(1024, 2, 32);
+        for &(addr, write) in &ops {
+            if !hw.access(addr, write) {
+                hw.fill(addr, write);
+            }
+        }
+        prop_assert_eq!(hw.stats.hits + hw.stats.misses, ops.len() as u64);
+        prop_assert!(hw.stats.writebacks <= hw.stats.evictions);
+    }
+
+    #[test]
+    fn invalidate_means_miss(addr in 0u32..65536) {
+        let mut hw = TagArray::new(4096, 4, 32);
+        hw.fill(addr, false);
+        prop_assert!(hw.probe(addr));
+        hw.invalidate(addr);
+        prop_assert!(!hw.probe(addr));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DRDRAM channel never reorders completions before requests and
+    /// respects the bandwidth bound.
+    #[test]
+    fn dram_completions_are_causal_and_bounded(
+        reqs in prop::collection::vec((0u32..1_000_000, any::<bool>()), 1..100),
+    ) {
+        use majc_mem::{Dram, MemBackend};
+        let mut d = Dram::default();
+        let mut last_done = 0u64;
+        for (i, &(addr, write)) in reqs.iter().enumerate() {
+            let now = i as u64; // requests arrive one per cycle
+            let done = if write {
+                d.backend_write(now, addr & !31, 32)
+            } else {
+                d.backend_read(now, addr & !31, 32)
+            };
+            prop_assert!(done > now, "completion before request");
+            // The shared channel serialises 32-byte granules.
+            prop_assert!(done >= last_done, "channel went backwards");
+            last_done = done;
+        }
+        // Bandwidth bound: n transfers of 32B need at least 10n channel cycles.
+        prop_assert!(last_done >= 10 * reqs.len() as u64);
+    }
+}

@@ -1,0 +1,294 @@
+//! The MAJC-5200 chip: two CPUs sharing the dual-ported data cache,
+//! per-CPU instruction caches, and the crossbar to memory (paper Figure 1).
+//!
+//! "Coupled with the synchronization instructions, this shared data cache
+//! provides a powerful, very low overhead communication between the two
+//! CPUs" (paper §3.2) — coherence is a property of sharing one physical
+//! cache, so the model needs no protocol.
+
+use std::ptr::NonNull;
+
+use majc_core::{CorePort, CycleSim, TimingConfig, Trap};
+use majc_isa::Program;
+use majc_mem::{DCache, DKind, DPolicy, DStall, FlatMem, ICache};
+
+use crate::crossbar::{Crossbar, Routed, Source};
+
+/// The memory-side state shared by both CPUs.
+pub struct ChipMem {
+    pub icaches: [ICache; 2],
+    pub dcache: DCache,
+    pub xbar: Crossbar,
+    pub mem: FlatMem,
+}
+
+impl ChipMem {
+    pub fn new(mem: FlatMem) -> ChipMem {
+        ChipMem {
+            icaches: [ICache::default(), ICache::default()],
+            dcache: DCache::default(),
+            xbar: Crossbar::new(),
+            mem,
+        }
+    }
+}
+
+/// One CPU's view of [`ChipMem`].
+///
+/// SAFETY invariants: the pointer targets the `Box<ChipMem>` owned by the
+/// enclosing [`Majc5200`], whose field order drops the CPUs before the
+/// chip state; the simulator is single-threaded and each trait call
+/// creates its `&mut ChipMem` only for the call's duration, so no two
+/// live mutable references ever alias.
+pub struct CpuPort {
+    chip: NonNull<ChipMem>,
+    cpu: usize,
+}
+
+// The simulator is single-threaded; CpuPort is never sent across threads
+// by this crate, and the pointer's target outlives it (see above).
+impl CorePort for CpuPort {
+    fn mem(&mut self) -> &mut FlatMem {
+        unsafe { &mut self.chip.as_mut().mem }
+    }
+
+    fn ifetch(&mut self, now: u64, _cpu: usize, addr: u32) -> u64 {
+        let c = unsafe { self.chip.as_mut() };
+        let src = if self.cpu == 0 { Source::Cpu0I } else { Source::Cpu1I };
+        c.icaches[self.cpu].fetch(now, addr, &mut Routed { xbar: &mut c.xbar, src })
+    }
+
+    fn daccess(
+        &mut self,
+        now: u64,
+        _cpu: usize,
+        addr: u32,
+        kind: DKind,
+        pol: DPolicy,
+    ) -> Result<u64, DStall> {
+        let c = unsafe { self.chip.as_mut() };
+        c.dcache.access(now, self.cpu, addr, kind, pol, &mut Routed {
+            xbar: &mut c.xbar,
+            src: Source::CpuD,
+        })
+    }
+}
+
+/// The whole chip: both CPUs plus the shared memory side. (Field order
+/// matters: CPUs drop before the chip state they point into.)
+pub struct Majc5200 {
+    pub cpu: [CycleSim<CpuPort>; 2],
+    chip: Box<ChipMem>,
+}
+
+impl Majc5200 {
+    /// Build with one program per CPU over a shared memory image.
+    pub fn new(progs: [Program; 2], mem: FlatMem, cfg: TimingConfig) -> Majc5200 {
+        let mut chip = Box::new(ChipMem::new(mem));
+        let p = NonNull::from(chip.as_mut());
+        let [p0, p1] = progs;
+        let cpu0 = CycleSim::on_port(p0, CpuPort { chip: p, cpu: 0 }, cfg, 0);
+        let cpu1 = CycleSim::on_port(p1, CpuPort { chip: p, cpu: 1 }, cfg, 1);
+        Majc5200 { cpu: [cpu0, cpu1], chip }
+    }
+
+    pub fn chip(&self) -> &ChipMem {
+        &self.chip
+    }
+
+    pub fn chip_mut(&mut self) -> &mut ChipMem {
+        &mut self.chip
+    }
+
+    /// Step both CPUs in loose lockstep (always advance the one that is
+    /// behind in simulated time) until both halt or `max_packets` packets
+    /// have issued chip-wide.
+    pub fn run(&mut self, max_packets: u64) -> Result<(u64, u64), Trap> {
+        let mut issued = 0u64;
+        while issued < max_packets {
+            let h0 = self.cpu[0].halted();
+            let h1 = self.cpu[1].halted();
+            let pick = match (h0, h1) {
+                (true, true) => break,
+                (true, false) => 1,
+                (false, true) => 0,
+                (false, false) => {
+                    usize::from(self.cpu[1].stats.cycles < self.cpu[0].stats.cycles)
+                }
+            };
+            self.cpu[pick].step()?;
+            issued += 1;
+        }
+        Ok((self.cpu[0].stats.cycles, self.cpu[1].stats.cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_asm::Asm;
+    use majc_isa::{AluOp, CachePolicy, Cond, Instr, MemWidth, Off, Reg, Src};
+
+    const FLAG: u32 = 0x0002_0000;
+    const DATA: u32 = 0x0002_0040;
+
+    fn producer() -> Program {
+        let mut a = Asm::new(0);
+        a.set32(Reg::g(0), DATA);
+        a.set32(Reg::g(1), 0xBEEF);
+        a.set32(Reg::g(2), FLAG);
+        // A little warm-up delay so the consumer reaches its spin loop.
+        a.set32(Reg::g(3), 50);
+        a.label("delay");
+        a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(3), rs1: Reg::g(3), src2: Src::Imm(1) });
+        a.br(Cond::Gt, Reg::g(3), "delay", true);
+        a.op(Instr::St {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rs: Reg::g(1),
+            base: Reg::g(0),
+            off: Off::Imm(0),
+        });
+        a.op(Instr::Membar);
+        a.op(Instr::SetLo { rd: Reg::g(4), imm: 1 });
+        a.op(Instr::St {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rs: Reg::g(4),
+            base: Reg::g(2),
+            off: Off::Imm(0),
+        });
+        a.op(Instr::Halt);
+        a.finish().unwrap()
+    }
+
+    fn consumer() -> Program {
+        // Placed after the producer's image so both programs coexist.
+        let mut a = Asm::new(0x4000);
+        a.set32(Reg::g(0), DATA);
+        a.set32(Reg::g(2), FLAG);
+        a.label("spin");
+        a.op(Instr::Ld {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rd: Reg::g(3),
+            base: Reg::g(2),
+            off: Off::Imm(0),
+        });
+        a.br(Cond::Eq, Reg::g(3), "spin", false);
+        a.op(Instr::Ld {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rd: Reg::g(4),
+            base: Reg::g(0),
+            off: Off::Imm(0),
+        });
+        a.op(Instr::St {
+            w: MemWidth::W,
+            pol: CachePolicy::Cached,
+            rs: Reg::g(4),
+            base: Reg::g(0),
+            off: Off::Imm(4),
+        });
+        a.op(Instr::Halt);
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn shared_dcache_flag_passing() {
+        let mut chip =
+            Majc5200::new([producer(), consumer()], FlatMem::new(), TimingConfig::default());
+        chip.run(1_000_000).unwrap();
+        assert!(chip.cpu[0].halted() && chip.cpu[1].halted());
+        let mem = &mut chip.chip_mut().mem;
+        assert_eq!(mem.read_u32(DATA), 0xBEEF);
+        assert_eq!(mem.read_u32(DATA + 4), 0xBEEF, "consumer saw the produced value");
+        // Communication is through the shared cache: one cache, no
+        // invalidation traffic, and both CPUs hit the same line.
+        assert!(chip.chip().dcache.stats().hits > 0);
+    }
+
+    #[test]
+    fn atomics_arbitrate_between_cpus() {
+        // Both CPUs CAS-increment a shared counter 50 times each.
+        fn incrementer(base: u32) -> Program {
+            let mut a = Asm::new(base);
+            a.set32(Reg::g(0), FLAG); // counter address
+            a.set32(Reg::g(1), 50);
+            a.label("retry");
+            a.op(Instr::Ld {
+                w: MemWidth::W,
+                pol: CachePolicy::Cached,
+                rd: Reg::g(2),
+                base: Reg::g(0),
+                off: Off::Imm(0),
+            });
+            a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(2), src2: Src::Imm(1) });
+            // cas: g2 holds expected; on success old==expected.
+            a.op(Instr::Cas { rd: Reg::g(2), base: Reg::g(0), rs: Reg::g(3) });
+            a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(4), rs1: Reg::g(3), src2: Src::Imm(1) });
+            a.op(Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::g(4),
+                rs1: Reg::g(4),
+                src2: Src::Reg(Reg::g(2)),
+            });
+            a.br(Cond::Ne, Reg::g(4), "retry", false); // lost the race: retry
+            a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Imm(1) });
+            a.br(Cond::Gt, Reg::g(1), "retry", true);
+            a.op(Instr::Halt);
+            a.finish().unwrap()
+        }
+        let mut chip = Majc5200::new(
+            [incrementer(0), incrementer(0x4000)],
+            FlatMem::new(),
+            TimingConfig::default(),
+        );
+        chip.run(10_000_000).unwrap();
+        assert!(chip.cpu[0].halted() && chip.cpu[1].halted());
+        assert_eq!(chip.chip_mut().mem.read_u32(FLAG), 100, "all increments must land");
+    }
+
+    #[test]
+    fn dual_cpu_throughput_scales() {
+        // Two independent compute loops: chip finishes both in about the
+        // time one CPU takes for one (compute-bound, no sharing).
+        fn spin(base: u32, n: i16) -> Program {
+            let mut a = Asm::new(base);
+            a.op(Instr::SetLo { rd: Reg::g(0), imm: n });
+            a.label("l");
+            a.pack(&[
+                Instr::Alu { op: AluOp::Sub, rd: Reg::g(0), rs1: Reg::g(0), src2: Src::Imm(1) },
+                Instr::FMAdd { rd: Reg::l(1, 0), rs1: Reg::g(2), rs2: Reg::g(3) },
+            ]);
+            a.br(Cond::Gt, Reg::g(0), "l", true);
+            a.op(Instr::Halt);
+            a.finish().unwrap()
+        }
+        // Baseline: one CPU doing the work, the other halting immediately.
+        fn halt_now(base: u32) -> Program {
+            let mut a = Asm::new(base);
+            a.op(Instr::Halt);
+            a.finish().unwrap()
+        }
+        let mut solo = Majc5200::new(
+            [spin(0, 2000), halt_now(0x4000)],
+            FlatMem::new(),
+            TimingConfig::default(),
+        );
+        let (s0, _) = solo.run(10_000_000).unwrap();
+        let mut chip = Majc5200::new(
+            [spin(0, 2000), spin(0x4000, 2000)],
+            FlatMem::new(),
+            TimingConfig::default(),
+        );
+        let (c0, c1) = chip.run(10_000_000).unwrap();
+        let slower = c0.max(c1);
+        // Separate I-caches and no shared data: running both should cost
+        // at most a sliver more than running one.
+        assert!(
+            (slower as f64) < s0 as f64 * 1.25,
+            "dual-CPU {slower} vs single {s0}: no scaling"
+        );
+    }
+}

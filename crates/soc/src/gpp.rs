@@ -1,0 +1,180 @@
+//! The Graphics Preprocessor as a chip block (paper §3.1): compressed
+//! geometry arrives over the **north UPA** into the **4 KB input FIFO**,
+//! the GPP decompresses and parses it, and decompressed vertices are
+//! load-balanced into the two CPUs' input queues.
+//!
+//! `majc-gfx` models the GPP→CPU half in isolation; this module adds the
+//! front half — the NUPA link filling the FIFO — so FIFO sizing, link
+//! back-pressure and end-to-end throughput can be studied at chip level.
+
+use majc_gfx::Compressed;
+use serde::Serialize;
+
+use crate::io::{Link, NupaFifo};
+
+/// Chip-level pipeline parameters.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GppConfig {
+    /// GPP decode rate in stream bytes per cycle.
+    pub decode_bytes_per_cycle: f64,
+    /// Per-CPU transform+light cost in cycles per vertex.
+    pub cycles_per_vertex: f64,
+    /// Per-CPU vertex queue capacity.
+    pub queue_capacity: usize,
+    /// Triangles per vertex.
+    pub tris_per_vertex: f64,
+}
+
+impl Default for GppConfig {
+    fn default() -> GppConfig {
+        GppConfig {
+            decode_bytes_per_cycle: 4.0,
+            cycles_per_vertex: 16.0,
+            queue_capacity: 64,
+            tris_per_vertex: 1.0,
+        }
+    }
+}
+
+/// End-to-end outcome.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GppRun {
+    pub cycles: u64,
+    pub triangles: u64,
+    pub mtris_per_sec: f64,
+    /// Peak FIFO occupancy in bytes (capacity 4096).
+    pub fifo_max: usize,
+    /// Cycles the GPP starved waiting for stream bytes.
+    pub gpp_starved: u64,
+    /// Cycles the GPP stalled on full CPU queues.
+    pub gpp_blocked: u64,
+    pub cpu_util: [f64; 2],
+}
+
+/// Run a compressed scene through NUPA → FIFO → GPP → CPUs.
+pub fn run_scene(c: &Compressed, cfg: &GppConfig) -> GppRun {
+    let total_vertices = c.vertex_count as u64;
+    let bytes_per_vertex = c.bytes.len() as f64 / c.vertex_count as f64;
+
+    let mut nupa = Link::upa("NUPA");
+    let mut fifo = NupaFifo::new();
+    let mut stream_left = c.bytes.len() as f64;
+    let mut link_credit = 0f64;
+
+    let mut q = [0usize; 2];
+    let mut busy_until = [0f64; 2];
+    let mut busy = [0f64; 2];
+    let mut done = 0u64;
+    let mut decoded = 0u64;
+    let mut gpp_accum = 0f64;
+    let mut starved = 0u64;
+    let mut blocked = 0u64;
+    let mut t = 0f64;
+
+    while done < total_vertices {
+        // NUPA side: the link delivers up to its rate into the FIFO.
+        if stream_left > 0.0 {
+            link_credit += nupa.bytes_per_cycle;
+            let chunk = link_credit.floor() as usize;
+            if chunk > 0 {
+                let deliver =
+                    chunk.min(stream_left as usize).min(fifo.capacity - fifo.level());
+                if deliver > 0 {
+                    fifo.push(deliver);
+                    nupa.transfer(t as u64, deliver as u32);
+                    stream_left -= deliver as f64;
+                    link_credit -= deliver as f64;
+                }
+                link_credit = link_credit.min(32.0);
+            }
+        }
+        // GPP side: consume stream bytes; one vertex per bytes_per_vertex.
+        if decoded < total_vertices {
+            let want = cfg.decode_bytes_per_cycle.min(fifo.level() as f64);
+            if fifo.level() == 0 && stream_left > 0.0 {
+                starved += 1;
+            }
+            gpp_accum += want;
+            fifo.pop(want as usize);
+            while gpp_accum >= bytes_per_vertex && decoded < total_vertices {
+                let target = if q[0] <= q[1] { 0 } else { 1 };
+                if q[target] < cfg.queue_capacity {
+                    q[target] += 1;
+                    decoded += 1;
+                    gpp_accum -= bytes_per_vertex;
+                } else {
+                    blocked += 1;
+                    break;
+                }
+            }
+        }
+        // CPU side.
+        for cpu in 0..2 {
+            if t >= busy_until[cpu] && q[cpu] > 0 {
+                q[cpu] -= 1;
+                busy_until[cpu] = t.max(busy_until[cpu]) + cfg.cycles_per_vertex;
+                busy[cpu] += cfg.cycles_per_vertex;
+                done += 1;
+            }
+        }
+        t += 1.0;
+    }
+    let cycles = t as u64;
+    let triangles = (total_vertices as f64 * cfg.tris_per_vertex) as u64;
+    GppRun {
+        cycles,
+        triangles,
+        mtris_per_sec: triangles as f64 / (cycles as f64 / 500e6) / 1e6,
+        fifo_max: fifo.max_level,
+        gpp_starved: starved,
+        gpp_blocked: blocked,
+        cpu_util: [busy[0] / cycles as f64, busy[1] / cycles as f64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_gfx::{compress, demo_strips};
+
+    fn scene() -> Compressed {
+        compress(&demo_strips(48, 100, 5), 100.0)
+    }
+
+    #[test]
+    fn nupa_keeps_the_gpp_fed() {
+        let r = run_scene(&scene(), &GppConfig::default());
+        // 4 B/cycle decode demand vs 4 B/cycle NUPA: never starved long.
+        assert!(r.gpp_starved < r.cycles / 20, "starved {} of {}", r.gpp_starved, r.cycles);
+        assert!(r.mtris_per_sec > 40.0, "{:.1} Mtri/s", r.mtris_per_sec);
+        assert!(r.fifo_max <= 4096);
+    }
+
+    #[test]
+    fn fifo_never_overruns() {
+        // Back-pressure is structural: even with a slow GPP the FIFO caps.
+        let cfg = GppConfig { decode_bytes_per_cycle: 0.25, ..Default::default() };
+        let r = run_scene(&scene(), &cfg);
+        assert!(r.fifo_max <= 4096);
+        // And the slow GPP, not the CPUs, is now the bottleneck.
+        assert!(r.cpu_util[0] < 0.5, "util {:?}", r.cpu_util);
+    }
+
+    #[test]
+    fn matches_the_isolated_pipeline_model_in_shape() {
+        // The chip-level run with an amply fast link should be close to the
+        // gfx crate's GPP->CPU model (which assumes the stream is present).
+        let c = scene();
+        let chip = run_scene(&c, &GppConfig::default());
+        let iso = majc_gfx::simulate(
+            &c,
+            &majc_gfx::PipelineConfig {
+                gpp_bytes_per_cycle: 4.0,
+                cycles_per_vertex: 16.0,
+                ..Default::default()
+            },
+        );
+        let ratio = chip.mtris_per_sec / iso.mtris_per_sec;
+        assert!((0.85..=1.15).contains(&ratio), "chip {:.1} vs iso {:.1}", chip.mtris_per_sec, iso.mtris_per_sec);
+    }
+}

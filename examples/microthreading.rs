@@ -1,0 +1,67 @@
+//! Vertical micro-threading (paper §2): "hardware support for rapid, low
+//! overhead context switching ... triggered through either a long latency
+//! memory fetch or other events."
+//!
+//! This example runs a cache-miss-heavy pointer walk on one hardware
+//! context, then on two, and shows the switch-on-miss mechanism hiding
+//! memory latency.
+//!
+//! ```sh
+//! cargo run --release --example microthreading
+//! ```
+
+use majc::asm::Asm;
+use majc::core::{CycleSim, LocalMemSys, TimingConfig};
+use majc::isa::{AluOp, CachePolicy, Cond, Instr, MemWidth, Off, Program, Reg, Src};
+
+fn walker() -> Program {
+    let mut a = Asm::new(0);
+    a.set32(Reg::g(0), 0x0010_0000); // region start (overridden per context)
+    a.set32(Reg::g(2), 1024); // lines to touch
+    a.label("l");
+    a.op(Instr::Ld {
+        w: MemWidth::W,
+        pol: CachePolicy::Cached,
+        rd: Reg::g(1),
+        base: Reg::g(0),
+        off: Off::Imm(0),
+    });
+    // Use the load immediately: this is where a single context stalls.
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(1), src2: Src::Imm(1) });
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(0), rs1: Reg::g(0), src2: Src::Imm(32) });
+    a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
+    a.br(Cond::Gt, Reg::g(2), "l", true);
+    a.op(Instr::Halt);
+    a.finish().unwrap()
+}
+
+fn run(contexts: usize) -> (f64, u64) {
+    let mut cfg = TimingConfig::default();
+    cfg.threading.contexts = contexts;
+    cfg.threading.switch_min_gain = 6;
+    let mut sim = CycleSim::new(walker(), LocalMemSys::majc5200(), cfg);
+    if contexts == 2 {
+        // Second context starts past the initialisers, walking a disjoint
+        // region so both streams miss independently.
+        let skip = sim.program().addr_of(4);
+        sim.set_context_pc(1, skip);
+        sim.regs_mut(1).set(Reg::g(0), 0x0020_0000);
+        sim.regs_mut(1).set(Reg::g(2), 1024);
+    }
+    sim.run(50_000_000).unwrap();
+    let per_packet = sim.stats.cycles as f64 / sim.stats.packets as f64;
+    (per_packet, sim.stats.context_switches)
+}
+
+fn main() {
+    println!("cache-miss walker: 1024 cold 32-byte lines per context\n");
+    let (one, _) = run(1);
+    println!("1 context : {one:.2} cycles/packet (load latency exposed)");
+    let (two, switches) = run(2);
+    println!("2 contexts: {two:.2} cycles/packet ({switches} context switches)");
+    println!(
+        "\nmicro-threading hides {:.0}% of the stall time on this workload",
+        (1.0 - two / one) * 100.0
+    );
+    println!("(paper section 2: context switches triggered by long-latency memory fetches)");
+}

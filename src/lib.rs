@@ -1,0 +1,53 @@
+//! # majc — a MAJC-5200 reproduction
+//!
+//! A from-scratch Rust reproduction of *"MAJC-5200: A High Performance
+//! Microprocessor for Multimedia Computing"* (S. Sudharsanan, Sun
+//! Microsystems; IPPS/SPDP Workshops 2000): the MAJC instruction set, an
+//! assembler, instruction-accurate and cycle-accurate simulators of the
+//! dual-CPU chip, its memory system and I/O fabric, hand-scheduled
+//! multimedia/DSP kernels for every benchmark row the paper reports, and a
+//! harness that regenerates every table and figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use majc::asm::assemble;
+//! use majc::core::{CycleSim, LocalMemSys, TimingConfig};
+//!
+//! let prog = assemble(
+//!     "        setlo g0, 10
+//!      loop:  sub g0, g0, 1 | muladd g1, g0, g0
+//!             br.gt.t g0, loop
+//!             halt",
+//! )
+//! .unwrap();
+//! let mut sim = CycleSim::new(prog, LocalMemSys::majc5200(), TimingConfig::default());
+//! sim.run(10_000).unwrap();
+//! assert!(sim.halted());
+//! println!("{} cycles, IPC {:.2}", sim.stats.cycles, sim.stats.ipc());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | re-export of | contents |
+//! |--------|--------------|----------|
+//! | [`isa`] | `majc-isa` | registers, instructions, VLIW packets, encodings |
+//! | [`asm`] | `majc-asm` | assembler, disassembler, program builder |
+//! | [`core`] | `majc-core` | functional + cycle-accurate CPU simulators |
+//! | [`mem`] | `majc-mem` | caches, MSHRs, DRDRAM |
+//! | [`soc`] | `majc-soc` | dual-CPU chip, crossbar, DTE, PCI, UPA |
+//! | [`gfx`] | `majc-gfx` | geometry compression + GPP pipeline model |
+//! | [`kernels`] | `majc-kernels` | every Table 1/2 benchmark kernel |
+//! | [`apps`] | `majc-apps` | every Table 3 application model |
+//!
+//! Run `cargo run -p majc-bench --release -- all` to regenerate the
+//! paper's evaluation; see EXPERIMENTS.md for paper-vs-measured results.
+
+pub use majc_apps as apps;
+pub use majc_asm as asm;
+pub use majc_core as core;
+pub use majc_gfx as gfx;
+pub use majc_isa as isa;
+pub use majc_kernels as kernels;
+pub use majc_mem as mem;
+pub use majc_soc as soc;

@@ -1,0 +1,158 @@
+//! Property tests over whole programs:
+//!
+//! 1. the functional and cycle-accurate simulators produce identical
+//!    architectural state for arbitrary (valid) programs — the cycle
+//!    model may only add time, never change results;
+//! 2. program images survive the binary encoding;
+//! 3. timing is monotone: perfect memory is never slower than DRAM.
+
+use majc::core::{CycleSim, FuncSim, PerfectPort, TimingConfig};
+use majc::isa::{
+    decode_program, encode_program, AluOp, Cond, FixFmt, Instr, Packet, Program, Reg, SatMode, Src,
+};
+use majc::mem::FlatMem;
+use proptest::prelude::*;
+
+fn greg() -> impl Strategy<Value = Reg> {
+    (0u8..96).prop_map(Reg::g)
+}
+
+/// Compute instructions safe for any FU1-3 slot.
+fn compute_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (greg(), greg(), -200i16..200).prop_map(|(rd, rs1, imm)| Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            src2: Src::Imm(imm)
+        }),
+        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            src2: Src::Reg(rs2)
+        }),
+        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::MulAdd { rd, rs1, rs2 }),
+        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::PAdd {
+            mode: SatMode::Signed,
+            rd,
+            rs1,
+            rs2
+        }),
+        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::PMul {
+            fmt: FixFmt::S15,
+            rd,
+            rs1,
+            rs2
+        }),
+        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::DotP { rd, rs1, rs2 }),
+        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::PDist { rd, rs1, rs2 }),
+        (greg(), greg()).prop_map(|(rd, rs)| Instr::Lzd { rd, rs }),
+        (greg(), any::<i16>()).prop_map(|(rd, imm)| Instr::SetLo { rd, imm }),
+    ]
+}
+
+/// FU0 instructions restricted to a safe memory window and no control flow.
+fn fu0_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        (greg(), any::<i16>()).prop_map(|(rd, imm)| Instr::SetLo { rd, imm }),
+        (greg(), greg(), -200i16..200).prop_map(|(rd, rs1, imm)| Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            src2: Src::Imm(imm)
+        }),
+    ]
+}
+
+fn packet() -> impl Strategy<Value = Packet> {
+    (fu0_instr(), prop::collection::vec(compute_instr(), 0..=3)).prop_map(|(f0, rest)| {
+        let mut v = vec![f0];
+        v.extend(rest);
+        Packet::new(&v).expect("strategy builds valid packets")
+    })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(packet(), 1..40).prop_map(|mut pkts| {
+        pkts.push(Packet::solo(Instr::Halt).unwrap());
+        Program::new(0, pkts)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cycle_sim_matches_functional_sim(prog in program()) {
+        let mut f = FuncSim::new(prog.clone(), FlatMem::new());
+        f.run(100_000).unwrap();
+        let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
+        c.run(100_000).unwrap();
+        prop_assert!(f.halted() && c.halted());
+        for i in 0..224u8 {
+            let r = Reg::from_index(i).unwrap();
+            prop_assert_eq!(
+                f.regs.get(r),
+                c.regs(0).get(r),
+                "register {} diverged",
+                r
+            );
+        }
+        prop_assert_eq!(f.stats.packets, c.stats.packets);
+        // The cycle model can only add time: cycles >= packets.
+        prop_assert!(c.stats.cycles >= c.stats.packets);
+    }
+
+    #[test]
+    fn program_images_round_trip(prog in program()) {
+        let image = encode_program(prog.packets()).unwrap();
+        let back = decode_program(&image).unwrap();
+        prop_assert_eq!(back.as_slice(), prog.packets());
+    }
+
+    #[test]
+    fn bypass_models_are_ordered(prog in program()) {
+        use majc::core::BypassModel;
+        let run = |model| {
+            let cfg = TimingConfig { bypass: model, ..Default::default() };
+            let mut c = CycleSim::new(prog.clone(), PerfectPort::new(), cfg);
+            c.run(100_000).unwrap();
+            c.stats.cycles
+        };
+        let full = run(BypassModel::Full);
+        let majc5200 = run(BypassModel::Majc);
+        let wb = run(BypassModel::WbOnly);
+        prop_assert!(full <= majc5200, "ideal bypass can't lose: {} vs {}", full, majc5200);
+        prop_assert!(majc5200 <= wb, "no bypass can't win: {} vs {}", majc5200, wb);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn branchy_programs_agree_too(n in 1i16..200, step in 1i16..5) {
+        // A data-dependent loop: the predictor and front end must not
+        // change architecture.
+        let mut a = majc::asm::Asm::new(0);
+        a.op(Instr::SetLo { rd: Reg::g(0), imm: n });
+        a.op(Instr::SetLo { rd: Reg::g(1), imm: 0 });
+        a.label("l");
+        a.pack(&[
+            Instr::Alu { op: AluOp::Sub, rd: Reg::g(0), rs1: Reg::g(0), src2: Src::Imm(step) },
+            Instr::MulAdd { rd: Reg::g(1), rs1: Reg::g(0), rs2: Reg::g(0) },
+        ]);
+        a.br(Cond::Gt, Reg::g(0), "l", true);
+        a.op(Instr::Halt);
+        let prog = a.finish().unwrap();
+        let mut f = FuncSim::new(prog.clone(), FlatMem::new());
+        f.run(1_000_000).unwrap();
+        let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
+        c.run(1_000_000).unwrap();
+        prop_assert_eq!(f.regs.get(Reg::g(1)), c.regs(0).get(Reg::g(1)));
+        prop_assert_eq!(f.stats.packets, c.stats.packets);
+    }
+}
