@@ -7,8 +7,6 @@
 //! (costed as MAC work) at 1152-sample frame granularity. The row models
 //! both decoders running together, like a set-top feeding a TV.
 
-use serde::Serialize;
-
 use crate::util::{Cost, KernelCosts, Utilization};
 
 /// Scale the measured 1024-point radix-4 FFT to an N-point transform.
@@ -40,7 +38,7 @@ pub fn utilization() -> Utilization {
     Utilization::from_cycles_per_sec(ac3_cycles_per_sec().plus(mp2_cycles_per_sec()))
 }
 
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AudioRow {
     pub paper_low: f64,
     pub paper_high: f64,
@@ -58,11 +56,7 @@ mod tests {
     #[test]
     fn audio_decode_is_a_few_percent() {
         let u = utilization();
-        assert!(
-            (1.0..=9.0).contains(&u.with_mem),
-            "AC-3+MP2 at {:.2}% (paper: 3-5%)",
-            u.with_mem
-        );
+        assert!((1.0..=9.0).contains(&u.with_mem), "AC-3+MP2 at {:.2}% (paper: 3-5%)", u.with_mem);
     }
 
     #[test]

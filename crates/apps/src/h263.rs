@@ -5,8 +5,6 @@
 //! coding) *and* decode of the far-end stream (VLD, IDCT, motion
 //! compensation) — a video-phone runs both directions.
 
-use serde::Serialize;
-
 use crate::util::{Cost, KernelCosts, Utilization};
 
 pub const WIDTH: usize = 352;
@@ -46,7 +44,7 @@ pub fn utilization() -> Utilization {
     Utilization::from_cycles_per_sec(cycles_per_sec())
 }
 
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct H263Row {
     pub paper_with_mem: f64,
     pub measured: Utilization,

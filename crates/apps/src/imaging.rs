@@ -12,8 +12,6 @@
 //! gradient predictor (≈ 4 ALU ops), context update (≈ 3), and Golomb
 //! emit (≈ 5), issuing ~4 ops/cycle on the VLIW.
 
-use serde::Serialize;
-
 use crate::util::{Cost, KernelCosts, Utilization, CLOCK_HZ};
 
 /// JPEG throughput in input MB/s on one CPU.
@@ -39,7 +37,7 @@ pub fn lossless_mbps() -> (f64, f64) {
     (CLOCK_HZ / per_byte.dram / 1e6, CLOCK_HZ / per_byte.perfect / 1e6)
 }
 
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ImagingRow {
     pub name: &'static str,
     pub paper_mbps: f64,

@@ -8,8 +8,6 @@
 //! convolution kernel's per-pixel rate scaled by tap ratio), reconstruction
 //! adds, plus display colour conversion for the visible pixels.
 
-use serde::Serialize;
-
 use crate::util::{Cost, KernelCosts, Utilization, CLOCK_HZ};
 
 pub const WIDTH: usize = 720;
@@ -56,7 +54,7 @@ pub fn max_fps() -> f64 {
     FPS * CLOCK_HZ / cycles_per_sec().dram
 }
 
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Mpeg2Row {
     pub paper_with_mem: f64,
     pub paper_without_mem: f64,
@@ -81,10 +79,7 @@ mod tests {
             "MPEG-2 decode at {:.1}% (paper: 75%)",
             u.with_mem
         );
-        assert!(
-            u.with_mem > u.without_mem + 3.0,
-            "memory effects must show: {u:?}"
-        );
+        assert!(u.with_mem > u.without_mem + 3.0, "memory effects must show: {u:?}");
     }
 
     #[test]

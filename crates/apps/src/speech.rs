@@ -13,8 +13,6 @@
 //! codebook search (≈ 24k MACs), and synthesis/weighting filters (≈ 5
 //! filter passes over the frame).
 
-use serde::Serialize;
-
 use crate::util::{Cost, KernelCosts, Utilization};
 
 pub const SAMPLE_RATE: f64 = 8000.0;
@@ -24,10 +22,7 @@ pub fn g711_cycles_per_sec() -> Cost {
     let k = KernelCosts::get();
     // Per sample: 8-section pre-filter + 8 LMS-16 blocks (128-tap EC) +
     // ~20 cycles of companding/overhead (table lookup + saturation).
-    let per_sample = k
-        .biquad_sample
-        .plus(k.lms.scale(8.0))
-        .plus(Cost::flat(20.0));
+    let per_sample = k.biquad_sample.plus(k.lms.scale(8.0)).plus(Cost::flat(20.0));
     per_sample.scale(SAMPLE_RATE)
 }
 
@@ -54,7 +49,7 @@ pub fn g729a() -> Utilization {
 }
 
 /// Both rows, for the bench harness.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SpeechRow {
     pub name: &'static str,
     pub paper_with_mem: f64,
@@ -86,11 +81,7 @@ mod tests {
     #[test]
     fn g711_utilisation_in_paper_regime() {
         let u = g711();
-        assert!(
-            (0.3..=4.0).contains(&u.with_mem),
-            "G.711 at {:.2}% (paper: 1.6%)",
-            u.with_mem
-        );
+        assert!((0.3..=4.0).contains(&u.with_mem), "G.711 at {:.2}% (paper: 1.6%)", u.with_mem);
         assert!(u.with_mem >= u.without_mem);
     }
 
@@ -98,7 +89,12 @@ mod tests {
     fn g729a_heavier_than_g711() {
         let a = g711();
         let b = g729a();
-        assert!(b.with_mem > a.with_mem, "G.729A ({:.2}%) must exceed G.711 ({:.2}%)", b.with_mem, a.with_mem);
+        assert!(
+            b.with_mem > a.with_mem,
+            "G.729A ({:.2}%) must exceed G.711 ({:.2}%)",
+            b.with_mem,
+            a.with_mem
+        );
         assert!((0.5..=6.0).contains(&b.with_mem), "G.729A at {:.2}% (paper: 2%)", b.with_mem);
     }
 }

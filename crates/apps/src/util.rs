@@ -12,13 +12,12 @@ use std::sync::OnceLock;
 use majc_core::TimingConfig;
 use majc_kernels::harness::{run_warm, MemModel, XorShift};
 use majc_kernels::{biquad, colorconv, convolve, dct, fft, idct, lms, motion, vld};
-use serde::Serialize;
 
 /// The 500 MHz clock every Table 3 number is quoted against.
 pub const CLOCK_HZ: f64 = 500e6;
 
 /// A cycle cost measured under real and ideal memory.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Cost {
     pub dram: f64,
     pub perfect: f64,
@@ -41,7 +40,7 @@ impl Cost {
 
 /// CPU utilisation as the paper quotes it: cycles needed per second of
 /// media over the 5×10⁸ available.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Utilization {
     /// Percent with memory effects.
     pub with_mem: f64,
@@ -51,7 +50,10 @@ pub struct Utilization {
 
 impl Utilization {
     pub fn from_cycles_per_sec(c: Cost) -> Utilization {
-        Utilization { with_mem: c.dram / CLOCK_HZ * 100.0, without_mem: c.perfect / CLOCK_HZ * 100.0 }
+        Utilization {
+            with_mem: c.dram / CLOCK_HZ * 100.0,
+            without_mem: c.perfect / CLOCK_HZ * 100.0,
+        }
     }
 }
 
@@ -62,7 +64,7 @@ fn pair(prog: &majc_isa::Program, mem: majc_mem::FlatMem) -> Cost {
 }
 
 /// Measured kernel costs, computed once per process.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct KernelCosts {
     /// 8×8 IDCT, per block.
     pub idct: Cost,

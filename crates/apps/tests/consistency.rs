@@ -29,10 +29,7 @@ fn memory_effects_never_negative() {
         h263::utilization(),
         mpeg2::utilization(),
     ] {
-        assert!(
-            u.with_mem >= u.without_mem * 0.999,
-            "perfect memory can never be slower: {u:?}"
-        );
+        assert!(u.with_mem >= u.without_mem * 0.999, "perfect memory can never be slower: {u:?}");
         assert!(u.without_mem > 0.0);
     }
 }

@@ -3,6 +3,7 @@
 //! ```sh
 //! majc-as input.s -o out.bin       # assemble to the binary encoding
 //! majc-as input.s --list           # print the packet listing instead
+//! majc-as input.s --lint -o out.bin  # refuse to emit if the linter errors
 //! ```
 
 use std::io::Read;
@@ -10,9 +11,10 @@ use std::process::exit;
 
 use majc_asm::{assemble, program_to_string};
 use majc_isa::encode_program;
+use majc_lint::{lint, LintOptions, Severity};
 
 fn usage() -> ! {
-    eprintln!("usage: majc-as <input.s | -> [-o out.bin] [--list]");
+    eprintln!("usage: majc-as <input.s | -> [-o out.bin] [--list] [--lint]");
     exit(2)
 }
 
@@ -21,11 +23,13 @@ fn main() {
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut list = false;
+    let mut run_lint = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => output = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--list" => list = true,
+            "--lint" => run_lint = true,
             "-h" | "--help" => usage(),
             f if input.is_none() => input = Some(f.to_string()),
             _ => usage(),
@@ -49,6 +53,14 @@ fn main() {
             exit(1)
         }
     };
+    if run_lint {
+        let report = lint(&prog, &LintOptions::default());
+        eprint!("{report}");
+        if report.count(Severity::Error) > 0 {
+            eprintln!("majc-as: refusing to emit a program with lint errors");
+            exit(1)
+        }
+    }
     if list {
         print!("{}", program_to_string(&prog));
         eprintln!(

@@ -1,0 +1,72 @@
+//! `majc-lint` — statically verify MAJC assembly.
+//!
+//! ```sh
+//! majc-lint prog.s                 # lint against the simulator's contract
+//! majc-lint prog.s --exposed      # paper-literal: latencies not interlocked
+//! majc-lint prog.s --entry-undef  # nothing live-in: check use-before-def
+//! majc-lint prog.s --json         # machine-readable findings
+//! ```
+//!
+//! Exit status: 0 clean, 1 warnings only, 2 errors, 3 usage/IO failures.
+
+use std::io::Read;
+use std::process::exit;
+
+use majc_asm::assemble;
+use majc_lint::{lint, LintOptions, Severity};
+
+fn usage() -> ! {
+    eprintln!("usage: majc-lint <input.s | -> [--exposed] [--entry-undef] [--json] [--quiet]");
+    exit(3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut opts = LintOptions::default();
+    let mut json = false;
+    let mut quiet = false;
+    for a in &args {
+        match a.as_str() {
+            "--exposed" => opts.exposed_latencies = true,
+            "--entry-undef" => opts.entry_defined = Some(Vec::new()),
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "-h" | "--help" => usage(),
+            f if input.is_none() && (f == "-" || !f.starts_with('-')) => {
+                input = Some(f.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    let input = input.unwrap_or_else(|| usage());
+    let src = if input == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(&input).unwrap_or_else(|e| {
+            eprintln!("majc-lint: cannot read {input}: {e}");
+            exit(3)
+        })
+    };
+    let prog = match assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("majc-lint: {e}");
+            exit(3)
+        }
+    };
+    let report = lint(&prog, &opts);
+    if json {
+        println!("{}", report.to_json());
+    } else if !quiet {
+        print!("{report}");
+    }
+    if report.count(Severity::Error) > 0 {
+        exit(2)
+    }
+    if report.count(Severity::Warning) > 0 {
+        exit(1)
+    }
+}

@@ -176,10 +176,7 @@ fn parse_cond(tok: &str) -> Result<Cond, String> {
 }
 
 fn parse_width(tok: &str) -> Result<MemWidth, String> {
-    MemWidth::ALL
-        .into_iter()
-        .find(|w| w.suffix() == tok)
-        .ok_or_else(|| format!("bad width {tok}"))
+    MemWidth::ALL.into_iter().find(|w| w.suffix() == tok).ok_or_else(|| format!("bad width {tok}"))
 }
 
 fn parse_sat(tok: &str) -> Result<SatMode, String> {
@@ -214,15 +211,10 @@ fn parse_slot(text: &str, fu: u8) -> Result<Parsed, String> {
     let mut it = text.splitn(2, char::is_whitespace);
     let mn = it.next().unwrap_or("");
     let rest = it.next().unwrap_or("").trim();
-    let args: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        split_args(rest)
-    };
+    let args: Vec<&str> = if rest.is_empty() { Vec::new() } else { split_args(rest) };
     let parts: Vec<&str> = mn.split('.').collect();
-    let r = |i: usize| -> Result<Reg, String> {
-        parse_reg(args.get(i).ok_or("missing operand")?, fu)
-    };
+    let r =
+        |i: usize| -> Result<Reg, String> { parse_reg(args.get(i).ok_or("missing operand")?, fu) };
     let nargs = |n: usize| -> Result<(), String> {
         if args.len() == n {
             Ok(())

@@ -2,7 +2,7 @@
 //! simulated packets per second for the functional and cycle-accurate
 //! models, over a representative kernel (the 64x64 FIR).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use majc_bench::microbench::{criterion_group, criterion_main, Criterion, Throughput};
 use majc_core::{CycleSim, FuncSim, LocalMemSys, TimingConfig};
 use majc_kernels::fir;
 use majc_kernels::harness::XorShift;

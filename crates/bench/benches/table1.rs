@@ -4,7 +4,7 @@
 //! criterion measurement then tracks how fast the simulator regenerates
 //! the artifact, which is the quantity host-side optimisation affects.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use majc_bench::microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

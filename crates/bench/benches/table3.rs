@@ -4,7 +4,7 @@
 //! criterion measurement then tracks how fast the simulator regenerates
 //! the artifact, which is the quantity host-side optimisation affects.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use majc_bench::microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     let _ = table.save();
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
-    g.bench_function("speech_rows", |b| {
-        b.iter(|| black_box(majc_apps::speech::rows()))
-    });
+    g.bench_function("speech_rows", |b| b.iter(|| black_box(majc_apps::speech::rows())));
     g.finish();
 }
 

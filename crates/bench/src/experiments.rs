@@ -10,8 +10,6 @@ use majc_kernels::{
 use majc_mem::FlatMem;
 use majc_soc::{Dte, Endpoint, Link};
 
-use rayon::prelude::*;
-
 use crate::report::{Row, Table};
 
 fn k(v: u64) -> String {
@@ -20,19 +18,30 @@ fn k(v: u64) -> String {
 
 /// Run a batch of independent kernel simulations in parallel (each row is
 /// a self-contained program + memory image) and emit rows in order.
-fn measure_rows(
-    t: &mut Table,
-    jobs: Vec<(String, String, majc_isa::Program, FlatMem, String)>,
-) {
-    let results: Vec<Row> = jobs
-        .into_par_iter()
-        .map(|(name, paper, prog, mem, note)| {
-            let cycles = measure(&prog, mem);
-            Row::new(name, paper, format!("{cycles} cycles"), note)
-        })
-        .collect();
-    for r in results {
-        t.push(r);
+fn measure_rows(t: &mut Table, jobs: Vec<(String, String, majc_isa::Program, FlatMem, String)>) {
+    // Each job is a self-contained program + memory image, so they run on
+    // scoped threads (capped at the core count) and report in order.
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let jobs: Vec<_> = jobs.into_iter().map(Some).collect();
+    let results = std::sync::Mutex::new(vec![None; jobs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let jobs = std::sync::Mutex::new(jobs);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(results.lock().unwrap().len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(job) = jobs.lock().unwrap().get_mut(i).and_then(Option::take) else {
+                    return;
+                };
+                let (name, paper, prog, mem, note) = job;
+                let cycles = measure(&prog, mem);
+                let row = Row::new(name, paper, format!("{cycles} cycles"), note);
+                results.lock().unwrap()[i] = Some(row);
+            });
+        }
+    });
+    for r in results.into_inner().unwrap() {
+        t.push(r.expect("every job produced a row"));
     }
 }
 
@@ -53,7 +62,12 @@ pub fn table1() -> Table {
 
     let px: [i16; 64] = std::array::from_fn(|_| rng.next_i16(255));
     let (p, m) = dct::build(&px, &dct::demo_qmatrix(2));
-    t.push(Row::new("8x8 DCT + Quantization", "200 cycles", format!("{} cycles", measure(&p, m)), ""));
+    t.push(Row::new(
+        "8x8 DCT + Quantization",
+        "200 cycles",
+        format!("{} cycles", measure(&p, m)),
+        "",
+    ));
 
     let blocks = vld::workload(7, 64);
     let (stream, nsym) = vld::encode(&blocks);
@@ -68,7 +82,12 @@ pub fn table1() -> Table {
 
     let (frame, cur) = motion::workload(7, 6, -4);
     let (p, m) = motion::build(&frame, &cur);
-    t.push(Row::new("Motion Est. / ±16 MV range", "3000 cycles", format!("{} cycles", measure(&p, m)), ""));
+    t.push(Row::new(
+        "Motion Est. / ±16 MV range",
+        "3000 cycles",
+        format!("{} cycles", measure(&p, m)),
+        "",
+    ));
 
     let img: Vec<i16> =
         (0..convolve::WIDTH * convolve::HEIGHT).map(|_| rng.next_i16(255).abs()).collect();
@@ -137,12 +156,7 @@ pub fn table2() -> Table {
     ));
 
     let xs: Vec<f32> = (0..maxsearch::N).map(|_| rng.next_f32() * 100.0).collect();
-    jobs.push(job(
-        "Max Search, max value in array of 40",
-        "126 cycles",
-        maxsearch::build(&xs),
-        "",
-    ));
+    jobs.push(job("Max Search, max value in array of 40", "126 cycles", maxsearch::build(&xs), ""));
 
     let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
     let pre2: Vec<(f32, f32)> = (0..fft::N).map(|i| data[bitrev::rev(i)]).collect();
@@ -218,12 +232,37 @@ pub fn table3() -> Table {
 pub fn fig1() -> Table {
     let mut t = Table::new("fig1", "Chip I/O (Figure 1 block diagram claims)");
     let clock = 500e6;
-    t.push(Row::new("DRDRAM peak", "1.6 GB/s", format!("{:.2} GB/s", majc_mem::Dram::default().peak_gbps(clock)), "16-bit @ 800 MT/s"));
-    t.push(Row::new("PCI peak", "264 MB/s", format!("{:.0} MB/s", Link::pci().peak_gbps(clock) * 1000.0), "32-bit @ 66 MHz"));
-    t.push(Row::new("North UPA peak", "2.0 GB/s", format!("{:.1} GB/s", Link::upa("NUPA").peak_gbps(clock)), "64-bit @ 250 MHz"));
-    t.push(Row::new("South UPA peak", "2.0 GB/s", format!("{:.1} GB/s", Link::upa("SUPA").peak_gbps(clock)), "64-bit @ 250 MHz"));
+    t.push(Row::new(
+        "DRDRAM peak",
+        "1.6 GB/s",
+        format!("{:.2} GB/s", majc_mem::Dram::default().peak_gbps(clock)),
+        "16-bit @ 800 MT/s",
+    ));
+    t.push(Row::new(
+        "PCI peak",
+        "264 MB/s",
+        format!("{:.0} MB/s", Link::pci().peak_gbps(clock) * 1000.0),
+        "32-bit @ 66 MHz",
+    ));
+    t.push(Row::new(
+        "North UPA peak",
+        "2.0 GB/s",
+        format!("{:.1} GB/s", Link::upa("NUPA").peak_gbps(clock)),
+        "64-bit @ 250 MHz",
+    ));
+    t.push(Row::new(
+        "South UPA peak",
+        "2.0 GB/s",
+        format!("{:.1} GB/s", Link::upa("SUPA").peak_gbps(clock)),
+        "64-bit @ 250 MHz",
+    ));
     let aggregate = 2.0 + 2.0 + 0.264 + 1.6;
-    t.push(Row::new("Aggregate peak I/O", "> 4.8 GB/s", format!("{aggregate:.2} GB/s"), "NUPA+SUPA+PCI+DRAM"));
+    t.push(Row::new(
+        "Aggregate peak I/O",
+        "> 4.8 GB/s",
+        format!("{aggregate:.2} GB/s"),
+        "NUPA+SUPA+PCI+DRAM",
+    ));
 
     // Measured DMA transfers through the DTE and crossbar.
     let run = |src: Endpoint, sa: u32, dst: Endpoint, da: u32, len: u32| -> f64 {
@@ -232,10 +271,30 @@ pub fn fig1() -> Table {
         let mut mem = FlatMem::new();
         dte.transfer(&mut xbar, &mut mem, 0, src, sa, dst, da, len).gbps(clock)
     };
-    t.push(Row::new("DTE: DRAM -> SUPA (64 KB)", "DRAM-bound (1.6)", format!("{:.2} GB/s", run(Endpoint::Dram, 0, Endpoint::Supa, 0, 65536)), "measured DMA"));
-    t.push(Row::new("DTE: NUPA -> DRAM (64 KB)", "DRAM-bound (1.6)", format!("{:.2} GB/s", run(Endpoint::Nupa, 0, Endpoint::Dram, 0x10_0000, 65536)), "measured DMA"));
-    t.push(Row::new("DTE: PCI -> DRAM (16 KB)", "PCI-bound (0.26)", format!("{:.2} GB/s", run(Endpoint::Pci, 0, Endpoint::Dram, 0x20_0000, 16384)), "measured DMA"));
-    t.push(Row::new("DTE: NUPA -> SUPA (64 KB)", "UPA-bound (2.0)", format!("{:.2} GB/s", run(Endpoint::Nupa, 0, Endpoint::Supa, 0, 65536)), "measured DMA"));
+    t.push(Row::new(
+        "DTE: DRAM -> SUPA (64 KB)",
+        "DRAM-bound (1.6)",
+        format!("{:.2} GB/s", run(Endpoint::Dram, 0, Endpoint::Supa, 0, 65536)),
+        "measured DMA",
+    ));
+    t.push(Row::new(
+        "DTE: NUPA -> DRAM (64 KB)",
+        "DRAM-bound (1.6)",
+        format!("{:.2} GB/s", run(Endpoint::Nupa, 0, Endpoint::Dram, 0x10_0000, 65536)),
+        "measured DMA",
+    ));
+    t.push(Row::new(
+        "DTE: PCI -> DRAM (16 KB)",
+        "PCI-bound (0.26)",
+        format!("{:.2} GB/s", run(Endpoint::Pci, 0, Endpoint::Dram, 0x20_0000, 16384)),
+        "measured DMA",
+    ));
+    t.push(Row::new(
+        "DTE: NUPA -> SUPA (64 KB)",
+        "UPA-bound (2.0)",
+        format!("{:.2} GB/s", run(Endpoint::Nupa, 0, Endpoint::Supa, 0, 65536)),
+        "measured DMA",
+    ));
     t
 }
 
@@ -280,8 +339,18 @@ pub fn fig2() -> Table {
 
     // Bypass: FU0->FU1 free, FU0->FU2 one cycle.
     let xfu = TimingConfig::default();
-    t.push(Row::new("bypass FU0<->FU1", "0 extra cycles", format!("{} extra", xfu.xfu_delay(0, 1)), "complete bypass"));
-    t.push(Row::new("bypass FU0->FU2/FU3", "1 extra cycle", format!("{} extra", xfu.xfu_delay(0, 2)), ""));
+    t.push(Row::new(
+        "bypass FU0<->FU1",
+        "0 extra cycles",
+        format!("{} extra", xfu.xfu_delay(0, 1)),
+        "complete bypass",
+    ));
+    t.push(Row::new(
+        "bypass FU0->FU2/FU3",
+        "1 extra cycle",
+        format!("{} extra", xfu.xfu_delay(0, 2)),
+        "",
+    ));
 
     // gshare on a biased branch mix.
     let mut a = Asm::new(0);
@@ -294,7 +363,8 @@ pub fn fig2() -> Table {
     a.label("skip");
     a.br(Cond::Gt, Reg::g(0), "loop", true);
     a.op(Instr::Halt);
-    let mut sim = CycleSim::new(a.finish().unwrap(), majc_core::PerfectPort::new(), TimingConfig::default());
+    let mut sim =
+        CycleSim::new(a.finish().unwrap(), majc_core::PerfectPort::new(), TimingConfig::default());
     sim.run(1_000_000).unwrap();
     t.push(Row::new(
         "gshare (4096 entries, 12 history bits)",
@@ -315,7 +385,12 @@ pub fn fig2() -> Table {
         format!("{:?}", stats.width_hist),
         format!("mean width {:.2}", stats.mean_width()),
     ));
-    t.push(Row::new("packets/cycle (FIR kernel)", "<= 1 (in-order)", format!("{:.2}", stats.ppc()), ""));
+    t.push(Row::new(
+        "packets/cycle (FIR kernel)",
+        "<= 1 (in-order)",
+        format!("{:.2}", stats.ppc()),
+        "",
+    ));
     t
 }
 
@@ -324,12 +399,32 @@ pub fn fig2() -> Table {
 /// Headline peak rates.
 pub fn peak_rates() -> Table {
     let mut t = Table::new("peak", "Peak rates (sections 1/4/6)");
-    t.push(Row::new("GFLOPS (analytic)", "6.16", format!("{:.2}", peak::analytic_gflops(500e6)), "2 CPUs x (3 FMA + rsqrt/6)"));
+    t.push(Row::new(
+        "GFLOPS (analytic)",
+        "6.16",
+        format!("{:.2}", peak::analytic_gflops(500e6)),
+        "2 CPUs x (3 FMA + rsqrt/6)",
+    ));
     let f = peak::measure_gflops(500);
-    t.push(Row::new("GFLOPS (sustained kernel)", "> 6", format!("{:.2}", f.chip_rate), format!("{:.3} flops/cycle/CPU", f.per_cycle)));
-    t.push(Row::new("GOPS 16-bit (analytic)", "12.33", format!("{:.2}", peak::analytic_gops(500e6)), "2 CPUs x (3 dotp + pdiv/6)"));
+    t.push(Row::new(
+        "GFLOPS (sustained kernel)",
+        "> 6",
+        format!("{:.2}", f.chip_rate),
+        format!("{:.3} flops/cycle/CPU", f.per_cycle),
+    ));
+    t.push(Row::new(
+        "GOPS 16-bit (analytic)",
+        "12.33",
+        format!("{:.2}", peak::analytic_gops(500e6)),
+        "2 CPUs x (3 dotp + pdiv/6)",
+    ));
     let o = peak::measure_gops(500);
-    t.push(Row::new("GOPS (sustained kernel)", "> 12", format!("{:.2}", o.chip_rate), format!("{:.3} ops/cycle/CPU", o.per_cycle)));
+    t.push(Row::new(
+        "GOPS (sustained kernel)",
+        "> 12",
+        format!("{:.2}", o.chip_rate),
+        format!("{:.3} ops/cycle/CPU", o.per_cycle),
+    ));
     t
 }
 
@@ -339,7 +434,12 @@ pub fn peak_rates() -> Table {
 pub fn graphics() -> Table {
     let mut t = Table::new("graphics", "Graphics pipeline (section 5: 60-90 Mtri/s)");
     let cpv = transform_light::cycles_per_vertex(126);
-    t.push(Row::new("transform+light", "-", format!("{cpv:.1} cycles/vertex"), "measured on the cycle simulator"));
+    t.push(Row::new(
+        "transform+light",
+        "-",
+        format!("{cpv:.1} cycles/vertex"),
+        "measured on the cycle simulator",
+    ));
     for (label, strips, len, gpp_rate) in [
         ("long strips", 32usize, 200usize, 4.0f64),
         ("short strips", 200, 12, 4.0),
@@ -414,8 +514,7 @@ pub fn ablations() -> Table {
         for (label, dynamic) in [("gshare (4096 x 12)", true), ("static hints only", false)] {
             let mut cfg = TimingConfig::default();
             cfg.predictor.dynamic = dynamic;
-            let mut sim =
-                majc_core::CycleSim::new(branchy(), majc_core::PerfectPort::new(), cfg);
+            let mut sim = majc_core::CycleSim::new(branchy(), majc_core::PerfectPort::new(), cfg);
             sim.run(10_000_000).unwrap();
             t.push(Row::new(
                 format!("period-4 branch loop, {label}"),
@@ -477,11 +576,8 @@ pub fn ablations() -> Table {
             let mut cfg = TimingConfig::default();
             cfg.threading.contexts = contexts;
             cfg.threading.switch_min_gain = 6;
-            let mut sim = majc_core::CycleSim::new(
-                walker(),
-                majc_core::LocalMemSys::majc5200(),
-                cfg,
-            );
+            let mut sim =
+                majc_core::CycleSim::new(walker(), majc_core::LocalMemSys::majc5200(), cfg);
             if contexts == 2 {
                 let skip = sim.program().addr_of(4);
                 sim.set_context_pc(1, skip);
@@ -491,7 +587,10 @@ pub fn ablations() -> Table {
             sim.run(10_000_000).unwrap();
             let per_pkt = sim.stats.cycles as f64 / sim.stats.packets as f64;
             t.push(Row::new(
-                format!("cache-miss walker, {contexts} context{}", if contexts == 1 { "" } else { "s" }),
+                format!(
+                    "cache-miss walker, {contexts} context{}",
+                    if contexts == 1 { "" } else { "s" }
+                ),
                 if contexts == 2 { "vertical microthreading" } else { "-" },
                 format!("{per_pkt:.2} cycles/packet"),
                 format!("{} switches", sim.stats.context_switches),

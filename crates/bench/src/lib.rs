@@ -5,6 +5,7 @@
 //! `cargo run -p majc-bench --release -- all` regenerates everything.
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 
 pub use experiments::{ablations, all, fig1, fig2, graphics, peak_rates, table1, table2, table3};

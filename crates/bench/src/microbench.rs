@@ -1,0 +1,204 @@
+//! A dependency-free stand-in for the subset of the `criterion` API the
+//! bench targets use, so `cargo bench` works without network access.
+//!
+//! Semantics follow criterion where it matters for our harness:
+//!
+//! * under `cargo bench` the executable receives `--bench` and runs full
+//!   measurements (N timed samples per benchmark, reporting min / median /
+//!   mean, plus throughput when configured);
+//! * under `cargo test` (no `--bench` flag) every benchmark body runs
+//!   exactly once as a smoke test, so the tier-1 suite stays fast while
+//!   still compiling and executing the bench code.
+
+use std::time::{Duration, Instant};
+
+// Re-export the exported-at-crate-root macros so bench targets can import
+// everything from one path, mirroring `use criterion::{...}`.
+pub use crate::{criterion_group, criterion_main};
+
+/// Top-level benchmark context, handed to each bench function as
+/// `&mut Criterion` by [`criterion_group!`](crate::criterion_group).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build from the process arguments: cargo passes `--bench` to bench
+    /// executables under `cargo bench` and nothing under `cargo test`.
+    pub fn from_args() -> Criterion {
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion { test_mode: !bench }
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+            test_mode: self.test_mode,
+        }
+    }
+}
+
+/// Units for reporting work-per-second alongside time-per-iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing sample-count and throughput config.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl Group {
+    pub fn sample_size(&mut self, n: usize) -> &mut Group {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Group {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Group
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        if self.test_mode {
+            f(&mut b);
+            println!("bench {}/{id}: ok (smoke run)", self.name);
+            return self;
+        }
+        // One untimed warmup sample, then `sample_size` timed samples.
+        f(&mut b);
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        print!(
+            "bench {}/{id}: min {}  median {}  mean {}  ({} samples)",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len(),
+        );
+        if let Some(t) = self.throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Elements(n) => print!("  [{} elem/s]", fmt_rate(n as f64 / secs)),
+                    Throughput::Bytes(n) => print!("  [{}B/s]", fmt_rate(n as f64 / secs)),
+                }
+            }
+        }
+        println!();
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark body; [`Bencher::iter`] times one sample.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} k", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Drop-in for `criterion::criterion_group!`: defines a function running
+/// each benchmark in sequence with a shared [`Criterion`] context.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Drop-in for `criterion::criterion_main!`: the bench `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0;
+        g.sample_size(5).bench_function("body", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_runs_warmup_plus_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0;
+        g.sample_size(4).bench_function("body", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn durations_format_in_adaptive_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,9 +1,7 @@
 //! Table formatting and report persistence for the reproduction harness.
 
-use serde::Serialize;
-
 /// One paper-vs-measured row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     pub name: String,
     pub paper: String,
@@ -23,7 +21,7 @@ impl Row {
 }
 
 /// A titled table of rows.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     pub id: String,
     pub title: String,
@@ -71,14 +69,54 @@ impl Table {
         out
     }
 
+    /// Render as JSON (hand-rolled: the workspace builds without a
+    /// registry, so no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out += &format!("  \"id\": {},\n", json_str(&self.id));
+        out += &format!("  \"title\": {},\n", json_str(&self.title));
+        out += "  \"rows\": [\n";
+        for (i, r) in self.rows.iter().enumerate() {
+            out += &format!(
+                "    {{\"name\": {}, \"paper\": {}, \"measured\": {}, \"note\": {}}}{}\n",
+                json_str(&r.name),
+                json_str(&r.paper),
+                json_str(&r.measured),
+                json_str(&r.note),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            );
+        }
+        out += "  ]\n}\n";
+        out
+    }
+
     /// Persist the table as JSON under `target/reports/`.
     pub fn save(&self) -> std::io::Result<std::path::PathBuf> {
         let dir = std::path::Path::new("target/reports");
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).unwrap())?;
+        std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+/// Escape a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]

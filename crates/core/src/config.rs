@@ -5,12 +5,11 @@
 //! ablation bench (DESIGN.md §2, substitution 5).
 
 use majc_isa::LatClass;
-use serde::Serialize;
 
 use crate::predictor::PredictorConfig;
 
 /// How results cross functional units (paper §3.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BypassModel {
     /// The MAJC-5200 network: full bypass within a unit and between FU0 and
     /// FU1; one extra cycle to reach other units.
@@ -25,7 +24,7 @@ pub enum BypassModel {
 /// Vertical micro-threading configuration (paper §2): hardware contexts
 /// with "rapid, low overhead context switching ... triggered through either
 /// a long latency memory fetch or other events".
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ThreadingConfig {
     /// Hardware contexts (1 disables micro-threading).
     pub contexts: usize,
@@ -42,7 +41,7 @@ impl Default for ThreadingConfig {
 }
 
 /// Full timing model parameters, in 500 MHz cycles.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TimingConfig {
     /// Core clock (500 MHz).
     pub clock_hz: f64,

@@ -141,6 +141,13 @@ impl<P: CorePort> CycleSim<P> {
         self.contexts.iter().all(|c| c.halted)
     }
 
+    /// Per-packet issue cycles in execution order, if tracing was enabled
+    /// (`sim.trace = Some(Vec::new())` before running). This is the ground
+    /// truth the static linter's predicted schedule is tested against.
+    pub fn issue_cycles(&self) -> Option<Vec<u64>> {
+        self.trace.as_ref().map(|t| t.iter().map(|r| r.issue).collect())
+    }
+
     /// Pick the context to issue from: stay on the active one unless it is
     /// halted or another context is ready substantially earlier.
     fn pick_ctx(&self) -> Option<usize> {
@@ -208,9 +215,7 @@ impl<P: CorePort> CycleSim<P> {
 
             // Micro-threading: if this context is about to stall on a long
             // wait and another context could run, block it and switch.
-            if self.contexts.len() > 1
-                && operand_wait > self.cfg.threading.switch_min_gain
-            {
+            if self.contexts.len() > 1 && operand_wait > self.cfg.threading.switch_min_gain {
                 let other_ready = (0..self.contexts.len())
                     .filter(|&i| i != ci && !self.contexts[i].halted)
                     .map(|i| self.contexts[i].ready)
@@ -288,8 +293,7 @@ impl<P: CorePort> CycleSim<P> {
                         let pred = self.gshare.predict(pc, hint);
                         self.gshare.update(pc, taken, pred);
                         if pred == taken {
-                            next_ready =
-                                t + 1 + if taken { self.cfg.taken_bubble } else { 0 };
+                            next_ready = t + 1 + if taken { self.cfg.taken_bubble } else { 0 };
                         } else {
                             self.stats.mispredicts += 1;
                             next_ready = t + 1 + self.cfg.mispredict_penalty;
@@ -439,9 +443,8 @@ mod tests {
 
     #[test]
     fn independent_packets_issue_every_cycle() {
-        let mut pkts: Vec<Packet> = (0..10)
-            .map(|i| Packet::solo(alu(Reg::g(i), Reg::g(i), 1)).unwrap())
-            .collect();
+        let mut pkts: Vec<Packet> =
+            (0..10).map(|i| Packet::solo(alu(Reg::g(i), Reg::g(i), 1)).unwrap()).collect();
         pkts.push(Packet::solo(Instr::Halt).unwrap());
         let sim = run_perfect(prog(pkts));
         // 11 packets, 1/cycle after the pipeline fills.
@@ -578,9 +581,7 @@ mod tests {
     #[test]
     fn cache_misses_cost_real_time() {
         // Walk 4 KB strided by line: every load misses in a cold cache.
-        let mut pkts = vec![
-            Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0 }).unwrap(),
-        ];
+        let mut pkts = vec![Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0 }).unwrap()];
         for _ in 0..64 {
             pkts.push(
                 Packet::solo(Instr::Ld {
@@ -596,7 +597,8 @@ mod tests {
         }
         pkts.push(Packet::solo(Instr::Halt).unwrap());
         let p = prog(pkts);
-        let mut dram_sim = CycleSim::new(p.clone(), LocalMemSys::majc5200(), TimingConfig::default());
+        let mut dram_sim =
+            CycleSim::new(p.clone(), LocalMemSys::majc5200(), TimingConfig::default());
         dram_sim.run(10_000).unwrap();
         let mut perfect_sim = CycleSim::new(p, PerfectPort::new(), TimingConfig::default());
         perfect_sim.run(10_000).unwrap();
@@ -649,10 +651,8 @@ mod tests {
         wide.run(10_000).unwrap();
 
         let mut narrow_mem = LocalMemSys::majc5200();
-        narrow_mem.dcache = majc_mem::DCache::new(majc_mem::DCacheConfig {
-            mshrs: 1,
-            ..Default::default()
-        });
+        narrow_mem.dcache =
+            majc_mem::DCache::new(majc_mem::DCacheConfig { mshrs: 1, ..Default::default() });
         let mut narrow = CycleSim::new(build(), narrow_mem, TimingConfig::default());
         narrow.run(10_000).unwrap();
         assert!(

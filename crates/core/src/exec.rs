@@ -139,7 +139,8 @@ pub fn exec_slot(
         Nop => {}
         Halt => out.flow = Some(Flow::Halt),
         Membar => {
-            out.mem = Some(MemEffect { addr: 0, bytes: 0, kind: DKind::Store, pol: DPolicy::Cached })
+            out.mem =
+                Some(MemEffect { addr: 0, bytes: 0, kind: DKind::Store, pol: DPolicy::Cached })
         }
 
         Ld { w, pol, rd, base, off } => {
@@ -322,7 +323,8 @@ pub fn exec_slot(
         PDist { rd, rs1, rs2 } => {
             let a = g(rs1).to_be_bytes();
             let b = g(rs2).to_be_bytes();
-            let sad: u32 = a.iter().zip(&b).map(|(&x, &y)| (x as i32 - y as i32).unsigned_abs()).sum();
+            let sad: u32 =
+                a.iter().zip(&b).map(|(&x, &y)| (x as i32 - y as i32).unsigned_abs()).sum();
             ws.push(rd, g(rd).wrapping_add(sad));
         }
         ByteShuf { rd, rs, ctl } => {
@@ -341,11 +343,11 @@ pub fn exec_slot(
         BitExt { rd, rs, ctl } => {
             // 64-bit window with rs as the most-significant word (a
             // bitstream reads MSB-first).
-            let v = ((g(rs) as u64) << 32)
-                | g(Reg::from_index(rs.index() as u8 + 1).unwrap()) as u64;
+            let v =
+                ((g(rs) as u64) << 32) | g(Reg::from_index(rs.index() as u8 + 1).unwrap()) as u64;
             let c = g(ctl);
-            let pos = (c & 0x3F) as u32;
-            let len = ((c >> 8) & 0x1F) as u32 + 1;
+            let pos = c & 0x3F;
+            let len = ((c >> 8) & 0x1F) + 1;
             let field = if pos + len > 64 {
                 // Window overrun extracts what is there, zero-padded.
                 (v << pos.min(63)) >> (64 - len)
@@ -383,7 +385,8 @@ pub fn exec_slot(
             CvtKind::I2D => ws.push_f64(rd, gi(rs) as f64),
             CvtKind::D2I => {
                 let v = gd(rs);
-                let i = if v.is_nan() { 0 } else { v.clamp(i32::MIN as f64, i32::MAX as f64) as i32 };
+                let i =
+                    if v.is_nan() { 0 } else { v.clamp(i32::MIN as f64, i32::MAX as f64) as i32 };
                 ws.push(rd, i as u32);
             }
             CvtKind::F2D => ws.push_f64(rd, gf(rs) as f64),
@@ -411,7 +414,7 @@ fn addr_of(regs: &RegFile, base: Reg, off: Off) -> u32 {
 
 #[inline]
 fn check_align(pc: u32, addr: u32, w: MemWidth) -> Result<(), Trap> {
-    if addr % w.bytes() != 0 {
+    if !addr.is_multiple_of(w.bytes()) {
         Err(Trap::Misaligned { pc, addr })
     } else {
         Ok(())
@@ -546,17 +549,11 @@ mod tests {
     fn branches() {
         let (mut r, _, mut m) = setup();
         r.set(Reg::g(0), 0);
-        let out = run(
-            Instr::Br { cond: Cond::Eq, rs: Reg::g(0), off: 16, hint: true },
-            &mut r,
-            &mut m,
-        );
+        let out =
+            run(Instr::Br { cond: Cond::Eq, rs: Reg::g(0), off: 16, hint: true }, &mut r, &mut m);
         assert_eq!(out.flow, Some(Flow::Taken(0x1010)));
-        let out = run(
-            Instr::Br { cond: Cond::Ne, rs: Reg::g(0), off: 16, hint: false },
-            &mut r,
-            &mut m,
-        );
+        let out =
+            run(Instr::Br { cond: Cond::Ne, rs: Reg::g(0), off: 16, hint: false }, &mut r, &mut m);
         assert_eq!(out.flow, Some(Flow::Next));
         let out = run(Instr::Call { rd: Reg::g(1), off: -32 }, &mut r, &mut m);
         assert_eq!(out.flow, Some(Flow::Taken(0x1000 - 32)));
@@ -588,7 +585,7 @@ mod tests {
         r.set(Reg::g(0), u32::from_be_bytes([0xA0, 0xA1, 0xA2, 0xA3]));
         r.set(Reg::g(1), u32::from_be_bytes([0xB0, 0xB1, 0xB2, 0xB3]));
         // Select bytes 7,0,4 and zero the last.
-        r.set(Reg::g(2), 0x7048 | 0x8 << 0); // nibbles: 7,0,4,8
+        r.set(Reg::g(2), 0x7048 | 0x8); // nibbles: 7,0,4,8
         run(Instr::ByteShuf { rd: Reg::g(3), rs: Reg::g(0), ctl: Reg::g(2) }, &mut r, &mut m);
         assert_eq!(r.get(Reg::g(3)), u32::from_be_bytes([0xB3, 0xA0, 0xB0, 0x00]));
     }
@@ -598,8 +595,8 @@ mod tests {
         let (mut r, _, mut m) = setup();
         r.set(Reg::g(0), 0x0000_0001); // MS word
         r.set(Reg::g(1), 0x8000_0000); // LS word
-        // The 64-bit window is 0x0000_0001_8000_0000: bits 31..33 (MSB-first
-        // positions) hold 0b11. Extract pos=31, len=2.
+                                       // The 64-bit window is 0x0000_0001_8000_0000: bits 31..33 (MSB-first
+                                       // positions) hold 0b11. Extract pos=31, len=2.
         r.set(Reg::g(2), (1 << 8) | 31); // len-1=1, pos=31
         run(Instr::BitExt { rd: Reg::g(3), rs: Reg::g(0), ctl: Reg::g(2) }, &mut r, &mut m);
         assert_eq!(r.get(Reg::g(3)), 0b11);

@@ -7,13 +7,12 @@
 
 use majc_isa::Program;
 use majc_mem::FlatMem;
-use serde::Serialize;
 
 use crate::exec::{exec_slot, Flow, Trap};
 use crate::regfile::{RegFile, WriteSet};
 
 /// Counters kept by the functional simulator.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct FuncStats {
     pub packets: u64,
     pub instrs: u64,
@@ -132,7 +131,12 @@ mod tests {
         let p = prog(vec![
             Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 21 }).unwrap(),
             Packet::new(&[
-                Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(0), src2: Src::Reg(Reg::g(0)) },
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::g(1),
+                    rs1: Reg::g(0),
+                    src2: Src::Reg(Reg::g(0)),
+                },
                 Instr::Mul { rd: Reg::g(2), rs1: Reg::g(0), rs2: Reg::g(0) },
             ])
             .unwrap(),
@@ -156,8 +160,8 @@ mod tests {
             Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Reg(Reg::g(0)) },
         ])
         .unwrap();
-        let br = Packet::solo(Instr::Br { cond: Cond::Ne, rs: Reg::g(0), off: -8, hint: true })
-            .unwrap();
+        let br =
+            Packet::solo(Instr::Br { cond: Cond::Ne, rs: Reg::g(0), off: -8, hint: true }).unwrap();
         let p = prog(vec![
             Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 10 }).unwrap(),
             loop_pkt,

@@ -12,12 +12,11 @@
 //! store draining, and barrier semantics.
 
 use majc_mem::{DKind, DPolicy, DStall};
-use serde::Serialize;
 
 use crate::memsys::CorePort;
 
 /// LSU counters.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LsuStats {
     pub loads: u64,
     pub stores: u64,

@@ -3,10 +3,8 @@
 //! hints — the decode stage "prepares for both static and dynamic
 //! predictions" (§3.2).
 
-use serde::Serialize;
-
 /// Predictor configuration.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PredictorConfig {
     /// Pattern-history-table entries (must be a power of two).
     pub entries: usize,
@@ -23,7 +21,7 @@ impl Default for PredictorConfig {
 }
 
 /// Prediction statistics.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PredictorStats {
     pub lookups: u64,
     pub correct: u64,

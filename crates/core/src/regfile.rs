@@ -123,9 +123,7 @@ impl WriteSet {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (Reg, u32)> + '_ {
-        self.entries[..self.len as usize]
-            .iter()
-            .map(|&(i, v)| (Reg::from_index(i).unwrap(), v))
+        self.entries[..self.len as usize].iter().map(|&(i, v)| (Reg::from_index(i).unwrap(), v))
     }
 
     /// Apply all buffered writes to the register file.

@@ -1,11 +1,9 @@
 //! Counters produced by the cycle-accurate simulator.
 
-use serde::Serialize;
-
 use crate::predictor::PredictorStats;
 
 /// Everything the cycle model counts while running.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CycleStats {
     /// Total cycles from first issue to halt.
     pub cycles: u64,

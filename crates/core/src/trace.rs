@@ -1,9 +1,7 @@
 //! Pipeline trace records and rendering (Figure 2 reproduction support).
 
-use serde::Serialize;
-
 /// One issued packet.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TraceRec {
     /// Hardware context (micro-thread) that issued.
     pub ctx: u8,
@@ -24,12 +22,7 @@ pub fn render(trace: &[TraceRec], max_rows: usize) -> String {
     let Some(first) = trace.first() else { return out };
     let origin = first.issue;
     out.push_str("cycle:      ");
-    let span = trace
-        .iter()
-        .take(max_rows)
-        .map(|r| r.issue - origin)
-        .max()
-        .unwrap_or(0) as usize;
+    let span = trace.iter().take(max_rows).map(|r| r.issue - origin).max().unwrap_or(0) as usize;
     for c in 0..=span.min(70) {
         out.push(char::from_digit((c % 10) as u32, 10).unwrap());
     }

@@ -96,10 +96,7 @@ fn membar_waits_for_the_store_buffer() {
     };
     let without = run(build(false));
     let with = run(build(true));
-    assert!(
-        with > without + 10,
-        "membar must expose the drain: {with} vs {without}"
-    );
+    assert!(with > without + 10, "membar must expose the drain: {with} vs {without}");
 }
 
 #[test]
@@ -161,19 +158,14 @@ fn double_precision_initiation_interval_is_visible() {
             // Independent doubles on the same unit (slot 1 = FU1).
             a.pack(&[
                 Instr::Nop,
-                Instr::DAdd {
-                    rd: Reg::g(32 + 2 * (i % 8)),
-                    rs1: Reg::g(0),
-                    rs2: Reg::g(2),
-                },
+                Instr::DAdd { rd: Reg::g(32 + 2 * (i % 8)), rs1: Reg::g(0), rs2: Reg::g(2) },
             ]);
         }
         a.op(Instr::Halt);
         a.finish().unwrap()
     };
     let run = |ii: u64| {
-        let mut cfg = TimingConfig::default();
-        cfg.dbl_ii = ii;
+        let cfg = TimingConfig { dbl_ii: ii, ..Default::default() };
         let mut c = CycleSim::new(build(), PerfectPort::new(), cfg);
         c.run(1000).unwrap();
         c.stats.cycles

@@ -8,20 +8,18 @@
 //! 16-bit quantised positions, delta-coded within a strip, and
 //! octahedron-encoded normals, ~8 bytes per vertex against 24 raw.
 
-use serde::{Deserialize, Serialize};
-
 /// Quantisation: positions live in [-scale, scale], 15 bits + sign.
 pub const POS_BITS: u32 = 15;
 
 /// One vertex: position + unit normal.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Vertex {
     pub pos: [f32; 3],
     pub normal: [f32; 3],
 }
 
 /// A triangle strip.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Strip {
     pub vertices: Vec<Vertex>,
 }
@@ -77,7 +75,7 @@ fn dequantise(q: i16, scale: f32) -> f32 {
 }
 
 /// An encoded geometry stream.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Compressed {
     pub bytes: Vec<u8>,
     pub scale: f32,
@@ -100,20 +98,13 @@ pub fn compress(strips: &[Strip], scale: f32) -> Compressed {
     for s in strips {
         let mut prev: Option<[i16; 3]> = None;
         for v in &s.vertices {
-            let q = [
-                quantise(v.pos[0], scale),
-                quantise(v.pos[1], scale),
-                quantise(v.pos[2], scale),
-            ];
+            let q =
+                [quantise(v.pos[0], scale), quantise(v.pos[1], scale), quantise(v.pos[2], scale)];
             let n = encode_normal(v.normal);
             match prev {
                 None => cmds.push(Cmd::Restart { q, n }),
                 Some(p) => cmds.push(Cmd::Delta {
-                    dq: [
-                        q[0].wrapping_sub(p[0]),
-                        q[1].wrapping_sub(p[1]),
-                        q[2].wrapping_sub(p[2]),
-                    ],
+                    dq: [q[0].wrapping_sub(p[0]), q[1].wrapping_sub(p[1]), q[2].wrapping_sub(p[2])],
                     n,
                 }),
             }
@@ -213,11 +204,7 @@ pub fn decompress(c: &Compressed) -> Vec<Strip> {
         };
         prev = q;
         cur.vertices.push(Vertex {
-            pos: [
-                dequantise(q[0], c.scale),
-                dequantise(q[1], c.scale),
-                dequantise(q[2], c.scale),
-            ],
+            pos: [dequantise(q[0], c.scale), dequantise(q[1], c.scale), dequantise(q[2], c.scale)],
             normal: decode_normal(n),
         });
     }
@@ -250,10 +237,7 @@ mod tests {
                         (va.pos[k] - vb.pos[k]).abs(),
                         step
                     );
-                    assert!(
-                        (va.normal[k] - vb.normal[k]).abs() < 0.03,
-                        "normal error too large"
-                    );
+                    assert!((va.normal[k] - vb.normal[k]).abs() < 0.03, "normal error too large");
                 }
             }
         }

@@ -12,12 +12,10 @@
 //! cycles-per-vertex. The model reports triangles/second and who the
 //! bottleneck was.
 
-use serde::Serialize;
-
 use crate::compress::Compressed;
 
 /// Pipeline parameters.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
     /// Core clock.
     pub clock_hz: f64,
@@ -47,7 +45,7 @@ impl Default for PipelineConfig {
 }
 
 /// Simulation outcome.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PipelineResult {
     pub cycles: u64,
     pub vertices: u64,

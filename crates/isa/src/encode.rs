@@ -236,7 +236,10 @@ pub fn encode_instr(ins: &Instr, fu: u8) -> Result<u32, IsaError> {
                 if !fits_signed(imm as i64, 9) {
                     return Err(IsaError::ImmOutOfRange { imm: imm as i64, bits: 9 });
                 }
-                word(OP_ALU_I + alu_index(op), (r(rd)? << 16) | (r(rs1)? << 9) | mask(imm as i64, 9))
+                word(
+                    OP_ALU_I + alu_index(op),
+                    (r(rd)? << 16) | (r(rs1)? << 9) | mask(imm as i64, 9),
+                )
             }
         },
         SetLo { rd, imm } => word(OP_SETLO, (r(rd)? << 16) | mask(imm as i64, 16)),
@@ -287,7 +290,9 @@ pub fn encode_instr(ins: &Instr, fu: u8) -> Result<u32, IsaError> {
         DCmp { cond, rd, rs1, rs2 } => {
             word(OP_DCMP, (short_cond(cond)? << 21) | (r(rd)? << 14) | (r(rs1)? << 7) | r(rs2)?)
         }
-        Cvt { kind, rd, rs } => word(OP_CVT, (kind.encode() << 20) | (r(rd)? << 13) | (r(rs)? << 6)),
+        Cvt { kind, rd, rs } => {
+            word(OP_CVT, (kind.encode() << 20) | (r(rd)? << 13) | (r(rs)? << 6))
+        }
     })
 }
 
@@ -429,7 +434,11 @@ pub fn decode_instr(w: u32, fu: u8) -> Result<Instr, IsaError> {
             rs1: r((p >> 7) & 0x7F)?,
             rs2: r(p & 0x7F)?,
         },
-        OP_CVT => Cvt { kind: CvtKind::decode(p >> 20), rd: r((p >> 13) & 0x7F)?, rs: r((p >> 6) & 0x7F)? },
+        OP_CVT => Cvt {
+            kind: CvtKind::decode(p >> 20),
+            rd: r((p >> 13) & 0x7F)?,
+            rs: r((p >> 6) & 0x7F)?,
+        },
         _ => return Err(IsaError::BadEncoding(w)),
     };
     ins.validate_for_fu(fu)?;
@@ -482,7 +491,7 @@ pub fn encode_program(packets: &[Packet]) -> Result<Vec<u8>, IsaError> {
 
 /// Decode a byte image back into packets.
 pub fn decode_program(bytes: &[u8]) -> Result<Vec<Packet>, IsaError> {
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(IsaError::BadEncoding(bytes.len() as u32));
     }
     let words: Vec<u32> =
@@ -529,7 +538,10 @@ mod tests {
             ),
             (Instr::Br { cond: Cond::Gt, rs: Reg::g(9), off: -64, hint: true }, 0),
             (Instr::Call { rd: Reg::g(40), off: 4096 }, 0),
-            (Instr::Alu { op: AluOp::Sra, rd: Reg::l(2, 7), rs1: Reg::g(1), src2: Src::Imm(-5) }, 2),
+            (
+                Instr::Alu { op: AluOp::Sra, rd: Reg::l(2, 7), rs1: Reg::g(1), src2: Src::Imm(-5) },
+                2,
+            ),
             (Instr::SetHi { rd: Reg::g(3), imm: 0xBEEF }, 3),
             (Instr::FMAdd { rd: Reg::l(1, 0), rs1: Reg::g(50), rs2: Reg::g(51) }, 1),
             (Instr::PAdd { mode: SatMode::Sym, rd: Reg::g(1), rs1: Reg::g(2), rs2: Reg::g(3) }, 2),

@@ -8,15 +8,13 @@
 //! saturation, unsigned saturation, and symmetric signed saturation that
 //! avoids the -32768 asymmetry — the mode used by e.g. H.263 quantisers).
 
-use serde::{Deserialize, Serialize};
-
 /// Fraction bits of the `S.15` format (value = raw / 2^15, range [-1, 1)).
 pub const S15_FRAC: u32 = 15;
 /// Fraction bits of the `S2.13` format (value = raw / 2^13, range [-4, 4)).
 pub const S2_13_FRAC: u32 = 13;
 
 /// The four SIMD saturation modes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SatMode {
     /// Modulo 2^16 wrap-around (plain two's-complement).
     Wrap,
@@ -67,7 +65,7 @@ impl SatMode {
 }
 
 /// SIMD lane interpretation for packed multiplies.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FixFmt {
     /// Plain 16-bit integers (product keeps the low 16 bits pre-saturation).
     Int16,

@@ -4,15 +4,13 @@
 //! first slot of a packet must hold an FU0 instruction (memory, control
 //! flow, or ALU); slots 1-3 hold compute instructions for FU1-FU3.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fixed::{FixFmt, SatMode};
 use crate::ops::{AluOp, CachePolicy, Cond, CvtKind, LatClass, MemWidth};
 use crate::reg::Reg;
 use crate::IsaError;
 
 /// Second source operand: register or 16-bit sign-extended immediate.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Src {
     Reg(Reg),
     Imm(i16),
@@ -23,7 +21,7 @@ pub enum Src {
 /// Immediate offsets are encoded scaled by the access size, so the byte
 /// offset must be a multiple of the width for multi-byte accesses and must
 /// fit the 7-bit scaled field (±64 elements).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Off {
     Reg(Reg),
     Imm(i16),
@@ -70,7 +68,7 @@ impl RegList {
 }
 
 /// One MAJC instruction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Instr {
     /// No operation (any FU).
     Nop,
@@ -80,126 +78,343 @@ pub enum Instr {
     // ------------------------- FU0: memory -------------------------
     /// Load: `rd = mem[base + off]` with the given width and cache policy.
     /// `L` fills the pair `(rd, rd+1)`, `G` fills `rd..rd+8` (32 bytes).
-    Ld { w: MemWidth, pol: CachePolicy, rd: Reg, base: Reg, off: Off },
+    Ld {
+        w: MemWidth,
+        pol: CachePolicy,
+        rd: Reg,
+        base: Reg,
+        off: Off,
+    },
     /// Store: `mem[base + off] = rs` (pair/group for `L`/`G`).
-    St { w: MemWidth, pol: CachePolicy, rs: Reg, base: Reg, off: Off },
+    St {
+        w: MemWidth,
+        pol: CachePolicy,
+        rs: Reg,
+        base: Reg,
+        off: Off,
+    },
     /// Conditional word store: `if cond(rc) { mem[base] = rs }` (paper §4:
     /// predicated store on FU0).
-    CSt { cond: Cond, rc: Reg, rs: Reg, base: Reg },
+    CSt {
+        cond: Cond,
+        rc: Reg,
+        rs: Reg,
+        base: Reg,
+    },
     /// Non-faulting 32-byte block prefetch into the data cache.
-    Prefetch { base: Reg, off: i16 },
+    Prefetch {
+        base: Reg,
+        off: i16,
+    },
     /// Memory barrier: drains the store buffer before younger accesses.
     Membar,
     /// Atomic compare-and-swap on a word: `old = mem[base]; if old == rd
     /// { mem[base] = rs }; rd = old`.
-    Cas { rd: Reg, base: Reg, rs: Reg },
+    Cas {
+        rd: Reg,
+        base: Reg,
+        rs: Reg,
+    },
     /// Atomic exchange: `rd <-> mem[base]`.
-    Swap { rd: Reg, base: Reg },
+    Swap {
+        rd: Reg,
+        base: Reg,
+    },
 
     // ----------------------- FU0: control flow -----------------------
     /// Conditional branch on `cond(rs)`; `off` is a byte displacement from
     /// the start of the current packet. `hint` is the static prediction.
-    Br { cond: Cond, rs: Reg, off: i32, hint: bool },
+    Br {
+        cond: Cond,
+        rs: Reg,
+        off: i32,
+        hint: bool,
+    },
     /// Call: `rd = return address; pc += off`.
-    Call { rd: Reg, off: i32 },
+    Call {
+        rd: Reg,
+        off: i32,
+    },
     /// Jump and link through a register: `rd = return address; pc = base + off`.
-    Jmpl { rd: Reg, base: Reg, off: i16 },
+    Jmpl {
+        rd: Reg,
+        base: Reg,
+        off: i16,
+    },
 
     // --------------------- FU0: long-latency math ---------------------
     /// Non-pipelined 32-bit signed divide.
-    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    Div {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Non-pipelined 32-bit signed remainder.
-    Rem { rd: Reg, rs1: Reg, rs2: Reg },
+    Rem {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Single-precision FP divide (6-cycle).
-    FDiv { rd: Reg, rs1: Reg, rs2: Reg },
+    FDiv {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Single-precision FP reciprocal square root (6-cycle).
-    FRsqrt { rd: Reg, rs: Reg },
+    FRsqrt {
+        rd: Reg,
+        rs: Reg,
+    },
     /// SIMD S2.13 parallel divide, both lanes (6-cycle).
-    PDiv { rd: Reg, rs1: Reg, rs2: Reg },
+    PDiv {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// SIMD S2.13 parallel reciprocal square root, both lanes (6-cycle).
-    PRsqrt { rd: Reg, rs: Reg },
+    PRsqrt {
+        rd: Reg,
+        rs: Reg,
+    },
 
     // --------------------------- any FU ---------------------------
     /// Standard logical/shift/arithmetic op. Saturating variants are
     /// restricted to FU1-FU3.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, src2: Src },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        src2: Src,
+    },
     /// `rd = sign_extend(imm)` — with [`Instr::SetHi`], "all units are
     /// capable of setting arbitrary constants" (paper §4).
-    SetLo { rd: Reg, imm: i16 },
+    SetLo {
+        rd: Reg,
+        imm: i16,
+    },
     /// `rd = (imm << 16) | (rd & 0xffff)`.
-    SetHi { rd: Reg, imm: u16 },
+    SetHi {
+        rd: Reg,
+        imm: u16,
+    },
     /// Conditional move: `if cond(rc) { rd = rs }` (any FU).
-    CMove { cond: Cond, rc: Reg, rd: Reg, rs: Reg },
+    CMove {
+        cond: Cond,
+        rc: Reg,
+        rd: Reg,
+        rs: Reg,
+    },
 
     // ----------------------- FU1-FU3: compute -----------------------
     /// Predicated pick/select: `rd = cond(rd_old) ? rs1 : rs2`.
-    Pick { cond: Cond, rd: Reg, rs1: Reg, rs2: Reg },
+    Pick {
+        cond: Cond,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Two-operand signed compare producing 0/1: `rd = (rs1 cond rs2)`.
-    Cmp { cond: Cond, rd: Reg, rs1: Reg, rs2: Reg },
+    Cmp {
+        cond: Cond,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Two-cycle pipelined 32-bit multiply, low half.
-    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    Mul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// High 32 bits of the signed 64-bit product (paper §4: enables 64-bit
     /// multiplies).
-    MulHi { rd: Reg, rs1: Reg, rs2: Reg },
+    MulHi {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Fused multiply-add: `rd += rs1 * rs2` (accumulator form).
-    MulAdd { rd: Reg, rs1: Reg, rs2: Reg },
+    MulAdd {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Fused multiply-subtract: `rd -= rs1 * rs2`.
-    MulSub { rd: Reg, rs1: Reg, rs2: Reg },
+    MulSub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 
     // SIMD on 16-bit lane pairs.
     /// Packed 16-bit add under a saturation mode.
-    PAdd { mode: SatMode, rd: Reg, rs1: Reg, rs2: Reg },
+    PAdd {
+        mode: SatMode,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Packed 16-bit subtract under a saturation mode.
-    PSub { mode: SatMode, rd: Reg, rs1: Reg, rs2: Reg },
+    PSub {
+        mode: SatMode,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Packed 16-bit multiply in a fixed-point format (signed-saturating).
-    PMul { fmt: FixFmt, rd: Reg, rs1: Reg, rs2: Reg },
+    PMul {
+        fmt: FixFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Packed fused multiply-add: `rd.lanes += rs1.lanes * rs2.lanes`.
-    PMulAdd { fmt: FixFmt, rd: Reg, rs1: Reg, rs2: Reg },
+    PMulAdd {
+        fmt: FixFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Dot product with full 32-bit precision: `rd += hi(rs1)*hi(rs2) +
     /// lo(rs1)*lo(rs2)` (paper §4).
-    DotP { rd: Reg, rs1: Reg, rs2: Reg },
+    DotP {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Saturated S.31 product of the low-lane S.15 quantities.
-    PMulS31 { rd: Reg, rs1: Reg, rs2: Reg },
+    PMulS31 {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Pixel distance: `rd += Σ |bytes(rs1) - bytes(rs2)|` over 4 packed
     /// bytes (motion-estimation SAD, paper §4).
-    PDist { rd: Reg, rs1: Reg, rs2: Reg },
+    PDist {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Byte shuffle: permute the 8 bytes of the pair `(rs, rs+1)` into `rd`
     /// under nibble selectors in `ctl` (can also zero byte fields).
-    ByteShuf { rd: Reg, rs: Reg, ctl: Reg },
+    ByteShuf {
+        rd: Reg,
+        rs: Reg,
+        ctl: Reg,
+    },
     /// Bit-field extract from the 64-bit pair `(rs, rs+1)`; `ctl[5:0]` is
     /// the MSB-first bit position, `ctl[12:8]` is `len-1`. The extracted
     /// field is zero-extended — "a general purpose alignment instruction
     /// since the field extracted can span two registers" (paper §4).
-    BitExt { rd: Reg, rs: Reg, ctl: Reg },
+    BitExt {
+        rd: Reg,
+        rs: Reg,
+        ctl: Reg,
+    },
     /// Leading-zero detect (32 for a zero input).
-    Lzd { rd: Reg, rs: Reg },
+    Lzd {
+        rd: Reg,
+        rs: Reg,
+    },
 
     // Single-precision FP (4-cycle, fully pipelined).
-    FAdd { rd: Reg, rs1: Reg, rs2: Reg },
-    FSub { rd: Reg, rs1: Reg, rs2: Reg },
-    FMul { rd: Reg, rs1: Reg, rs2: Reg },
+    FAdd {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    FSub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    FMul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Fused multiply-add: `rd += rs1 * rs2`.
-    FMAdd { rd: Reg, rs1: Reg, rs2: Reg },
+    FMAdd {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Fused multiply-subtract: `rd -= rs1 * rs2`.
-    FMSub { rd: Reg, rs1: Reg, rs2: Reg },
-    FMin { rd: Reg, rs1: Reg, rs2: Reg },
-    FMax { rd: Reg, rs1: Reg, rs2: Reg },
-    FNeg { rd: Reg, rs: Reg },
-    FAbs { rd: Reg, rs: Reg },
+    FMSub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    FMin {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    FMax {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    FNeg {
+        rd: Reg,
+        rs: Reg,
+    },
+    FAbs {
+        rd: Reg,
+        rs: Reg,
+    },
     /// FP compare producing 0/1 in an integer register.
-    FCmp { cond: Cond, rd: Reg, rs1: Reg, rs2: Reg },
+    FCmp {
+        cond: Cond,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 
     // Double-precision FP on register pairs (partially pipelined).
-    DAdd { rd: Reg, rs1: Reg, rs2: Reg },
-    DSub { rd: Reg, rs1: Reg, rs2: Reg },
-    DMul { rd: Reg, rs1: Reg, rs2: Reg },
-    DMin { rd: Reg, rs1: Reg, rs2: Reg },
-    DMax { rd: Reg, rs1: Reg, rs2: Reg },
-    DNeg { rd: Reg, rs: Reg },
-    DCmp { cond: Cond, rd: Reg, rs1: Reg, rs2: Reg },
+    DAdd {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    DSub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    DMul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    DMin {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    DMax {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    DNeg {
+        rd: Reg,
+        rs: Reg,
+    },
+    DCmp {
+        cond: Cond,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 
     /// Numeric conversions (paper §4 "Convert (FU1-3)").
-    Cvt { kind: CvtKind, rd: Reg, rs: Reg },
+    Cvt {
+        kind: CvtKind,
+        rd: Reg,
+        rs: Reg,
+    },
 }
 
 /// Bitmask with bit `i` set when the instruction may issue on FU`i`.
@@ -216,11 +431,17 @@ impl Instr {
         match self {
             Nop => ANY_FU,
             Halt => FU0_ONLY,
-            Ld { .. } | St { .. } | CSt { .. } | Prefetch { .. } | Membar | Cas { .. }
+            Ld { .. }
+            | St { .. }
+            | CSt { .. }
+            | Prefetch { .. }
+            | Membar
+            | Cas { .. }
             | Swap { .. } => FU0_ONLY,
             Br { .. } | Call { .. } | Jmpl { .. } => FU0_ONLY,
-            Div { .. } | Rem { .. } | FDiv { .. } | FRsqrt { .. } | PDiv { .. }
-            | PRsqrt { .. } => FU0_ONLY,
+            Div { .. } | Rem { .. } | FDiv { .. } | FRsqrt { .. } | PDiv { .. } | PRsqrt { .. } => {
+                FU0_ONLY
+            }
             Alu { op, .. } => {
                 if op.compute_only() {
                     FU123
@@ -229,13 +450,40 @@ impl Instr {
                 }
             }
             SetLo { .. } | SetHi { .. } | CMove { .. } => ANY_FU,
-            Pick { .. } | Cmp { .. } | Mul { .. } | MulHi { .. } | MulAdd { .. }
-            | MulSub { .. } | PAdd { .. } | PSub { .. } | PMul { .. } | PMulAdd { .. }
-            | DotP { .. } | PMulS31 { .. } | PDist { .. } | ByteShuf { .. } | BitExt { .. }
-            | Lzd { .. } | FAdd { .. } | FSub { .. } | FMul { .. } | FMAdd { .. }
-            | FMSub { .. } | FMin { .. } | FMax { .. } | FNeg { .. } | FAbs { .. }
-            | FCmp { .. } | DAdd { .. } | DSub { .. } | DMul { .. } | DMin { .. }
-            | DMax { .. } | DNeg { .. } | DCmp { .. } | Cvt { .. } => FU123,
+            Pick { .. }
+            | Cmp { .. }
+            | Mul { .. }
+            | MulHi { .. }
+            | MulAdd { .. }
+            | MulSub { .. }
+            | PAdd { .. }
+            | PSub { .. }
+            | PMul { .. }
+            | PMulAdd { .. }
+            | DotP { .. }
+            | PMulS31 { .. }
+            | PDist { .. }
+            | ByteShuf { .. }
+            | BitExt { .. }
+            | Lzd { .. }
+            | FAdd { .. }
+            | FSub { .. }
+            | FMul { .. }
+            | FMAdd { .. }
+            | FMSub { .. }
+            | FMin { .. }
+            | FMax { .. }
+            | FNeg { .. }
+            | FAbs { .. }
+            | FCmp { .. }
+            | DAdd { .. }
+            | DSub { .. }
+            | DMul { .. }
+            | DMin { .. }
+            | DMax { .. }
+            | DNeg { .. }
+            | DCmp { .. }
+            | Cvt { .. } => FU123,
         }
     }
 
@@ -249,11 +497,24 @@ impl Instr {
             Div { .. } | Rem { .. } => LatClass::IDiv,
             FDiv { .. } | FRsqrt { .. } | PDiv { .. } | PRsqrt { .. } => LatClass::Div6,
             Mul { .. } | MulHi { .. } | MulAdd { .. } | MulSub { .. } => LatClass::Mul,
-            FAdd { .. } | FSub { .. } | FMul { .. } | FMAdd { .. } | FMSub { .. }
-            | FMin { .. } | FMax { .. } | FNeg { .. } | FAbs { .. } | FCmp { .. }
+            FAdd { .. }
+            | FSub { .. }
+            | FMul { .. }
+            | FMAdd { .. }
+            | FMSub { .. }
+            | FMin { .. }
+            | FMax { .. }
+            | FNeg { .. }
+            | FAbs { .. }
+            | FCmp { .. }
             | Cvt { .. } => LatClass::FpSingle,
-            DAdd { .. } | DSub { .. } | DMul { .. } | DMin { .. } | DMax { .. }
-            | DNeg { .. } | DCmp { .. } => LatClass::FpDouble,
+            DAdd { .. }
+            | DSub { .. }
+            | DMul { .. }
+            | DMin { .. }
+            | DMax { .. }
+            | DNeg { .. }
+            | DCmp { .. } => LatClass::FpDouble,
             _ => LatClass::Single,
         }
     }
@@ -276,18 +537,48 @@ impl Instr {
             Ld { w, rd, .. } => l.push_span(rd, w.regs()),
             Cas { rd, .. } | Swap { rd, .. } => l.push(rd),
             Call { rd, .. } | Jmpl { rd, .. } => l.push(rd),
-            Div { rd, .. } | Rem { rd, .. } | FDiv { rd, .. } | FRsqrt { rd, .. }
-            | PDiv { rd, .. } | PRsqrt { rd, .. } => l.push(rd),
-            Alu { rd, .. } | SetLo { rd, .. } | SetHi { rd, .. } | CMove { rd, .. }
-            | Pick { rd, .. } | Cmp { rd, .. } | Mul { rd, .. } | MulHi { rd, .. }
-            | MulAdd { rd, .. } | MulSub { rd, .. } | PAdd { rd, .. } | PSub { rd, .. }
-            | PMul { rd, .. } | PMulAdd { rd, .. } | DotP { rd, .. } | PMulS31 { rd, .. }
-            | PDist { rd, .. } | ByteShuf { rd, .. } | BitExt { rd, .. } | Lzd { rd, .. }
-            | FAdd { rd, .. } | FSub { rd, .. } | FMul { rd, .. } | FMAdd { rd, .. }
-            | FMSub { rd, .. } | FMin { rd, .. } | FMax { rd, .. } | FNeg { rd, .. }
-            | FAbs { rd, .. } | FCmp { rd, .. } => l.push(rd),
-            DAdd { rd, .. } | DSub { rd, .. } | DMul { rd, .. } | DMin { rd, .. }
-            | DMax { rd, .. } | DNeg { rd, .. } => l.push_span(rd, 2),
+            Div { rd, .. }
+            | Rem { rd, .. }
+            | FDiv { rd, .. }
+            | FRsqrt { rd, .. }
+            | PDiv { rd, .. }
+            | PRsqrt { rd, .. } => l.push(rd),
+            Alu { rd, .. }
+            | SetLo { rd, .. }
+            | SetHi { rd, .. }
+            | CMove { rd, .. }
+            | Pick { rd, .. }
+            | Cmp { rd, .. }
+            | Mul { rd, .. }
+            | MulHi { rd, .. }
+            | MulAdd { rd, .. }
+            | MulSub { rd, .. }
+            | PAdd { rd, .. }
+            | PSub { rd, .. }
+            | PMul { rd, .. }
+            | PMulAdd { rd, .. }
+            | DotP { rd, .. }
+            | PMulS31 { rd, .. }
+            | PDist { rd, .. }
+            | ByteShuf { rd, .. }
+            | BitExt { rd, .. }
+            | Lzd { rd, .. }
+            | FAdd { rd, .. }
+            | FSub { rd, .. }
+            | FMul { rd, .. }
+            | FMAdd { rd, .. }
+            | FMSub { rd, .. }
+            | FMin { rd, .. }
+            | FMax { rd, .. }
+            | FNeg { rd, .. }
+            | FAbs { rd, .. }
+            | FCmp { rd, .. } => l.push(rd),
+            DAdd { rd, .. }
+            | DSub { rd, .. }
+            | DMul { rd, .. }
+            | DMin { rd, .. }
+            | DMax { rd, .. }
+            | DNeg { rd, .. } => l.push_span(rd, 2),
             DCmp { rd, .. } => l.push(rd),
             Cvt { kind, rd, .. } => l.push_span(rd, if kind.dst_is_pair() { 2 } else { 1 }),
             Nop | Halt | St { .. } | CSt { .. } | Prefetch { .. } | Membar | Br { .. } => {}
@@ -330,16 +621,30 @@ impl Instr {
             }
             Br { rs, .. } => l.push(rs),
             Jmpl { base, .. } => l.push(base),
-            Div { rs1, rs2, .. } | Rem { rs1, rs2, .. } | FDiv { rs1, rs2, .. }
-            | PDiv { rs1, rs2, .. } | Cmp { rs1, rs2, .. } | Mul { rs1, rs2, .. }
-            | MulHi { rs1, rs2, .. } | PAdd { rs1, rs2, .. } | PSub { rs1, rs2, .. }
-            | PMul { rs1, rs2, .. } | PMulS31 { rs1, rs2, .. } | FAdd { rs1, rs2, .. }
-            | FSub { rs1, rs2, .. } | FMul { rs1, rs2, .. } | FMin { rs1, rs2, .. }
-            | FMax { rs1, rs2, .. } | FCmp { rs1, rs2, .. } => {
+            Div { rs1, rs2, .. }
+            | Rem { rs1, rs2, .. }
+            | FDiv { rs1, rs2, .. }
+            | PDiv { rs1, rs2, .. }
+            | Cmp { rs1, rs2, .. }
+            | Mul { rs1, rs2, .. }
+            | MulHi { rs1, rs2, .. }
+            | PAdd { rs1, rs2, .. }
+            | PSub { rs1, rs2, .. }
+            | PMul { rs1, rs2, .. }
+            | PMulS31 { rs1, rs2, .. }
+            | FAdd { rs1, rs2, .. }
+            | FSub { rs1, rs2, .. }
+            | FMul { rs1, rs2, .. }
+            | FMin { rs1, rs2, .. }
+            | FMax { rs1, rs2, .. }
+            | FCmp { rs1, rs2, .. } => {
                 l.push(rs1);
                 l.push(rs2);
             }
-            FRsqrt { rs, .. } | PRsqrt { rs, .. } | Lzd { rs, .. } | FNeg { rs, .. }
+            FRsqrt { rs, .. }
+            | PRsqrt { rs, .. }
+            | Lzd { rs, .. }
+            | FNeg { rs, .. }
             | FAbs { rs, .. } => l.push(rs),
             Alu { rs1, src2, .. } => {
                 l.push(rs1);
@@ -359,7 +664,9 @@ impl Instr {
                 l.push(rs1);
                 l.push(rs2);
             }
-            MulAdd { rd, rs1, rs2 } | MulSub { rd, rs1, rs2 } | DotP { rd, rs1, rs2 }
+            MulAdd { rd, rs1, rs2 }
+            | MulSub { rd, rs1, rs2 }
+            | DotP { rd, rs1, rs2 }
             | PDist { rd, rs1, rs2 } => {
                 l.push(rd);
                 l.push(rs1);
@@ -379,8 +686,12 @@ impl Instr {
                 l.push_span(rs, 2);
                 l.push(ctl);
             }
-            DAdd { rs1, rs2, .. } | DSub { rs1, rs2, .. } | DMul { rs1, rs2, .. }
-            | DMin { rs1, rs2, .. } | DMax { rs1, rs2, .. } | DCmp { rs1, rs2, .. } => {
+            DAdd { rs1, rs2, .. }
+            | DSub { rs1, rs2, .. }
+            | DMul { rs1, rs2, .. }
+            | DMin { rs1, rs2, .. }
+            | DMax { rs1, rs2, .. }
+            | DCmp { rs1, rs2, .. } => {
                 l.push_span(rs1, 2);
                 l.push_span(rs2, 2);
             }
@@ -403,12 +714,12 @@ impl Instr {
             }
         }
         // Pair/group alignment.
-        let pair_ok = |r: Reg| r.index() % 2 == 0;
+        let pair_ok = |r: Reg| r.index().is_multiple_of(2);
         let group_ok = |r: Reg, n: usize| {
             if n == 1 {
                 return true;
             }
-            if r.index() % 2 != 0 {
+            if !r.index().is_multiple_of(2) {
                 return false;
             }
             // The whole span must stay inside one visibility window: all
@@ -423,10 +734,11 @@ impl Instr {
         let ok = match *self {
             Ld { w, rd, .. } => group_ok(rd, w.regs() as usize),
             St { w, rs, .. } => w.valid_for_store() && group_ok(rs, w.regs() as usize),
-            DAdd { rd, rs1, rs2 } | DSub { rd, rs1, rs2 } | DMul { rd, rs1, rs2 }
-            | DMin { rd, rs1, rs2 } | DMax { rd, rs1, rs2 } => {
-                pair_ok(rd) && pair_ok(rs1) && pair_ok(rs2)
-            }
+            DAdd { rd, rs1, rs2 }
+            | DSub { rd, rs1, rs2 }
+            | DMul { rd, rs1, rs2 }
+            | DMin { rd, rs1, rs2 }
+            | DMax { rd, rs1, rs2 } => pair_ok(rd) && pair_ok(rs1) && pair_ok(rs2),
             DNeg { rd, rs } => pair_ok(rd) && pair_ok(rs),
             DCmp { rs1, rs2, .. } => pair_ok(rs1) && pair_ok(rs2),
             ByteShuf { rs, .. } | BitExt { rs, .. } => pair_ok(rs),

@@ -26,10 +26,12 @@
 
 pub mod encode;
 pub mod fixed;
+pub mod gen;
 pub mod instr;
 pub mod ops;
 pub mod packet;
 pub mod reg;
+pub mod rng;
 
 pub use encode::{
     decode_instr, decode_packet, decode_program, encode_instr, encode_packet, encode_program,
@@ -39,6 +41,7 @@ pub use instr::{Instr, Off, RegList, Src};
 pub use ops::{AluOp, CachePolicy, Cond, CvtKind, LatClass, MemWidth};
 pub use packet::{Packet, Program, MAX_SLOTS};
 pub use reg::{Reg, NUM_FUS, NUM_GLOBALS, NUM_LOCALS_PER_FU, NUM_REGS};
+pub use rng::SplitMix64;
 
 /// Errors produced while constructing, encoding, or decoding instructions.
 #[derive(Clone, PartialEq, Eq, Debug)]

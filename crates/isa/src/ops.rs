@@ -1,10 +1,8 @@
 //! Operation kinds shared across the instruction set.
 
-use serde::{Deserialize, Serialize};
-
 /// ALU operations executable on any functional unit (saturating variants
 /// only on FU1-FU3, per paper §4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AluOp {
     Add,
     Sub,
@@ -89,7 +87,7 @@ impl AluOp {
 
 /// Branch/conditional-move conditions, evaluated against a register compared
 /// to zero (signed).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Cond {
     Eq,
     Ne,
@@ -208,7 +206,7 @@ impl Cond {
 
 /// Memory access widths supported by loads/stores (paper §4: byte, short,
 /// word, long, and 32-byte group).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MemWidth {
     /// Signed byte.
     B,
@@ -280,7 +278,7 @@ impl MemWidth {
 
 /// Cacheability policy of a load/store (paper §4: cached, non-cached, or
 /// non-allocating).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum CachePolicy {
     #[default]
     Cached,
@@ -321,7 +319,7 @@ impl CachePolicy {
 }
 
 /// Conversion instruction kinds (paper §4 lists int/float/fixed conversions).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CvtKind {
     /// int32 -> float32
     I2F,
@@ -408,7 +406,7 @@ impl CvtKind {
 }
 
 /// Latency classes used by the timing model (paper §3.2 and §4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum LatClass {
     /// Single-cycle ALU / SIMD / moves / sets.
     Single,
@@ -428,6 +426,35 @@ pub enum LatClass {
     Store,
     /// Control transfer.
     Branch,
+}
+
+impl LatClass {
+    /// Whether results of this class are protected by the run-time
+    /// scoreboard. Paper §3.2: "only the non-deterministic loads and long
+    /// latency instructions are interlocked through a score-boarding
+    /// mechanism" — loads (and the atomics sharing their class) plus the
+    /// divide families. Everything else has a deterministic latency the
+    /// compiler must schedule around.
+    #[inline]
+    pub const fn is_interlocked(self) -> bool {
+        matches!(self, LatClass::Load | LatClass::IDiv | LatClass::Div6)
+    }
+
+    /// Deterministic-latency producer classes: results become visible a
+    /// fixed number of cycles after issue (plus the bypass-network delay to
+    /// the consuming unit) and are *not* interlocked on the real hardware.
+    /// A read before that point is an exposed-latency hazard.
+    #[inline]
+    pub const fn is_compiler_scheduled(self) -> bool {
+        matches!(
+            self,
+            LatClass::Single
+                | LatClass::Mul
+                | LatClass::FpSingle
+                | LatClass::FpDouble
+                | LatClass::Branch
+        )
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,6 @@
 //! `i`: slot 0 must be an FU0 instruction (memory, control flow, ALU, or
 //! the FU0 math specials), slots 1-3 are compute instructions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::instr::Instr;
 use crate::IsaError;
 
@@ -15,7 +13,7 @@ use crate::IsaError;
 pub const MAX_SLOTS: usize = 4;
 
 /// One VLIW packet: `width` instructions in slots `0..width`.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Packet {
     width: u8,
     slots: [Instr; MAX_SLOTS],
@@ -80,7 +78,7 @@ impl Packet {
 /// A sequence of packets plus the byte address of each packet, forming a
 /// loaded program image. Packet addresses reflect the variable-length
 /// encoding: a packet of width `w` occupies `4*w` bytes.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     packets: Vec<Packet>,
     addrs: Vec<u32>,

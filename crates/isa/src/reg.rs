@@ -11,7 +11,6 @@
 //! 224-register file fits 7-bit register fields.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Number of global registers per CPU.
 pub const NUM_GLOBALS: u8 = 96;
@@ -23,7 +22,7 @@ pub const NUM_FUS: u8 = 4;
 pub const NUM_REGS: u16 = NUM_GLOBALS as u16 + NUM_FUS as u16 * NUM_LOCALS_PER_FU as u16;
 
 /// An absolute register specifier in `0..224`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(u8);
 
 impl Reg {
@@ -88,7 +87,7 @@ impl Reg {
     /// register; double-precision and 8-byte loads require even `self`.
     #[inline]
     pub const fn pair(self) -> Option<Reg> {
-        if self.0 % 2 == 0 && (self.0 as u16) + 1 < NUM_REGS {
+        if self.0.is_multiple_of(2) && (self.0 as u16) + 1 < NUM_REGS {
             // A pair must not straddle the global/local boundary or two FUs'
             // local windows; even alignment guarantees this because both 96
             // and 32 are even.

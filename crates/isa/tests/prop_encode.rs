@@ -1,209 +1,55 @@
-//! Property tests: every constructible instruction round-trips through the
-//! binary encoding, and every well-formed packet round-trips through the
-//! program image.
+//! Randomized encoding properties: every constructible instruction
+//! round-trips through the binary encoding, every well-formed packet
+//! round-trips through the program image, and decoding is injective.
 
+use majc_isa::gen::{self, GenCfg};
 use majc_isa::{
     decode_instr, decode_packet, decode_program, encode_instr, encode_packet, encode_program,
-    AluOp, CachePolicy, Cond, CvtKind, FixFmt, Instr, MemWidth, Off, Packet, Reg, SatMode, Src,
+    Packet, SplitMix64,
 };
-use proptest::prelude::*;
 
-/// A register visible from `fu`, with optional even alignment and headroom
-/// for spans of `span` registers.
-fn reg_for(fu: u8, even: bool, span: u8) -> impl Strategy<Value = Reg> {
-    (0u8..2, 0u8..96).prop_map(move |(kind, raw)| {
-        let (limit, mk): (u8, fn(u8, u8) -> Reg) = if kind == 0 || span > 2 {
-            (96, |_fu, i| Reg::g(i))
-        } else {
-            (32, Reg::l)
-        };
-        let mut i = raw % (limit - span + 1);
-        if even {
-            i &= !1;
-        }
-        mk(fu, i)
-    })
-}
-
-fn cond() -> impl Strategy<Value = Cond> {
-    prop::sample::select(Cond::ALL.to_vec())
-}
-
-fn short_cond() -> impl Strategy<Value = Cond> {
-    prop::sample::select(Cond::SHORT.to_vec())
-}
-
-fn sat_mode() -> impl Strategy<Value = SatMode> {
-    prop::sample::select(SatMode::ALL.to_vec())
-}
-
-fn fix_fmt() -> impl Strategy<Value = FixFmt> {
-    prop::sample::select(FixFmt::ALL.to_vec())
-}
-
-/// Strategy producing a valid instruction for functional unit `fu`.
-fn instr_for(fu: u8) -> BoxedStrategy<Instr> {
-    let r = move || reg_for(fu, false, 1);
-    let re = move || reg_for(fu, true, 2);
-    let alu_all = prop::sample::select(
-        AluOp::ALL.iter().copied().filter(|o| !o.compute_only()).collect::<Vec<_>>(),
-    );
-    let mut options: Vec<BoxedStrategy<Instr>> = vec![
-        Just(Instr::Nop).boxed(),
-        (alu_all.clone(), r(), r(), r())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, src2: Src::Reg(rs2) })
-            .boxed(),
-        (alu_all, r(), r(), -256i16..256)
-            .prop_map(|(op, rd, rs1, imm)| Instr::Alu { op, rd, rs1, src2: Src::Imm(imm) })
-            .boxed(),
-        (r(), any::<i16>()).prop_map(|(rd, imm)| Instr::SetLo { rd, imm }).boxed(),
-        (r(), any::<u16>()).prop_map(|(rd, imm)| Instr::SetHi { rd, imm }).boxed(),
-        (short_cond(), r(), r(), r())
-            .prop_map(|(cond, rc, rd, rs)| Instr::CMove { cond, rc, rd, rs })
-            .boxed(),
-    ];
-    if fu == 0 {
-        let widths = prop::sample::select(MemWidth::ALL.to_vec());
-        let stw = prop::sample::select(
-            MemWidth::ALL.iter().copied().filter(|w| w.valid_for_store()).collect::<Vec<_>>(),
-        );
-        let pol = prop::sample::select(CachePolicy::ALL.to_vec());
-        // Group/pair destinations must be aligned global spans.
-        options.extend([
-            (widths.clone(), pol.clone(), 0u8..88, r(), -60i32..60)
-                .prop_map(|(w, pol, rd, base, k)| Instr::Ld {
-                    w,
-                    pol,
-                    rd: Reg::g(rd & !7),
-                    base,
-                    off: Off::Imm((k * w.bytes() as i32) as i16),
-                })
-                .boxed(),
-            (widths, pol.clone(), 0u8..88, r(), r())
-                .prop_map(|(w, pol, rd, base, ro)| Instr::Ld {
-                    w,
-                    pol,
-                    rd: Reg::g(rd & !7),
-                    base,
-                    off: Off::Reg(ro),
-                })
-                .boxed(),
-            (stw, pol, 0u8..88, r(), -60i32..60)
-                .prop_map(|(w, pol, rs, base, k)| Instr::St {
-                    w,
-                    pol,
-                    rs: Reg::g(rs & !7),
-                    base,
-                    off: Off::Imm((k * w.bytes() as i32) as i16),
-                })
-                .boxed(),
-            (cond(), r(), -2040i32 / 4..2040 / 4, any::<bool>())
-                .prop_map(|(c, rs, w, hint)| Instr::Br { cond: c, rs, off: w * 4, hint })
-                .boxed(),
-            (r(), -8000i32..8000).prop_map(|(rd, w)| Instr::Call { rd, off: w * 4 }).boxed(),
-            (r(), r(), -256i16..256).prop_map(|(rd, base, off)| Instr::Jmpl { rd, base, off }).boxed(),
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Div { rd, rs1, rs2 }).boxed(),
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::FDiv { rd, rs1, rs2 }).boxed(),
-            (r(), r()).prop_map(|(rd, rs)| Instr::PRsqrt { rd, rs }).boxed(),
-            (r(), r(), r()).prop_map(|(rd, base, rs)| Instr::Cas { rd, base, rs }).boxed(),
-            (short_cond(), r(), r(), r())
-                .prop_map(|(cond, rc, rs, base)| Instr::CSt { cond, rc, rs, base })
-                .boxed(),
-            (r(), any::<i16>()).prop_map(|(base, off)| Instr::Prefetch { base, off }).boxed(),
-            Just(Instr::Membar).boxed(),
-        ]);
-    } else {
-        options.extend([
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }).boxed(),
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::MulAdd { rd, rs1, rs2 }).boxed(),
-            (sat_mode(), r(), r(), r())
-                .prop_map(|(mode, rd, rs1, rs2)| Instr::PAdd { mode, rd, rs1, rs2 })
-                .boxed(),
-            (fix_fmt(), r(), r(), r())
-                .prop_map(|(fmt, rd, rs1, rs2)| Instr::PMulAdd { fmt, rd, rs1, rs2 })
-                .boxed(),
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::DotP { rd, rs1, rs2 }).boxed(),
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::PDist { rd, rs1, rs2 }).boxed(),
-            (r(), re(), r()).prop_map(|(rd, rs, ctl)| Instr::ByteShuf { rd, rs, ctl }).boxed(),
-            (r(), re(), r()).prop_map(|(rd, rs, ctl)| Instr::BitExt { rd, rs, ctl }).boxed(),
-            (r(), r()).prop_map(|(rd, rs)| Instr::Lzd { rd, rs }).boxed(),
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::FMAdd { rd, rs1, rs2 }).boxed(),
-            (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::FMin { rd, rs1, rs2 }).boxed(),
-            (short_cond(), r(), r(), r())
-                .prop_map(|(cond, rd, rs1, rs2)| Instr::FCmp { cond, rd, rs1, rs2 })
-                .boxed(),
-            (re(), re(), re()).prop_map(|(rd, rs1, rs2)| Instr::DAdd { rd, rs1, rs2 }).boxed(),
-            (re(), re(), re()).prop_map(|(rd, rs1, rs2)| Instr::DMul { rd, rs1, rs2 }).boxed(),
-            (short_cond(), r(), r(), r())
-                .prop_map(|(cond, rd, rs1, rs2)| Instr::Cmp { cond, rd, rs1, rs2 })
-                .boxed(),
-            (short_cond(), r(), r(), r())
-                .prop_map(|(cond, rd, rs1, rs2)| Instr::Pick { cond, rd, rs1, rs2 })
-                .boxed(),
-            prop::sample::select(
-                CvtKind::ALL.iter().copied().filter(|k| !k.dst_is_pair() && !k.src_is_pair()).collect::<Vec<_>>(),
-            )
-            .prop_flat_map(move |kind| {
-                (reg_for(fu, false, 1), reg_for(fu, false, 1))
-                    .prop_map(move |(rd, rs)| Instr::Cvt { kind, rd, rs })
-            })
-            .boxed(),
-        ]);
-    }
-    prop::strategy::Union::new(options).boxed()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn instr_round_trip(
-        (fu, ins) in (0u8..4).prop_flat_map(|fu| instr_for(fu).prop_map(move |i| (fu, i)))
-    ) {
-        prop_assume!(ins.validate_for_fu(fu).is_ok());
+#[test]
+fn instr_round_trip() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    let cfg = GenCfg::default();
+    for _ in 0..4000 {
+        let fu = rng.below(4) as u8;
+        let ins = gen::instr(&mut rng, fu, &cfg);
         let w = encode_instr(&ins, fu).unwrap();
-        prop_assert_eq!(decode_instr(w, fu).unwrap(), ins);
+        assert_eq!(decode_instr(w, fu).unwrap(), ins, "word {w:#010x} on FU{fu}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn packet_and_program_round_trip(
-        i0 in instr_for(0),
-        i1 in instr_for(1),
-        i2 in instr_for(2),
-        i3 in instr_for(3),
-        width in 1usize..=4,
-    ) {
-        let all = [i0, i1, i2, i3];
-        for (fu, ins) in all.iter().enumerate().take(width) {
-            prop_assume!(ins.validate_for_fu(fu as u8).is_ok());
-        }
-        let p = Packet::new(&all[..width]).unwrap();
+#[test]
+fn packet_and_program_round_trip() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    let cfg = GenCfg::default();
+    for _ in 0..1000 {
+        let p = gen::packet(&mut rng, &cfg);
         let words = encode_packet(&p).unwrap();
-        prop_assert_eq!((words[0] >> 30) as usize, width - 1);
+        assert_eq!((words[0] >> 30) as usize, p.width() - 1, "width header");
         let (back, n) = decode_packet(&words).unwrap();
-        prop_assert_eq!(n, width);
-        prop_assert_eq!(back, p);
-
-        // Whole-program image round trip with a couple of copies.
-        let packets = vec![p, p, p];
-        let image = encode_program(&packets).unwrap();
-        prop_assert_eq!(decode_program(&image).unwrap(), packets);
+        assert_eq!(n, p.width());
+        assert_eq!(back, p);
     }
+
+    // Whole-program image round trip.
+    let packets: Vec<Packet> = (0..200).map(|_| gen::packet(&mut rng, &cfg)).collect();
+    let image = encode_program(&packets).unwrap();
+    assert_eq!(decode_program(&image).unwrap(), packets);
 }
 
-proptest! {
-    /// Decoding arbitrary words either fails or yields an instruction that
-    /// re-encodes to the same word (no "mis-parse" aliasing).
-    #[test]
-    fn decode_is_injective(word in any::<u32>(), fu in 0u8..4) {
-        let payload = word & 0x3FFF_FFFF;
+/// Decoding arbitrary words either fails or yields an instruction that
+/// re-encodes to the same word (no "mis-parse" aliasing).
+#[test]
+fn decode_is_injective() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for _ in 0..200_000 {
+        let payload = rng.next_u32() & 0x3FFF_FFFF;
+        let fu = rng.below(4) as u8;
         if let Ok(ins) = decode_instr(payload, fu) {
             let re = encode_instr(&ins, fu).unwrap();
-            prop_assert_eq!(re, payload, "{:?}", ins);
+            assert_eq!(re, payload, "{ins:?}");
         }
     }
 }

@@ -53,13 +53,12 @@ pub fn reference(c: &Cascade, input: &[f32]) -> Vec<f32> {
         .iter()
         .map(|&x0| {
             let mut x = x0;
-            for k in 0..STAGES {
-                let (b0, b1, b2, a1, a2) = c.coeffs[k];
-                let (s1, s2) = s[k];
+            for ((b0, b1, b2, a1, a2), st) in c.coeffs.iter().zip(s.iter_mut()) {
+                let (s1, s2) = *st;
                 let y = b0.mul_add(x, s1);
                 let ns1 = (-a1).mul_add(y, b1.mul_add(x, s2));
                 let ns2 = (-a2).mul_add(y, b2 * x);
-                s[k] = (ns1, ns2);
+                *st = (ns1, ns2);
                 x = y;
             }
             x
@@ -101,14 +100,10 @@ const SPTR: Reg = Reg::g(3);
 /// Input at `layout::INPUT`, output at `layout::OUTPUT`.
 pub fn build(c: &Cascade, input: &[f32]) -> (Program, FlatMem) {
     let n = input.len();
-    assert!(n >= 1 && n <= 64, "offsets are immediate-encoded; keep n <= 64");
+    assert!((1..=64).contains(&n), "offsets are immediate-encoded; keep n <= 64");
     let mut mem = FlatMem::new();
     put_f32s(&mut mem, layout::INPUT, input);
-    let flat: Vec<f32> = c
-        .coeffs
-        .iter()
-        .flat_map(|&(p, q, r, s, t)| [p, q, r, s, t])
-        .collect();
+    let flat: Vec<f32> = c.coeffs.iter().flat_map(|&(p, q, r, s, t)| [p, q, r, s, t]).collect();
     put_f32s(&mut mem, layout::COEFF, &flat);
     let st: Vec<f32> = c.state.iter().map(|&(s1, _)| s1).collect();
     put_f32s(&mut mem, layout::SCRATCH, &st);

@@ -24,10 +24,12 @@ pub fn rev(i: usize) -> usize {
 
 /// The swap-pair table: `(i, rev(i))` for all `i < rev(i)`.
 pub fn swap_pairs() -> Vec<(u32, u32)> {
-    (0..N).filter_map(|i| {
-        let j = rev(i);
-        (i < j).then_some((i as u32, j as u32))
-    }).collect()
+    (0..N)
+        .filter_map(|i| {
+            let j = rev(i);
+            (i < j).then_some((i as u32, j as u32))
+        })
+        .collect()
 }
 
 /// Reference: permute a complex array in place.
@@ -65,7 +67,7 @@ pub fn build(data: &[(f32, f32)]) -> (Program, FlatMem) {
     }
     let mut pairs = swap_pairs();
     // Pad to a multiple of 4 with self-swaps (no-ops).
-    while pairs.len() % 4 != 0 {
+    while !pairs.len().is_multiple_of(4) {
         pairs.push((0, 0));
     }
     for (k, &(i, j)) in pairs.iter().enumerate() {
@@ -162,9 +164,6 @@ mod tests {
         let data = workload();
         let (prog, mem) = build(&data);
         let cycles = measure(&prog, mem);
-        assert!(
-            (1500..=5500).contains(&cycles),
-            "bit reversal took {cycles} cycles (paper: 2484)"
-        );
+        assert!((1500..=5500).contains(&cycles), "bit reversal took {cycles} cycles (paper: 2484)");
     }
 }

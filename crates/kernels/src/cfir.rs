@@ -85,7 +85,9 @@ fn write_complex(mem: &mut FlatMem, addr: u32, xs: &[C]) {
 }
 
 pub fn read_complex(mem: &mut FlatMem, addr: u32, n: usize) -> Vec<C> {
-    (0..n).map(|i| (mem.read_f32(addr + 8 * i as u32), mem.read_f32(addr + 8 * i as u32 + 4))).collect()
+    (0..n)
+        .map(|i| (mem.read_f32(addr + 8 * i as u32), mem.read_f32(addr + 8 * i as u32 + 4)))
+        .collect()
 }
 
 pub fn build(coeffs: &[C], input: &[C]) -> (Program, FlatMem) {
@@ -158,11 +160,11 @@ pub fn build(coeffs: &[C], input: &[C]) -> (Program, FlatMem) {
                 slots[0] = *op;
             }
             // Round-robin: assign the pk-th FMA of each FU.
-            for fu in 1..4usize {
+            for (fu, slot) in slots.iter_mut().enumerate().skip(1) {
                 let of_fu: Vec<&Instr> =
                     fmas.iter().filter(|(f, _)| *f == fu).map(|(_, i)| i).collect();
                 if let Some(ins) = of_fu.get(pk) {
-                    slots[fu] = **ins;
+                    *slot = **ins;
                 }
             }
             a.pack(&slots);
@@ -178,11 +180,8 @@ pub fn build(coeffs: &[C], input: &[C]) -> (Program, FlatMem) {
             let idx = batch * 3 + lane;
             if idx < 8 {
                 let (o, t) = (idx / 4, idx % 4);
-                slots[fu_of(o, t)] = Instr::FAdd {
-                    rd: acc(o, t, 0),
-                    rs1: acc(o, t, 0),
-                    rs2: acc(o, t, 1),
-                };
+                slots[fu_of(o, t)] =
+                    Instr::FAdd { rd: acc(o, t, 0), rs1: acc(o, t, 0), rs2: acc(o, t, 1) };
                 any = true;
             }
         }
@@ -265,9 +264,6 @@ mod tests {
         let (c, x) = workload();
         let (prog, mem) = build(&c, &x);
         let cycles = measure(&prog, mem);
-        assert!(
-            (4000..=14000).contains(&cycles),
-            "complex FIR took {cycles} cycles (paper: 8643)"
-        );
+        assert!((4000..=14000).contains(&cycles), "complex FIR took {cycles} cycles (paper: 8643)");
     }
 }

@@ -163,7 +163,12 @@ pub fn build(r: &[i16], g: &[i16], b: &[i16]) -> (Program, FlatMem) {
     a.label("loop");
     // Phase 1: loads + accumulator initialisation.
     for k in 0..UNROLL {
-        a.pack(&[ldw(rdat(k), RP, k), mov(yacc(k), OFFY), mov(cbacc(k), OFFC), mov(cracc(k), OFFC)]);
+        a.pack(&[
+            ldw(rdat(k), RP, k),
+            mov(yacc(k), OFFY),
+            mov(cbacc(k), OFFC),
+            mov(cracc(k), OFFC),
+        ]);
     }
     for k in 0..UNROLL {
         a.pack(&[ldw(gdat(k), GP, k)]);
@@ -210,10 +215,22 @@ pub fn build(r: &[i16], g: &[i16], b: &[i16]) -> (Program, FlatMem) {
     a.op(Instr::Prefetch { base: BP, off: 64 });
     a.pack(&[stw(packed(0), YP, 0)]);
     a.pack(&[stw(packed(1), YP, 1)]);
-    a.pack(&[stw(packed(2), CBP, 0), Instr::Alu { op: AluOp::Add, rd: RP, rs1: RP, src2: Src::Imm(16) }]);
-    a.pack(&[stw(packed(3), CBP, 1), Instr::Alu { op: AluOp::Add, rd: GP, rs1: GP, src2: Src::Imm(16) }]);
-    a.pack(&[stw(packed(4), CRP, 0), Instr::Alu { op: AluOp::Add, rd: BP, rs1: BP, src2: Src::Imm(16) }]);
-    a.pack(&[stw(packed(5), CRP, 1), Instr::Alu { op: AluOp::Add, rd: YP, rs1: YP, src2: Src::Imm(8) }]);
+    a.pack(&[
+        stw(packed(2), CBP, 0),
+        Instr::Alu { op: AluOp::Add, rd: RP, rs1: RP, src2: Src::Imm(16) },
+    ]);
+    a.pack(&[
+        stw(packed(3), CBP, 1),
+        Instr::Alu { op: AluOp::Add, rd: GP, rs1: GP, src2: Src::Imm(16) },
+    ]);
+    a.pack(&[
+        stw(packed(4), CRP, 0),
+        Instr::Alu { op: AluOp::Add, rd: BP, rs1: BP, src2: Src::Imm(16) },
+    ]);
+    a.pack(&[
+        stw(packed(5), CRP, 1),
+        Instr::Alu { op: AluOp::Add, rd: YP, rs1: YP, src2: Src::Imm(8) },
+    ]);
     a.op(Instr::Prefetch { base: YP, off: 32 });
     a.pack(&[
         Instr::Prefetch { base: CBP, off: 32 },
@@ -269,9 +286,8 @@ mod tests {
         let g: Vec<i16> = (0..PIXELS).map(|_| rng.next_i16(255).abs()).collect();
         let b: Vec<i16> = (0..PIXELS).map(|_| rng.next_i16(255).abs()).collect();
         let (prog, mem) = build(&r, &g, &b);
-        let cycles = run_warm(&prog, mem, MemModel::Dram, majc_core::TimingConfig::default())
-            .stats
-            .cycles;
+        let cycles =
+            run_warm(&prog, mem, MemModel::Dram, majc_core::TimingConfig::default()).stats.cycles;
         // Paper: 0.9 Mcycles for 512x512.
         assert!(
             (500_000..=2_000_000).contains(&cycles),

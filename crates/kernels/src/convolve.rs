@@ -43,8 +43,7 @@ pub fn reference(img: &[i16], k: &[[i16; 5]; 5]) -> Vec<i16> {
             let mut acc = 0i32;
             for (r, row) in k.iter().enumerate() {
                 for (c, &kc) in row.iter().enumerate() {
-                    acc = acc
-                        .wrapping_add(kc as i32 * img[(y + r) * WIDTH + x + c] as i32);
+                    acc = acc.wrapping_add(kc as i32 * img[(y + r) * WIDTH + x + c] as i32);
                 }
             }
             out[y * OUT_W + x] = (acc >> SHIFT) as i16;
@@ -106,9 +105,9 @@ pub fn build(img: &[i16], k: &[[i16; 5]; 5]) -> (Program, FlatMem) {
     a.set32(RCOUNT, OUT_H as u32);
     // Coefficients: build each value once in a staging global, then copy
     // into all three compute units' locals in one packet.
-    for r in 0..5 {
-        for c in 0..5 {
-            a.set32(stage(0), k[r][c] as i32 as u32);
+    for (r, krow) in k.iter().enumerate() {
+        for (c, &kv) in krow.iter().enumerate() {
+            a.set32(stage(0), kv as i32 as u32);
             a.pack(&[
                 Instr::Nop,
                 Instr::Alu { op: AluOp::Or, rd: coef(1, r, c), rs1: stage(0), src2: Src::Imm(0) },
@@ -144,7 +143,7 @@ pub fn build(img: &[i16], k: &[[i16; 5]; 5]) -> (Program, FlatMem) {
     // Track, per window register, the packet index of its last reader in
     // this block: a next-block reload must issue strictly after it.
     let mut last_reader = [[0usize; 10]; 5];
-    for r in 0..5 {
+    for (r, lr_row) in last_reader.iter_mut().enumerate() {
         for c in 0..5 {
             for o in 0..6 {
                 let fu = fu_of(o) as usize - 1;
@@ -154,16 +153,16 @@ pub fn build(img: &[i16], k: &[[i16; 5]; 5]) -> (Program, FlatMem) {
                     rs2: win(r, c + o),
                 });
                 let pos = cq[fu].len() - 1;
-                let lr = &mut last_reader[r][c + o];
+                let lr = &mut lr_row[c + o];
                 *lr = (*lr).max(pos + 1);
             }
         }
     }
     // FU0 reload schedule: (earliest packet, load), in window order.
     let mut fu0: VecDeque<(usize, Instr)> = VecDeque::new();
-    for r in 0..5 {
-        for cw in 0..10 {
-            fu0.push_back((last_reader[r][cw], ldh(win(r, cw), xr(r), 6 + cw)));
+    for (r, lr_row) in last_reader.iter().enumerate() {
+        for (cw, &earliest) in lr_row.iter().enumerate() {
+            fu0.push_back((earliest, ldh(win(r, cw), xr(r), 6 + cw)));
         }
     }
     fu0.make_contiguous().sort_by_key(|&(e, _)| e);
@@ -289,9 +288,8 @@ mod tests {
     fn cycles_near_paper_1_65m() {
         let img = workload();
         let (prog, mem) = build(&img, &demo_kernel());
-        let cycles = run_warm(&prog, mem, MemModel::Dram, majc_core::TimingConfig::default())
-            .stats
-            .cycles;
+        let cycles =
+            run_warm(&prog, mem, MemModel::Dram, majc_core::TimingConfig::default()).stats.cycles;
         assert!(
             (1_000_000..=3_600_000).contains(&cycles),
             "5x5 convolution took {cycles} cycles (paper: 1.65M)"

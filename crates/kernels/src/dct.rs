@@ -128,9 +128,16 @@ fn t(i: usize) -> Reg {
 
 fn emit_1d(a: &mut Asm, w: &mut Weaver, x: &[Reg; 8], rot: usize) {
     let t = |i: usize| t((i + rot * 7) % 15);
-    let add = |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Add, rd, rs1: r1, src2: Src::Reg(r2) };
-    let sub = |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Sub, rd, rs1: r1, src2: Src::Reg(r2) };
-    let sra = |rd: Reg, r1: Reg| Instr::Alu { op: AluOp::Sra, rd, rs1: r1, src2: Src::Imm(AAN_BITS as i16) };
+    let add =
+        |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Add, rd, rs1: r1, src2: Src::Reg(r2) };
+    let sub =
+        |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Sub, rd, rs1: r1, src2: Src::Reg(r2) };
+    let sra = |rd: Reg, r1: Reg| Instr::Alu {
+        op: AluOp::Sra,
+        rd,
+        rs1: r1,
+        src2: Src::Imm(AAN_BITS as i16),
+    };
     let mul = |rd: Reg, r1: Reg, c: i32| Instr::Mul { rd, rs1: r1, rs2: creg(c) };
 
     // Butterfly stage: t0..t7 in pool 0..7.
@@ -150,7 +157,7 @@ fn emit_1d(a: &mut Asm, w: &mut Weaver, x: &[Reg; 8], rot: usize) {
     w.op(a, sra(t(12), t(12))); // z1
     w.op(a, add(x[2], t(9), t(12))); // y2
     w.op(a, sub(x[6], t(9), t(12))); // y6
-    // Odd part (t4..t7 still live).
+                                     // Odd part (t4..t7 still live).
     w.op(a, add(t(8), t(4), t(5))); // t10
     w.op(a, add(t(10), t(5), t(6))); // t11
     w.op(a, add(t(11), t(6), t(7))); // t12
@@ -256,9 +263,9 @@ pub fn extract(mem: &mut FlatMem) -> [i16; 64] {
 /// A typical MPEG-style quantisation matrix scaled by `qscale`.
 pub fn demo_qmatrix(qscale: u16) -> [u16; 64] {
     const BASE: [u16; 64] = [
-        8, 16, 19, 22, 26, 27, 29, 34, 16, 16, 22, 24, 27, 29, 34, 37, 19, 22, 26, 27, 29, 34,
-        34, 38, 22, 22, 26, 27, 29, 34, 37, 40, 22, 26, 27, 29, 32, 35, 40, 48, 26, 27, 29, 32,
-        35, 40, 48, 58, 26, 27, 29, 34, 38, 46, 56, 69, 27, 29, 35, 38, 46, 56, 69, 83,
+        8, 16, 19, 22, 26, 27, 29, 34, 16, 16, 22, 24, 27, 29, 34, 37, 19, 22, 26, 27, 29, 34, 34,
+        38, 22, 22, 26, 27, 29, 34, 37, 40, 22, 26, 27, 29, 32, 35, 40, 48, 26, 27, 29, 32, 35, 40,
+        48, 58, 26, 27, 29, 34, 38, 46, 56, 69, 27, 29, 35, 38, 46, 56, 69, 83,
     ];
     std::array::from_fn(|i| (BASE[i] * qscale).max(1))
 }

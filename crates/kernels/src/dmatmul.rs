@@ -170,8 +170,7 @@ mod tests {
         // (ii = 4) must be slower.
         let run_ii = |ii: u64| {
             let (p, m) = build(&a, &b);
-            let mut cfg = TimingConfig::default();
-            cfg.dbl_ii = ii;
+            let cfg = TimingConfig { dbl_ii: ii, ..Default::default() };
             run_warm(&p, m, MemModel::Dram, cfg).stats.cycles
         };
         let fast = run_ii(1);

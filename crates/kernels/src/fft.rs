@@ -135,7 +135,10 @@ fn write_complex(mem: &mut FlatMem, addr: u32, xs: &[C]) {
 pub fn read_complex(mem: &mut FlatMem, n: usize) -> Vec<C> {
     (0..n)
         .map(|i| {
-            (mem.read_f32(layout::INPUT + 8 * i as u32), mem.read_f32(layout::INPUT + 8 * i as u32 + 4))
+            (
+                mem.read_f32(layout::INPUT + 8 * i as u32),
+                mem.read_f32(layout::INPUT + 8 * i as u32 + 4),
+            )
         })
         .collect()
 }
@@ -197,10 +200,7 @@ pub fn build_radix2(data_bitrev: &[C]) -> (Program, FlatMem) {
     a.set32(STAGE, 10);
 
     a.label("stage");
-    a.pack(&[
-        alu(AluOp::Or, P, XB, 0),
-        alu(AluOp::Or, BB, BLOCKS, 0),
-    ]);
+    a.pack(&[alu(AluOp::Or, P, XB, 0), alu(AluOp::Or, BB, BLOCKS, 0)]);
     a.label("block");
     a.pack(&[alu(AluOp::Or, WP1, TB, 0), alu(AluOp::Or, JJ, JCNT, 0)]);
     a.label("bfly");
@@ -454,10 +454,7 @@ mod tests {
         let pre4: Vec<C> = (0..N).map(|i| x[digit_rev4(i)]).collect();
         let (p4, m4) = build_radix4(&pre4);
         let c4 = measure(&p4, m4);
-        assert!(
-            (c4 as f64) < c2 as f64 * 0.7,
-            "radix-4 ({c4}) should clearly beat radix-2 ({c2})"
-        );
+        assert!((c4 as f64) < c2 as f64 * 0.7, "radix-4 ({c4}) should clearly beat radix-2 ({c2})");
         // Sanity bounds: a 1024-point FFT on this machine lands in the
         // tens of thousands of cycles.
         assert!((15_000..120_000).contains(&c2), "radix-2 took {c2}");

@@ -131,7 +131,7 @@ pub fn build(coeffs: &[f32], input: &[f32]) -> (Program, FlatMem) {
         for o in 0..4 {
             let f = Instr::FMAdd { rd: acc(o, p), rs1: coef(j), rs2: win(j + o) };
             match o {
-                0 | 1 | 2 => slots1[fu_of(o)] = f,
+                0..=2 => slots1[fu_of(o)] = f,
                 _ => slots2[1] = f,
             }
         }
@@ -205,9 +205,6 @@ mod tests {
         let (c, x) = workload();
         let (prog, mem) = build(&c, &x);
         let cycles = measure(&prog, mem);
-        assert!(
-            (1500..=5000).contains(&cycles),
-            "FIR took {cycles} cycles (paper: 2757)"
-        );
+        assert!((1500..=5000).contains(&cycles), "FIR took {cycles} cycles (paper: 2757)");
     }
 }

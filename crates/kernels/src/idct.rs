@@ -211,7 +211,7 @@ impl Weaver {
         let mut eligible: Vec<usize> = Vec::new();
         'cand: for i in 0..self.buf.len() {
             let (sx, ref x) = self.buf[i];
-            for &(_, ref y) in self.buf[..i].iter() {
+            for (_, y) in self.buf[..i].iter() {
                 let yd = y.defs();
                 let yu = y.uses();
                 if uses_overlap(x, &yd) || defs_overlap(x, &yd) || defs_overlap(x, &yu) {
@@ -383,10 +383,14 @@ impl Weaver {
 /// writing back in place.
 fn emit_1d(a: &mut Asm, w: &mut Weaver, x: &[Reg; 8], shift: u32, rot: usize) {
     let t = |i: usize| t((i + rot * 7) % 15);
-    let add = |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Add, rd, rs1: r1, src2: Src::Reg(r2) };
-    let sub = |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Sub, rd, rs1: r1, src2: Src::Reg(r2) };
-    let sll = |rd: Reg, r1: Reg, n: i16| Instr::Alu { op: AluOp::Sll, rd, rs1: r1, src2: Src::Imm(n) };
-    let sra = |rd: Reg, r1: Reg, n: i16| Instr::Alu { op: AluOp::Sra, rd, rs1: r1, src2: Src::Imm(n) };
+    let add =
+        |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Add, rd, rs1: r1, src2: Src::Reg(r2) };
+    let sub =
+        |rd: Reg, r1: Reg, r2: Reg| Instr::Alu { op: AluOp::Sub, rd, rs1: r1, src2: Src::Reg(r2) };
+    let sll =
+        |rd: Reg, r1: Reg, n: i16| Instr::Alu { op: AluOp::Sll, rd, rs1: r1, src2: Src::Imm(n) };
+    let sra =
+        |rd: Reg, r1: Reg, n: i16| Instr::Alu { op: AluOp::Sra, rd, rs1: r1, src2: Src::Imm(n) };
     let mul = |rd: Reg, r1: Reg, c: i32| Instr::Mul { rd, rs1: r1, rs2: creg(c) };
 
     // Even part: temps t0..t8.
@@ -404,7 +408,7 @@ fn emit_1d(a: &mut Asm, w: &mut Weaver, x: &[Reg; 8], shift: u32, rot: usize) {
     w.op(a, sub(t(6), t(0), t(4))); // t13
     w.op(a, add(t(7), t(1), t(3))); // t11
     w.op(a, sub(t(8), t(1), t(3))); // t12
-    // Odd part: z's in t0..t4 (even temps free), b's in t9..t12.
+                                    // Odd part: z's in t0..t4 (even temps free), b's in t9..t12.
     w.op(a, add(t(0), x[7], x[1])); // z1
     w.op(a, add(t(1), x[5], x[3])); // z2
     w.op(a, add(t(2), x[7], x[3])); // z3
@@ -429,7 +433,7 @@ fn emit_1d(a: &mut Asm, w: &mut Weaver, x: &[Reg; 8], shift: u32, rot: usize) {
     w.op(a, add(t(11), t(11), t(2))); // t2
     w.op(a, add(t(12), t(12), t(0)));
     w.op(a, add(t(12), t(12), t(3))); // t3
-    // Outputs: (tEven ± tOdd + RND) >> shift, alternating two sum temps.
+                                      // Outputs: (tEven ± tOdd + RND) >> shift, alternating two sum temps.
     let pairs: [(usize, usize, bool, usize); 8] = [
         (5, 12, true, 0),
         (7, 11, true, 1),
@@ -442,10 +446,7 @@ fn emit_1d(a: &mut Asm, w: &mut Weaver, x: &[Reg; 8], shift: u32, rot: usize) {
     ];
     for (k, &(e, o, plus, out)) in pairs.iter().enumerate() {
         let s = t(13 + (k % 2));
-        w.op(
-            a,
-            if plus { add(s, t(e), t(o)) } else { sub(s, t(e), t(o)) },
-        );
+        w.op(a, if plus { add(s, t(e), t(o)) } else { sub(s, t(e), t(o)) });
         w.op(a, add(s, s, RND));
         w.op(a, sra(x[out], s, shift as i16));
     }
@@ -525,7 +526,9 @@ pub fn float_idct(coeffs: &[i16; 64]) -> [f64; 64] {
                 for u in 0..8 {
                     let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
                     let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
-                    s += cu * cv * coeffs[v * 8 + u] as f64
+                    s += cu
+                        * cv
+                        * coeffs[v * 8 + u] as f64
                         * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
                         * ((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
                 }
@@ -585,9 +588,6 @@ mod tests {
         let coeffs = workload(3);
         let (prog, mem) = build(&coeffs);
         let cycles = measure(&prog, mem);
-        assert!(
-            (200..=600).contains(&cycles),
-            "8x8 IDCT took {cycles} cycles (paper: 304)"
-        );
+        assert!((200..=600).contains(&cycles), "8x8 IDCT took {cycles} cycles (paper: 304)");
     }
 }

@@ -17,13 +17,13 @@ pub mod dct;
 pub mod dmatmul;
 pub mod fft;
 pub mod fir;
-pub mod lms;
-pub mod peak;
-pub mod maxsearch;
-pub mod motion;
-pub mod transform_light;
-pub mod vld;
 pub mod harness;
 pub mod idct;
+pub mod lms;
+pub mod maxsearch;
+pub mod motion;
+pub mod peak;
+pub mod transform_light;
+pub mod vld;
 
 pub use harness::{measure, run_cycle, run_func, MemModel};

@@ -79,13 +79,7 @@ pub fn build(w: &[f32], x: &[f32], d: f32, mu: f32) -> (Program, FlatMem) {
     a.op(gld(wreg(8), WPTR, 32));
     a.op(gld(xreg(0), XPTR, 0));
     a.op(gld(xreg(8), XPTR, 32));
-    a.op(Instr::Ld {
-        w: MemWidth::W,
-        pol: CachePolicy::Cached,
-        rd: D,
-        base: tp,
-        off: Off::Imm(0),
-    });
+    a.op(Instr::Ld { w: MemWidth::W, pol: CachePolicy::Cached, rd: D, base: tp, off: Off::Imm(0) });
     a.op(Instr::Ld {
         w: MemWidth::W,
         pol: CachePolicy::Cached,
@@ -111,8 +105,7 @@ pub fn build(w: &[f32], x: &[f32], d: f32, mu: f32) -> (Program, FlatMem) {
         for lane in 0..3 {
             let k = 3 * k3 + lane;
             if k < ORDER {
-                slots[1 + lane] =
-                    Instr::FMAdd { rd: part(k % 6), rs1: wreg(k), rs2: xreg(k) };
+                slots[1 + lane] = Instr::FMAdd { rd: part(k % 6), rs1: wreg(k), rs2: xreg(k) };
             }
         }
         a.pack(&slots);
@@ -131,10 +124,7 @@ pub fn build(w: &[f32], x: &[f32], d: f32, mu: f32) -> (Program, FlatMem) {
         Instr::Alu { op: AluOp::Or, rd: Reg::g(52), rs1: part(1), src2: Src::Imm(0) },
         Instr::Alu { op: AluOp::Or, rd: Reg::g(53), rs1: part(2), src2: Src::Imm(0) },
     ]);
-    a.pack(&[
-        Instr::Nop,
-        Instr::FAdd { rd: Y, rs1: part(0), rs2: Reg::g(52) },
-    ]);
+    a.pack(&[Instr::Nop, Instr::FAdd { rd: Y, rs1: part(0), rs2: Reg::g(52) }]);
     a.pack(&[Instr::Nop, Instr::FAdd { rd: Y, rs1: Y, rs2: Reg::g(53) }]);
     // e = d - y ; es = mu * e (kept fused-order compatible with reference).
     a.pack(&[Instr::Nop, Instr::FSub { rd: ES, rs1: D, rs2: Y }]);

@@ -228,8 +228,7 @@ pub fn build(frame: &[u8], cur_block: &[u8]) -> (Program, FlatMem) {
         base: ROWP,
         off: Off::Imm(off),
     };
-    let mov =
-        |rd: Reg, rs: Reg| Instr::Alu { op: AluOp::Or, rd, rs1: rs, src2: Src::Imm(0) };
+    let mov = |rd: Reg, rs: Reg| Instr::Alu { op: AluOp::Or, rd, rs1: rs, src2: Src::Imm(0) };
     // Shuffle destinations: one per compute unit's locals plus g15, so the
     // four pdists land on the units that can read them.
     let s0 = Reg::l(1, 1);
@@ -262,10 +261,7 @@ pub fn build(frame: &[u8], cur_block: &[u8]) -> (Program, FlatMem) {
             Instr::PDist { rd: sacc(1), rs1: s0, rs2: cur(4 * r) },
             Instr::PDist { rd: sacc(2), rs1: s2, rs2: cur(4 * r + 2) },
         ]);
-        a.pack(&[
-            Instr::Nop,
-            Instr::PDist { rd: sacc(1), rs1: s3, rs2: cur(4 * r + 3) },
-        ]);
+        a.pack(&[Instr::Nop, Instr::PDist { rd: sacc(1), rs1: s3, rs2: cur(4 * r + 3) }]);
     }
     // Combine the three accumulators into SADR and return. Each partial
     // is read by its own unit (locals are private).

@@ -143,7 +143,7 @@ fn emit_vertex(a: &mut Asm, w: &mut Weaver, slot: usize) {
 /// INPUT (32 B each), outputs at OUTPUT (32 B each).
 pub fn build(m: &Mat, l: &Light, vs: &[Vertex]) -> (Program, FlatMem) {
     let n = vs.len();
-    assert!(n >= 3 && n % 3 == 0);
+    assert!(n >= 3 && n.is_multiple_of(3));
     let mut mem = FlatMem::new();
     for (i, v) in vs.iter().enumerate() {
         let base = layout::INPUT + 32 * i as u32;
@@ -156,15 +156,15 @@ pub fn build(m: &Mat, l: &Light, vs: &[Vertex]) -> (Program, FlatMem) {
     a.set32(OP, layout::OUTPUT);
     a.set32(COUNT, (n / 3) as u32);
     a.set32(ZERO, 0);
-    for r in 0..3 {
-        for c in 0..4 {
-            a.setf(mreg(r, c), m[r][c]);
+    for (r, mrow) in m.iter().enumerate() {
+        for (c, &v) in mrow.iter().enumerate() {
+            a.setf(mreg(r, c), v);
         }
     }
     let lp = model_space_light(m, l);
-    for i in 0..3 {
-        a.setf(ldir(i), lp[i]);
-        a.setf(lcol(i), l.color[i]);
+    for (i, (&dir, &col)) in lp.iter().zip(l.color.iter()).enumerate() {
+        a.setf(ldir(i), dir);
+        a.setf(lcol(i), col);
     }
     // Prime the first two vertices.
     let ldg = |slot: usize, off: i16| Instr::Ld {
@@ -231,18 +231,13 @@ pub fn extract(mem: &mut FlatMem, n: usize) -> Vec<Lit> {
 pub fn cycles_per_vertex(n: usize) -> f64 {
     let (m, l, vs) = demo_scene(n);
     let (prog, mem) = build(&m, &l, &vs);
-    let cycles =
-        run_warm(&prog, mem, MemModel::Dram, TimingConfig::default()).stats.cycles;
+    let cycles = run_warm(&prog, mem, MemModel::Dram, TimingConfig::default()).stats.cycles;
     cycles as f64 / n as f64
 }
 
 /// A deterministic scene for benchmarks.
 pub fn demo_scene(n: usize) -> (Mat, Light, Vec<Vertex>) {
-    let m: Mat = [
-        [0.8, -0.36, 0.48, 1.5],
-        [0.6, 0.48, -0.64, -0.25],
-        [0.0, 0.8, 0.6, 10.0],
-    ];
+    let m: Mat = [[0.8, -0.36, 0.48, 1.5], [0.6, 0.48, -0.64, -0.25], [0.0, 0.8, 0.6, 10.0]];
     let l = Light { dir: [0.577, 0.577, 0.577], color: [0.9, 0.7, 0.4] };
     let mut rng = crate::harness::XorShift::new(17);
     let vs = (0..n)

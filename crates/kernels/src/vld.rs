@@ -44,7 +44,7 @@ pub fn symbol_of(k: usize) -> Option<(u8, i16)> {
     let run = (k / (2 * MAX_LEVEL as usize)) as u8;
     let l = k % (2 * MAX_LEVEL as usize);
     let mag = (l / 2 + 1) as i16;
-    Some((run, if l % 2 == 0 { mag } else { -mag }))
+    Some((run, if l.is_multiple_of(2) { mag } else { -mag }))
 }
 
 pub fn index_of(run: u8, level: i16) -> usize {
@@ -81,9 +81,9 @@ pub fn vlc_table() -> Vec<u32> {
 
 /// Zigzag scan order (MPEG-2).
 pub const ZIGZAG: [u8; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Quantiser matrix (simplified intra-style ramp).
@@ -120,13 +120,10 @@ pub fn encode(blocks: &[BlockSyms]) -> (Vec<u32>, usize) {
     }
     // Pad with zeros (never a valid code start... EOB is '1', so pad with
     // zeros and rely on the block count to stop).
-    while bits.len() % 32 != 0 || bits.len() < 64 {
+    while !bits.len().is_multiple_of(32) || bits.len() < 64 {
         bits.push(false);
     }
-    let words = bits
-        .chunks(32)
-        .map(|c| c.iter().fold(0u32, |a, &b| (a << 1) | b as u32))
-        .collect();
+    let words = bits.chunks(32).map(|c| c.iter().fold(0u32, |a, &b| (a << 1) | b as u32)).collect();
     (words, nsym)
 }
 
@@ -142,7 +139,8 @@ pub fn reference(stream: &[u32], nblocks: usize) -> Vec<[i16; 64]> {
         let mut scan = 0usize;
         loop {
             let wi = pos >> 5;
-            let window = ((stream[wi] as u64) << 32) | stream.get(wi + 1).copied().unwrap_or(0) as u64;
+            let window =
+                ((stream[wi] as u64) << 32) | stream.get(wi + 1).copied().unwrap_or(0) as u64;
             let idx = ((window << (pos & 31)) >> (64 - TAB_BITS)) as usize;
             let e = tab[idx];
             let len = e >> 24;
@@ -232,13 +230,15 @@ pub fn build(stream: &[u32], nblocks: usize) -> (Program, FlatMem) {
     a.label("symbol");
     // ctl = (TAB_BITS-1)<<8 | (pos & 31): window is (W0,W1) with W0 the
     // most significant word.
+    a.pack(&[Instr::Nop, Instr::Alu { op: AluOp::And, rd: CTLW, rs1: POS, src2: Src::Imm(31) }]);
     a.pack(&[
         Instr::Nop,
-        Instr::Alu { op: AluOp::And, rd: CTLW, rs1: POS, src2: Src::Imm(31) },
-    ]);
-    a.pack(&[
-        Instr::Nop,
-        Instr::Alu { op: AluOp::Or, rd: CTLW, rs1: CTLW, src2: Src::Imm(((TAB_BITS - 1) << 8) as i16) },
+        Instr::Alu {
+            op: AluOp::Or,
+            rd: CTLW,
+            rs1: CTLW,
+            src2: Src::Imm(((TAB_BITS - 1) << 8) as i16),
+        },
     ]);
     a.pack(&[Instr::Nop, Instr::BitExt { rd: IDX, rs: W0, ctl: CTLW }]);
     a.pack(&[Instr::Nop, Instr::Alu { op: AluOp::Sll, rd: IDX, rs1: IDX, src2: Src::Imm(2) }]);
@@ -327,10 +327,7 @@ pub fn build(stream: &[u32], nblocks: usize) -> (Program, FlatMem) {
         off: Off::Imm(0),
     });
     // Blocks whose run overshoots 63 end implicitly.
-    a.pack(&[
-        Instr::Nop,
-        Instr::Cmp { cond: Cond::Lt, rd: TMP, rs1: SCAN, rs2: C63 },
-    ]);
+    a.pack(&[Instr::Nop, Instr::Cmp { cond: Cond::Lt, rd: TMP, rs1: SCAN, rs2: C63 }]);
     a.br(Cond::Ne, TMP, "symbol", true);
     a.label("eob");
     a.pack(&[

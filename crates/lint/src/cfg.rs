@@ -1,0 +1,193 @@
+//! Control-flow graph over VLIW packets.
+//!
+//! Each packet is one node. Edges come from the packet's (unique, slot-0)
+//! control instruction: branches add a taken edge and a fall-through edge,
+//! calls add their target, `jmpl` is register-indirect and contributes no
+//! static edge (the graph records its presence instead), `halt` terminates.
+//! Building the graph also surfaces the two malformed-control findings:
+//! branch targets that hit no packet boundary and paths that run past the
+//! end of the program.
+
+use majc_isa::{Instr, Program};
+
+use crate::diag::{Diag, Kind, Severity};
+
+/// Why an edge exists — determines the minimum issue gap across it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Edge {
+    /// Sequential successor (straight-line or branch-not-taken).
+    Fall,
+    /// Taken conditional branch (correctly predicted: redirect bubble).
+    Taken,
+    /// Call: target known at decode, redirect bubble.
+    Call,
+}
+
+/// Packet-level control-flow graph.
+pub struct Cfg {
+    /// Static successors of each packet.
+    pub succs: Vec<Vec<(usize, Edge)>>,
+    /// True if any packet ends in a register-indirect `jmpl`; its targets
+    /// are unknown, so reachability claims become vacuous.
+    pub has_indirect: bool,
+    /// `reachable[i]`: packet `i` can execute, starting from packet 0.
+    /// All-true when `has_indirect`.
+    pub reachable: Vec<bool>,
+    /// Malformed-control findings discovered while building the graph.
+    pub diags: Vec<Diag>,
+}
+
+impl Cfg {
+    pub fn build(prog: &Program) -> Cfg {
+        let n = prog.len();
+        let mut succs: Vec<Vec<(usize, Edge)>> = vec![Vec::new(); n];
+        let mut has_indirect = false;
+        let mut diags = Vec::new();
+
+        let bad_target = |i: usize, target: u32, diags: &mut Vec<Diag>| {
+            diags.push(Diag {
+                severity: Severity::Error,
+                kind: Kind::BadBranchTarget,
+                packet: i,
+                addr: prog.addr_of(i),
+                slot: Some(0),
+                reg: None,
+                cycles_short: None,
+                message: format!("control target {target:#x} is not a packet boundary"),
+            });
+        };
+        let falls_off = |i: usize| Diag {
+            severity: Severity::Error,
+            kind: Kind::FallsOffEnd,
+            packet: i,
+            addr: prog.addr_of(i),
+            slot: None,
+            reg: None,
+            cycles_short: None,
+            message: "execution can fall past the last packet".into(),
+        };
+
+        for (i, pkt) in prog.packets().iter().enumerate() {
+            let pc = prog.addr_of(i);
+            let fall = |succs: &mut Vec<Vec<(usize, Edge)>>, diags: &mut Vec<Diag>| {
+                if i + 1 < n {
+                    succs[i].push((i + 1, Edge::Fall));
+                } else {
+                    diags.push(falls_off(i));
+                }
+            };
+            match pkt.control() {
+                None => fall(&mut succs, &mut diags),
+                Some(Instr::Br { off, .. }) => {
+                    let target = pc.wrapping_add(*off as u32);
+                    match prog.index_of(target) {
+                        Some(t) => succs[i].push((t, Edge::Taken)),
+                        None => bad_target(i, target, &mut diags),
+                    }
+                    fall(&mut succs, &mut diags);
+                }
+                Some(Instr::Call { off, .. }) => {
+                    let target = pc.wrapping_add(*off as u32);
+                    match prog.index_of(target) {
+                        Some(t) => succs[i].push((t, Edge::Call)),
+                        None => bad_target(i, target, &mut diags),
+                    }
+                }
+                Some(Instr::Jmpl { .. }) => has_indirect = true,
+                Some(Instr::Halt) => {}
+                Some(_) => unreachable!("control() returns transfers only"),
+            }
+        }
+
+        // Reachability from the entry packet. An indirect jump can land
+        // anywhere, so its presence makes every packet reachable.
+        let mut reachable = vec![false; n];
+        if has_indirect {
+            reachable.iter_mut().for_each(|r| *r = true);
+        } else if n > 0 {
+            let mut stack = vec![0usize];
+            reachable[0] = true;
+            while let Some(i) = stack.pop() {
+                for &(s, _) in &succs[i] {
+                    if !reachable[s] {
+                        reachable[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+
+        Cfg { succs, has_indirect, reachable, diags }
+    }
+
+    /// Exit nodes: packets after which register state is observable by the
+    /// outside world (halt, indirect jump, malformed control).
+    pub fn is_exit(&self, i: usize, prog: &Program) -> bool {
+        let pkt = &prog.packets()[i];
+        match pkt.control() {
+            Some(Instr::Halt) | Some(Instr::Jmpl { .. }) => true,
+            // A node whose successors are missing (bad target / off-end)
+            // traps with architectural state visible.
+            _ => self.succs[i].is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_isa::{AluOp, Cond, Packet, Reg, Src};
+
+    fn alu(rd: u8) -> Instr {
+        Instr::Alu { op: AluOp::Add, rd: Reg::g(rd), rs1: Reg::g(rd), src2: Src::Imm(1) }
+    }
+
+    #[test]
+    fn straight_line_and_branch_edges() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(alu(0)).unwrap(),
+                Packet::solo(Instr::Br { cond: Cond::Gt, rs: Reg::g(0), off: -4, hint: true })
+                    .unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.succs[0], vec![(1, Edge::Fall)]);
+        assert_eq!(cfg.succs[1], vec![(0, Edge::Taken), (2, Edge::Fall)]);
+        assert!(cfg.succs[2].is_empty());
+        assert!(cfg.diags.is_empty());
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn bad_target_and_fall_off_end() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::Br { cond: Cond::Gt, rs: Reg::g(0), off: 6, hint: false })
+                    .unwrap(),
+                Packet::solo(alu(0)).unwrap(),
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        let kinds: Vec<Kind> = cfg.diags.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&Kind::BadBranchTarget));
+        assert!(kinds.contains(&Kind::FallsOffEnd));
+    }
+
+    #[test]
+    fn unreachable_after_call() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::Call { rd: Reg::g(1), off: 8 }).unwrap(),
+                Packet::solo(alu(0)).unwrap(), // skipped by the call
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        assert!(cfg.reachable[0] && !cfg.reachable[1] && cfg.reachable[2]);
+    }
+}

@@ -1,0 +1,205 @@
+//! # majc-lint
+//!
+//! Static verification of MAJC VLIW programs.
+//!
+//! The MAJC-5200 exposes most instruction latencies to the compiler: "only
+//! the non-deterministic loads and long latency instructions are
+//! interlocked through a score-boarding mechanism" (paper §3.2). A program
+//! that reads a multiply or floating-point result too early is *silently
+//! wrong* on such hardware — the simulator in `majc-core` scoreboards
+//! every latency, so mis-scheduled code merely runs slower there. This
+//! crate closes that gap statically:
+//!
+//! 1. [`cfg::Cfg`] builds a control-flow graph over packets from branch,
+//!    call and jmpl structure (also catching bad branch targets and paths
+//!    that fall off the end of the program);
+//! 2. [`schedule`] replays the cycle simulator's issue model symbolically
+//!    along every path — `LatClass` latencies plus the asymmetric bypass
+//!    network (full bypass inside FU0/FU1, one extra cycle elsewhere) —
+//!    and flags reads of deterministic-latency results before they are
+//!    architecturally visible to the consuming unit;
+//! 3. [`dataflow`] runs classic forward/backward analyses for
+//!    use-before-def, dead writes, packet-internal WAW and unreachable
+//!    packets.
+//!
+//! The same machinery predicts exact issue cycles for straight-line
+//! programs ([`predicted_issue_cycles`]); the test suite holds it equal to
+//! the cycle simulator's trace, so the static model cannot drift from the
+//! dynamic one.
+//!
+//! ```
+//! use majc_asm::assemble;
+//! use majc_lint::{lint, LintOptions};
+//!
+//! let prog = assemble(
+//!     "       setlo g0, 3
+//!             add g1, g0, 1
+//!             halt",
+//! )
+//! .unwrap();
+//! let report = lint(&prog, &LintOptions::default());
+//! assert!(report.is_clean(), "{}", report);
+//! ```
+
+pub mod cfg;
+pub mod dataflow;
+pub mod diag;
+pub mod schedule;
+
+use majc_core::TimingConfig;
+use majc_isa::{Program, Reg};
+
+pub use cfg::Cfg;
+pub use diag::{Diag, Kind, Severity};
+pub use schedule::predicted_issue_cycles;
+
+/// What the linter assumes about the program under analysis.
+#[derive(Clone, Debug, Default)]
+pub struct LintOptions {
+    /// Timing model to verify against (latencies, bypass network, branch
+    /// bubbles). Defaults to the paper's MAJC-5200 numbers.
+    pub timing: TimingConfig,
+    /// Hardware contract for deterministic latencies. `false` (default)
+    /// models this repository's simulator, whose scoreboard interlocks
+    /// everything: early reads are [`Kind::ScheduleStall`] info notes.
+    /// `true` models the paper-literal pipeline with no interlock on
+    /// deterministic results: early reads are [`Kind::ExposedLatency`]
+    /// errors.
+    pub exposed_latencies: bool,
+    /// Registers assumed initialised at entry. `None` (default) assumes a
+    /// harness may have preset *any* register, disabling use-before-def;
+    /// `Some(set)` enables it with exactly that calling convention.
+    pub entry_defined: Option<Vec<Reg>>,
+}
+
+impl LintOptions {
+    /// Paper-literal hardware: deterministic latencies are exposed and
+    /// nothing is live-in.
+    pub fn strict() -> LintOptions {
+        LintOptions {
+            timing: TimingConfig::default(),
+            exposed_latencies: true,
+            entry_defined: Some(Vec::new()),
+        }
+    }
+}
+
+/// A lint run's findings.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub diags: Vec<Diag>,
+}
+
+impl Report {
+    /// No errors and no warnings (info notes are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.diags.iter().all(|d| d.severity < Severity::Warning)
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diag> + '_ {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True if some finding has this kind.
+    pub fn has(&self, kind: Kind) -> bool {
+        self.diags.iter().any(|d| d.kind == kind)
+    }
+
+    pub fn to_json(&self) -> String {
+        diag::to_json(&self.diags)
+    }
+}
+
+impl core::fmt::Display for Report {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.diags.is_empty() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(
+            f,
+            "{} error(s), {} warning(s), {} note(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// Statically verify a whole program.
+pub fn lint(prog: &Program, opts: &LintOptions) -> Report {
+    let mut diags = Vec::new();
+    let cfg = Cfg::build(prog);
+    diags.extend(cfg.diags.iter().cloned());
+
+    dataflow::check_unreachable(prog, &cfg, &mut diags);
+    let waw = dataflow::check_packet_waw(prog, &mut diags);
+    if let Some(entry) = &opts.entry_defined {
+        dataflow::check_use_before_def(prog, &cfg, entry, &mut diags);
+    }
+    dataflow::check_dead_writes(prog, &cfg, &waw, &mut diags);
+    schedule::check(prog, &cfg, &opts.timing, opts.exposed_latencies, &mut diags);
+
+    diags.sort_by_key(|d| (d.packet, d.slot, core::cmp::Reverse(d.severity)));
+    Report { diags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_isa::{AluOp, Instr, Packet, Src};
+
+    #[test]
+    fn clean_program_is_clean() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 7 }).unwrap(),
+                Packet::solo(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::g(1),
+                    rs1: Reg::g(0),
+                    src2: Src::Imm(1),
+                })
+                .unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let r = lint(&p, &LintOptions::strict());
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.to_json(), "[]");
+    }
+
+    #[test]
+    fn stall_is_info_by_default_error_when_exposed() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::new(&[
+                    Instr::Nop,
+                    Instr::Mul { rd: Reg::g(0), rs1: Reg::g(1), rs2: Reg::g(2) },
+                ])
+                .unwrap(),
+                Packet::new(&[
+                    Instr::Nop,
+                    Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(0), src2: Src::Imm(0) },
+                ])
+                .unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let soft = lint(&p, &LintOptions::default());
+        assert!(soft.is_clean());
+        assert!(soft.has(Kind::ScheduleStall));
+
+        let strict = lint(&p, &LintOptions { exposed_latencies: true, ..Default::default() });
+        assert!(!strict.is_clean());
+        assert!(strict.has(Kind::ExposedLatency));
+    }
+}

@@ -1,0 +1,425 @@
+//! Static schedule analysis.
+//!
+//! Replays the issue model of `majc_core::cycle` symbolically over the
+//! packet CFG. Per packet the analysis tracks, relative to that packet's
+//! earliest possible issue cycle, how many cycles remain until each
+//! register's pending result becomes visible to each of the four consuming
+//! functional units — exactly the asymmetric-bypass scoreboard view of
+//! paper §3.2 — plus the two structural resources (the non-pipelined FU0
+//! divider and the double-precision initiation interval).
+//!
+//! Pending results split into two families:
+//!
+//! * **interlocked** producers (loads/atomics and the divide families):
+//!   the hardware scoreboard stalls consumers, so an early read only costs
+//!   cycles;
+//! * **deterministic** producers (1-cycle ops, multiplies, FP): the real
+//!   MAJC-5200 does *not* interlock these. A read before the result is
+//!   visible to the consuming unit returns stale data — the
+//!   *exposed-latency hazard* this pass exists to flag.
+//!
+//! Join over CFG paths is element-wise max (the hazard-maximising path
+//! wins); the lattice is finite (delays are bounded by the largest
+//! latency), so the fixpoint terminates. Edge gaps use the *minimum*
+//! possible front-end delay (correctly predicted branches), again the
+//! hazard-maximising choice.
+//!
+//! For branch-free, memory-free programs the same model predicts the exact
+//! issue cycle of every packet; [`predicted_issue_cycles`] is compared
+//! against the cycle simulator's trace in the differential oracle tests.
+
+use majc_core::TimingConfig;
+use majc_isa::{Instr, LatClass, Packet, Program, NUM_REGS};
+
+use crate::cfg::{Cfg, Edge};
+use crate::diag::{Diag, Kind, Severity};
+
+/// Load-to-use cycles assumed for pending load results. This is the
+/// `PerfectPort` hit time — the *minimum* the LSU can deliver, which is the
+/// hazard-maximising assumption (loads are interlocked, so a longer miss
+/// only delays consumers further).
+const LOAD_USE: u64 = 2;
+
+/// Pending-result state at a packet boundary, relative to the packet's
+/// earliest issue cycle.
+#[derive(Clone, PartialEq, Eq)]
+struct State {
+    /// Cycles until reg `r` (deterministic producer) is visible to FU `f`.
+    det: Vec<[u32; 4]>,
+    /// Cycles until reg `r` (interlocked producer) is visible to FU `f`.
+    int: Vec<[u32; 4]>,
+    /// Cycles until the FU0 divider is free.
+    fu0: u32,
+    /// Cycles until each FU can start another double-precision op.
+    dbl: [u32; 4],
+}
+
+impl State {
+    fn empty() -> State {
+        State {
+            det: vec![[0; 4]; NUM_REGS as usize],
+            int: vec![[0; 4]; NUM_REGS as usize],
+            fu0: 0,
+            dbl: [0; 4],
+        }
+    }
+
+    /// Element-wise max join; returns true if `self` changed.
+    fn join(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        let mut up = |a: &mut u32, b: u32| {
+            if b > *a {
+                *a = b;
+                changed = true;
+            }
+        };
+        for r in 0..NUM_REGS as usize {
+            for f in 0..4 {
+                up(&mut self.det[r][f], other.det[r][f]);
+                up(&mut self.int[r][f], other.int[r][f]);
+            }
+        }
+        up(&mut self.fu0, other.fu0);
+        for f in 0..4 {
+            up(&mut self.dbl[f], other.dbl[f]);
+        }
+        changed
+    }
+
+    /// Re-base the state `by` cycles later (crossing an edge).
+    fn shift(&mut self, by: u32) {
+        for r in 0..NUM_REGS as usize {
+            for f in 0..4 {
+                self.det[r][f] = self.det[r][f].saturating_sub(by);
+                self.int[r][f] = self.int[r][f].saturating_sub(by);
+            }
+        }
+        self.fu0 = self.fu0.saturating_sub(by);
+        for f in 0..4 {
+            self.dbl[f] = self.dbl[f].saturating_sub(by);
+        }
+    }
+}
+
+/// One deterministic-latency violation found while transferring a packet.
+pub(crate) struct Stall {
+    pub slot: u8,
+    pub reg: majc_isa::Reg,
+    pub cycles_short: u64,
+}
+
+/// Symbolically issue `pkt` against `state`, mutating it into the state
+/// just after issue (still relative to the packet's entry base). Returns
+/// the issue offset and any deterministic-latency stalls.
+fn transfer(state: &mut State, pkt: &Packet, timing: &TimingConfig) -> (u32, Vec<Stall>) {
+    // Hardware-enforced constraints: interlocked operands + structural.
+    let mut hw = 0u32;
+    for (fu, ins) in pkt.slots() {
+        for r in ins.uses().iter() {
+            hw = hw.max(state.int[r.index()][fu as usize]);
+        }
+        match ins.lat_class() {
+            LatClass::IDiv => hw = hw.max(state.fu0),
+            LatClass::FpDouble => hw = hw.max(state.dbl[fu as usize]),
+            _ => {}
+        }
+    }
+
+    // Deterministic operands: on the modelled (scoreboarded) machine these
+    // also stall; on the paper-literal machine a read before visibility is
+    // an exposed-latency hazard. `hw` is when the exposed machine would
+    // issue, so anything pending past it is read early there.
+    let mut stalls = Vec::new();
+    let mut t = hw;
+    for (fu, ins) in pkt.slots() {
+        for r in ins.uses().iter() {
+            let pend = state.det[r.index()][fu as usize];
+            if pend > hw {
+                stalls.push(Stall { slot: fu, reg: r, cycles_short: u64::from(pend - hw) });
+            }
+            t = t.max(pend);
+        }
+    }
+
+    // Scoreboard update, slot order (later slots overwrite earlier ones,
+    // matching the simulator's write-set semantics).
+    for (fu, ins) in pkt.slots() {
+        let class = ins.lat_class();
+        match class {
+            LatClass::IDiv => state.fu0 = t + timing.idiv_lat as u32,
+            LatClass::FpDouble => state.dbl[fu as usize] = t + timing.dbl_ii as u32,
+            _ => {}
+        }
+        let interlocked = class.is_interlocked();
+        for d in ins.defs().iter() {
+            for cfu in 0..4u8 {
+                let vis = match class {
+                    LatClass::Load => t + LOAD_USE as u32,
+                    _ => t + timing.latency(class) as u32 + timing.xfu_delay(fu, cfu) as u32,
+                };
+                let (hot, cold) = if interlocked {
+                    (&mut state.int, &mut state.det)
+                } else {
+                    (&mut state.det, &mut state.int)
+                };
+                hot[d.index()][cfu as usize] = vis;
+                cold[d.index()][cfu as usize] = 0;
+            }
+        }
+    }
+
+    (t, stalls)
+}
+
+/// Minimum cycles between issuing `pkt` and issuing across `edge`.
+fn edge_gap(edge: Edge, timing: &TimingConfig) -> u32 {
+    1 + match edge {
+        Edge::Fall => 0,
+        Edge::Taken | Edge::Call => timing.taken_bubble as u32,
+    }
+}
+
+/// Run the schedule fixpoint and emit latency findings.
+///
+/// `exposed` selects the hardware contract: `true` reports deterministic
+/// early reads as [`Kind::ExposedLatency`] errors (paper-literal pipeline,
+/// no interlock); `false` reports them as [`Kind::ScheduleStall`] info
+/// notes (the modelled machine's scoreboard covers them).
+pub(crate) fn check(
+    prog: &Program,
+    cfg: &Cfg,
+    timing: &TimingConfig,
+    exposed: bool,
+    diags: &mut Vec<Diag>,
+) {
+    let n = prog.len();
+    if n == 0 {
+        return;
+    }
+    let mut entry: Vec<Option<State>> = vec![None; n];
+    entry[0] = Some(State::empty());
+    // With an indirect jump the entry of every packet is possible; seed all
+    // reachable packets with the empty (no-pending) state as well.
+    if cfg.has_indirect {
+        for e in entry.iter_mut() {
+            e.get_or_insert_with(State::empty);
+        }
+    }
+
+    let mut work: Vec<usize> = (0..n).filter(|&i| entry[i].is_some()).collect();
+    let mut iterations = 0usize;
+    while let Some(i) = work.pop() {
+        // Finite lattice + max-join guarantees termination; this guard is
+        // a defensive backstop, not a tuning knob.
+        iterations += 1;
+        if iterations > n.saturating_mul(4096) {
+            break;
+        }
+        let Some(mut s) = entry[i].clone() else { continue };
+        let (t, _) = transfer(&mut s, &prog.packets()[i], timing);
+        for &(succ, edge) in &cfg.succs[i] {
+            let mut out = s.clone();
+            out.shift(t + edge_gap(edge, timing));
+            match &mut entry[succ] {
+                Some(e) => {
+                    if e.join(&out) && !work.contains(&succ) {
+                        work.push(succ);
+                    }
+                }
+                e @ None => {
+                    *e = Some(out);
+                    work.push(succ);
+                }
+            }
+        }
+    }
+
+    // Converged: one reporting pass over every analysed packet.
+    for (i, e) in entry.iter().enumerate() {
+        let Some(e) = e else { continue };
+        let mut s = e.clone();
+        let (_, stalls) = transfer(&mut s, &prog.packets()[i], timing);
+        for st in stalls {
+            let (severity, kind, verb) = if exposed {
+                (Severity::Error, Kind::ExposedLatency, "is read")
+            } else {
+                (Severity::Info, Kind::ScheduleStall, "stalls the packet")
+            };
+            diags.push(Diag {
+                severity,
+                kind,
+                packet: i,
+                addr: prog.addr_of(i),
+                slot: Some(st.slot),
+                reg: Some(st.reg),
+                cycles_short: Some(st.cycles_short),
+                message: format!(
+                    "{} {} {} cycle{} before its deterministic-latency producer is visible to FU{}",
+                    st.reg,
+                    verb,
+                    st.cycles_short,
+                    if st.cycles_short == 1 { "" } else { "s" },
+                    st.slot
+                ),
+            });
+        }
+    }
+}
+
+/// Exact per-packet issue cycles for a straight-line program, or `None` if
+/// the program is not statically predictable (memory operations, or any
+/// control transfer other than a final `halt`).
+///
+/// On predictable programs this reproduces `majc_core::cycle::CycleSim`
+/// issue-for-issue under `PerfectPort` and a single context — the
+/// differential-oracle tests assert exactly that.
+pub fn predicted_issue_cycles(prog: &Program, timing: &TimingConfig) -> Option<Vec<u64>> {
+    let n = prog.len();
+    for (i, pkt) in prog.packets().iter().enumerate() {
+        for (_, ins) in pkt.slots() {
+            if ins.is_mem() {
+                return None;
+            }
+        }
+        match pkt.control() {
+            None => {}
+            Some(Instr::Halt) if i + 1 == n => {}
+            Some(_) => return None,
+        }
+    }
+
+    let mut avail = vec![[0u64; 4]; NUM_REGS as usize];
+    let mut fu0_free = 0u64;
+    let mut dbl_free = [0u64; 4];
+    let mut ready = timing.front_latency;
+    let mut last_issue = 0u64;
+    let mut out = Vec::with_capacity(n);
+    for pkt in prog.packets() {
+        let mut t = ready.max(last_issue + 1);
+        for (fu, ins) in pkt.slots() {
+            for r in ins.uses().iter() {
+                t = t.max(avail[r.index()][fu as usize]);
+            }
+            match ins.lat_class() {
+                LatClass::IDiv => t = t.max(fu0_free),
+                LatClass::FpDouble => t = t.max(dbl_free[fu as usize]),
+                _ => {}
+            }
+        }
+        for (fu, ins) in pkt.slots() {
+            let class = ins.lat_class();
+            match class {
+                LatClass::IDiv => fu0_free = t + timing.idiv_lat,
+                LatClass::FpDouble => dbl_free[fu as usize] = t + timing.dbl_ii,
+                _ => {}
+            }
+            for d in ins.defs().iter() {
+                for cfu in 0..4u8 {
+                    avail[d.index()][cfu as usize] =
+                        t + timing.latency(class) + timing.xfu_delay(fu, cfu);
+                }
+            }
+        }
+        ready = t + 1;
+        last_issue = t;
+        out.push(t);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_isa::{AluOp, Reg, Src};
+
+    fn prog(pkts: Vec<Packet>) -> Program {
+        Program::new(0, pkts)
+    }
+
+    fn add(rd: Reg, rs1: Reg) -> Instr {
+        Instr::Alu { op: AluOp::Add, rd, rs1, src2: Src::Imm(1) }
+    }
+
+    #[test]
+    fn fp_chain_flags_exposed_reads() {
+        // fadd g0 then read g0 on FU1 next packet: 4-cycle producer, read
+        // 3 cycles early on exposed hardware.
+        let p = prog(vec![
+            Packet::new(&[
+                Instr::Nop,
+                Instr::FAdd { rd: Reg::g(0), rs1: Reg::g(1), rs2: Reg::g(2) },
+            ])
+            .unwrap(),
+            Packet::new(&[Instr::Nop, add(Reg::g(3), Reg::g(0))]).unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let cfg = Cfg::build(&p);
+        let mut diags = Vec::new();
+        check(&p, &cfg, &TimingConfig::default(), true, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, Kind::ExposedLatency);
+        assert_eq!(diags[0].cycles_short, Some(3));
+        assert_eq!(diags[0].packet, 1);
+    }
+
+    #[test]
+    fn interlocked_divide_is_not_a_hazard() {
+        let p = prog(vec![
+            Packet::solo(Instr::Div { rd: Reg::g(0), rs1: Reg::g(1), rs2: Reg::g(2) }).unwrap(),
+            Packet::solo(add(Reg::g(3), Reg::g(0))).unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let cfg = Cfg::build(&p);
+        let mut diags = Vec::new();
+        check(&p, &cfg, &TimingConfig::default(), true, &mut diags);
+        assert!(diags.is_empty(), "scoreboarded divide must not be flagged: {diags:?}");
+    }
+
+    #[test]
+    fn loop_carried_hazard_found_via_fixpoint() {
+        // Loop body: fmul writes g0, back-edge, read g0 at loop head one
+        // packet later — only hazardous around the back edge.
+        let p = prog(vec![
+            Packet::new(&[Instr::Nop, add(Reg::g(3), Reg::g(0))]).unwrap(),
+            Packet::new(&[
+                Instr::Nop,
+                Instr::FMul { rd: Reg::g(0), rs1: Reg::g(1), rs2: Reg::g(2) },
+            ])
+            .unwrap(),
+            Packet::solo(Instr::Br {
+                cond: majc_isa::Cond::Gt,
+                rs: Reg::g(4),
+                // Packets 0 and 1 are 8 bytes each: back to packet 0.
+                off: -16,
+                hint: true,
+            })
+            .unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let cfg = Cfg::build(&p);
+        let mut diags = Vec::new();
+        check(&p, &cfg, &TimingConfig::default(), true, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.kind == Kind::ExposedLatency && d.packet == 0),
+            "back-edge hazard must be found: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn predictable_program_schedule() {
+        let timing = TimingConfig::default();
+        let p = prog(vec![
+            Packet::solo(add(Reg::g(0), Reg::g(0))).unwrap(),
+            Packet::solo(add(Reg::g(1), Reg::g(0))).unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ]);
+        let cycles = predicted_issue_cycles(&p, &timing).unwrap();
+        let fl = timing.front_latency;
+        assert_eq!(cycles, vec![fl, fl + 1, fl + 2]);
+
+        // Memory or interior control makes a program unpredictable.
+        let p2 =
+            prog(vec![Packet::solo(Instr::Membar).unwrap(), Packet::solo(Instr::Halt).unwrap()]);
+        assert!(predicted_issue_cycles(&p2, &timing).is_none());
+    }
+}

@@ -1,0 +1,7 @@
+; negative control: correctly scheduled under the strict (paper-literal)
+; model — the multiply result is consumed two packets later.
+        setlo g0, 3
+        nop | mul g1, g0, g0
+        nop
+        add g2, g1, 0
+        halt

@@ -1,0 +1,5 @@
+; dead write: the first write to g1 is overwritten before any read.
+        setlo g0, 1
+        add g1, g0, 1           ; dead
+        add g1, g0, 2
+        halt

@@ -1,0 +1,8 @@
+; exposed-latency through the asymmetric bypass network: a single-cycle
+; ALU result forwarded FU2 -> FU3 costs one extra cycle (only FU0<->FU1
+; have the full bypass), so a back-to-back consumer is one cycle short.
+        setlo g1, 1
+        nop
+        nop | nop | add g2, g1, 1       ; produced on FU2
+        nop | nop | nop | add g3, g2, 1 ; consumed on FU3 one packet later
+        halt

@@ -1,0 +1,9 @@
+; exposed-latency: a 4-cycle double-precision result read one packet
+; later (3 cycles short). Doubles live in even global register pairs.
+        setlo g0, 1
+        setlo g1, 2
+        setlo g2, 3
+        setlo g3, 4
+        nop | dmul g4, g0, g2
+        nop | dadd g6, g4, g4   ; dbl_lat = 4, gap = 1
+        halt

@@ -1,0 +1,7 @@
+; exposed-latency: a 4-cycle single-precision FP result read one packet
+; later (3 cycles short).
+        setlo g2, 100
+        setlo g3, 200
+        nop | fadd g1, g2, g3
+        nop | fmul g4, g1, g1   ; fp_lat = 4, gap = 1
+        halt

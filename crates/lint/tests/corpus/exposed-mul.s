@@ -1,0 +1,6 @@
+; exposed-latency: a 2-cycle multiply result read one packet later.
+; On paper-literal hardware the consumer sees the stale g1.
+        setlo g0, 3
+        nop | mul g1, g0, g0
+        add g2, g1, 0           ; g1 visible at +2, read at +1
+        halt

@@ -1,0 +1,5 @@
+; falls off the end: the final packet is a conditional branch whose
+; not-taken path runs past the last packet into undefined memory.
+        setlo g0, 2
+loop:   sub g0, g0, 1
+        br.gt.t g0, loop

@@ -1,0 +1,5 @@
+; packet-internal WAW: two slots of the same packet write g1; the result
+; is whichever slot the implementation lets win.
+        setlo g0, 1
+        add g1, g0, 1 | add g1, g0, 2
+        halt

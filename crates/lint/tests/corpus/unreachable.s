@@ -1,0 +1,6 @@
+; unreachable code: the second add sits after an unconditional halt and
+; no branch targets it.
+        setlo g0, 1
+        halt
+        add g1, g0, 1           ; unreachable
+        halt

@@ -1,0 +1,4 @@
+; use-before-def: g5 is read but never written on any path (and the
+; strict calling convention says nothing is live-in).
+        add g1, g5, 1
+        halt

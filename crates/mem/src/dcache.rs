@@ -11,8 +11,6 @@
 //! supporting "a maximum of four cache misses without blocking the
 //! execution" and out-of-order data returns (§3.2).
 
-use serde::Serialize;
-
 use crate::dram::MemBackend;
 use crate::tags::{CacheStats, TagArray, Victim};
 
@@ -44,7 +42,7 @@ pub enum DStall {
 }
 
 /// Configuration of the data cache.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DCacheConfig {
     pub size_bytes: usize,
     pub ways: usize,
@@ -200,11 +198,8 @@ impl DCache {
             return Err(DStall::MshrFull);
         }
 
-        let done = backend.backend_read(
-            now + self.cfg.miss_overhead,
-            line,
-            self.cfg.line_bytes as u32,
-        );
+        let done =
+            backend.backend_read(now + self.cfg.miss_overhead, line, self.cfg.line_bytes as u32);
         let allocate = pol != DPolicy::NonAllocating;
         self.mshrs.push(Mshr { line, done, allocate, dirty: is_write && allocate });
         if is_write && !allocate {

@@ -7,10 +7,8 @@
 //! the channel for 10 cycles, which is the steady-state (peak-bandwidth)
 //! cost of a pipelined line transfer.
 
-use serde::Serialize;
-
 /// Timing parameters, in 500 MHz CPU cycles.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DramConfig {
     /// Cycles a 32-byte granule occupies the channel (10 => 1.6 GB/s).
     pub cycles_per_32b: u64,
@@ -37,7 +35,7 @@ impl Default for DramConfig {
 }
 
 /// Channel statistics.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct DramStats {
     pub reads: u64,
     pub writes: u64,

@@ -5,13 +5,11 @@
 //! (§3.2). The front end stalls on a miss, so a single outstanding fill
 //! suffices.
 
-use serde::Serialize;
-
 use crate::dram::MemBackend;
 use crate::tags::{CacheStats, TagArray, Victim};
 
 /// I-cache configuration.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ICacheConfig {
     pub size_bytes: usize,
     pub ways: usize,
@@ -25,7 +23,13 @@ pub struct ICacheConfig {
 
 impl Default for ICacheConfig {
     fn default() -> ICacheConfig {
-        ICacheConfig { size_bytes: 16 * 1024, ways: 2, line_bytes: 32, hit_lat: 0, miss_overhead: 1 }
+        ICacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 2,
+            line_bytes: 32,
+            hit_lat: 0,
+            miss_overhead: 1,
+        }
     }
 }
 

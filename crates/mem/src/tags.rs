@@ -3,10 +3,8 @@
 //! Timing-only: the array tracks which lines are resident and dirty; data
 //! lives in [`crate::FlatMem`].
 
-use serde::Serialize;
-
 /// Statistics accumulated by a tag array.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
@@ -123,9 +121,7 @@ impl TagArray {
     pub fn probe(&self, addr: u32) -> bool {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
-        self.data[set * self.ways..(set + 1) * self.ways]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.data[set * self.ways..(set + 1) * self.ways].iter().any(|w| w.valid && w.tag == tag)
     }
 
     fn touch(&mut self, addr: u32, write: bool) -> bool {
@@ -162,8 +158,7 @@ impl TagArray {
             .map(|(i, _)| i)
             .unwrap();
         let w = &mut self.data[base + lru];
-        let victim_addr =
-            (w.tag << self.sets.trailing_zeros() | set as u32) << self.line_shift;
+        let victim_addr = (w.tag << self.sets.trailing_zeros() | set as u32) << self.line_shift;
         let victim = if w.dirty {
             self.stats.writebacks += 1;
             Victim::Dirty(victim_addr)

@@ -1,9 +1,9 @@
-//! Model-based property tests for the set-associative tag array: the
+//! Model-based randomized tests for the set-associative tag array: the
 //! hardware model must agree with an obviously-correct reference
 //! implementation (a vector of per-set LRU lists) on every access outcome.
 
+use majc_isa::SplitMix64;
 use majc_mem::{TagArray, Victim};
-use proptest::prelude::*;
 
 /// Obviously-correct reference cache: per set, a most-recent-first list of
 /// (tag, dirty).
@@ -57,84 +57,91 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn tag_array_matches_reference_lru(
-        ops in prop::collection::vec((0u32..4096, any::<bool>()), 1..300),
-        ways_log in 0u32..3,
-    ) {
-        let ways = 1usize << ways_log;
+#[test]
+fn tag_array_matches_reference_lru() {
+    let mut rng = SplitMix64::new(0xCAC4_E001);
+    for _case in 0..256 {
+        let ways = 1usize << rng.below(3);
         let size = 32 * ways * 8; // 8 sets
         let mut hw = TagArray::new(size, ways, 32);
         let mut model = RefCache::new(size, ways, 32);
-        for &(addr, write) in &ops {
+        let nops = 1 + rng.index(300);
+        for _ in 0..nops {
+            let addr = rng.below(4096) as u32;
+            let write = rng.flip();
             let hit_hw = hw.access(addr, write);
             let hit_model = model.access(addr, write);
-            prop_assert_eq!(hit_hw, hit_model, "hit/miss diverged at {:#x}", addr);
+            assert_eq!(hit_hw, hit_model, "hit/miss diverged at {addr:#x}");
             if !hit_hw {
                 let v_hw = hw.fill(addr, write);
                 let v_model = model.fill(addr, write);
                 match (v_hw, v_model) {
                     (Victim::None, None) => {}
-                    (Victim::Clean(a), Some((b, false))) => prop_assert_eq!(a, b),
-                    (Victim::Dirty(a), Some((b, true))) => prop_assert_eq!(a, b),
-                    (h, m) => prop_assert!(false, "victims diverged: {:?} vs {:?}", h, m),
+                    (Victim::Clean(a), Some((b, false))) => assert_eq!(a, b),
+                    (Victim::Dirty(a), Some((b, true))) => assert_eq!(a, b),
+                    (h, m) => panic!("victims diverged: {h:?} vs {m:?}"),
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn hits_plus_misses_equals_accesses(
-        ops in prop::collection::vec((0u32..2048, any::<bool>()), 1..200),
-    ) {
+#[test]
+fn hits_plus_misses_equals_accesses() {
+    let mut rng = SplitMix64::new(0xCAC4_E002);
+    for _case in 0..256 {
         let mut hw = TagArray::new(1024, 2, 32);
-        for &(addr, write) in &ops {
+        let nops = 1 + rng.index(200);
+        for _ in 0..nops {
+            let addr = rng.below(2048) as u32;
+            let write = rng.flip();
             if !hw.access(addr, write) {
                 hw.fill(addr, write);
             }
         }
-        prop_assert_eq!(hw.stats.hits + hw.stats.misses, ops.len() as u64);
-        prop_assert!(hw.stats.writebacks <= hw.stats.evictions);
-    }
-
-    #[test]
-    fn invalidate_means_miss(addr in 0u32..65536) {
-        let mut hw = TagArray::new(4096, 4, 32);
-        hw.fill(addr, false);
-        prop_assert!(hw.probe(addr));
-        hw.invalidate(addr);
-        prop_assert!(!hw.probe(addr));
+        assert_eq!(hw.stats.hits + hw.stats.misses, nops as u64);
+        assert!(hw.stats.writebacks <= hw.stats.evictions);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn invalidate_means_miss() {
+    let mut rng = SplitMix64::new(0xCAC4_E003);
+    for _case in 0..512 {
+        let addr = rng.below(65536) as u32;
+        let mut hw = TagArray::new(4096, 4, 32);
+        hw.fill(addr, false);
+        assert!(hw.probe(addr));
+        hw.invalidate(addr);
+        assert!(!hw.probe(addr));
+    }
+}
 
-    /// The DRDRAM channel never reorders completions before requests and
-    /// respects the bandwidth bound.
-    #[test]
-    fn dram_completions_are_causal_and_bounded(
-        reqs in prop::collection::vec((0u32..1_000_000, any::<bool>()), 1..100),
-    ) {
-        use majc_mem::{Dram, MemBackend};
+/// The DRDRAM channel never reorders completions before requests and
+/// respects the bandwidth bound.
+#[test]
+fn dram_completions_are_causal_and_bounded() {
+    use majc_mem::{Dram, MemBackend};
+    let mut rng = SplitMix64::new(0xCAC4_E004);
+    for _case in 0..64 {
         let mut d = Dram::default();
         let mut last_done = 0u64;
-        for (i, &(addr, write)) in reqs.iter().enumerate() {
+        let nreqs = 1 + rng.index(100);
+        for i in 0..nreqs {
+            let addr = rng.below(1_000_000) as u32;
+            let write = rng.flip();
             let now = i as u64; // requests arrive one per cycle
             let done = if write {
                 d.backend_write(now, addr & !31, 32)
             } else {
                 d.backend_read(now, addr & !31, 32)
             };
-            prop_assert!(done > now, "completion before request");
+            assert!(done > now, "completion before request");
             // The shared channel serialises 32-byte granules.
-            prop_assert!(done >= last_done, "channel went backwards");
+            assert!(done >= last_done, "channel went backwards");
             last_done = done;
         }
         // Bandwidth bound: n transfers of 32B need at least 10n channel cycles.
-        prop_assert!(last_done >= 10 * reqs.len() as u64);
+        assert!(last_done >= 10 * nreqs as u64);
     }
 }

@@ -67,10 +67,14 @@ impl CorePort for CpuPort {
         pol: DPolicy,
     ) -> Result<u64, DStall> {
         let c = unsafe { self.chip.as_mut() };
-        c.dcache.access(now, self.cpu, addr, kind, pol, &mut Routed {
-            xbar: &mut c.xbar,
-            src: Source::CpuD,
-        })
+        c.dcache.access(
+            now,
+            self.cpu,
+            addr,
+            kind,
+            pol,
+            &mut Routed { xbar: &mut c.xbar, src: Source::CpuD },
+        )
     }
 }
 
@@ -112,9 +116,7 @@ impl Majc5200 {
                 (true, true) => break,
                 (true, false) => 1,
                 (false, true) => 0,
-                (false, false) => {
-                    usize::from(self.cpu[1].stats.cycles < self.cpu[0].stats.cycles)
-                }
+                (false, false) => usize::from(self.cpu[1].stats.cycles < self.cpu[0].stats.cycles),
             };
             self.cpu[pick].step()?;
             issued += 1;
@@ -286,9 +288,6 @@ mod tests {
         let slower = c0.max(c1);
         // Separate I-caches and no shared data: running both should cost
         // at most a sliver more than running one.
-        assert!(
-            (slower as f64) < s0 as f64 * 1.25,
-            "dual-CPU {slower} vs single {s0}: no scaling"
-        );
+        assert!((slower as f64) < s0 as f64 * 1.25, "dual-CPU {slower} vs single {s0}: no scaling");
     }
 }

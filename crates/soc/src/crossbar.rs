@@ -7,10 +7,9 @@
 //! per-source traffic accounting, and routes to the memory controller.
 
 use majc_mem::{Dram, DramConfig, MemBackend};
-use serde::Serialize;
 
 /// Who is talking through the switch.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Source {
     Cpu0I,
     Cpu1I,
@@ -42,7 +41,7 @@ impl Source {
 }
 
 /// Per-source accounting.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SourceStats {
     pub requests: u64,
     pub bytes: u64,
@@ -59,7 +58,11 @@ pub struct Crossbar {
 
 impl Crossbar {
     pub fn new() -> Crossbar {
-        Crossbar { dram: Dram::new(DramConfig::default()), arb_latency: 2, stats: Default::default() }
+        Crossbar {
+            dram: Dram::new(DramConfig::default()),
+            arb_latency: 2,
+            stats: Default::default(),
+        }
     }
 
     /// Route a memory request from `src`; returns the completion cycle.

@@ -7,13 +7,12 @@
 //! granules pipeline, so throughput converges to the slower endpoint.
 
 use majc_mem::FlatMem;
-use serde::Serialize;
 
 use crate::crossbar::{Crossbar, Source};
 use crate::io::Link;
 
 /// DMA endpoints.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Endpoint {
     Dram,
     Pci,
@@ -22,7 +21,7 @@ pub enum Endpoint {
 }
 
 /// Result of one DMA transfer.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DmaResult {
     pub bytes: u32,
     pub start: u64,
@@ -105,12 +104,7 @@ impl Dte {
             moved += chunk;
         }
         let start = now;
-        DmaResult {
-            bytes: len,
-            start,
-            done,
-            bandwidth: len as f64 / (done - start).max(1) as f64,
-        }
+        DmaResult { bytes: len, start, done, bandwidth: len as f64 / (done - start).max(1) as f64 }
     }
 }
 
@@ -134,7 +128,16 @@ mod tests {
         for i in 0..1024u32 {
             mem.write_u8(0x1000 + i, i as u8);
         }
-        let r = dte.transfer(&mut xbar, &mut mem, 0, Endpoint::Dram, 0x1000, Endpoint::Supa, 0, 64 * 1024);
+        let r = dte.transfer(
+            &mut xbar,
+            &mut mem,
+            0,
+            Endpoint::Dram,
+            0x1000,
+            Endpoint::Supa,
+            0,
+            64 * 1024,
+        );
         // Bottleneck is the 1.6 GB/s channel (3.2 B/cycle), not the 2 GB/s UPA.
         let gbps = r.gbps(500e6);
         assert!((1.2..=1.65).contains(&gbps), "DRAM->SUPA at {gbps:.2} GB/s");
@@ -143,7 +146,16 @@ mod tests {
     #[test]
     fn pci_to_dram_is_pci_bound() {
         let (mut dte, mut xbar, mut mem) = setup();
-        let r = dte.transfer(&mut xbar, &mut mem, 0, Endpoint::Pci, 0, Endpoint::Dram, 0x8000, 16 * 1024);
+        let r = dte.transfer(
+            &mut xbar,
+            &mut mem,
+            0,
+            Endpoint::Pci,
+            0,
+            Endpoint::Dram,
+            0x8000,
+            16 * 1024,
+        );
         let gbps = r.gbps(500e6);
         assert!((0.2..=0.27).contains(&gbps), "PCI->DRAM at {gbps:.3} GB/s (peak 0.264)");
         // The data actually landed.
@@ -154,7 +166,8 @@ mod tests {
     fn nupa_to_supa_bypasses_dram() {
         let (mut dte, mut xbar, mut mem) = setup();
         let before = xbar.total_bytes();
-        let r = dte.transfer(&mut xbar, &mut mem, 0, Endpoint::Nupa, 0, Endpoint::Supa, 0, 64 * 1024);
+        let r =
+            dte.transfer(&mut xbar, &mut mem, 0, Endpoint::Nupa, 0, Endpoint::Supa, 0, 64 * 1024);
         assert_eq!(xbar.total_bytes(), before, "I/O-to-I/O must not touch DRAM");
         let gbps = r.gbps(500e6);
         assert!((1.8..=2.05).contains(&gbps), "UPA-to-UPA at {gbps:.2} GB/s (peak 2.0)");

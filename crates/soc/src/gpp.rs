@@ -8,12 +8,11 @@
 //! back-pressure and end-to-end throughput can be studied at chip level.
 
 use majc_gfx::Compressed;
-use serde::Serialize;
 
 use crate::io::{Link, NupaFifo};
 
 /// Chip-level pipeline parameters.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GppConfig {
     /// GPP decode rate in stream bytes per cycle.
     pub decode_bytes_per_cycle: f64,
@@ -37,7 +36,7 @@ impl Default for GppConfig {
 }
 
 /// End-to-end outcome.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GppRun {
     pub cycles: u64,
     pub triangles: u64,
@@ -77,8 +76,7 @@ pub fn run_scene(c: &Compressed, cfg: &GppConfig) -> GppRun {
             link_credit += nupa.bytes_per_cycle;
             let chunk = link_credit.floor() as usize;
             if chunk > 0 {
-                let deliver =
-                    chunk.min(stream_left as usize).min(fifo.capacity - fifo.level());
+                let deliver = chunk.min(stream_left as usize).min(fifo.capacity - fifo.level());
                 if deliver > 0 {
                     fifo.push(deliver);
                     nupa.transfer(t as u64, deliver as u32);
@@ -175,6 +173,11 @@ mod tests {
             },
         );
         let ratio = chip.mtris_per_sec / iso.mtris_per_sec;
-        assert!((0.85..=1.15).contains(&ratio), "chip {:.1} vs iso {:.1}", chip.mtris_per_sec, iso.mtris_per_sec);
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "chip {:.1} vs iso {:.1}",
+            chip.mtris_per_sec,
+            iso.mtris_per_sec
+        );
     }
 }

@@ -6,10 +6,8 @@
 //! and an occupancy clock; DMA through them composes link time with the
 //! crossbar/DRAM time.
 
-use serde::Serialize;
-
 /// A serial link with fixed peak bandwidth.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Link {
     pub name: &'static str,
     /// Peak bytes per 500 MHz CPU cycle.
@@ -63,7 +61,7 @@ impl Link {
 
 /// The NUPA 4 KB input FIFO (paper §3.1: "The NUPA block contains a 4 KB
 /// input FIFO buffer that can also be accessed by both CPUs").
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct NupaFifo {
     pub capacity: usize,
     level: usize,

@@ -73,7 +73,16 @@ fn dte_competes_with_cpu_for_dram() {
     let mut dte = Dte::new();
     {
         let c = chip.chip_mut();
-        dte.transfer(&mut c.xbar, &mut c.mem, 0, Endpoint::Dram, 0x0100_0000, Endpoint::Supa, 0, 128 * 1024);
+        dte.transfer(
+            &mut c.xbar,
+            &mut c.mem,
+            0,
+            Endpoint::Dram,
+            0x0100_0000,
+            Endpoint::Supa,
+            0,
+            128 * 1024,
+        );
     }
     let (with_dma, _) = chip.run(10_000_000).unwrap();
 

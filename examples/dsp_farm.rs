@@ -42,7 +42,11 @@ fn main() {
     let per_channel = (iir_cycles + fir_cycles) as f64 * fps + lms_cycles as f64 * 8000.0;
     let channels = 500e6 / per_channel;
     println!("\nper-channel load: {:.2} Mcycles/s", per_channel / 1e6);
-    println!("one CPU sustains ~{} voice channels ({} per chip)", channels as u64, 2 * channels as u64);
+    println!(
+        "one CPU sustains ~{} voice channels ({} per chip)",
+        channels as u64,
+        2 * channels as u64
+    );
 
     // Show the memory-effects split the paper reports for its DSP rows.
     let (p, m) = fir::build(&coeffs, &xs);

@@ -57,8 +57,7 @@ fn main() {
     // Validate both results against the Rust references.
     let got_idct = {
         let m = &mut chip.chip_mut().mem;
-        let v: Vec<i16> =
-            (0..64).map(|i| m.read_u16(0x0003_0000 + 2 * i) as i16).collect();
+        let v: Vec<i16> = (0..64).map(|i| m.read_u16(0x0003_0000 + 2 * i) as i16).collect();
         v
     };
     assert_eq!(&got_idct[..], &idct::reference(&coeffs)[..], "IDCT output");
@@ -68,8 +67,16 @@ fn main() {
 fn merge(dst: &mut FlatMem, mut src: FlatMem) {
     // Copy the touched regions of `src` into `dst` (regions are disjoint
     // by construction; kernels use fixed layouts).
-    for base in [0x0001_0000u32, 0x0002_0000, 0x0004_0000, 0x0005_0000, 0x0100_0000, 0x0110_0000, 0x0112_0000, 0x0113_0000]
-    {
+    for base in [
+        0x0001_0000u32,
+        0x0002_0000,
+        0x0004_0000,
+        0x0005_0000,
+        0x0100_0000,
+        0x0110_0000,
+        0x0112_0000,
+        0x0113_0000,
+    ] {
         let mut buf = vec![0u8; 0x1_0000];
         src.read(base, &mut buf);
         if buf.iter().any(|&b| b != 0) {

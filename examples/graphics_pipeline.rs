@@ -28,7 +28,10 @@ fn main() {
     let back = decompress(&compressed);
     assert_eq!(back.iter().map(|s| s.vertices.len()).sum::<usize>(), compressed.vertex_count);
 
-    println!("\n{:>24}  {:>12}  {:>10}  {:>10}", "configuration", "Mtri/s", "cpu util", "gpp block");
+    println!(
+        "\n{:>24}  {:>12}  {:>10}  {:>10}",
+        "configuration", "Mtri/s", "cpu util", "gpp block"
+    );
     for (label, gpp_rate, strips_len) in [
         ("baseline (4 B/cyc GPP)", 4.0, 100usize),
         ("fast GPP (8 B/cyc)", 8.0, 100),

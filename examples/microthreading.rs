@@ -32,7 +32,11 @@ fn walker() -> Program {
     a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
     a.br(Cond::Gt, Reg::g(2), "l", true);
     a.op(Instr::Halt);
-    a.finish().unwrap()
+    let prog = a.finish().unwrap();
+    // The immediate load-use above is fine: loads are scoreboarded, so the
+    // linter treats the stall as the hardware's problem, not a bug.
+    assert!(majc::lint::lint(&prog, &majc::lint::LintOptions::default()).is_clean());
+    prog
 }
 
 fn run(contexts: usize) -> (f64, u64) {

@@ -32,6 +32,10 @@ fn main() {
     let prog = assemble(src).expect("assembles");
     println!("--- disassembly ---\n{}", program_to_string(&prog));
 
+    // Statically verify the schedule and dataflow before running.
+    let report = majc::lint::lint(&prog, &majc::lint::LintOptions::default());
+    assert!(report.is_clean(), "{report}");
+
     // Fill memory with test vectors: x[i] = i/8, y[i] = 2.0.
     let mut mem = FlatMem::new();
     let mut expected = 0.0f32;

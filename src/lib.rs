@@ -39,6 +39,7 @@
 //! | [`gfx`] | `majc-gfx` | geometry compression + GPP pipeline model |
 //! | [`kernels`] | `majc-kernels` | every Table 1/2 benchmark kernel |
 //! | [`apps`] | `majc-apps` | every Table 3 application model |
+//! | [`lint`] | `majc-lint` | static VLIW schedule & dataflow verifier |
 //!
 //! Run `cargo run -p majc-bench --release -- all` to regenerate the
 //! paper's evaluation; see EXPERIMENTS.md for paper-vs-measured results.
@@ -49,5 +50,6 @@ pub use majc_core as core;
 pub use majc_gfx as gfx;
 pub use majc_isa as isa;
 pub use majc_kernels as kernels;
+pub use majc_lint as lint;
 pub use majc_mem as mem;
 pub use majc_soc as soc;

@@ -101,8 +101,11 @@ fn cycle_sim_is_slower_with_real_memory() {
         mem.write_u32(0x0001_0000 + 4 * i, i);
         want = want.wrapping_add(i);
     }
-    let mut real =
-        CycleSim::new(prog.clone(), LocalMemSys::majc5200().with_mem(mem.clone()), TimingConfig::default());
+    let mut real = CycleSim::new(
+        prog.clone(),
+        LocalMemSys::majc5200().with_mem(mem.clone()),
+        TimingConfig::default(),
+    );
     real.run(10_000_000).unwrap();
     let mut ideal = CycleSim::new(prog, PerfectPort::new().with_mem(mem), TimingConfig::default());
     ideal.run(10_000_000).unwrap();

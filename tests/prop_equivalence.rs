@@ -1,121 +1,61 @@
-//! Property tests over whole programs:
+//! Randomized properties over whole programs:
 //!
 //! 1. the functional and cycle-accurate simulators produce identical
 //!    architectural state for arbitrary (valid) programs — the cycle
 //!    model may only add time, never change results;
 //! 2. program images survive the binary encoding;
-//! 3. timing is monotone: perfect memory is never slower than DRAM.
+//! 3. timing is monotone: idealised bypass is never slower than the MAJC
+//!    network, which is never slower than write-back-only forwarding.
 
 use majc::core::{CycleSim, FuncSim, PerfectPort, TimingConfig};
-use majc::isa::{
-    decode_program, encode_program, AluOp, Cond, FixFmt, Instr, Packet, Program, Reg, SatMode, Src,
-};
+use majc::isa::gen::{self, GenCfg};
+use majc::isa::{decode_program, encode_program, Program, Reg, SplitMix64};
 use majc::mem::FlatMem;
-use proptest::prelude::*;
 
-fn greg() -> impl Strategy<Value = Reg> {
-    (0u8..96).prop_map(Reg::g)
+fn program(rng: &mut SplitMix64) -> Program {
+    // A small register pool concentrates data dependencies.
+    let cfg = GenCfg { locals: true, globals: 24, ..GenCfg::default() };
+    let n = 1 + rng.index(40);
+    gen::straightline_program(rng, n, &cfg)
 }
 
-/// Compute instructions safe for any FU1-3 slot.
-fn compute_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (greg(), greg(), -200i16..200).prop_map(|(rd, rs1, imm)| Instr::Alu {
-            op: AluOp::Add,
-            rd,
-            rs1,
-            src2: Src::Imm(imm)
-        }),
-        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::Alu {
-            op: AluOp::Xor,
-            rd,
-            rs1,
-            src2: Src::Reg(rs2)
-        }),
-        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
-        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::MulAdd { rd, rs1, rs2 }),
-        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::PAdd {
-            mode: SatMode::Signed,
-            rd,
-            rs1,
-            rs2
-        }),
-        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::PMul {
-            fmt: FixFmt::S15,
-            rd,
-            rs1,
-            rs2
-        }),
-        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::DotP { rd, rs1, rs2 }),
-        (greg(), greg(), greg()).prop_map(|(rd, rs1, rs2)| Instr::PDist { rd, rs1, rs2 }),
-        (greg(), greg()).prop_map(|(rd, rs)| Instr::Lzd { rd, rs }),
-        (greg(), any::<i16>()).prop_map(|(rd, imm)| Instr::SetLo { rd, imm }),
-    ]
-}
-
-/// FU0 instructions restricted to a safe memory window and no control flow.
-fn fu0_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        (greg(), any::<i16>()).prop_map(|(rd, imm)| Instr::SetLo { rd, imm }),
-        (greg(), greg(), -200i16..200).prop_map(|(rd, rs1, imm)| Instr::Alu {
-            op: AluOp::Sub,
-            rd,
-            rs1,
-            src2: Src::Imm(imm)
-        }),
-    ]
-}
-
-fn packet() -> impl Strategy<Value = Packet> {
-    (fu0_instr(), prop::collection::vec(compute_instr(), 0..=3)).prop_map(|(f0, rest)| {
-        let mut v = vec![f0];
-        v.extend(rest);
-        Packet::new(&v).expect("strategy builds valid packets")
-    })
-}
-
-fn program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(packet(), 1..40).prop_map(|mut pkts| {
-        pkts.push(Packet::solo(Instr::Halt).unwrap());
-        Program::new(0, pkts)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cycle_sim_matches_functional_sim(prog in program()) {
+#[test]
+fn cycle_sim_matches_functional_sim() {
+    let mut rng = SplitMix64::new(0x1234);
+    for _case in 0..128 {
+        let prog = program(&mut rng);
         let mut f = FuncSim::new(prog.clone(), FlatMem::new());
         f.run(100_000).unwrap();
         let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
         c.run(100_000).unwrap();
-        prop_assert!(f.halted() && c.halted());
+        assert!(f.halted() && c.halted());
         for i in 0..224u8 {
             let r = Reg::from_index(i).unwrap();
-            prop_assert_eq!(
-                f.regs.get(r),
-                c.regs(0).get(r),
-                "register {} diverged",
-                r
-            );
+            assert_eq!(f.regs.get(r), c.regs(0).get(r), "register {r} diverged");
         }
-        prop_assert_eq!(f.stats.packets, c.stats.packets);
+        assert_eq!(f.stats.packets, c.stats.packets);
         // The cycle model can only add time: cycles >= packets.
-        prop_assert!(c.stats.cycles >= c.stats.packets);
+        assert!(c.stats.cycles >= c.stats.packets);
     }
+}
 
-    #[test]
-    fn program_images_round_trip(prog in program()) {
+#[test]
+fn program_images_round_trip() {
+    let mut rng = SplitMix64::new(0x2345);
+    for _case in 0..128 {
+        let prog = program(&mut rng);
         let image = encode_program(prog.packets()).unwrap();
         let back = decode_program(&image).unwrap();
-        prop_assert_eq!(back.as_slice(), prog.packets());
+        assert_eq!(back.as_slice(), prog.packets());
     }
+}
 
-    #[test]
-    fn bypass_models_are_ordered(prog in program()) {
-        use majc::core::BypassModel;
+#[test]
+fn bypass_models_are_ordered() {
+    use majc::core::BypassModel;
+    let mut rng = SplitMix64::new(0x3456);
+    for _case in 0..64 {
+        let prog = program(&mut rng);
         let run = |model| {
             let cfg = TimingConfig { bypass: model, ..Default::default() };
             let mut c = CycleSim::new(prog.clone(), PerfectPort::new(), cfg);
@@ -125,16 +65,18 @@ proptest! {
         let full = run(BypassModel::Full);
         let majc5200 = run(BypassModel::Majc);
         let wb = run(BypassModel::WbOnly);
-        prop_assert!(full <= majc5200, "ideal bypass can't lose: {} vs {}", full, majc5200);
-        prop_assert!(majc5200 <= wb, "no bypass can't win: {} vs {}", majc5200, wb);
+        assert!(full <= majc5200, "ideal bypass can't lose: {full} vs {majc5200}");
+        assert!(majc5200 <= wb, "no bypass can't win: {majc5200} vs {wb}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn branchy_programs_agree_too(n in 1i16..200, step in 1i16..5) {
+#[test]
+fn branchy_programs_agree_too() {
+    use majc::isa::{AluOp, Cond, Instr, Src};
+    let mut rng = SplitMix64::new(0x4567);
+    for _case in 0..32 {
+        let n = rng.range_i16(1, 200);
+        let step = rng.range_i16(1, 5);
         // A data-dependent loop: the predictor and front end must not
         // change architecture.
         let mut a = majc::asm::Asm::new(0);
@@ -152,7 +94,7 @@ proptest! {
         f.run(1_000_000).unwrap();
         let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
         c.run(1_000_000).unwrap();
-        prop_assert_eq!(f.regs.get(Reg::g(1)), c.regs(0).get(Reg::g(1)));
-        prop_assert_eq!(f.stats.packets, c.stats.packets);
+        assert_eq!(f.regs.get(Reg::g(1)), c.regs(0).get(Reg::g(1)));
+        assert_eq!(f.stats.packets, c.stats.packets);
     }
 }
