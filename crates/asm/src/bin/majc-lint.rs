@@ -4,6 +4,7 @@
 //! majc-lint prog.s                 # lint against the simulator's contract
 //! majc-lint prog.s --exposed      # paper-literal: latencies not interlocked
 //! majc-lint prog.s --entry-undef  # nothing live-in: check use-before-def
+//! majc-lint prog.s --trap-vector 0x40  # handler at 0x40 entered by traps
 //! majc-lint prog.s --json         # machine-readable findings
 //! ```
 //!
@@ -16,8 +17,19 @@ use majc_asm::assemble;
 use majc_lint::{lint, LintOptions, Severity};
 
 fn usage() -> ! {
-    eprintln!("usage: majc-lint <input.s | -> [--exposed] [--entry-undef] [--json] [--quiet]");
+    eprintln!(
+        "usage: majc-lint <input.s | -> [--exposed] [--entry-undef] \
+         [--trap-vector <addr>]... [--json] [--quiet]"
+    );
     exit(3)
+}
+
+/// Parse a decimal or `0x`-prefixed address.
+fn parse_addr(s: &str) -> Option<u32> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u32::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
 }
 
 fn main() {
@@ -26,10 +38,18 @@ fn main() {
     let mut opts = LintOptions::default();
     let mut json = false;
     let mut quiet = false;
-    for a in &args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--exposed" => opts.exposed_latencies = true,
             "--entry-undef" => opts.entry_defined = Some(Vec::new()),
+            "--trap-vector" => {
+                let Some(addr) = it.next().and_then(|v| parse_addr(v)) else {
+                    eprintln!("majc-lint: --trap-vector needs an address");
+                    exit(3)
+                };
+                opts.trap_vectors.push(addr);
+            }
             "--json" => json = true,
             "--quiet" => quiet = true,
             "-h" | "--help" => usage(),

@@ -142,6 +142,7 @@ pub fn instr_to_string(ins: &Instr, target: &dyn Fn(i32) -> String) -> String {
             format!("dcmp.{} {}, {}, {}", cond.mnemonic(), reg(rd), reg(rs1), reg(rs2))
         }
         Cvt { kind, rd, rs } => format!("cvt.{} {}, {}", kind.mnemonic(), reg(rd), reg(rs)),
+        Rte => "rte".into(),
     }
 }
 

@@ -203,6 +203,7 @@ fn parse_policy(tok: Option<&str>) -> Result<CachePolicy, String> {
         None => Ok(CachePolicy::Cached),
         Some("nc") => Ok(CachePolicy::NonCached),
         Some("na") => Ok(CachePolicy::NonAllocating),
+        Some("nf") => Ok(CachePolicy::NonFaulting),
         Some(x) => Err(format!("bad cache policy {x}")),
     }
 }
@@ -241,6 +242,10 @@ fn parse_slot(text: &str, fu: u8) -> Result<Parsed, String> {
         "nop" => Instr::Nop,
         "halt" => Instr::Halt,
         "membar" => Instr::Membar,
+        "rte" => {
+            nargs(0)?;
+            Instr::Rte
+        }
         "prefetch" => {
             nargs(1)?;
             let (base, off) = parse_addr(args[0], fu)?;

@@ -1,6 +1,6 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|all]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|all]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
 //! JSON report under `target/reports/`.
 
@@ -26,6 +26,7 @@ fn main() {
         "peak" => emit(experiments::peak_rates()),
         "graphics" => emit(experiments::graphics()),
         "ablations" => emit(experiments::ablations()),
+        "faults" => emit(experiments::faults()),
         "all" => {
             for t in experiments::all() {
                 emit(t);
@@ -33,7 +34,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1 table2 table3 fig1 fig2 peak graphics ablations all"
+                "unknown experiment `{other}`; expected one of table1 table2 table3 fig1 fig2 peak graphics ablations faults all"
             );
             std::process::exit(2);
         }

@@ -21,6 +21,20 @@ pub enum BypassModel {
     WbOnly,
 }
 
+/// What the pipeline does when an instruction traps (paper §3.2: the
+/// pipeline's final stage is the Trap stage, and "MAJC-5200 provides
+/// precise exception handling capabilities").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapPolicy {
+    /// Abort the simulation, surfacing the trap to the caller. This is the
+    /// behaviour of a bare machine with no handler installed.
+    Halt,
+    /// Deliver the trap precisely: squash the faulting packet, latch the
+    /// cause and PCs into the trap registers, and redirect fetch to the
+    /// vector at `base`. The handler resumes the program with `rte`.
+    Vector { base: u32 },
+}
+
 /// Vertical micro-threading configuration (paper §2): hardware contexts
 /// with "rapid, low overhead context switching ... triggered through either
 /// a long latency memory fetch or other events".
@@ -74,6 +88,11 @@ pub struct TimingConfig {
     pub predictor: PredictorConfig,
     /// Vertical micro-threading.
     pub threading: ThreadingConfig,
+    /// Trap delivery: abort (default) or vectored handler dispatch.
+    pub trap_policy: TrapPolicy,
+    /// Watchdog: a run that exceeds this many cycles without halting is
+    /// diagnosed as a hang instead of spinning forever.
+    pub max_cycles: u64,
 }
 
 impl Default for TimingConfig {
@@ -94,6 +113,8 @@ impl Default for TimingConfig {
             bypass: BypassModel::Majc,
             predictor: PredictorConfig::default(),
             threading: ThreadingConfig::default(),
+            trap_policy: TrapPolicy::Halt,
+            max_cycles: u64::MAX,
         }
     }
 }

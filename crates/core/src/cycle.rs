@@ -24,14 +24,15 @@
 use majc_isa::{Instr, LatClass, Packet, Program, NUM_REGS};
 use majc_mem::DPolicy;
 
-use crate::config::TimingConfig;
+use crate::config::{TimingConfig, TrapPolicy};
 use crate::exec::{exec_slot, Flow, Trap};
-use crate::lsu::Lsu;
+use crate::lsu::{Lsu, LsuStall};
 use crate::memsys::CorePort;
 use crate::predictor::Gshare;
 use crate::regfile::{RegFile, WriteSet};
 use crate::stats::CycleStats;
 use crate::trace::TraceRec;
+use crate::trap::{SimError, TrapRegs};
 
 /// One hardware context (micro-thread).
 struct Ctx {
@@ -43,6 +44,8 @@ struct Ctx {
     /// consuming FU (bypass-network view).
     avail: Vec<[u64; 4]>,
     halted: bool,
+    /// Trap registers latched by precise delivery.
+    trap: TrapRegs,
 }
 
 impl Ctx {
@@ -53,6 +56,7 @@ impl Ctx {
             ready,
             avail: vec![[0; 4]; NUM_REGS as usize],
             halted: false,
+            trap: TrapRegs::default(),
         }
     }
 }
@@ -110,6 +114,12 @@ impl<P: CorePort> CycleSim<P> {
         &self.cfg
     }
 
+    /// Override the trap policy after construction. On the dual-CPU chip
+    /// the two CPUs run disjoint programs, so each needs its own vector.
+    pub fn set_trap_policy(&mut self, policy: TrapPolicy) {
+        self.cfg.trap_policy = policy;
+    }
+
     pub fn program(&self) -> &Program {
         &self.prog
     }
@@ -127,6 +137,21 @@ impl<P: CorePort> CycleSim<P> {
 
     pub fn regs_mut(&mut self, i: usize) -> &mut RegFile {
         &mut self.contexts[i].regs
+    }
+
+    /// Trap registers of context `i` (latched by precise trap delivery).
+    pub fn trap_regs(&self, i: usize) -> &TrapRegs {
+        &self.contexts[i].trap
+    }
+
+    /// Current PC of context `i`.
+    pub fn pc(&self, i: usize) -> u32 {
+        self.contexts[i].pc
+    }
+
+    /// PCs of every non-halted context (hang diagnostics).
+    fn stuck_pcs(&self) -> Vec<u32> {
+        self.contexts.iter().filter(|c| !c.halted).map(|c| c.pc).collect()
     }
 
     pub fn lsu_stats(&self) -> &crate::lsu::LsuStats {
@@ -172,9 +197,39 @@ impl<P: CorePort> CycleSim<P> {
         Some(self.active)
     }
 
+    /// Deliver `trap`, raised by the packet at `pc`, at cycle `t`.
+    ///
+    /// Under [`TrapPolicy::Halt`] (or on a double trap, which would lose
+    /// the latched state) the trap surfaces to the caller. Under
+    /// [`TrapPolicy::Vector`] the cause/PCs are latched, fetch redirects to
+    /// the vector (a full front-end refill, like a mispredict), and `npc`
+    /// becomes the `rte` resume point: the faulting packet itself for
+    /// squashed (pre-commit) faults, its successor for post-commit traps.
+    fn deliver(
+        &mut self,
+        ci: usize,
+        trap: Trap,
+        pc: u32,
+        npc: u32,
+        t: u64,
+    ) -> Result<(), SimError> {
+        let TrapPolicy::Vector { base } = self.cfg.trap_policy else {
+            return Err(trap.into());
+        };
+        let ctx = &mut self.contexts[ci];
+        if ctx.trap.active {
+            return Err(trap.into());
+        }
+        ctx.trap.latch(trap, pc, npc);
+        ctx.pc = base;
+        ctx.ready = t + 1 + self.cfg.mispredict_penalty;
+        self.stats.traps += 1;
+        Ok(())
+    }
+
     /// Issue one packet. `Ok(true)` while running, `Ok(false)` when all
     /// contexts have halted.
-    pub fn step(&mut self) -> Result<bool, Trap> {
+    pub fn step(&mut self) -> Result<bool, SimError> {
         for _spin in 0..64 {
             let Some(ci) = self.pick_ctx() else { return Ok(false) };
             let switch = ci != self.active;
@@ -185,7 +240,9 @@ impl<P: CorePort> CycleSim<P> {
 
             let pc = self.contexts[ci].pc;
             let Some(&pkt) = self.prog.fetch(pc) else {
-                return Err(Trap::BadPc { pc, target: pc });
+                let t0 = self.contexts[ci].ready;
+                self.deliver(ci, Trap::BadPc { pc, target: pc }, pc, pc, t0)?;
+                return Ok(!self.halted());
             };
             let pkt_bytes = pkt.len_bytes();
 
@@ -243,23 +300,54 @@ impl<P: CorePort> CycleSim<P> {
             let mut load_avail: Option<u64> = None;
             if let Some(ins) = mem_ins {
                 let before = t;
-                load_avail = self.issue_mem(ci, &ins, &mut t)?;
+                match self.issue_mem(ci, &ins, pc, &mut t) {
+                    Ok(v) => load_avail = v,
+                    // A data error detected at issue: the packet has not
+                    // executed, so squashing it is trivially precise.
+                    Err(SimError::Trap(trap)) => {
+                        self.deliver(ci, trap, pc, pc, t)?;
+                        self.last_issue = t;
+                        self.stats.cycles = t + 1;
+                        return Ok(!self.halted());
+                    }
+                    Err(hang) => return Err(hang),
+                }
                 self.stats.mem_stall_cycles += t - before;
             }
 
             // ---- architectural execution at issue ----
             let mut ws = WriteSet::default();
             let mut flow = Flow::Next;
+            let mut trapped: Option<Trap> = None;
             {
                 let ctx = &mut self.contexts[ci];
                 let mem = self.port.mem();
                 for (_fu, ins) in pkt.slots() {
-                    let out = exec_slot(ins, &ctx.regs, &mut ws, mem, pc, pkt_bytes)?;
-                    if let Some(f) = out.flow {
-                        flow = f;
+                    match exec_slot(ins, &ctx.regs, &mut ws, mem, pc, pkt_bytes) {
+                        Ok(out) => {
+                            if let Some(f) = out.flow {
+                                flow = f;
+                            }
+                        }
+                        Err(trap) => {
+                            trapped = Some(trap);
+                            break;
+                        }
                     }
                 }
-                ws.apply(&mut ctx.regs);
+                if trapped.is_none() {
+                    ws.apply(&mut ctx.regs);
+                }
+            }
+            if let Some(trap) = trapped {
+                // Every trapping instruction is FU0-only, and slot 0
+                // executes first: nothing has committed, so discarding the
+                // write set squashes the whole packet precisely. `rte`
+                // resumes at the squashed packet to re-execute it.
+                self.deliver(ci, trap, pc, pc, t)?;
+                self.last_issue = t;
+                self.stats.cycles = t + 1;
+                return Ok(!self.halted());
             }
 
             // ---- scoreboard update ----
@@ -303,6 +391,8 @@ impl<P: CorePort> CycleSim<P> {
                     Instr::Call { .. } => next_ready = t + 1 + self.cfg.taken_bubble,
                     // Register-indirect: resolves in execute.
                     Instr::Jmpl { .. } => next_ready = t + 1 + self.cfg.mispredict_penalty,
+                    // Trap-register indirect: resolves in the trap stage.
+                    Instr::Rte => next_ready = t + 1 + self.cfg.mispredict_penalty,
                     Instr::Halt => {}
                     _ => {}
                 }
@@ -311,17 +401,28 @@ impl<P: CorePort> CycleSim<P> {
                 next_ready = next_ready.max(self.lsu.quiesce_time());
             }
 
-            let ctx = &mut self.contexts[ci];
-            ctx.ready = next_ready;
+            self.contexts[ci].ready = next_ready;
             match flow {
-                Flow::Next => ctx.pc = pc + pkt_bytes,
+                Flow::Next => self.contexts[ci].pc = pc + pkt_bytes,
                 Flow::Taken(tgt) => {
                     if self.prog.index_of(tgt).is_none() {
-                        return Err(Trap::BadPc { pc, target: tgt });
+                        // The branch packet committed before the Trap stage
+                        // caught the bad target: resume past it.
+                        self.deliver(ci, Trap::BadPc { pc, target: tgt }, pc, pc + pkt_bytes, t)?;
+                    } else {
+                        self.contexts[ci].pc = tgt;
                     }
-                    ctx.pc = tgt;
                 }
-                Flow::Halt => ctx.halted = true,
+                Flow::Rte => {
+                    let tr = self.contexts[ci].trap;
+                    if tr.active {
+                        self.contexts[ci].trap.active = false;
+                        self.contexts[ci].pc = tr.tnpc;
+                    } else {
+                        self.deliver(ci, Trap::BadRte { pc }, pc, pc + pkt_bytes, t)?;
+                    }
+                }
+                Flow::Halt => self.contexts[ci].halted = true,
             }
 
             // ---- accounting ----
@@ -343,13 +444,19 @@ impl<P: CorePort> CycleSim<P> {
             }
             return Ok(!self.halted());
         }
-        // 64 consecutive context switches without an issue: livelock guard.
-        unreachable!("context scheduler failed to make progress");
+        // 64 consecutive context switches without an issue: livelock.
+        Err(SimError::Hang { cycle: self.stats.cycles, pcs: self.stuck_pcs() })
     }
 
     /// Issue slot 0's memory operation through the LSU, advancing `t` over
     /// structural stalls. Returns the data-available cycle for loads.
-    fn issue_mem(&mut self, ci: usize, ins: &Instr, t: &mut u64) -> Result<Option<u64>, Trap> {
+    fn issue_mem(
+        &mut self,
+        ci: usize,
+        ins: &Instr,
+        pc: u32,
+        t: &mut u64,
+    ) -> Result<Option<u64>, SimError> {
         // The architectural address: recompute cheaply from register state.
         let regs = &self.contexts[ci].regs;
         use majc_isa::{Instr::*, Off};
@@ -363,6 +470,7 @@ impl<P: CorePort> CycleSim<P> {
                     majc_isa::CachePolicy::Cached => DPolicy::Cached,
                     majc_isa::CachePolicy::NonCached => DPolicy::NonCached,
                     majc_isa::CachePolicy::NonAllocating => DPolicy::NonAllocating,
+                    majc_isa::CachePolicy::NonFaulting => DPolicy::Cached,
                 };
                 (a, (matches!(ins, Ld { .. }), pol))
             }
@@ -375,17 +483,21 @@ impl<P: CorePort> CycleSim<P> {
             Membar => return Ok(None),
             Cas { base, .. } | Swap { base, .. } => {
                 let a = regs.get(base);
-                loop {
+                for _ in 0..RETRY_BOUND {
                     match self.lsu.atomic(*t, a, &mut self.port, self.cpu) {
                         Ok(avail) => return Ok(Some(avail)),
-                        Err(s) => *t = s.retry_at,
+                        Err(LsuStall::Retry { retry_at }) => *t = retry_at.max(*t + 1),
+                        Err(LsuStall::DataError) => {
+                            return Err(Trap::DataError { pc, addr: a }.into())
+                        }
                     }
                 }
+                return Err(SimError::Hang { cycle: *t, pcs: vec![pc] });
             }
             _ => return Ok(None),
         };
         let (is_load, pol) = kind;
-        loop {
+        for _ in 0..RETRY_BOUND {
             let res = if is_load {
                 self.lsu.load(*t, addr, pol, &mut self.port, self.cpu)
             } else {
@@ -393,15 +505,22 @@ impl<P: CorePort> CycleSim<P> {
             };
             match res {
                 Ok(avail) => return Ok(is_load.then_some(avail)),
-                Err(s) => *t = s.retry_at,
+                Err(LsuStall::Retry { retry_at }) => *t = retry_at.max(*t + 1),
+                Err(LsuStall::DataError) => return Err(Trap::DataError { pc, addr }.into()),
             }
         }
+        Err(SimError::Hang { cycle: *t, pcs: vec![pc] })
     }
 
-    /// Run until halt or `max_packets`; returns the cycle count.
-    pub fn run(&mut self, max_packets: u64) -> Result<u64, Trap> {
+    /// Run until halt or `max_packets`; returns the cycle count. The
+    /// configured cycle watchdog converts a runaway run into a structured
+    /// [`SimError::Hang`] diagnosis instead of spinning forever.
+    pub fn run(&mut self, max_packets: u64) -> Result<u64, SimError> {
         let start = self.stats.packets;
         while self.stats.packets - start < max_packets {
+            if self.stats.cycles > self.cfg.max_cycles {
+                return Err(SimError::Hang { cycle: self.stats.cycles, pcs: self.stuck_pcs() });
+            }
             if !self.step()? {
                 break;
             }
@@ -409,6 +528,11 @@ impl<P: CorePort> CycleSim<P> {
         Ok(self.stats.cycles)
     }
 }
+
+/// Structural-stall retries per memory operation before the machine is
+/// declared hung (a retry always advances time, so a correct program never
+/// gets near this).
+const RETRY_BOUND: u32 = 1_000_000;
 
 fn count_mem(pkt: &Packet, stats: &mut CycleStats) {
     if let Some(ins) = pkt.slot(0) {

@@ -19,6 +19,9 @@ pub enum Flow {
     Next,
     /// Transfer to a packet byte address.
     Taken(u32),
+    /// Return from trap: the simulator resolves the target from its trap
+    /// registers (outside a handler this is itself a trap).
+    Rte,
     /// Stop the machine.
     Halt,
 }
@@ -33,6 +36,11 @@ pub enum Trap {
     DivZero { pc: u32 },
     /// Control transfer to an address that is not a packet boundary.
     BadPc { pc: u32, target: u32 },
+    /// A dirty cache line was lost to a parity error: the only copy of the
+    /// data is gone, so the access cannot be completed transparently.
+    DataError { pc: u32, addr: u32 },
+    /// `rte` executed with no trap being serviced.
+    BadRte { pc: u32 },
 }
 
 impl core::fmt::Display for Trap {
@@ -44,6 +52,12 @@ impl core::fmt::Display for Trap {
             Trap::DivZero { pc } => write!(f, "integer divide by zero at pc {pc:#010x}"),
             Trap::BadPc { pc, target } => {
                 write!(f, "jump to non-packet address {target:#010x} at pc {pc:#010x}")
+            }
+            Trap::DataError { pc, addr } => {
+                write!(f, "unrecoverable data error at {addr:#010x} at pc {pc:#010x}")
+            }
+            Trap::BadRte { pc } => {
+                write!(f, "rte outside a trap handler at pc {pc:#010x}")
             }
         }
     }
@@ -73,6 +87,9 @@ fn pol_of(p: CachePolicy) -> DPolicy {
         CachePolicy::Cached => DPolicy::Cached,
         CachePolicy::NonCached => DPolicy::NonCached,
         CachePolicy::NonAllocating => DPolicy::NonAllocating,
+        // Non-faulting loads move data like ordinary cached loads; the
+        // difference is fault semantics, handled in `exec_slot`.
+        CachePolicy::NonFaulting => DPolicy::Cached,
     }
 }
 
@@ -145,7 +162,20 @@ pub fn exec_slot(
 
         Ld { w, pol, rd, base, off } => {
             let addr = addr_of(regs, base, off);
-            check_align(pc, addr, w)?;
+            if let Err(trap) = check_align(pc, addr, w) {
+                if pol != CachePolicy::NonFaulting {
+                    return Err(trap);
+                }
+                // Non-faulting (speculative) load: the faulting access
+                // returns zero instead of trapping (paper §4), so the
+                // compiler can hoist loads above their guarding branches.
+                for k in 0..w.bytes().div_ceil(4).max(1) {
+                    if let Some(r) = Reg::from_index(rd.index() as u8 + k as u8) {
+                        ws.push(r, 0);
+                    }
+                }
+                return Ok(out);
+            }
             match w {
                 MemWidth::B => ws.push(rd, mem.read_u8(addr) as i8 as i32 as u32),
                 MemWidth::Bu => ws.push(rd, mem.read_u8(addr) as u32),
@@ -154,9 +184,12 @@ pub fn exec_slot(
                 MemWidth::W => ws.push(rd, mem.read_u32(addr)),
                 MemWidth::L => ws.push_u64(rd, mem.read_u64(addr)),
                 MemWidth::G => {
+                    // A group running off the end of the register file
+                    // drops the excess words rather than panicking.
                     for k in 0..8u32 {
-                        let r = Reg::from_index(rd.index() as u8 + k as u8).unwrap();
-                        ws.push(r, mem.read_u32(addr + 4 * k));
+                        if let Some(r) = Reg::from_index(rd.index() as u8 + k as u8) {
+                            ws.push(r, mem.read_u32(addr + 4 * k));
+                        }
                     }
                 }
             }
@@ -167,17 +200,20 @@ pub fn exec_slot(
             let addr = addr_of(regs, base, off);
             check_align(pc, addr, w)?;
             match w {
-                MemWidth::B => mem.write_u8(addr, g(rs) as u8),
-                MemWidth::H => mem.write_u16(addr, g(rs) as u16),
+                // Unsigned widths are load-only sign modes; a malformed
+                // store behaves as its signed twin rather than panicking.
+                MemWidth::B | MemWidth::Bu => mem.write_u8(addr, g(rs) as u8),
+                MemWidth::H | MemWidth::Hu => mem.write_u16(addr, g(rs) as u16),
                 MemWidth::W => mem.write_u32(addr, g(rs)),
                 MemWidth::L => mem.write_u64(addr, regs.get_u64(rs)),
                 MemWidth::G => {
+                    // Registers past the file's end store as zero rather
+                    // than panicking on a malformed encoding.
                     for k in 0..8u32 {
-                        let r = Reg::from_index(rs.index() as u8 + k as u8).unwrap();
-                        mem.write_u32(addr + 4 * k, g(r));
+                        let v = Reg::from_index(rs.index() as u8 + k as u8).map(&g).unwrap_or(0);
+                        mem.write_u32(addr + 4 * k, v);
                     }
                 }
-                MemWidth::Bu | MemWidth::Hu => unreachable!("rejected by validation"),
             }
             out.mem =
                 Some(MemEffect { addr, bytes: w.bytes(), kind: DKind::Store, pol: pol_of(pol) });
@@ -230,6 +266,7 @@ pub fn exec_slot(
             ws.push(rd, pc + pkt_bytes);
             out.flow = Some(Flow::Taken(g(base).wrapping_add(off as i32 as u32)));
         }
+        Rte => out.flow = Some(Flow::Rte),
 
         Div { rd, rs1, rs2 } => {
             if gi(rs2) == 0 {
@@ -330,7 +367,7 @@ pub fn exec_slot(
         ByteShuf { rd, rs, ctl } => {
             // Source bytes 0..8: MSB-first across the pair (rs, rs+1).
             let hi = g(rs).to_be_bytes();
-            let lo = g(Reg::from_index(rs.index() as u8 + 1).unwrap()).to_be_bytes();
+            let lo = Reg::from_index(rs.index() as u8 + 1).map(&g).unwrap_or(0).to_be_bytes();
             let src = [hi[0], hi[1], hi[2], hi[3], lo[0], lo[1], lo[2], lo[3]];
             let c = g(ctl);
             let mut out_bytes = [0u8; 4];
@@ -343,8 +380,8 @@ pub fn exec_slot(
         BitExt { rd, rs, ctl } => {
             // 64-bit window with rs as the most-significant word (a
             // bitstream reads MSB-first).
-            let v =
-                ((g(rs) as u64) << 32) | g(Reg::from_index(rs.index() as u8 + 1).unwrap()) as u64;
+            let v = ((g(rs) as u64) << 32)
+                | Reg::from_index(rs.index() as u8 + 1).map(&g).unwrap_or(0) as u64;
             let c = g(ctl);
             let pos = c & 0x3F;
             let len = ((c >> 8) & 0x1F) + 1;
@@ -543,6 +580,46 @@ mod tests {
             4,
         );
         assert_eq!(res.unwrap_err(), Trap::Misaligned { pc: 0x1000, addr: 0x101 });
+    }
+
+    #[test]
+    fn non_faulting_load_returns_zero() {
+        let (mut r, mut ws, mut m) = setup();
+        m.write_u32(0x100, 0xDEAD_BEEF);
+        r.set(Reg::g(0), 0x101); // misaligned for a word access
+        r.set(Reg::g(1), 77);
+        let out = exec_slot(
+            &Instr::Ld {
+                w: MemWidth::W,
+                pol: CachePolicy::NonFaulting,
+                rd: Reg::g(1),
+                base: Reg::g(0),
+                off: Off::Imm(0),
+            },
+            &r,
+            &mut ws,
+            &mut m,
+            0x1000,
+            4,
+        )
+        .expect("non-faulting load must not trap");
+        assert_eq!(out.mem, None, "faulting .nf load performs no access");
+        ws.apply(&mut r);
+        assert_eq!(r.get(Reg::g(1)), 0, "faulting .nf load returns zero");
+        // An aligned .nf load behaves like a normal load.
+        r.set(Reg::g(0), 0x100);
+        run(
+            Instr::Ld {
+                w: MemWidth::W,
+                pol: CachePolicy::NonFaulting,
+                rd: Reg::g(2),
+                base: Reg::g(0),
+                off: Off::Imm(0),
+            },
+            &mut r,
+            &mut m,
+        );
+        assert_eq!(r.get(Reg::g(2)), 0xDEAD_BEEF);
     }
 
     #[test]

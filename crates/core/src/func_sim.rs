@@ -10,6 +10,7 @@ use majc_mem::FlatMem;
 
 use crate::exec::{exec_slot, Flow, Trap};
 use crate::regfile::{RegFile, WriteSet};
+use crate::trap::TrapRegs;
 
 /// Counters kept by the functional simulator.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,6 +25,8 @@ pub struct FuncStats {
     pub stores: u64,
     pub branches: u64,
     pub taken: u64,
+    /// Traps delivered to the configured vector.
+    pub traps: u64,
 }
 
 /// The functional simulator for one CPU.
@@ -33,6 +36,10 @@ pub struct FuncSim {
     prog: Program,
     pc: u32,
     halted: bool,
+    /// Trap vector: `Some(base)` enables precise vectored delivery,
+    /// matching [`crate::config::TrapPolicy::Vector`] on the cycle model.
+    trap_vector: Option<u32>,
+    trap: TrapRegs,
     pub stats: FuncStats,
 }
 
@@ -40,7 +47,39 @@ impl FuncSim {
     /// Create a simulator positioned at the program's base address.
     pub fn new(prog: Program, mem: FlatMem) -> FuncSim {
         let pc = prog.base();
-        FuncSim { regs: RegFile::new(), mem, prog, pc, halted: false, stats: FuncStats::default() }
+        FuncSim {
+            regs: RegFile::new(),
+            mem,
+            prog,
+            pc,
+            halted: false,
+            trap_vector: None,
+            trap: TrapRegs::default(),
+            stats: FuncStats::default(),
+        }
+    }
+
+    /// Enable vectored trap delivery to the packet at `base`.
+    pub fn set_trap_vector(&mut self, base: u32) {
+        self.trap_vector = Some(base);
+    }
+
+    /// The trap registers (latched by the most recent delivery).
+    pub fn trap_regs(&self) -> &TrapRegs {
+        &self.trap
+    }
+
+    /// Deliver `trap` (see the cycle model's delivery rules: `npc` is the
+    /// `rte` resume point). Errs when no vector is set or on a double trap.
+    fn deliver(&mut self, trap: Trap, pc: u32, npc: u32) -> Result<(), Trap> {
+        let Some(base) = self.trap_vector else { return Err(trap) };
+        if self.trap.active {
+            return Err(trap);
+        }
+        self.trap.latch(trap, pc, npc);
+        self.pc = base;
+        self.stats.traps += 1;
+        Ok(())
     }
 
     pub fn pc(&self) -> u32 {
@@ -61,15 +100,24 @@ impl FuncSim {
         if self.halted {
             return Ok(false);
         }
-        let Some(pkt) = self.prog.fetch(self.pc) else {
-            return Err(Trap::BadPc { pc: self.pc, target: self.pc });
+        let pc = self.pc;
+        let Some(pkt) = self.prog.fetch(pc) else {
+            self.deliver(Trap::BadPc { pc, target: pc }, pc, pc)?;
+            return Ok(true);
         };
         let pkt = *pkt;
         let pkt_bytes = pkt.len_bytes();
         let mut ws = WriteSet::default();
         let mut flow = Flow::Next;
+        let mut trapped: Option<Trap> = None;
         for (_fu, ins) in pkt.slots() {
-            let out = exec_slot(ins, &self.regs, &mut ws, &mut self.mem, self.pc, pkt_bytes)?;
+            let out = match exec_slot(ins, &self.regs, &mut ws, &mut self.mem, pc, pkt_bytes) {
+                Ok(out) => out,
+                Err(trap) => {
+                    trapped = Some(trap);
+                    break;
+                }
+            };
             if let Some(f) = out.flow {
                 flow = f;
             }
@@ -84,6 +132,13 @@ impl FuncSim {
                 self.stats.branches += 1;
             }
         }
+        if let Some(trap) = trapped {
+            // Trapping instructions are FU0-only and execute first, so the
+            // unapplied write set squashes the packet precisely; `rte`
+            // resumes at the squashed packet.
+            self.deliver(trap, pc, pc)?;
+            return Ok(true);
+        }
         ws.apply(&mut self.regs);
         self.stats.packets += 1;
         self.stats.instrs += pkt.width() as u64;
@@ -92,13 +147,23 @@ impl FuncSim {
             self.stats.slot_instrs[fu as usize] += 1;
         }
         match flow {
-            Flow::Next => self.pc += pkt_bytes,
+            Flow::Next => self.pc = pc + pkt_bytes,
             Flow::Taken(t) => {
                 self.stats.taken += 1;
                 if self.prog.index_of(t).is_none() {
-                    return Err(Trap::BadPc { pc: self.pc, target: t });
+                    // The branch packet committed: resume past it.
+                    self.deliver(Trap::BadPc { pc, target: t }, pc, pc + pkt_bytes)?;
+                } else {
+                    self.pc = t;
                 }
-                self.pc = t;
+            }
+            Flow::Rte => {
+                if self.trap.active {
+                    self.trap.active = false;
+                    self.pc = self.trap.tnpc;
+                } else {
+                    self.deliver(Trap::BadRte { pc }, pc, pc + pkt_bytes)?;
+                }
             }
             Flow::Halt => self.halted = true,
         }

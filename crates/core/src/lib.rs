@@ -25,8 +25,9 @@ pub mod predictor;
 pub mod regfile;
 pub mod stats;
 pub mod trace;
+pub mod trap;
 
-pub use config::{BypassModel, ThreadingConfig, TimingConfig};
+pub use config::{BypassModel, ThreadingConfig, TimingConfig, TrapPolicy};
 pub use cycle::CycleSim;
 pub use exec::{branch_taken, exec_slot, Flow, MemEffect, SlotOutcome, Trap};
 pub use func_sim::{FuncSim, FuncStats};
@@ -36,3 +37,4 @@ pub use predictor::{Gshare, PredictorConfig, PredictorStats};
 pub use regfile::{RegFile, WriteSet};
 pub use stats::CycleStats;
 pub use trace::{render as render_trace, TraceRec};
+pub use trap::{SimError, TrapRegs};

@@ -30,11 +30,14 @@ pub struct LsuStats {
     pub mshr_stalls: u64,
 }
 
-/// Why a memory operation could not issue this cycle.
+/// Why a memory operation could not complete this cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LsuStall {
-    /// Earliest cycle at which a retry can succeed.
-    pub retry_at: u64,
+pub enum LsuStall {
+    /// Structural stall: retry no earlier than `retry_at`.
+    Retry { retry_at: u64 },
+    /// The access hit a line whose only copy of the data was lost (dirty
+    /// parity error); the core must take a data-error trap.
+    DataError,
 }
 
 /// Timing state of one CPU's LSU.
@@ -92,7 +95,7 @@ impl Lsu {
             self.stats.load_buf_stalls += 1;
             // Retry when the earliest outstanding load returns.
             let retry = self.loads.iter().copied().min().unwrap_or(t + 1).max(t + 1);
-            return Err(LsuStall { retry_at: retry });
+            return Err(LsuStall::Retry { retry_at: retry });
         }
         let at = t.max(self.port_next);
         match port.daccess(at, cpu, addr, DKind::Load, pol) {
@@ -104,8 +107,9 @@ impl Lsu {
             }
             Err(DStall::MshrFull) => {
                 self.stats.mshr_stalls += 1;
-                Err(LsuStall { retry_at: at + 1 })
+                Err(LsuStall::Retry { retry_at: at + 1 })
             }
+            Err(DStall::DataError) => Err(LsuStall::DataError),
         }
     }
 
@@ -124,7 +128,7 @@ impl Lsu {
         if self.stores.len() >= self.store_buf {
             self.stats.store_buf_stalls += 1;
             let retry = self.stores.iter().copied().min().unwrap_or(t + 1).max(t + 1);
-            return Err(LsuStall { retry_at: retry });
+            return Err(LsuStall::Retry { retry_at: retry });
         }
         // Drain: first port slot after issue.
         let mut at = (t + 1).max(self.port_next);
@@ -137,9 +141,12 @@ impl Lsu {
                     return Ok(done.max(at));
                 }
                 Err(DStall::MshrFull) => at += 1,
+                Err(DStall::DataError) => return Err(LsuStall::DataError),
             }
         }
-        unreachable!("store drain starved for 100k cycles");
+        // A drain starved this long means the memory system is wedged;
+        // surface it as a stall so the core's watchdog can diagnose a hang.
+        Err(LsuStall::Retry { retry_at: at })
     }
 
     /// Issue an atomic at cycle `t`. Atomics are ordering points: all older
@@ -163,8 +170,9 @@ impl Lsu {
             }
             Err(DStall::MshrFull) => {
                 self.stats.mshr_stalls += 1;
-                Err(LsuStall { retry_at: at + 1 })
+                Err(LsuStall::Retry { retry_at: at + 1 })
             }
+            Err(DStall::DataError) => Err(LsuStall::DataError),
         }
     }
 
@@ -206,7 +214,7 @@ mod tests {
         // Fifth load: MSHRs are full (cache-level), so it stalls even
         // though a load-buffer slot is free.
         let e = lsu.load(0, 4 * 0x1000, DPolicy::Cached, &mut p, 0).unwrap_err();
-        assert!(e.retry_at > 0);
+        assert!(matches!(e, LsuStall::Retry { retry_at } if retry_at > 0));
         assert_eq!(lsu.stats.mshr_stalls, 1);
     }
 
@@ -222,7 +230,7 @@ mod tests {
         }
         assert_eq!(lsu.loads_in_flight(), 5);
         let e = lsu.load(t, 24, DPolicy::Cached, &mut p, 0).unwrap_err();
-        assert!(e.retry_at > t);
+        assert!(matches!(e, LsuStall::Retry { retry_at } if retry_at > t));
         assert_eq!(lsu.stats.load_buf_stalls, 1);
     }
 

@@ -5,8 +5,8 @@
 //! share the dual-ported D-cache and reach DRAM through the crossbar.
 
 use majc_mem::{
-    DCache, DCacheConfig, DKind, DPolicy, DStall, Dram, DramConfig, FlatMem, ICache, ICacheConfig,
-    MemBackend, PerfectMem,
+    DCache, DCacheConfig, DKind, DPolicy, DStall, Dram, DramConfig, FaultPlan, FaultSite, FlatMem,
+    ICache, ICacheConfig, MemBackend, PerfectMem,
 };
 
 /// What the pipeline needs from the memory system: architectural data,
@@ -83,6 +83,34 @@ impl LocalMemSys {
     pub fn with_mem(mut self, mem: FlatMem) -> LocalMemSys {
         self.mem = mem;
         self
+    }
+
+    /// Arm deterministic fault injection at every site this memory system
+    /// owns (I-cache and D-cache parity, DRDRAM transfer errors).
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.icache.fault = plan.injector(FaultSite::ICacheParity);
+        self.dcache.fault = plan.injector(FaultSite::DCacheParity);
+        if let Backend::Dram(d) = &mut self.backend {
+            d.fault = plan.injector(FaultSite::DramTransfer);
+        }
+    }
+
+    /// Every fault event injected so far, across all armed sites, in a
+    /// stable site order (the deterministic injection trace).
+    pub fn fault_events(&self) -> Vec<majc_mem::FaultEvent> {
+        let mut out = Vec::new();
+        if let Some(f) = &self.icache.fault {
+            out.extend_from_slice(&f.events);
+        }
+        if let Some(f) = &self.dcache.fault {
+            out.extend_from_slice(&f.events);
+        }
+        if let Backend::Dram(d) = &self.backend {
+            if let Some(f) = &d.fault {
+                out.extend_from_slice(&f.events);
+            }
+        }
+        out
     }
 
     /// Start a new measurement epoch: caches stay warm, but all in-flight

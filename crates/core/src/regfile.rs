@@ -99,7 +99,11 @@ impl WriteSet {
     #[inline]
     pub fn push_u64(&mut self, r: Reg, val: u64) {
         self.push(r, val as u32);
-        self.push(Reg::from_index(r.index() as u8 + 1).unwrap(), (val >> 32) as u32);
+        // A pair running off the end of the register file drops its high
+        // word rather than panicking on a malformed encoding.
+        if let Some(hi) = Reg::from_index(r.index() as u8 + 1) {
+            self.push(hi, (val >> 32) as u32);
+        }
     }
 
     #[inline]
@@ -123,7 +127,10 @@ impl WriteSet {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (Reg, u32)> + '_ {
-        self.entries[..self.len as usize].iter().map(|&(i, v)| (Reg::from_index(i).unwrap(), v))
+        // Indices come from `push`, which only accepts valid registers.
+        self.entries[..self.len as usize]
+            .iter()
+            .filter_map(|&(i, v)| Reg::from_index(i).map(|r| (r, v)))
     }
 
     /// Apply all buffered writes to the register file.

@@ -24,6 +24,8 @@ pub struct CycleStats {
     pub branch: PredictorStats,
     pub mispredicts: u64,
     pub context_switches: u64,
+    /// Traps delivered to the configured vector (precise delivery).
+    pub traps: u64,
 }
 
 impl CycleStats {

@@ -24,7 +24,7 @@ pub fn render(trace: &[TraceRec], max_rows: usize) -> String {
     out.push_str("cycle:      ");
     let span = trace.iter().take(max_rows).map(|r| r.issue - origin).max().unwrap_or(0) as usize;
     for c in 0..=span.min(70) {
-        out.push(char::from_digit((c % 10) as u32, 10).unwrap());
+        out.push(char::from_digit((c % 10) as u32, 10).unwrap_or('?'));
     }
     out.push('\n');
     for r in trace.iter().take(max_rows) {

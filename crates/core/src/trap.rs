@@ -1,0 +1,125 @@
+//! Trap registers and structured simulation failures.
+//!
+//! The paper's pipeline ends in a Trap stage (§3.2, Figure 2) and the
+//! machine "provides precise exception handling capabilities for most
+//! instructions". This module holds the per-context trap-register file that
+//! precise delivery latches into, and the error type simulations surface
+//! when they cannot continue (an unhandled trap, or a hang caught by the
+//! watchdog).
+
+use crate::exec::Trap;
+
+/// Architected trap-cause codes (the value a handler reads from
+/// [`TrapRegs::cause`]).
+pub mod cause {
+    /// Access not aligned to its natural width.
+    pub const MISALIGNED: u32 = 1;
+    /// Integer divide by zero.
+    pub const DIV_ZERO: u32 = 2;
+    /// Control transfer to a non-packet address.
+    pub const BAD_PC: u32 = 3;
+    /// Unrecoverable data error (dirty line lost to a parity fault).
+    pub const DATA_ERROR: u32 = 4;
+    /// `rte` outside a trap handler.
+    pub const BAD_RTE: u32 = 5;
+}
+
+/// Per-context trap registers, latched by precise trap delivery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrapRegs {
+    /// Cause code (see [`cause`]).
+    pub cause: u32,
+    /// PC of the faulting packet.
+    pub tpc: u32,
+    /// PC `rte` resumes at (the packet after the faulting one).
+    pub tnpc: u32,
+    /// Faulting data address, when the cause has one.
+    pub bad_addr: u32,
+    /// A trap is being serviced; a second trap while set is fatal
+    /// (the latched state would be lost).
+    pub active: bool,
+}
+
+impl TrapRegs {
+    /// Latch `trap` raised by the packet at `pc` whose successor is `npc`.
+    pub fn latch(&mut self, trap: Trap, pc: u32, npc: u32) {
+        let (cause, bad_addr) = match trap {
+            Trap::Misaligned { addr, .. } => (cause::MISALIGNED, addr),
+            Trap::DivZero { .. } => (cause::DIV_ZERO, 0),
+            Trap::BadPc { target, .. } => (cause::BAD_PC, target),
+            Trap::DataError { addr, .. } => (cause::DATA_ERROR, addr),
+            Trap::BadRte { .. } => (cause::BAD_RTE, 0),
+        };
+        *self = TrapRegs { cause, tpc: pc, tnpc: npc, bad_addr, active: true };
+    }
+}
+
+/// Why a simulation stopped without reaching `halt`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An unhandled trap (no vector configured, or a double trap).
+    Trap(Trap),
+    /// The watchdog fired: no context halted within the cycle budget, or
+    /// the machine stopped making forward progress. `pcs` holds the PC of
+    /// each stuck CPU/context.
+    Hang { cycle: u64, pcs: Vec<u32> },
+}
+
+impl From<Trap> for SimError {
+    fn from(t: Trap) -> SimError {
+        SimError::Trap(t)
+    }
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Trap(t) => write!(f, "unhandled trap: {t}"),
+            SimError::Hang { cycle, pcs } => {
+                write!(f, "hang detected at cycle {cycle}; stuck at pcs [")?;
+                for (i, pc) in pcs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{pc:#010x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_fills_registers() {
+        let mut tr = TrapRegs::default();
+        tr.latch(Trap::Misaligned { pc: 0x40, addr: 0x101 }, 0x40, 0x44);
+        assert_eq!(
+            tr,
+            TrapRegs {
+                cause: cause::MISALIGNED,
+                tpc: 0x40,
+                tnpc: 0x44,
+                bad_addr: 0x101,
+                active: true
+            }
+        );
+        tr.latch(Trap::DivZero { pc: 0x48 }, 0x48, 0x4C);
+        assert_eq!(tr.cause, cause::DIV_ZERO);
+        assert_eq!(tr.bad_addr, 0);
+    }
+
+    #[test]
+    fn sim_error_formats() {
+        let e = SimError::from(Trap::DivZero { pc: 0x40 });
+        assert!(e.to_string().contains("divide by zero"));
+        let h = SimError::Hang { cycle: 99, pcs: vec![0x10, 0x20] };
+        assert!(h.to_string().contains("cycle 99"));
+        assert!(h.to_string().contains("0x00000010"));
+    }
+}

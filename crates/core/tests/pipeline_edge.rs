@@ -3,7 +3,7 @@
 //! the behaviours paper §3.2/§4 specifies beyond plain dataflow.
 
 use majc_asm::Asm;
-use majc_core::{CycleSim, FuncSim, LocalMemSys, PerfectPort, TimingConfig, Trap};
+use majc_core::{CycleSim, FuncSim, LocalMemSys, PerfectPort, SimError, TimingConfig, Trap};
 use majc_isa::{AluOp, CachePolicy, Cond, Instr, MemWidth, Off, Program, Reg, Src};
 use majc_mem::FlatMem;
 
@@ -38,7 +38,7 @@ fn misaligned_load_traps_in_both_simulators() {
             Err(e) => break e,
         }
     };
-    assert_eq!(e1, e2);
+    assert_eq!(SimError::from(e1), e2);
     assert!(matches!(e1, Trap::Misaligned { addr: 0x1001, .. }));
 }
 
@@ -51,7 +51,150 @@ fn divide_by_zero_is_a_precise_trap() {
     let prog = a.finish().unwrap();
     let mut c = CycleSim::new(prog, PerfectPort::new(), TimingConfig::default());
     let e = c.run(100).unwrap_err();
-    assert!(matches!(e, Trap::DivZero { .. }));
+    assert!(matches!(e, SimError::Trap(Trap::DivZero { .. })));
+}
+
+#[test]
+fn vectored_trap_delivery_recovers_a_misaligned_load() {
+    use majc_core::{trap::cause, TrapPolicy};
+    use majc_isa::Packet;
+    // Handler at packet 4 masks the low address bits and retries the load.
+    let pkts = vec![
+        Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0x101 }).unwrap(),
+        Packet::solo(ld(Reg::g(1), Reg::g(0), 0)).unwrap(),
+        Packet::solo(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::g(2),
+            rs1: Reg::g(1),
+            src2: Src::Imm(1),
+        })
+        .unwrap(),
+        Packet::solo(Instr::Halt).unwrap(),
+        // handler:
+        Packet::solo(Instr::Alu {
+            op: AluOp::And,
+            rd: Reg::g(0),
+            rs1: Reg::g(0),
+            src2: Src::Imm(-4),
+        })
+        .unwrap(),
+        Packet::solo(Instr::Rte).unwrap(),
+    ];
+    let prog = Program::new(0, pkts);
+    let vector = prog.addr_of(4);
+
+    let mut mem = FlatMem::new();
+    mem.write_u32(0x100, 41);
+    let mut f = FuncSim::new(prog.clone(), mem.clone());
+    f.set_trap_vector(vector);
+    f.run(100).unwrap();
+    assert!(f.halted());
+    assert_eq!(f.regs.get(Reg::g(2)), 42, "functional sim recovers through the handler");
+    assert_eq!(f.stats.traps, 1);
+    assert_eq!(f.trap_regs().cause, cause::MISALIGNED);
+    assert!(!f.trap_regs().active, "rte leaves trap state");
+
+    let cfg =
+        TimingConfig { trap_policy: TrapPolicy::Vector { base: vector }, ..Default::default() };
+    let mut c = CycleSim::new(prog, PerfectPort::new().with_mem(mem), cfg);
+    c.run(100).unwrap();
+    assert!(c.halted());
+    assert_eq!(c.regs(0).get(Reg::g(2)), 42, "cycle sim recovers through the handler");
+    assert_eq!(c.stats.traps, 1);
+    assert_eq!(c.trap_regs(0).tpc, 4, "faulting packet latched");
+    assert_eq!(c.trap_regs(0).bad_addr, 0x101);
+    assert!(!c.trap_regs(0).active);
+}
+
+#[test]
+fn trap_handler_can_repair_a_divide_by_zero() {
+    use majc_core::TrapPolicy;
+    use majc_isa::Packet;
+    let pkts = vec![
+        Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 12 }).unwrap(),
+        Packet::solo(Instr::Div { rd: Reg::g(1), rs1: Reg::g(0), rs2: Reg::g(2) }).unwrap(),
+        Packet::solo(Instr::Halt).unwrap(),
+        // handler: install a non-zero divisor, then re-execute the divide.
+        Packet::solo(Instr::SetLo { rd: Reg::g(2), imm: 4 }).unwrap(),
+        Packet::solo(Instr::Rte).unwrap(),
+    ];
+    let prog = Program::new(0, pkts);
+    let vector = prog.addr_of(3);
+    let cfg =
+        TimingConfig { trap_policy: TrapPolicy::Vector { base: vector }, ..Default::default() };
+    let mut c = CycleSim::new(prog, PerfectPort::new(), cfg);
+    c.run(100).unwrap();
+    assert!(c.halted());
+    assert_eq!(c.regs(0).get(Reg::g(1)), 3, "retried divide uses the repaired divisor");
+    assert_eq!(c.stats.traps, 1);
+}
+
+#[test]
+fn rte_outside_a_handler_traps() {
+    use majc_core::{trap::cause, TrapPolicy};
+    use majc_isa::Packet;
+    let prog = Program::new(
+        0,
+        vec![Packet::solo(Instr::Rte).unwrap(), Packet::solo(Instr::Halt).unwrap()],
+    );
+    // Bare machine: surfaces as an error.
+    let mut c = CycleSim::new(prog.clone(), PerfectPort::new(), TimingConfig::default());
+    let e = c.run(100).unwrap_err();
+    assert!(matches!(e, SimError::Trap(Trap::BadRte { pc: 0 })));
+    // Vectored: delivered like any other trap, resuming past the bad rte.
+    let vector = prog.addr_of(1); // "handler" is just the halt
+    let cfg =
+        TimingConfig { trap_policy: TrapPolicy::Vector { base: vector }, ..Default::default() };
+    let mut c = CycleSim::new(prog, PerfectPort::new(), cfg);
+    c.run(100).unwrap();
+    assert!(c.halted());
+    assert_eq!(c.trap_regs(0).cause, cause::BAD_RTE);
+}
+
+#[test]
+fn double_trap_is_fatal() {
+    use majc_core::TrapPolicy;
+    use majc_isa::Packet;
+    // The handler divides by zero again while the first trap is still
+    // active; the machine has nowhere to go, so the run errors out.
+    let pkts = vec![
+        Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 12 }).unwrap(),
+        Packet::solo(Instr::Div { rd: Reg::g(1), rs1: Reg::g(0), rs2: Reg::g(2) }).unwrap(),
+        Packet::solo(Instr::Halt).unwrap(),
+        // handler: faults again (g2 still zero) with the trap active.
+        Packet::solo(Instr::Div { rd: Reg::g(3), rs1: Reg::g(0), rs2: Reg::g(2) }).unwrap(),
+        Packet::solo(Instr::Rte).unwrap(),
+    ];
+    let prog = Program::new(0, pkts);
+    let vector = prog.addr_of(3);
+    let cfg =
+        TimingConfig { trap_policy: TrapPolicy::Vector { base: vector }, ..Default::default() };
+    let mut c = CycleSim::new(prog, PerfectPort::new(), cfg);
+    let e = c.run(100).unwrap_err();
+    assert!(matches!(e, SimError::Trap(Trap::DivZero { .. })), "double trap surfaces: {e:?}");
+}
+
+#[test]
+fn watchdog_diagnoses_an_infinite_loop_as_a_hang() {
+    use majc_isa::{Cond, Packet};
+    // br.eq g0, self: g0 is zero, so the branch spins forever.
+    let prog = Program::new(
+        0,
+        vec![
+            Packet::solo(Instr::Br { cond: Cond::Eq, rs: Reg::g(0), off: 0, hint: true }).unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ],
+    );
+    let cfg = TimingConfig { max_cycles: 5_000, ..Default::default() };
+    let mut c = CycleSim::new(prog, PerfectPort::new(), cfg);
+    let e = c.run(u64::MAX).unwrap_err();
+    match e {
+        SimError::Hang { cycle, pcs } => {
+            assert!(cycle > 5_000);
+            assert_eq!(pcs, vec![0], "the stuck PC is reported");
+        }
+        other => panic!("expected a hang, got {other:?}"),
+    }
 }
 
 #[test]

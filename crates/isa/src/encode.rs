@@ -89,6 +89,7 @@ const OP_DMAX: u32 = 0x61;
 const OP_DNEG: u32 = 0x62;
 const OP_DCMP: u32 = 0x63;
 const OP_CVT: u32 = 0x64;
+const OP_RTE: u32 = 0x65;
 
 // --------------------------- field helpers ---------------------------
 
@@ -162,6 +163,7 @@ pub fn encode_instr(ins: &Instr, fu: u8) -> Result<u32, IsaError> {
         Nop => word(OP_NOP, 0),
         Halt => word(OP_HALT, 0),
         Membar => word(OP_MEMBAR, 0),
+        Rte => word(OP_RTE, 0),
         Prefetch { base, off } => word(OP_PREFETCH, (r(base)? << 16) | mask(off as i64, 16)),
         Ld { w, pol, rd, base, off } => {
             let (op_base, off_field) = match off {
@@ -318,6 +320,7 @@ pub fn decode_instr(w: u32, fu: u8) -> Result<Instr, IsaError> {
         OP_NOP => Nop,
         OP_HALT => Halt,
         OP_MEMBAR => Membar,
+        OP_RTE => Rte,
         OP_PREFETCH => Prefetch { base: r(rd)?, off: sext(p & 0xFFFF, 16) as i16 },
         o if (OP_LD_I..OP_LD_I + 7).contains(&o) || (OP_LD_R..OP_LD_R + 7).contains(&o) => {
             let imm_form = o < OP_LD_R;
@@ -516,6 +519,17 @@ mod tests {
             (Instr::Nop, 0),
             (Instr::Halt, 0),
             (Instr::Membar, 0),
+            (Instr::Rte, 0),
+            (
+                Instr::Ld {
+                    w: MemWidth::W,
+                    pol: CachePolicy::NonFaulting,
+                    rd: Reg::g(7),
+                    base: Reg::g(11),
+                    off: Off::Imm(8),
+                },
+                0,
+            ),
             (
                 Instr::Ld {
                     w: MemWidth::W,

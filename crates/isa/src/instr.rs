@@ -141,6 +141,10 @@ pub enum Instr {
         base: Reg,
         off: i16,
     },
+    /// Return from trap: restore the PC saved by the trap-delivery hardware
+    /// and leave trap state. Only meaningful inside a trap handler (the
+    /// paper's pipeline ends in a Trap stage, §3.1).
+    Rte,
 
     // --------------------- FU0: long-latency math ---------------------
     /// Non-pipelined 32-bit signed divide.
@@ -438,7 +442,7 @@ impl Instr {
             | Membar
             | Cas { .. }
             | Swap { .. } => FU0_ONLY,
-            Br { .. } | Call { .. } | Jmpl { .. } => FU0_ONLY,
+            Br { .. } | Call { .. } | Jmpl { .. } | Rte => FU0_ONLY,
             Div { .. } | Rem { .. } | FDiv { .. } | FRsqrt { .. } | PDiv { .. } | PRsqrt { .. } => {
                 FU0_ONLY
             }
@@ -493,7 +497,7 @@ impl Instr {
         match self {
             Ld { .. } | Cas { .. } | Swap { .. } => LatClass::Load,
             St { .. } | CSt { .. } | Prefetch { .. } | Membar => LatClass::Store,
-            Br { .. } | Call { .. } | Jmpl { .. } | Halt => LatClass::Branch,
+            Br { .. } | Call { .. } | Jmpl { .. } | Rte | Halt => LatClass::Branch,
             Div { .. } | Rem { .. } => LatClass::IDiv,
             FDiv { .. } | FRsqrt { .. } | PDiv { .. } | PRsqrt { .. } => LatClass::Div6,
             Mul { .. } | MulHi { .. } | MulAdd { .. } | MulSub { .. } => LatClass::Mul,
@@ -526,7 +530,10 @@ impl Instr {
 
     /// True for control-transfer instructions.
     pub fn is_control(&self) -> bool {
-        matches!(self, Instr::Br { .. } | Instr::Call { .. } | Instr::Jmpl { .. } | Instr::Halt)
+        matches!(
+            self,
+            Instr::Br { .. } | Instr::Call { .. } | Instr::Jmpl { .. } | Instr::Rte | Instr::Halt
+        )
     }
 
     /// Registers written by this instruction.
@@ -581,7 +588,7 @@ impl Instr {
             | DNeg { rd, .. } => l.push_span(rd, 2),
             DCmp { rd, .. } => l.push(rd),
             Cvt { kind, rd, .. } => l.push_span(rd, if kind.dst_is_pair() { 2 } else { 1 }),
-            Nop | Halt | St { .. } | CSt { .. } | Prefetch { .. } | Membar | Br { .. } => {}
+            Nop | Halt | Rte | St { .. } | CSt { .. } | Prefetch { .. } | Membar | Br { .. } => {}
         }
         l
     }
@@ -697,7 +704,7 @@ impl Instr {
             }
             DNeg { rs, .. } => l.push_span(rs, 2),
             Cvt { kind, rs, .. } => l.push_span(rs, if kind.src_is_pair() { 2 } else { 1 }),
-            Nop | Halt | Membar | Call { .. } => {}
+            Nop | Halt | Rte | Membar | Call { .. } => {}
         }
         l
     }
@@ -733,7 +740,12 @@ impl Instr {
         use Instr::*;
         let ok = match *self {
             Ld { w, rd, .. } => group_ok(rd, w.regs() as usize),
-            St { w, rs, .. } => w.valid_for_store() && group_ok(rs, w.regs() as usize),
+            // Non-faulting only makes sense for speculative loads.
+            St { w, pol, rs, .. } => {
+                w.valid_for_store()
+                    && pol != CachePolicy::NonFaulting
+                    && group_ok(rs, w.regs() as usize)
+            }
             DAdd { rd, rs1, rs2 }
             | DSub { rd, rs1, rs2 }
             | DMul { rd, rs1, rs2 }

@@ -276,8 +276,8 @@ impl MemWidth {
     }
 }
 
-/// Cacheability policy of a load/store (paper §4: cached, non-cached, or
-/// non-allocating).
+/// Cacheability policy of a load/store (paper §4: cached, non-cached,
+/// non-allocating, or non-faulting).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum CachePolicy {
     #[default]
@@ -285,11 +285,18 @@ pub enum CachePolicy {
     NonCached,
     /// Hits are serviced by the cache; misses bypass allocation.
     NonAllocating,
+    /// Speculative load that returns zero instead of trapping on a fault
+    /// (paper §4 pairs this with the non-faulting block prefetch).
+    NonFaulting,
 }
 
 impl CachePolicy {
-    pub const ALL: [CachePolicy; 3] =
-        [CachePolicy::Cached, CachePolicy::NonCached, CachePolicy::NonAllocating];
+    pub const ALL: [CachePolicy; 4] = [
+        CachePolicy::Cached,
+        CachePolicy::NonCached,
+        CachePolicy::NonAllocating,
+        CachePolicy::NonFaulting,
+    ];
 
     #[inline]
     pub const fn encode(self) -> u32 {
@@ -297,6 +304,7 @@ impl CachePolicy {
             CachePolicy::Cached => 0,
             CachePolicy::NonCached => 1,
             CachePolicy::NonAllocating => 2,
+            CachePolicy::NonFaulting => 3,
         }
     }
 
@@ -305,6 +313,7 @@ impl CachePolicy {
         match bits & 3 {
             1 => CachePolicy::NonCached,
             2 => CachePolicy::NonAllocating,
+            3 => CachePolicy::NonFaulting,
             _ => CachePolicy::Cached,
         }
     }
@@ -314,6 +323,7 @@ impl CachePolicy {
             CachePolicy::Cached => "",
             CachePolicy::NonCached => ".nc",
             CachePolicy::NonAllocating => ".na",
+            CachePolicy::NonFaulting => ".nf",
         }
     }
 }

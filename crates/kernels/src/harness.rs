@@ -7,7 +7,7 @@
 //! the real DRDRAM memory system or perfect memory (the paper's "without
 //! memory effects").
 
-use majc_core::{CycleSim, CycleStats, FuncSim, LocalMemSys, PerfectPort, TimingConfig, Trap};
+use majc_core::{CycleSim, CycleStats, FuncSim, LocalMemSys, PerfectPort, SimError, TimingConfig};
 use majc_isa::Program;
 use majc_mem::FlatMem;
 
@@ -90,10 +90,10 @@ pub fn run_cycle_limit(
     }
 }
 
-fn expect_halt(res: Result<u64, Trap>, halted: bool) {
+fn expect_halt(res: Result<u64, SimError>, halted: bool) {
     match res {
         Ok(_) => assert!(halted, "kernel did not halt within the packet budget"),
-        Err(t) => panic!("kernel trapped: {t}"),
+        Err(e) => panic!("kernel failed: {e}"),
     }
 }
 

@@ -39,6 +39,13 @@ pub struct Cfg {
 
 impl Cfg {
     pub fn build(prog: &Program) -> Cfg {
+        Cfg::build_with_entries(prog, &[])
+    }
+
+    /// Build with extra entry points: trap-vector addresses are reachable
+    /// by hardware trap delivery even though no static edge targets them,
+    /// so handlers must not be reported unreachable.
+    pub fn build_with_entries(prog: &Program, entries: &[u32]) -> Cfg {
         let n = prog.len();
         let mut succs: Vec<Vec<(usize, Edge)>> = vec![Vec::new(); n];
         let mut has_indirect = false;
@@ -95,6 +102,10 @@ impl Cfg {
                 }
                 Some(Instr::Jmpl { .. }) => has_indirect = true,
                 Some(Instr::Halt) => {}
+                // `rte` returns through the trap registers: its successor
+                // is dynamic (the trapped packet), so it terminates the
+                // static path like `halt` does.
+                Some(Instr::Rte) => {}
                 Some(_) => unreachable!("control() returns transfers only"),
             }
         }
@@ -107,6 +118,15 @@ impl Cfg {
         } else if n > 0 {
             let mut stack = vec![0usize];
             reachable[0] = true;
+            // Trap vectors are hardware entry points.
+            for &addr in entries {
+                if let Some(t) = prog.index_of(addr) {
+                    if !reachable[t] {
+                        reachable[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
             while let Some(i) = stack.pop() {
                 for &(s, _) in &succs[i] {
                     if !reachable[s] {
@@ -125,7 +145,8 @@ impl Cfg {
     pub fn is_exit(&self, i: usize, prog: &Program) -> bool {
         let pkt = &prog.packets()[i];
         match pkt.control() {
-            Some(Instr::Halt) | Some(Instr::Jmpl { .. }) => true,
+            // `rte` hands state back to the interrupted program.
+            Some(Instr::Halt) | Some(Instr::Jmpl { .. }) | Some(Instr::Rte) => true,
             // A node whose successors are missing (bad target / off-end)
             // traps with architectural state visible.
             _ => self.succs[i].is_empty(),

@@ -70,6 +70,10 @@ pub struct LintOptions {
     /// harness may have preset *any* register, disabling use-before-def;
     /// `Some(set)` enables it with exactly that calling convention.
     pub entry_defined: Option<Vec<Reg>>,
+    /// Trap-vector addresses. Hardware trap delivery enters these packets
+    /// directly, so the handlers they start (typically ending in `rte`)
+    /// are reachable even without a static edge into them.
+    pub trap_vectors: Vec<u32>,
 }
 
 impl LintOptions {
@@ -80,6 +84,7 @@ impl LintOptions {
             timing: TimingConfig::default(),
             exposed_latencies: true,
             entry_defined: Some(Vec::new()),
+            trap_vectors: Vec::new(),
         }
     }
 }
@@ -135,7 +140,7 @@ impl core::fmt::Display for Report {
 /// Statically verify a whole program.
 pub fn lint(prog: &Program, opts: &LintOptions) -> Report {
     let mut diags = Vec::new();
-    let cfg = Cfg::build(prog);
+    let cfg = Cfg::build_with_entries(prog, &opts.trap_vectors);
     diags.extend(cfg.diags.iter().cloned());
 
     dataflow::check_unreachable(prog, &cfg, &mut diags);
@@ -174,6 +179,26 @@ mod tests {
         let r = lint(&p, &LintOptions::strict());
         assert!(r.is_clean(), "{r}");
         assert_eq!(r.to_json(), "[]");
+    }
+
+    #[test]
+    fn trap_handler_is_reachable_through_its_vector() {
+        // A handler (packet 2, ending in rte) with no static edge into it.
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 7 }).unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+                Packet::solo(Instr::SetLo { rd: Reg::g(2), imm: 4 }).unwrap(),
+                Packet::solo(Instr::Rte).unwrap(),
+            ],
+        );
+        let bare = lint(&p, &LintOptions::default());
+        assert!(bare.has(Kind::Unreachable), "without the vector the handler is dead code");
+        let opts = LintOptions { trap_vectors: vec![p.addr_of(2)], ..Default::default() };
+        let vectored = lint(&p, &opts);
+        assert!(!vectored.has(Kind::Unreachable), "trap delivery reaches the handler: {vectored}");
+        assert!(vectored.is_clean(), "{vectored}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! execution" and out-of-order data returns (§3.2).
 
 use crate::dram::MemBackend;
+use crate::fault::FaultInjector;
 use crate::tags::{CacheStats, TagArray, Victim};
 
 /// Access kinds the LSU can present.
@@ -39,6 +40,10 @@ pub enum DPolicy {
 pub enum DStall {
     /// All MSHRs are in flight; retry next cycle.
     MshrFull,
+    /// A parity error hit a *dirty* line: its contents exist nowhere else,
+    /// so the access cannot be serviced. The core must raise a data-error
+    /// trap (clean lines recover transparently by invalidate-and-refill).
+    DataError,
 }
 
 /// Configuration of the data cache.
@@ -90,6 +95,8 @@ pub struct DCache {
     pub prefetches: u64,
     pub prefetch_drops: u64,
     pub mshr_stall_cycles: u64,
+    /// Parity bit-flip source (None = fault-free).
+    pub fault: Option<FaultInjector>,
 }
 
 impl DCache {
@@ -102,6 +109,7 @@ impl DCache {
             prefetches: 0,
             prefetch_drops: 0,
             mshr_stall_cycles: 0,
+            fault: None,
         }
     }
 
@@ -149,6 +157,24 @@ impl DCache {
         self.port_accesses[port.min(1)] += 1;
         let line = self.tags.line_addr(addr);
         let is_write = matches!(kind, DKind::Store | DKind::Atomic);
+
+        // Fault injection: a bit flip lands on the accessed line if it is
+        // resident; the parity check below catches it. Prefetches are
+        // non-faulting, so a bad line is left for a demand access to find.
+        if let Some(f) = self.fault.as_mut() {
+            if f.roll() && self.tags.poison(addr) {
+                f.record(now, addr);
+            }
+        }
+        if kind != DKind::Prefetch {
+            match self.tags.take_parity_error(addr) {
+                // Dirty data was lost with the line: unrecoverable here.
+                Some(true) => return Err(DStall::DataError),
+                // Clean line: invalidate-and-refill (the miss path below).
+                Some(false) => self.tags.stats.parity_recoveries += 1,
+                None => {}
+            }
+        }
 
         if kind == DKind::Prefetch {
             self.prefetches += 1;
@@ -326,6 +352,30 @@ mod tests {
         // Run far ahead so fills retire.
         c.access(10_000, 0, 0x600 + 4096 * 5, DKind::Load, DPolicy::Cached, &mut p).unwrap();
         assert!(c.stats().writebacks > 0, "dirty victim must write back");
+    }
+
+    #[test]
+    fn parity_error_on_clean_line_recovers_as_miss() {
+        use crate::fault::{FaultInjector, FaultSite};
+        let (mut c, mut p) = (DCache::default(), PerfectMem { latency: 10 });
+        // Warm the line, then inject on every opportunity.
+        let t = c.access(0, 0, 0x700, DKind::Load, DPolicy::Cached, &mut p).unwrap();
+        c.fault = Some(FaultInjector::new(FaultSite::DCacheParity, 1, 1));
+        let t2 = c.access(t + 100, 0, 0x700, DKind::Load, DPolicy::Cached, &mut p).unwrap();
+        assert!(t2 > t + 102, "parity recovery refills instead of hitting");
+        assert_eq!(c.stats().parity_recoveries, 1);
+    }
+
+    #[test]
+    fn parity_error_on_dirty_line_is_a_data_error() {
+        use crate::fault::{FaultInjector, FaultSite};
+        let (mut c, mut p) = (DCache::default(), PerfectMem { latency: 10 });
+        c.access(0, 0, 0x800, DKind::Store, DPolicy::Cached, &mut p).unwrap();
+        // Let the fill retire and dirty the line with a hit.
+        c.access(100, 0, 0x800, DKind::Store, DPolicy::Cached, &mut p).unwrap();
+        c.fault = Some(FaultInjector::new(FaultSite::DCacheParity, 1, 1));
+        let r = c.access(200, 0, 0x800, DKind::Load, DPolicy::Cached, &mut p);
+        assert_eq!(r, Err(DStall::DataError));
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! channel moves 3.2 bytes per CPU cycle — a 32-byte cache line occupies
 //! the channel for 10 cycles, which is the steady-state (peak-bandwidth)
 //! cost of a pipelined line transfer.
+//!
+//! Transfer errors (injected via [`crate::fault::FaultInjector`]) are
+//! handled the way a real Rambus memory controller must: the transfer is
+//! retried with an exponential backoff, bounded by
+//! [`DramConfig::retry_limit`]. Data integrity is unaffected — data lives
+//! in [`crate::FlatMem`] — so an injected error costs time only.
+
+use crate::fault::FaultInjector;
 
 /// Timing parameters, in 500 MHz CPU cycles.
 #[derive(Clone, Copy, Debug)]
@@ -20,6 +28,9 @@ pub struct DramConfig {
     pub banks: usize,
     /// Row (page) size per bank, bytes.
     pub row_bytes: u32,
+    /// Maximum transfer retries before the controller gives up and
+    /// forwards the (architecturally correct) data anyway.
+    pub retry_limit: u32,
 }
 
 impl Default for DramConfig {
@@ -30,6 +41,7 @@ impl Default for DramConfig {
             row_miss_lat: 40,
             banks: 16,
             row_bytes: 2048,
+            retry_limit: 8,
         }
     }
 }
@@ -46,6 +58,10 @@ pub struct DramStats {
     pub busy_cycles: u64,
     /// Completion time of the latest request.
     pub last_done: u64,
+    /// Transfers re-issued after an injected channel error.
+    pub retries: u64,
+    /// Transfers whose retry budget ran out (data still forwarded).
+    pub retry_exhaustions: u64,
 }
 
 impl DramStats {
@@ -68,6 +84,8 @@ pub struct Dram {
     /// Cycle at which the data channel is next free.
     channel_free: u64,
     pub stats: DramStats,
+    /// Transfer-error source (None = fault-free).
+    pub fault: Option<FaultInjector>,
 }
 
 impl Dram {
@@ -77,6 +95,7 @@ impl Dram {
             cfg,
             channel_free: 0,
             stats: DramStats::default(),
+            fault: None,
         }
     }
 
@@ -99,8 +118,31 @@ impl Dram {
     ///
     /// Command latency overlaps with earlier transfers (the channel
     /// pipelines across banks), so back-to-back line reads sustain the
-    /// 3.2 B/cycle peak.
+    /// 3.2 B/cycle peak. Injected transfer errors re-issue the transfer
+    /// after an exponentially growing backoff, up to the retry limit.
     pub fn request(&mut self, now: u64, addr: u32, bytes: u32, is_write: bool) -> u64 {
+        let mut at = now;
+        let mut backoff = 1u64;
+        let mut attempts = 0u32;
+        loop {
+            let done = self.transfer(at, addr, bytes, is_write);
+            let errored = self.fault.as_mut().is_some_and(|f| f.fires(at, addr));
+            if !errored {
+                return done;
+            }
+            if attempts >= self.cfg.retry_limit {
+                self.stats.retry_exhaustions += 1;
+                return done;
+            }
+            self.stats.retries += 1;
+            attempts += 1;
+            // The failed attempt occupied the channel; retry after backoff.
+            at = done + backoff;
+            backoff *= 2;
+        }
+    }
+
+    fn transfer(&mut self, now: u64, addr: u32, bytes: u32, is_write: bool) -> u64 {
         let bank = self.bank_of(addr);
         let row = self.row_of(addr);
         let lat = if self.open_rows[bank] == row {
@@ -228,6 +270,25 @@ mod tests {
         let t1 = d.request(0, 0, 32, false);
         let t2 = d.request(0, 2048, 32, false);
         assert_eq!(t2, t1 + 10);
+    }
+
+    #[test]
+    fn injected_transfer_errors_retry_with_backoff() {
+        use crate::fault::{FaultInjector, FaultSite};
+        let mut clean = Dram::default();
+        let mut faulty = Dram {
+            fault: Some(FaultInjector::new(FaultSite::DramTransfer, 1, 2)),
+            ..Default::default()
+        };
+        let (mut tc, mut tf) = (0, 0);
+        for i in 0..100u32 {
+            tc = clean.request(tc, i * 2048, 32, false);
+            tf = faulty.request(tf, i * 2048, 32, false);
+        }
+        assert!(faulty.stats.retries > 0, "1-in-2 rate must fire");
+        assert!(tf > tc, "retries must cost channel time");
+        let n = faulty.fault.as_ref().map(|f| f.events.len()).unwrap_or(0);
+        assert_eq!(n as u64, faulty.stats.retries + faulty.stats.retry_exhaustions);
     }
 
     #[test]

@@ -114,6 +114,25 @@ impl FlatMem {
     pub fn pages_touched(&self) -> usize {
         self.pages.len()
     }
+
+    /// Architectural comparison: the lowest address whose byte differs
+    /// between the two images (absent pages read as zero), or `None` when
+    /// they are identical. Used to check fault-recovery runs against a
+    /// fault-free oracle.
+    pub fn first_diff(&self, other: &FlatMem) -> Option<u32> {
+        const ZERO: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+        let mut pns: Vec<u32> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pns.sort_unstable();
+        pns.dedup();
+        for pn in pns {
+            let a = self.pages.get(&pn).map(|p| &p[..]).unwrap_or(&ZERO);
+            let b = other.pages.get(&pn).map(|p| &p[..]).unwrap_or(&ZERO);
+            if let Some(off) = (0..PAGE_SIZE).find(|&i| a[i] != b[i]) {
+                return Some((pn << PAGE_SHIFT) | off as u32);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +147,19 @@ mod tests {
         assert_eq!(m.read_u32(0x1234), 0xDEAD_BEEF);
         assert_eq!(m.read_u8(0x1234), 0xEF); // little endian
         assert_eq!(m.read_u16(0x1236), 0xDEAD);
+    }
+
+    #[test]
+    fn first_diff_treats_absent_pages_as_zero() {
+        let mut a = FlatMem::new();
+        let mut b = FlatMem::new();
+        assert_eq!(a.first_diff(&b), None);
+        a.write_u32(0x5000, 0); // touched but still zero
+        assert_eq!(a.first_diff(&b), None, "explicit zeros equal absent pages");
+        b.write_u8(0x9002, 7);
+        assert_eq!(a.first_diff(&b), Some(0x9002));
+        a.write_u8(0x9002, 7);
+        assert_eq!(a.first_diff(&b), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! suffices.
 
 use crate::dram::MemBackend;
+use crate::fault::FaultInjector;
 use crate::tags::{CacheStats, TagArray, Victim};
 
 /// I-cache configuration.
@@ -39,11 +40,13 @@ impl Default for ICacheConfig {
 pub struct ICache {
     cfg: ICacheConfig,
     tags: TagArray,
+    /// Parity bit-flip source (None = fault-free).
+    pub fault: Option<FaultInjector>,
 }
 
 impl ICache {
     pub fn new(cfg: ICacheConfig) -> ICache {
-        ICache { tags: TagArray::new(cfg.size_bytes, cfg.ways, cfg.line_bytes), cfg }
+        ICache { tags: TagArray::new(cfg.size_bytes, cfg.ways, cfg.line_bytes), cfg, fault: None }
     }
 
     pub fn config(&self) -> &ICacheConfig {
@@ -61,16 +64,28 @@ impl ICache {
     /// Fetch the 32-byte line containing `addr`; returns the cycle the
     /// line is available to the aligner.
     pub fn fetch(&mut self, now: u64, addr: u32, backend: &mut dyn MemBackend) -> u64 {
+        // Fault injection: a bit flip lands on the fetched line if it is
+        // resident. Instruction lines are always clean, so a parity error
+        // is recovered transparently by invalidate-and-refill.
+        if let Some(f) = self.fault.as_mut() {
+            if f.roll() && self.tags.poison(addr) {
+                f.record(now, addr);
+            }
+        }
+        if self.tags.take_parity_error(addr).is_some() {
+            self.tags.stats.parity_recoveries += 1;
+        }
         if self.tags.access(addr, false) {
             return now + self.cfg.hit_lat;
         }
         let line = self.tags.line_addr(addr);
         let done =
             backend.backend_read(now + self.cfg.miss_overhead, line, self.cfg.line_bytes as u32);
-        // Instruction lines are never dirty; victims drop silently.
-        match self.tags.fill(line, false) {
-            Victim::Dirty(_) => unreachable!("instruction lines are read-only"),
-            Victim::Clean(_) | Victim::None => {}
+        // Instruction lines are never dirty here; should one ever be (a
+        // future unified-cache experiment), write it back rather than
+        // asserting.
+        if let Victim::Dirty(victim) = self.tags.fill(line, false) {
+            backend.backend_write(now + self.cfg.miss_overhead, victim, self.cfg.line_bytes as u32);
         }
         done
     }
@@ -102,6 +117,21 @@ mod tests {
         assert_eq!(t, 31, "hit is free beyond the pipeline fetch stage");
         assert_eq!(ic.stats().hits, 1);
         assert_eq!(ic.stats().misses, 1);
+    }
+
+    #[test]
+    fn parity_error_refills_transparently() {
+        use crate::fault::{FaultInjector, FaultSite};
+        let mut ic = ICache::default();
+        let mut p = PerfectMem { latency: 30 };
+        ic.fetch(0, 0x2000, &mut p);
+        ic.fault = Some(FaultInjector::new(FaultSite::ICacheParity, 1, 1));
+        let t = ic.fetch(100, 0x2000, &mut p);
+        assert_eq!(t, 131, "recovery pays a full refill");
+        assert_eq!(ic.stats().parity_recoveries, 1);
+        ic.fault = None;
+        let t = ic.fetch(t, 0x2000, &mut p);
+        assert_eq!(t, 131, "refilled line hits again");
     }
 
     #[test]

@@ -22,12 +22,14 @@
 
 pub mod dcache;
 pub mod dram;
+pub mod fault;
 pub mod flat;
 pub mod icache;
 pub mod tags;
 
 pub use dcache::{DCache, DCacheConfig, DKind, DPolicy, DStall};
 pub use dram::{Dram, DramConfig, DramStats, MemBackend, PerfectMem};
+pub use fault::{FaultEvent, FaultInjector, FaultPlan, FaultSite, XorShift64};
 pub use flat::FlatMem;
 pub use icache::{ICache, ICacheConfig};
 pub use tags::{CacheStats, TagArray, Victim};

@@ -10,6 +10,8 @@ pub struct CacheStats {
     pub misses: u64,
     pub evictions: u64,
     pub writebacks: u64,
+    /// Clean lines dropped and refilled after a parity error.
+    pub parity_recoveries: u64,
 }
 
 impl CacheStats {
@@ -31,6 +33,9 @@ struct Way {
     tag: u32,
     valid: bool,
     dirty: bool,
+    /// A transient fault flipped a bit in this line; the next access's
+    /// parity check will catch it.
+    parity_bad: bool,
     /// LRU timestamp; larger = more recent.
     stamp: u64,
 }
@@ -148,15 +153,16 @@ impl TagArray {
         let base = set * self.ways;
         // Prefer an invalid way.
         if let Some(w) = self.data[base..base + self.ways].iter_mut().find(|w| !w.valid) {
-            *w = Way { tag, valid: true, dirty, stamp: tick };
+            *w = Way { tag, valid: true, dirty, parity_bad: false, stamp: tick };
             return Victim::None;
         }
+        // `ways >= 1` is asserted in `new`, so the minimum always exists.
         let lru = self.data[base..base + self.ways]
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| w.stamp)
             .map(|(i, _)| i)
-            .unwrap();
+            .unwrap_or(0);
         let w = &mut self.data[base + lru];
         let victim_addr = (w.tag << self.sets.trailing_zeros() | set as u32) << self.line_shift;
         let victim = if w.dirty {
@@ -166,7 +172,7 @@ impl TagArray {
             Victim::Clean(victim_addr)
         };
         self.stats.evictions += 1;
-        *w = Way { tag, valid: true, dirty, stamp: tick };
+        *w = Way { tag, valid: true, dirty, parity_bad: false, stamp: tick };
         victim
     }
 
@@ -184,11 +190,47 @@ impl TagArray {
         None
     }
 
+    /// Flip a bit in the line containing `addr` (fault injection). Returns
+    /// whether the flip landed on a resident line; the damage is caught by
+    /// the parity check on the next access.
+    pub fn poison(&mut self, addr: u32) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for w in &mut self.data[set * self.ways..(set + 1) * self.ways] {
+            if w.valid && w.tag == tag {
+                w.parity_bad = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Parity check for the line containing `addr`. A bad line is dropped
+    /// (caches refill clean lines from memory); returns `Some(dirty)` when
+    /// a parity error was consumed — a dirty line's contents are lost, so
+    /// callers must escalate that case.
+    pub fn take_parity_error(&mut self, addr: u32) -> Option<bool> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for w in &mut self.data[set * self.ways..(set + 1) * self.ways] {
+            if w.valid && w.tag == tag {
+                if !w.parity_bad {
+                    return None;
+                }
+                w.valid = false;
+                w.parity_bad = false;
+                return Some(w.dirty);
+            }
+        }
+        None
+    }
+
     /// Invalidate everything (cold-start between benchmark runs).
     pub fn clear(&mut self) {
         for w in &mut self.data {
             w.valid = false;
             w.dirty = false;
+            w.parity_bad = false;
         }
     }
 }
@@ -242,6 +284,24 @@ mod tests {
         let v = t.fill(64, false);
         assert_eq!(v, Victim::Dirty(0));
         assert_eq!(t.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn parity_poison_and_recovery() {
+        let mut t = TagArray::new(1024, 2, 32);
+        assert!(!t.poison(0x200), "flip on a non-resident line does not land");
+        t.fill(0x200, false);
+        assert!(t.poison(0x200));
+        assert_eq!(t.take_parity_error(0x200), Some(false), "clean line recoverable");
+        assert!(!t.probe(0x200), "bad line dropped");
+        assert_eq!(t.take_parity_error(0x200), None);
+        // Dirty line: the error reports dirtiness so callers can escalate.
+        t.fill(0x200, true);
+        assert!(t.poison(0x200));
+        assert_eq!(t.take_parity_error(0x200), Some(true));
+        // Refilling clears parity state.
+        t.fill(0x200, false);
+        assert_eq!(t.take_parity_error(0x200), None);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 
 use std::ptr::NonNull;
 
-use majc_core::{CorePort, CycleSim, TimingConfig, Trap};
+use majc_core::{CorePort, CycleSim, SimError, TimingConfig};
 use majc_isa::Program;
-use majc_mem::{DCache, DKind, DPolicy, DStall, FlatMem, ICache};
+use majc_mem::{DCache, DKind, DPolicy, DStall, FaultEvent, FaultPlan, FaultSite, FlatMem, ICache};
 
 use crate::crossbar::{Crossbar, Routed, Source};
 
@@ -30,6 +30,34 @@ impl ChipMem {
             xbar: Crossbar::new(),
             mem,
         }
+    }
+
+    /// Arm deterministic fault injection at every chip-level site: both
+    /// I-caches, the shared D-cache, the crossbar arbiter, and the DRDRAM
+    /// channel behind it.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for ic in &mut self.icaches {
+            ic.fault = plan.injector(FaultSite::ICacheParity);
+        }
+        self.dcache.fault = plan.injector(FaultSite::DCacheParity);
+        self.xbar.fault = plan.injector(FaultSite::XbarNack);
+        self.xbar.dram.fault = plan.injector(FaultSite::DramTransfer);
+    }
+
+    /// Every fault injected so far, across all armed sites, in a stable
+    /// site order (the deterministic injection trace).
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        for ic in &self.icaches {
+            if let Some(f) = &ic.fault {
+                out.extend_from_slice(&f.events);
+            }
+        }
+        for f in [&self.dcache.fault, &self.xbar.fault, &self.xbar.dram.fault].into_iter().flatten()
+        {
+            out.extend_from_slice(&f.events);
+        }
+        out
     }
 }
 
@@ -83,6 +111,8 @@ impl CorePort for CpuPort {
 pub struct Majc5200 {
     pub cpu: [CycleSim<CpuPort>; 2],
     chip: Box<ChipMem>,
+    /// Chip-level watchdog budget (from [`TimingConfig::max_cycles`]).
+    max_cycles: u64,
 }
 
 impl Majc5200 {
@@ -93,7 +123,7 @@ impl Majc5200 {
         let [p0, p1] = progs;
         let cpu0 = CycleSim::on_port(p0, CpuPort { chip: p, cpu: 0 }, cfg, 0);
         let cpu1 = CycleSim::on_port(p1, CpuPort { chip: p, cpu: 1 }, cfg, 1);
-        Majc5200 { cpu: [cpu0, cpu1], chip }
+        Majc5200 { cpu: [cpu0, cpu1], chip, max_cycles: cfg.max_cycles }
     }
 
     pub fn chip(&self) -> &ChipMem {
@@ -104,10 +134,22 @@ impl Majc5200 {
         &mut self.chip
     }
 
+    /// Arm deterministic fault injection at every memory-side site.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.chip.apply_fault_plan(plan);
+    }
+
+    /// The PCs of all CPUs still executing — the hang diagnosis.
+    fn stuck_pcs(&self) -> Vec<u32> {
+        self.cpu.iter().filter(|c| !c.halted()).map(|c| c.pc(0)).collect()
+    }
+
     /// Step both CPUs in loose lockstep (always advance the one that is
     /// behind in simulated time) until both halt or `max_packets` packets
-    /// have issued chip-wide.
-    pub fn run(&mut self, max_packets: u64) -> Result<(u64, u64), Trap> {
+    /// have issued chip-wide. A CPU that runs past the configured
+    /// `max_cycles` budget surfaces as a structured [`SimError::Hang`]
+    /// carrying the PCs of every CPU still executing.
+    pub fn run(&mut self, max_packets: u64) -> Result<(u64, u64), SimError> {
         let mut issued = 0u64;
         while issued < max_packets {
             let h0 = self.cpu[0].halted();
@@ -118,6 +160,10 @@ impl Majc5200 {
                 (false, true) => 0,
                 (false, false) => usize::from(self.cpu[1].stats.cycles < self.cpu[0].stats.cycles),
             };
+            let cycle = self.cpu[pick].stats.cycles;
+            if cycle > self.max_cycles {
+                return Err(SimError::Hang { cycle, pcs: self.stuck_pcs() });
+            }
             self.cpu[pick].step()?;
             issued += 1;
         }

@@ -6,7 +6,11 @@
 //! the I/O links), so the model adds a fixed arbitration latency, keeps
 //! per-source traffic accounting, and routes to the memory controller.
 
-use majc_mem::{Dram, DramConfig, MemBackend};
+use majc_mem::{Dram, DramConfig, FaultInjector, MemBackend};
+
+/// How many dropped grants a requester retries before the request is
+/// forced through anyway (arbitration is fair, so starvation is bounded).
+const NACK_RETRY_LIMIT: u32 = 8;
 
 /// Who is talking through the switch.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,7 +40,16 @@ impl Source {
     ];
 
     fn index(self) -> usize {
-        Source::ALL.iter().position(|&s| s == self).unwrap()
+        match self {
+            Source::Cpu0I => 0,
+            Source::Cpu1I => 1,
+            Source::CpuD => 2,
+            Source::Dte => 3,
+            Source::Pci => 4,
+            Source::Nupa => 5,
+            Source::Supa => 6,
+            Source::Gpp => 7,
+        }
     }
 }
 
@@ -45,6 +58,8 @@ impl Source {
 pub struct SourceStats {
     pub requests: u64,
     pub bytes: u64,
+    /// Grants dropped by injected arbitration faults and retried.
+    pub nacks: u64,
 }
 
 /// The switch plus the memory controller behind it.
@@ -53,6 +68,8 @@ pub struct Crossbar {
     pub dram: Dram,
     /// Fixed grant latency through the switch.
     pub arb_latency: u64,
+    /// Optional deterministic grant-drop injection (`FaultSite::XbarNack`).
+    pub fault: Option<FaultInjector>,
     pub stats: [SourceStats; NUM_SOURCES],
 }
 
@@ -61,16 +78,31 @@ impl Crossbar {
         Crossbar {
             dram: Dram::new(DramConfig::default()),
             arb_latency: 2,
+            fault: None,
             stats: Default::default(),
         }
     }
 
     /// Route a memory request from `src`; returns the completion cycle.
+    ///
+    /// An injected NACK drops the grant; the requester re-arbitrates, which
+    /// costs another grant latency per retry. The request always goes
+    /// through eventually — faults here are transient, never fatal.
     pub fn request(&mut self, now: u64, src: Source, addr: u32, bytes: u32, write: bool) -> u64 {
-        let s = &mut self.stats[src.index()];
-        s.requests += 1;
-        s.bytes += bytes as u64;
-        self.dram.request(now + self.arb_latency, addr, bytes, write)
+        let i = src.index();
+        self.stats[i].requests += 1;
+        self.stats[i].bytes += bytes as u64;
+        let mut grant = now + self.arb_latency;
+        if let Some(f) = &mut self.fault {
+            for _ in 0..NACK_RETRY_LIMIT {
+                if !f.fires(grant, addr) {
+                    break;
+                }
+                self.stats[i].nacks += 1;
+                grant += self.arb_latency.max(1);
+            }
+        }
+        self.dram.request(grant, addr, bytes, write)
     }
 
     pub fn stats_for(&self, src: Source) -> &SourceStats {
@@ -127,6 +159,20 @@ mod tests {
         let a = x.request(0, Source::CpuD, 0, 32, false);
         let b = x.request(0, Source::Pci, 4096, 32, false);
         assert!(b > a, "second same-cycle request queues behind the first");
+    }
+
+    #[test]
+    fn injected_nacks_delay_but_never_drop_requests() {
+        use majc_mem::FaultSite;
+        let mut clean = Crossbar::new();
+        let t_clean = clean.request(0, Source::CpuD, 0x100, 32, false);
+        let mut noisy = Crossbar::new();
+        // rate 1: every grant is NACKed until the retry bound forces it.
+        noisy.fault = Some(FaultInjector::new(FaultSite::XbarNack, 7, 1));
+        let t_noisy = noisy.request(0, Source::CpuD, 0x100, 32, false);
+        assert!(t_noisy > t_clean, "retries cost grant latency");
+        assert_eq!(noisy.stats_for(Source::CpuD).nacks, NACK_RETRY_LIMIT as u64);
+        assert_eq!(noisy.stats_for(Source::CpuD).requests, 1, "the request itself still lands");
     }
 
     #[test]

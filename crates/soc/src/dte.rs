@@ -50,15 +50,6 @@ impl Dte {
         Dte { pci: Link::pci(), nupa: Link::upa("NUPA"), supa: Link::upa("SUPA"), transfers: 0 }
     }
 
-    fn link(&mut self, e: Endpoint) -> Option<&mut Link> {
-        match e {
-            Endpoint::Dram => None,
-            Endpoint::Pci => Some(&mut self.pci),
-            Endpoint::Nupa => Some(&mut self.nupa),
-            Endpoint::Supa => Some(&mut self.supa),
-        }
-    }
-
     /// Run one descriptor to completion. `mem` carries the data when DRAM
     /// is an endpoint (I/O-to-I/O transfers move bytes the flat store never
     /// sees; data for link endpoints is synthesised/consumed at the pads).
@@ -87,10 +78,18 @@ impl Dte {
                     mem.read(src_addr + moved, &mut buf[..chunk as usize]);
                     xbar.request(now, Source::Dte, src_addr + moved, chunk, false)
                 }
-                e => {
-                    // Data arrives from the link pads.
+                // Data arrives from the link pads.
+                Endpoint::Pci => {
                     buf[..chunk as usize].fill(0xA5);
-                    self.link(e).unwrap().transfer(now, chunk)
+                    self.pci.transfer(now, chunk)
+                }
+                Endpoint::Nupa => {
+                    buf[..chunk as usize].fill(0xA5);
+                    self.nupa.transfer(now, chunk)
+                }
+                Endpoint::Supa => {
+                    buf[..chunk as usize].fill(0xA5);
+                    self.supa.transfer(now, chunk)
                 }
             };
             // Write side begins once the granule is in the DTE buffer.
@@ -99,7 +98,9 @@ impl Dte {
                     mem.write(dst_addr + moved, &buf[..chunk as usize]);
                     xbar.request(read_done, Source::Dte, dst_addr + moved, chunk, true)
                 }
-                e => self.link(e).unwrap().transfer(read_done, chunk),
+                Endpoint::Pci => self.pci.transfer(read_done, chunk),
+                Endpoint::Nupa => self.nupa.transfer(read_done, chunk),
+                Endpoint::Supa => self.supa.transfer(read_done, chunk),
             });
             moved += chunk;
         }
