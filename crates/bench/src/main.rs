@@ -1,6 +1,6 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|all]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|all]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
 //! JSON report under `target/reports/`.
 
@@ -27,6 +27,7 @@ fn main() {
         "graphics" => emit(experiments::graphics()),
         "ablations" => emit(experiments::ablations()),
         "faults" => emit(experiments::faults()),
+        "memstats" => emit(experiments::memstats()),
         "all" => {
             for t in experiments::all() {
                 emit(t);
@@ -34,7 +35,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1 table2 table3 fig1 fig2 peak graphics ablations faults all"
+                "unknown experiment `{other}`; expected one of table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats all"
             );
             std::process::exit(2);
         }

@@ -20,19 +20,27 @@
 //! sharing the pipeline and LSU: when the running context would stall on a
 //! long-latency load, the machine switches to another ready context for a
 //! small penalty.
+//!
+//! The pipeline state lives in [`CpuCore`], which talks to *any* memory
+//! system through the [`MemPort`] transaction interface — the core never
+//! owns the memory. [`CycleSim`] is the standalone pairing of one core with
+//! an owned port; the SoC instead owns two cores plus the shared `ChipMem`
+//! and lends each core a port view during its step.
+
+use std::ops::{Deref, DerefMut};
 
 use majc_isa::{Instr, LatClass, Packet, Program, NUM_REGS};
-use majc_mem::DPolicy;
+use majc_mem::{DKind, DPolicy};
 
 use crate::config::{TimingConfig, TrapPolicy};
 use crate::exec::{exec_slot, Flow, Trap};
 use crate::lsu::{Lsu, LsuStall};
-use crate::memsys::CorePort;
 use crate::predictor::Gshare;
 use crate::regfile::{RegFile, WriteSet};
 use crate::stats::CycleStats;
 use crate::trace::TraceRec;
 use crate::trap::{SimError, TrapRegs};
+use crate::txn::{Completion, MemPort, MemReq, ReqPort, Tag};
 
 /// One hardware context (micro-thread).
 struct Ctx {
@@ -61,13 +69,15 @@ impl Ctx {
     }
 }
 
-/// The cycle-accurate simulator for one CPU.
-pub struct CycleSim<P: CorePort> {
+/// The pipeline state of one CPU, independent of any memory system.
+///
+/// Every stepping method takes the memory port as an argument, so a core
+/// can run against an owned [`crate::LocalMemSys`]/[`crate::PerfectPort`]
+/// (via [`CycleSim`]) or against a per-step view of shared chip memory
+/// (the SoC) without any aliasing.
+pub struct CpuCore {
     cfg: TimingConfig,
     prog: Program,
-    /// The memory system (owned for a standalone CPU; a shared view inside
-    /// the SoC).
-    pub port: P,
     /// Which D-cache port this CPU drives (0 or 1).
     cpu: usize,
     contexts: Vec<Ctx>,
@@ -79,32 +89,31 @@ pub struct CycleSim<P: CorePort> {
     /// Double-precision initiation interval per FU.
     dbl_free: [u64; 4],
     last_issue: u64,
+    /// Next instruction-fetch transaction tag. Counts up from zero; the
+    /// LSU's tags start at `1 << 63`, so the spaces never collide.
+    next_tag: u64,
     pub stats: CycleStats,
     /// When set, every issued packet is recorded.
     pub trace: Option<Vec<TraceRec>>,
 }
 
-impl<P: CorePort> CycleSim<P> {
-    pub fn new(prog: Program, port: P, cfg: TimingConfig) -> CycleSim<P> {
-        Self::on_port(prog, port, cfg, 0)
-    }
-
-    /// Construct bound to D-cache port `cpu` (used by the SoC).
-    pub fn on_port(prog: Program, port: P, cfg: TimingConfig, cpu: usize) -> CycleSim<P> {
+impl CpuCore {
+    /// Construct bound to D-cache port `cpu` (0 for a standalone core).
+    pub fn new(prog: Program, cfg: TimingConfig, cpu: usize) -> CpuCore {
         let n = cfg.threading.contexts.max(1);
         let contexts = (0..n).map(|_| Ctx::new(prog.base(), cfg.front_latency)).collect();
-        CycleSim {
+        CpuCore {
             lsu: Lsu::new(cfg.load_buf, cfg.store_buf),
             gshare: Gshare::new(cfg.predictor),
             cfg,
             prog,
-            port,
             cpu,
             contexts,
             active: 0,
             fu0_free: 0,
             dbl_free: [0; 4],
             last_issue: 0,
+            next_tag: 0,
             stats: CycleStats::default(),
             trace: None,
         }
@@ -150,7 +159,7 @@ impl<P: CorePort> CycleSim<P> {
     }
 
     /// PCs of every non-halted context (hang diagnostics).
-    fn stuck_pcs(&self) -> Vec<u32> {
+    pub fn stuck_pcs(&self) -> Vec<u32> {
         self.contexts.iter().filter(|c| !c.halted).map(|c| c.pc).collect()
     }
 
@@ -171,6 +180,43 @@ impl<P: CorePort> CycleSim<P> {
     /// truth the static linter's predicted schedule is tested against.
     pub fn issue_cycles(&self) -> Option<Vec<u64>> {
         self.trace.as_ref().map(|t| t.iter().map(|r| r.issue).collect())
+    }
+
+    /// Fold the port's per-level counters plus this core's LSU buffer
+    /// peaks into `stats.mem`. Called when a run finishes (the counters
+    /// are cumulative snapshots, so calling it repeatedly is harmless).
+    pub fn merge_mem_stats(&mut self, port: &dyn MemPort) {
+        let mut m = port.level_stats(self.cpu);
+        m.load_buf_peak = self.lsu.stats.load_buf_peak;
+        m.store_buf_peak = self.lsu.stats.store_buf_peak;
+        self.stats.mem = m;
+    }
+
+    /// Fetch the 32-byte instruction line at `line`: one tagged transaction
+    /// on the port's instruction side. Never rejected, never faults (parity
+    /// recovery is internal to the I-cache).
+    fn ifetch(&mut self, port: &mut dyn MemPort, at: u64, line: u32) -> u64 {
+        let tag = Tag(self.next_tag);
+        self.next_tag += 1;
+        let req = MemReq {
+            cpu: self.cpu as u8,
+            port: ReqPort::Instr,
+            addr: line,
+            kind: DKind::Load,
+            policy: DPolicy::Cached,
+            tag,
+        };
+        port.submit(at, req).expect("instruction fetches are never rejected");
+        loop {
+            let resp = port.pop_resp(self.cpu).expect("accepted fetch must produce a response");
+            if resp.tag == tag {
+                match resp.completion {
+                    Completion::Done { at } => return at,
+                    Completion::Fault => unreachable!("instruction fetch cannot fault"),
+                }
+            }
+            debug_assert_eq!(resp.kind, DKind::Prefetch, "only prefetch replies go unclaimed");
+        }
     }
 
     /// Pick the context to issue from: stay on the active one unless it is
@@ -227,9 +273,9 @@ impl<P: CorePort> CycleSim<P> {
         Ok(())
     }
 
-    /// Issue one packet. `Ok(true)` while running, `Ok(false)` when all
-    /// contexts have halted.
-    pub fn step(&mut self) -> Result<bool, SimError> {
+    /// Issue one packet against `port`. `Ok(true)` while running,
+    /// `Ok(false)` when all contexts have halted.
+    pub fn step_on(&mut self, port: &mut dyn MemPort) -> Result<bool, SimError> {
         for _spin in 0..64 {
             let Some(ci) = self.pick_ctx() else { return Ok(false) };
             let switch = ci != self.active;
@@ -254,9 +300,9 @@ impl<P: CorePort> CycleSim<P> {
             let fetch_at = base.saturating_sub(self.cfg.front_latency);
             let line = pc & !31;
             let last_line = (pc + pkt_bytes - 1) & !31;
-            let mut fetched = self.port.ifetch(fetch_at, self.cpu, line);
+            let mut fetched = self.ifetch(port, fetch_at, line);
             if last_line != line {
-                fetched = fetched.max(self.port.ifetch(fetch_at, self.cpu, last_line));
+                fetched = fetched.max(self.ifetch(port, fetch_at, last_line));
             }
             let after_fetch = base.max(fetched + self.cfg.front_latency);
             self.stats.front_stall_cycles += after_fetch - base;
@@ -300,7 +346,7 @@ impl<P: CorePort> CycleSim<P> {
             let mut load_avail: Option<u64> = None;
             if let Some(ins) = mem_ins {
                 let before = t;
-                match self.issue_mem(ci, &ins, pc, &mut t) {
+                match self.issue_mem(port, ci, &ins, pc, &mut t) {
                     Ok(v) => load_avail = v,
                     // A data error detected at issue: the packet has not
                     // executed, so squashing it is trivially precise.
@@ -321,7 +367,7 @@ impl<P: CorePort> CycleSim<P> {
             let mut trapped: Option<Trap> = None;
             {
                 let ctx = &mut self.contexts[ci];
-                let mem = self.port.mem();
+                let mem = port.mem();
                 for (_fu, ins) in pkt.slots() {
                     match exec_slot(ins, &ctx.regs, &mut ws, mem, pc, pkt_bytes) {
                         Ok(out) => {
@@ -452,6 +498,7 @@ impl<P: CorePort> CycleSim<P> {
     /// structural stalls. Returns the data-available cycle for loads.
     fn issue_mem(
         &mut self,
+        port: &mut dyn MemPort,
         ci: usize,
         ins: &Instr,
         pc: u32,
@@ -477,14 +524,14 @@ impl<P: CorePort> CycleSim<P> {
             CSt { base, .. } => (regs.get(base), (false, DPolicy::Cached)),
             Prefetch { base, off } => {
                 let a = regs.get(base).wrapping_add(off as i32 as u32) & !31;
-                self.lsu.prefetch(*t, a, &mut self.port, self.cpu);
+                self.lsu.prefetch(*t, a, port, self.cpu);
                 return Ok(None);
             }
             Membar => return Ok(None),
             Cas { base, .. } | Swap { base, .. } => {
                 let a = regs.get(base);
                 for _ in 0..RETRY_BOUND {
-                    match self.lsu.atomic(*t, a, &mut self.port, self.cpu) {
+                    match self.lsu.atomic(*t, a, port, self.cpu) {
                         Ok(avail) => return Ok(Some(avail)),
                         Err(LsuStall::Retry { retry_at }) => *t = retry_at.max(*t + 1),
                         Err(LsuStall::DataError) => {
@@ -499,9 +546,9 @@ impl<P: CorePort> CycleSim<P> {
         let (is_load, pol) = kind;
         for _ in 0..RETRY_BOUND {
             let res = if is_load {
-                self.lsu.load(*t, addr, pol, &mut self.port, self.cpu)
+                self.lsu.load(*t, addr, pol, port, self.cpu)
             } else {
-                self.lsu.store(*t, addr, pol, &mut self.port, self.cpu).map(|_| 0)
+                self.lsu.store(*t, addr, pol, port, self.cpu).map(|_| 0)
             };
             match res {
                 Ok(avail) => return Ok(is_load.then_some(avail)),
@@ -512,20 +559,73 @@ impl<P: CorePort> CycleSim<P> {
         Err(SimError::Hang { cycle: *t, pcs: vec![pc] })
     }
 
-    /// Run until halt or `max_packets`; returns the cycle count. The
-    /// configured cycle watchdog converts a runaway run into a structured
-    /// [`SimError::Hang`] diagnosis instead of spinning forever.
-    pub fn run(&mut self, max_packets: u64) -> Result<u64, SimError> {
+    /// Run against `port` until halt or `max_packets`; returns the cycle
+    /// count. The configured cycle watchdog converts a runaway run into a
+    /// structured [`SimError::Hang`] diagnosis instead of spinning forever.
+    /// `stats.mem` is refreshed from the port when the run ends.
+    pub fn run_on(&mut self, port: &mut dyn MemPort, max_packets: u64) -> Result<u64, SimError> {
+        let res = self.run_inner(port, max_packets);
+        self.merge_mem_stats(port);
+        res
+    }
+
+    fn run_inner(&mut self, port: &mut dyn MemPort, max_packets: u64) -> Result<u64, SimError> {
         let start = self.stats.packets;
         while self.stats.packets - start < max_packets {
             if self.stats.cycles > self.cfg.max_cycles {
                 return Err(SimError::Hang { cycle: self.stats.cycles, pcs: self.stuck_pcs() });
             }
-            if !self.step()? {
+            if !self.step_on(port)? {
                 break;
             }
         }
         Ok(self.stats.cycles)
+    }
+}
+
+/// The cycle-accurate simulator for one standalone CPU: a [`CpuCore`]
+/// paired with the memory system it owns. Dereferences to the core, so
+/// pipeline state (`stats`, `trace`, register accessors, ...) reads the
+/// same as on [`CpuCore`] itself.
+pub struct CycleSim<P: MemPort> {
+    core: CpuCore,
+    /// The memory system this CPU drives.
+    pub port: P,
+}
+
+impl<P: MemPort> CycleSim<P> {
+    pub fn new(prog: Program, port: P, cfg: TimingConfig) -> CycleSim<P> {
+        Self::on_port(prog, port, cfg, 0)
+    }
+
+    /// Construct bound to D-cache port `cpu`.
+    pub fn on_port(prog: Program, port: P, cfg: TimingConfig, cpu: usize) -> CycleSim<P> {
+        CycleSim { core: CpuCore::new(prog, cfg, cpu), port }
+    }
+
+    /// Issue one packet. `Ok(true)` while running, `Ok(false)` when all
+    /// contexts have halted.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.core.step_on(&mut self.port)
+    }
+
+    /// Run until halt or `max_packets`; returns the cycle count.
+    pub fn run(&mut self, max_packets: u64) -> Result<u64, SimError> {
+        self.core.run_on(&mut self.port, max_packets)
+    }
+}
+
+impl<P: MemPort> Deref for CycleSim<P> {
+    type Target = CpuCore;
+
+    fn deref(&self) -> &CpuCore {
+        &self.core
+    }
+}
+
+impl<P: MemPort> DerefMut for CycleSim<P> {
+    fn deref_mut(&mut self) -> &mut CpuCore {
+        &mut self.core
     }
 }
 
@@ -732,6 +832,9 @@ mod tests {
             dram_sim.stats.cycles,
             perfect_sim.stats.cycles
         );
+        let m = dram_sim.stats.mem;
+        assert!(m.dcache_misses >= 64, "cold walk must miss every line: {m:?}");
+        assert!(m.dram_busy_cycles > 0);
     }
 
     #[test]
@@ -773,6 +876,7 @@ mod tests {
         }
         let mut wide = CycleSim::new(build(), LocalMemSys::majc5200(), TimingConfig::default());
         wide.run(10_000).unwrap();
+        assert!(wide.stats.mem.mshr_high_water >= 2, "misses must overlap");
 
         let mut narrow_mem = LocalMemSys::majc5200();
         narrow_mem.dcache =

@@ -8,9 +8,10 @@
 //!   branch prediction, the non-blocking LSU (5 loads / 8 stores / 4
 //!   outstanding misses), and vertical micro-threading;
 //! * [`exec`] — the architectural semantics shared by both simulators;
-//! * [`CorePort`] — the interface to the memory system, with standalone
-//!   ([`LocalMemSys`]) and ideal ([`PerfectPort`]) implementations; the SoC
-//!   crate supplies the dual-CPU shared-cache implementation.
+//! * [`MemPort`] — the request/response transaction interface to the
+//!   memory system ([`txn`]), with standalone ([`LocalMemSys`]) and ideal
+//!   ([`PerfectPort`]) implementations; the SoC crate supplies the
+//!   dual-CPU shared-cache implementation.
 //!
 //! Both simulators execute the same [`exec`] semantics, so they cannot
 //! diverge architecturally; the cycle model only adds time.
@@ -26,15 +27,17 @@ pub mod regfile;
 pub mod stats;
 pub mod trace;
 pub mod trap;
+pub mod txn;
 
 pub use config::{BypassModel, ThreadingConfig, TimingConfig, TrapPolicy};
-pub use cycle::CycleSim;
+pub use cycle::{CpuCore, CycleSim};
 pub use exec::{branch_taken, exec_slot, Flow, MemEffect, SlotOutcome, Trap};
 pub use func_sim::{FuncSim, FuncStats};
 pub use lsu::{Lsu, LsuStall, LsuStats};
-pub use memsys::{Backend, CorePort, LocalMemSys, PerfectPort};
+pub use memsys::{Backend, LocalMemSys, PerfectPort};
 pub use predictor::{Gshare, PredictorConfig, PredictorStats};
 pub use regfile::{RegFile, WriteSet};
 pub use stats::CycleStats;
 pub use trace::{render as render_trace, TraceRec};
 pub use trap::{SimError, TrapRegs};
+pub use txn::{Completion, MemLevelStats, MemPort, MemReq, MemResp, Reject, ReqPort, Tag};

@@ -9,11 +9,21 @@
 //!
 //! The four-miss limit lives in the D-cache MSHR file ([`majc_mem::DCache`]);
 //! this module models the load/store buffers, the CPU's single cache port,
-//! store draining, and barrier semantics.
+//! store draining, and barrier semantics. Each operation is a tagged
+//! transaction on the [`MemPort`]: the LSU submits a [`MemReq`], the port
+//! either rejects it (structural, retried) or answers with a [`MemResp`]
+//! that the LSU matches by tag against its buffers — entries retire
+//! individually as their completion cycle passes, which is how out-of-order
+//! miss returns are modeled.
 
-use majc_mem::{DKind, DPolicy, DStall};
+use majc_mem::{DKind, DPolicy};
 
-use crate::memsys::CorePort;
+use crate::txn::{Completion, MemPort, MemReq, Reject, ReqPort, Tag};
+
+/// Base of the LSU's tag space. Instruction-fetch tags count up from zero
+/// (see `CpuCore`), LSU tags from here — the two never collide, so one
+/// response queue per CPU serves both ports.
+pub(crate) const LSU_TAG_BASE: u64 = 1 << 63;
 
 /// LSU counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -28,6 +38,10 @@ pub struct LsuStats {
     pub store_buf_stalls: u64,
     /// Issue attempts rejected because the cache had no free MSHR.
     pub mshr_stalls: u64,
+    /// Most load-buffer entries ever simultaneously in flight.
+    pub load_buf_peak: u64,
+    /// Most store-buffer entries ever simultaneously in flight.
+    pub store_buf_peak: u64,
 }
 
 /// Why a memory operation could not complete this cycle.
@@ -40,18 +54,29 @@ pub enum LsuStall {
     DataError,
 }
 
+/// One outstanding transaction in a load/store buffer.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    #[allow(dead_code)] // identifies the entry in traces/debugging
+    tag: Tag,
+    /// Completion cycle carried by the matched response.
+    done: u64,
+}
+
 /// Timing state of one CPU's LSU.
 #[derive(Clone, Debug)]
 pub struct Lsu {
     load_buf: usize,
     store_buf: usize,
-    /// Completion cycles of in-flight loads (out-of-order returns: entries
-    /// retire individually as their data arrives).
-    loads: Vec<u64>,
-    /// Completion cycles of stores drained to the cache.
-    stores: Vec<u64>,
+    /// In-flight loads (out-of-order returns: entries retire individually
+    /// as their data arrives).
+    loads: Vec<InFlight>,
+    /// Stores drained to the cache but not yet globally performed.
+    stores: Vec<InFlight>,
     /// Next cycle the CPU's data-cache port is free.
     port_next: u64,
+    /// Next transaction tag (LSU space).
+    next_tag: u64,
     pub stats: LsuStats,
 }
 
@@ -63,13 +88,20 @@ impl Lsu {
             loads: Vec::with_capacity(load_buf),
             stores: Vec::with_capacity(store_buf),
             port_next: 0,
+            next_tag: LSU_TAG_BASE,
             stats: LsuStats::default(),
         }
     }
 
+    fn fresh_tag(&mut self) -> Tag {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        Tag(t)
+    }
+
     fn reap(&mut self, now: u64) {
-        self.loads.retain(|&d| d > now);
-        self.stores.retain(|&d| d > now);
+        self.loads.retain(|e| e.done > now);
+        self.stores.retain(|e| e.done > now);
     }
 
     /// Outstanding loads (for microthreading decisions and tests).
@@ -81,35 +113,61 @@ impl Lsu {
         self.stores.len()
     }
 
+    /// Drain the response queue until the reply tagged `want` arrives.
+    /// Unclaimed prefetch replies encountered on the way are dropped (they
+    /// are non-binding); anything else unclaimed is a port-protocol bug.
+    fn collect(&mut self, port: &mut dyn MemPort, cpu: usize, want: Tag) -> Completion {
+        loop {
+            let resp = port.pop_resp(cpu).expect("accepted request must produce a response");
+            if resp.tag == want {
+                return resp.completion;
+            }
+            debug_assert_eq!(
+                resp.kind,
+                DKind::Prefetch,
+                "only prefetch responses may go unclaimed"
+            );
+        }
+    }
+
+    fn data_req(&mut self, cpu: usize, addr: u32, kind: DKind, policy: DPolicy) -> MemReq {
+        MemReq { cpu: cpu as u8, port: ReqPort::Data, addr, kind, policy, tag: self.fresh_tag() }
+    }
+
     /// Issue a load at cycle `t`. Returns the cycle its data is available.
     pub fn load(
         &mut self,
         t: u64,
         addr: u32,
         pol: DPolicy,
-        port: &mut dyn CorePort,
+        port: &mut dyn MemPort,
         cpu: usize,
     ) -> Result<u64, LsuStall> {
         self.reap(t);
         if self.loads.len() >= self.load_buf {
             self.stats.load_buf_stalls += 1;
             // Retry when the earliest outstanding load returns.
-            let retry = self.loads.iter().copied().min().unwrap_or(t + 1).max(t + 1);
+            let retry = self.loads.iter().map(|e| e.done).min().unwrap_or(t + 1).max(t + 1);
             return Err(LsuStall::Retry { retry_at: retry });
         }
         let at = t.max(self.port_next);
-        match port.daccess(at, cpu, addr, DKind::Load, pol) {
-            Ok(avail) => {
-                self.port_next = at + 1;
-                self.loads.push(avail);
-                self.stats.loads += 1;
-                Ok(avail)
-            }
-            Err(DStall::MshrFull) => {
+        let req = self.data_req(cpu, addr, DKind::Load, pol);
+        match port.submit(at, req) {
+            Ok(()) => match self.collect(port, cpu, req.tag) {
+                Completion::Done { at: avail } => {
+                    self.port_next = at + 1;
+                    self.loads.push(InFlight { tag: req.tag, done: avail });
+                    self.stats.loads += 1;
+                    self.stats.load_buf_peak =
+                        self.stats.load_buf_peak.max(self.loads.len() as u64);
+                    Ok(avail)
+                }
+                Completion::Fault => Err(LsuStall::DataError),
+            },
+            Err(Reject { retry_at }) => {
                 self.stats.mshr_stalls += 1;
-                Err(LsuStall::Retry { retry_at: at + 1 })
+                Err(LsuStall::Retry { retry_at })
             }
-            Err(DStall::DataError) => Err(LsuStall::DataError),
         }
     }
 
@@ -121,27 +179,33 @@ impl Lsu {
         t: u64,
         addr: u32,
         pol: DPolicy,
-        port: &mut dyn CorePort,
+        port: &mut dyn MemPort,
         cpu: usize,
     ) -> Result<u64, LsuStall> {
         self.reap(t);
         if self.stores.len() >= self.store_buf {
             self.stats.store_buf_stalls += 1;
-            let retry = self.stores.iter().copied().min().unwrap_or(t + 1).max(t + 1);
+            let retry = self.stores.iter().map(|e| e.done).min().unwrap_or(t + 1).max(t + 1);
             return Err(LsuStall::Retry { retry_at: retry });
         }
         // Drain: first port slot after issue.
         let mut at = (t + 1).max(self.port_next);
         for _ in 0..100_000 {
-            match port.daccess(at, cpu, addr, DKind::Store, pol) {
-                Ok(done) => {
-                    self.port_next = at + 1;
-                    self.stores.push(done.max(at));
-                    self.stats.stores += 1;
-                    return Ok(done.max(at));
-                }
-                Err(DStall::MshrFull) => at += 1,
-                Err(DStall::DataError) => return Err(LsuStall::DataError),
+            let req = self.data_req(cpu, addr, DKind::Store, pol);
+            match port.submit(at, req) {
+                Ok(()) => match self.collect(port, cpu, req.tag) {
+                    Completion::Done { at: done } => {
+                        self.port_next = at + 1;
+                        let done = done.max(at);
+                        self.stores.push(InFlight { tag: req.tag, done });
+                        self.stats.stores += 1;
+                        self.stats.store_buf_peak =
+                            self.stats.store_buf_peak.max(self.stores.len() as u64);
+                        return Ok(done);
+                    }
+                    Completion::Fault => return Err(LsuStall::DataError),
+                },
+                Err(Reject { retry_at }) => at = retry_at.max(at + 1),
             }
         }
         // A drain starved this long means the memory system is wedged;
@@ -155,33 +219,41 @@ impl Lsu {
         &mut self,
         t: u64,
         addr: u32,
-        port: &mut dyn CorePort,
+        port: &mut dyn MemPort,
         cpu: usize,
     ) -> Result<u64, LsuStall> {
         let ordered = self.quiesce_time().max(t);
         self.reap(ordered);
         let at = ordered.max(self.port_next);
-        match port.daccess(at, cpu, addr, DKind::Atomic, DPolicy::Cached) {
-            Ok(avail) => {
-                self.port_next = at + 1;
-                self.loads.push(avail);
-                self.stats.atomics += 1;
-                Ok(avail)
-            }
-            Err(DStall::MshrFull) => {
+        let req = self.data_req(cpu, addr, DKind::Atomic, DPolicy::Cached);
+        match port.submit(at, req) {
+            Ok(()) => match self.collect(port, cpu, req.tag) {
+                Completion::Done { at: avail } => {
+                    self.port_next = at + 1;
+                    self.loads.push(InFlight { tag: req.tag, done: avail });
+                    self.stats.atomics += 1;
+                    self.stats.load_buf_peak =
+                        self.stats.load_buf_peak.max(self.loads.len() as u64);
+                    Ok(avail)
+                }
+                Completion::Fault => Err(LsuStall::DataError),
+            },
+            Err(Reject { retry_at }) => {
                 self.stats.mshr_stalls += 1;
-                Err(LsuStall::Retry { retry_at: at + 1 })
+                Err(LsuStall::Retry { retry_at })
             }
-            Err(DStall::DataError) => Err(LsuStall::DataError),
         }
     }
 
     /// Queue a non-faulting prefetch; never stalls the pipeline.
-    pub fn prefetch(&mut self, t: u64, addr: u32, port: &mut dyn CorePort, cpu: usize) {
+    pub fn prefetch(&mut self, t: u64, addr: u32, port: &mut dyn MemPort, cpu: usize) {
         let at = t.max(self.port_next);
         self.stats.prefetches += 1;
-        // Dropped silently on structural conflicts (non-binding).
-        if port.daccess(at, cpu, addr, DKind::Prefetch, DPolicy::Cached).is_ok() {
+        let req = self.data_req(cpu, addr, DKind::Prefetch, DPolicy::Cached);
+        // Dropped silently on structural conflicts (non-binding); the reply
+        // is consumed and discarded — nothing waits on a prefetch.
+        if port.submit(at, req).is_ok() {
+            self.collect(port, cpu, req.tag);
             self.port_next = at + 1;
         }
     }
@@ -189,7 +261,7 @@ impl Lsu {
     /// Cycle by which every outstanding load and store completes — the
     /// memory-barrier wait condition.
     pub fn quiesce_time(&self) -> u64 {
-        self.loads.iter().chain(self.stores.iter()).copied().max().unwrap_or(0)
+        self.loads.iter().chain(self.stores.iter()).map(|e| e.done).max().unwrap_or(0)
     }
 }
 
@@ -232,6 +304,7 @@ mod tests {
         let e = lsu.load(t, 24, DPolicy::Cached, &mut p, 0).unwrap_err();
         assert!(matches!(e, LsuStall::Retry { retry_at } if retry_at > t));
         assert_eq!(lsu.stats.load_buf_stalls, 1);
+        assert_eq!(lsu.stats.load_buf_peak, 5);
     }
 
     #[test]
@@ -251,6 +324,7 @@ mod tests {
         }
         assert!(stalled, "store buffer must fill");
         assert!(lsu.stores_in_flight() <= 8);
+        assert!(lsu.stats.store_buf_peak <= 8);
     }
 
     #[test]

@@ -1,33 +1,19 @@
-//! The memory-system interface the CPU core drives, and a standalone
-//! (single-CPU) implementation.
+//! Standalone (single-CPU) implementations of the memory-transaction port.
 //!
-//! The SoC crate provides an alternative implementation in which both CPUs
-//! share the dual-ported D-cache and reach DRAM through the crossbar.
+//! The SoC crate provides the dual-CPU implementation in which both CPUs
+//! share the dual-ported D-cache and reach DRAM through the crossbar;
+//! these backends serve a lone core and the idealised "without memory
+//! effects" accounting. All of them speak [`MemPort`], so [`crate::CycleSim`]
+//! stays generic over the memory system.
+
+use std::collections::VecDeque;
 
 use majc_mem::{
-    DCache, DCacheConfig, DKind, DPolicy, DStall, Dram, DramConfig, FaultPlan, FaultSite, FlatMem,
+    DCache, DCacheConfig, DStall, Dram, DramConfig, FaultEvent, FaultPlan, FaultSite, FlatMem,
     ICache, ICacheConfig, MemBackend, PerfectMem,
 };
 
-/// What the pipeline needs from the memory system: architectural data,
-/// instruction-line fetch timing, and data-access timing. `cpu` selects the
-/// D-cache port (always 0 for a standalone core).
-pub trait CorePort {
-    /// The architectural backing store.
-    fn mem(&mut self) -> &mut FlatMem;
-    /// Fetch the instruction line containing `addr`; returns availability.
-    fn ifetch(&mut self, now: u64, cpu: usize, addr: u32) -> u64;
-    /// One data access; returns the data-available / globally-performed
-    /// cycle, or a structural stall.
-    fn daccess(
-        &mut self,
-        now: u64,
-        cpu: usize,
-        addr: u32,
-        kind: DKind,
-        pol: DPolicy,
-    ) -> Result<u64, DStall>;
-}
+use crate::txn::{Completion, MemLevelStats, MemPort, MemReq, MemResp, Reject, ReqPort};
 
 /// Backend selection for the standalone memory system.
 #[derive(Clone, Debug)]
@@ -62,6 +48,8 @@ pub struct LocalMemSys {
     pub dcache: DCache,
     pub backend: Backend,
     pub mem: FlatMem,
+    /// Completed transactions awaiting pickup by the core.
+    resp: VecDeque<MemResp>,
 }
 
 impl LocalMemSys {
@@ -72,6 +60,7 @@ impl LocalMemSys {
             dcache: DCache::new(DCacheConfig::default()),
             backend: Backend::Dram(Dram::new(DramConfig::default())),
             mem: FlatMem::new(),
+            resp: VecDeque::new(),
         }
     }
 
@@ -96,21 +85,23 @@ impl LocalMemSys {
     }
 
     /// Every fault event injected so far, across all armed sites, in a
-    /// stable site order (the deterministic injection trace).
-    pub fn fault_events(&self) -> Vec<majc_mem::FaultEvent> {
-        let mut out = Vec::new();
-        if let Some(f) = &self.icache.fault {
-            out.extend_from_slice(&f.events);
-        }
-        if let Some(f) = &self.dcache.fault {
-            out.extend_from_slice(&f.events);
-        }
-        if let Backend::Dram(d) = &self.backend {
-            if let Some(f) = &d.fault {
-                out.extend_from_slice(&f.events);
-            }
-        }
-        out
+    /// stable site order — borrowed, no allocation (the deterministic
+    /// injection trace).
+    pub fn fault_events_iter(&self) -> impl Iterator<Item = &FaultEvent> + '_ {
+        let dram_fault = match &self.backend {
+            Backend::Dram(d) => d.fault.as_ref(),
+            Backend::Perfect(_) => None,
+        };
+        [self.icache.fault.as_ref(), self.dcache.fault.as_ref(), dram_fault]
+            .into_iter()
+            .flatten()
+            .flat_map(|f| f.events.iter())
+    }
+
+    /// Owned copy of [`Self::fault_events_iter`] for callers that keep the
+    /// trace around.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.fault_events_iter().copied().collect()
     }
 
     /// Start a new measurement epoch: caches stay warm, but all in-flight
@@ -124,24 +115,52 @@ impl LocalMemSys {
     }
 }
 
-impl CorePort for LocalMemSys {
+impl MemPort for LocalMemSys {
     fn mem(&mut self) -> &mut FlatMem {
         &mut self.mem
     }
 
-    fn ifetch(&mut self, now: u64, _cpu: usize, addr: u32) -> u64 {
-        self.icache.fetch(now, addr, &mut self.backend)
+    fn submit(&mut self, now: u64, req: MemReq) -> Result<(), Reject> {
+        let completion = match req.port {
+            ReqPort::Instr => {
+                Completion::Done { at: self.icache.fetch(now, req.addr, &mut self.backend) }
+            }
+            ReqPort::Data => {
+                match self.dcache.access(now, 0, req.addr, req.kind, req.policy, &mut self.backend)
+                {
+                    Ok(at) => Completion::Done { at },
+                    Err(DStall::MshrFull) => return Err(Reject { retry_at: now + 1 }),
+                    Err(DStall::DataError) => Completion::Fault,
+                }
+            }
+        };
+        self.resp.push_back(MemResp { tag: req.tag, cpu: req.cpu, kind: req.kind, completion });
+        Ok(())
     }
 
-    fn daccess(
-        &mut self,
-        now: u64,
-        cpu: usize,
-        addr: u32,
-        kind: DKind,
-        pol: DPolicy,
-    ) -> Result<u64, DStall> {
-        self.dcache.access(now, cpu, addr, kind, pol, &mut self.backend)
+    fn pop_resp(&mut self, _cpu: usize) -> Option<MemResp> {
+        self.resp.pop_front()
+    }
+
+    fn level_stats(&self, _cpu: usize) -> MemLevelStats {
+        let ic = self.icache.stats();
+        let (grants, retries, busy) = match &self.backend {
+            Backend::Dram(d) => {
+                (d.stats.reads + d.stats.writes, d.stats.retries, d.stats.busy_cycles)
+            }
+            Backend::Perfect(_) => (0, 0, 0),
+        };
+        MemLevelStats {
+            icache_hits: ic.hits,
+            icache_misses: ic.misses,
+            dcache_hits: self.dcache.port_hits[0],
+            dcache_misses: self.dcache.port_misses[0],
+            mshr_high_water: self.dcache.mshr_high_water as u64,
+            xbar_grants: grants,
+            xbar_retries: retries,
+            dram_busy_cycles: busy,
+            ..Default::default()
+        }
     }
 }
 
@@ -152,11 +171,12 @@ impl CorePort for LocalMemSys {
 pub struct PerfectPort {
     pub load_use: u64,
     pub mem: FlatMem,
+    resp: VecDeque<MemResp>,
 }
 
 impl PerfectPort {
     pub fn new() -> PerfectPort {
-        PerfectPort { load_use: 2, mem: FlatMem::new() }
+        PerfectPort { load_use: 2, mem: FlatMem::new(), resp: VecDeque::new() }
     }
 
     pub fn with_mem(mut self, mem: FlatMem) -> PerfectPort {
@@ -171,53 +191,114 @@ impl Default for PerfectPort {
     }
 }
 
-impl CorePort for PerfectPort {
+impl MemPort for PerfectPort {
     fn mem(&mut self) -> &mut FlatMem {
         &mut self.mem
     }
 
-    fn ifetch(&mut self, now: u64, _cpu: usize, _addr: u32) -> u64 {
-        now
+    fn submit(&mut self, now: u64, req: MemReq) -> Result<(), Reject> {
+        use majc_mem::DKind;
+        let at = match req.port {
+            ReqPort::Instr => now,
+            ReqPort::Data => match req.kind {
+                DKind::Load | DKind::Atomic => now + self.load_use,
+                DKind::Store | DKind::Prefetch => now,
+            },
+        };
+        self.resp.push_back(MemResp {
+            tag: req.tag,
+            cpu: req.cpu,
+            kind: req.kind,
+            completion: Completion::Done { at },
+        });
+        Ok(())
     }
 
-    fn daccess(
-        &mut self,
-        now: u64,
-        _cpu: usize,
-        _addr: u32,
-        kind: DKind,
-        _pol: DPolicy,
-    ) -> Result<u64, DStall> {
-        Ok(match kind {
-            DKind::Load | DKind::Atomic => now + self.load_use,
-            DKind::Store | DKind::Prefetch => now,
-        })
+    fn pop_resp(&mut self, _cpu: usize) -> Option<MemResp> {
+        self.resp.pop_front()
+    }
+
+    fn level_stats(&self, _cpu: usize) -> MemLevelStats {
+        MemLevelStats::default()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::txn::Tag;
+    use majc_mem::{DKind, DPolicy};
+
+    fn req(port: ReqPort, addr: u32, kind: DKind, tag: u64) -> MemReq {
+        MemReq { cpu: 0, port, addr, kind, policy: DPolicy::Cached, tag: Tag(tag) }
+    }
+
+    fn done(p: &mut dyn MemPort) -> u64 {
+        match p.pop_resp(0).expect("response queued").completion {
+            Completion::Done { at } => at,
+            Completion::Fault => panic!("unexpected fault"),
+        }
+    }
 
     #[test]
     fn local_memsys_routes_to_caches() {
         let mut m = LocalMemSys::majc5200();
-        let t0 = m.ifetch(0, 0, 0x100);
+        m.submit(0, req(ReqPort::Instr, 0x100, DKind::Load, 1)).unwrap();
+        let t0 = done(&mut m);
         assert!(t0 > 0, "cold I-cache misses");
-        let t1 = m.ifetch(t0, 0, 0x104);
-        assert_eq!(t1, t0, "same line hits");
+        m.submit(t0, req(ReqPort::Instr, 0x104, DKind::Load, 2)).unwrap();
+        assert_eq!(done(&mut m), t0, "same line hits");
 
-        let d0 = m.daccess(0, 0, 0x2000, DKind::Load, DPolicy::Cached).unwrap();
+        m.submit(0, req(ReqPort::Data, 0x2000, DKind::Load, 3)).unwrap();
+        let d0 = done(&mut m);
         assert!(d0 > 2);
-        let d1 = m.daccess(d0, 0, 0x2004, DKind::Load, DPolicy::Cached).unwrap();
-        assert_eq!(d1, d0 + 2, "2-cycle load-to-use on a hit");
+        m.submit(d0, req(ReqPort::Data, 0x2004, DKind::Load, 4)).unwrap();
+        assert_eq!(done(&mut m), d0 + 2, "2-cycle load-to-use on a hit");
+    }
+
+    #[test]
+    fn responses_carry_their_tags() {
+        let mut m = LocalMemSys::majc5200();
+        m.submit(0, req(ReqPort::Data, 0x1000, DKind::Load, 7)).unwrap();
+        m.submit(0, req(ReqPort::Data, 0x2000, DKind::Load, 8)).unwrap();
+        let a = m.pop_resp(0).unwrap();
+        let b = m.pop_resp(0).unwrap();
+        assert_eq!((a.tag, b.tag), (Tag(7), Tag(8)));
+        assert!(m.pop_resp(0).is_none());
+    }
+
+    #[test]
+    fn mshr_exhaustion_rejects() {
+        let mut m = LocalMemSys::majc5200();
+        for i in 0..4u32 {
+            m.submit(0, req(ReqPort::Data, i * 0x1000, DKind::Load, i as u64)).unwrap();
+        }
+        let e = m.submit(0, req(ReqPort::Data, 0x9000, DKind::Load, 9)).unwrap_err();
+        assert_eq!(e, Reject { retry_at: 1 });
+        assert_eq!(m.resp.len(), 4, "rejected requests produce no response");
     }
 
     #[test]
     fn perfect_port_is_flat() {
         let mut p = PerfectPort::new();
-        assert_eq!(p.ifetch(5, 0, 0xFFF0), 5);
-        assert_eq!(p.daccess(5, 0, 0, DKind::Load, DPolicy::Cached), Ok(7));
-        assert_eq!(p.daccess(5, 0, 0, DKind::Store, DPolicy::Cached), Ok(5));
+        p.submit(5, req(ReqPort::Instr, 0xFFF0, DKind::Load, 1)).unwrap();
+        assert_eq!(done(&mut p), 5);
+        p.submit(5, req(ReqPort::Data, 0, DKind::Load, 2)).unwrap();
+        assert_eq!(done(&mut p), 7);
+        p.submit(5, req(ReqPort::Data, 0, DKind::Store, 3)).unwrap();
+        assert_eq!(done(&mut p), 5);
+    }
+
+    #[test]
+    fn level_stats_track_the_hierarchy() {
+        let mut m = LocalMemSys::majc5200();
+        m.submit(0, req(ReqPort::Data, 0x2000, DKind::Load, 1)).unwrap();
+        let t = done(&mut m);
+        m.submit(t + 1, req(ReqPort::Data, 0x2004, DKind::Load, 2)).unwrap();
+        done(&mut m);
+        let s = m.level_stats(0);
+        assert_eq!((s.dcache_hits, s.dcache_misses), (1, 1));
+        assert_eq!(s.mshr_high_water, 1);
+        assert!(s.dram_busy_cycles > 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Counters produced by the cycle-accurate simulator.
 
 use crate::predictor::PredictorStats;
+use crate::txn::MemLevelStats;
 
 /// Everything the cycle model counts while running.
 #[derive(Clone, Copy, Debug, Default)]
@@ -26,6 +27,9 @@ pub struct CycleStats {
     pub context_switches: u64,
     /// Traps delivered to the configured vector (precise delivery).
     pub traps: u64,
+    /// Per-level memory-hierarchy counters (caches, MSHRs, LSU buffers,
+    /// crossbar, DRDRAM), snapshotted from the port when a run finishes.
+    pub mem: MemLevelStats,
 }
 
 impl CycleStats {

@@ -92,6 +92,13 @@ pub struct DCache {
     mshrs: Vec<Mshr>,
     /// Per-port access counts (port = CPU id).
     pub port_accesses: [u64; 2],
+    /// Per-port hits/misses on the cached path (port = CPU id). Sums match
+    /// the [`CacheStats`] totals; the split is what the per-CPU hit-rate
+    /// observability reports.
+    pub port_hits: [u64; 2],
+    pub port_misses: [u64; 2],
+    /// Most MSHRs ever simultaneously in flight.
+    pub mshr_high_water: usize,
     pub prefetches: u64,
     pub prefetch_drops: u64,
     pub mshr_stall_cycles: u64,
@@ -106,6 +113,9 @@ impl DCache {
             mshrs: Vec::with_capacity(cfg.mshrs),
             cfg,
             port_accesses: [0; 2],
+            port_hits: [0; 2],
+            port_misses: [0; 2],
+            mshr_high_water: 0,
             prefetches: 0,
             prefetch_drops: 0,
             mshr_stall_cycles: 0,
@@ -119,6 +129,11 @@ impl DCache {
 
     pub fn stats(&self) -> &CacheStats {
         &self.tags.stats
+    }
+
+    /// Align an address down to its cache line.
+    pub fn line_addr(&self, addr: u32) -> u32 {
+        self.tags.line_addr(addr)
     }
 
     /// Retire MSHRs whose fills have arrived by `now`, installing lines.
@@ -193,6 +208,7 @@ impl DCache {
                 self.cfg.line_bytes as u32,
             );
             self.mshrs.push(Mshr { line, done, allocate: true, dirty: false });
+            self.mshr_high_water = self.mshr_high_water.max(self.mshrs.len());
             return Ok(now);
         }
 
@@ -209,8 +225,10 @@ impl DCache {
         }
 
         if self.tags.access(addr, is_write) {
+            self.port_hits[port.min(1)] += 1;
             return Ok(now + self.cfg.load_use);
         }
+        self.port_misses[port.min(1)] += 1;
 
         // Miss: merge into a pending MSHR for the same line if any.
         if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
@@ -228,6 +246,7 @@ impl DCache {
             backend.backend_read(now + self.cfg.miss_overhead, line, self.cfg.line_bytes as u32);
         let allocate = pol != DPolicy::NonAllocating;
         self.mshrs.push(Mshr { line, done, allocate, dirty: is_write && allocate });
+        self.mshr_high_water = self.mshr_high_water.max(self.mshrs.len());
         if is_write && !allocate {
             // Non-allocating store: write-through to the backend.
             let wdone = backend.backend_write(now + self.cfg.miss_overhead, addr, 4);

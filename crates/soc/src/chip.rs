@@ -5,14 +5,44 @@
 //! provides a powerful, very low overhead communication between the two
 //! CPUs" (paper §3.2) — coherence is a property of sharing one physical
 //! cache, so the model needs no protocol.
+//!
+//! Ownership is strictly tree-shaped: [`Majc5200`] owns both [`CpuCore`]s
+//! *and* the shared [`ChipMem`]; while a core steps, the chip lends it a
+//! [`ChipPort`] (`&mut ChipMem` behind the [`MemPort`] transaction trait).
+//! The cores never hold a reference into the chip between steps, so there
+//! is no aliasing and no `NonNull` — the borrow checker proves the sharing
+//! discipline the old raw-pointer port only asserted in a comment.
+//!
+//! The D-cache is dual-ported: each CPU drives its own port, and two
+//! same-cycle accesses proceed in parallel *unless* they touch the same
+//! line and at least one writes — then the chip arbiter serializes them
+//! (CPU ordering ties break toward the earlier-submitted request). The
+//! conflict ledger below models exactly that case and counts it in
+//! [`MemLevelStats::dport_conflicts`].
 
-use std::ptr::NonNull;
+use std::collections::VecDeque;
 
-use majc_core::{CorePort, CycleSim, SimError, TimingConfig};
+use majc_core::{
+    Completion, CpuCore, MemLevelStats, MemPort, MemReq, MemResp, Reject, ReqPort, SimError,
+    TimingConfig,
+};
 use majc_isa::Program;
-use majc_mem::{DCache, DKind, DPolicy, DStall, FaultEvent, FaultPlan, FaultSite, FlatMem, ICache};
+use majc_mem::{DCache, DKind, DStall, FaultEvent, FaultPlan, FaultSite, FlatMem, ICache};
 
 use crate::crossbar::{Crossbar, Routed, Source};
+
+/// How many cycles a data access can be pushed back by same-line conflicts
+/// before the arbiter gives up looking (two ports, so one bump normally
+/// clears the collision; the bound only guards degenerate ledgers).
+const ARB_BOUND: u32 = 64;
+
+/// Chip-level arbitration counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChipMemStats {
+    /// Same-cycle same-line D-cache port collisions (with a writer
+    /// involved) that the arbiter had to serialize.
+    pub dport_conflicts: u64,
+}
 
 /// The memory-side state shared by both CPUs.
 pub struct ChipMem {
@@ -20,6 +50,15 @@ pub struct ChipMem {
     pub dcache: DCache,
     pub xbar: Crossbar,
     pub mem: FlatMem,
+    pub stats: ChipMemStats,
+    /// Per-CPU completed transactions awaiting pickup.
+    resp: [VecDeque<MemResp>; 2],
+    /// Recent granted data-port accesses `(cycle, cpu, line, write)` — the
+    /// dual-port conflict ledger.
+    ledger: VecDeque<(u64, usize, u32, bool)>,
+    /// Latest data-request submit time per CPU (monotonic per CPU); the
+    /// ledger is pruned below the minimum, where no future grant can land.
+    port_time: [u64; 2],
 }
 
 impl ChipMem {
@@ -29,6 +68,10 @@ impl ChipMem {
             dcache: DCache::default(),
             xbar: Crossbar::new(),
             mem,
+            stats: ChipMemStats::default(),
+            resp: [VecDeque::new(), VecDeque::new()],
+            ledger: VecDeque::new(),
+            port_time: [0; 2],
         }
     }
 
@@ -45,72 +88,172 @@ impl ChipMem {
     }
 
     /// Every fault injected so far, across all armed sites, in a stable
-    /// site order (the deterministic injection trace).
+    /// site order — borrowed, no allocation (the deterministic injection
+    /// trace the soak loop polls every iteration).
+    pub fn fault_events_iter(&self) -> impl Iterator<Item = &FaultEvent> + '_ {
+        self.icaches
+            .iter()
+            .map(|ic| ic.fault.as_ref())
+            .chain([
+                self.dcache.fault.as_ref(),
+                self.xbar.fault.as_ref(),
+                self.xbar.dram.fault.as_ref(),
+            ])
+            .flatten()
+            .flat_map(|f| f.events.iter())
+    }
+
+    /// Owned copy of [`Self::fault_events_iter`] for callers that keep the
+    /// trace around.
     pub fn fault_events(&self) -> Vec<FaultEvent> {
-        let mut out = Vec::new();
-        for ic in &self.icaches {
-            if let Some(f) = &ic.fault {
-                out.extend_from_slice(&f.events);
+        self.fault_events_iter().copied().collect()
+    }
+
+    /// End a measurement epoch: complete every outstanding D-cache fill,
+    /// rewind the DRDRAM channel clock, and clear the arbitration ledger —
+    /// tags stay warm, so a fresh pair of cores re-running the same
+    /// programs measures steady-state (all-hit) timing.
+    pub fn new_epoch(&mut self) {
+        self.dcache.drain(&mut Routed { xbar: &mut self.xbar, src: Source::CpuD });
+        self.xbar.dram.reset_time();
+        self.ledger.clear();
+        self.port_time = [0; 2];
+    }
+
+    /// Arbitrate CPU `cpu`'s data access to `line` wanted at `now`: scan
+    /// the ledger for a same-cycle access from the *other* port to the same
+    /// line with a writer involved, bumping the grant a cycle per collision
+    /// (reads on both ports share the line freely — it is dual-ported).
+    fn arbitrate(&mut self, now: u64, cpu: usize, line: u32, write: bool) -> u64 {
+        let mut grant = now;
+        for _ in 0..ARB_BOUND {
+            let clash = self
+                .ledger
+                .iter()
+                .any(|&(at, c, l, w)| at == grant && c != cpu && l == line && (w || write));
+            if !clash {
+                break;
             }
+            self.stats.dport_conflicts += 1;
+            grant += 1;
         }
-        for f in [&self.dcache.fault, &self.xbar.fault, &self.xbar.dram.fault].into_iter().flatten()
-        {
-            out.extend_from_slice(&f.events);
+        grant
+    }
+
+    fn prune_ledger(&mut self) {
+        let horizon = self.port_time[0].min(self.port_time[1]);
+        while self.ledger.front().is_some_and(|&(at, ..)| at < horizon) {
+            self.ledger.pop_front();
         }
-        out
+    }
+
+    /// Accept one transaction (see [`MemPort::submit`] for the contract).
+    pub fn submit(&mut self, now: u64, req: MemReq) -> Result<(), Reject> {
+        let cpu = usize::from(req.cpu) & 1;
+        let completion = match req.port {
+            ReqPort::Instr => {
+                let src = if cpu == 0 { Source::Cpu0I } else { Source::Cpu1I };
+                let at = self.icaches[cpu].fetch(
+                    now,
+                    req.addr,
+                    &mut Routed { xbar: &mut self.xbar, src },
+                );
+                Completion::Done { at }
+            }
+            ReqPort::Data => {
+                let write = matches!(req.kind, DKind::Store | DKind::Atomic);
+                let line = self.dcache.line_addr(req.addr);
+                // Prefetches are non-binding: they never contend for a
+                // port slot and never appear in the ledger.
+                let grant = if req.kind == DKind::Prefetch {
+                    now
+                } else {
+                    self.port_time[cpu] = self.port_time[cpu].max(now);
+                    self.prune_ledger();
+                    self.arbitrate(now, cpu, line, write)
+                };
+                let res = self.dcache.access(
+                    grant,
+                    cpu,
+                    req.addr,
+                    req.kind,
+                    req.policy,
+                    &mut Routed { xbar: &mut self.xbar, src: Source::CpuD },
+                );
+                match res {
+                    Ok(at) => {
+                        if req.kind != DKind::Prefetch {
+                            self.ledger.push_back((grant, cpu, line, write));
+                        }
+                        Completion::Done { at }
+                    }
+                    // No response, no ledger entry: a rejected request
+                    // never occupied the port.
+                    Err(DStall::MshrFull) => return Err(Reject { retry_at: now + 1 }),
+                    Err(DStall::DataError) => {
+                        // The faulting access did occupy its port slot.
+                        self.ledger.push_back((grant, cpu, line, write));
+                        Completion::Fault
+                    }
+                }
+            }
+        };
+        self.resp[cpu].push_back(MemResp {
+            tag: req.tag,
+            cpu: req.cpu,
+            kind: req.kind,
+            completion,
+        });
+        Ok(())
+    }
+
+    /// Per-level counters as seen by `cpu`: cache numbers are per-CPU,
+    /// crossbar/DRDRAM numbers are chip-wide (the channel is shared).
+    pub fn level_stats(&self, cpu: usize) -> MemLevelStats {
+        let ic = self.icaches[cpu & 1].stats();
+        MemLevelStats {
+            icache_hits: ic.hits,
+            icache_misses: ic.misses,
+            dcache_hits: self.dcache.port_hits[cpu & 1],
+            dcache_misses: self.dcache.port_misses[cpu & 1],
+            mshr_high_water: self.dcache.mshr_high_water as u64,
+            xbar_grants: self.xbar.total_grants(),
+            xbar_retries: self.xbar.total_retries(),
+            dram_busy_cycles: self.xbar.dram.stats.busy_cycles,
+            dport_conflicts: self.stats.dport_conflicts,
+            ..Default::default()
+        }
     }
 }
 
-/// One CPU's view of [`ChipMem`].
-///
-/// SAFETY invariants: the pointer targets the `Box<ChipMem>` owned by the
-/// enclosing [`Majc5200`], whose field order drops the CPUs before the
-/// chip state; the simulator is single-threaded and each trait call
-/// creates its `&mut ChipMem` only for the call's duration, so no two
-/// live mutable references ever alias.
-pub struct CpuPort {
-    chip: NonNull<ChipMem>,
-    cpu: usize,
+/// One CPU's borrowed view of [`ChipMem`] for the duration of a step —
+/// plain `&mut`, proven unique by the borrow checker.
+pub struct ChipPort<'a> {
+    pub chip: &'a mut ChipMem,
 }
 
-// The simulator is single-threaded; CpuPort is never sent across threads
-// by this crate, and the pointer's target outlives it (see above).
-impl CorePort for CpuPort {
+impl MemPort for ChipPort<'_> {
     fn mem(&mut self) -> &mut FlatMem {
-        unsafe { &mut self.chip.as_mut().mem }
+        &mut self.chip.mem
     }
 
-    fn ifetch(&mut self, now: u64, _cpu: usize, addr: u32) -> u64 {
-        let c = unsafe { self.chip.as_mut() };
-        let src = if self.cpu == 0 { Source::Cpu0I } else { Source::Cpu1I };
-        c.icaches[self.cpu].fetch(now, addr, &mut Routed { xbar: &mut c.xbar, src })
+    fn submit(&mut self, now: u64, req: MemReq) -> Result<(), Reject> {
+        self.chip.submit(now, req)
     }
 
-    fn daccess(
-        &mut self,
-        now: u64,
-        _cpu: usize,
-        addr: u32,
-        kind: DKind,
-        pol: DPolicy,
-    ) -> Result<u64, DStall> {
-        let c = unsafe { self.chip.as_mut() };
-        c.dcache.access(
-            now,
-            self.cpu,
-            addr,
-            kind,
-            pol,
-            &mut Routed { xbar: &mut c.xbar, src: Source::CpuD },
-        )
+    fn pop_resp(&mut self, cpu: usize) -> Option<MemResp> {
+        self.chip.resp[cpu & 1].pop_front()
+    }
+
+    fn level_stats(&self, cpu: usize) -> MemLevelStats {
+        self.chip.level_stats(cpu)
     }
 }
 
-/// The whole chip: both CPUs plus the shared memory side. (Field order
-/// matters: CPUs drop before the chip state they point into.)
+/// The whole chip: both CPU cores plus the shared memory side.
 pub struct Majc5200 {
-    pub cpu: [CycleSim<CpuPort>; 2],
-    chip: Box<ChipMem>,
+    pub cpu: [CpuCore; 2],
+    chip: ChipMem,
     /// Chip-level watchdog budget (from [`TimingConfig::max_cycles`]).
     max_cycles: u64,
 }
@@ -118,12 +261,12 @@ pub struct Majc5200 {
 impl Majc5200 {
     /// Build with one program per CPU over a shared memory image.
     pub fn new(progs: [Program; 2], mem: FlatMem, cfg: TimingConfig) -> Majc5200 {
-        let mut chip = Box::new(ChipMem::new(mem));
-        let p = NonNull::from(chip.as_mut());
         let [p0, p1] = progs;
-        let cpu0 = CycleSim::on_port(p0, CpuPort { chip: p, cpu: 0 }, cfg, 0);
-        let cpu1 = CycleSim::on_port(p1, CpuPort { chip: p, cpu: 1 }, cfg, 1);
-        Majc5200 { cpu: [cpu0, cpu1], chip, max_cycles: cfg.max_cycles }
+        Majc5200 {
+            cpu: [CpuCore::new(p0, cfg, 0), CpuCore::new(p1, cfg, 1)],
+            chip: ChipMem::new(mem),
+            max_cycles: cfg.max_cycles,
+        }
     }
 
     pub fn chip(&self) -> &ChipMem {
@@ -148,8 +291,18 @@ impl Majc5200 {
     /// behind in simulated time) until both halt or `max_packets` packets
     /// have issued chip-wide. A CPU that runs past the configured
     /// `max_cycles` budget surfaces as a structured [`SimError::Hang`]
-    /// carrying the PCs of every CPU still executing.
+    /// carrying the PCs of every CPU still executing. Both CPUs'
+    /// `stats.mem` snapshots are refreshed when the run ends.
     pub fn run(&mut self, max_packets: u64) -> Result<(u64, u64), SimError> {
+        let res = self.run_inner(max_packets);
+        for core in &mut self.cpu {
+            core.merge_mem_stats(&ChipPort { chip: &mut self.chip });
+        }
+        res?;
+        Ok((self.cpu[0].stats.cycles, self.cpu[1].stats.cycles))
+    }
+
+    fn run_inner(&mut self, max_packets: u64) -> Result<(), SimError> {
         let mut issued = 0u64;
         while issued < max_packets {
             let h0 = self.cpu[0].halted();
@@ -164,10 +317,10 @@ impl Majc5200 {
             if cycle > self.max_cycles {
                 return Err(SimError::Hang { cycle, pcs: self.stuck_pcs() });
             }
-            self.cpu[pick].step()?;
+            self.cpu[pick].step_on(&mut ChipPort { chip: &mut self.chip })?;
             issued += 1;
         }
-        Ok((self.cpu[0].stats.cycles, self.cpu[1].stats.cycles))
+        Ok(())
     }
 }
 
@@ -295,6 +448,9 @@ mod tests {
         chip.run(10_000_000).unwrap();
         assert!(chip.cpu[0].halted() && chip.cpu[1].halted());
         assert_eq!(chip.chip_mut().mem.read_u32(FLAG), 100, "all increments must land");
+        // Both CPUs hammer the same counter line with CAS writes: the
+        // dual-port arbiter must have had collisions to serialize.
+        assert!(chip.cpu[0].stats.mem.dport_conflicts > 0, "same-line CAS traffic must collide");
     }
 
     #[test]
@@ -335,5 +491,6 @@ mod tests {
         // Separate I-caches and no shared data: running both should cost
         // at most a sliver more than running one.
         assert!((slower as f64) < s0 as f64 * 1.25, "dual-CPU {slower} vs single {s0}: no scaling");
+        assert_eq!(chip.cpu[0].stats.mem.dport_conflicts, 0, "no data traffic, no collisions");
     }
 }

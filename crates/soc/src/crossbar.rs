@@ -113,6 +113,16 @@ impl Crossbar {
     pub fn total_bytes(&self) -> u64 {
         self.stats.iter().map(|s| s.bytes).sum()
     }
+
+    /// Total grants issued (every request wins exactly one grant).
+    pub fn total_grants(&self) -> u64 {
+        self.stats.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total grants dropped and re-arbitrated (injected NACKs).
+    pub fn total_retries(&self) -> u64 {
+        self.stats.iter().map(|s| s.nacks).sum()
+    }
 }
 
 impl Default for Crossbar {
