@@ -3,7 +3,7 @@
 //! models, over a representative kernel (the 64x64 FIR).
 
 use majc_bench::microbench::{criterion_group, criterion_main, Criterion, Throughput};
-use majc_core::{CycleSim, FuncSim, LocalMemSys, TimingConfig};
+use majc_core::{CycleSim, FuncSim, LocalMemSys, MemSink, TimingConfig};
 use majc_kernels::fir;
 use majc_kernels::harness::XorShift;
 use std::hint::black_box;
@@ -34,6 +34,53 @@ fn bench(c: &mut Criterion) {
             let mut s = CycleSim::new(prog.clone(), port, TimingConfig::default());
             s.run(10_000_000).unwrap();
             black_box(s.stats.cycles)
+        })
+    });
+    g.finish();
+
+    // CI guard for the observability layer: the NullSink build must model
+    // the exact same machine as the fully-traced one (0% cycle deviation,
+    // well inside the 1% budget), and tracing every event must not slow
+    // the simulator beyond its wall-clock budget.
+    let cycles_null = {
+        let port = LocalMemSys::majc5200().with_mem(mem.clone());
+        let mut s = CycleSim::new(prog.clone(), port, TimingConfig::default());
+        s.run(10_000_000).unwrap();
+        s.stats.cycles
+    };
+    let cycles_traced = {
+        let port = LocalMemSys::majc5200().with_mem(mem.clone());
+        let mut s =
+            CycleSim::with_sink(prog.clone(), port, TimingConfig::default(), MemSink::unbounded());
+        s.run(10_000_000).unwrap();
+        s.stats.cycles
+    };
+    assert_eq!(
+        cycles_null, cycles_traced,
+        "NullSink and MemSink builds must simulate identical machines"
+    );
+
+    let mut g = c.benchmark_group("sink_overhead");
+    g.throughput(Throughput::Elements(packets));
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let port = LocalMemSys::majc5200().with_mem(mem.clone());
+            let mut s = CycleSim::new(prog.clone(), port, TimingConfig::default());
+            s.run(10_000_000).unwrap();
+            black_box(s.stats.cycles)
+        })
+    });
+    g.bench_function("mem_sink", |b| {
+        b.iter(|| {
+            let port = LocalMemSys::majc5200().with_mem(mem.clone());
+            let mut s = CycleSim::with_sink(
+                prog.clone(),
+                port,
+                TimingConfig::default(),
+                MemSink::unbounded(),
+            );
+            s.run(10_000_000).unwrap();
+            black_box((s.stats.cycles, s.sink.len()))
         })
     });
     g.finish();

@@ -841,6 +841,152 @@ pub fn memstats() -> Table {
     t
 }
 
+// ------------------------------- E11 -------------------------------
+
+/// Run `prog` once (cold caches) on the DRDRAM memory system with full
+/// event capture armed, returning the merged, time-sorted event stream and
+/// the final cycle stats.
+fn capture_events(
+    prog: &majc_isa::Program,
+    mem: FlatMem,
+) -> (Vec<majc_core::Event>, majc_core::CycleStats) {
+    use majc_core::{CycleSim, Event, LocalMemSys, MemSink};
+    let mut port = LocalMemSys::majc5200().with_mem(mem);
+    port.enable_logs();
+    let mut sim =
+        CycleSim::with_sink(prog.clone(), port, TimingConfig::default(), MemSink::unbounded());
+    sim.run(200_000_000).expect("traced kernel run");
+    let stats = sim.stats;
+    let mut evs = sim.sink.take();
+    evs.extend(sim.port.drain_events());
+    evs.sort_by_key(Event::timestamp);
+    (evs, stats)
+}
+
+/// The standard demo IDCT input (same seed as Table 1).
+fn demo_idct() -> (majc_isa::Program, FlatMem) {
+    let mut rng = XorShift::new(3);
+    let mut coeffs = [0i16; 64];
+    coeffs[0] = rng.next_i16(1000);
+    for _ in 0..12 {
+        coeffs[rng.next_range(64)] = rng.next_i16(300);
+    }
+    idct::build(&coeffs)
+}
+
+/// The standard demo FIR input (same seed as the simulator bench).
+fn demo_fir() -> (majc_isa::Program, FlatMem) {
+    let mut rng = XorShift::new(11);
+    let coeffs: Vec<f32> = (0..fir::TAPS).map(|_| rng.next_f32() * 0.2).collect();
+    let input: Vec<f32> = (0..fir::OUTPUTS + fir::TAPS - 1).map(|_| rng.next_f32()).collect();
+    fir::build(&coeffs, &input)
+}
+
+/// E11a: full event trace of the 8x8 IDCT, exported as a Perfetto
+/// `trace_event` document. Runs the capture twice to prove the stream is
+/// deterministic, validates the export with the in-tree JSON parser, and
+/// saves the timeline under `target/reports/` for <https://ui.perfetto.dev>.
+pub fn trace() -> Table {
+    use majc_core::{export_perfetto, validate_perfetto, Event};
+
+    let mut t = Table::new("trace", "E11a: cycle-level event trace + Perfetto export (8x8 IDCT)");
+    let (p, m) = demo_idct();
+    let (evs, stats) = capture_events(&p, m.clone());
+    let (evs2, _) = capture_events(&p, m);
+    assert_eq!(evs, evs2, "same program + seed must produce an identical event stream");
+
+    let doc = export_perfetto(&evs);
+    let validated = validate_perfetto(&doc).expect("exported Perfetto document validates");
+    let out = std::path::Path::new("target/reports");
+    let saved = std::fs::create_dir_all(out)
+        .and_then(|()| std::fs::write(out.join("trace_idct_perfetto.json"), &doc));
+    let where_saved = match saved {
+        Ok(()) => "saved target/reports/trace_idct_perfetto.json".to_string(),
+        Err(e) => format!("not saved: {e}"),
+    };
+
+    let count = |f: fn(&Event) -> bool| evs.iter().filter(|e| f(e)).count() as u64;
+    t.push(Row::new(
+        "events captured",
+        "-",
+        k(evs.len() as u64),
+        format!("{} cycles simulated", stats.cycles),
+    ));
+    t.push(Row::new(
+        "packet issues",
+        "-",
+        k(count(|e| matches!(e, Event::Issue { .. }))),
+        format!("{} instrs", stats.instrs),
+    ));
+    t.push(Row::new(
+        "ifetch transactions",
+        "-",
+        k(count(|e| matches!(e, Event::Fetch { .. }))),
+        "",
+    ));
+    t.push(Row::new(
+        "LSU transactions",
+        "-",
+        k(count(|e| matches!(e, Event::MemTxn { .. }))),
+        format!("{} retries", count(|e| matches!(e, Event::MemRetry { .. }))),
+    ));
+    t.push(Row::new(
+        "DRDRAM spans",
+        "-",
+        k(count(|e| matches!(e, Event::DramSpan { .. }))),
+        "data-channel occupancy",
+    ));
+    t.push(Row::new("determinism", "byte-identical", "byte-identical", "two seeded runs"));
+    t.push(Row::new(
+        "perfetto export",
+        "valid trace_event JSON",
+        format!("{validated} events validated"),
+        where_saved,
+    ));
+    t
+}
+
+/// E11b: PC-indexed stall-attribution profile of two kernels. The
+/// per-reason totals are reconciled against the aggregate `CycleStats`
+/// counters — the profiler is exact, not sampled.
+pub fn profile() -> Table {
+    use majc_core::StallReason;
+
+    let mut t = Table::new("profile", "E11b: stall-attribution profiler (top packets)");
+    for (kern, (p, m)) in [("IDCT", demo_idct()), ("FIR", demo_fir())] {
+        let (evs, stats) = capture_events(&p, m);
+        let prof = majc_core::profile(&evs);
+        for (i, pc) in prof.top(3).iter().enumerate() {
+            let dom = pc.dominant().map(StallReason::name).unwrap_or("-");
+            t.push(Row::new(
+                format!("{kern} #{} pc {:#x}", i + 1, pc.pc),
+                "-",
+                format!("{} stall cyc", pc.total),
+                format!("{} issues, dominant: {dom}", pc.packets),
+            ));
+        }
+        let by = &prof.totals;
+        let reconciled = by[StallReason::IFetch.idx()] == stats.front_stall_cycles
+            && by[StallReason::Operand.idx()] + by[StallReason::Bypass.idx()]
+                == stats.data_stall_cycles
+            && by[StallReason::LsuStructural.idx()] == stats.mem_stall_cycles
+            && prof.total_stall() <= stats.cycles;
+        assert!(reconciled, "{kern}: profiler totals diverged from CycleStats");
+        t.push(Row::new(
+            format!("{kern} reconciliation"),
+            "exact",
+            "exact",
+            format!(
+                "{} attributed of {} cycles over {} packets",
+                prof.total_stall(),
+                stats.cycles,
+                prof.packets
+            ),
+        ));
+    }
+    t
+}
+
 /// Every experiment, in paper order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -854,5 +1000,7 @@ pub fn all() -> Vec<Table> {
         ablations(),
         faults(),
         memstats(),
+        trace(),
+        profile(),
     ]
 }

@@ -1,11 +1,15 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|all]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|trace|profile|all]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
 //! JSON report under `target/reports/`.
 
+use std::process::ExitCode;
+
 use majc_bench::experiments;
 use majc_bench::report::Table;
+
+const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats trace profile all";
 
 fn emit(t: Table) {
     println!("{}", t.render());
@@ -15,7 +19,7 @@ fn emit(t: Table) {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match arg.as_str() {
         "table1" => emit(experiments::table1()),
@@ -28,16 +32,17 @@ fn main() {
         "ablations" => emit(experiments::ablations()),
         "faults" => emit(experiments::faults()),
         "memstats" => emit(experiments::memstats()),
+        "trace" => emit(experiments::trace()),
+        "profile" => emit(experiments::profile()),
         "all" => {
             for t in experiments::all() {
                 emit(t);
             }
         }
         other => {
-            eprintln!(
-                "unknown experiment `{other}`; expected one of table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats all"
-            );
-            std::process::exit(2);
+            eprintln!("unknown experiment `{other}`; {USAGE}");
+            return ExitCode::from(2);
         }
     }
+    ExitCode::SUCCESS
 }

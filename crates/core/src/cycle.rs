@@ -26,6 +26,14 @@
 //! owns the memory. [`CycleSim`] is the standalone pairing of one core with
 //! an owned port; the SoC instead owns two cores plus the shared `ChipMem`
 //! and lends each core a port view during its step.
+//!
+//! Observability: the core is generic over a [`TraceSink`] (default
+//! [`NullSink`], which compiles the instrumentation away). Each issue gap
+//! is decomposed exactly — `pre` readiness wait + context-switch penalty +
+//! I-fetch wait + operand wait + bypass wait + structural waits telescope
+//! to `t_issue - t_prev_issue - 1` — so the per-reason totals in
+//! [`CycleStats::stall_by_reason`] reconcile with the coarse stall
+//! counters and can never exceed total cycles.
 
 use std::ops::{Deref, DerefMut};
 
@@ -33,6 +41,7 @@ use majc_isa::{Instr, LatClass, Packet, Program, NUM_REGS};
 use majc_mem::{DKind, DPolicy};
 
 use crate::config::{TimingConfig, TrapPolicy};
+use crate::events::{Event, NullSink, PacketStalls, RedirectKind, StallReason, TraceSink};
 use crate::exec::{exec_slot, Flow, Trap};
 use crate::lsu::{Lsu, LsuStall};
 use crate::predictor::Gshare;
@@ -48,6 +57,9 @@ struct Ctx {
     pc: u32,
     /// Earliest cycle this context can issue its next packet.
     ready: u64,
+    /// What pushed `ready` into the future (stall attribution for the gap
+    /// the next packet observes); `None` for the initial pipeline fill.
+    ready_cause: Option<StallReason>,
     /// Scoreboard: cycle at which each register is available to each
     /// consuming FU (bypass-network view).
     avail: Vec<[u64; 4]>,
@@ -62,6 +74,7 @@ impl Ctx {
             regs: RegFile::new(),
             pc,
             ready,
+            ready_cause: None,
             avail: vec![[0; 4]; NUM_REGS as usize],
             halted: false,
             trap: TrapRegs::default(),
@@ -75,7 +88,7 @@ impl Ctx {
 /// can run against an owned [`crate::LocalMemSys`]/[`crate::PerfectPort`]
 /// (via [`CycleSim`]) or against a per-step view of shared chip memory
 /// (the SoC) without any aliasing.
-pub struct CpuCore {
+pub struct CpuCore<S: TraceSink = NullSink> {
     cfg: TimingConfig,
     prog: Program,
     /// Which D-cache port this CPU drives (0 or 1).
@@ -95,11 +108,20 @@ pub struct CpuCore {
     pub stats: CycleStats,
     /// When set, every issued packet is recorded.
     pub trace: Option<Vec<TraceRec>>,
+    /// Receives the typed event stream (see [`crate::events`]).
+    pub sink: S,
 }
 
 impl CpuCore {
     /// Construct bound to D-cache port `cpu` (0 for a standalone core).
     pub fn new(prog: Program, cfg: TimingConfig, cpu: usize) -> CpuCore {
+        CpuCore::with_sink(prog, cfg, cpu, NullSink)
+    }
+}
+
+impl<S: TraceSink> CpuCore<S> {
+    /// Construct with an explicit event sink.
+    pub fn with_sink(prog: Program, cfg: TimingConfig, cpu: usize, sink: S) -> CpuCore<S> {
         let n = cfg.threading.contexts.max(1);
         let contexts = (0..n).map(|_| Ctx::new(prog.base(), cfg.front_latency)).collect();
         CpuCore {
@@ -116,6 +138,7 @@ impl CpuCore {
             next_tag: 0,
             stats: CycleStats::default(),
             trace: None,
+            sink,
         }
     }
 
@@ -211,7 +234,16 @@ impl CpuCore {
             let resp = port.pop_resp(self.cpu).expect("accepted fetch must produce a response");
             if resp.tag == tag {
                 match resp.completion {
-                    Completion::Done { at } => return at,
+                    Completion::Done { at: done } => {
+                        self.sink.emit(&Event::Fetch {
+                            cpu: self.cpu as u8,
+                            line,
+                            at,
+                            done,
+                            served: resp.served,
+                        });
+                        return done;
+                    }
                     Completion::Fault => unreachable!("instruction fetch cannot fault"),
                 }
             }
@@ -269,8 +301,25 @@ impl CpuCore {
         ctx.trap.latch(trap, pc, npc);
         ctx.pc = base;
         ctx.ready = t + 1 + self.cfg.mispredict_penalty;
+        ctx.ready_cause = Some(StallReason::Trap);
+        let cause = ctx.trap.cause;
         self.stats.traps += 1;
+        self.sink.emit(&Event::TrapDeliver {
+            cpu: self.cpu as u8,
+            ctx: ci as u8,
+            pc,
+            vector: base,
+            cause,
+            at: t,
+        });
         Ok(())
+    }
+
+    /// Emit the squash record for a packet discarded pre-commit at `t`
+    /// (call right after a successful `deliver`, which latched the cause).
+    fn note_squash(&mut self, ci: usize, pc: u32, t: u64) {
+        let cause = self.contexts[ci].trap.cause;
+        self.sink.emit(&Event::Squash { cpu: self.cpu as u8, ctx: ci as u8, pc, at: t, cause });
     }
 
     /// Issue one packet against `port`. `Ok(true)` while running,
@@ -281,6 +330,12 @@ impl CpuCore {
             let switch = ci != self.active;
             if switch {
                 self.stats.context_switches += 1;
+                self.sink.emit(&Event::CtxSwitch {
+                    cpu: self.cpu as u8,
+                    from: self.active as u8,
+                    to: ci as u8,
+                    at: self.last_issue + 1,
+                });
             }
             self.active = ci;
 
@@ -288,15 +343,21 @@ impl CpuCore {
             let Some(&pkt) = self.prog.fetch(pc) else {
                 let t0 = self.contexts[ci].ready;
                 self.deliver(ci, Trap::BadPc { pc, target: pc }, pc, pc, t0)?;
+                self.note_squash(ci, pc, t0);
                 return Ok(!self.halted());
             };
             let pkt_bytes = pkt.len_bytes();
 
+            // The issue gap this packet inherits from how its context's
+            // readiness was set (redirect penalty, trap refill, barrier,
+            // parked context). Consumed even if this attempt parks below.
+            let pre = self.contexts[ci].ready.saturating_sub(self.last_issue + 1);
+            let pre_cause = self.contexts[ci].ready_cause.take();
+
             // ---- front end ----
             let mut base = self.contexts[ci].ready.max(self.last_issue + 1);
-            if switch {
-                base += self.cfg.threading.switch_penalty;
-            }
+            let switch_wait = if switch { self.cfg.threading.switch_penalty } else { 0 };
+            base += switch_wait;
             let fetch_at = base.saturating_sub(self.cfg.front_latency);
             let line = pc & !31;
             let last_line = (pc + pkt_bytes - 1) & !31;
@@ -305,16 +366,30 @@ impl CpuCore {
                 fetched = fetched.max(self.ifetch(port, fetch_at, last_line));
             }
             let after_fetch = base.max(fetched + self.cfg.front_latency);
-            self.stats.front_stall_cycles += after_fetch - base;
+            let ifetch_wait = after_fetch - base;
+            self.stats.front_stall_cycles += ifetch_wait;
+            self.stats.stall_by_reason[StallReason::IFetch.idx()] += ifetch_wait;
 
             // ---- scoreboard: operand readiness per consuming FU ----
+            // `t` is the real issue bound (each operand as seen by its
+            // consuming FU); `t_best` is the counterfactual bound if every
+            // operand were consumed by its best-bypassed FU. The difference
+            // is wait attributable to bypass-network distance.
             let mut t = after_fetch;
+            let mut t_best = after_fetch;
+            let mut slot_wait = [0u32; 4];
             for (fu, ins) in pkt.slots() {
+                let mut slot_ready = after_fetch;
                 for r in ins.uses().iter() {
-                    t = t.max(self.contexts[ci].avail[r.index()][fu as usize]);
+                    let avail = &self.contexts[ci].avail[r.index()];
+                    slot_ready = slot_ready.max(avail[fu as usize]);
+                    t_best = t_best.max(*avail.iter().min().expect("4 FU views"));
                 }
+                slot_wait[fu as usize] = (slot_ready - after_fetch) as u32;
+                t = t.max(slot_ready);
             }
             let operand_wait = t - after_fetch;
+            let bypass_wait = t - t_best;
 
             // Micro-threading: if this context is about to stall on a long
             // wait and another context could run, block it and switch.
@@ -326,13 +401,17 @@ impl CpuCore {
                 if let Some(o) = other_ready {
                     if o + self.cfg.threading.switch_penalty < t {
                         self.contexts[ci].ready = t;
+                        self.contexts[ci].ready_cause = Some(StallReason::CtxSwitch);
                         continue; // re-pick; min-ready context will win
                     }
                 }
             }
             self.stats.data_stall_cycles += operand_wait;
+            self.stats.stall_by_reason[StallReason::Operand.idx()] += operand_wait - bypass_wait;
+            self.stats.stall_by_reason[StallReason::Bypass.idx()] += bypass_wait;
 
             // ---- structural hazards ----
+            let before_fu = t;
             for (fu, ins) in pkt.slots() {
                 match ins.lat_class() {
                     LatClass::IDiv => t = t.max(self.fu0_free),
@@ -340,10 +419,13 @@ impl CpuCore {
                     _ => {}
                 }
             }
+            let fu_wait = t - before_fu;
+            self.stats.stall_by_reason[StallReason::FuStructural.idx()] += fu_wait;
 
             // ---- memory operation (slot 0 only) ----
             let mem_ins = pkt.slot(0).filter(|i| i.is_mem()).copied();
             let mut load_avail: Option<u64> = None;
+            let mut mem_wait = 0u64;
             if let Some(ins) = mem_ins {
                 let before = t;
                 match self.issue_mem(port, ci, &ins, pc, &mut t) {
@@ -352,13 +434,16 @@ impl CpuCore {
                     // executed, so squashing it is trivially precise.
                     Err(SimError::Trap(trap)) => {
                         self.deliver(ci, trap, pc, pc, t)?;
+                        self.note_squash(ci, pc, t);
                         self.last_issue = t;
                         self.stats.cycles = t + 1;
                         return Ok(!self.halted());
                     }
                     Err(hang) => return Err(hang),
                 }
-                self.stats.mem_stall_cycles += t - before;
+                mem_wait = t - before;
+                self.stats.mem_stall_cycles += mem_wait;
+                self.stats.stall_by_reason[StallReason::LsuStructural.idx()] += mem_wait;
             }
 
             // ---- architectural execution at issue ----
@@ -391,6 +476,7 @@ impl CpuCore {
                 // write set squashes the whole packet precisely. `rte`
                 // resumes at the squashed packet to re-execute it.
                 self.deliver(ci, trap, pc, pc, t)?;
+                self.note_squash(ci, pc, t);
                 self.last_issue = t;
                 self.stats.cycles = t + 1;
                 return Ok(!self.halted());
@@ -420,6 +506,7 @@ impl CpuCore {
 
             // ---- control flow & next-issue readiness ----
             let mut next_ready = t + 1;
+            let mut redirect: Option<RedirectKind> = None;
             if let Some(ctrl) = pkt.control() {
                 match *ctrl {
                     Instr::Br { hint, .. } => {
@@ -428,26 +515,59 @@ impl CpuCore {
                         self.gshare.update(pc, taken, pred);
                         if pred == taken {
                             next_ready = t + 1 + if taken { self.cfg.taken_bubble } else { 0 };
+                            if taken {
+                                redirect = Some(RedirectKind::TakenBranch);
+                            }
                         } else {
                             self.stats.mispredicts += 1;
                             next_ready = t + 1 + self.cfg.mispredict_penalty;
+                            redirect = Some(RedirectKind::Mispredict);
                         }
                     }
                     // Target known at decode: redirect bubble only.
-                    Instr::Call { .. } => next_ready = t + 1 + self.cfg.taken_bubble,
+                    Instr::Call { .. } => {
+                        next_ready = t + 1 + self.cfg.taken_bubble;
+                        redirect = Some(RedirectKind::Call);
+                    }
                     // Register-indirect: resolves in execute.
-                    Instr::Jmpl { .. } => next_ready = t + 1 + self.cfg.mispredict_penalty,
+                    Instr::Jmpl { .. } => {
+                        next_ready = t + 1 + self.cfg.mispredict_penalty;
+                        redirect = Some(RedirectKind::Jmpl);
+                    }
                     // Trap-register indirect: resolves in the trap stage.
-                    Instr::Rte => next_ready = t + 1 + self.cfg.mispredict_penalty,
+                    Instr::Rte => {
+                        next_ready = t + 1 + self.cfg.mispredict_penalty;
+                        redirect = Some(RedirectKind::Rte);
+                    }
                     Instr::Halt => {}
                     _ => {}
                 }
             }
+            let mut next_cause: Option<StallReason> = None;
+            if let Some(kind) = redirect {
+                let penalty = next_ready - (t + 1);
+                if penalty > 0 {
+                    next_cause = Some(StallReason::Redirect);
+                }
+                self.sink.emit(&Event::Redirect {
+                    cpu: self.cpu as u8,
+                    ctx: ci as u8,
+                    pc,
+                    at: t,
+                    kind,
+                    penalty,
+                });
+            }
             if matches!(mem_ins, Some(Instr::Membar)) {
-                next_ready = next_ready.max(self.lsu.quiesce_time());
+                let quiesce = self.lsu.quiesce_time();
+                if quiesce > next_ready {
+                    next_ready = quiesce;
+                    next_cause = Some(StallReason::Membar);
+                }
             }
 
             self.contexts[ci].ready = next_ready;
+            self.contexts[ci].ready_cause = next_cause;
             match flow {
                 Flow::Next => self.contexts[ci].pc = pc + pkt_bytes,
                 Flow::Taken(tgt) => {
@@ -479,6 +599,37 @@ impl CpuCore {
             self.stats.width_hist[pkt.width() - 1] += 1;
             count_mem(&pkt, &mut self.stats);
             self.stats.branch = self.gshare.stats;
+            if pre > 0 {
+                if let Some(cause) = pre_cause {
+                    self.stats.stall_by_reason[cause.idx()] += pre;
+                }
+            }
+            if switch_wait > 0 {
+                self.stats.stall_by_reason[StallReason::CtxSwitch.idx()] += switch_wait;
+            }
+            let stalls = PacketStalls {
+                pre: pre as u32,
+                pre_cause,
+                ctx_switch: switch_wait as u32,
+                ifetch: ifetch_wait as u32,
+                operand: (operand_wait - bypass_wait) as u32,
+                bypass: bypass_wait as u32,
+                fu_structural: fu_wait as u32,
+                lsu_structural: mem_wait as u32,
+                slot_wait,
+            };
+            self.sink.emit(&Event::Issue {
+                cpu: self.cpu as u8,
+                ctx: ci as u8,
+                pc,
+                at: t,
+                width: pkt.width() as u8,
+                stalls,
+            });
+            debug_assert!(
+                self.stats.stall_attribution_consistent(),
+                "stall attribution diverged from aggregate counters at pc {pc:#x}"
+            );
             if let Some(tr) = &mut self.trace {
                 tr.push(TraceRec {
                     ctx: ci as u8,
@@ -524,14 +675,14 @@ impl CpuCore {
             CSt { base, .. } => (regs.get(base), (false, DPolicy::Cached)),
             Prefetch { base, off } => {
                 let a = regs.get(base).wrapping_add(off as i32 as u32) & !31;
-                self.lsu.prefetch(*t, a, port, self.cpu);
+                self.lsu.prefetch(*t, a, port, self.cpu, &mut self.sink);
                 return Ok(None);
             }
             Membar => return Ok(None),
             Cas { base, .. } | Swap { base, .. } => {
                 let a = regs.get(base);
                 for _ in 0..RETRY_BOUND {
-                    match self.lsu.atomic(*t, a, port, self.cpu) {
+                    match self.lsu.atomic(*t, a, port, self.cpu, &mut self.sink) {
                         Ok(avail) => return Ok(Some(avail)),
                         Err(LsuStall::Retry { retry_at }) => *t = retry_at.max(*t + 1),
                         Err(LsuStall::DataError) => {
@@ -546,9 +697,9 @@ impl CpuCore {
         let (is_load, pol) = kind;
         for _ in 0..RETRY_BOUND {
             let res = if is_load {
-                self.lsu.load(*t, addr, pol, port, self.cpu)
+                self.lsu.load(*t, addr, pol, port, self.cpu, &mut self.sink)
             } else {
-                self.lsu.store(*t, addr, pol, port, self.cpu).map(|_| 0)
+                self.lsu.store(*t, addr, pol, port, self.cpu, &mut self.sink).map(|_| 0)
             };
             match res {
                 Ok(avail) => return Ok(is_load.then_some(avail)),
@@ -587,8 +738,8 @@ impl CpuCore {
 /// paired with the memory system it owns. Dereferences to the core, so
 /// pipeline state (`stats`, `trace`, register accessors, ...) reads the
 /// same as on [`CpuCore`] itself.
-pub struct CycleSim<P: MemPort> {
-    core: CpuCore,
+pub struct CycleSim<P: MemPort, S: TraceSink = NullSink> {
+    core: CpuCore<S>,
     /// The memory system this CPU drives.
     pub port: P,
 }
@@ -601,6 +752,13 @@ impl<P: MemPort> CycleSim<P> {
     /// Construct bound to D-cache port `cpu`.
     pub fn on_port(prog: Program, port: P, cfg: TimingConfig, cpu: usize) -> CycleSim<P> {
         CycleSim { core: CpuCore::new(prog, cfg, cpu), port }
+    }
+}
+
+impl<P: MemPort, S: TraceSink> CycleSim<P, S> {
+    /// Construct with an explicit event sink.
+    pub fn with_sink(prog: Program, port: P, cfg: TimingConfig, sink: S) -> CycleSim<P, S> {
+        CycleSim { core: CpuCore::with_sink(prog, cfg, 0, sink), port }
     }
 
     /// Issue one packet. `Ok(true)` while running, `Ok(false)` when all
@@ -615,16 +773,16 @@ impl<P: MemPort> CycleSim<P> {
     }
 }
 
-impl<P: MemPort> Deref for CycleSim<P> {
-    type Target = CpuCore;
+impl<P: MemPort, S: TraceSink> Deref for CycleSim<P, S> {
+    type Target = CpuCore<S>;
 
-    fn deref(&self) -> &CpuCore {
+    fn deref(&self) -> &CpuCore<S> {
         &self.core
     }
 }
 
-impl<P: MemPort> DerefMut for CycleSim<P> {
-    fn deref_mut(&mut self) -> &mut CpuCore {
+impl<P: MemPort, S: TraceSink> DerefMut for CycleSim<P, S> {
+    fn deref_mut(&mut self) -> &mut CpuCore<S> {
         &mut self.core
     }
 }
@@ -648,6 +806,7 @@ fn count_mem(pkt: &Packet, stats: &mut CycleStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::MemSink;
     use crate::memsys::{LocalMemSys, PerfectPort};
     use majc_isa::{AluOp, CachePolicy, Cond, MemWidth, Off, Reg, Src};
 
@@ -739,6 +898,9 @@ mod tests {
         let mut s2 = CycleSim::new(p2, PerfectPort::new(), cfg);
         s2.run(100).unwrap();
         assert_eq!(s2.stats.data_stall_cycles, 1, "FU0->FU2 is one cycle late");
+        // The extra cycle is bypass distance, not operand production.
+        assert_eq!(s2.stats.stall_by_reason[StallReason::Bypass.idx()], 1);
+        assert_eq!(s2.stats.stall_by_reason[StallReason::Operand.idx()], 0);
     }
 
     #[test]
@@ -799,6 +961,11 @@ mod tests {
             sim.stats.cycles >= 2 * cfg.idiv_lat,
             "cycles {} should reflect non-pipelined divide",
             sim.stats.cycles
+        );
+        // The serialization is attributed to the FU-structural bucket.
+        assert!(
+            sim.stats.stall_by_reason[StallReason::FuStructural.idx()] >= cfg.idiv_lat,
+            "divider stalls must be attributed"
         );
     }
 
@@ -961,5 +1128,47 @@ mod tests {
         assert_eq!(tr.len(), 2);
         assert_eq!(tr[0].pc, 0);
         assert!(tr[1].issue > tr[0].issue);
+    }
+
+    #[test]
+    fn sink_captures_issue_events_with_matching_attribution() {
+        // fadd chain: data stalls must show up both in the aggregate
+        // counter and, identically, in the per-packet Issue events.
+        let mut pkts: Vec<Packet> = (0..5)
+            .map(|_| {
+                Packet::new(&[
+                    Instr::Nop,
+                    Instr::FAdd { rd: Reg::g(0), rs1: Reg::g(0), rs2: Reg::g(2) },
+                ])
+                .unwrap()
+            })
+            .collect();
+        pkts.push(Packet::solo(Instr::Halt).unwrap());
+        let mut sim = CycleSim::with_sink(
+            prog(pkts),
+            PerfectPort::new(),
+            TimingConfig::default(),
+            MemSink::unbounded(),
+        );
+        sim.run(100).unwrap();
+        let stats = sim.stats;
+        let events = sim.sink.take();
+        let mut by_reason = [0u64; crate::events::NUM_STALL_REASONS];
+        let mut issues = 0;
+        for ev in &events {
+            if let Event::Issue { stalls, .. } = ev {
+                issues += 1;
+                for (bucket, add) in by_reason.iter_mut().zip(stalls.by_reason()) {
+                    *bucket += add;
+                }
+            }
+        }
+        assert_eq!(issues, 6);
+        assert_eq!(by_reason, stats.stall_by_reason, "events must mirror the counters");
+        assert_eq!(
+            by_reason[StallReason::Operand.idx()] + by_reason[StallReason::Bypass.idx()],
+            stats.data_stall_cycles
+        );
+        assert!(stats.stall_attribution_consistent());
     }
 }

@@ -18,11 +18,15 @@
 
 pub mod config;
 pub mod cycle;
+pub mod events;
 pub mod exec;
 pub mod func_sim;
+pub mod json;
 pub mod lsu;
 pub mod memsys;
+pub mod perfetto;
 pub mod predictor;
+pub mod profile;
 pub mod regfile;
 pub mod stats;
 pub mod trace;
@@ -31,11 +35,17 @@ pub mod txn;
 
 pub use config::{BypassModel, ThreadingConfig, TimingConfig, TrapPolicy};
 pub use cycle::{CpuCore, CycleSim};
+pub use events::{
+    Event, JsonlSink, MemSink, NullSink, PacketStalls, RedirectKind, RetryReason, Served,
+    StallReason, TraceSink, NUM_STALL_REASONS,
+};
 pub use exec::{branch_taken, exec_slot, Flow, MemEffect, SlotOutcome, Trap};
 pub use func_sim::{FuncSim, FuncStats};
 pub use lsu::{Lsu, LsuStall, LsuStats};
 pub use memsys::{Backend, LocalMemSys, PerfectPort};
+pub use perfetto::{export as export_perfetto, validate as validate_perfetto};
 pub use predictor::{Gshare, PredictorConfig, PredictorStats};
+pub use profile::{intervals, profile, IntervalSample, PcProfile, Profile};
 pub use regfile::{RegFile, WriteSet};
 pub use stats::CycleStats;
 pub use trace::{render as render_trace, TraceRec};

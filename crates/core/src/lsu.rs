@@ -15,10 +15,15 @@
 //! that the LSU matches by tag against its buffers — entries retire
 //! individually as their completion cycle passes, which is how out-of-order
 //! miss returns are modeled.
+//!
+//! Every operation takes the caller's [`TraceSink`]: transaction lifecycles
+//! ([`Event::MemTxn`]) and structural bounces ([`Event::MemRetry`]) are
+//! emitted here, keyed by the same tags the buffers match on.
 
 use majc_mem::{DKind, DPolicy};
 
-use crate::txn::{Completion, MemPort, MemReq, Reject, ReqPort, Tag};
+use crate::events::{Event, RetryReason, TraceSink};
+use crate::txn::{MemPort, MemReq, MemResp, Reject, ReqPort, Tag};
 
 /// Base of the LSU's tag space. Instruction-fetch tags count up from zero
 /// (see `CpuCore`), LSU tags from here — the two never collide, so one
@@ -116,11 +121,11 @@ impl Lsu {
     /// Drain the response queue until the reply tagged `want` arrives.
     /// Unclaimed prefetch replies encountered on the way are dropped (they
     /// are non-binding); anything else unclaimed is a port-protocol bug.
-    fn collect(&mut self, port: &mut dyn MemPort, cpu: usize, want: Tag) -> Completion {
+    fn collect(&mut self, port: &mut dyn MemPort, cpu: usize, want: Tag) -> MemResp {
         loop {
             let resp = port.pop_resp(cpu).expect("accepted request must produce a response");
             if resp.tag == want {
-                return resp.completion;
+                return resp;
             }
             debug_assert_eq!(
                 resp.kind,
@@ -135,37 +140,77 @@ impl Lsu {
     }
 
     /// Issue a load at cycle `t`. Returns the cycle its data is available.
-    pub fn load(
+    pub fn load<S: TraceSink>(
         &mut self,
         t: u64,
         addr: u32,
         pol: DPolicy,
         port: &mut dyn MemPort,
         cpu: usize,
+        sink: &mut S,
     ) -> Result<u64, LsuStall> {
         self.reap(t);
         if self.loads.len() >= self.load_buf {
             self.stats.load_buf_stalls += 1;
             // Retry when the earliest outstanding load returns.
             let retry = self.loads.iter().map(|e| e.done).min().unwrap_or(t + 1).max(t + 1);
+            sink.emit(&Event::MemRetry {
+                cpu: cpu as u8,
+                addr,
+                at: t,
+                retry_at: retry,
+                reason: RetryReason::LoadBuf,
+            });
             return Err(LsuStall::Retry { retry_at: retry });
         }
         let at = t.max(self.port_next);
         let req = self.data_req(cpu, addr, DKind::Load, pol);
         match port.submit(at, req) {
-            Ok(()) => match self.collect(port, cpu, req.tag) {
-                Completion::Done { at: avail } => {
-                    self.port_next = at + 1;
-                    self.loads.push(InFlight { tag: req.tag, done: avail });
-                    self.stats.loads += 1;
-                    self.stats.load_buf_peak =
-                        self.stats.load_buf_peak.max(self.loads.len() as u64);
-                    Ok(avail)
+            Ok(()) => {
+                let resp = self.collect(port, cpu, req.tag);
+                match resp.completion {
+                    crate::txn::Completion::Done { at: avail } => {
+                        self.port_next = at + 1;
+                        self.loads.push(InFlight { tag: req.tag, done: avail });
+                        self.stats.loads += 1;
+                        self.stats.load_buf_peak =
+                            self.stats.load_buf_peak.max(self.loads.len() as u64);
+                        sink.emit(&Event::MemTxn {
+                            cpu: cpu as u8,
+                            tag: req.tag.0,
+                            addr,
+                            kind: DKind::Load,
+                            served: resp.served,
+                            at,
+                            done: avail,
+                            fault: false,
+                        });
+                        Ok(avail)
+                    }
+                    crate::txn::Completion::Fault => {
+                        sink.emit(&Event::MemTxn {
+                            cpu: cpu as u8,
+                            tag: req.tag.0,
+                            addr,
+                            kind: DKind::Load,
+                            served: resp.served,
+                            at,
+                            done: at,
+                            fault: true,
+                        });
+                        Err(LsuStall::DataError)
+                    }
                 }
-                Completion::Fault => Err(LsuStall::DataError),
-            },
+            }
             Err(Reject { retry_at }) => {
                 self.stats.mshr_stalls += 1;
+                sink.emit(&Event::MemRetry {
+                    cpu: cpu as u8,
+                    addr,
+                    at,
+                    retry_at,
+                    reason: RetryReason::Mshr,
+                });
                 Err(LsuStall::Retry { retry_at })
             }
         }
@@ -174,18 +219,26 @@ impl Lsu {
     /// Issue a store at cycle `t`: it enters the store buffer and drains to
     /// the cache as soon as the port allows. Returns the drain-completion
     /// cycle (used only for barriers; stores never block dependents).
-    pub fn store(
+    pub fn store<S: TraceSink>(
         &mut self,
         t: u64,
         addr: u32,
         pol: DPolicy,
         port: &mut dyn MemPort,
         cpu: usize,
+        sink: &mut S,
     ) -> Result<u64, LsuStall> {
         self.reap(t);
         if self.stores.len() >= self.store_buf {
             self.stats.store_buf_stalls += 1;
             let retry = self.stores.iter().map(|e| e.done).min().unwrap_or(t + 1).max(t + 1);
+            sink.emit(&Event::MemRetry {
+                cpu: cpu as u8,
+                addr,
+                at: t,
+                retry_at: retry,
+                reason: RetryReason::StoreBuf,
+            });
             return Err(LsuStall::Retry { retry_at: retry });
         }
         // Drain: first port slot after issue.
@@ -193,19 +246,53 @@ impl Lsu {
         for _ in 0..100_000 {
             let req = self.data_req(cpu, addr, DKind::Store, pol);
             match port.submit(at, req) {
-                Ok(()) => match self.collect(port, cpu, req.tag) {
-                    Completion::Done { at: done } => {
-                        self.port_next = at + 1;
-                        let done = done.max(at);
-                        self.stores.push(InFlight { tag: req.tag, done });
-                        self.stats.stores += 1;
-                        self.stats.store_buf_peak =
-                            self.stats.store_buf_peak.max(self.stores.len() as u64);
-                        return Ok(done);
+                Ok(()) => {
+                    let resp = self.collect(port, cpu, req.tag);
+                    match resp.completion {
+                        crate::txn::Completion::Done { at: done } => {
+                            self.port_next = at + 1;
+                            let done = done.max(at);
+                            self.stores.push(InFlight { tag: req.tag, done });
+                            self.stats.stores += 1;
+                            self.stats.store_buf_peak =
+                                self.stats.store_buf_peak.max(self.stores.len() as u64);
+                            sink.emit(&Event::MemTxn {
+                                cpu: cpu as u8,
+                                tag: req.tag.0,
+                                addr,
+                                kind: DKind::Store,
+                                served: resp.served,
+                                at,
+                                done,
+                                fault: false,
+                            });
+                            return Ok(done);
+                        }
+                        crate::txn::Completion::Fault => {
+                            sink.emit(&Event::MemTxn {
+                                cpu: cpu as u8,
+                                tag: req.tag.0,
+                                addr,
+                                kind: DKind::Store,
+                                served: resp.served,
+                                at,
+                                done: at,
+                                fault: true,
+                            });
+                            return Err(LsuStall::DataError);
+                        }
                     }
-                    Completion::Fault => return Err(LsuStall::DataError),
-                },
-                Err(Reject { retry_at }) => at = retry_at.max(at + 1),
+                }
+                Err(Reject { retry_at }) => {
+                    sink.emit(&Event::MemRetry {
+                        cpu: cpu as u8,
+                        addr,
+                        at,
+                        retry_at,
+                        reason: RetryReason::Mshr,
+                    });
+                    at = retry_at.max(at + 1);
+                }
             }
         }
         // A drain starved this long means the memory system is wedged;
@@ -215,46 +302,100 @@ impl Lsu {
 
     /// Issue an atomic at cycle `t`. Atomics are ordering points: all older
     /// stores drain first; the result returns like a load.
-    pub fn atomic(
+    pub fn atomic<S: TraceSink>(
         &mut self,
         t: u64,
         addr: u32,
         port: &mut dyn MemPort,
         cpu: usize,
+        sink: &mut S,
     ) -> Result<u64, LsuStall> {
         let ordered = self.quiesce_time().max(t);
         self.reap(ordered);
         let at = ordered.max(self.port_next);
         let req = self.data_req(cpu, addr, DKind::Atomic, DPolicy::Cached);
         match port.submit(at, req) {
-            Ok(()) => match self.collect(port, cpu, req.tag) {
-                Completion::Done { at: avail } => {
-                    self.port_next = at + 1;
-                    self.loads.push(InFlight { tag: req.tag, done: avail });
-                    self.stats.atomics += 1;
-                    self.stats.load_buf_peak =
-                        self.stats.load_buf_peak.max(self.loads.len() as u64);
-                    Ok(avail)
+            Ok(()) => {
+                let resp = self.collect(port, cpu, req.tag);
+                match resp.completion {
+                    crate::txn::Completion::Done { at: avail } => {
+                        self.port_next = at + 1;
+                        self.loads.push(InFlight { tag: req.tag, done: avail });
+                        self.stats.atomics += 1;
+                        self.stats.load_buf_peak =
+                            self.stats.load_buf_peak.max(self.loads.len() as u64);
+                        sink.emit(&Event::MemTxn {
+                            cpu: cpu as u8,
+                            tag: req.tag.0,
+                            addr,
+                            kind: DKind::Atomic,
+                            served: resp.served,
+                            at,
+                            done: avail,
+                            fault: false,
+                        });
+                        Ok(avail)
+                    }
+                    crate::txn::Completion::Fault => {
+                        sink.emit(&Event::MemTxn {
+                            cpu: cpu as u8,
+                            tag: req.tag.0,
+                            addr,
+                            kind: DKind::Atomic,
+                            served: resp.served,
+                            at,
+                            done: at,
+                            fault: true,
+                        });
+                        Err(LsuStall::DataError)
+                    }
                 }
-                Completion::Fault => Err(LsuStall::DataError),
-            },
+            }
             Err(Reject { retry_at }) => {
                 self.stats.mshr_stalls += 1;
+                sink.emit(&Event::MemRetry {
+                    cpu: cpu as u8,
+                    addr,
+                    at,
+                    retry_at,
+                    reason: RetryReason::Mshr,
+                });
                 Err(LsuStall::Retry { retry_at })
             }
         }
     }
 
     /// Queue a non-faulting prefetch; never stalls the pipeline.
-    pub fn prefetch(&mut self, t: u64, addr: u32, port: &mut dyn MemPort, cpu: usize) {
+    pub fn prefetch<S: TraceSink>(
+        &mut self,
+        t: u64,
+        addr: u32,
+        port: &mut dyn MemPort,
+        cpu: usize,
+        sink: &mut S,
+    ) {
         let at = t.max(self.port_next);
         self.stats.prefetches += 1;
         let req = self.data_req(cpu, addr, DKind::Prefetch, DPolicy::Cached);
         // Dropped silently on structural conflicts (non-binding); the reply
         // is consumed and discarded — nothing waits on a prefetch.
         if port.submit(at, req).is_ok() {
-            self.collect(port, cpu, req.tag);
+            let resp = self.collect(port, cpu, req.tag);
             self.port_next = at + 1;
+            let (done, fault) = match resp.completion {
+                crate::txn::Completion::Done { at: d } => (d, false),
+                crate::txn::Completion::Fault => (at, true),
+            };
+            sink.emit(&Event::MemTxn {
+                cpu: cpu as u8,
+                tag: req.tag.0,
+                addr,
+                kind: DKind::Prefetch,
+                served: resp.served,
+                at,
+                done,
+                fault,
+            });
         }
     }
 
@@ -268,6 +409,7 @@ impl Lsu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::NullSink;
     use crate::memsys::LocalMemSys;
 
     fn port() -> LocalMemSys {
@@ -280,12 +422,12 @@ mod tests {
         let mut p = port();
         // Misses to distinct lines; first four occupy MSHRs.
         for i in 0..4 {
-            lsu.load(0, i * 0x1000, DPolicy::Cached, &mut p, 0).unwrap();
+            lsu.load(0, i * 0x1000, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
         }
         assert_eq!(lsu.loads_in_flight(), 4);
         // Fifth load: MSHRs are full (cache-level), so it stalls even
         // though a load-buffer slot is free.
-        let e = lsu.load(0, 4 * 0x1000, DPolicy::Cached, &mut p, 0).unwrap_err();
+        let e = lsu.load(0, 4 * 0x1000, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap_err();
         assert!(matches!(e, LsuStall::Retry { retry_at } if retry_at > 0));
         assert_eq!(lsu.stats.mshr_stalls, 1);
     }
@@ -295,13 +437,13 @@ mod tests {
         let mut lsu = Lsu::new(5, 8);
         let mut p = port();
         // Warm one line, then issue 5 hits in the same cycle window.
-        let warm = lsu.load(0, 0, DPolicy::Cached, &mut p, 0).unwrap();
+        let warm = lsu.load(0, 0, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
         let t = warm + 1;
         for k in 0..5 {
-            lsu.load(t, 4 * k, DPolicy::Cached, &mut p, 0).unwrap();
+            lsu.load(t, 4 * k, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
         }
         assert_eq!(lsu.loads_in_flight(), 5);
-        let e = lsu.load(t, 24, DPolicy::Cached, &mut p, 0).unwrap_err();
+        let e = lsu.load(t, 24, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap_err();
         assert!(matches!(e, LsuStall::Retry { retry_at } if retry_at > t));
         assert_eq!(lsu.stats.load_buf_stalls, 1);
         assert_eq!(lsu.stats.load_buf_peak, 5);
@@ -314,7 +456,7 @@ mod tests {
         // Stores to distinct lines keep long completion times (misses).
         let mut stalled = false;
         for k in 0..12 {
-            match lsu.store(0, k * 0x1000, DPolicy::Cached, &mut p, 0) {
+            match lsu.store(0, k * 0x1000, DPolicy::Cached, &mut p, 0, &mut NullSink) {
                 Ok(_) => {}
                 Err(_) => {
                     stalled = true;
@@ -331,8 +473,8 @@ mod tests {
     fn quiesce_covers_everything() {
         let mut lsu = Lsu::new(5, 8);
         let mut p = port();
-        let l = lsu.load(0, 0x100, DPolicy::Cached, &mut p, 0).unwrap();
-        let s = lsu.store(0, 0x2000, DPolicy::Cached, &mut p, 0).unwrap();
+        let l = lsu.load(0, 0x100, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
+        let s = lsu.store(0, 0x2000, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
         assert_eq!(lsu.quiesce_time(), l.max(s));
     }
 
@@ -341,10 +483,35 @@ mod tests {
         let mut lsu = Lsu::new(5, 8);
         let mut p = port();
         // Warm the line so both loads hit.
-        let warm = lsu.load(0, 0, DPolicy::Cached, &mut p, 0).unwrap();
+        let warm = lsu.load(0, 0, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
         let t = warm + 1;
-        let a = lsu.load(t, 0, DPolicy::Cached, &mut p, 0).unwrap();
-        let b = lsu.load(t, 4, DPolicy::Cached, &mut p, 0).unwrap();
+        let a = lsu.load(t, 0, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
+        let b = lsu.load(t, 4, DPolicy::Cached, &mut p, 0, &mut NullSink).unwrap();
         assert_eq!(b, a + 1, "one port: second same-cycle load is a cycle later");
+    }
+
+    #[test]
+    fn transactions_and_retries_are_reported() {
+        use crate::events::MemSink;
+        let mut lsu = Lsu::new(5, 8);
+        let mut p = port();
+        let mut sink = MemSink::unbounded();
+        for i in 0..4 {
+            lsu.load(0, i * 0x1000, DPolicy::Cached, &mut p, 0, &mut sink).unwrap();
+        }
+        // Fifth miss bounces off the full MSHR file.
+        lsu.load(0, 4 * 0x1000, DPolicy::Cached, &mut p, 0, &mut sink).unwrap_err();
+        let events = sink.take();
+        let txns = events.iter().filter(|e| matches!(e, Event::MemTxn { .. })).count();
+        assert_eq!(txns, 4);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::MemRetry { reason: RetryReason::Mshr, .. })));
+        // Tags come from the LSU space and count up.
+        let first = events.iter().find_map(|e| match e {
+            Event::MemTxn { tag, .. } => Some(*tag),
+            _ => None,
+        });
+        assert_eq!(first, Some(LSU_TAG_BASE));
     }
 }

@@ -10,12 +10,18 @@ use std::collections::VecDeque;
 
 use majc_mem::{
     DCache, DCacheConfig, DStall, Dram, DramConfig, FaultEvent, FaultPlan, FaultSite, FlatMem,
-    ICache, ICacheConfig, MemBackend, PerfectMem,
+    ICache, ICacheConfig, MemBackend, PerfectMem, Served,
 };
 
+use crate::events::Event;
 use crate::txn::{Completion, MemLevelStats, MemPort, MemReq, MemResp, Reject, ReqPort};
 
 /// Backend selection for the standalone memory system.
+///
+/// The DRDRAM model is much larger than the ideal one, but a `Backend`
+/// is held exactly once per memory system, so boxing would only add an
+/// indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Backend {
     /// The DRDRAM channel model.
@@ -113,6 +119,36 @@ impl LocalMemSys {
             d.reset_time();
         }
     }
+
+    /// Turn on the opt-in deep-component logs ([`Self::drain_events`]
+    /// harvests them). Only the DRDRAM backend has one here.
+    pub fn enable_logs(&mut self) {
+        if let Backend::Dram(d) = &mut self.backend {
+            d.log = Some(Vec::new());
+        }
+    }
+
+    /// Harvest the deep-component logs (DRDRAM busy spans, injected
+    /// faults) as typed events, sorted by timestamp. Call once, after the
+    /// run: span logs are *taken* (subsequent calls return only new spans),
+    /// while fault events — owned by the injectors — are copied each time.
+    pub fn drain_events(&mut self) -> Vec<Event> {
+        let mut out: Vec<Event> = Vec::new();
+        if let Backend::Dram(d) = &mut self.backend {
+            if let Some(log) = &mut d.log {
+                out.extend(std::mem::take(log).into_iter().map(|r| Event::DramSpan {
+                    start: r.start,
+                    done: r.done,
+                    addr: r.addr,
+                    bytes: r.bytes,
+                    write: r.write,
+                }));
+            }
+        }
+        out.extend(self.fault_events_iter().map(Event::from_fault));
+        out.sort_by_key(Event::timestamp);
+        out
+    }
 }
 
 impl MemPort for LocalMemSys {
@@ -121,20 +157,30 @@ impl MemPort for LocalMemSys {
     }
 
     fn submit(&mut self, now: u64, req: MemReq) -> Result<(), Reject> {
-        let completion = match req.port {
+        let (completion, served) = match req.port {
             ReqPort::Instr => {
-                Completion::Done { at: self.icache.fetch(now, req.addr, &mut self.backend) }
+                let hits_before = self.icache.stats().hits;
+                let at = self.icache.fetch(now, req.addr, &mut self.backend);
+                let served =
+                    if self.icache.stats().hits > hits_before { Served::Hit } else { Served::Miss };
+                (Completion::Done { at }, served)
             }
             ReqPort::Data => {
                 match self.dcache.access(now, 0, req.addr, req.kind, req.policy, &mut self.backend)
                 {
-                    Ok(at) => Completion::Done { at },
+                    Ok(at) => (Completion::Done { at }, self.dcache.last_served),
                     Err(DStall::MshrFull) => return Err(Reject { retry_at: now + 1 }),
-                    Err(DStall::DataError) => Completion::Fault,
+                    Err(DStall::DataError) => (Completion::Fault, self.dcache.last_served),
                 }
             }
         };
-        self.resp.push_back(MemResp { tag: req.tag, cpu: req.cpu, kind: req.kind, completion });
+        self.resp.push_back(MemResp {
+            tag: req.tag,
+            cpu: req.cpu,
+            kind: req.kind,
+            completion,
+            served,
+        });
         Ok(())
     }
 
@@ -210,6 +256,7 @@ impl MemPort for PerfectPort {
             cpu: req.cpu,
             kind: req.kind,
             completion: Completion::Done { at },
+            served: Served::Bypass,
         });
         Ok(())
     }

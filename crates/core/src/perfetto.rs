@@ -1,0 +1,390 @@
+//! Chrome/Perfetto `trace_event` JSON export of the typed event stream.
+//!
+//! The output loads directly into <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): each CPU is a process with a front-end track, an
+//! LSU track, and one pipeline track per hardware context; the chip level
+//! is a third process with crossbar, DRDRAM, DTE, and fault tracks. One
+//! simulated cycle maps to one microsecond of trace time.
+//!
+//! [`validate`] re-parses an exported document with the in-tree JSON
+//! parser ([`crate::json`]) and checks the `trace_event` schema fields, so
+//! round-trip tests need no external tooling.
+
+use std::fmt::Write as _;
+
+use crate::events::{dkind_name, Event, StallReason};
+
+/// Process id for chip-level (shared) tracks; CPUs use their own index.
+const CHIP_PID: u64 = 2;
+const TID_FRONTEND: u64 = 1;
+const TID_LSU: u64 = 2;
+/// Pipeline tracks sit at `TID_PIPE_BASE + ctx`.
+const TID_PIPE_BASE: u64 = 10;
+const TID_XBAR: u64 = 1;
+const TID_DRAM: u64 = 2;
+const TID_DTE: u64 = 3;
+const TID_FAULT: u64 = 4;
+
+fn process_name(pid: u64) -> String {
+    match pid {
+        CHIP_PID => "chip".to_string(),
+        n => format!("cpu{n}"),
+    }
+}
+
+fn thread_name(pid: u64, tid: u64) -> String {
+    if pid == CHIP_PID {
+        match tid {
+            TID_XBAR => "crossbar".to_string(),
+            TID_DRAM => "drdram".to_string(),
+            TID_DTE => "dte".to_string(),
+            TID_FAULT => "faults".to_string(),
+            n => format!("chip{n}"),
+        }
+    } else {
+        match tid {
+            TID_FRONTEND => "front-end".to_string(),
+            TID_LSU => "lsu".to_string(),
+            n => format!("pipe.ctx{}", n - TID_PIPE_BASE),
+        }
+    }
+}
+
+/// Accumulates the `traceEvents` array.
+struct Writer {
+    body: Vec<String>,
+    tracks: Vec<(u64, u64)>,
+}
+
+impl Writer {
+    fn track(&mut self, pid: u64, tid: u64) {
+        if !self.tracks.contains(&(pid, tid)) {
+            self.tracks.push((pid, tid));
+        }
+    }
+
+    /// `args` must already be a JSON object body (`"k":v,...`) or empty.
+    fn complete(&mut self, pid: u64, tid: u64, name: &str, ts: u64, dur: u64, args: &str) {
+        self.track(pid, tid);
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}"
+        );
+        self.body.push(s);
+    }
+
+    fn instant(&mut self, pid: u64, tid: u64, name: &str, ts: u64, args: &str) {
+        self.track(pid, tid);
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\"args\":{{{args}}}}}"
+        );
+        self.body.push(s);
+    }
+}
+
+fn span(at: u64, done: u64) -> u64 {
+    done.saturating_sub(at).max(1)
+}
+
+/// Name the stall slice by its heaviest bucket; a packet whose whole wait
+/// is the unattributed pipeline fill renders as `stall.fill`.
+fn stall_name(stalls: &crate::events::PacketStalls) -> String {
+    let by = stalls.by_reason();
+    let mut best: Option<StallReason> = None;
+    for r in StallReason::ALL {
+        if by[r.idx()] > 0 && best.map(|b| by[r.idx()] > by[b.idx()]).unwrap_or(true) {
+            best = Some(r);
+        }
+    }
+    match best {
+        Some(r) => format!("stall.{}", r.name()),
+        None => "stall.fill".to_string(),
+    }
+}
+
+/// Render the event stream as a complete Chrome `trace_event` JSON
+/// document (`{"traceEvents":[...]}`). Output is a pure function of the
+/// input slice: deterministic streams export to byte-identical documents.
+pub fn export(events: &[Event]) -> String {
+    let mut w = Writer { body: Vec::with_capacity(events.len() + 16), tracks: Vec::new() };
+    for ev in events {
+        match *ev {
+            Event::Fetch { cpu, line, at, done, served } => {
+                let name = format!("ifetch.{}", served.name());
+                w.complete(
+                    cpu as u64,
+                    TID_FRONTEND,
+                    &name,
+                    at,
+                    span(at, done),
+                    &format!("\"line\":{line}"),
+                );
+            }
+            Event::Issue { cpu, ctx, pc, at, width, stalls } => {
+                let tid = TID_PIPE_BASE + ctx as u64;
+                let total = stalls.total();
+                if total > 0 {
+                    w.complete(
+                        cpu as u64,
+                        tid,
+                        &stall_name(&stalls),
+                        at.saturating_sub(total),
+                        total,
+                        &format!("\"pc\":{pc}"),
+                    );
+                }
+                w.complete(
+                    cpu as u64,
+                    tid,
+                    &format!("issue.w{width}"),
+                    at,
+                    1,
+                    &format!("\"pc\":{pc}"),
+                );
+            }
+            Event::Squash { cpu, ctx, pc, at, cause } => {
+                w.instant(
+                    cpu as u64,
+                    TID_PIPE_BASE + ctx as u64,
+                    "squash",
+                    at,
+                    &format!("\"pc\":{pc},\"cause\":{cause}"),
+                );
+            }
+            Event::TrapDeliver { cpu, ctx, pc, vector, cause, at } => {
+                w.instant(
+                    cpu as u64,
+                    TID_PIPE_BASE + ctx as u64,
+                    "trap.deliver",
+                    at,
+                    &format!("\"pc\":{pc},\"vector\":{vector},\"cause\":{cause}"),
+                );
+            }
+            Event::Redirect { cpu, ctx: _, pc, at, kind, penalty } => {
+                let name = format!("redirect.{}", kind.name());
+                w.instant(
+                    cpu as u64,
+                    TID_FRONTEND,
+                    &name,
+                    at,
+                    &format!("\"pc\":{pc},\"penalty\":{penalty}"),
+                );
+            }
+            Event::CtxSwitch { cpu, from, to, at } => {
+                w.instant(
+                    cpu as u64,
+                    TID_FRONTEND,
+                    "ctx-switch",
+                    at,
+                    &format!("\"from\":{from},\"to\":{to}"),
+                );
+            }
+            Event::MemTxn { cpu, tag, addr, kind, served, at, done, fault } => {
+                let name = if fault {
+                    format!("{}.fault", dkind_name(kind))
+                } else {
+                    format!("{}.{}", dkind_name(kind), served.name())
+                };
+                w.complete(
+                    cpu as u64,
+                    TID_LSU,
+                    &name,
+                    at,
+                    span(at, done),
+                    &format!("\"addr\":{addr},\"tag\":{tag}"),
+                );
+            }
+            Event::MemRetry { cpu, addr, at, retry_at, reason } => {
+                let name = format!("retry.{}", reason.name());
+                w.instant(
+                    cpu as u64,
+                    TID_LSU,
+                    &name,
+                    at,
+                    &format!("\"addr\":{addr},\"retry_at\":{retry_at}"),
+                );
+            }
+            Event::XbarGrant { src, at, done, addr, bytes, write, nacks } => {
+                let name = format!("xbar.src{src}");
+                w.complete(
+                    CHIP_PID,
+                    TID_XBAR,
+                    &name,
+                    at,
+                    span(at, done),
+                    &format!(
+                        "\"addr\":{addr},\"bytes\":{bytes},\"write\":{write},\"nacks\":{nacks}"
+                    ),
+                );
+            }
+            Event::DramSpan { start, done, addr, bytes, write } => {
+                let name = if write { "dram.wr" } else { "dram.rd" };
+                w.complete(
+                    CHIP_PID,
+                    TID_DRAM,
+                    name,
+                    start,
+                    span(start, done),
+                    &format!("\"addr\":{addr},\"bytes\":{bytes}"),
+                );
+            }
+            Event::Dma { start, done, bytes } => {
+                w.complete(
+                    CHIP_PID,
+                    TID_DTE,
+                    "dma",
+                    start,
+                    span(start, done),
+                    &format!("\"bytes\":{bytes}"),
+                );
+            }
+            Event::Fault { site, seq, at, addr } => {
+                let name = format!("fault.{}", site.name());
+                w.instant(
+                    CHIP_PID,
+                    TID_FAULT,
+                    &name,
+                    at,
+                    &format!("\"seq\":{seq},\"addr\":{addr}"),
+                );
+            }
+        }
+    }
+
+    // Metadata first so viewers name tracks before any slice references
+    // them; sorted for deterministic output.
+    w.tracks.sort_unstable();
+    let mut head: Vec<String> = Vec::new();
+    let mut named_pids: Vec<u64> = Vec::new();
+    for &(pid, tid) in &w.tracks {
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            head.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+                process_name(pid)
+            ));
+        }
+        head.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            thread_name(pid, tid)
+        ));
+    }
+
+    let mut out = String::with_capacity(64 + (head.len() + w.body.len()) * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in head.iter().chain(w.body.iter()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(s);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Parse `src` with the in-tree JSON parser and check the `trace_event`
+/// schema: a `traceEvents` array whose entries carry a string `name` and
+/// `ph`, numeric `ts`/`pid`/`tid` (metadata exempted from `ts`), and a
+/// numeric `dur` on complete ("X") events. Returns the event count.
+pub fn validate(src: &str) -> Result<usize, String> {
+    let root = crate::json::parse(src)?;
+    let evs = root
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    for (i, ev) in evs.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing string ph"))?;
+        ev.get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing string name"))?;
+        ev.get("pid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i}: missing numeric pid"))?;
+        if ph == "M" {
+            continue;
+        }
+        ev.get("tid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i}: missing numeric tid"))?;
+        ev.get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+        if ph == "X" {
+            ev.get("dur")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("event {i}: complete event missing numeric dur"))?;
+        }
+    }
+    Ok(evs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::PacketStalls;
+    use majc_mem::{DKind, Served};
+
+    #[test]
+    fn exports_tracks_slices_and_instants() {
+        let stalls = PacketStalls { operand: 3, ..PacketStalls::default() };
+        let evs = vec![
+            Event::Fetch { cpu: 0, line: 0x80, at: 0, done: 4, served: Served::Miss },
+            Event::Issue { cpu: 0, ctx: 0, pc: 0x80, at: 7, width: 4, stalls },
+            Event::MemTxn {
+                cpu: 0,
+                tag: 1 << 63,
+                addr: 0x100,
+                kind: DKind::Load,
+                served: Served::Hit,
+                at: 7,
+                done: 9,
+                fault: false,
+            },
+            Event::DramSpan { start: 2, done: 12, addr: 0, bytes: 32, write: false },
+            Event::Redirect {
+                cpu: 0,
+                ctx: 0,
+                pc: 0x84,
+                at: 8,
+                kind: crate::events::RedirectKind::Mispredict,
+                penalty: 4,
+            },
+        ];
+        let doc = export(&evs);
+        assert!(doc.contains("\"ifetch.miss\""));
+        assert!(doc.contains("\"stall.operand\""));
+        assert!(doc.contains("\"issue.w4\""));
+        assert!(doc.contains("\"load.hit\""));
+        assert!(doc.contains("\"dram.rd\""));
+        assert!(doc.contains("\"redirect.mispredict\""));
+        assert!(doc.contains("\"process_name\""), "track metadata present:\n{doc}");
+        assert!(doc.contains("\"front-end\""));
+        let n = validate(&doc).expect("in-tree parser accepts our own export");
+        // 5 input events -> 6 slices/instants (stall + issue) + metadata.
+        assert!(n >= 6, "expected events plus metadata, got {n}");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let evs = vec![
+            Event::Dma { start: 0, done: 8, bytes: 256 },
+            Event::CtxSwitch { cpu: 1, from: 0, to: 1, at: 3 },
+        ];
+        assert_eq!(export(&evs), export(&evs));
+    }
+
+    #[test]
+    fn validate_rejects_schema_violations() {
+        assert!(validate("{}").is_err(), "no traceEvents");
+        assert!(validate("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err(), "missing fields");
+        let ok = "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":1}]}";
+        assert_eq!(validate(ok), Ok(1));
+    }
+}

@@ -86,6 +86,13 @@ impl Gshare {
     pub fn config(&self) -> &PredictorConfig {
         &self.cfg
     }
+
+    /// The 2-bit saturating counter the branch at `pc` would index *right
+    /// now* (current global history). Observability probe for profilers and
+    /// tests; does not touch statistics or training state.
+    pub fn counter(&self, pc: u32) -> u8 {
+        self.table[self.index(pc)]
+    }
 }
 
 impl Default for Gshare {
@@ -127,6 +134,22 @@ mod tests {
             g.update(pc, taken, p);
         }
         assert!(correct_late > 190, "history should capture alternation: {correct_late}/200");
+    }
+
+    #[test]
+    fn counter_probe_reads_without_training() {
+        let mut g = Gshare::default();
+        let pc = 0x3000;
+        assert_eq!(g.counter(pc), 2, "cold counters are weakly taken");
+        for _ in 0..3 {
+            let p = g.predict(pc, true);
+            g.update(pc, true, p);
+        }
+        // History shifted, so probe the index the *next* lookup would use.
+        let stats_before = g.stats;
+        let c = g.counter(pc);
+        assert!(c >= 2, "trained toward taken: {c}");
+        assert_eq!(g.stats.lookups, stats_before.lookups, "probe must not train");
     }
 
     #[test]

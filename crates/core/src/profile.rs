@@ -1,0 +1,243 @@
+//! Stall-attribution profiler: aggregates the typed [`Event`] stream into a
+//! PC-indexed table of attributed stall cycles (top-N hot packets, broken
+//! down by [`StallReason`] and by functional-unit slot) plus per-epoch
+//! interval samples for time-series plots.
+//!
+//! The profiler is a pure function of the event stream — run the simulator
+//! with a [`crate::events::MemSink`], harvest the events, and feed them
+//! here. Because the event stream is deterministic, so is every report.
+
+use crate::events::{Event, StallReason, NUM_STALL_REASONS};
+
+/// Aggregated stall profile for one packet address on one CPU.
+#[derive(Clone, Copy, Debug)]
+pub struct PcProfile {
+    pub cpu: u8,
+    pub pc: u32,
+    /// Times this packet issued.
+    pub packets: u64,
+    /// Total attributed stall cycles across all issues.
+    pub total: u64,
+    /// Stall cycles split by reason (indexed by [`StallReason::idx`]).
+    pub by_reason: [u64; NUM_STALL_REASONS],
+    /// Scoreboard wait per functional-unit slot at issue time.
+    pub slot_wait: [u64; 4],
+}
+
+impl PcProfile {
+    /// The reason contributing the most stall cycles, if any stall occurred.
+    pub fn dominant(&self) -> Option<StallReason> {
+        StallReason::ALL
+            .iter()
+            .copied()
+            .max_by_key(|r| self.by_reason[r.idx()])
+            .filter(|r| self.by_reason[r.idx()] > 0)
+    }
+}
+
+/// A whole-run stall profile.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Per-PC rows, sorted by descending total stall (ties: ascending pc).
+    pub pcs: Vec<PcProfile>,
+    /// Whole-run stall cycles by reason.
+    pub totals: [u64; NUM_STALL_REASONS],
+    /// Total packets issued.
+    pub packets: u64,
+}
+
+impl Profile {
+    /// Sum of all attributed stall cycles.
+    pub fn total_stall(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// The `n` hottest packets by attributed stall cycles.
+    pub fn top(&self, n: usize) -> &[PcProfile] {
+        &self.pcs[..n.min(self.pcs.len())]
+    }
+
+    /// Render the top-N table as fixed-width text.
+    pub fn render(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str("rank cpu pc         packets stall    dominant        breakdown\n");
+        for (i, p) in self.top(n).iter().enumerate() {
+            let dom = p.dominant().map(StallReason::name).unwrap_or("-");
+            let mut breakdown = String::new();
+            for r in StallReason::ALL {
+                let v = p.by_reason[r.idx()];
+                if v > 0 {
+                    if !breakdown.is_empty() {
+                        breakdown.push(' ');
+                    }
+                    breakdown.push_str(&format!("{}={}", r.name(), v));
+                }
+            }
+            out.push_str(&format!(
+                "{:<4} {:<3} {:#010x} {:<7} {:<8} {:<15} {}\n",
+                i + 1,
+                p.cpu,
+                p.pc,
+                p.packets,
+                p.total,
+                dom,
+                breakdown
+            ));
+        }
+        let mut totals = String::new();
+        for r in StallReason::ALL {
+            let v = self.totals[r.idx()];
+            if v > 0 {
+                if !totals.is_empty() {
+                    totals.push(' ');
+                }
+                totals.push_str(&format!("{}={}", r.name(), v));
+            }
+        }
+        out.push_str(&format!(
+            "total: {} packets, {} stall cycles ({})\n",
+            self.packets,
+            self.total_stall(),
+            totals
+        ));
+        out
+    }
+}
+
+/// Build a [`Profile`] from an event stream, aggregating `Issue` events by
+/// `(cpu, pc)`. Non-issue events are ignored here; they feed the timeline
+/// exporter instead.
+pub fn profile(events: &[Event]) -> Profile {
+    // Deterministic aggregation without hashing: collect then sort.
+    let mut rows: Vec<PcProfile> = Vec::new();
+    let mut totals = [0u64; NUM_STALL_REASONS];
+    let mut packets = 0u64;
+    for ev in events {
+        let Event::Issue { cpu, pc, stalls, .. } = ev else { continue };
+        packets += 1;
+        let by = stalls.by_reason();
+        for (t, v) in totals.iter_mut().zip(by.iter()) {
+            *t += *v;
+        }
+        let row = match rows.iter_mut().find(|r| r.cpu == *cpu && r.pc == *pc) {
+            Some(r) => r,
+            None => {
+                rows.push(PcProfile {
+                    cpu: *cpu,
+                    pc: *pc,
+                    packets: 0,
+                    total: 0,
+                    by_reason: [0; NUM_STALL_REASONS],
+                    slot_wait: [0; 4],
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.packets += 1;
+        for (t, v) in row.by_reason.iter_mut().zip(by.iter()) {
+            *t += *v;
+        }
+        row.total += stalls.total();
+        for (t, v) in row.slot_wait.iter_mut().zip(stalls.slot_wait.iter()) {
+            *t += *v as u64;
+        }
+    }
+    rows.sort_by(|a, b| b.total.cmp(&a.total).then(a.pc.cmp(&b.pc)).then(a.cpu.cmp(&b.cpu)));
+    Profile { pcs: rows, totals, packets }
+}
+
+/// One epoch of interval sampling: deltas of issue activity and stall
+/// attribution over `[start, end)` cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct IntervalSample {
+    pub start: u64,
+    pub end: u64,
+    /// Packets issued in the interval.
+    pub packets: u64,
+    /// Slots (instructions) issued in the interval.
+    pub instrs: u64,
+    /// Attributed stall cycles in the interval, by reason.
+    pub by_reason: [u64; NUM_STALL_REASONS],
+}
+
+/// Slice the event stream into fixed `epoch`-cycle samples (keyed by issue
+/// timestamp). Empty trailing epochs are not emitted.
+pub fn intervals(events: &[Event], epoch: u64) -> Vec<IntervalSample> {
+    assert!(epoch > 0, "epoch must be positive");
+    let mut out: Vec<IntervalSample> = Vec::new();
+    for ev in events {
+        let Event::Issue { at, width, stalls, .. } = ev else { continue };
+        let slot = (at / epoch) as usize;
+        while out.len() <= slot {
+            let i = out.len() as u64;
+            out.push(IntervalSample {
+                start: i * epoch,
+                end: (i + 1) * epoch,
+                packets: 0,
+                instrs: 0,
+                by_reason: [0; NUM_STALL_REASONS],
+            });
+        }
+        let s = &mut out[slot];
+        s.packets += 1;
+        s.instrs += *width as u64;
+        for (t, v) in s.by_reason.iter_mut().zip(stalls.by_reason().iter()) {
+            *t += *v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::PacketStalls;
+
+    fn issue(cpu: u8, pc: u32, at: u64, stalls: PacketStalls) -> Event {
+        Event::Issue { cpu, ctx: 0, pc, at, width: 2, stalls }
+    }
+
+    fn stalls(operand: u32, bypass: u32) -> PacketStalls {
+        PacketStalls { operand, bypass, ..PacketStalls::default() }
+    }
+
+    #[test]
+    fn aggregates_and_ranks_by_total_stall() {
+        let evs = vec![
+            issue(0, 0x100, 5, stalls(3, 0)),
+            issue(0, 0x100, 9, stalls(3, 1)),
+            issue(0, 0x200, 12, stalls(1, 0)),
+            Event::CtxSwitch { cpu: 0, from: 0, to: 1, at: 13 },
+        ];
+        let p = profile(&evs);
+        assert_eq!(p.packets, 3);
+        assert_eq!(p.pcs.len(), 2);
+        assert_eq!(p.pcs[0].pc, 0x100, "hottest first");
+        assert_eq!(p.pcs[0].total, 7);
+        assert_eq!(p.pcs[0].by_reason[StallReason::Operand.idx()], 6);
+        assert_eq!(p.pcs[0].by_reason[StallReason::Bypass.idx()], 1);
+        assert_eq!(p.pcs[0].dominant(), Some(StallReason::Operand));
+        assert_eq!(p.total_stall(), 8);
+        let text = p.render(10);
+        assert!(text.contains("0x00000100"), "table lists the hot pc:\n{text}");
+        assert!(text.contains("operand=6"), "breakdown shows reasons:\n{text}");
+    }
+
+    #[test]
+    fn interval_samples_bucket_by_issue_cycle() {
+        let evs = vec![
+            issue(0, 0x100, 2, stalls(1, 0)),
+            issue(0, 0x104, 7, stalls(0, 0)),
+            issue(0, 0x108, 25, stalls(4, 0)),
+        ];
+        let s = intervals(&evs, 10);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].packets, 2);
+        assert_eq!(s[0].instrs, 4);
+        assert_eq!(s[0].by_reason[StallReason::Operand.idx()], 1);
+        assert_eq!(s[1].packets, 0, "empty middle epoch is materialised");
+        assert_eq!(s[2].packets, 1);
+        assert_eq!(s[2].start, 20);
+        assert_eq!(s[2].end, 30);
+    }
+}

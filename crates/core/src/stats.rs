@@ -1,5 +1,6 @@
 //! Counters produced by the cycle-accurate simulator.
 
+use crate::events::{StallReason, NUM_STALL_REASONS};
 use crate::predictor::PredictorStats;
 use crate::txn::MemLevelStats;
 
@@ -18,6 +19,10 @@ pub struct CycleStats {
     pub mem_stall_cycles: u64,
     /// Cycles lost in the front end (I-cache misses, redirects).
     pub front_stall_cycles: u64,
+    /// Stall cycles attributed by cause, indexed by
+    /// [`StallReason::idx`]. The aggregate counters above are coarse
+    /// roll-ups of this array; see [`CycleStats::stall_attribution_consistent`].
+    pub stall_by_reason: [u64; NUM_STALL_REASONS],
     pub loads: u64,
     pub stores: u64,
     pub prefetches: u64,
@@ -65,6 +70,24 @@ impl CycleStats {
     pub fn seconds(&self, clock_hz: f64) -> f64 {
         self.cycles as f64 / clock_hz
     }
+
+    /// Total stall cycles attributed to a specific cause.
+    pub fn attributed_stalls(&self) -> u64 {
+        self.stall_by_reason.iter().sum()
+    }
+
+    /// The stall-accounting invariant: the per-reason breakdown must
+    /// reconcile exactly with the coarse aggregate counters, and attributed
+    /// stalls can never exceed total cycles (every attributed cycle is a
+    /// distinct simulated cycle in which no packet issued).
+    pub fn stall_attribution_consistent(&self) -> bool {
+        let r = &self.stall_by_reason;
+        r[StallReason::IFetch.idx()] == self.front_stall_cycles
+            && r[StallReason::Operand.idx()] + r[StallReason::Bypass.idx()]
+                == self.data_stall_cycles
+            && r[StallReason::LsuStructural.idx()] == self.mem_stall_cycles
+            && self.attributed_stalls() <= self.cycles
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +115,23 @@ mod tests {
         let s = CycleStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.mean_width(), 0.0);
+    }
+
+    #[test]
+    fn stall_attribution_invariant() {
+        let mut s = CycleStats { cycles: 100, ..Default::default() };
+        assert!(s.stall_attribution_consistent(), "all-zero is consistent");
+        s.front_stall_cycles = 4;
+        s.data_stall_cycles = 7;
+        s.mem_stall_cycles = 2;
+        assert!(!s.stall_attribution_consistent(), "unattributed aggregates");
+        s.stall_by_reason[StallReason::IFetch.idx()] = 4;
+        s.stall_by_reason[StallReason::Operand.idx()] = 5;
+        s.stall_by_reason[StallReason::Bypass.idx()] = 2;
+        s.stall_by_reason[StallReason::LsuStructural.idx()] = 2;
+        assert!(s.stall_attribution_consistent());
+        assert_eq!(s.attributed_stalls(), 13);
+        s.cycles = 10;
+        assert!(!s.stall_attribution_consistent(), "attribution exceeds cycles");
     }
 }

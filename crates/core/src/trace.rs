@@ -15,24 +15,30 @@ pub struct TraceRec {
     pub operand_wait: u32,
 }
 
-/// Render a compact textual pipeline diagram: one row per packet, `I` at
-/// the issue cycle, `.` for stall cycles before it.
-pub fn render(trace: &[TraceRec], max_rows: usize) -> String {
+/// Width of the fixed row prefix: `c<ctx> <pc> w<width> `.
+const PREFIX_COLS: usize = 15;
+
+/// Render a compact textual pipeline diagram: one row per packet (showing
+/// its context, PC, and width), `I` at the issue cycle, `.` for stall
+/// cycles before it. `span_cols` bounds the horizontal cycle span; packets
+/// issuing past it are omitted.
+pub fn render(trace: &[TraceRec], max_rows: usize, span_cols: usize) -> String {
     let mut out = String::new();
     let Some(first) = trace.first() else { return out };
     let origin = first.issue;
-    out.push_str("cycle:      ");
+    out.push_str("cycle:");
+    out.push_str(&" ".repeat(PREFIX_COLS - "cycle:".len()));
     let span = trace.iter().take(max_rows).map(|r| r.issue - origin).max().unwrap_or(0) as usize;
-    for c in 0..=span.min(70) {
+    for c in 0..=span.min(span_cols) {
         out.push(char::from_digit((c % 10) as u32, 10).unwrap_or('?'));
     }
     out.push('\n');
     for r in trace.iter().take(max_rows) {
         let off = (r.issue - origin) as usize;
-        if off > 70 {
+        if off > span_cols {
             break;
         }
-        out.push_str(&format!("{:#08x} w{} ", r.pc, r.width));
+        out.push_str(&format!("c{} {:#08x} w{} ", r.ctx, r.pc, r.width));
         for _ in 0..off.saturating_sub(r.operand_wait as usize) {
             out.push(' ');
         }
@@ -56,14 +62,49 @@ mod tests {
             TraceRec { ctx: 0, pc: 4, issue: 5, width: 2, operand_wait: 0 },
             TraceRec { ctx: 0, pc: 12, issue: 9, width: 4, operand_wait: 3 },
         ];
-        let s = render(&tr, 10);
+        let s = render(&tr, 10, 70);
         assert_eq!(s.lines().count(), 4);
         assert!(s.contains("w4"));
         assert!(s.contains("...I"), "stalls drawn as dots:\n{s}");
     }
 
     #[test]
+    fn shows_the_issuing_context() {
+        let tr = vec![
+            TraceRec { ctx: 0, pc: 0, issue: 4, width: 1, operand_wait: 0 },
+            TraceRec { ctx: 1, pc: 0x40, issue: 6, width: 1, operand_wait: 0 },
+        ];
+        let s = render(&tr, 10, 70);
+        assert!(s.contains("c0 "), "context column missing:\n{s}");
+        assert!(s.contains("c1 "), "context column missing:\n{s}");
+    }
+
+    #[test]
+    fn header_aligns_with_rows() {
+        let tr = vec![TraceRec { ctx: 0, pc: 0, issue: 4, width: 1, operand_wait: 0 }];
+        let s = render(&tr, 10, 70);
+        let mut lines = s.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        // Cycle 0's digit sits exactly above the issue marker.
+        assert_eq!(header.find('0'), row.find('I'));
+    }
+
+    #[test]
+    fn span_parameter_truncates() {
+        let tr = vec![
+            TraceRec { ctx: 0, pc: 0, issue: 0, width: 1, operand_wait: 0 },
+            TraceRec { ctx: 0, pc: 4, issue: 10, width: 1, operand_wait: 0 },
+            TraceRec { ctx: 0, pc: 8, issue: 200, width: 1, operand_wait: 0 },
+        ];
+        let narrow = render(&tr, 10, 20);
+        assert_eq!(narrow.lines().count(), 1 + 2, "row past the span is omitted");
+        let wide = render(&tr, 10, 500);
+        assert_eq!(wide.lines().count(), 1 + 3);
+    }
+
+    #[test]
     fn empty_trace() {
-        assert!(render(&[], 5).is_empty());
+        assert!(render(&[], 5, 70).is_empty());
     }
 }

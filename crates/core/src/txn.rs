@@ -15,7 +15,7 @@
 //! preserves out-of-order miss returns and gives the SoC a seam to
 //! arbitrate its two D-cache ports (see `majc_soc::ChipMem`).
 
-use majc_mem::{DKind, DPolicy, FlatMem};
+use majc_mem::{DKind, DPolicy, FlatMem, Served};
 
 /// Transaction identifier, unique per CPU. The instruction fetcher and the
 /// LSU draw from disjoint tag spaces (see [`crate::lsu::Lsu`]), so one
@@ -63,6 +63,9 @@ pub struct MemResp {
     pub cpu: u8,
     pub kind: DKind,
     pub completion: Completion,
+    /// Which level of the hierarchy satisfied the access (observability
+    /// only — timing is fully captured by `completion`).
+    pub served: Served,
 }
 
 /// A request the port could not accept this cycle (structural: no free

@@ -370,7 +370,7 @@ fn trace_captures_stalls() {
     c.run(100).unwrap();
     let tr = c.trace.as_ref().unwrap();
     assert!(tr.iter().any(|r| r.operand_wait > 0), "load consumer must record its wait");
-    let rendered = majc_core::render_trace(tr, 16);
+    let rendered = majc_core::render_trace(tr, 16, 70);
     assert!(rendered.contains('I'), "trace renders issue points:\n{rendered}");
 }
 

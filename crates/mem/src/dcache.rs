@@ -35,6 +35,31 @@ pub enum DPolicy {
     NonAllocating,
 }
 
+/// How the hierarchy served an access — exact classification recorded by
+/// the cache on every accepted access (see [`DCache::last_served`]), so
+/// transaction-level observability never has to guess from counter deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Served {
+    Hit,
+    #[default]
+    Miss,
+    /// Miss merged into an already-pending MSHR for the same line.
+    Merge,
+    /// Bypassed the cache (non-cached access, prefetch, perfect port).
+    Bypass,
+}
+
+impl Served {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Served::Hit => "hit",
+            Served::Miss => "miss",
+            Served::Merge => "merge",
+            Served::Bypass => "bypass",
+        }
+    }
+}
+
 /// Why an access could not be accepted this cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DStall {
@@ -104,6 +129,8 @@ pub struct DCache {
     pub mshr_stall_cycles: u64,
     /// Parity bit-flip source (None = fault-free).
     pub fault: Option<FaultInjector>,
+    /// How the most recent accepted access was served (observability).
+    pub last_served: Served,
 }
 
 impl DCache {
@@ -120,6 +147,7 @@ impl DCache {
             prefetch_drops: 0,
             mshr_stall_cycles: 0,
             fault: None,
+            last_served: Served::default(),
         }
     }
 
@@ -184,7 +212,11 @@ impl DCache {
         if kind != DKind::Prefetch {
             match self.tags.take_parity_error(addr) {
                 // Dirty data was lost with the line: unrecoverable here.
-                Some(true) => return Err(DStall::DataError),
+                // The line was resident, so the fault is classified a hit.
+                Some(true) => {
+                    self.last_served = Served::Hit;
+                    return Err(DStall::DataError);
+                }
                 // Clean line: invalidate-and-refill (the miss path below).
                 Some(false) => self.tags.stats.parity_recoveries += 1,
                 None => {}
@@ -192,6 +224,7 @@ impl DCache {
         }
 
         if kind == DKind::Prefetch {
+            self.last_served = Served::Bypass;
             self.prefetches += 1;
             // Non-binding: drop when the line is resident or pending or no
             // MSHR is free.
@@ -215,6 +248,7 @@ impl DCache {
         if pol == DPolicy::NonCached {
             // Bypass the cache entirely; a pending line is unaffected
             // (data correctness is handled by the flat store).
+            self.last_served = Served::Bypass;
             let bytes = 4; // word-granule channel occupancy for uncached
             let done = if is_write {
                 backend.backend_write(now + self.cfg.miss_overhead, addr, bytes)
@@ -225,15 +259,18 @@ impl DCache {
         }
 
         if self.tags.access(addr, is_write) {
+            self.last_served = Served::Hit;
             self.port_hits[port.min(1)] += 1;
             return Ok(now + self.cfg.load_use);
         }
+        self.last_served = Served::Miss;
         self.port_misses[port.min(1)] += 1;
 
         // Miss: merge into a pending MSHR for the same line if any.
         if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
             m.dirty |= is_write;
             m.allocate = true;
+            self.last_served = Served::Merge;
             return Ok(m.done.max(now + self.cfg.load_use));
         }
 
@@ -395,6 +432,21 @@ mod tests {
         c.fault = Some(FaultInjector::new(FaultSite::DCacheParity, 1, 1));
         let r = c.access(200, 0, 0x800, DKind::Load, DPolicy::Cached, &mut p);
         assert_eq!(r, Err(DStall::DataError));
+    }
+
+    #[test]
+    fn served_classification_is_exact() {
+        let (mut c, mut p) = (DCache::default(), PerfectMem { latency: 10 });
+        let t = c.access(0, 0, 0x100, DKind::Load, DPolicy::Cached, &mut p).unwrap();
+        assert_eq!(c.last_served, Served::Miss);
+        c.access(1, 0, 0x108, DKind::Load, DPolicy::Cached, &mut p).unwrap();
+        assert_eq!(c.last_served, Served::Merge, "same pending line merges");
+        c.access(t + 1, 0, 0x100, DKind::Load, DPolicy::Cached, &mut p).unwrap();
+        assert_eq!(c.last_served, Served::Hit);
+        c.access(t + 2, 0, 0x100, DKind::Load, DPolicy::NonCached, &mut p).unwrap();
+        assert_eq!(c.last_served, Served::Bypass);
+        c.access(t + 3, 0, 0x9000, DKind::Prefetch, DPolicy::Cached, &mut p).unwrap();
+        assert_eq!(c.last_served, Served::Bypass, "prefetch never blocks the pipeline");
     }
 
     #[test]

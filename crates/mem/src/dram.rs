@@ -75,6 +75,17 @@ impl DramStats {
     }
 }
 
+/// One data-channel occupancy span, recorded when the busy-span log is
+/// enabled ([`Dram::log`]). Retried transfers record one span per attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramSpanRec {
+    pub start: u64,
+    pub done: u64,
+    pub addr: u32,
+    pub bytes: u32,
+    pub write: bool,
+}
+
 /// The DRDRAM channel: banks with open-row tracking and a shared data bus.
 #[derive(Clone, Debug)]
 pub struct Dram {
@@ -86,6 +97,8 @@ pub struct Dram {
     pub stats: DramStats,
     /// Transfer-error source (None = fault-free).
     pub fault: Option<FaultInjector>,
+    /// Opt-in busy-span log (None = off, the default; no overhead).
+    pub log: Option<Vec<DramSpanRec>>,
 }
 
 impl Dram {
@@ -96,6 +109,7 @@ impl Dram {
             channel_free: 0,
             stats: DramStats::default(),
             fault: None,
+            log: None,
         }
     }
 
@@ -168,6 +182,9 @@ impl Dram {
         self.stats.bytes += bytes as u64;
         self.stats.busy_cycles += xfer;
         self.stats.last_done = self.stats.last_done.max(done);
+        if let Some(log) = &mut self.log {
+            log.push(DramSpanRec { start, done, addr, bytes, write: is_write });
+        }
         done
     }
 
@@ -289,6 +306,18 @@ mod tests {
         assert!(tf > tc, "retries must cost channel time");
         let n = faulty.fault.as_ref().map(|f| f.events.len()).unwrap_or(0);
         assert_eq!(n as u64, faulty.stats.retries + faulty.stats.retry_exhaustions);
+    }
+
+    #[test]
+    fn busy_span_log_records_channel_occupancy() {
+        let mut d = Dram { log: Some(Vec::new()), ..Default::default() };
+        let t1 = d.request(0, 0, 32, false);
+        let t2 = d.request(0, 2048, 32, true);
+        let log = d.log.as_ref().unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].done, t1);
+        assert_eq!((log[1].done, log[1].write), (t2, true));
+        assert_eq!(log[1].start, t1, "second span queues behind the first");
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod flat;
 pub mod icache;
 pub mod tags;
 
-pub use dcache::{DCache, DCacheConfig, DKind, DPolicy, DStall};
-pub use dram::{Dram, DramConfig, DramStats, MemBackend, PerfectMem};
+pub use dcache::{DCache, DCacheConfig, DKind, DPolicy, DStall, Served};
+pub use dram::{Dram, DramConfig, DramSpanRec, DramStats, MemBackend, PerfectMem};
 pub use fault::{FaultEvent, FaultInjector, FaultPlan, FaultSite, XorShift64};
 pub use flat::FlatMem;
 pub use icache::{ICache, ICacheConfig};

@@ -23,8 +23,8 @@
 use std::collections::VecDeque;
 
 use majc_core::{
-    Completion, CpuCore, MemLevelStats, MemPort, MemReq, MemResp, Reject, ReqPort, SimError,
-    TimingConfig,
+    Completion, CpuCore, Event, MemLevelStats, MemPort, MemReq, MemResp, NullSink, Reject, ReqPort,
+    Served, SimError, TimingConfig, TraceSink,
 };
 use majc_isa::Program;
 use majc_mem::{DCache, DKind, DStall, FaultEvent, FaultPlan, FaultSite, FlatMem, ICache};
@@ -150,14 +150,21 @@ impl ChipMem {
     /// Accept one transaction (see [`MemPort::submit`] for the contract).
     pub fn submit(&mut self, now: u64, req: MemReq) -> Result<(), Reject> {
         let cpu = usize::from(req.cpu) & 1;
+        let served;
         let completion = match req.port {
             ReqPort::Instr => {
                 let src = if cpu == 0 { Source::Cpu0I } else { Source::Cpu1I };
+                let hits_before = self.icaches[cpu].stats().hits;
                 let at = self.icaches[cpu].fetch(
                     now,
                     req.addr,
                     &mut Routed { xbar: &mut self.xbar, src },
                 );
+                served = if self.icaches[cpu].stats().hits > hits_before {
+                    Served::Hit
+                } else {
+                    Served::Miss
+                };
                 Completion::Done { at }
             }
             ReqPort::Data => {
@@ -180,6 +187,7 @@ impl ChipMem {
                     req.policy,
                     &mut Routed { xbar: &mut self.xbar, src: Source::CpuD },
                 );
+                served = self.dcache.last_served;
                 match res {
                     Ok(at) => {
                         if req.kind != DKind::Prefetch {
@@ -203,8 +211,47 @@ impl ChipMem {
             cpu: req.cpu,
             kind: req.kind,
             completion,
+            served,
         });
         Ok(())
+    }
+
+    /// Arm the opt-in chip-level record logs (crossbar grants, DRDRAM
+    /// spans) so [`ChipMem::drain_events`] has something to harvest.
+    pub fn enable_logs(&mut self) {
+        self.xbar.log = Some(Vec::new());
+        self.xbar.dram.log = Some(Vec::new());
+    }
+
+    /// Convert and clear the armed record logs — plus every injected fault
+    /// so far — into trace events, sorted by timestamp. Call once, after
+    /// the run; merging with each CPU sink's stream gives the full
+    /// chip-level timeline.
+    pub fn drain_events(&mut self) -> Vec<Event> {
+        let mut out: Vec<Event> = Vec::new();
+        if let Some(log) = &mut self.xbar.log {
+            out.extend(std::mem::take(log).into_iter().map(|r| Event::XbarGrant {
+                src: r.src,
+                at: r.at,
+                done: r.done,
+                addr: r.addr,
+                bytes: r.bytes,
+                write: r.write,
+                nacks: r.nacks,
+            }));
+        }
+        if let Some(log) = &mut self.xbar.dram.log {
+            out.extend(std::mem::take(log).into_iter().map(|r| Event::DramSpan {
+                start: r.start,
+                done: r.done,
+                addr: r.addr,
+                bytes: r.bytes,
+                write: r.write,
+            }));
+        }
+        out.extend(self.fault_events_iter().map(Event::from_fault));
+        out.sort_by_key(Event::timestamp);
+        out
     }
 
     /// Per-level counters as seen by `cpu`: cache numbers are per-CPU,
@@ -250,9 +297,11 @@ impl MemPort for ChipPort<'_> {
     }
 }
 
-/// The whole chip: both CPU cores plus the shared memory side.
-pub struct Majc5200 {
-    pub cpu: [CpuCore; 2],
+/// The whole chip: both CPU cores plus the shared memory side. Generic
+/// over the per-CPU trace sink; with the default [`NullSink`] the
+/// instrumentation compiles away.
+pub struct Majc5200<S: TraceSink = NullSink> {
+    pub cpu: [CpuCore<S>; 2],
     chip: ChipMem,
     /// Chip-level watchdog budget (from [`TimingConfig::max_cycles`]).
     max_cycles: u64,
@@ -261,9 +310,23 @@ pub struct Majc5200 {
 impl Majc5200 {
     /// Build with one program per CPU over a shared memory image.
     pub fn new(progs: [Program; 2], mem: FlatMem, cfg: TimingConfig) -> Majc5200 {
+        Majc5200::with_sinks(progs, mem, cfg, [NullSink, NullSink])
+    }
+}
+
+impl<S: TraceSink> Majc5200<S> {
+    /// Build with one trace sink per CPU (chip-level events are harvested
+    /// separately via [`ChipMem::drain_events`]).
+    pub fn with_sinks(
+        progs: [Program; 2],
+        mem: FlatMem,
+        cfg: TimingConfig,
+        sinks: [S; 2],
+    ) -> Majc5200<S> {
         let [p0, p1] = progs;
+        let [s0, s1] = sinks;
         Majc5200 {
-            cpu: [CpuCore::new(p0, cfg, 0), CpuCore::new(p1, cfg, 1)],
+            cpu: [CpuCore::with_sink(p0, cfg, 0, s0), CpuCore::with_sink(p1, cfg, 1, s1)],
             chip: ChipMem::new(mem),
             max_cycles: cfg.max_cycles,
         }

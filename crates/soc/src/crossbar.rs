@@ -39,7 +39,8 @@ impl Source {
         Source::Gpp,
     ];
 
-    fn index(self) -> usize {
+    /// Stable per-source index (also the `src` id in trace events).
+    pub fn index(self) -> usize {
         match self {
             Source::Cpu0I => 0,
             Source::Cpu1I => 1,
@@ -62,6 +63,20 @@ pub struct SourceStats {
     pub nacks: u64,
 }
 
+/// One granted request, recorded when the opt-in [`Crossbar::log`] is
+/// armed: arbitration won at `at` (after `nacks` dropped grants), transfer
+/// complete at `done`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XbarGrantRec {
+    pub at: u64,
+    pub done: u64,
+    pub src: u8,
+    pub addr: u32,
+    pub bytes: u32,
+    pub write: bool,
+    pub nacks: u32,
+}
+
 /// The switch plus the memory controller behind it.
 #[derive(Clone, Debug)]
 pub struct Crossbar {
@@ -71,6 +86,9 @@ pub struct Crossbar {
     /// Optional deterministic grant-drop injection (`FaultSite::XbarNack`).
     pub fault: Option<FaultInjector>,
     pub stats: [SourceStats; NUM_SOURCES],
+    /// Opt-in grant log (`Some` to record); harvested post-run into trace
+    /// events by `ChipMem::drain_events`.
+    pub log: Option<Vec<XbarGrantRec>>,
 }
 
 impl Crossbar {
@@ -80,6 +98,7 @@ impl Crossbar {
             arb_latency: 2,
             fault: None,
             stats: Default::default(),
+            log: None,
         }
     }
 
@@ -93,16 +112,22 @@ impl Crossbar {
         self.stats[i].requests += 1;
         self.stats[i].bytes += bytes as u64;
         let mut grant = now + self.arb_latency;
+        let mut nacks = 0u32;
         if let Some(f) = &mut self.fault {
             for _ in 0..NACK_RETRY_LIMIT {
                 if !f.fires(grant, addr) {
                     break;
                 }
                 self.stats[i].nacks += 1;
+                nacks += 1;
                 grant += self.arb_latency.max(1);
             }
         }
-        self.dram.request(grant, addr, bytes, write)
+        let done = self.dram.request(grant, addr, bytes, write);
+        if let Some(log) = &mut self.log {
+            log.push(XbarGrantRec { at: grant, done, src: i as u8, addr, bytes, write, nacks });
+        }
+        done
     }
 
     pub fn stats_for(&self, src: Source) -> &SourceStats {

@@ -43,11 +43,30 @@ pub struct Dte {
     pub nupa: Link,
     pub supa: Link,
     pub transfers: u64,
+    /// Opt-in per-descriptor log (`Some` to record) for trace export.
+    pub log: Option<Vec<DmaResult>>,
 }
 
 impl Dte {
     pub fn new() -> Dte {
-        Dte { pci: Link::pci(), nupa: Link::upa("NUPA"), supa: Link::upa("SUPA"), transfers: 0 }
+        Dte {
+            pci: Link::pci(),
+            nupa: Link::upa("NUPA"),
+            supa: Link::upa("SUPA"),
+            transfers: 0,
+            log: None,
+        }
+    }
+
+    /// Convert and clear the armed descriptor log into trace events.
+    pub fn drain_events(&mut self) -> Vec<majc_core::Event> {
+        self.log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|r| majc_core::Event::Dma { start: r.start, done: r.done, bytes: r.bytes })
+            .collect()
     }
 
     /// Run one descriptor to completion. `mem` carries the data when DRAM
@@ -105,7 +124,16 @@ impl Dte {
             moved += chunk;
         }
         let start = now;
-        DmaResult { bytes: len, start, done, bandwidth: len as f64 / (done - start).max(1) as f64 }
+        let res = DmaResult {
+            bytes: len,
+            start,
+            done,
+            bandwidth: len as f64 / (done - start).max(1) as f64,
+        };
+        if let Some(log) = &mut self.log {
+            log.push(res);
+        }
+        res
     }
 }
 

@@ -5,15 +5,29 @@
 //!
 //! ```sh
 //! cargo run --release --example dual_cpu_video
+//! # with a Perfetto timeline of both CPUs + the chip-level memory:
+//! cargo run --release --example dual_cpu_video -- --trace-out trace.json
 //! ```
 
-use majc::core::TimingConfig;
+use majc::core::{Event, MemSink, TimingConfig, TraceSink};
 use majc::kernels::harness::XorShift;
 use majc::kernels::{idct, vld};
 use majc::mem::FlatMem;
 use majc::soc::Majc5200;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_out: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a file path")),
+            other => {
+                eprintln!("unknown argument `{other}`; supported: --trace-out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // CPU0's program: decode 24 blocks of coded symbols (VLD+IZZ+IQ).
     let blocks = vld::workload(42, 24);
     let (stream, nsym) = vld::encode(&blocks);
@@ -34,7 +48,39 @@ fn main() {
     merge(&mut mem, vld_mem);
     merge(&mut mem, idct_mem);
 
-    let mut chip = Majc5200::new([vld_prog, idct_prog], mem, TimingConfig::default());
+    let progs = [vld_prog, idct_prog];
+    match trace_out {
+        None => {
+            let mut chip = Majc5200::new(progs, mem, TimingConfig::default());
+            run_and_report(&mut chip, nsym, &coeffs);
+        }
+        Some(path) => {
+            let mut chip = Majc5200::with_sinks(
+                progs,
+                mem,
+                TimingConfig::default(),
+                [MemSink::unbounded(), MemSink::unbounded()],
+            );
+            chip.chip_mut().enable_logs();
+            run_and_report(&mut chip, nsym, &coeffs);
+
+            // Harvest both CPUs' streams plus the chip-level logs into one
+            // timeline (events carry their CPU id, so a plain merge works).
+            let mut evs: Vec<Event> = chip.cpu[0].sink.take();
+            evs.extend(chip.cpu[1].sink.take());
+            evs.extend(chip.chip_mut().drain_events());
+            evs.sort_by_key(Event::timestamp);
+            let doc = majc::core::export_perfetto(&evs);
+            let n = majc::core::validate_perfetto(&doc)
+                .expect("exported Perfetto document validates against the in-tree parser");
+            std::fs::write(&path, &doc).expect("write trace file");
+            println!("wrote {n} trace events ({} captured) to {path}", evs.len());
+            println!("open it at https://ui.perfetto.dev (or chrome://tracing)");
+        }
+    }
+}
+
+fn run_and_report<S: TraceSink>(chip: &mut Majc5200<S>, nsym: usize, coeffs: &[i16; 64]) {
     let (c0, c1) = chip.run(50_000_000).expect("no traps");
     assert!(chip.cpu[0].halted() && chip.cpu[1].halted());
 
@@ -60,7 +106,7 @@ fn main() {
         let v: Vec<i16> = (0..64).map(|i| m.read_u16(0x0003_0000 + 2 * i) as i16).collect();
         v
     };
-    assert_eq!(&got_idct[..], &idct::reference(&coeffs)[..], "IDCT output");
+    assert_eq!(&got_idct[..], &idct::reference(coeffs)[..], "IDCT output");
     println!("both CPU results verified against references");
 }
 
