@@ -16,32 +16,17 @@ fn k(v: u64) -> String {
     format!("{v}")
 }
 
-/// Run a batch of independent kernel simulations in parallel (each row is
-/// a self-contained program + memory image) and emit rows in order.
+/// Run a batch of independent kernel simulations through the simulation
+/// farm (each row is a self-contained program + memory image) and emit
+/// rows in order.
 fn measure_rows(t: &mut Table, jobs: Vec<(String, String, majc_isa::Program, FlatMem, String)>) {
-    // Each job is a self-contained program + memory image, so they run on
-    // scoped threads (capped at the core count) and report in order.
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let jobs: Vec<_> = jobs.into_iter().map(Some).collect();
-    let results = std::sync::Mutex::new(vec![None; jobs.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let jobs = std::sync::Mutex::new(jobs);
-    std::thread::scope(|s| {
-        for _ in 0..workers.min(results.lock().unwrap().len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(job) = jobs.lock().unwrap().get_mut(i).and_then(Option::take) else {
-                    return;
-                };
-                let (name, paper, prog, mem, note) = job;
-                let cycles = measure(&prog, mem);
-                let row = Row::new(name, paper, format!("{cycles} cycles"), note);
-                results.lock().unwrap()[i] = Some(row);
-            });
-        }
+    let farm = crate::farm::Farm::new(crate::farm::Farm::available());
+    let rows = farm.run(jobs, |_, (name, paper, prog, mem, note)| {
+        let cycles = measure(&prog, mem);
+        Row::new(name, paper, format!("{cycles} cycles"), note)
     });
-    for r in results.into_inner().unwrap() {
-        t.push(r.expect("every job produced a row"));
+    for r in rows {
+        t.push(r);
     }
 }
 
@@ -642,7 +627,7 @@ pub fn faults() -> Table {
 
     let overhead =
         100.0 * (sim.stats.cycles as f64 - clean.stats.cycles as f64) / clean.stats.cycles as f64;
-    let exact = oracle.mem.first_diff(&sim.port.mem).is_none();
+    let diff = oracle.mem.first_diff_detail(&sim.port.mem);
     t.push(Row::new("cycles, fault-free", "-", k(clean.stats.cycles), "baseline"));
     t.push(Row::new(
         "cycles, under soak plan",
@@ -685,7 +670,10 @@ pub fn faults() -> Table {
     t.push(Row::new(
         "architectural state vs oracle",
         "identical",
-        if exact { "identical" } else { "DIVERGED" },
+        match &diff {
+            None => "identical".to_string(),
+            Some(d) => format!("DIVERGED at {:#010x}", d.addr),
+        },
         "byte-exact against fault-free functional run",
     ));
     t
@@ -789,38 +777,8 @@ pub fn memstats() -> Table {
     // Dual-CPU shared-line contention: both CPUs CAS-increment one counter;
     // the chip arbiter serializes same-cycle same-line collisions.
     {
-        use majc_asm::Asm;
-        use majc_isa::{AluOp, CachePolicy, Cond, Instr, MemWidth, Off, Reg, Src};
-        const CTR: u32 = 0x0002_0000;
-        fn incrementer(base: u32) -> majc_isa::Program {
-            let mut a = Asm::new(base);
-            a.set32(Reg::g(0), CTR);
-            a.set32(Reg::g(1), 50);
-            a.label("retry");
-            a.op(Instr::Ld {
-                w: MemWidth::W,
-                pol: CachePolicy::Cached,
-                rd: Reg::g(2),
-                base: Reg::g(0),
-                off: Off::Imm(0),
-            });
-            a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(2), src2: Src::Imm(1) });
-            a.op(Instr::Cas { rd: Reg::g(2), base: Reg::g(0), rs: Reg::g(3) });
-            a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(4), rs1: Reg::g(3), src2: Src::Imm(1) });
-            a.op(Instr::Alu {
-                op: AluOp::Sub,
-                rd: Reg::g(4),
-                rs1: Reg::g(4),
-                src2: Src::Reg(Reg::g(2)),
-            });
-            a.br(Cond::Ne, Reg::g(4), "retry", false);
-            a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Imm(1) });
-            a.br(Cond::Gt, Reg::g(1), "retry", true);
-            a.op(Instr::Halt);
-            a.finish().unwrap()
-        }
         let mut chip = majc_soc::Majc5200::new(
-            [incrementer(0), incrementer(0x4000)],
+            [cas_incrementer(0), cas_incrementer(0x4000)],
             FlatMem::new(),
             TimingConfig::default(),
         );
@@ -841,7 +799,213 @@ pub fn memstats() -> Table {
     t
 }
 
+/// The dual-CPU CAS-contention workload (one CPU image at `base`): both
+/// CPUs increment a shared counter 50 times through a load/CAS retry
+/// loop, forcing same-line port conflicts through the chip arbiter.
+/// Shared by `memstats` and the farm batch.
+fn cas_incrementer(base: u32) -> majc_isa::Program {
+    use majc_asm::Asm;
+    use majc_isa::{AluOp, CachePolicy, Cond, Instr, MemWidth, Off, Reg, Src};
+    const CTR: u32 = 0x0002_0000;
+    let mut a = Asm::new(base);
+    a.set32(Reg::g(0), CTR);
+    a.set32(Reg::g(1), 50);
+    a.label("retry");
+    a.op(Instr::Ld {
+        w: MemWidth::W,
+        pol: CachePolicy::Cached,
+        rd: Reg::g(2),
+        base: Reg::g(0),
+        off: Off::Imm(0),
+    });
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(2), src2: Src::Imm(1) });
+    a.op(Instr::Cas { rd: Reg::g(2), base: Reg::g(0), rs: Reg::g(3) });
+    a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(4), rs1: Reg::g(3), src2: Src::Imm(1) });
+    a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(4), rs1: Reg::g(4), src2: Src::Reg(Reg::g(2)) });
+    a.br(Cond::Ne, Reg::g(4), "retry", false);
+    a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Imm(1) });
+    a.br(Cond::Gt, Reg::g(1), "retry", true);
+    a.op(Instr::Halt);
+    a.finish().unwrap()
+}
+
 // ------------------------------- E11 -------------------------------
+
+/// Master seed for the `reproduce farm` batch; every shard's stream is
+/// derived from it with [`crate::farm::shard_seed`].
+pub const FARM_MASTER_SEED: u64 = 0xFA23_5EED;
+
+/// One scenario in the `reproduce farm` batch. Every variant is fully
+/// self-contained — program image, memory image, seeds — so scenarios
+/// can run on any worker in any order.
+enum FarmScenario {
+    /// Deterministic fault-injection soak of one suite kernel.
+    Soak(majc_kernels::suite::KernelCase),
+    /// A shard of the differential fuzz stream: `count` seeded programs
+    /// through the functional-vs-cycle comparison.
+    Fuzz { count: usize },
+    /// The dual-CPU CAS-contention scenario on the SoC.
+    CasContention,
+}
+
+/// The standard batch: the full suite (heavy kernels included — this is
+/// a release-mode report) under fault soak, eight fuzz shards, and one
+/// SoC scenario.
+fn farm_batch() -> Vec<FarmScenario> {
+    let mut batch: Vec<FarmScenario> =
+        majc_kernels::suite::cases().into_iter().map(FarmScenario::Soak).collect();
+    batch.extend((0..8).map(|_| FarmScenario::Fuzz { count: 512 }));
+    batch.push(FarmScenario::CasContention);
+    batch
+}
+
+/// Execute one scenario; everything reported is architectural, so the
+/// result is a pure function of `(FARM_MASTER_SEED, shard)`.
+fn run_farm_scenario(shard: usize, sc: FarmScenario) -> crate::farm::ShardResult {
+    use crate::diff::{diff_run, fuzz_program, FUZZ_BUDGET};
+    use crate::farm::{fnv1a, run_soak, shard_seed, ShardResult};
+    let seed = shard_seed(FARM_MASTER_SEED, shard as u64);
+    match sc {
+        FarmScenario::Soak(c) => {
+            run_soak(c.name, &c.prog, &c.mem, seed).into_shard_result(shard, c.name, seed)
+        }
+        FarmScenario::Fuzz { count } => {
+            let mut stats = majc_core::CycleStats::default();
+            let mut digest = 0u64;
+            let mut divergence = None;
+            for k in 0..count {
+                let case_seed = shard_seed(seed, k as u64);
+                let out = diff_run(&fuzz_program(case_seed), FUZZ_BUDGET);
+                stats.cycles += out.cycles;
+                stats.packets += out.packets;
+                digest = fnv1a(format!("{digest:016x}:{out:?}").as_bytes());
+                if divergence.is_none() {
+                    divergence = out.divergence.map(|d| format!("seed {case_seed:#018x}: {d}"));
+                }
+            }
+            ShardResult {
+                shard,
+                name: format!("fuzz x{count}"),
+                seed,
+                cycles: stats.cycles,
+                stats,
+                mem: majc_core::MemLevelStats::default(),
+                fault_events: 0,
+                fault_digest: digest,
+                divergence,
+            }
+        }
+        FarmScenario::CasContention => {
+            let mut chip = majc_soc::Majc5200::new(
+                [cas_incrementer(0), cas_incrementer(0x4000)],
+                FlatMem::new(),
+                TimingConfig::default(),
+            );
+            chip.run(10_000_000).expect("CAS contention scenario");
+            let stats = chip.cpu[0].stats;
+            ShardResult {
+                shard,
+                name: "soc/cas-contention".into(),
+                seed,
+                cycles: stats.cycles,
+                mem: stats.mem,
+                stats,
+                fault_events: 0,
+                fault_digest: 0,
+                divergence: None,
+            }
+        }
+    }
+}
+
+/// E11: the deterministic parallel simulation farm. `jobs: Some(n)` runs
+/// the standard batch on `n` workers and writes the merged report to
+/// `target/reports/farm_merged.json` — byte-identical for any `n`.
+/// `jobs: None` sweeps 1/2/4 workers, asserts the reports are identical,
+/// and emits the per-job scaling table. Wall-clock appears only in the
+/// printed table, never in the merged report.
+pub fn farm(jobs: Option<usize>) -> Table {
+    use crate::farm::{merged_json, Farm};
+
+    let run_batch = |n: usize| {
+        let t0 = std::time::Instant::now();
+        let results = Farm::new(n).run(farm_batch(), run_farm_scenario);
+        let elapsed = t0.elapsed().as_secs_f64();
+        (merged_json(FARM_MASTER_SEED, &results), results, elapsed)
+    };
+    let save = |report: &str| {
+        let out = std::path::Path::new("target/reports");
+        match std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(out.join("farm_merged.json"), report))
+        {
+            Ok(()) => "saved target/reports/farm_merged.json".to_string(),
+            Err(e) => format!("not saved: {e}"),
+        }
+    };
+    let throughput = |results: &[crate::farm::ShardResult], elapsed: f64| {
+        let cycles: u64 = results.iter().map(|r| r.cycles).sum();
+        format!(
+            "{:.1} scenarios/sec, {:.1} Msimcycles/sec",
+            results.len() as f64 / elapsed,
+            cycles as f64 / elapsed / 1e6
+        )
+    };
+
+    let mut t = Table::new("farm", "E11: deterministic parallel simulation farm");
+    match jobs {
+        Some(n) => {
+            let (report, results, elapsed) = run_batch(n);
+            let divergences = results.iter().filter(|r| r.divergence.is_some()).count();
+            t.push(Row::new("scenarios", "-", k(results.len() as u64), format!("--jobs {n}")));
+            t.push(Row::new(
+                "simulated cycles",
+                "-",
+                k(results.iter().map(|r| r.cycles).sum::<u64>()),
+                "sum over shards",
+            ));
+            t.push(Row::new("divergences", "0", k(divergences as u64), ""));
+            t.push(Row::new(
+                "throughput",
+                "-",
+                format!("{elapsed:.2} s wall"),
+                throughput(&results, elapsed),
+            ));
+            t.push(Row::new("merged report", "-", save(&report), "no wall-clock fields"));
+        }
+        None => {
+            type BatchRun = (String, Vec<crate::farm::ShardResult>, f64);
+            let sweep: Vec<(usize, BatchRun)> =
+                [1usize, 2, 4].into_iter().map(|n| (n, run_batch(n))).collect();
+            let (base_report, _, base_elapsed) = &sweep[0].1;
+            for (n, (report, results, elapsed)) in &sweep {
+                assert_eq!(
+                    report, base_report,
+                    "merged report must be byte-identical at --jobs {n}"
+                );
+                t.push(Row::new(
+                    format!("--jobs {n}"),
+                    "-",
+                    format!("{elapsed:.2} s wall"),
+                    format!(
+                        "{}, speedup {:.2}x",
+                        throughput(results, *elapsed),
+                        base_elapsed / elapsed
+                    ),
+                ));
+            }
+            t.push(Row::new(
+                "determinism",
+                "byte-identical",
+                "byte-identical",
+                "merged reports at --jobs 1/2/4",
+            ));
+            t.push(Row::new("merged report", "-", save(base_report), "no wall-clock fields"));
+        }
+    }
+    t
+}
+
+// --------------------------- trace/profile ---------------------------
 
 /// Run `prog` once (cold caches) on the DRDRAM memory system with full
 /// event capture armed, returning the merged, time-sorted event stream and
@@ -1000,6 +1164,7 @@ pub fn all() -> Vec<Table> {
         ablations(),
         faults(),
         memstats(),
+        farm(None),
         trace(),
         profile(),
     ]

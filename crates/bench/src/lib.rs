@@ -4,9 +4,12 @@
 //! ([`experiments`]) and the text/JSON reporting layer ([`report`]).
 //! `cargo run -p majc-bench --release -- all` regenerates everything.
 
+pub mod diff;
 pub mod experiments;
+pub mod farm;
 pub mod microbench;
 pub mod report;
 
 pub use experiments::{ablations, all, fig1, fig2, graphics, peak_rates, table1, table2, table3};
+pub use farm::{shard_seed, Farm, Shard, ShardResult, XorShift64Star};
 pub use report::{Row, Table};

@@ -1,15 +1,17 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|trace|profile|all]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|trace|profile|all] [--jobs N]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
-//! JSON report under `target/reports/`.
+//! JSON report under `target/reports/`. `farm --jobs N` runs the
+//! simulation-farm batch on N workers (omit `--jobs` for the 1/2/4
+//! scaling sweep); the merged report is byte-identical for any N.
 
 use std::process::ExitCode;
 
 use majc_bench::experiments;
 use majc_bench::report::Table;
 
-const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats trace profile all";
+const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm trace profile all (plus optional `--jobs N` for farm)";
 
 fn emit(t: Table) {
     println!("{}", t.render());
@@ -17,6 +19,18 @@ fn emit(t: Table) {
         Ok(p) => println!("  [saved {}]\n", p.display()),
         Err(e) => eprintln!("  [report not saved: {e}]\n"),
     }
+}
+
+/// Parse `--jobs N` anywhere after the experiment name.
+fn jobs_flag() -> Result<Option<usize>, String> {
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            let v = args.next().ok_or("`--jobs` needs a value")?;
+            return v.parse().map(Some).map_err(|_| format!("bad `--jobs` value `{v}`"));
+        }
+    }
+    Ok(None)
 }
 
 fn main() -> ExitCode {
@@ -32,6 +46,13 @@ fn main() -> ExitCode {
         "ablations" => emit(experiments::ablations()),
         "faults" => emit(experiments::faults()),
         "memstats" => emit(experiments::memstats()),
+        "farm" => match jobs_flag() {
+            Ok(jobs) => emit(experiments::farm(jobs)),
+            Err(e) => {
+                eprintln!("{e}; {USAGE}");
+                return ExitCode::from(2);
+            }
+        },
         "trace" => emit(experiments::trace()),
         "profile" => emit(experiments::profile()),
         "all" => {

@@ -36,6 +36,7 @@
 //! counters and can never exceed total cycles.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 use majc_isa::{Instr, LatClass, Packet, Program, NUM_REGS};
 use majc_mem::{DKind, DPolicy};
@@ -90,7 +91,7 @@ impl Ctx {
 /// (the SoC) without any aliasing.
 pub struct CpuCore<S: TraceSink = NullSink> {
     cfg: TimingConfig,
-    prog: Program,
+    prog: Arc<Program>,
     /// Which D-cache port this CPU drives (0 or 1).
     cpu: usize,
     contexts: Vec<Ctx>,
@@ -114,14 +115,23 @@ pub struct CpuCore<S: TraceSink = NullSink> {
 
 impl CpuCore {
     /// Construct bound to D-cache port `cpu` (0 for a standalone core).
-    pub fn new(prog: Program, cfg: TimingConfig, cpu: usize) -> CpuCore {
+    ///
+    /// `prog` may be an owned [`Program`] or an [`Arc<Program>`]; the farm
+    /// shares one read-only image across many cores.
+    pub fn new(prog: impl Into<Arc<Program>>, cfg: TimingConfig, cpu: usize) -> CpuCore {
         CpuCore::with_sink(prog, cfg, cpu, NullSink)
     }
 }
 
 impl<S: TraceSink> CpuCore<S> {
     /// Construct with an explicit event sink.
-    pub fn with_sink(prog: Program, cfg: TimingConfig, cpu: usize, sink: S) -> CpuCore<S> {
+    pub fn with_sink(
+        prog: impl Into<Arc<Program>>,
+        cfg: TimingConfig,
+        cpu: usize,
+        sink: S,
+    ) -> CpuCore<S> {
+        let prog = prog.into();
         let n = cfg.threading.contexts.max(1);
         let contexts = (0..n).map(|_| Ctx::new(prog.base(), cfg.front_latency)).collect();
         CpuCore {
@@ -745,19 +755,29 @@ pub struct CycleSim<P: MemPort, S: TraceSink = NullSink> {
 }
 
 impl<P: MemPort> CycleSim<P> {
-    pub fn new(prog: Program, port: P, cfg: TimingConfig) -> CycleSim<P> {
+    pub fn new(prog: impl Into<Arc<Program>>, port: P, cfg: TimingConfig) -> CycleSim<P> {
         Self::on_port(prog, port, cfg, 0)
     }
 
     /// Construct bound to D-cache port `cpu`.
-    pub fn on_port(prog: Program, port: P, cfg: TimingConfig, cpu: usize) -> CycleSim<P> {
+    pub fn on_port(
+        prog: impl Into<Arc<Program>>,
+        port: P,
+        cfg: TimingConfig,
+        cpu: usize,
+    ) -> CycleSim<P> {
         CycleSim { core: CpuCore::new(prog, cfg, cpu), port }
     }
 }
 
 impl<P: MemPort, S: TraceSink> CycleSim<P, S> {
     /// Construct with an explicit event sink.
-    pub fn with_sink(prog: Program, port: P, cfg: TimingConfig, sink: S) -> CycleSim<P, S> {
+    pub fn with_sink(
+        prog: impl Into<Arc<Program>>,
+        port: P,
+        cfg: TimingConfig,
+        sink: S,
+    ) -> CycleSim<P, S> {
         CycleSim { core: CpuCore::with_sink(prog, cfg, 0, sink), port }
     }
 

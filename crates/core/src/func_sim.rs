@@ -5,6 +5,8 @@
 //! correctness reference for the cycle-accurate model and for validating
 //! kernels against their pure-Rust references.
 
+use std::sync::Arc;
+
 use majc_isa::Program;
 use majc_mem::FlatMem;
 
@@ -33,7 +35,7 @@ pub struct FuncStats {
 pub struct FuncSim {
     pub regs: RegFile,
     pub mem: FlatMem,
-    prog: Program,
+    prog: Arc<Program>,
     pc: u32,
     halted: bool,
     /// Trap vector: `Some(base)` enables precise vectored delivery,
@@ -45,7 +47,11 @@ pub struct FuncSim {
 
 impl FuncSim {
     /// Create a simulator positioned at the program's base address.
-    pub fn new(prog: Program, mem: FlatMem) -> FuncSim {
+    ///
+    /// Accepts either an owned [`Program`] or an [`Arc<Program>`], so a
+    /// simulation farm can share one read-only image across shards.
+    pub fn new(prog: impl Into<Arc<Program>>, mem: FlatMem) -> FuncSim {
+        let prog = prog.into();
         let pc = prog.base();
         FuncSim {
             regs: RegFile::new(),

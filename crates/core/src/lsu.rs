@@ -31,7 +31,7 @@ use crate::txn::{MemPort, MemReq, MemResp, Reject, ReqPort, Tag};
 pub(crate) const LSU_TAG_BASE: u64 = 1 << 63;
 
 /// LSU counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LsuStats {
     pub loads: u64,
     pub stores: u64,

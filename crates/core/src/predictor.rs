@@ -21,7 +21,7 @@ impl Default for PredictorConfig {
 }
 
 /// Prediction statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PredictorStats {
     pub lookups: u64,
     pub correct: u64,

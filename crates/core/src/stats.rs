@@ -4,8 +4,9 @@ use crate::events::{StallReason, NUM_STALL_REASONS};
 use crate::predictor::PredictorStats;
 use crate::txn::MemLevelStats;
 
-/// Everything the cycle model counts while running.
-#[derive(Clone, Copy, Debug, Default)]
+/// Everything the cycle model counts while running. `PartialEq` lets the
+/// simulation farm's determinism gate compare whole shard results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleStats {
     /// Total cycles from first issue to halt.
     pub cycles: u64,

@@ -1,0 +1,227 @@
+//! Integration tests for the gshare predictor: the history register, the
+//! 12-bit index aliasing the paper's 4096-entry table implies, 2-bit
+//! saturating-counter hysteresis, and how a misprediction redirect
+//! interacts with squash and trap delivery inside the full pipeline.
+
+use majc_core::{
+    CycleSim, FuncSim, Gshare, PerfectPort, PredictorConfig, TimingConfig, TrapPolicy,
+};
+use majc_isa::{Cond, Instr, Packet, Program, Reg, SplitMix64};
+
+// ---------------------------------------------------------------------------
+// Direct predictor probes
+// ---------------------------------------------------------------------------
+
+/// Mirror-model check: an independent re-implementation of the gshare
+/// update rules (taken shifts a 1 into the history, not-taken a 0; index
+/// is `(pc >> 2) ^ history` masked to 12 bits; 2-bit counters saturate)
+/// must track the real predictor over thousands of random branches.
+#[test]
+fn history_and_counters_match_a_mirror_model() {
+    let cfg = PredictorConfig::default();
+    assert_eq!(cfg.entries, 4096);
+    assert_eq!(cfg.history_bits, 12);
+    let mut g = Gshare::new(cfg);
+    let mut table = vec![2u8; cfg.entries];
+    let mut history: u32 = 0;
+    let mut rng = SplitMix64::new(0xB4A9);
+    for step in 0..5000 {
+        let pc = (rng.next_u32() & 0xFFFF) << 2;
+        let taken = rng.flip();
+        let idx =
+            (((pc >> 2) ^ (history & ((1 << cfg.history_bits) - 1))) as usize) & (cfg.entries - 1);
+        assert_eq!(g.counter(pc), table[idx], "counter probe, step {step}");
+        let predicted = g.predict(pc, false);
+        assert_eq!(predicted, table[idx] >= 2, "prediction, step {step}");
+        g.update(pc, taken, predicted);
+        table[idx] = if taken { (table[idx] + 1).min(3) } else { table[idx].saturating_sub(1) };
+        history = (history << 1) | taken as u32;
+    }
+}
+
+/// Directed history-update check, observable through the index: after a
+/// run of not-taken updates at pc 0 (history stays all-zero), one taken
+/// update must shift a 1 into the history, moving pc 0 to a fresh entry
+/// and making pc 4 alias the trained one.
+#[test]
+fn taken_shifts_a_one_into_the_history_register() {
+    let mut g = Gshare::new(PredictorConfig::default());
+    for _ in 0..3 {
+        let p = g.predict(0, false);
+        g.update(0, false, p);
+    }
+    assert_eq!(g.counter(0), 0, "entry 0 saturated not-taken, history still zero");
+    let p = g.predict(0, false);
+    g.update(0, true, p);
+    // History now holds 0b1: pc 4 indexes (1 ^ 1) = 0, the trained entry
+    // (bumped to 1 by the taken update); pc 0 indexes (0 ^ 1) = 1, cold.
+    assert_eq!(g.counter(4), 1, "pc 4 must alias the trained entry through the history");
+    assert_eq!(g.counter(0), 2, "pc 0 must have moved off the trained entry");
+}
+
+/// Two PCs whose packet indices differ by exactly the table size (4096
+/// entries ⇒ 16 KiB apart) index the same counter — the aliasing the
+/// 12-bit index cannot avoid — while a neighbouring PC does not.
+#[test]
+fn pcs_16kib_apart_alias_in_the_4096_entry_table() {
+    let mut g = Gshare::new(PredictorConfig::default());
+    let pc_a = 0x1000;
+    let pc_b = pc_a + (4096 << 2);
+    // Train A strongly not-taken; not-taken updates keep the history zero,
+    // so the index never moves.
+    for _ in 0..4 {
+        let p = g.predict(pc_a, true);
+        g.update(pc_a, false, p);
+    }
+    assert_eq!(g.counter(pc_b), 0, "aliased pc reads A's counter");
+    assert!(!g.predict(pc_b, true), "A's training leaks into its alias");
+    assert_eq!(g.counter(pc_b + 4), 2, "a non-aliasing neighbour stays cold");
+    assert!(g.predict(pc_b + 4, true), "cold entries stay weakly taken");
+}
+
+/// 2-bit hysteresis: one wrong-direction outcome must not flip a
+/// saturated counter; two must. `history_bits: 0` pins the index so the
+/// counter can be watched in isolation.
+#[test]
+fn saturating_counters_need_two_flips_to_change_direction() {
+    let cfg = PredictorConfig { history_bits: 0, ..Default::default() };
+    let mut g = Gshare::new(cfg);
+    let pc = 0x40;
+    for _ in 0..5 {
+        let p = g.predict(pc, false);
+        g.update(pc, true, p);
+    }
+    assert_eq!(g.counter(pc), 3, "counter saturates at strongly taken");
+    let p = g.predict(pc, false);
+    g.update(pc, false, p);
+    assert!(g.predict(pc, false), "one not-taken must not flip a saturated counter");
+    let p = g.predict(pc, false);
+    g.update(pc, false, p);
+    assert!(!g.predict(pc, false), "the second not-taken flips it");
+    for _ in 0..3 {
+        let p = g.predict(pc, false);
+        g.update(pc, false, p);
+    }
+    assert_eq!(g.counter(pc), 0, "counter saturates at strongly not-taken");
+    let p = g.predict(pc, false);
+    g.update(pc, true, p);
+    assert!(!g.predict(pc, false), "hysteresis is symmetric at the bottom");
+}
+
+// ---------------------------------------------------------------------------
+// Redirect / squash interaction in the full pipeline
+// ---------------------------------------------------------------------------
+
+fn set(rd: u8, imm: i16) -> Packet {
+    Packet::solo(Instr::SetLo { rd: Reg::g(rd), imm }).expect("solo set")
+}
+
+/// A mispredicted not-taken branch (cold gshare predicts taken) must pay
+/// the redirect without corrupting architectural state: the fall-through
+/// packet still executes exactly once.
+#[test]
+fn mispredicted_branch_squashes_cleanly() {
+    let p = Program::new(
+        0,
+        vec![
+            // g0 == 0, so Ne is not taken; the cold predictor (weakly
+            // taken counters) predicts taken — a guaranteed mispredict.
+            Packet::solo(Instr::Br { cond: Cond::Ne, rs: Reg::g(0), off: 64, hint: false })
+                .expect("solo br"),
+            set(5, 42),
+            Packet::solo(Instr::Halt).expect("halt"),
+        ],
+    );
+
+    let mut cyc = CycleSim::new(p.clone(), PerfectPort::new(), TimingConfig::default());
+    cyc.run(1_000).expect("clean run");
+    assert!(cyc.halted());
+    assert_eq!(cyc.stats.mispredicts, 1, "cold predictor must mispredict the not-taken branch");
+    assert_eq!(cyc.regs(0).get(Reg::g(5)), 42, "fall-through path committed exactly once");
+    assert!(cyc.stats.stall_attribution_consistent(), "redirect stalls must reconcile");
+
+    let mut func = FuncSim::new(p, majc_mem::FlatMem::new());
+    func.run(1_000).expect("functional reference runs clean");
+    assert_eq!(cyc.regs(0).raw(), func.regs.raw(), "squash must not leak wrong-path state");
+}
+
+/// A correctly predicted taken branch whose target is outside the program
+/// commits, traps precisely (`BadPc`), vectors to the handler, and `rte`
+/// resumes at the packet after the branch — the redirect and the trap
+/// squash must compose.
+#[test]
+fn redirect_into_a_trap_recovers_through_the_vector() {
+    let mut pkts = vec![
+        // g0 == 0: Eq is taken; the cold predictor also says taken, so
+        // this is a *correct* prediction into an invalid target.
+        Packet::solo(Instr::Br { cond: Cond::Eq, rs: Reg::g(0), off: 0x7000, hint: true })
+            .expect("solo br"),
+        set(5, 7),
+        Packet::solo(Instr::Halt).expect("halt"),
+        Packet::solo(Instr::Rte).expect("rte handler"),
+    ];
+    let vector = {
+        let probe = Program::new(0, pkts.clone());
+        probe.addr_of(probe.len() - 1)
+    };
+    let p = Program::new(0, std::mem::take(&mut pkts));
+
+    let cfg =
+        TimingConfig { trap_policy: TrapPolicy::Vector { base: vector }, ..Default::default() };
+    let mut cyc = CycleSim::new(p.clone(), PerfectPort::new(), cfg);
+    cyc.run(1_000).expect("vectored trap must recover");
+    assert!(cyc.halted());
+    assert_eq!(cyc.stats.traps, 1, "the invalid target traps exactly once");
+    assert_eq!(cyc.stats.mispredicts, 0, "the prediction itself was correct");
+    assert_eq!(cyc.regs(0).get(Reg::g(5)), 7, "rte resumed at the packet after the branch");
+    assert!(cyc.stats.stall_attribution_consistent());
+
+    let mut func = FuncSim::new(p, majc_mem::FlatMem::new());
+    func.set_trap_vector(vector);
+    func.run(1_000).expect("functional reference recovers identically");
+    assert_eq!(cyc.regs(0).raw(), func.regs.raw(), "trap+redirect state matches the oracle");
+}
+
+/// Static-hint mode: a wrongly hinted taken branch pays the full
+/// mispredict penalty where a correct hint pays only the taken bubble,
+/// and both reach identical architectural state.
+#[test]
+fn wrong_static_hint_costs_the_redirect_penalty() {
+    let build = |off: i32, hint: bool| {
+        Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::Br { cond: Cond::Eq, rs: Reg::g(0), off, hint })
+                    .expect("solo br"),
+                set(6, 9), // skipped by the taken branch
+                set(5, 1),
+                Packet::solo(Instr::Halt).expect("halt"),
+            ],
+        )
+    };
+    // Resolve the branch target (packet 2) from a probe build.
+    let target = build(0, true).addr_of(2) as i32;
+
+    let cfg = TimingConfig {
+        predictor: PredictorConfig { dynamic: false, ..Default::default() },
+        ..Default::default()
+    };
+    let run = |hint: bool| {
+        let mut sim = CycleSim::new(build(target, hint), PerfectPort::new(), cfg);
+        sim.run(1_000).expect("clean run");
+        assert!(sim.halted());
+        (
+            sim.stats.cycles,
+            sim.stats.mispredicts,
+            sim.regs(0).get(Reg::g(5)),
+            sim.regs(0).get(Reg::g(6)),
+        )
+    };
+    let (fast, m_right, g5_right, g6_right) = run(true);
+    let (slow, m_wrong, g5_wrong, g6_wrong) = run(false);
+    assert_eq!(m_right, 0);
+    assert_eq!(m_wrong, 1);
+    assert!(slow > fast, "redirect must cost cycles ({slow} vs {fast})");
+    assert_eq!((g5_right, g6_right), (1, 0), "taken path skips the wrong-path packet");
+    assert_eq!((g5_wrong, g6_wrong), (1, 0), "squash discards the wrong-path packet");
+}

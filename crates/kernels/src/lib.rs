@@ -23,6 +23,7 @@ pub mod lms;
 pub mod maxsearch;
 pub mod motion;
 pub mod peak;
+pub mod suite;
 pub mod transform_light;
 pub mod vld;
 

@@ -1,0 +1,150 @@
+//! The canonical kernel scenario suite: every shipped kernel with its
+//! fixed deterministic workload (the same xorshift seeds the fault soak
+//! has always used), packaged as data so the soak test, the simulation
+//! farm, and the `reproduce farm` experiment all iterate one list
+//! instead of re-declaring seventeen workload builders.
+
+use std::sync::Arc;
+
+use majc_isa::Program;
+use majc_mem::FlatMem;
+
+use crate::harness::XorShift;
+use crate::*;
+
+/// One ready-to-run kernel scenario: a program image (shareable across
+/// farm shards) and its input memory.
+pub struct KernelCase {
+    pub name: &'static str,
+    pub prog: Arc<Program>,
+    pub mem: FlatMem,
+    /// Megacycle image kernels, skipped in debug-mode test runs.
+    pub heavy: bool,
+}
+
+fn case(name: &'static str, (prog, mem): (Program, FlatMem), heavy: bool) -> KernelCase {
+    KernelCase { name, prog: Arc::new(prog), mem, heavy }
+}
+
+/// Every shipped kernel with its fixed workload, fast ones first. The
+/// seeds are load-bearing: they reproduce the exact runs CI has always
+/// soaked, so cycle counts and fault traces stay comparable release to
+/// release.
+pub fn cases() -> Vec<KernelCase> {
+    let mut out = Vec::new();
+
+    let c = biquad::Cascade::demo(4);
+    let mut rng = XorShift::new(11);
+    let input: Vec<f32> = (0..64).map(|_| rng.next_f32()).collect();
+    out.push(case("biquad", biquad::build(&c, &input), false));
+
+    let mut rng = XorShift::new(12);
+    let coeffs: Vec<f32> = (0..fir::TAPS).map(|_| rng.next_f32() * 0.2).collect();
+    let xs: Vec<f32> = (0..fir::OUTPUTS + fir::TAPS - 1).map(|_| rng.next_f32()).collect();
+    out.push(case("fir", fir::build(&coeffs, &xs), false));
+
+    let mut rng = XorShift::new(13);
+    let cc: Vec<(f32, f32)> =
+        (0..cfir::TAPS).map(|_| (rng.next_f32() * 0.2, rng.next_f32() * 0.2)).collect();
+    let cx: Vec<(f32, f32)> =
+        (0..cfir::OUTPUTS + cfir::TAPS - 1).map(|_| (rng.next_f32(), rng.next_f32())).collect();
+    out.push(case("cfir", cfir::build(&cc, &cx), false));
+
+    let mut rng = XorShift::new(14);
+    let w: Vec<f32> = (0..lms::ORDER).map(|_| rng.next_f32() * 0.5).collect();
+    let x: Vec<f32> = (0..lms::ORDER).map(|_| rng.next_f32()).collect();
+    out.push(case("lms", lms::build(&w, &x, rng.next_f32(), 0.05), false));
+
+    let mut rng = XorShift::new(15);
+    let xs: Vec<f32> = (0..maxsearch::N).map(|_| rng.next_f32() * 100.0).collect();
+    out.push(case("maxsearch", maxsearch::build(&xs), false));
+
+    let mut rng = XorShift::new(16);
+    let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
+    let pre2: Vec<(f32, f32)> = (0..fft::N).map(|i| data[bitrev::rev(i)]).collect();
+    out.push(case("fft-radix2", fft::build_radix2(&pre2), false));
+
+    let mut rng = XorShift::new(17);
+    let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
+    let pre4: Vec<(f32, f32)> = (0..fft::N).map(|i| data[fft::digit_rev4(i)]).collect();
+    out.push(case("fft-radix4", fft::build_radix4(&pre4), false));
+
+    let mut rng = XorShift::new(18);
+    let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
+    out.push(case("bitrev", bitrev::build(&data), false));
+
+    let mut rng = XorShift::new(19);
+    let mut coeffs = [0i16; 64];
+    coeffs[0] = rng.next_i16(1000);
+    for _ in 0..12 {
+        coeffs[rng.next_range(64)] = rng.next_i16(300);
+    }
+    out.push(case("idct", idct::build(&coeffs), false));
+
+    let mut rng = XorShift::new(20);
+    let px: [i16; 64] = std::array::from_fn(|_| rng.next_i16(255));
+    out.push(case("dct", dct::build(&px, &dct::demo_qmatrix(2)), false));
+
+    let blocks = vld::workload(7, 16);
+    let (stream, _nsym) = vld::encode(&blocks);
+    out.push(case("vld", vld::build(&stream, blocks.len()), false));
+
+    let (frame, cur) = motion::workload(7, 6, -4);
+    out.push(case("motion", motion::build(&frame, &cur), false));
+
+    let mut rng = XorShift::new(21);
+    let a: [f64; 64] = std::array::from_fn(|_| rng.next_f32() as f64);
+    let b: [f64; 64] = std::array::from_fn(|_| rng.next_f32() as f64);
+    out.push(case("dmatmul", dmatmul::build(&a, &b), false));
+
+    let (p, _flops, m) = peak::build_flops(64);
+    out.push(case("peak-flops", (p, m), false));
+
+    let (p, _ops, m) = peak::build_ops(64);
+    out.push(case("peak-ops", (p, m), false));
+
+    let (mat, light, vs) = transform_light::demo_scene(33);
+    out.push(case("transform-light", transform_light::build(&mat, &light, &vs), false));
+
+    // The two 512x512 image kernels run for about a megacycle each.
+    let mut rng = XorShift::new(22);
+    let img: Vec<i16> =
+        (0..convolve::WIDTH * convolve::HEIGHT).map(|_| rng.next_i16(255).abs()).collect();
+    out.push(case("convolve", convolve::build(&img, &convolve::demo_kernel()), true));
+
+    let mut rng = XorShift::new(23);
+    let n = colorconv::WIDTH * colorconv::HEIGHT;
+    let r: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    let g: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    let b: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
+    out.push(case("colorconv", colorconv::build(&r, &g, &b), true));
+
+    out
+}
+
+/// The fast subset — everything but the megacycle image kernels.
+pub fn fast_cases() -> Vec<KernelCase> {
+    let mut v = cases();
+    v.retain(|c| !c.heavy);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_is_stable() {
+        let all = cases();
+        assert_eq!(all.len(), 18);
+        assert_eq!(all.iter().filter(|c| c.heavy).count(), 2);
+        let names: Vec<_> = all.iter().map(|c| c.name).collect();
+        assert_eq!(names[0], "biquad");
+        assert!(names.contains(&"fir") && names.contains(&"colorconv"));
+        // Names are unique — the farm keys merged reports on them.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,229 +1,70 @@
-//! Deterministic fault-injection soak over every shipped kernel.
+//! Deterministic fault-injection soak over every shipped kernel, executed
+//! through the simulation farm.
 //!
 //! Each kernel runs on the cycle simulator with the aggressive
-//! [`FaultPlan::soak`] plan armed at every memory-side site (I-cache and
-//! D-cache parity, DRDRAM transfer errors) and a minimal `rte`-only trap
-//! handler installed. The run must complete with architectural memory
-//! identical to a fault-free functional-simulator run, and the same seed
-//! must reproduce the identical injection trace — the two acceptance
-//! properties of the recovery machinery. The application models in
-//! `majc-apps` compose these same kernel programs analytically, so this
-//! is the full executable surface.
+//! [`majc_mem::FaultPlan::soak`] plan armed at every memory-side site
+//! (I-cache and D-cache parity, DRDRAM transfer errors) and a minimal
+//! `rte`-only trap handler installed. The run must complete with
+//! architectural memory identical to a fault-free functional-simulator
+//! run, and the same seed must reproduce the identical injection trace —
+//! the two acceptance properties of the recovery machinery. The shared
+//! runner lives in `majc_bench::farm::run_soak`; the workloads are the
+//! canonical suite in `majc_kernels::suite` (same fixed seeds as ever).
+//!
+//! The farm adds a third property: the merged soak results are
+//! byte-identical whatever the worker count, enforced here by the
+//! determinism gate.
 //!
 //! The two image-sized kernels (5x5 convolution and color conversion over
 //! 512x512) are `#[ignore]`d to keep debug-mode `cargo test` fast; CI's
 //! release-mode fault-soak step runs them with `--include-ignored`.
 
-use majc_core::{CycleSim, FuncSim, LocalMemSys, TimingConfig, TrapPolicy};
-use majc_isa::{Instr, Packet, Program};
-use majc_kernels::harness::XorShift;
-use majc_kernels::*;
-use majc_mem::{FaultPlan, FlatMem};
+use majc_bench::farm::{run_soak, Farm};
+use majc_kernels::suite;
 
 /// The fixed soak seed; CI runs the same one, so failures reproduce.
 const SEED: u64 = 0x5EED_50AC;
 
-/// Append a minimal recovery handler — one `rte` packet — and return the
-/// program plus the handler's address (the trap vector). A transient
-/// fault squashes the packet it hits before anything commits, so plain
-/// re-execution is a complete recovery.
-fn with_handler(prog: &Program) -> (Program, u32) {
-    let mut pkts = prog.packets().to_vec();
-    pkts.push(Packet::solo(Instr::Rte).expect("solo rte packet always validates"));
-    let p = Program::new(prog.base(), pkts);
-    let vector = p.addr_of(p.len() - 1);
-    (p, vector)
-}
-
-/// One soak: fault-free functional oracle, then two identically-seeded
-/// fault-injected cycle runs. Returns the injection trace length so tests
-/// can assert the plan actually fired.
-fn soak(name: &str, prog: &Program, mem: &FlatMem) -> usize {
-    let mut oracle_sim = FuncSim::new(prog.clone(), mem.clone());
-    oracle_sim.run(200_000_000).unwrap_or_else(|t| panic!("{name}: oracle trapped: {t}"));
-    assert!(oracle_sim.halted(), "{name}: oracle did not halt");
-    let oracle = oracle_sim.mem;
-
-    let (hprog, vector) = with_handler(prog);
-    let cfg = TimingConfig {
-        trap_policy: TrapPolicy::Vector { base: vector },
-        max_cycles: 2_000_000_000,
-        ..Default::default()
-    };
-    let mut traces = Vec::new();
-    for pass in 0..2 {
-        let mut port = LocalMemSys::majc5200().with_mem(mem.clone());
-        port.apply_fault_plan(&FaultPlan::soak(SEED));
-        let mut sim = CycleSim::new(hprog.clone(), port, cfg);
-        sim.run(200_000_000)
-            .unwrap_or_else(|e| panic!("{name}: fault soak pass {pass} failed: {e}"));
-        assert!(sim.halted(), "{name}: fault soak pass {pass} did not halt");
-        if let Some(addr) = oracle.first_diff(&sim.port.mem) {
-            panic!("{name}: architectural divergence at {addr:#010x} after fault recovery");
-        }
-        traces.push(sim.port.fault_events());
+#[test]
+fn soak_every_fast_kernel_through_the_farm() {
+    let cases = suite::fast_cases();
+    let outcomes = Farm::new(Farm::available())
+        .run(cases, |_, c| (c.name, run_soak(c.name, &c.prog, &c.mem, SEED)));
+    for (name, o) in &outcomes {
+        assert!(o.divergence.is_none(), "{name}: architectural divergence: {:?}", o.divergence);
+        assert!(o.cycles > 0, "{name}: empty run");
     }
-    assert_eq!(traces[0], traces[1], "{name}: same seed must replay the identical fault trace");
-    traces[0].len()
+    let fir = outcomes.iter().find(|(n, _)| *n == "fir").expect("fir is in the suite");
+    assert!(
+        fir.1.injected > 0,
+        "the soak plan must inject faults into a multi-thousand-cycle kernel"
+    );
 }
 
 #[test]
-fn soak_biquad() {
-    let c = biquad::Cascade::demo(4);
-    let mut rng = XorShift::new(11);
-    let input: Vec<f32> = (0..64).map(|_| rng.next_f32()).collect();
-    let (p, m) = biquad::build(&c, &input);
-    soak("biquad", &p, &m);
-}
-
-#[test]
-fn soak_fir_and_trace_is_nonempty() {
-    let mut rng = XorShift::new(12);
-    let coeffs: Vec<f32> = (0..fir::TAPS).map(|_| rng.next_f32() * 0.2).collect();
-    let xs: Vec<f32> = (0..fir::OUTPUTS + fir::TAPS - 1).map(|_| rng.next_f32()).collect();
-    let (p, m) = fir::build(&coeffs, &xs);
-    let injected = soak("fir", &p, &m);
-    assert!(injected > 0, "the soak plan must inject faults into a multi-thousand-cycle kernel");
-}
-
-#[test]
-fn soak_cfir() {
-    let mut rng = XorShift::new(13);
-    let cc: Vec<(f32, f32)> =
-        (0..cfir::TAPS).map(|_| (rng.next_f32() * 0.2, rng.next_f32() * 0.2)).collect();
-    let cx: Vec<(f32, f32)> =
-        (0..cfir::OUTPUTS + cfir::TAPS - 1).map(|_| (rng.next_f32(), rng.next_f32())).collect();
-    let (p, m) = cfir::build(&cc, &cx);
-    soak("cfir", &p, &m);
-}
-
-#[test]
-fn soak_lms() {
-    let mut rng = XorShift::new(14);
-    let w: Vec<f32> = (0..lms::ORDER).map(|_| rng.next_f32() * 0.5).collect();
-    let x: Vec<f32> = (0..lms::ORDER).map(|_| rng.next_f32()).collect();
-    let (p, m) = lms::build(&w, &x, rng.next_f32(), 0.05);
-    soak("lms", &p, &m);
-}
-
-#[test]
-fn soak_maxsearch() {
-    let mut rng = XorShift::new(15);
-    let xs: Vec<f32> = (0..maxsearch::N).map(|_| rng.next_f32() * 100.0).collect();
-    let (p, m) = maxsearch::build(&xs);
-    soak("maxsearch", &p, &m);
-}
-
-#[test]
-fn soak_fft_radix2() {
-    let mut rng = XorShift::new(16);
-    let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
-    let pre2: Vec<(f32, f32)> = (0..fft::N).map(|i| data[bitrev::rev(i)]).collect();
-    let (p, m) = fft::build_radix2(&pre2);
-    soak("fft-radix2", &p, &m);
-}
-
-#[test]
-fn soak_fft_radix4() {
-    let mut rng = XorShift::new(17);
-    let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
-    let pre4: Vec<(f32, f32)> = (0..fft::N).map(|i| data[fft::digit_rev4(i)]).collect();
-    let (p, m) = fft::build_radix4(&pre4);
-    soak("fft-radix4", &p, &m);
-}
-
-#[test]
-fn soak_bitrev() {
-    let mut rng = XorShift::new(18);
-    let data: Vec<(f32, f32)> = (0..fft::N).map(|_| (rng.next_f32(), rng.next_f32())).collect();
-    let (p, m) = bitrev::build(&data);
-    soak("bitrev", &p, &m);
-}
-
-#[test]
-fn soak_idct() {
-    let mut rng = XorShift::new(19);
-    let mut coeffs = [0i16; 64];
-    coeffs[0] = rng.next_i16(1000);
-    for _ in 0..12 {
-        coeffs[rng.next_range(64)] = rng.next_i16(300);
-    }
-    let (p, m) = idct::build(&coeffs);
-    soak("idct", &p, &m);
-}
-
-#[test]
-fn soak_dct() {
-    let mut rng = XorShift::new(20);
-    let px: [i16; 64] = std::array::from_fn(|_| rng.next_i16(255));
-    let (p, m) = dct::build(&px, &dct::demo_qmatrix(2));
-    soak("dct", &p, &m);
-}
-
-#[test]
-fn soak_vld() {
-    let blocks = vld::workload(7, 16);
-    let (stream, _nsym) = vld::encode(&blocks);
-    let (p, m) = vld::build(&stream, blocks.len());
-    soak("vld", &p, &m);
-}
-
-#[test]
-fn soak_motion() {
-    let (frame, cur) = motion::workload(7, 6, -4);
-    let (p, m) = motion::build(&frame, &cur);
-    soak("motion", &p, &m);
-}
-
-#[test]
-fn soak_dmatmul() {
-    let mut rng = XorShift::new(21);
-    let a: [f64; 64] = std::array::from_fn(|_| rng.next_f32() as f64);
-    let b: [f64; 64] = std::array::from_fn(|_| rng.next_f32() as f64);
-    let (p, m) = dmatmul::build(&a, &b);
-    soak("dmatmul", &p, &m);
-}
-
-#[test]
-fn soak_peak_flops() {
-    let (p, _flops, m) = peak::build_flops(64);
-    soak("peak-flops", &p, &m);
-}
-
-#[test]
-fn soak_peak_ops() {
-    let (p, _ops, m) = peak::build_ops(64);
-    soak("peak-ops", &p, &m);
-}
-
-#[test]
-fn soak_transform_light() {
-    let (mat, light, vs) = transform_light::demo_scene(33);
-    let (p, m) = transform_light::build(&mat, &light, &vs);
-    soak("transform-light", &p, &m);
+fn soak_results_are_identical_for_any_job_count() {
+    // The determinism gate: the same four kernels soaked serially and in
+    // parallel must produce equal outcomes (cycle counts, full stats,
+    // injection digests — SoakOutcome is compared structurally).
+    let cases: Vec<_> = suite::fast_cases().into_iter().take(4).collect();
+    let outcomes = Farm::new(3).run_verified((0..cases.len()).collect(), |_, i| {
+        let c = &cases[i];
+        run_soak(c.name, &c.prog, &c.mem, SEED)
+    });
+    assert_eq!(outcomes.len(), 4);
 }
 
 // The two 512x512 image kernels run for about a megacycle each; debug-mode
 // soak is slow, so CI's release-mode step runs these with --include-ignored.
 
 #[test]
-#[ignore = "megacycle kernel: run in release mode (CI fault-soak step)"]
-fn soak_convolve() {
-    let mut rng = XorShift::new(22);
-    let img: Vec<i16> =
-        (0..convolve::WIDTH * convolve::HEIGHT).map(|_| rng.next_i16(255).abs()).collect();
-    let (p, m) = convolve::build(&img, &convolve::demo_kernel());
-    soak("convolve", &p, &m);
-}
-
-#[test]
-#[ignore = "megacycle kernel: run in release mode (CI fault-soak step)"]
-fn soak_colorconv() {
-    let mut rng = XorShift::new(23);
-    let n = colorconv::WIDTH * colorconv::HEIGHT;
-    let r: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
-    let g: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
-    let b: Vec<i16> = (0..n).map(|_| rng.next_i16(255).abs()).collect();
-    let (p, m) = colorconv::build(&r, &g, &b);
-    soak("colorconv", &p, &m);
+#[ignore = "megacycle kernels: run in release mode (CI fault-soak step)"]
+fn soak_heavy_kernels_through_the_farm() {
+    let cases: Vec<_> = suite::cases().into_iter().filter(|c| c.heavy).collect();
+    assert_eq!(cases.len(), 2);
+    let outcomes = Farm::new(Farm::available())
+        .run(cases, |_, c| (c.name, run_soak(c.name, &c.prog, &c.mem, SEED)));
+    for (name, o) in &outcomes {
+        assert!(o.divergence.is_none(), "{name}: architectural divergence: {:?}", o.divergence);
+    }
 }

@@ -4,6 +4,7 @@
 //! static schedule analysis to the dynamic truth — the two models cannot
 //! drift apart without a test failure.
 
+use majc_bench::farm::Farm;
 use majc_core::{BypassModel, CycleSim, PerfectPort, TimingConfig};
 use majc_isa::gen::{self, GenCfg};
 use majc_isa::{AluOp, Instr, Packet, Program, Reg, SplitMix64, Src};
@@ -17,36 +18,67 @@ fn actual_issue_cycles(prog: &Program, timing: TimingConfig) -> Vec<u64> {
     sim.issue_cycles().expect("trace was enabled")
 }
 
-fn check(prog: &Program, timing: TimingConfig, what: &str) {
+fn check_result(prog: &Program, timing: TimingConfig, what: &str) -> Result<(), String> {
     let predicted = predicted_issue_cycles(prog, &timing)
         .expect("branch-free deterministic program is predictable");
     let actual = actual_issue_cycles(prog, timing);
-    assert_eq!(predicted, actual, "{what}: static and dynamic schedules diverged");
+    if predicted == actual {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what}: static and dynamic schedules diverged\n  predicted: {predicted:?}\n  \
+             actual:    {actual:?}"
+        ))
+    }
+}
+
+fn check(prog: &Program, timing: TimingConfig, what: &str) {
+    if let Err(e) = check_result(prog, timing, what) {
+        panic!("{e}");
+    }
+}
+
+/// Fan a generated case list across the simulation farm; program
+/// generation stays serial so the rng stream (and thus the corpus) is
+/// exactly what the seeds have always produced.
+fn check_all_parallel(cases: Vec<(String, Program, TimingConfig)>) {
+    let farm = Farm::new(Farm::available());
+    let failures: Vec<String> = farm
+        .run(cases, |_, (what, prog, timing)| check_result(&prog, timing, &what).err())
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "{} oracle failures:\n{}", failures.len(), failures.join("\n"));
 }
 
 #[test]
 fn random_straightline_programs_match_the_simulator() {
     let mut rng = SplitMix64::new(0x0AC1_E001);
     let cfg = GenCfg { locals: true, globals: 24, ..GenCfg::default() };
-    for case in 0..256 {
-        let n = 1 + rng.index(50);
-        let prog = gen::straightline_program(&mut rng, n, &cfg);
-        check(&prog, TimingConfig::default(), &format!("case {case}"));
-    }
+    let cases = (0..256)
+        .map(|case| {
+            let n = 1 + rng.index(50);
+            let prog = gen::straightline_program(&mut rng, n, &cfg);
+            (format!("case {case}"), prog, TimingConfig::default())
+        })
+        .collect();
+    check_all_parallel(cases);
 }
 
 #[test]
 fn oracle_holds_under_every_bypass_model() {
     let mut rng = SplitMix64::new(0x0AC1_E002);
     let cfg = GenCfg { locals: false, globals: 16, ..GenCfg::default() };
+    let mut cases = Vec::new();
     for model in [BypassModel::Full, BypassModel::Majc, BypassModel::WbOnly] {
         for case in 0..64 {
             let n = 1 + rng.index(30);
             let prog = gen::straightline_program(&mut rng, n, &cfg);
             let timing = TimingConfig { bypass: model, ..Default::default() };
-            check(&prog, timing, &format!("{model:?} case {case}"));
+            cases.push((format!("{model:?} case {case}"), prog, timing));
         }
     }
+    check_all_parallel(cases);
 }
 
 /// The generator never emits integer divides (a zero divisor traps), so

@@ -120,6 +120,12 @@ impl FlatMem {
     /// they are identical. Used to check fault-recovery runs against a
     /// fault-free oracle.
     pub fn first_diff(&self, other: &FlatMem) -> Option<u32> {
+        self.first_diff_detail(other).map(|d| d.addr)
+    }
+
+    /// [`FlatMem::first_diff`] with both differing byte values attached —
+    /// the canonical diff helper every soak/oracle/fuzzer caller shares.
+    pub fn first_diff_detail(&self, other: &FlatMem) -> Option<MemDiff> {
         const ZERO: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
         let mut pns: Vec<u32> = self.pages.keys().chain(other.pages.keys()).copied().collect();
         pns.sort_unstable();
@@ -128,11 +134,24 @@ impl FlatMem {
             let a = self.pages.get(&pn).map(|p| &p[..]).unwrap_or(&ZERO);
             let b = other.pages.get(&pn).map(|p| &p[..]).unwrap_or(&ZERO);
             if let Some(off) = (0..PAGE_SIZE).find(|&i| a[i] != b[i]) {
-                return Some((pn << PAGE_SHIFT) | off as u32);
+                return Some(MemDiff {
+                    addr: (pn << PAGE_SHIFT) | off as u32,
+                    lhs: a[off],
+                    rhs: b[off],
+                });
             }
         }
         None
     }
+}
+
+/// The first byte where two memory images disagree: address plus the
+/// value on each side (`lhs` = the receiver of the comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemDiff {
+    pub addr: u32,
+    pub lhs: u8,
+    pub rhs: u8,
 }
 
 #[cfg(test)]

@@ -30,6 +30,6 @@ pub mod tags;
 pub use dcache::{DCache, DCacheConfig, DKind, DPolicy, DStall, Served};
 pub use dram::{Dram, DramConfig, DramSpanRec, DramStats, MemBackend, PerfectMem};
 pub use fault::{FaultEvent, FaultInjector, FaultPlan, FaultSite, XorShift64};
-pub use flat::FlatMem;
+pub use flat::{FlatMem, MemDiff};
 pub use icache::{ICache, ICacheConfig};
 pub use tags::{CacheStats, TagArray, Victim};

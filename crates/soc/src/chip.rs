@@ -21,6 +21,7 @@
 //! [`MemLevelStats::dport_conflicts`].
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use majc_core::{
     Completion, CpuCore, Event, MemLevelStats, MemPort, MemReq, MemResp, NullSink, Reject, ReqPort,
@@ -308,8 +309,10 @@ pub struct Majc5200<S: TraceSink = NullSink> {
 }
 
 impl Majc5200 {
-    /// Build with one program per CPU over a shared memory image.
-    pub fn new(progs: [Program; 2], mem: FlatMem, cfg: TimingConfig) -> Majc5200 {
+    /// Build with one program per CPU over a shared memory image. Each
+    /// program may be an owned [`Program`] or an [`Arc<Program>`]
+    /// (shared read-only images across a simulation farm).
+    pub fn new<P: Into<Arc<Program>>>(progs: [P; 2], mem: FlatMem, cfg: TimingConfig) -> Majc5200 {
         Majc5200::with_sinks(progs, mem, cfg, [NullSink, NullSink])
     }
 }
@@ -317,8 +320,8 @@ impl Majc5200 {
 impl<S: TraceSink> Majc5200<S> {
     /// Build with one trace sink per CPU (chip-level events are harvested
     /// separately via [`ChipMem::drain_events`]).
-    pub fn with_sinks(
-        progs: [Program; 2],
+    pub fn with_sinks<P: Into<Arc<Program>>>(
+        progs: [P; 2],
         mem: FlatMem,
         cfg: TimingConfig,
         sinks: [S; 2],

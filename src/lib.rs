@@ -40,12 +40,14 @@
 //! | [`kernels`] | `majc-kernels` | every Table 1/2 benchmark kernel |
 //! | [`apps`] | `majc-apps` | every Table 3 application model |
 //! | [`lint`] | `majc-lint` | static VLIW schedule & dataflow verifier |
+//! | [`bench`] | `majc-bench` | simulation farm, differential fuzzer, report harness |
 //!
 //! Run `cargo run -p majc-bench --release -- all` to regenerate the
 //! paper's evaluation; see EXPERIMENTS.md for paper-vs-measured results.
 
 pub use majc_apps as apps;
 pub use majc_asm as asm;
+pub use majc_bench as bench;
 pub use majc_core as core;
 pub use majc_gfx as gfx;
 pub use majc_isa as isa;
