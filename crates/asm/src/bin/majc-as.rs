@@ -4,6 +4,7 @@
 //! majc-as input.s -o out.bin       # assemble to the binary encoding
 //! majc-as input.s --list           # print the packet listing instead
 //! majc-as input.s --lint -o out.bin  # refuse to emit if the linter errors
+//! majc-as input.s --facts-out facts.json -o out.bin  # emit analysis facts
 //! ```
 
 use std::io::Read;
@@ -11,10 +12,10 @@ use std::process::exit;
 
 use majc_asm::{assemble, program_to_string};
 use majc_isa::encode_program;
-use majc_lint::{lint, LintOptions, Severity};
+use majc_lint::{analyze, lint, LintOptions, Severity};
 
 fn usage() -> ! {
-    eprintln!("usage: majc-as <input.s | -> [-o out.bin] [--list] [--lint]");
+    eprintln!("usage: majc-as <input.s | -> [-o out.bin] [--list] [--lint] [--facts-out <path>]");
     exit(2)
 }
 
@@ -24,12 +25,14 @@ fn main() {
     let mut output: Option<String> = None;
     let mut list = false;
     let mut run_lint = false;
+    let mut facts_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => output = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--list" => list = true,
             "--lint" => run_lint = true,
+            "--facts-out" => facts_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "-h" | "--help" => usage(),
             f if input.is_none() => input = Some(f.to_string()),
             _ => usage(),
@@ -60,6 +63,13 @@ fn main() {
             eprintln!("majc-as: refusing to emit a program with lint errors");
             exit(1)
         }
+    }
+    if let Some(path) = facts_out {
+        let facts = analyze(&prog, &LintOptions::default()).facts;
+        std::fs::write(&path, facts.to_json()).unwrap_or_else(|e| {
+            eprintln!("majc-as: cannot write {path}: {e}");
+            exit(1)
+        });
     }
     if list {
         print!("{}", program_to_string(&prog));

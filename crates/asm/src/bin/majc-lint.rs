@@ -6,20 +6,34 @@
 //! majc-lint prog.s --entry-undef  # nothing live-in: check use-before-def
 //! majc-lint prog.s --trap-vector 0x40  # handler at 0x40 entered by traps
 //! majc-lint prog.s --json         # machine-readable findings
+//! majc-lint prog.s --facts-out facts.json  # dump analysis facts
+//! majc-lint prog.s --deny-warnings # exit non-zero on warnings too
 //! ```
 //!
-//! Exit status: 0 clean, 1 warnings only, 2 errors, 3 usage/IO failures.
+//! Exit status, explicitly:
+//!
+//! * `0` — no errors; warnings and info notes may be present unless
+//!   `--deny-warnings` is given
+//! * `1` — warnings present and `--deny-warnings` was given
+//! * `2` — errors present (always fatal, with or without the flag)
+//! * `3` — usage, parse, or I/O failure
+//!
+//! `--facts-out` writes the abstract-interpretation facts (constants,
+//! ranges, symbolic addresses, alias classes, branch directions, loop
+//! nests) as deterministic JSON: the same program always produces a
+//! byte-identical file.
 
 use std::io::Read;
 use std::process::exit;
 
 use majc_asm::assemble;
-use majc_lint::{lint, LintOptions, Severity};
+use majc_lint::{analyze, LintOptions, Severity};
 
 fn usage() -> ! {
     eprintln!(
         "usage: majc-lint <input.s | -> [--exposed] [--entry-undef] \
-         [--trap-vector <addr>]... [--json] [--quiet]"
+         [--trap-vector <addr>]... [--deny-warnings] [--facts-out <path>] \
+         [--json] [--quiet]"
     );
     exit(3)
 }
@@ -38,6 +52,8 @@ fn main() {
     let mut opts = LintOptions::default();
     let mut json = false;
     let mut quiet = false;
+    let mut deny_warnings = false;
+    let mut facts_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,6 +65,14 @@ fn main() {
                     exit(3)
                 };
                 opts.trap_vectors.push(addr);
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--facts-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("majc-lint: --facts-out needs a path");
+                    exit(3)
+                };
+                facts_out = Some(path.clone());
             }
             "--json" => json = true,
             "--quiet" => quiet = true,
@@ -77,7 +101,14 @@ fn main() {
             exit(3)
         }
     };
-    let report = lint(&prog, &opts);
+    let analysis = analyze(&prog, &opts);
+    let report = &analysis.report;
+    if let Some(path) = facts_out {
+        std::fs::write(&path, analysis.facts.to_json()).unwrap_or_else(|e| {
+            eprintln!("majc-lint: cannot write {path}: {e}");
+            exit(3)
+        });
+    }
     if json {
         println!("{}", report.to_json());
     } else if !quiet {
@@ -86,7 +117,7 @@ fn main() {
     if report.count(Severity::Error) > 0 {
         exit(2)
     }
-    if report.count(Severity::Warning) > 0 {
+    if deny_warnings && report.count(Severity::Warning) > 0 {
         exit(1)
     }
 }

@@ -1005,6 +1005,244 @@ pub fn farm(jobs: Option<usize>) -> Table {
     t
 }
 
+// ------------------------------- E12 -------------------------------
+
+/// One scenario of the lint-fact validation batch: a suite kernel with
+/// its real workload, or a batch of differential-fuzz programs.
+enum LintScenario {
+    Kernel(majc_kernels::suite::KernelCase),
+    FuzzBatch { index: usize, count: usize },
+}
+
+/// Deterministic per-scenario tally of facts emitted and checks replayed.
+#[derive(Default)]
+struct LintTally {
+    name: String,
+    /// Programs analyzed (1 per kernel, `count` per fuzz batch).
+    programs: usize,
+    /// Static packets across the analyzed programs.
+    packets: usize,
+    /// Programs whose must-facts were withheld (`rte` present).
+    abstained: usize,
+    consts: usize,
+    ranges: usize,
+    addrs: usize,
+    alias_classes: usize,
+    branches: usize,
+    loops: usize,
+    /// Dynamic packets stepped and fact checks replayed by the validator.
+    validated_packets: u64,
+    checks: u64,
+    violations: Vec<String>,
+}
+
+impl LintTally {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"programs\":{},\"packets\":{},\"abstained\":{},\
+             \"consts\":{},\"ranges\":{},\"addrs\":{},\"alias_classes\":{},\
+             \"branches\":{},\"loops\":{},\"validated_packets\":{},\"checks\":{},\
+             \"violations\":{}}}",
+            self.name,
+            self.programs,
+            self.packets,
+            self.abstained,
+            self.consts,
+            self.ranges,
+            self.addrs,
+            self.alias_classes,
+            self.branches,
+            self.loops,
+            self.validated_packets,
+            self.checks,
+            self.violations.len()
+        )
+    }
+}
+
+/// Analyze one program, replay its must-facts against a functional run,
+/// and fold the outcome into `t`. Purely architectural: the tally is a
+/// function of the program and memory image alone.
+fn lint_one(
+    name: &str,
+    prog: &std::sync::Arc<majc_isa::Program>,
+    mem: FlatMem,
+    budget: u64,
+    t: &mut LintTally,
+) {
+    use majc_lint::{analyze, validate, LintOptions};
+    let a = analyze(prog, &LintOptions::default());
+    t.programs += 1;
+    t.packets += prog.len();
+    if !a.facts.must_facts {
+        t.abstained += 1;
+    }
+    t.consts += a.facts.consts.len();
+    t.ranges += a.facts.ranges.len();
+    t.addrs += a.facts.addrs.len();
+    t.alias_classes += a.facts.alias_classes.len();
+    t.branches += a.facts.branches.len();
+    t.loops += a.facts.loops.len();
+    let mut sim = majc_core::FuncSim::new(std::sync::Arc::clone(prog), mem);
+    let v = validate(&mut sim, &a.facts, budget);
+    t.validated_packets += v.packets;
+    t.checks += v.checks;
+    for msg in v.violations {
+        t.violations.push(format!("{name}: {msg}"));
+    }
+}
+
+/// Execute one E12 scenario. Fuzz seeds derive from
+/// `(FARM_MASTER_SEED, global case index)`, so the corpus is fixed.
+fn run_lint_scenario(sc: LintScenario) -> LintTally {
+    use crate::diff::{fuzz_program, FUZZ_BUDGET};
+    use crate::farm::shard_seed;
+    let mut t = LintTally::default();
+    match sc {
+        LintScenario::Kernel(c) => {
+            t.name = c.name.to_string();
+            lint_one(c.name, &c.prog, c.mem, 100_000_000, &mut t);
+        }
+        LintScenario::FuzzBatch { index, count } => {
+            t.name = format!("fuzz[{index}] x{count}");
+            for k in 0..count {
+                let seed = shard_seed(FARM_MASTER_SEED, (index * count + k) as u64);
+                let prog = std::sync::Arc::new(fuzz_program(seed));
+                lint_one(
+                    &format!("fuzz seed {seed:#018x}"),
+                    &prog,
+                    FlatMem::new(),
+                    FUZZ_BUDGET,
+                    &mut t,
+                );
+            }
+        }
+    }
+    t
+}
+
+/// The E12 batch: the full kernel suite plus 1024 fuzz programs in 16
+/// batches of 64.
+fn lintfacts_batch() -> Vec<LintScenario> {
+    let mut batch: Vec<LintScenario> =
+        majc_kernels::suite::cases().into_iter().map(LintScenario::Kernel).collect();
+    batch.extend((0..16).map(|index| LintScenario::FuzzBatch { index, count: 64 }));
+    batch
+}
+
+fn lintfacts_json(tallies: &[LintTally]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n");
+    s.push_str(&format!("  \"master_seed\": \"{FARM_MASTER_SEED:#x}\",\n"));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, t) in tallies.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&t.json());
+        s.push_str(if i + 1 < tallies.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// E12: execution-validated abstract interpretation. Analyzes every
+/// suite kernel and 1024 fuzz programs, replays every must-fact
+/// (constant, range, address, branch direction) against the functional
+/// simulator, and fails the run on any contradiction. `jobs: Some(n)`
+/// writes `target/reports/lintfacts.json`; `jobs: None` sweeps 1/2/4
+/// workers and asserts the report is byte-identical.
+pub fn lintfacts(jobs: Option<usize>) -> Table {
+    use crate::farm::Farm;
+
+    let run_batch = |n: usize| {
+        let tallies = Farm::new(n).run(lintfacts_batch(), |_, sc| run_lint_scenario(sc));
+        let violations: Vec<String> =
+            tallies.iter().flat_map(|t| t.violations.iter().cloned()).collect();
+        assert!(
+            violations.is_empty(),
+            "{} must-fact violation(s) — the analyses are unsound:\n{}",
+            violations.len(),
+            violations.join("\n")
+        );
+        (lintfacts_json(&tallies), tallies)
+    };
+    let save = |report: &str| {
+        let out = std::path::Path::new("target/reports");
+        match std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(out.join("lintfacts.json"), report))
+        {
+            Ok(()) => "saved target/reports/lintfacts.json".to_string(),
+            Err(e) => format!("not saved: {e}"),
+        }
+    };
+    let summarize = |t: &mut Table, tallies: &[LintTally]| {
+        let sum = |f: fn(&LintTally) -> usize| tallies.iter().map(f).sum::<usize>();
+        t.push(Row::new(
+            "programs analyzed",
+            "-",
+            k(sum(|t| t.programs) as u64),
+            "18 kernels + 1024 fuzz",
+        ));
+        t.push(Row::new("static packets", "-", k(sum(|t| t.packets) as u64), ""));
+        t.push(Row::new(
+            "must-facts",
+            "-",
+            k((sum(|t| t.consts) + sum(|t| t.ranges) + sum(|t| t.addrs) + sum(|t| t.branches))
+                as u64),
+            format!(
+                "{} const, {} range, {} addr, {} branch",
+                sum(|t| t.consts),
+                sum(|t| t.ranges),
+                sum(|t| t.addrs),
+                sum(|t| t.branches)
+            ),
+        ));
+        t.push(Row::new(
+            "structural facts",
+            "-",
+            k((sum(|t| t.alias_classes) + sum(|t| t.loops)) as u64),
+            format!("{} alias classes, {} loops", sum(|t| t.alias_classes), sum(|t| t.loops)),
+        ));
+        t.push(Row::new(
+            "checks replayed",
+            "-",
+            k(tallies.iter().map(|t| t.checks).sum::<u64>()),
+            format!(
+                "over {} dynamic packets",
+                tallies.iter().map(|t| t.validated_packets).sum::<u64>()
+            ),
+        ));
+        t.push(Row::new("violations", "0", "0", "gate: any contradiction fails the run"));
+    };
+
+    // The table's own save goes to `lintfacts_summary.json`: the
+    // `lintfacts.json` name belongs to the deterministic facts report
+    // written above, which CI `cmp`s across `--jobs` values.
+    let mut t = Table::new("lintfacts_summary", "E12: execution-validated abstract interpretation");
+    match jobs {
+        Some(n) => {
+            let (report, tallies) = run_batch(n);
+            summarize(&mut t, &tallies);
+            t.push(Row::new("report", "-", save(&report), format!("--jobs {n}")));
+        }
+        None => {
+            let sweep: Vec<(usize, (String, Vec<LintTally>))> =
+                [1usize, 2, 4].into_iter().map(|n| (n, run_batch(n))).collect();
+            let (base_report, base_tallies) = &sweep[0].1;
+            for (n, (report, _)) in &sweep {
+                assert_eq!(report, base_report, "report must be byte-identical at --jobs {n}");
+            }
+            summarize(&mut t, base_tallies);
+            t.push(Row::new(
+                "determinism",
+                "byte-identical",
+                "byte-identical",
+                "reports at --jobs 1/2/4",
+            ));
+            t.push(Row::new("report", "-", save(base_report), ""));
+        }
+    }
+    t
+}
+
 // --------------------------- trace/profile ---------------------------
 
 /// Run `prog` once (cold caches) on the DRDRAM memory system with full
@@ -1165,6 +1403,7 @@ pub fn all() -> Vec<Table> {
         faults(),
         memstats(),
         farm(None),
+        lintfacts(None),
         trace(),
         profile(),
     ]

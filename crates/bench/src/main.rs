@@ -1,17 +1,20 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|trace|profile|all] [--jobs N]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|lintfacts|trace|profile|all] [--jobs N]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
 //! JSON report under `target/reports/`. `farm --jobs N` runs the
 //! simulation-farm batch on N workers (omit `--jobs` for the 1/2/4
 //! scaling sweep); the merged report is byte-identical for any N.
+//! `lintfacts` analyzes the kernel suite and fuzz corpus with majc-lint
+//! and replays every must-fact against the functional simulator; it
+//! takes the same `--jobs` flag with the same determinism contract.
 
 use std::process::ExitCode;
 
 use majc_bench::experiments;
 use majc_bench::report::Table;
 
-const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm trace profile all (plus optional `--jobs N` for farm)";
+const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile all (plus optional `--jobs N` for farm/lintfacts)";
 
 fn emit(t: Table) {
     println!("{}", t.render());
@@ -48,6 +51,13 @@ fn main() -> ExitCode {
         "memstats" => emit(experiments::memstats()),
         "farm" => match jobs_flag() {
             Ok(jobs) => emit(experiments::farm(jobs)),
+            Err(e) => {
+                eprintln!("{e}; {USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        "lintfacts" => match jobs_flag() {
+            Ok(jobs) => emit(experiments::lintfacts(jobs)),
             Err(e) => {
                 eprintln!("{e}; {USAGE}");
                 return ExitCode::from(2);

@@ -4,17 +4,34 @@
 //! packet-bisection reducer and written to a repro file before the
 //! test fails — the panic message names the file.
 //!
+//! Every fuzz program also runs through the linter's abstract
+//! interpretation, and each must-fact it emits is replayed against the
+//! functional run: the fuzzer that guards the simulators guards the
+//! analyses with the same corpus.
+//!
 //! The CI smoke budget is 1024 seeds; `reproduce farm` runs a larger
 //! sweep of the same stream.
 
 use majc_bench::diff::{diff_run, fuzz_program, shrink, write_repro, FUZZ_BUDGET};
 use majc_bench::farm::{shard_seed, Farm};
+use majc_core::FuncSim;
+use majc_lint::{analyze, validate, LintOptions};
+use majc_mem::FlatMem;
 
 const MASTER_SEED: u64 = 0xD1FF_F22E;
 
-/// CI smoke: 1024 seeded programs, zero unreduced divergences. Each
-/// divergence is minimized and persisted so the failure is actionable
-/// straight from the CI log.
+/// Analyze `prog` and replay its must-facts against a functional run;
+/// returns the first contradiction, if any.
+fn lint_fact_violation(prog: &majc_isa::Program) -> Option<String> {
+    let a = analyze(prog, &LintOptions::default());
+    let mut sim = FuncSim::new(prog.clone(), FlatMem::new());
+    let v = validate(&mut sim, &a.facts, FUZZ_BUDGET);
+    v.violations.into_iter().next()
+}
+
+/// CI smoke: 1024 seeded programs, zero unreduced divergences and zero
+/// lint must-fact contradictions. Each divergence is minimized and
+/// persisted so the failure is actionable straight from the CI log.
 #[test]
 fn a_thousand_seeded_programs_agree_across_simulators() {
     const CASES: usize = 1024;
@@ -23,7 +40,10 @@ fn a_thousand_seeded_programs_agree_across_simulators() {
         .run((0..CASES).collect::<Vec<_>>(), |_, i| {
             let seed = shard_seed(MASTER_SEED, i as u64);
             let prog = fuzz_program(seed);
-            diff_run(&prog, FUZZ_BUDGET).divergence.map(|d| (seed, d))
+            diff_run(&prog, FUZZ_BUDGET)
+                .divergence
+                .or_else(|| lint_fact_violation(&prog).map(|v| format!("lint fact: {v}")))
+                .map(|d| (seed, d))
         })
         .into_iter()
         .flatten()

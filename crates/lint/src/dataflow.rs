@@ -15,11 +15,15 @@
 //!   are flagged only when no lane is read: the extra lanes are forced by
 //!   the access width, and unread padding (e.g. the w component of a
 //!   packed vertex) is deliberate.
+//! * **ineffectual packet**: every result of a packet is dead and it has no
+//!   memory, control, or trap side effect — a whole issue cycle spent on
+//!   nothing.
 
 use majc_isa::{Instr, Packet, Program, Reg, NUM_REGS};
 
 use crate::cfg::Cfg;
 use crate::diag::{Diag, Kind, Severity};
+use crate::engine::{solve, Dataflow, Dir};
 
 /// A 224-register bitset.
 #[derive(Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +124,40 @@ pub(crate) fn check_packet_waw(prog: &Program, diags: &mut Vec<Diag>) -> Vec<(us
     flagged
 }
 
+/// May-be-undefined as an engine instance: the fact is the set of registers
+/// some entry path leaves unwritten; packets kill their strong defs.
+struct Undef<'a> {
+    prog: &'a Program,
+    entry_undef: RegSet,
+}
+
+impl Dataflow for Undef<'_> {
+    type Fact = RegSet;
+
+    fn dir(&self) -> Dir {
+        Dir::Forward
+    }
+
+    fn boundary(&self) -> RegSet {
+        // A jmpl target or trap vector is no better defined than the entry,
+        // so the synthetic boundary (the default) is the same set.
+        self.entry_undef
+    }
+
+    fn join(&self, into: &mut RegSet, other: &RegSet) -> bool {
+        into.union(other)
+    }
+
+    fn transfer(&self, node: usize, fact: &mut RegSet) {
+        let kills = strong_defs(&self.prog.packets()[node]);
+        for r in 0..NUM_REGS as usize {
+            if kills.contains(r) {
+                fact.remove(r);
+            }
+        }
+    }
+}
+
 /// Forward may-be-undefined analysis. `entry_defined == None` assumes every
 /// register may be uninitialised at entry; `Some(set)` treats exactly that
 /// set as initialised (a harness calling convention).
@@ -129,49 +167,16 @@ pub(crate) fn check_use_before_def(
     entry_defined: &[Reg],
     diags: &mut Vec<Diag>,
 ) {
-    let n = prog.len();
-    if n == 0 {
+    if prog.is_empty() {
         return;
     }
     let mut entry_undef = RegSet::full();
     for r in entry_defined {
         entry_undef.remove(r.index());
     }
+    let sol = solve(prog, cfg, &[], &Undef { prog, entry_undef });
 
-    let mut undef_in: Vec<Option<RegSet>> = vec![None; n];
-    undef_in[0] = Some(entry_undef);
-    if cfg.has_indirect {
-        // Any packet can be entered through a jmpl; assume nothing extra is
-        // defined there.
-        for u in undef_in.iter_mut() {
-            u.get_or_insert(entry_undef);
-        }
-    }
-    let mut work: Vec<usize> = (0..n).filter(|&i| undef_in[i].is_some()).collect();
-    while let Some(i) = work.pop() {
-        let Some(mut s) = undef_in[i] else { continue };
-        let kills = strong_defs(&prog.packets()[i]);
-        for r in 0..NUM_REGS as usize {
-            if kills.contains(r) {
-                s.remove(r);
-            }
-        }
-        for &(succ, _) in &cfg.succs[i] {
-            match &mut undef_in[succ] {
-                Some(e) => {
-                    if e.union(&s) && !work.contains(&succ) {
-                        work.push(succ);
-                    }
-                }
-                e @ None => {
-                    *e = Some(s);
-                    work.push(succ);
-                }
-            }
-        }
-    }
-
-    for (i, undef) in undef_in.iter().enumerate() {
+    for (i, undef) in sol.facts.iter().enumerate() {
         let Some(undef) = undef else { continue };
         for (fu, ins) in prog.packets()[i].slots() {
             for u in ins.uses().iter() {
@@ -193,15 +198,17 @@ pub(crate) fn check_use_before_def(
 }
 
 /// Backward liveness; flags unconditional writes that no path can observe.
+/// Returns the per-packet `live_in` sets so later passes (the ineffectual
+/// packet check) can reuse the solution.
 pub(crate) fn check_dead_writes(
     prog: &Program,
     cfg: &Cfg,
     waw: &[(usize, Reg)],
     diags: &mut Vec<Diag>,
-) {
+) -> Vec<RegSet> {
     let n = prog.len();
     if n == 0 {
-        return;
+        return Vec::new();
     }
     // live_in per packet; exit packets see all registers live after them.
     let mut live_in: Vec<RegSet> = vec![RegSet::default(); n];
@@ -292,6 +299,50 @@ pub(crate) fn check_dead_writes(
                     });
                 }
             }
+        }
+    }
+    live_in
+}
+
+/// Flag whole packets whose every result is dead: no memory or control
+/// effect, nothing that can trap, at least one real instruction, and every
+/// written register overwritten on all paths before a read. The packet
+/// burns an issue cycle for nothing — usually a leftover from hand-editing
+/// a kernel.
+pub(crate) fn check_ineffectual(
+    prog: &Program,
+    cfg: &Cfg,
+    live_in: &[RegSet],
+    diags: &mut Vec<Diag>,
+) {
+    for (i, pkt) in prog.packets().iter().enumerate() {
+        if !cfg.reachable[i] || cfg.is_exit(i, prog) {
+            continue;
+        }
+        let effectful = pkt.slots().any(|(_, ins)| {
+            ins.is_mem() || ins.is_control() || matches!(ins, Instr::Div { .. } | Instr::Rem { .. })
+        });
+        if effectful || pkt.slots().next().is_none() {
+            continue;
+        }
+        let mut live_out = RegSet::default();
+        for &(succ, _) in &cfg.succs[i] {
+            live_out.union(&live_in[succ]);
+        }
+        let all_dead =
+            pkt.slots().all(|(_, ins)| ins.defs().iter().all(|d| !live_out.contains(d.index())));
+        let writes_something = pkt.slots().any(|(_, ins)| ins.defs().iter().next().is_some());
+        if writes_something && all_dead {
+            diags.push(Diag {
+                severity: Severity::Info,
+                kind: Kind::IneffectualPacket,
+                packet: i,
+                addr: prog.addr_of(i),
+                slot: None,
+                reg: None,
+                cycles_short: None,
+                message: "packet computes only values that are dead on every path".into(),
+            });
         }
     }
 }
@@ -401,5 +452,49 @@ mod tests {
         let mut diags2 = Vec::new();
         check_dead_writes(&p2, &cfg2, &[], &mut diags2);
         assert!(diags2.is_empty(), "{diags2:?}");
+    }
+
+    #[test]
+    fn ineffectual_packet_is_flagged_but_memory_is_not() {
+        let p = Program::new(
+            0,
+            vec![
+                // Both slots' results die at packet 1's overwrites.
+                Packet::new(&[add(Reg::g(0), Reg::g(2)), add(Reg::g(1), Reg::g(2))]).unwrap(),
+                Packet::new(&[add(Reg::g(0), Reg::g(3)), add(Reg::g(1), Reg::g(3))]).unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        let mut diags = Vec::new();
+        let live_in = check_dead_writes(&p, &cfg, &[], &mut diags);
+        diags.clear();
+        check_ineffectual(&p, &cfg, &live_in, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].kind, diags[0].packet), (Kind::IneffectualPacket, 0));
+        assert_eq!(diags[0].severity, Severity::Info);
+
+        // A store's value may be dead in registers but the packet still has
+        // a memory effect — never ineffectual.
+        let p2 = Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::St {
+                    w: majc_isa::MemWidth::W,
+                    pol: majc_isa::CachePolicy::Cached,
+                    rs: Reg::g(0),
+                    base: Reg::g(1),
+                    off: majc_isa::Off::Imm(0),
+                })
+                .unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let cfg2 = Cfg::build(&p2);
+        let mut d2 = Vec::new();
+        let live2 = check_dead_writes(&p2, &cfg2, &[], &mut d2);
+        d2.clear();
+        check_ineffectual(&p2, &cfg2, &live2, &mut d2);
+        assert!(d2.is_empty(), "{d2:?}");
     }
 }

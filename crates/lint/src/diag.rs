@@ -52,6 +52,25 @@ pub enum Kind {
     BadBranchTarget,
     /// Execution can fall past the last packet of the program.
     FallsOffEnd,
+    /// A store whose bytes are overwritten on every path before any
+    /// instruction can read them (and before anything that could trap and
+    /// make memory externally observable).
+    DeadStore,
+    /// A load from an address whose value was loaded or stored earlier on
+    /// every path with no possibly-clobbering store in between.
+    RedundantLoad,
+    /// A conditional branch the value analysis proves is taken on every
+    /// execution that reaches it.
+    BranchAlwaysTaken,
+    /// A conditional branch the value analysis proves is never taken.
+    BranchNeverTaken,
+    /// A packet with no architectural effect: no memory access, no control
+    /// transfer, nothing that can trap, and every register it writes is
+    /// dead on every path.
+    IneffectualPacket,
+    /// Two CPUs access overlapping absolute addresses and at least one
+    /// access is a non-atomic write.
+    SharedRace,
 }
 
 impl Kind {
@@ -65,6 +84,12 @@ impl Kind {
             Kind::Unreachable => "unreachable",
             Kind::BadBranchTarget => "bad-branch-target",
             Kind::FallsOffEnd => "falls-off-end",
+            Kind::DeadStore => "dead-store",
+            Kind::RedundantLoad => "redundant-load",
+            Kind::BranchAlwaysTaken => "branch-always-taken",
+            Kind::BranchNeverTaken => "branch-never-taken",
+            Kind::IneffectualPacket => "ineffectual-packet",
+            Kind::SharedRace => "shared-race",
         }
     }
 }

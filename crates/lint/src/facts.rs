@@ -1,0 +1,274 @@
+//! Machine-readable analysis facts.
+//!
+//! [`Facts`] is the contract between the abstract-interpretation engine
+//! and downstream consumers — first of all the VLIW packet scheduler
+//! (ROADMAP #4), which needs value, dependence and loop information it can
+//! trust. Facts split into two families:
+//!
+//! * **must-facts** (constants, value ranges, symbolic addresses, alias
+//!   classes, branch directions): claims about *every* execution that
+//!   reaches a packet. These are replayed against the functional simulator
+//!   by [`crate::validate`] — a single runtime contradiction is a bug in
+//!   the analysis, not a tolerable imprecision.
+//! * **structural facts** (natural loops with critical-path/slack): derived
+//!   from the CFG and the timing model; they carry no per-execution claim.
+//!
+//! The JSON writer is deterministic: every list is sorted on a total key
+//! and no timestamps or hashes enter the output, so two runs over the same
+//! program produce byte-identical files (the CI gate `cmp`s them).
+
+use majc_isa::Reg;
+
+/// Base of a symbolic address: an absolute constant, or the value some
+/// register held at program entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum AddrBase {
+    /// Absolute: the address is `off` itself.
+    Abs,
+    /// Entry-relative: the address is (entry value of the register) + `off`.
+    /// Entry values are fixed for a whole execution, so such addresses are
+    /// loop-invariant symbols even though their runtime value is unknown.
+    Entry(Reg),
+}
+
+impl AddrBase {
+    fn json(&self) -> String {
+        match self {
+            AddrBase::Abs => "\"abs\"".into(),
+            AddrBase::Entry(r) => format!("\"{r}\""),
+        }
+    }
+}
+
+/// What a memory access does to its location.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    Load,
+    Store,
+    /// `cas`/`swap`: reads and may write.
+    Atomic,
+    /// `cst`: writes only when its predicate holds.
+    CondStore,
+}
+
+impl AccessKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::Atomic => "atomic",
+            AccessKind::CondStore => "cond-store",
+        }
+    }
+}
+
+/// Must-fact: whenever packet `packet` is about to execute, `reg` holds
+/// exactly `value`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConstFact {
+    pub packet: usize,
+    pub reg: Reg,
+    pub value: u32,
+}
+
+/// Must-fact: whenever packet `packet` is about to execute, `reg` read as
+/// a signed 32-bit integer lies in `lo..=hi`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RangeFact {
+    pub packet: usize,
+    pub reg: Reg,
+    pub lo: i32,
+    pub hi: i32,
+}
+
+/// Must-fact: the memory access in slot `slot` of packet `packet` always
+/// computes the effective address `base + off`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AddrFact {
+    pub packet: usize,
+    pub slot: u8,
+    pub kind: AccessKind,
+    pub base: AddrBase,
+    pub off: i32,
+    pub bytes: u32,
+}
+
+/// Must-fact: every listed access starts at the same effective address on
+/// every execution (same symbolic base and folded offset).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AliasClass {
+    pub base: AddrBase,
+    pub off: i32,
+    /// `(packet, slot)` of each access, sorted.
+    pub accesses: Vec<(usize, u8)>,
+}
+
+/// Must-fact: the conditional branch in `packet` is taken on every
+/// execution that reaches it (`always == true`) or on none.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchFact {
+    pub packet: usize,
+    pub always: bool,
+}
+
+/// Structural fact: one natural loop, with a straight-line replay of its
+/// body under the timing model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopFact {
+    /// The back-edge target; dominates every packet of the body.
+    pub header: usize,
+    /// Back-edge sources, sorted.
+    pub latches: Vec<usize>,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+    /// Body packets, sorted, including header and latches.
+    pub packets: Vec<usize>,
+    /// Cycles one straight-line iteration of the body needs under the
+    /// timing model (dependence stalls included), plus the back-edge
+    /// redirect bubble.
+    pub crit_path: u64,
+    /// The issue-slot lower bound: one cycle per packet plus the bubble.
+    pub issue_bound: u64,
+    /// `crit_path - issue_bound`: cycles lost to dependences, i.e. the
+    /// headroom a scheduler could reclaim by reordering or unrolling.
+    pub slack: u64,
+}
+
+/// Everything the analyses proved about one program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Facts {
+    /// Packet count of the analyzed program.
+    pub packets: usize,
+    /// False when must-facts were withheld because the program can enter a
+    /// trap handler (`rte` present or trap vectors configured): a handler
+    /// may rewrite registers mid-execution, which would invalidate
+    /// entry-relative claims.
+    pub must_facts: bool,
+    pub consts: Vec<ConstFact>,
+    pub ranges: Vec<RangeFact>,
+    pub addrs: Vec<AddrFact>,
+    pub alias_classes: Vec<AliasClass>,
+    pub branches: Vec<BranchFact>,
+    pub loops: Vec<LoopFact>,
+}
+
+impl Facts {
+    pub fn new(packets: usize) -> Facts {
+        Facts { packets, must_facts: false, ..Facts::default() }
+    }
+
+    /// Number of individually checkable must-fact claims.
+    pub fn must_fact_count(&self) -> usize {
+        self.consts.len() + self.ranges.len() + self.addrs.len() + self.branches.len()
+    }
+
+    /// Deterministic JSON rendering (sorted lists, no volatile fields).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"version\": 1,\n  \"packets\": {},\n", self.packets));
+        s.push_str(&format!("  \"must_facts\": {},\n", self.must_facts));
+
+        push_list(&mut s, "consts", &self.consts, |f| {
+            format!("{{\"packet\":{},\"reg\":\"{}\",\"value\":{}}}", f.packet, f.reg, f.value)
+        });
+        push_list(&mut s, "ranges", &self.ranges, |f| {
+            format!(
+                "{{\"packet\":{},\"reg\":\"{}\",\"lo\":{},\"hi\":{}}}",
+                f.packet, f.reg, f.lo, f.hi
+            )
+        });
+        push_list(&mut s, "addrs", &self.addrs, |f| {
+            format!(
+                "{{\"packet\":{},\"slot\":{},\"kind\":\"{}\",\"base\":{},\"off\":{},\"bytes\":{}}}",
+                f.packet,
+                f.slot,
+                f.kind.as_str(),
+                f.base.json(),
+                f.off,
+                f.bytes
+            )
+        });
+        push_list(&mut s, "alias_classes", &self.alias_classes, |c| {
+            let members: Vec<String> =
+                c.accesses.iter().map(|(p, sl)| format!("[{p},{sl}]")).collect();
+            format!(
+                "{{\"base\":{},\"off\":{},\"accesses\":[{}]}}",
+                c.base.json(),
+                c.off,
+                members.join(",")
+            )
+        });
+        push_list(&mut s, "branches", &self.branches, |f| {
+            format!(
+                "{{\"packet\":{},\"taken\":\"{}\"}}",
+                f.packet,
+                if f.always { "always" } else { "never" }
+            )
+        });
+        push_list(&mut s, "loops", &self.loops, |l| {
+            let body: Vec<String> = l.packets.iter().map(|p| p.to_string()).collect();
+            let latches: Vec<String> = l.latches.iter().map(|p| p.to_string()).collect();
+            format!(
+                "{{\"header\":{},\"latches\":[{}],\"depth\":{},\"packets\":[{}],\
+                 \"crit_path\":{},\"issue_bound\":{},\"slack\":{}}}",
+                l.header,
+                latches.join(","),
+                l.depth,
+                body.join(","),
+                l.crit_path,
+                l.issue_bound,
+                l.slack
+            )
+        });
+        // Trim the trailing comma of the last list.
+        if s.ends_with(",\n") {
+            s.truncate(s.len() - 2);
+            s.push('\n');
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_list<T>(s: &mut String, name: &str, items: &[T], render: impl Fn(&T) -> String) {
+    s.push_str(&format!("  \"{name}\": ["));
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    ");
+        s.push_str(&render(item));
+    }
+    if !items.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let mut f = Facts::new(3);
+        f.must_facts = true;
+        f.consts.push(ConstFact { packet: 1, reg: Reg::g(0), value: 7 });
+        f.branches.push(BranchFact { packet: 2, always: false });
+        f.alias_classes.push(AliasClass {
+            base: AddrBase::Entry(Reg::g(2)),
+            off: 8,
+            accesses: vec![(0, 0), (2, 0)],
+        });
+        let a = f.to_json();
+        let b = f.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"must_facts\": true"));
+        assert!(a.contains("\"value\":7"));
+        assert!(a.contains("\"taken\":\"never\""));
+        assert!(a.contains("\"base\":\"g2\""));
+        assert!(a.ends_with('}'));
+        assert!(!a.contains(",\n}"), "no trailing comma before the closing brace");
+    }
+}

@@ -41,17 +41,27 @@
 //! assert!(report.is_clean(), "{}", report);
 //! ```
 
+mod alias;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
+pub mod engine;
+pub mod facts;
+pub mod loops;
 pub mod schedule;
+pub mod validate;
+mod value;
 
 use majc_core::TimingConfig;
-use majc_isa::{Program, Reg};
+use majc_isa::{Instr, Program, Reg};
 
+pub use alias::shared_race_check;
 pub use cfg::Cfg;
 pub use diag::{Diag, Kind, Severity};
+pub use facts::Facts;
+pub use loops::{dominator_sets, natural_loops, LoopInfo, NodeSet};
 pub use schedule::predicted_issue_cycles;
+pub use validate::{validate, Validation};
 
 /// What the linter assumes about the program under analysis.
 #[derive(Clone, Debug, Default)]
@@ -137,8 +147,29 @@ impl core::fmt::Display for Report {
     }
 }
 
-/// Statically verify a whole program.
+/// A full analysis run: diagnostics plus machine-readable facts.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    pub report: Report,
+    pub facts: Facts,
+}
+
+/// Statically verify a whole program. Equivalent to [`analyze`] without
+/// the facts.
 pub fn lint(prog: &Program, opts: &LintOptions) -> Report {
+    analyze(prog, opts).report
+}
+
+/// Run every check *and* the abstract-interpretation analyses, returning
+/// both diagnostics and the facts the scheduler consumes.
+///
+/// Must-facts (constants, ranges, addresses, branch directions) are
+/// withheld — `facts.must_facts == false` — when the program can enter a
+/// trap handler (`rte` anywhere, or trap vectors configured): a handler
+/// may rewrite registers between any two packets, so per-execution claims
+/// about register contents would be unsound. Loop structure is kept
+/// regardless; it only depends on the CFG.
+pub fn analyze(prog: &Program, opts: &LintOptions) -> Analysis {
     let mut diags = Vec::new();
     let cfg = Cfg::build_with_entries(prog, &opts.trap_vectors);
     diags.extend(cfg.diags.iter().cloned());
@@ -148,11 +179,31 @@ pub fn lint(prog: &Program, opts: &LintOptions) -> Report {
     if let Some(entry) = &opts.entry_defined {
         dataflow::check_use_before_def(prog, &cfg, entry, &mut diags);
     }
-    dataflow::check_dead_writes(prog, &cfg, &waw, &mut diags);
+    let live_in = dataflow::check_dead_writes(prog, &cfg, &waw, &mut diags);
+    dataflow::check_ineffectual(prog, &cfg, &live_in, &mut diags);
     schedule::check(prog, &cfg, &opts.timing, opts.exposed_latencies, &mut diags);
 
+    let mut facts = Facts::new(prog.len());
+    let volatile = !opts.trap_vectors.is_empty()
+        || prog.packets().iter().any(|p| p.slots().any(|(_, i)| matches!(i, Instr::Rte)));
+    if !volatile {
+        if let Some(v) = value::analyze_values(prog, &cfg, &opts.trap_vectors) {
+            if let Some(a) = alias::analyze_aliases(prog, &cfg, &opts.trap_vectors) {
+                facts.must_facts = true;
+                facts.consts = v.consts;
+                facts.ranges = v.ranges;
+                facts.branches = v.branches;
+                diags.extend(v.diags);
+                facts.addrs = a.addrs;
+                facts.alias_classes = a.alias_classes;
+                diags.extend(a.diags);
+            }
+        }
+    }
+    facts.loops = loops::analyze_loops(prog, &cfg, &opts.trap_vectors, &opts.timing);
+
     diags.sort_by_key(|d| (d.packet, d.slot, core::cmp::Reverse(d.severity)));
-    Report { diags }
+    Analysis { report: Report { diags }, facts }
 }
 
 #[cfg(test)]

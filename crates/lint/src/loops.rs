@@ -1,0 +1,324 @@
+//! Natural-loop detection with per-loop schedule headroom.
+//!
+//! Dominators are themselves a dataflow instance on the worklist engine:
+//! the fact at a packet is the set of packets on *every* path from an entry
+//! to it (join = intersection, transfer = add self). A CFG edge `u -> h`
+//! where `h` dominates `u` is a back edge; its natural loop is `h` plus
+//! everything that reaches `u` without passing through `h`. Back edges
+//! sharing a header merge into one loop, and nesting depth is how many loop
+//! bodies contain a loop's header.
+//!
+//! For each loop the body is replayed straight-line through
+//! [`crate::schedule`]'s transfer function — the same issue model the
+//! cycle simulator uses — giving a critical-path cycle count for one
+//! iteration, the issue-slot lower bound (one cycle per packet plus the
+//! back-edge redirect bubble), and their difference: the *slack* a
+//! scheduler could reclaim by reordering or unrolling. E1's worst kernels
+//! are exactly the ones whose hot loops this table shows saturated with
+//! dependence stalls.
+//!
+//! With an indirect jump in the program every packet is a potential entry,
+//! every dominator set collapses to the packet itself, and no back edge is
+//! provable — loop facts just come out empty, which is the sound answer.
+
+use majc_core::TimingConfig;
+use majc_isa::Program;
+
+use crate::cfg::{Cfg, Edge};
+use crate::engine::{solve, Dataflow, Dir};
+use crate::facts::LoopFact;
+use crate::schedule;
+
+/// A packet-index set as a bitset, sized for the program once.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeSet {
+    bits: Vec<u64>,
+}
+
+impl NodeSet {
+    fn empty(n: usize) -> NodeSet {
+        NodeSet { bits: vec![0; n.div_ceil(64)] }
+    }
+
+    fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let missing = self.bits[w] & b == 0;
+        self.bits[w] |= b;
+        missing
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Keep only elements present in both; true if anything was dropped.
+    fn intersect(&mut self, other: &NodeSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter(move |b| bits & (1 << b) != 0).map(move |b| w * 64 + b)
+        })
+    }
+}
+
+/// Dominators as dataflow: fact = set of packets on every entry path.
+struct DomFlow {
+    n: usize,
+}
+
+impl Dataflow for DomFlow {
+    type Fact = NodeSet;
+
+    fn dir(&self) -> Dir {
+        Dir::Forward
+    }
+
+    fn boundary(&self) -> NodeSet {
+        // Entry is dominated by nothing before it.
+        NodeSet::empty(self.n)
+    }
+
+    fn join(&self, into: &mut NodeSet, other: &NodeSet) -> bool {
+        into.intersect(other)
+    }
+
+    fn transfer(&self, node: usize, fact: &mut NodeSet) {
+        fact.insert(node);
+    }
+}
+
+/// Per-packet dominator sets (self included); `None` for unreachable
+/// packets. Public so the property-test suite can check the invariants
+/// directly, and for the scheduler to come.
+pub fn dominator_sets(prog: &Program, cfg: &Cfg, entries: &[u32]) -> Vec<Option<NodeSet>> {
+    let n = prog.len();
+    let sol = solve(prog, cfg, entries, &DomFlow { n });
+    sol.facts
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            f.map(|mut s| {
+                s.insert(i);
+                s
+            })
+        })
+        .collect()
+}
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    pub header: usize,
+    /// Back-edge sources, sorted.
+    pub latches: Vec<usize>,
+    /// All body packets (header and latches included).
+    pub body: NodeSet,
+}
+
+/// Natural loops from back edges, merged per header, sorted by header.
+pub fn natural_loops(prog: &Program, cfg: &Cfg, entries: &[u32]) -> Vec<LoopInfo> {
+    let n = prog.len();
+    let doms = dominator_sets(prog, cfg, entries);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, es) in cfg.succs.iter().enumerate() {
+        for &(s, _) in es {
+            preds[s].push(i);
+        }
+    }
+
+    let mut loops: Vec<LoopInfo> = Vec::new();
+    for (u, du) in doms.iter().enumerate() {
+        let Some(du) = du else { continue };
+        for &(h, _) in &cfg.succs[u] {
+            if !du.contains(h) {
+                continue; // not a back edge
+            }
+            // Natural loop of u -> h: h plus reverse-reachability from u
+            // that stops at h.
+            let mut body = NodeSet::empty(n);
+            body.insert(h);
+            let mut stack = Vec::new();
+            if body.insert(u) {
+                stack.push(u);
+            }
+            while let Some(x) = stack.pop() {
+                for &p in &preds[x] {
+                    if body.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            match loops.iter_mut().find(|l| l.header == h) {
+                Some(l) => {
+                    // Same header: one loop, merged body and latch list.
+                    for i in body.iter() {
+                        l.body.insert(i);
+                    }
+                    if !l.latches.contains(&u) {
+                        l.latches.push(u);
+                    }
+                }
+                None => loops.push(LoopInfo { header: h, latches: vec![u], body }),
+            }
+        }
+    }
+    for l in &mut loops {
+        l.latches.sort_unstable();
+    }
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+/// Loop facts with the schedule replay (critical path, bound, slack).
+pub(crate) fn analyze_loops(
+    prog: &Program,
+    cfg: &Cfg,
+    entries: &[u32],
+    timing: &TimingConfig,
+) -> Vec<LoopFact> {
+    let loops = natural_loops(prog, cfg, entries);
+    loops
+        .iter()
+        .map(|l| {
+            let packets: Vec<usize> = l.body.iter().collect();
+            let depth = loops.iter().filter(|outer| outer.body.contains(l.header)).count() as u32;
+
+            // Straight-line replay of one iteration in program order: every
+            // packet issues at least one cycle after its predecessor, plus
+            // whatever dependence stalls the issue model accumulates.
+            let mut st = schedule::State::empty();
+            let mut crit = 0u64;
+            for &p in &packets {
+                let (t, _) = schedule::transfer(&mut st, &prog.packets()[p], timing);
+                crit += t as u64 + 1;
+                st.shift(t + 1);
+            }
+            let bubble = (schedule::edge_gap(Edge::Taken, timing) - 1) as u64;
+            let crit_path = crit + bubble;
+            let issue_bound = packets.len() as u64 + bubble;
+            LoopFact {
+                header: l.header,
+                latches: l.latches.clone(),
+                depth,
+                packets,
+                crit_path,
+                issue_bound,
+                slack: crit_path - issue_bound,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_isa::{AluOp, Cond, Instr, Packet, Reg, Src};
+
+    fn add(rd: u8, rs1: u8) -> Instr {
+        Instr::Alu { op: AluOp::Add, rd: Reg::g(rd), rs1: Reg::g(rs1), src2: Src::Imm(1) }
+    }
+
+    fn br(rs: u8, off: i32) -> Instr {
+        Instr::Br { cond: Cond::Gt, rs: Reg::g(rs), off, hint: true }
+    }
+
+    #[test]
+    fn single_loop_is_found_with_depth_one() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(add(0, 0)).unwrap(), // 0: preheader
+                Packet::solo(add(1, 1)).unwrap(), // 1: loop body (header)
+                Packet::solo(br(1, -4)).unwrap(), // 2: latch -> 1
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        let loops = analyze_loops(&p, &cfg, &[], &TimingConfig::default());
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!((l.header, l.latches.clone(), l.depth), (1, vec![2], 1));
+        assert_eq!(l.packets, vec![1, 2]);
+        assert!(l.crit_path >= l.issue_bound);
+        assert_eq!(l.slack, l.crit_path - l.issue_bound);
+    }
+
+    #[test]
+    fn nested_loops_get_nesting_depths() {
+        // 0 header-outer, 1 header-inner, 2 latch-inner -> 1, 3 latch-outer
+        // -> 0, 4 halt.
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(add(0, 0)).unwrap(),
+                Packet::solo(add(1, 1)).unwrap(),
+                Packet::solo(br(1, -4)).unwrap(),
+                Packet::solo(br(0, -12)).unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        let loops = analyze_loops(&p, &cfg, &[], &TimingConfig::default());
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| l.header == 0).unwrap();
+        let inner = loops.iter().find(|l| l.header == 1).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2, "inner header sits inside the outer body");
+        assert_eq!(outer.packets, vec![0, 1, 2, 3]);
+        assert_eq!(inner.packets, vec![1, 2]);
+    }
+
+    #[test]
+    fn dominators_are_path_intersections() {
+        // Diamond: 0 -> {1, 2} -> 3; nothing but 0 dominates 3.
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(br(0, 8)).unwrap(),    // 0: -> 2 (taken) or 1
+                Packet::solo(add(1, 1)).unwrap(),   // 1
+                Packet::solo(add(2, 2)).unwrap(),   // 2
+                Packet::solo(Instr::Halt).unwrap(), // 3
+            ],
+        );
+        // Packet 1 falls to 2 though — build an explicit join: 1 -> 3 via
+        // branch over 2.
+        let p = {
+            let mut pk = p.packets().to_vec();
+            pk[1] = Packet::solo(Instr::Br { cond: Cond::Ge, rs: Reg::g(0), off: 8, hint: true })
+                .unwrap();
+            Program::new(0, pk)
+        };
+        let cfg = Cfg::build(&p);
+        let doms = dominator_sets(&p, &cfg, &[]);
+        let d3 = doms[3].as_ref().unwrap();
+        assert!(d3.contains(0) && d3.contains(3));
+        assert!(!d3.contains(1) && !d3.contains(2), "neither diamond arm dominates the join");
+        assert!(natural_loops(&p, &cfg, &[]).is_empty());
+    }
+
+    #[test]
+    fn indirect_jumps_suppress_loop_claims() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(add(0, 0)).unwrap(),
+                Packet::solo(br(0, -4)).unwrap(),
+                Packet::solo(Instr::Jmpl { rd: Reg::g(1), base: Reg::g(2), off: 0 }).unwrap(),
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        assert!(cfg.has_indirect);
+        assert!(
+            natural_loops(&p, &cfg, &[]).is_empty(),
+            "every packet is an entry: no provable back edges"
+        );
+    }
+}

@@ -43,7 +43,7 @@ const LOAD_USE: u64 = 2;
 /// Pending-result state at a packet boundary, relative to the packet's
 /// earliest issue cycle.
 #[derive(Clone, PartialEq, Eq)]
-struct State {
+pub(crate) struct State {
     /// Cycles until reg `r` (deterministic producer) is visible to FU `f`.
     det: Vec<[u32; 4]>,
     /// Cycles until reg `r` (interlocked producer) is visible to FU `f`.
@@ -55,7 +55,7 @@ struct State {
 }
 
 impl State {
-    fn empty() -> State {
+    pub(crate) fn empty() -> State {
         State {
             det: vec![[0; 4]; NUM_REGS as usize],
             int: vec![[0; 4]; NUM_REGS as usize],
@@ -87,7 +87,7 @@ impl State {
     }
 
     /// Re-base the state `by` cycles later (crossing an edge).
-    fn shift(&mut self, by: u32) {
+    pub(crate) fn shift(&mut self, by: u32) {
         for r in 0..NUM_REGS as usize {
             for f in 0..4 {
                 self.det[r][f] = self.det[r][f].saturating_sub(by);
@@ -111,7 +111,11 @@ pub(crate) struct Stall {
 /// Symbolically issue `pkt` against `state`, mutating it into the state
 /// just after issue (still relative to the packet's entry base). Returns
 /// the issue offset and any deterministic-latency stalls.
-fn transfer(state: &mut State, pkt: &Packet, timing: &TimingConfig) -> (u32, Vec<Stall>) {
+pub(crate) fn transfer(
+    state: &mut State,
+    pkt: &Packet,
+    timing: &TimingConfig,
+) -> (u32, Vec<Stall>) {
     // Hardware-enforced constraints: interlocked operands + structural.
     let mut hw = 0u32;
     for (fu, ins) in pkt.slots() {
@@ -172,7 +176,7 @@ fn transfer(state: &mut State, pkt: &Packet, timing: &TimingConfig) -> (u32, Vec
 }
 
 /// Minimum cycles between issuing `pkt` and issuing across `edge`.
-fn edge_gap(edge: Edge, timing: &TimingConfig) -> u32 {
+pub(crate) fn edge_gap(edge: Edge, timing: &TimingConfig) -> u32 {
     1 + match edge {
         Edge::Fall => 0,
         Edge::Taken | Edge::Call => timing.taken_bubble as u32,

@@ -1,0 +1,333 @@
+//! Execution validation of must-facts.
+//!
+//! Every must-fact the analyses emit is a claim about *all* executions that
+//! reach a packet: a register holds exactly this value, an effective
+//! address resolves to this symbol, a branch goes one way. This module
+//! replays those claims against [`FuncSim`] — the same interpreter the
+//! differential fuzzer trusts — one packet at a time:
+//!
+//! * before a packet executes, its constant and range facts are compared
+//!   against the live register file, and every address fact is compared
+//!   against the effective address recomputed exactly the way
+//!   `exec_slot` computes it (slots read pre-packet state, so pre-step
+//!   registers are the right observation point);
+//! * after the packet executes, branch-direction facts are compared
+//!   against the PC actually chosen.
+//!
+//! The caller prepares the simulator (preset registers, loaded memory) so
+//! kernel calling conventions are honoured; the entry register snapshot
+//! taken here is what `Entry(r)`-relative address facts are resolved
+//! against. One contradiction is one analysis bug — the harnesses in
+//! `majc-bench` and the fuzz suite fail hard on a non-empty violation
+//! list.
+
+use std::collections::HashMap;
+
+use majc_core::{FuncSim, Trap};
+use majc_isa::{Instr, Off, Reg, NUM_REGS};
+
+use crate::facts::{AddrBase, AddrFact, BranchFact, ConstFact, Facts, RangeFact};
+
+/// Outcome of replaying one program's facts against one execution.
+#[derive(Clone, Debug, Default)]
+pub struct Validation {
+    /// Packets stepped.
+    pub packets: u64,
+    /// Individual fact checks performed.
+    pub checks: u64,
+    /// Whether the program reached `halt` within the budget.
+    pub halted: bool,
+    /// Human-readable contradictions; empty means the analyses held.
+    pub violations: Vec<String>,
+}
+
+impl Validation {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+const MAX_VIOLATIONS: usize = 64;
+
+fn record(v: &mut Validation, msg: String) {
+    if v.violations.len() < MAX_VIOLATIONS {
+        v.violations.push(msg);
+    }
+}
+
+/// The effective address `exec_slot` would compute for the memory access
+/// in this slot, from pre-packet register state.
+fn actual_ea(sim: &FuncSim, ins: &Instr) -> Option<u32> {
+    let regs = &sim.regs;
+    match ins {
+        Instr::Ld { base, off, .. } | Instr::St { base, off, .. } => {
+            let off = match off {
+                Off::Imm(i) => *i as i32 as u32,
+                Off::Reg(r) => regs.get(*r),
+            };
+            Some(regs.get(*base).wrapping_add(off))
+        }
+        Instr::CSt { base, .. } | Instr::Cas { base, .. } | Instr::Swap { base, .. } => {
+            Some(regs.get(*base))
+        }
+        _ => None,
+    }
+}
+
+/// Replay `facts` against a prepared simulator, stepping up to
+/// `max_packets`. Returns the tally of checks and any contradictions.
+///
+/// When `facts.must_facts` is false (the analyses abstained) this is a
+/// no-op success: there is nothing checkable.
+pub fn validate(sim: &mut FuncSim, facts: &Facts, max_packets: u64) -> Validation {
+    let mut v = Validation::default();
+    if !facts.must_facts {
+        v.halted = sim.halted();
+        return v;
+    }
+
+    // Entry snapshot: what Entry(r)-based address facts resolve against.
+    let mut entry = [0u32; NUM_REGS as usize];
+    for (i, e) in entry.iter_mut().enumerate() {
+        let r = Reg::from_index(i as u8).expect("index < NUM_REGS");
+        *e = sim.regs.get(r);
+    }
+
+    // Per-packet fact indices.
+    let mut consts: HashMap<usize, Vec<&ConstFact>> = HashMap::new();
+    for f in &facts.consts {
+        consts.entry(f.packet).or_default().push(f);
+    }
+    let mut ranges: HashMap<usize, Vec<&RangeFact>> = HashMap::new();
+    for f in &facts.ranges {
+        ranges.entry(f.packet).or_default().push(f);
+    }
+    let mut addrs: HashMap<usize, Vec<&AddrFact>> = HashMap::new();
+    for f in &facts.addrs {
+        addrs.entry(f.packet).or_default().push(f);
+    }
+    let branches: HashMap<usize, &BranchFact> =
+        facts.branches.iter().map(|f| (f.packet, f)).collect();
+
+    while v.packets < max_packets && !sim.halted() {
+        let pc = sim.pc();
+        let Some(i) = sim.program().index_of(pc) else {
+            break; // off-program fetch: the step below would trap anyway
+        };
+
+        for f in consts.get(&i).into_iter().flatten() {
+            v.checks += 1;
+            let got = sim.regs.get(f.reg);
+            if got != f.value {
+                record(
+                    &mut v,
+                    format!(
+                        "packet {i}: const fact says {} == {:#x}, execution has {got:#x}",
+                        f.reg, f.value
+                    ),
+                );
+            }
+        }
+        for f in ranges.get(&i).into_iter().flatten() {
+            v.checks += 1;
+            let got = sim.regs.get_i32(f.reg);
+            if got < f.lo || got > f.hi {
+                record(
+                    &mut v,
+                    format!(
+                        "packet {i}: range fact says {} in {}..={}, execution has {got}",
+                        f.reg, f.lo, f.hi
+                    ),
+                );
+            }
+        }
+        for f in addrs.get(&i).into_iter().flatten() {
+            let pkt = &sim.program().packets()[i];
+            let Some(ins) = pkt.slot(f.slot as usize) else {
+                record(&mut v, format!("packet {i}: addr fact names missing slot {}", f.slot));
+                continue;
+            };
+            let Some(got) = actual_ea(sim, ins) else {
+                record(&mut v, format!("packet {i} slot {}: addr fact on non-memory slot", f.slot));
+                continue;
+            };
+            v.checks += 1;
+            let want = match f.base {
+                AddrBase::Abs => f.off as u32,
+                AddrBase::Entry(r) => entry[r.index()].wrapping_add(f.off as u32),
+            };
+            if got != want {
+                record(
+                    &mut v,
+                    format!(
+                        "packet {i} slot {}: addr fact resolves to {want:#x}, execution \
+                         computes {got:#x}",
+                        f.slot
+                    ),
+                );
+            }
+        }
+
+        // Branch facts need the post-step PC; work out both targets first.
+        let branch_claim = branches.get(&i).and_then(|f| {
+            let pkt = &sim.program().packets()[i];
+            let taken = match pkt.control() {
+                Some(Instr::Br { off, .. }) => pc.wrapping_add(*off as u32),
+                _ => return None, // fact on a non-branch packet: unobservable
+            };
+            let fall = pc.wrapping_add(pkt.len_bytes());
+            // A branch onto the fall-through address is direction-blind.
+            (taken != fall).then_some((f.always, taken))
+        });
+
+        match sim.step() {
+            Ok(_) => {
+                v.packets += 1;
+                if let Some((always, taken_target)) = branch_claim {
+                    v.checks += 1;
+                    let went_taken = sim.pc() == taken_target;
+                    if went_taken != always {
+                        record(
+                            &mut v,
+                            format!(
+                                "packet {i}: branch fact says {}, execution went {}",
+                                if always { "always taken" } else { "never taken" },
+                                if went_taken { "taken" } else { "fall-through" }
+                            ),
+                        );
+                    }
+                }
+            }
+            Err(trap) => {
+                // A branch to an off-program target still *decided* taken.
+                if let (Some((always, _)), Trap::BadPc { .. }) = (branch_claim, &trap) {
+                    v.checks += 1;
+                    if !always {
+                        record(
+                            &mut v,
+                            format!(
+                                "packet {i}: branch fact says never taken, execution trapped \
+                                     on its taken target"
+                            ),
+                        );
+                    }
+                }
+                break; // untrapped executions end here
+            }
+        }
+    }
+    v.halted = sim.halted();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_isa::{AluOp, Packet, Program, Src};
+    use majc_mem::FlatMem;
+
+    use crate::{analyze, LintOptions};
+
+    fn halted_run(prog: &Program, facts: &Facts) -> Validation {
+        let mut sim = FuncSim::new(prog.clone(), FlatMem::new());
+        validate(&mut sim, facts, 10_000)
+    }
+
+    fn simple_prog() -> Program {
+        Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 7 }).unwrap(),
+                Packet::solo(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::g(1),
+                    rs1: Reg::g(0),
+                    src2: Src::Imm(3),
+                })
+                .unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn true_facts_validate_cleanly() {
+        let p = simple_prog();
+        let a = analyze(&p, &LintOptions::default());
+        assert!(a.facts.must_facts);
+        assert!(a.facts.must_fact_count() > 0);
+        let v = halted_run(&p, &a.facts);
+        assert!(v.ok(), "{:?}", v.violations);
+        assert!(v.halted);
+        assert!(v.checks > 0);
+    }
+
+    #[test]
+    fn mutated_const_fact_is_caught() {
+        let p = simple_prog();
+        let mut a = analyze(&p, &LintOptions::default());
+        let f = a.facts.consts.iter_mut().find(|f| f.reg == Reg::g(0)).expect("g0 const");
+        f.value ^= 1; // deliberately unsound claim
+        let v = halted_run(&p, &a.facts);
+        assert!(!v.ok(), "the gate must catch a wrong constant");
+    }
+
+    #[test]
+    fn mutated_branch_fact_is_caught() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 1 }).unwrap(),
+                // g0 == 1 > 0: always taken over the poison packet.
+                Packet::solo(Instr::Br {
+                    cond: majc_isa::Cond::Gt,
+                    rs: Reg::g(0),
+                    off: 8,
+                    hint: true,
+                })
+                .unwrap(),
+                Packet::solo(Instr::SetLo { rd: Reg::g(1), imm: 99 }).unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let mut a = analyze(&p, &LintOptions::default());
+        assert!(a.facts.branches.iter().any(|f| f.packet == 1 && f.always));
+        let clean = halted_run(&p, &a.facts);
+        assert!(clean.ok(), "{:?}", clean.violations);
+
+        // Flip the direction claim.
+        a.facts.branches.iter_mut().find(|f| f.packet == 1).expect("branch fact").always = false;
+        let v = halted_run(&p, &a.facts);
+        assert!(!v.ok(), "the gate must catch a flipped branch direction");
+    }
+
+    #[test]
+    fn mutated_addr_fact_is_caught() {
+        let p = Program::new(
+            0,
+            vec![
+                Packet::solo(Instr::St {
+                    w: majc_isa::MemWidth::W,
+                    pol: majc_isa::CachePolicy::Cached,
+                    rs: Reg::g(0),
+                    base: Reg::g(1),
+                    off: Off::Imm(8),
+                })
+                .unwrap(),
+                Packet::solo(Instr::Halt).unwrap(),
+            ],
+        );
+        let mut a = analyze(&p, &LintOptions::default());
+        assert!(!a.facts.addrs.is_empty());
+        let mut sim = FuncSim::new(p.clone(), FlatMem::new());
+        sim.regs.set(Reg::g(1), 0x100); // entry snapshot sees the preset base
+        let clean = validate(&mut sim, &a.facts, 100);
+        assert!(clean.ok(), "{:?}", clean.violations);
+
+        a.facts.addrs.first_mut().expect("store addr fact").off += 4; // shift the claim
+        let mut sim = FuncSim::new(p, FlatMem::new());
+        sim.regs.set(Reg::g(1), 0x100);
+        let v = validate(&mut sim, &a.facts, 100);
+        assert!(!v.ok(), "the gate must catch a shifted address");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the dominator and natural-loop analyses.
+//!
+//! Random branchy programs (solo packets, so packet index * 4 is the
+//! packet address) are checked against a brute-force dominator oracle:
+//! `d` dominates `v` iff deleting `d` disconnects `v` from the entry.
+//! The loop-nest invariants then follow: every back edge targets a
+//! dominator of its source, every loop header dominates its whole body,
+//! and every latch really has an edge to its header.
+
+use majc_isa::{AluOp, Cond, Instr, Packet, Program, Reg, SplitMix64, Src};
+use majc_lint::{dominator_sets, natural_loops, Cfg};
+
+/// A random program of `n` solo packets: branches jump to uniformly
+/// chosen packet boundaries, everything else is ALU filler, and the last
+/// packet halts so fall-through never runs off the end.
+fn branchy_program(rng: &mut SplitMix64, n: usize) -> Program {
+    let pkts: Vec<Packet> = (0..n)
+        .map(|i| {
+            let ins = if i + 1 == n {
+                Instr::Halt
+            } else if rng.index(3) == 0 {
+                let target = rng.index(n);
+                Instr::Br {
+                    cond: Cond::Gt,
+                    rs: Reg::g(rng.index(8) as u8),
+                    off: (target as i32 - i as i32) * 4,
+                    hint: rng.flip(),
+                }
+            } else {
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::g(rng.index(8) as u8),
+                    rs1: Reg::g(rng.index(8) as u8),
+                    src2: Src::Imm(1),
+                }
+            };
+            Packet::solo(ins).expect("solo FU0 packet")
+        })
+        .collect();
+    Program::new(0, pkts)
+}
+
+/// Which packets can the entry reach when packet `skip` is deleted?
+fn reachable_without(cfg: &Cfg, n: usize, skip: Option<usize>) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    if skip != Some(0) {
+        seen[0] = true;
+        stack.push(0);
+    }
+    while let Some(i) = stack.pop() {
+        for &(s, _) in &cfg.succs[i] {
+            if Some(s) != skip && !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[test]
+fn dominators_match_the_deletion_oracle() {
+    let mut rng = SplitMix64::new(0xD0_51AB);
+    for case in 0..200 {
+        let n = 4 + rng.index(28);
+        let prog = branchy_program(&mut rng, n);
+        let cfg = Cfg::build(&prog);
+        let doms = dominator_sets(&prog, &cfg, &[]);
+        let reach = reachable_without(&cfg, n, None);
+
+        for v in 0..n {
+            match &doms[v] {
+                None => assert!(!reach[v], "case {case}: unreached fact but reachable packet {v}"),
+                Some(dv) => {
+                    assert!(reach[v], "case {case}: fact for unreachable packet {v}");
+                    for d in 0..n {
+                        let cut = !reachable_without(&cfg, n, Some(d))[v] || d == v;
+                        assert_eq!(
+                            dv.contains(d),
+                            cut,
+                            "case {case}: dom({v}) vs deletion oracle disagree on {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn loop_nests_satisfy_their_invariants() {
+    let mut rng = SplitMix64::new(0x0001_0075);
+    let mut loops_seen = 0usize;
+    for case in 0..300 {
+        let n = 4 + rng.index(28);
+        let prog = branchy_program(&mut rng, n);
+        let cfg = Cfg::build(&prog);
+        let doms = dominator_sets(&prog, &cfg, &[]);
+
+        for l in natural_loops(&prog, &cfg, &[]) {
+            loops_seen += 1;
+            assert!(l.body.contains(l.header), "case {case}: header outside its own body");
+            for latch in &l.latches {
+                assert!(l.body.contains(*latch), "case {case}: latch outside the body");
+                assert!(
+                    cfg.succs[*latch].iter().any(|&(s, _)| s == l.header),
+                    "case {case}: latch {latch} has no edge to header {}",
+                    l.header
+                );
+                // The defining property of a back edge.
+                let dl = doms[*latch].as_ref().expect("latch is reachable");
+                assert!(dl.contains(l.header), "case {case}: back edge to a non-dominator");
+            }
+            // The header dominates every packet of the body.
+            for b in l.body.iter() {
+                let db = doms[b].as_ref().expect("body packet is reachable");
+                assert!(
+                    db.contains(l.header),
+                    "case {case}: header {} does not dominate body packet {b}",
+                    l.header
+                );
+            }
+        }
+    }
+    assert!(loops_seen > 50, "the generator must actually produce loops ({loops_seen})");
+}

@@ -1,0 +1,73 @@
+//! Execution validation of must-facts over the shipped corpus.
+//!
+//! Every kernel in the suite and a slice of the differential-fuzz stream
+//! run through [`majc_lint::analyze`], and each must-fact is replayed
+//! against the functional simulator with the kernel's real workload. A
+//! single contradiction fails the test: must-facts are claims about every
+//! execution, so the one execution we have must satisfy them all.
+//! (`reproduce lintfacts` runs the same gate over the full 1024-seed
+//! corpus in release mode.)
+
+use std::sync::Arc;
+
+use majc_bench::diff::{fuzz_program, FUZZ_BUDGET};
+use majc_bench::farm::shard_seed;
+use majc_core::FuncSim;
+use majc_lint::{analyze, validate, LintOptions};
+use majc_mem::FlatMem;
+
+#[test]
+fn kernel_suite_must_facts_hold_under_execution() {
+    let mut total_checks = 0u64;
+    let mut total_facts = 0usize;
+    for c in majc_kernels::suite::cases() {
+        let a = analyze(&c.prog, &LintOptions::default());
+        assert!(a.facts.must_facts, "{}: suite kernels have no trap machinery", c.name);
+        total_facts += a.facts.must_fact_count();
+
+        // Heavy kernels get a reduced dynamic budget in debug test runs;
+        // a prefix of the execution still exercises every hot packet.
+        let budget = if c.heavy { 200_000 } else { 10_000_000 };
+        let mut sim = FuncSim::new(Arc::clone(&c.prog), c.mem.clone());
+        let v = validate(&mut sim, &a.facts, budget);
+        assert!(v.ok(), "{}: must-fact violation(s): {:?}", c.name, v.violations);
+        assert!(!c.heavy || v.packets > 0, "{}: validator never stepped", c.name);
+        total_checks += v.checks;
+    }
+    assert!(total_facts > 0, "the suite must produce must-facts");
+    assert!(total_checks > 0, "the suite must replay checks dynamically");
+}
+
+#[test]
+fn fuzz_slice_must_facts_hold_under_execution() {
+    // Same seed derivation as `reproduce lintfacts` batch 0.
+    const MASTER: u64 = 0xFA23_5EED;
+    for k in 0..64u64 {
+        let seed = shard_seed(MASTER, k);
+        let prog = fuzz_program(seed);
+        let a = analyze(&prog, &LintOptions::default());
+        let mut sim = FuncSim::new(prog.clone(), FlatMem::new());
+        let v = validate(&mut sim, &a.facts, FUZZ_BUDGET);
+        assert!(v.ok(), "seed {seed:#018x}: {:?}", v.violations);
+    }
+}
+
+/// The gate has teeth on real programs: corrupting one emitted fact of a
+/// real kernel's fact set must be caught by the replay.
+#[test]
+fn mutated_kernel_fact_is_caught() {
+    let c = majc_kernels::suite::cases()
+        .into_iter()
+        .find(|c| {
+            !c.heavy && {
+                let a = analyze(&c.prog, &LintOptions::default());
+                !a.facts.consts.is_empty()
+            }
+        })
+        .expect("some light kernel emits a constant fact");
+    let mut a = analyze(&c.prog, &LintOptions::default());
+    a.facts.consts[0].value = a.facts.consts[0].value.wrapping_add(1);
+    let mut sim = FuncSim::new(Arc::clone(&c.prog), c.mem.clone());
+    let v = validate(&mut sim, &a.facts, 10_000_000);
+    assert!(!v.ok(), "{}: a corrupted constant fact must be contradicted", c.name);
+}
