@@ -1243,6 +1243,94 @@ pub fn lintfacts(jobs: Option<usize>) -> Table {
     t
 }
 
+// ------------------------------- E13 -------------------------------
+
+/// E13: the simulation-as-a-service daemon under chaos load. Sweeps
+/// worker count × admission-queue depth; each cell self-hosts a server
+/// with the chaos plan armed (worker kills + memory fault injection)
+/// and drives it with the in-tree load harness (dropped connections,
+/// garbled lines, busy-retry storms). Every cell must satisfy the
+/// exactly-once ledger — zero lost, zero duplicated results — and the
+/// full report of the largest cell is saved to
+/// `target/reports/serve_load.json`.
+pub fn serve() -> Table {
+    use majc_serve::{run_load, server, ChaosPlan, LoadCfg, ServeConfig};
+
+    const SEED: u64 = 0xE13;
+    let load_cfg = LoadCfg {
+        clients: 6,
+        jobs_per_client: 25,
+        seed: SEED,
+        max_busy_retries: 5_000,
+        ..LoadCfg::default()
+    };
+    let cells: &[(usize, usize)] = &[(1, 2), (2, 2), (4, 2), (1, 16), (2, 16), (4, 16)];
+
+    let mut t = Table::new("serve", "E13: simulation service under chaos load (workers x queue)");
+    let mut last_json = None;
+    for &(workers, queue_depth) in cells {
+        let plan = ChaosPlan::soak(SEED);
+        let cfg = ServeConfig { workers, queue_depth, chaos: Some(plan) };
+        let handle = server::start(0, cfg).expect("bind localhost");
+        let report = run_load(handle.addr(), &load_cfg);
+        handle.shutdown();
+
+        assert!(
+            report.exactly_once(),
+            "w{workers} q{queue_depth}: exactly-once violated: lost={} dup={} wrong={}",
+            report.lost,
+            report.duplicated,
+            report.wrong_id
+        );
+        assert_eq!(
+            report.terminal() + report.gave_up + report.dropped_inflight,
+            report.clients * report.jobs_per_client,
+            "w{workers} q{queue_depth}: ledger does not balance: {report:?}"
+        );
+
+        t.push(Row::new(
+            format!("{workers} worker(s), queue {queue_depth}"),
+            "0 lost / 0 dup",
+            format!("0 lost / 0 dup, {} jobs/s", report.jobs_per_sec),
+            format!(
+                "p50 {}us p99 {}us, {} ok, {} busy rounds, {} kills",
+                report.p50_us, report.p99_us, report.ok, report.busy_rounds, report.server.panics
+            ),
+        ));
+        last_json = Some(report.to_json());
+    }
+
+    // Chaos tallies are a pure function of (seed, job sequence): the
+    // expected kill/fault counts over the per-cell job count document
+    // how hostile the sweep actually is.
+    let (kills, faults) =
+        ChaosPlan::soak(SEED).tally((load_cfg.clients * load_cfg.jobs_per_client) as u64);
+    t.push(Row::new(
+        "chaos plan (per cell)",
+        "-",
+        format!("~{kills} kills, ~{faults} fault plans"),
+        format!(
+            "seed {SEED:#x} over {} executed jobs",
+            load_cfg.clients * load_cfg.jobs_per_client
+        ),
+    ));
+
+    let saved = match last_json {
+        Some(json) => {
+            let out = std::path::Path::new("target/reports");
+            match std::fs::create_dir_all(out)
+                .and_then(|()| std::fs::write(out.join("serve_load.json"), json))
+            {
+                Ok(()) => "saved target/reports/serve_load.json".to_string(),
+                Err(e) => format!("not saved: {e}"),
+            }
+        }
+        None => "no cells ran".to_string(),
+    };
+    t.push(Row::new("report", "-", saved, "largest cell (4 workers, queue 16)"));
+    t
+}
+
 // --------------------------- trace/profile ---------------------------
 
 /// Run `prog` once (cold caches) on the DRDRAM memory system with full
@@ -1406,5 +1494,6 @@ pub fn all() -> Vec<Table> {
         lintfacts(None),
         trace(),
         profile(),
+        serve(),
     ]
 }

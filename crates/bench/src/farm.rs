@@ -126,7 +126,14 @@ impl Farm {
             queues[i % workers].lock().unwrap().push_back((i, it));
         }
 
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        // The result channel is *bounded* (two slots per worker): a worker
+        // that races ahead of the collector blocks in `send` instead of
+        // buffering unboundedly, so batch memory stays O(workers), not
+        // O(items). The collector therefore runs inside the scope, while
+        // workers are still alive — collecting after the scope would
+        // deadlock against a full buffer.
+        let (tx, rx) = mpsc::sync_channel::<(usize, R)>(workers * 2);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|s| {
             for w in 0..workers {
                 let tx = tx.clone();
@@ -148,12 +155,10 @@ impl Farm {
                 });
             }
             drop(tx);
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
         });
-
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
         slots.into_iter().map(|r| r.expect("each shard reports exactly once")).collect()
     }
 
@@ -402,6 +407,17 @@ mod tests {
             let got = Farm::new(jobs).run(items.clone(), |_, x| x * x);
             assert_eq!(got, expect, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn bounded_result_channel_survives_batches_far_beyond_its_buffer() {
+        // 10k items through a channel bounded at 2*jobs slots: workers
+        // must interleave with the collector without deadlock, and order
+        // must still come out right.
+        let items: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E37)).collect();
+        let got = Farm::new(4).run(items, |_, x| x.wrapping_mul(0x9E37));
+        assert_eq!(got, expect);
     }
 
     #[test]

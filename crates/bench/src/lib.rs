@@ -10,6 +10,8 @@ pub mod farm;
 pub mod microbench;
 pub mod report;
 
-pub use experiments::{ablations, all, fig1, fig2, graphics, peak_rates, table1, table2, table3};
+pub use experiments::{
+    ablations, all, fig1, fig2, graphics, peak_rates, serve, table1, table2, table3,
+};
 pub use farm::{shard_seed, Farm, Shard, ShardResult, XorShift64Star};
 pub use report::{Row, Table};

@@ -1,6 +1,6 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|lintfacts|trace|profile|all] [--jobs N]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|lintfacts|trace|profile|serve|all] [--jobs N]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
 //! JSON report under `target/reports/`. `farm --jobs N` runs the
 //! simulation-farm batch on N workers (omit `--jobs` for the 1/2/4
@@ -8,13 +8,16 @@
 //! `lintfacts` analyzes the kernel suite and fuzz corpus with majc-lint
 //! and replays every must-fact against the functional simulator; it
 //! takes the same `--jobs` flag with the same determinism contract.
+//! `serve` sweeps the majc-serve daemon over worker count × queue depth
+//! under the chaos load harness, asserting exactly-once delivery in
+//! every cell and saving `target/reports/serve_load.json`.
 
 use std::process::ExitCode;
 
 use majc_bench::experiments;
 use majc_bench::report::Table;
 
-const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile all (plus optional `--jobs N` for farm/lintfacts)";
+const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile serve all (plus optional `--jobs N` for farm/lintfacts)";
 
 fn emit(t: Table) {
     println!("{}", t.render());
@@ -65,6 +68,7 @@ fn main() -> ExitCode {
         },
         "trace" => emit(experiments::trace()),
         "profile" => emit(experiments::profile()),
+        "serve" => emit(experiments::serve()),
         "all" => {
             for t in experiments::all() {
                 emit(t);

@@ -1,0 +1,58 @@
+//! Checkpoint bytes are a pure function of (program, cut) — farm
+//! parallelism must not leak into them. The same batch of mid-run
+//! checkpoints has to serialize byte-identically whether the batch ran
+//! under `--jobs 1`, `2`, or `4`, exactly like the farm's merged report.
+
+use majc_bench::Farm;
+use majc_core::FuncSim;
+use majc_mem::FlatMem;
+use majc_serve::jobs::fuzz_program;
+use majc_serve::Checkpoint;
+
+/// Run `prog` on `mem` to its halfway point (by retired packets) and
+/// serialize the checkpoint container. `None` when the program never
+/// halts cleanly — those seeds have no well-defined halfway point.
+fn half_run_checkpoint(prog: std::sync::Arc<majc_isa::Program>, mem: FlatMem) -> Option<Vec<u8>> {
+    let mut probe = FuncSim::new(prog.clone(), mem.clone());
+    if probe.run(5_000_000).is_err() || !probe.halted() || probe.stats.packets < 2 {
+        return None;
+    }
+    let cut = (probe.stats.packets / 2).max(1);
+    let mut sim = FuncSim::new(prog, mem);
+    sim.run(cut).unwrap();
+    let ckpt = Checkpoint { cpus: vec![sim.capture()], mem: sim.mem.clone() };
+    Some(ckpt.to_bytes())
+}
+
+#[test]
+fn fuzz_checkpoint_bytes_identical_across_farm_job_counts() {
+    let seeds: Vec<u64> = (0..48).collect();
+    let run = |jobs: usize| {
+        Farm::new(jobs)
+            .run(seeds.clone(), |_, s| half_run_checkpoint(fuzz_program(s).into(), FlatMem::new()))
+    };
+    let base = run(1);
+    let produced = base.iter().filter(|b| b.is_some()).count();
+    assert!(produced >= 10, "property needs coverage; only {produced} seeds checkpointed");
+    for jobs in [2usize, 4] {
+        assert_eq!(run(jobs), base, "checkpoint bytes differ under --jobs {jobs}");
+    }
+}
+
+#[test]
+fn kernel_checkpoint_bytes_identical_across_farm_job_counts() {
+    let cases: Vec<_> =
+        majc_kernels::suite::fast_cases().into_iter().map(|c| (c.name, c.prog, c.mem)).collect();
+    assert!(cases.len() >= 8, "suite shrank; sweep needs real coverage");
+    let run = |jobs: usize| {
+        Farm::new(jobs).run(cases.clone(), |_, (name, prog, mem)| {
+            let bytes = half_run_checkpoint(prog, mem)
+                .unwrap_or_else(|| panic!("{name}: suite kernels halt; checkpoint expected"));
+            (name, bytes)
+        })
+    };
+    let base = run(1);
+    for jobs in [2usize, 4] {
+        assert_eq!(run(jobs), base, "kernel checkpoint bytes differ under --jobs {jobs}");
+    }
+}

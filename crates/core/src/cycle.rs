@@ -186,6 +186,25 @@ impl<S: TraceSink> CpuCore<S> {
         &self.contexts[i].trap
     }
 
+    /// Capture context `i`'s complete architectural state (registers, PC,
+    /// halted flag, trap registers) at the current packet boundary.
+    pub fn capture(&self, i: usize) -> crate::snapshot::CpuSnap {
+        let c = &self.contexts[i];
+        crate::snapshot::CpuSnap::capture(&c.regs, c.pc, c.halted, c.trap)
+    }
+
+    /// Restore context `i`'s architectural state from a capture. Timing
+    /// state (scoreboard, predictor, LSU, caches) is *not* part of the
+    /// architecture: restore into a freshly built core, whose cold
+    /// pipeline re-fills exactly as a fresh machine would.
+    pub fn restore_context(&mut self, i: usize, snap: &crate::snapshot::CpuSnap) {
+        let c = &mut self.contexts[i];
+        snap.apply_regs(&mut c.regs);
+        c.pc = snap.pc;
+        c.halted = snap.halted;
+        c.trap = snap.trap;
+    }
+
     /// Current PC of context `i`.
     pub fn pc(&self, i: usize) -> u32 {
         self.contexts[i].pc

@@ -12,7 +12,8 @@ use majc_mem::FlatMem;
 
 use crate::exec::{exec_slot, Flow, Trap};
 use crate::regfile::{RegFile, WriteSet};
-use crate::trap::TrapRegs;
+use crate::snapshot::CpuSnap;
+use crate::trap::{SimError, TrapRegs};
 
 /// Counters kept by the functional simulator.
 #[derive(Clone, Copy, Debug, Default)]
@@ -185,6 +186,37 @@ impl FuncSim {
             }
         }
         Ok(self.stats.packets - start)
+    }
+
+    /// [`FuncSim::run`] with a watchdog: exhausting the packet budget
+    /// without reaching `halt` is a hang, reported as a structured
+    /// [`SimError::Hang`] carrying the stuck PC — the functional analogue
+    /// of the cycle model's `max_cycles` watchdog, so a runaway program
+    /// surfaces as data instead of a wedged worker.
+    pub fn run_to_halt(&mut self, max_packets: u64) -> Result<u64, SimError> {
+        let n = self.run(max_packets).map_err(SimError::Trap)?;
+        if self.halted() {
+            Ok(n)
+        } else {
+            Err(SimError::Hang { cycle: self.stats.packets, pcs: vec![self.pc] })
+        }
+    }
+
+    /// Capture the complete architectural state at the current packet
+    /// boundary (memory is snapshotted separately — it may be shared).
+    pub fn capture(&self) -> CpuSnap {
+        CpuSnap::capture(&self.regs, self.pc, self.halted, self.trap)
+    }
+
+    /// Rebuild a simulator from a captured state: the bit-identical
+    /// continuation of the run `snap` was captured from.
+    pub fn resume(prog: impl Into<Arc<Program>>, mem: FlatMem, snap: &CpuSnap) -> FuncSim {
+        let mut sim = FuncSim::new(prog, mem);
+        snap.apply_regs(&mut sim.regs);
+        sim.pc = snap.pc;
+        sim.halted = snap.halted;
+        sim.trap = snap.trap;
+        sim
     }
 }
 

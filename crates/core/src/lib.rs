@@ -28,6 +28,7 @@ pub mod perfetto;
 pub mod predictor;
 pub mod profile;
 pub mod regfile;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod trap;
@@ -47,6 +48,7 @@ pub use perfetto::{export as export_perfetto, validate as validate_perfetto};
 pub use predictor::{Gshare, PredictorConfig, PredictorStats};
 pub use profile::{intervals, profile, IntervalSample, PcProfile, Profile};
 pub use regfile::{RegFile, WriteSet};
+pub use snapshot::{CpuSnap, CPU_SNAP_BYTES};
 pub use stats::CycleStats;
 pub use trace::{render as render_trace, TraceRec};
 pub use trap::{SimError, TrapRegs};

@@ -1,0 +1,124 @@
+//! Architectural machine-state capture and restore.
+//!
+//! A [`CpuSnap`] is the complete architectural state of one CPU context —
+//! every register, the PC, the halted flag, and the latched trap
+//! registers — in a fixed-size, deterministic byte encoding. Together
+//! with a [`majc_mem::FlatMem`] snapshot it reconstructs a machine that
+//! replays *bit-identically*: `restore(checkpoint(s))` continues to the
+//! same architectural digests as the uninterrupted run.
+//!
+//! Capture points are packet boundaries: both simulators commit whole
+//! packets, so between packets the architectural state is exactly these
+//! fields. Restoring into the cycle model builds a *fresh* pipeline
+//! (caches cold, predictors reset) with the captured architectural
+//! state — the timing of a resumed run may differ, the architecture may
+//! not.
+
+use majc_isa::{Reg, NUM_REGS};
+use majc_mem::snapshot::{read_u32, SnapError};
+
+use crate::regfile::RegFile;
+use crate::trap::TrapRegs;
+
+/// Fixed encoded size: all registers, PC, halted, then the five trap
+/// fields (cause/tpc/tnpc/bad_addr/active).
+pub const CPU_SNAP_BYTES: usize = NUM_REGS as usize * 4 + 4 + 1 + 4 * 4 + 1;
+
+/// The complete architectural state of one CPU context at a packet
+/// boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuSnap {
+    /// All `NUM_REGS` register values in index order.
+    pub regs: Vec<u32>,
+    pub pc: u32,
+    pub halted: bool,
+    pub trap: TrapRegs,
+}
+
+impl CpuSnap {
+    /// Capture from a register file plus control state.
+    pub fn capture(regs: &RegFile, pc: u32, halted: bool, trap: TrapRegs) -> CpuSnap {
+        CpuSnap { regs: regs.raw().to_vec(), pc, halted, trap }
+    }
+
+    /// Write the captured registers back into a register file.
+    pub fn apply_regs(&self, regs: &mut RegFile) {
+        for (i, &v) in self.regs.iter().enumerate() {
+            if let Some(r) = Reg::from_index(i as u8) {
+                regs.set(r, v);
+            }
+        }
+    }
+
+    /// Fixed-size deterministic encoding (always [`CPU_SNAP_BYTES`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CPU_SNAP_BYTES);
+        for &v in &self.regs {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.pc.to_le_bytes());
+        out.push(self.halted as u8);
+        out.extend_from_slice(&self.trap.cause.to_le_bytes());
+        out.extend_from_slice(&self.trap.tpc.to_le_bytes());
+        out.extend_from_slice(&self.trap.tnpc.to_le_bytes());
+        out.extend_from_slice(&self.trap.bad_addr.to_le_bytes());
+        out.push(self.trap.active as u8);
+        out
+    }
+
+    /// Decode a [`CpuSnap::to_bytes`] image.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CpuSnap, SnapError> {
+        if bytes.len() != CPU_SNAP_BYTES {
+            return Err(SnapError::Malformed(format!(
+                "cpu snapshot is {} bytes, expected {CPU_SNAP_BYTES}",
+                bytes.len()
+            )));
+        }
+        let n = NUM_REGS as usize;
+        let mut regs = Vec::with_capacity(n);
+        for i in 0..n {
+            regs.push(read_u32(bytes, i * 4)?);
+        }
+        let mut at = n * 4;
+        let pc = read_u32(bytes, at)?;
+        at += 4;
+        let halted = bytes[at] != 0;
+        at += 1;
+        let cause = read_u32(bytes, at)?;
+        let tpc = read_u32(bytes, at + 4)?;
+        let tnpc = read_u32(bytes, at + 8)?;
+        let bad_addr = read_u32(bytes, at + 12)?;
+        let active = bytes[at + 16] != 0;
+        Ok(CpuSnap { regs, pc, halted, trap: TrapRegs { cause, tpc, tnpc, bad_addr, active } })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Trap;
+
+    #[test]
+    fn byte_round_trip_preserves_everything() {
+        let mut rf = RegFile::new();
+        rf.set(Reg::g(0), 0xCAFE_BABE);
+        rf.set(Reg::l(2, 7), 42);
+        let mut trap = TrapRegs::default();
+        trap.latch(Trap::Misaligned { pc: 0x40, addr: 0x101 }, 0x40, 0x44);
+        let snap = CpuSnap::capture(&rf, 0x1234, true, trap);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), CPU_SNAP_BYTES);
+        let back = CpuSnap::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        let mut rf2 = RegFile::new();
+        back.apply_regs(&mut rf2);
+        assert_eq!(rf2.raw(), rf.raw());
+    }
+
+    #[test]
+    fn wrong_size_is_rejected() {
+        let snap = CpuSnap::capture(&RegFile::new(), 0, false, TrapRegs::default());
+        let bytes = snap.to_bytes();
+        assert!(CpuSnap::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Watchdog coverage: an infinite loop must trip the cycle budget and
+//! surface as a structured [`SimError::Hang`] carrying the offending PC —
+//! in *both* simulators. The fault-retry hang path has always been
+//! exercised; these tests pin down the plain runaway-program path the
+//! service layer depends on (a hung job must become a job failure, never
+//! a wedged worker).
+
+use majc_core::{CycleSim, FuncSim, PerfectPort, SimError, TimingConfig};
+use majc_isa::{AluOp, Cond, Instr, Packet, Program, Reg, Src};
+use majc_mem::FlatMem;
+
+/// `g0 = 0; spin: br (g0 == 0) -> spin` — never halts.
+fn infinite_loop() -> Program {
+    Program::new(
+        0x100,
+        vec![
+            Packet::solo(Instr::SetLo { rd: Reg::g(0), imm: 0 }).unwrap(),
+            Packet::solo(Instr::Br { cond: Cond::Eq, rs: Reg::g(0), off: 0, hint: true }).unwrap(),
+        ],
+    )
+}
+
+/// The spin packet's address: one 4-byte packet past the base.
+const SPIN_PC: u32 = 0x104;
+
+#[test]
+fn func_sim_watchdog_trips_on_infinite_loop() {
+    let mut sim = FuncSim::new(infinite_loop(), FlatMem::new());
+    let err = sim.run_to_halt(10_000).unwrap_err();
+    match err {
+        SimError::Hang { cycle, pcs } => {
+            assert_eq!(cycle, 10_000, "budget exhausted exactly");
+            assert_eq!(pcs, vec![SPIN_PC], "hang reports the offending PC");
+        }
+        other => panic!("expected Hang, got {other:?}"),
+    }
+}
+
+#[test]
+fn func_sim_watchdog_passes_halting_programs() {
+    let p = Program::new(
+        0,
+        vec![
+            Packet::solo(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::g(1),
+                rs1: Reg::g(1),
+                src2: Src::Imm(5),
+            })
+            .unwrap(),
+            Packet::solo(Instr::Halt).unwrap(),
+        ],
+    );
+    let mut sim = FuncSim::new(p, FlatMem::new());
+    assert_eq!(sim.run_to_halt(10_000).unwrap(), 2);
+    assert!(sim.halted());
+}
+
+#[test]
+fn cycle_sim_max_cycles_trips_on_infinite_loop() {
+    let cfg = TimingConfig { max_cycles: 5_000, ..Default::default() };
+    let mut sim = CycleSim::new(infinite_loop(), PerfectPort::new(), cfg);
+    let err = sim.run(u64::MAX).unwrap_err();
+    match err {
+        SimError::Hang { cycle, pcs } => {
+            assert!(cycle > 5_000, "watchdog fires just past the budget, got {cycle}");
+            assert!(cycle < 6_000, "watchdog must not overshoot wildly, got {cycle}");
+            assert_eq!(pcs, vec![SPIN_PC], "hang reports the offending PC");
+        }
+        other => panic!("expected Hang, got {other:?}"),
+    }
+}
+
+#[test]
+fn cycle_sim_max_cycles_passes_halting_programs() {
+    let p = Program::new(0, vec![Packet::solo(Instr::Halt).unwrap()]);
+    let cfg = TimingConfig { max_cycles: 5_000, ..Default::default() };
+    let mut sim = CycleSim::new(p, PerfectPort::new(), cfg);
+    sim.run(u64::MAX).unwrap();
+    assert!(sim.halted());
+}
+
+#[test]
+fn hang_display_names_the_stuck_pc() {
+    let mut sim = FuncSim::new(infinite_loop(), FlatMem::new());
+    let err = sim.run_to_halt(100).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("0x00000104"), "display carries the PC: {text}");
+}

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
 /// Sparse, paged 32-bit physical memory.
 #[derive(Clone, Debug, Default)]
@@ -113,6 +113,17 @@ impl FlatMem {
     /// Number of 4 KiB pages touched so far (footprint estimate).
     pub fn pages_touched(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Iterate touched pages in arbitrary order (the snapshot serializer
+    /// sorts and drops all-zero pages for its canonical form).
+    pub(crate) fn pages_iter(&self) -> impl Iterator<Item = (u32, &[u8; PAGE_SIZE])> + '_ {
+        self.pages.iter().map(|(&pn, data)| (pn, &**data))
+    }
+
+    /// Install a full page image at page number `pn` (snapshot decode).
+    pub(crate) fn install_page(&mut self, pn: u32, data: &[u8]) {
+        self.page(pn).copy_from_slice(data);
     }
 
     /// Architectural comparison: the lowest address whose byte differs

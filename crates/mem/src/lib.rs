@@ -25,6 +25,7 @@ pub mod dram;
 pub mod fault;
 pub mod flat;
 pub mod icache;
+pub mod snapshot;
 pub mod tags;
 
 pub use dcache::{DCache, DCacheConfig, DKind, DPolicy, DStall, Served};
@@ -32,4 +33,5 @@ pub use dram::{Dram, DramConfig, DramSpanRec, DramStats, MemBackend, PerfectMem}
 pub use fault::{FaultEvent, FaultInjector, FaultPlan, FaultSite, XorShift64};
 pub use flat::{FlatMem, MemDiff};
 pub use icache::{ICache, ICacheConfig};
+pub use snapshot::{fnv1a, SnapError};
 pub use tags::{CacheStats, TagArray, Victim};

@@ -1,0 +1,99 @@
+//! Seeded chaos: deterministic per-job sabotage decisions.
+//!
+//! The chaos plan is consulted once per *executed* job (keyed by the
+//! worker-side job sequence number): it may kill the executing worker
+//! thread mid-job (exercising the `catch_unwind` crash-safety path and
+//! the respawn monitor) or arm the memory-system fault plan for
+//! cycle-engine jobs. Which physical job draws which sequence number
+//! depends on scheduling, but the *number* of kills and faults over N
+//! jobs is a pure function of `(seed, N)` — sabotage pressure is
+//! reproducible even though thread interleaving is not.
+
+use majc_isa::SplitMix64;
+
+/// The panic payload a chaos kill throws. The worker recognizes it (to
+/// answer `worker_killed` rather than a generic panic) and the quiet
+/// panic hook suppresses its backtrace spam.
+#[derive(Debug)]
+pub struct ChaosKill;
+
+/// What to sabotage on one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosDecision {
+    /// Kill the worker thread mid-job (after the job still produced its
+    /// exactly-once failure response).
+    pub kill: bool,
+    /// Arm `FaultPlan::soak(seed)` on the job's memory system.
+    pub fault_seed: Option<u64>,
+}
+
+/// Sabotage rates, per mille of executed jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    pub seed: u64,
+    pub kill_per_mille: u16,
+    pub fault_per_mille: u16,
+}
+
+impl ChaosPlan {
+    /// The standard soak mix: ~1.5% worker kills, ~12% armed fault plans.
+    pub fn soak(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed, kill_per_mille: 15, fault_per_mille: 120 }
+    }
+
+    /// No sabotage; useful to run the chaos *harness* as a pure load test.
+    pub fn quiet(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed, kill_per_mille: 0, fault_per_mille: 0 }
+    }
+
+    /// The decision for job sequence number `seq` — a pure function.
+    pub fn decide(&self, seq: u64) -> ChaosDecision {
+        let mut rng = SplitMix64::new(self.seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let kill = rng.index(1000) < self.kill_per_mille as usize;
+        let fault_seed = if rng.index(1000) < self.fault_per_mille as usize {
+            Some(rng.next_u64())
+        } else {
+            None
+        };
+        ChaosDecision { kill, fault_seed }
+    }
+
+    /// Decisions over `[0, n)` tallied: `(kills, faults)`. Deterministic
+    /// in `(self, n)`; the load report's chaos tallies come from here.
+    pub fn tally(&self, n: u64) -> (u64, u64) {
+        let mut kills = 0;
+        let mut faults = 0;
+        for seq in 0..n {
+            let d = self.decide(seq);
+            kills += u64::from(d.kill);
+            faults += u64::from(d.fault_seed.is_some());
+        }
+        (kills, faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure() {
+        let plan = ChaosPlan::soak(42);
+        for seq in 0..50 {
+            assert_eq!(plan.decide(seq), plan.decide(seq));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = ChaosPlan::soak(7);
+        let (kills, faults) = plan.tally(10_000);
+        assert!((50..=300).contains(&kills), "kills {kills} vs ~150 expected");
+        assert!((700..=1700).contains(&faults), "faults {faults} vs ~1200 expected");
+    }
+
+    #[test]
+    fn quiet_plan_never_sabotages() {
+        assert_eq!(ChaosPlan::quiet(3).tally(1000), (0, 0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Versioned checkpoint containers and the server-side store.
+//!
+//! A checkpoint is the complete architectural state of a simulation at a
+//! quiesce point (a packet boundary): every CPU context's 224 registers,
+//! PC, halt flag, and trap registers ([`CpuSnap`]), plus the canonical
+//! sparse memory image ([`FlatMem::to_snapshot`]). Timing state (caches,
+//! pipeline, predictors) is deliberately *not* captured: a restore starts
+//! cold, which changes cycle counts but never architectural results.
+//!
+//! Wire format (all little-endian), digest-stamped end to end:
+//!
+//! ```text
+//! magic      8 bytes  "MAJCCKP1" (the trailing digit is the version)
+//! ncpus      u32
+//! cpus       ncpus x CPU_SNAP_BYTES   (CpuSnap fixed encoding)
+//! mem_len    u64
+//! mem        mem_len bytes            (FlatMem canonical snapshot)
+//! digest     u64      FNV-1a of everything above
+//! ```
+//!
+//! The id of a checkpoint is the hex of its container digest, so equal
+//! states get equal ids and the store deduplicates for free.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use majc_core::{CpuSnap, CPU_SNAP_BYTES};
+use majc_mem::snapshot::{read_u32, read_u64};
+use majc_mem::{fnv1a, FlatMem, SnapError};
+
+/// Container magic; bump the trailing digit on format changes.
+pub const CKPT_MAGIC: &[u8; 8] = b"MAJCCKP1";
+
+/// One stored checkpoint: CPU contexts plus the memory image.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub cpus: Vec<CpuSnap>,
+    pub mem: FlatMem,
+}
+
+/// Equality is architectural: same contexts, same canonical memory image
+/// (touched-but-zero pages do not count, matching `FlatMem::to_snapshot`).
+impl PartialEq for Checkpoint {
+    fn eq(&self, other: &Checkpoint) -> bool {
+        self.cpus == other.cpus && self.mem.to_snapshot() == other.mem.to_snapshot()
+    }
+}
+
+impl Checkpoint {
+    /// Serialize to the digest-stamped container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mem = self.mem.to_snapshot();
+        let mut out =
+            Vec::with_capacity(8 + 4 + self.cpus.len() * CPU_SNAP_BYTES + 8 + mem.len() + 8);
+        out.extend_from_slice(CKPT_MAGIC);
+        out.extend_from_slice(&(self.cpus.len() as u32).to_le_bytes());
+        for cpu in &self.cpus {
+            out.extend_from_slice(&cpu.to_bytes());
+        }
+        out.extend_from_slice(&(mem.len() as u64).to_le_bytes());
+        out.extend_from_slice(&mem);
+        let digest = fnv1a(&out);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+
+    /// Parse and fully validate a container (magic, structure, digest).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, SnapError> {
+        if bytes.len() < 8 + 4 + 8 + 8 {
+            return Err(SnapError::Malformed(format!(
+                "container too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != CKPT_MAGIC {
+            return Err(SnapError::Malformed("bad checkpoint magic".into()));
+        }
+        let body_end = bytes.len() - 8;
+        let expect = read_u64(bytes, body_end)?;
+        let got = fnv1a(&bytes[..body_end]);
+        if got != expect {
+            return Err(SnapError::BadDigest { expect, got });
+        }
+        let ncpus = read_u32(bytes, 8)? as usize;
+        let mut at = 12;
+        let mut cpus = Vec::with_capacity(ncpus);
+        for _ in 0..ncpus {
+            let end = at + CPU_SNAP_BYTES;
+            if end > body_end {
+                return Err(SnapError::Malformed("truncated cpu context".into()));
+            }
+            cpus.push(CpuSnap::from_bytes(&bytes[at..end])?);
+            at = end;
+        }
+        let mem_len = read_u64(bytes, at)? as usize;
+        at += 8;
+        if at + mem_len != body_end {
+            return Err(SnapError::Malformed(format!(
+                "memory length {mem_len} does not fill the container"
+            )));
+        }
+        let mem = FlatMem::from_snapshot(&bytes[at..at + mem_len])?;
+        Ok(Checkpoint { cpus, mem })
+    }
+
+    /// The container digest: equal state, equal digest.
+    pub fn digest(&self) -> u64 {
+        let bytes = self.to_bytes();
+        read_u64(&bytes, bytes.len() - 8).expect("container carries its digest")
+    }
+
+    /// The checkpoint's id (hex of the container digest).
+    pub fn id(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+}
+
+/// The in-memory checkpoint store, keyed by container digest.
+#[derive(Default)]
+pub struct CheckpointStore {
+    map: Mutex<HashMap<String, Arc<Checkpoint>>>,
+}
+
+impl CheckpointStore {
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Store a checkpoint; returns its id. Idempotent by construction.
+    pub fn insert(&self, ckpt: Checkpoint) -> String {
+        let id = ckpt.id();
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id.clone(), Arc::new(ckpt));
+        id
+    }
+
+    pub fn get(&self, id: &str) -> Option<Arc<Checkpoint>> {
+        self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(id).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majc_core::TrapRegs;
+
+    fn sample() -> Checkpoint {
+        let mut mem = FlatMem::new();
+        mem.write_u32(0x100, 0xDEAD_BEEF);
+        mem.write_u32(0x2_0000, 7);
+        let mut regs = vec![0u32; majc_isa::NUM_REGS as usize];
+        regs[1] = 0x1234;
+        regs[200] = 42;
+        let cpu0 =
+            CpuSnap { regs: regs.clone(), pc: 0x104, halted: false, trap: TrapRegs::default() };
+        let cpu1 = CpuSnap { regs, pc: 0x4000, halted: true, trap: TrapRegs::default() };
+        Checkpoint { cpus: vec![cpu0, cpu1], mem }
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.to_bytes(), bytes, "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        match Checkpoint::from_bytes(&bytes) {
+            Err(SnapError::BadDigest { .. }) | Err(SnapError::Malformed(_)) => {}
+            other => panic!("corrupted container accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 7, 11, 20, bytes.len() - 9] {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn store_is_digest_keyed_and_idempotent() {
+        let store = CheckpointStore::new();
+        let a = store.insert(sample());
+        let b = store.insert(sample());
+        assert_eq!(a, b, "equal state, equal id");
+        assert_eq!(store.len(), 1);
+        assert_eq!(*store.get(&a).unwrap(), sample());
+        assert!(store.get("no-such").is_none());
+    }
+}

@@ -1,0 +1,401 @@
+//! Job execution: every request kind, mapped onto the toolchain crates.
+//!
+//! Execution is pure with respect to the daemon: a job takes a spec and
+//! produces a [`Status`], never touching connection or queue state, so
+//! the worker can wrap the whole thing in `catch_unwind` and a crashing
+//! job (or a chaos-injected worker kill) still yields exactly one
+//! response. Deadlines are deterministic *simulated-work* budgets —
+//! packets on the functional engine, cycles on the cycle engine via the
+//! PR 2 watchdog — never wall clock, so a given job fails or succeeds
+//! identically on any host.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use majc_core::{CycleSim, FuncSim, LocalMemSys, SimError, TimingConfig};
+use majc_isa::gen::{self, GenCfg};
+use majc_isa::{Program, SplitMix64};
+use majc_mem::{fnv1a, FaultPlan, FlatMem};
+
+use crate::checkpoint::{Checkpoint, CheckpointStore};
+use crate::proto::{Engine, JobSpec, SimSpec, Status, Val};
+
+/// Shared read-mostly execution context: the kernel table, the
+/// digest-keyed program cache, and the checkpoint store.
+pub struct ExecCtx {
+    kernels: HashMap<&'static str, (Arc<Program>, FlatMem)>,
+    prog_cache: Mutex<HashMap<u64, Arc<Program>>>,
+    pub checkpoints: CheckpointStore,
+    /// Assemble requests served from the program cache.
+    pub cache_hits: AtomicU64,
+}
+
+impl Default for ExecCtx {
+    fn default() -> ExecCtx {
+        ExecCtx::new()
+    }
+}
+
+impl ExecCtx {
+    /// Load the canonical kernel suite and empty caches.
+    pub fn new() -> ExecCtx {
+        let kernels =
+            majc_kernels::suite::cases().into_iter().map(|c| (c.name, (c.prog, c.mem))).collect();
+        ExecCtx {
+            kernels,
+            prog_cache: Mutex::new(HashMap::new()),
+            checkpoints: CheckpointStore::new(),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Kernel names the `simulate` job accepts, sorted.
+    pub fn kernel_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.kernels.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Assemble source, memoized on the source digest. The bool reports a
+    /// cache hit.
+    fn assemble_cached(&self, source: &str) -> Result<(Arc<Program>, bool), String> {
+        let key = fnv1a(source.as_bytes());
+        {
+            let cache = self.prog_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(prog) = cache.get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(prog), true));
+            }
+        }
+        let prog = Arc::new(majc_asm::assemble(source).map_err(|e| e.to_string())?);
+        self.prog_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::clone(&prog));
+        Ok((prog, false))
+    }
+
+    /// Run one job to a terminal status. `fault_seed` arms the chaos
+    /// fault plan on cycle-engine memory systems.
+    pub fn execute(&self, spec: &JobSpec, fault_seed: Option<u64>) -> Status {
+        match spec {
+            JobSpec::Assemble { source } => self.run_assemble(source),
+            JobSpec::Lint { source, strict } => self.run_lint(source, *strict),
+            JobSpec::Simulate(sim) => self.run_simulate(sim, fault_seed),
+            JobSpec::Fuzz { seed, budget } => run_fuzz(*seed, *budget),
+        }
+    }
+
+    fn run_assemble(&self, source: &str) -> Status {
+        match self.assemble_cached(source) {
+            Err(e) => Status::Failed { kind: "asm".into(), detail: e },
+            Ok((prog, cached)) => Status::Ok(vec![
+                ("packets".into(), Val::U64(prog.len() as u64)),
+                ("digest".into(), Val::Str(format!("{:016x}", fnv1a(source.as_bytes())))),
+                ("cached".into(), Val::Bool(cached)),
+            ]),
+        }
+    }
+
+    fn run_lint(&self, source: &str, strict: bool) -> Status {
+        let prog = match self.assemble_cached(source) {
+            Err(e) => return Status::Failed { kind: "asm".into(), detail: e },
+            Ok((prog, _)) => prog,
+        };
+        let opts = if strict {
+            majc_lint::LintOptions::strict()
+        } else {
+            majc_lint::LintOptions::default()
+        };
+        let report = majc_lint::lint(&prog, &opts);
+        Status::Ok(vec![
+            ("errors".into(), Val::U64(report.count(majc_lint::Severity::Error) as u64)),
+            ("warnings".into(), Val::U64(report.count(majc_lint::Severity::Warning) as u64)),
+            ("notes".into(), Val::U64(report.count(majc_lint::Severity::Info) as u64)),
+            ("clean".into(), Val::Bool(report.is_clean())),
+        ])
+    }
+
+    /// Resolve the program image and initial memory for a simulate job.
+    fn resolve(&self, sim: &SimSpec) -> Result<(Arc<Program>, FlatMem), Status> {
+        if let Some(name) = &sim.kernel {
+            match self.kernels.get(name.as_str()) {
+                Some((prog, mem)) => Ok((Arc::clone(prog), mem.clone())),
+                None => Err(Status::Rejected { reason: format!("unknown kernel `{name}`") }),
+            }
+        } else if let Some(src) = &sim.source {
+            match self.assemble_cached(src) {
+                Ok((prog, _)) => Ok((prog, FlatMem::new())),
+                Err(e) => Err(Status::Failed { kind: "asm".into(), detail: e }),
+            }
+        } else {
+            Err(Status::Failed {
+                kind: "bad_request".into(),
+                detail: "simulate needs `kernel` or `source`".into(),
+            })
+        }
+    }
+
+    fn run_simulate(&self, sim: &SimSpec, fault_seed: Option<u64>) -> Status {
+        let (prog, mut mem) = match self.resolve(sim) {
+            Ok(pm) => pm,
+            Err(status) => return status,
+        };
+        // A resume swaps in the checkpointed memory image and CPU context;
+        // the program image still comes from the spec.
+        let snap = match &sim.resume {
+            None => None,
+            Some(id) => match self.checkpoints.get(id) {
+                None => {
+                    return Status::Failed {
+                        kind: "bad_request".into(),
+                        detail: format!("unknown checkpoint `{id}`"),
+                    }
+                }
+                Some(ckpt) => {
+                    mem = ckpt.mem.clone();
+                    Some(ckpt.cpus[0].clone())
+                }
+            },
+        };
+        match sim.engine {
+            Engine::Func => self.run_func(prog, mem, snap.as_ref(), sim),
+            Engine::Cycle => {
+                if sim.checkpoint {
+                    return Status::Failed {
+                        kind: "bad_request".into(),
+                        detail: "checkpoint requires the func engine (packet-boundary quiesce)"
+                            .into(),
+                    };
+                }
+                run_cycle(prog, mem, snap.as_ref(), sim, fault_seed)
+            }
+        }
+    }
+
+    fn run_func(
+        &self,
+        prog: Arc<Program>,
+        mem: FlatMem,
+        snap: Option<&majc_core::CpuSnap>,
+        sim: &SimSpec,
+    ) -> Status {
+        let mut fs = match snap {
+            Some(s) => FuncSim::resume(prog, mem, s),
+            None => FuncSim::new(prog, mem),
+        };
+        if sim.checkpoint {
+            // Budget-capped by design: stop at the boundary and snapshot.
+            let packets = match fs.run(sim.budget) {
+                Ok(n) => n,
+                Err(t) => return Status::Failed { kind: "trap".into(), detail: t.to_string() },
+            };
+            let halted = fs.halted();
+            let ckpt = Checkpoint { cpus: vec![fs.capture()], mem: fs.mem.clone() };
+            let digest = arch_digest(&fs.capture(), &fs.mem);
+            let id = self.checkpoints.insert(ckpt);
+            Status::Ok(vec![
+                ("packets".into(), Val::U64(packets)),
+                ("halted".into(), Val::Bool(halted)),
+                ("checkpoint".into(), Val::Str(id)),
+                ("digest".into(), Val::Str(digest)),
+            ])
+        } else {
+            match fs.run_to_halt(sim.budget) {
+                Ok(packets) => Status::Ok(vec![
+                    ("packets".into(), Val::U64(packets)),
+                    ("halted".into(), Val::Bool(true)),
+                    ("digest".into(), Val::Str(arch_digest(&fs.capture(), &fs.mem))),
+                ]),
+                Err(e) => sim_error(e),
+            }
+        }
+    }
+}
+
+fn run_cycle(
+    prog: Arc<Program>,
+    mem: FlatMem,
+    snap: Option<&majc_core::CpuSnap>,
+    sim: &SimSpec,
+    fault_seed: Option<u64>,
+) -> Status {
+    let cfg = TimingConfig { max_cycles: sim.budget, ..TimingConfig::default() };
+    let mut port = LocalMemSys::majc5200().with_mem(mem);
+    if let Some(seed) = fault_seed {
+        port.apply_fault_plan(&FaultPlan::soak(seed));
+    }
+    let mut cs = CycleSim::new(prog, port, cfg);
+    if let Some(s) = snap {
+        cs.restore_context(0, s);
+    }
+    match cs.run(u64::MAX) {
+        Ok(cycles) => {
+            let digest = arch_digest(&cs.capture(0), &cs.port.mem);
+            let faults = cs.port.fault_events_iter().count() as u64;
+            Status::Ok(vec![
+                ("cycles".into(), Val::U64(cycles)),
+                ("packets".into(), Val::U64(cs.stats.packets)),
+                ("halted".into(), Val::Bool(true)),
+                ("faults".into(), Val::U64(faults)),
+                ("digest".into(), Val::Str(digest)),
+            ])
+        }
+        Err(e) => sim_error(e),
+    }
+}
+
+fn sim_error(e: SimError) -> Status {
+    let kind = match &e {
+        SimError::Hang { .. } => "hang",
+        _ => "trap",
+    };
+    Status::Failed { kind: kind.into(), detail: e.to_string() }
+}
+
+/// FNV-1a over the full architectural state: one CPU context plus the
+/// canonical memory image. Equal digests mean equal machine states.
+pub fn arch_digest(cpu: &majc_core::CpuSnap, mem: &FlatMem) -> String {
+    let mut bytes = cpu.to_bytes();
+    bytes.extend_from_slice(&mem.to_snapshot());
+    format!("{:016x}", fnv1a(&bytes))
+}
+
+/// How one fuzz-side run ended, for outcome comparison.
+#[derive(Debug, PartialEq, Eq)]
+enum End {
+    Halted,
+    Budget,
+    Trap(String),
+}
+
+/// A seeded legal program for differential fuzzing. Same spirit as the
+/// bench fuzzer (which serve cannot depend on — bench hosts the
+/// experiments and depends on serve): flavor picks straight-line,
+/// +memory, or +control, register pool shape varies per case.
+pub fn fuzz_program(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+    let flavor = rng.index(4);
+    let cfg = GenCfg {
+        mem: flavor >= 1,
+        control: flavor >= 3,
+        locals: rng.flip(),
+        globals: 8 + rng.index(88) as u8,
+    };
+    let n = 1 + rng.index(40);
+    if !cfg.mem && !cfg.control {
+        return gen::straightline_program(&mut rng, n, &cfg);
+    }
+    let pkts: Vec<majc_isa::Packet> = (0..n)
+        .map(|_| gen::packet(&mut rng, &cfg))
+        .chain(std::iter::once(majc_isa::Packet::solo(majc_isa::Instr::Halt).expect("halt")))
+        .collect();
+    Program::new(0, pkts)
+}
+
+/// One differential fuzz case: run the seeded program on both engines
+/// (ideal memory, so timing cannot mask architectural bugs) and report
+/// the first divergence. A divergence is a *finding*, not a job failure.
+fn run_fuzz(seed: u64, budget: u64) -> Status {
+    let image = Arc::new(fuzz_program(seed));
+
+    let mut func = FuncSim::new(Arc::clone(&image), FlatMem::new());
+    let f_end = match func.run(budget) {
+        Ok(_) if func.halted() => End::Halted,
+        Ok(_) => End::Budget,
+        Err(t) => End::Trap(format!("{t:?}")),
+    };
+
+    let mut cyc = CycleSim::new(image, majc_core::PerfectPort::new(), TimingConfig::default());
+    let c_end = match cyc.run(budget) {
+        Ok(_) if cyc.halted() => End::Halted,
+        Ok(_) => End::Budget,
+        Err(SimError::Trap(t)) => End::Trap(format!("{t:?}")),
+        Err(e) => End::Trap(format!("{e:?}")),
+    };
+
+    let divergence = diff(&func, &cyc, &f_end, &c_end);
+    Status::Ok(vec![
+        ("packets".into(), Val::U64(func.stats.packets)),
+        ("cycles".into(), Val::U64(cyc.stats.cycles)),
+        ("diverged".into(), Val::Bool(divergence.is_some())),
+        ("divergence".into(), Val::Str(divergence.unwrap_or_default())),
+    ])
+}
+
+fn diff(
+    func: &FuncSim,
+    cyc: &CycleSim<majc_core::PerfectPort>,
+    f_end: &End,
+    c_end: &End,
+) -> Option<String> {
+    if f_end != c_end {
+        return Some(format!("outcome: func={f_end:?} cycle={c_end:?}"));
+    }
+    if !matches!(f_end, End::Trap(_)) && func.stats.packets != cyc.stats.packets {
+        return Some(format!("packets: func={} cycle={}", func.stats.packets, cyc.stats.packets));
+    }
+    let fr = func.regs.raw();
+    let cr = cyc.regs(0).raw();
+    if let Some(i) = (0..fr.len()).find(|&i| fr[i] != cr[i]) {
+        return Some(format!("reg[{i}]: func={:#010x} cycle={:#010x}", fr[i], cr[i]));
+    }
+    func.mem
+        .first_diff_detail(&cyc.port.mem)
+        .map(|d| format!("mem[{:#010x}]: func={:#04x} cycle={:#04x}", d.addr, d.lhs, d.rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Status;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::new()
+    }
+
+    #[test]
+    fn assemble_job_caches_on_source_digest() {
+        let c = ctx();
+        let src = "setlo g1, 5\nhalt\n";
+        let first = c.execute(&JobSpec::Assemble { source: src.into() }, None);
+        let again = c.execute(&JobSpec::Assemble { source: src.into() }, None);
+        let Status::Ok(f1) = &first else { panic!("{first:?}") };
+        let Status::Ok(f2) = &again else { panic!("{again:?}") };
+        assert_eq!(f1.iter().find(|(k, _)| k == "cached").unwrap().1, Val::Bool(false));
+        assert_eq!(f2.iter().find(|(k, _)| k == "cached").unwrap().1, Val::Bool(true));
+        assert_eq!(c.cache_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bad_source_is_a_structured_failure() {
+        let c = ctx();
+        let status = c.execute(&JobSpec::Assemble { source: "not an instruction".into() }, None);
+        assert!(matches!(status, Status::Failed { ref kind, .. } if kind == "asm"), "{status:?}");
+    }
+
+    #[test]
+    fn unknown_kernel_is_rejected() {
+        let c = ctx();
+        let spec = JobSpec::Simulate(SimSpec {
+            kernel: Some("warp-core".into()),
+            source: None,
+            engine: Engine::Func,
+            budget: 1000,
+            checkpoint: false,
+            resume: None,
+        });
+        assert!(matches!(c.execute(&spec, None), Status::Rejected { .. }));
+    }
+
+    #[test]
+    fn fuzz_cases_execute_and_agree() {
+        for seed in 0..8 {
+            let status = run_fuzz(seed, 20_000);
+            let Status::Ok(fields) = status else { panic!("fuzz {seed}: {status:?}") };
+            let diverged = fields.iter().find(|(k, _)| k == "diverged").unwrap();
+            assert_eq!(diverged.1, Val::Bool(false), "seed {seed} diverged");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # majc-serve
+//!
+//! A crash-safe simulation-as-a-service daemon for the MAJC-5200
+//! toolchain: assemble, lint, simulate, and fuzz jobs over a
+//! dependency-free TCP line protocol (std `TcpListener`, the in-tree
+//! JSON parser), with
+//!
+//! * a **bounded admission queue** whose backpressure is explicit — a
+//!   full queue answers `busy {retry_after_ms}` instead of buffering
+//!   ([`queue`], [`server`]);
+//! * **deterministic per-job deadlines** — packet/cycle budgets through
+//!   the watchdog, so a runaway program is a structured `hang` failure,
+//!   never a wedged worker ([`jobs`]);
+//! * **graceful drain** — in-flight jobs finish, the backlog is rejected
+//!   deterministically in admission order ([`server::ServerHandle::drain`]);
+//! * **checkpoint/restore** — digest-stamped architectural snapshots at
+//!   packet-boundary quiesce points; `restore(checkpoint(s))` replays to
+//!   the same architectural digests ([`checkpoint`]);
+//! * a **chaos harness** — seeded worker kills, fault-plan injection,
+//!   dropped and garbled connections, queue-full storms, with an
+//!   exactly-once delivery ledger ([`chaos`], [`load`]).
+
+pub mod chaos;
+pub mod checkpoint;
+pub mod client;
+pub mod jobs;
+pub mod load;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use chaos::{ChaosDecision, ChaosKill, ChaosPlan};
+pub use checkpoint::{Checkpoint, CheckpointStore, CKPT_MAGIC};
+pub use client::{Client, RetryOutcome};
+pub use jobs::{arch_digest, ExecCtx};
+pub use load::{run_load, LoadCfg, LoadReport};
+pub use proto::{Engine, JobSpec, Request, Response, SimSpec, Status, Val};
+pub use queue::{BoundedQueue, PushErr};
+pub use server::{retry_after_ms, start, CounterSnapshot, Counters, ServeConfig, ServerHandle};

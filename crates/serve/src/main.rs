@@ -1,0 +1,233 @@
+//! The `majc-serve` binary: daemon, one-shot client, and chaos load
+//! harness.
+//!
+//! ```text
+//! majc-serve serve  [--port P] [--workers N] [--queue D] [--chaos SEED]
+//! majc-serve submit --addr HOST:PORT (--source FILE --kind assemble|lint
+//!                   | --kernel NAME [--engine func|cycle] [--budget N])
+//! majc-serve load   [--addr HOST:PORT] [--clients C] [--jobs J] [--seed S]
+//!                   [--workers N] [--queue D] [--chaos SEED]
+//!                   [--out FILE] [--det-out FILE]
+//! majc-serve stats --addr HOST:PORT
+//! majc-serve shutdown --addr HOST:PORT
+//! ```
+//!
+//! `load` self-hosts a chaos server unless `--addr` points at one.
+//! Exit codes: 0 success, 1 exactly-once invariant violated, 2 usage.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use majc_serve::{
+    load, proto, server, ChaosPlan, Client, Engine, JobSpec, LoadCfg, Request, ServeConfig, SimSpec,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: majc-serve serve [--port P] [--workers N] [--queue D] [--chaos SEED]\n\
+         \x20      majc-serve submit --addr A (--source FILE --kind assemble|lint |\n\
+         \x20                                  --kernel NAME [--engine func|cycle] [--budget N])\n\
+         \x20      majc-serve load [--addr A] [--clients C] [--jobs J] [--seed S]\n\
+         \x20                      [--workers N] [--queue D] [--chaos SEED]\n\
+         \x20                      [--out FILE] [--det-out FILE]\n\
+         \x20      majc-serve stats --addr A\n\
+         \x20      majc-serve shutdown --addr A"
+    );
+    ExitCode::from(2)
+}
+
+/// `--flag value` pairs into (key, value); bare tokens are rejected.
+fn parse_flags(args: &[String]) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let val = it.next()?;
+        out.push((key.to_string(), val.clone()));
+    }
+    Some(out)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    flags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn flag_u64(flags: &[(String, String)], key: &str, default: u64) -> Result<u64, String> {
+    match flag(flags, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} wants a number, got `{v}`")),
+    }
+}
+
+fn parse_addr(flags: &[(String, String)]) -> Result<SocketAddr, String> {
+    let a = flag(flags, "addr").ok_or("missing --addr")?;
+    a.parse().map_err(|_| format!("bad --addr `{a}`"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { return usage() };
+    let Some(flags) = parse_flags(rest) else { return usage() };
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags),
+        "load" => cmd_load(&flags),
+        "stats" => cmd_oneshot(&flags, |id| Request::Stats { id }),
+        "shutdown" => cmd_oneshot(&flags, |id| Request::Shutdown { id }),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("majc-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn server_config(flags: &[(String, String)]) -> Result<ServeConfig, String> {
+    let workers = flag_u64(flags, "workers", 4)? as usize;
+    let queue_depth = flag_u64(flags, "queue", 64)? as usize;
+    let chaos = match flag(flags, "chaos") {
+        None => None,
+        Some(v) => Some(ChaosPlan::soak(
+            v.parse().map_err(|_| format!("--chaos wants a seed, got `{v}`"))?,
+        )),
+    };
+    Ok(ServeConfig { workers, queue_depth, chaos })
+}
+
+fn cmd_serve(flags: &[(String, String)]) -> Result<ExitCode, String> {
+    let port = flag_u64(flags, "port", 0)? as u16;
+    let cfg = server_config(flags)?;
+    let handle = server::start(port, cfg).map_err(|e| e.to_string())?;
+    println!("majc-serve listening on {}", handle.addr());
+    println!(
+        "workers={} queue={} chaos={}",
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.chaos.map_or("off".to_string(), |p| format!("seed {}", p.seed)),
+    );
+    // Runs until a client sends `shutdown` (the portable SIGTERM).
+    handle.join();
+    println!("drained; goodbye");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(flags: &[(String, String)]) -> Result<ExitCode, String> {
+    let addr = parse_addr(flags)?;
+    let spec = if let Some(path) = flag(flags, "source") {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        match flag(flags, "kind").unwrap_or("assemble") {
+            "assemble" => JobSpec::Assemble { source },
+            "lint" => JobSpec::Lint { source, strict: false },
+            other => return Err(format!("--kind `{other}` is not assemble|lint")),
+        }
+    } else if let Some(kernel) = flag(flags, "kernel") {
+        let engine = match flag(flags, "engine").unwrap_or("func") {
+            "func" => Engine::Func,
+            "cycle" => Engine::Cycle,
+            other => return Err(format!("--engine `{other}` is not func|cycle")),
+        };
+        JobSpec::Simulate(SimSpec {
+            kernel: Some(kernel.to_string()),
+            source: None,
+            engine,
+            budget: flag_u64(flags, "budget", 50_000_000)?,
+            checkpoint: false,
+            resume: None,
+        })
+    } else {
+        return Err("submit wants --source FILE or --kernel NAME".into());
+    };
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let req = Request::Job { id: "cli".into(), spec };
+    match client.submit_retry(&req, 100).map_err(|e| e.to_string())? {
+        majc_serve::RetryOutcome::Done { response, .. } => {
+            println!("{}", response.to_line());
+            Ok(match response.status {
+                proto::Status::Ok(_) => ExitCode::SUCCESS,
+                _ => ExitCode::FAILURE,
+            })
+        }
+        majc_serve::RetryOutcome::GaveUp { busy_retries } => {
+            Err(format!("server still busy after {busy_retries} retries"))
+        }
+    }
+}
+
+fn cmd_oneshot(
+    flags: &[(String, String)],
+    make: fn(String) -> Request,
+) -> Result<ExitCode, String> {
+    let addr = parse_addr(flags)?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client.request(&make("cli".into())).map_err(|e| e.to_string())?;
+    println!("{}", resp.to_line());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_load(flags: &[(String, String)]) -> Result<ExitCode, String> {
+    let cfg = LoadCfg {
+        clients: flag_u64(flags, "clients", 8)? as usize,
+        jobs_per_client: flag_u64(flags, "jobs", 50)? as usize,
+        seed: flag_u64(flags, "seed", 1)?,
+        ..LoadCfg::default()
+    };
+
+    // Self-host unless pointed at a live server.
+    let (addr, hosted) = match flag(flags, "addr") {
+        Some(a) => (a.parse().map_err(|_| format!("bad --addr `{a}`"))?, None),
+        None => {
+            let mut scfg = server_config(flags)?;
+            if scfg.chaos.is_none() {
+                scfg.chaos = Some(ChaosPlan::soak(cfg.seed));
+            }
+            let handle = server::start(0, scfg).map_err(|e| e.to_string())?;
+            println!(
+                "self-hosted chaos server on {} (workers={} queue={})",
+                handle.addr(),
+                scfg.workers,
+                scfg.queue_depth
+            );
+            (handle.addr(), Some(handle))
+        }
+    };
+
+    let report = load::run_load(addr, &cfg);
+    if let Some(handle) = hosted {
+        handle.shutdown();
+    }
+
+    println!("{}", report.to_json());
+    if let Some(path) = flag(flags, "out") {
+        write_file(path, &report.to_json())?;
+    }
+    if let Some(path) = flag(flags, "det-out") {
+        write_file(path, &report.det_json())?;
+    }
+    if report.exactly_once() {
+        println!(
+            "exactly-once holds: {} terminal, {} busy rounds, p50 {}us p99 {}us, {} jobs/s",
+            report.terminal(),
+            report.busy_rounds,
+            report.p50_us,
+            report.p99_us,
+            report.jobs_per_sec
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "EXACTLY-ONCE VIOLATED: lost={} duplicated={} wrong_id={}",
+            report.lost, report.duplicated, report.wrong_id
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn write_file(path: &str, content: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, content).map_err(|e| format!("{path}: {e}"))
+}

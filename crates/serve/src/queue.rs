@@ -1,0 +1,203 @@
+//! The bounded admission queue: explicit backpressure instead of
+//! unbounded buffering.
+//!
+//! A connection thread calls [`BoundedQueue::try_push`]; when the queue
+//! is at capacity the push fails *immediately* and the caller turns that
+//! into a structured `busy` response — the client, not the server, owns
+//! the retry. Workers block in [`BoundedQueue::pop`]. [`BoundedQueue::close`]
+//! flips the queue into draining: every queued item is handed back to the
+//! closer (to be rejected deterministically), further pushes fail, and
+//! blocked workers wake and see end-of-work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushErr<T> {
+    /// At capacity — backpressure; retry later.
+    Full(T),
+    /// Closed for drain — never retry.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue (mutex + condvar; no channels, so the
+/// depth is observable and close can hand queued items back).
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    takers: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "a zero-capacity queue admits nothing");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            takers: Condvar::new(),
+        }
+    }
+
+    /// A poisoned mutex here means a *holder* of this short internal lock
+    /// panicked, which no code path does (job execution never runs under
+    /// it); recover the guard rather than wedging the daemon.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queued (not yet popped) items right now.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Admit an item, or refuse without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushErr<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushErr::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushErr::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Take the next item, blocking while the queue is open and empty.
+    /// `None` means closed: no more work will ever arrive.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.takers.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Close for drain: wake every blocked worker and hand back whatever
+    /// was still queued, in admission order, so the caller can reject
+    /// each one deterministically.
+    pub fn close(&self) -> Vec<T> {
+        let mut st = self.lock();
+        st.closed = true;
+        let drained = st.items.drain(..).collect();
+        drop(st);
+        self.takers.notify_all();
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(PushErr::Full(3)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn close_hands_back_queued_items_and_wakes_poppers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // Drain the two live items, then block until close.
+                let a = q.pop();
+                let b = q.pop();
+                let end = q.pop();
+                (a, b, end)
+            })
+        };
+        // Give the waiter a chance to drain and block; close must wake it.
+        while q.depth() > 0 {
+            std::thread::yield_now();
+        }
+        let drained = q.close();
+        assert_eq!(drained, Vec::<i32>::new());
+        assert_eq!(waiter.join().unwrap(), (Some(10), Some(11), None));
+        assert_eq!(q.try_push(12), Err(PushErr::Closed(12)));
+    }
+
+    #[test]
+    fn close_with_backlog_returns_admission_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.close(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        let mut v = p * 1000 + i;
+                        loop {
+                            match q.try_push(v) {
+                                Ok(()) => break,
+                                Err(PushErr::Full(back)) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushErr::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Close may race consumers still draining: whatever it hands back
+        // plus whatever consumers got must be exactly the produced set.
+        let mut all = q.close();
+        all.extend(consumers.into_iter().flat_map(|c| c.join().unwrap()));
+        all.sort_unstable();
+        let want: Vec<i32> = (0..4).flat_map(|p| (0..250).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, want, "every produced item consumed exactly once");
+    }
+}

@@ -1,0 +1,404 @@
+//! The daemon: acceptor, connection threads, the bounded admission
+//! queue, resident crash-safe workers, and the respawn monitor.
+//!
+//! Thread anatomy:
+//!
+//! * **acceptor** — accepts connections until drain; each connection gets
+//!   a reader (the connection thread itself) and a writer thread fed by
+//!   an in-process channel, so worker completions and connection-thread
+//!   rejections serialize onto the socket without interleaving.
+//! * **workers** — pop jobs, execute under `catch_unwind`, send exactly
+//!   one response per job. A panicking job (chaos kill or a genuine bug)
+//!   still answers — `worker_killed` — and only then does the thread die.
+//! * **monitor** — respawns dead workers while the server is live;
+//!   accounts worker exits during drain and ends when the last one is
+//!   gone.
+//!
+//! Backpressure is the client's problem by design: a full queue answers
+//! `busy {retry_after_ms}` immediately and nothing server-side blocks or
+//! buffers unboundedly.
+
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::chaos::{ChaosKill, ChaosPlan};
+use crate::jobs::ExecCtx;
+use crate::proto::{JobSpec, Request, Response, Status, Val};
+use crate::queue::{BoundedQueue, PushErr};
+
+/// Deterministic backoff for a full queue: one millisecond per occupied
+/// slot. A pure function of capacity, so two runs of the same load
+/// against the same config see identical `busy` responses.
+pub fn retry_after_ms(queue_capacity: usize) -> u64 {
+    (queue_capacity as u64).max(1)
+}
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    pub workers: usize,
+    pub queue_depth: usize,
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { workers: 4, queue_depth: 64, chaos: None }
+    }
+}
+
+/// Monotonic counters, exported by the `stats` request.
+#[derive(Default)]
+pub struct Counters {
+    pub admitted: AtomicU64,
+    pub ok: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub busy: AtomicU64,
+    pub drain_rejected: AtomicU64,
+    pub parse_errors: AtomicU64,
+    pub panics: AtomicU64,
+    pub respawns: AtomicU64,
+    /// Responses whose client had already disconnected.
+    pub abandoned: AtomicU64,
+}
+
+/// A plain snapshot of [`Counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub admitted: u64,
+    pub ok: u64,
+    pub failed: u64,
+    pub rejected: u64,
+    pub busy: u64,
+    pub drain_rejected: u64,
+    pub parse_errors: u64,
+    pub panics: u64,
+    pub respawns: u64,
+    pub abandoned: u64,
+}
+
+impl Counters {
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            drain_rejected: self.drain_rejected.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CounterSnapshot {
+    /// Every admitted job must end in exactly one of the terminal
+    /// buckets — the server-side half of the exactly-once invariant.
+    pub fn terminal(&self) -> u64 {
+        self.ok + self.failed + self.rejected + self.drain_rejected
+    }
+}
+
+/// One queued unit of work, carrying its reply channel.
+struct Job {
+    id: String,
+    spec: JobSpec,
+    resp: mpsc::Sender<Response>,
+}
+
+enum WorkerEvent {
+    /// Thread died after a panic; respawn unless draining.
+    Died,
+    /// Thread exited normally (queue closed).
+    Exited,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    queue: BoundedQueue<Job>,
+    ctx: ExecCtx,
+    counters: Counters,
+    draining: AtomicBool,
+    /// Worker-side job sequence; feeds the chaos plan.
+    job_seq: AtomicU64,
+    events: mpsc::Sender<WorkerEvent>,
+}
+
+impl Shared {
+    /// Begin graceful drain exactly once: stop admitting, deterministically
+    /// reject the backlog in admission order, wake the acceptor.
+    fn drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for job in self.queue.close() {
+            self.counters.drain_rejected.fetch_add(1, Ordering::Relaxed);
+            if job.resp.send(Response::rejected(&job.id, "drained")).is_err() {
+                self.counters.abandoned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // The acceptor blocks in accept(); a no-op connection unblocks it
+        // so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats_response(&self, id: &str) -> Response {
+        let c = self.counters.snapshot();
+        Response::ok(
+            id,
+            vec![
+                ("workers".into(), Val::U64(self.cfg.workers as u64)),
+                ("queue_capacity".into(), Val::U64(self.queue.capacity() as u64)),
+                ("queue_depth".into(), Val::U64(self.queue.depth() as u64)),
+                ("admitted".into(), Val::U64(c.admitted)),
+                ("ok".into(), Val::U64(c.ok)),
+                ("failed".into(), Val::U64(c.failed)),
+                ("rejected".into(), Val::U64(c.rejected)),
+                ("busy".into(), Val::U64(c.busy)),
+                ("drain_rejected".into(), Val::U64(c.drain_rejected)),
+                ("parse_errors".into(), Val::U64(c.parse_errors)),
+                ("panics".into(), Val::U64(c.panics)),
+                ("respawns".into(), Val::U64(c.respawns)),
+                ("cache_hits".into(), Val::U64(self.ctx.cache_hits.load(Ordering::Relaxed))),
+                ("checkpoints".into(), Val::U64(self.ctx.checkpoints.len() as u64)),
+            ],
+        )
+    }
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    monitor: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn counters(&self) -> CounterSnapshot {
+        self.shared.counters.snapshot()
+    }
+
+    /// Programmatic graceful shutdown (same path as the `shutdown`
+    /// request — the portable stand-in for SIGTERM).
+    pub fn drain(&self) {
+        self.shared.drain();
+    }
+
+    /// Wait for drain to complete: every worker gone, acceptor closed.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        let _ = self.monitor.join();
+    }
+
+    /// Drain and wait.
+    pub fn shutdown(self) {
+        self.drain();
+        self.join();
+    }
+}
+
+/// Suppress backtrace spam from intentional chaos kills; everything else
+/// still reaches the previous hook. Installed once per process.
+fn install_quiet_kill_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ChaosKill>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Bind and start the daemon on `127.0.0.1` (port 0 = ephemeral).
+pub fn start(port: u16, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    assert!(cfg.workers > 0, "a daemon with no workers serves nothing");
+    if cfg.chaos.is_some() {
+        install_quiet_kill_hook();
+    }
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let (events, event_rx) = mpsc::channel();
+    let shared = Arc::new(Shared {
+        cfg,
+        addr,
+        queue: BoundedQueue::new(cfg.queue_depth),
+        ctx: ExecCtx::new(),
+        counters: Counters::default(),
+        draining: AtomicBool::new(false),
+        job_seq: AtomicU64::new(0),
+        events,
+    });
+
+    for _ in 0..cfg.workers {
+        spawn_worker(&shared);
+    }
+    let monitor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || monitor_loop(&shared, &event_rx))
+    };
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&shared, &listener))
+    };
+    Ok(ServerHandle { addr, shared, acceptor, monitor })
+}
+
+fn spawn_worker(shared: &Arc<Shared>) {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || worker_loop(&shared));
+}
+
+/// Keep the worker pool at strength: respawn after panics until drain,
+/// then count the pool down to zero.
+fn monitor_loop(shared: &Arc<Shared>, events: &mpsc::Receiver<WorkerEvent>) {
+    let mut alive = shared.cfg.workers;
+    while alive > 0 {
+        match events.recv() {
+            Ok(WorkerEvent::Died) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    alive -= 1;
+                } else {
+                    shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                    spawn_worker(shared);
+                }
+            }
+            Ok(WorkerEvent::Exited) => alive -= 1,
+            // All senders gone can only happen once every worker exited.
+            Err(_) => break,
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let seq = shared.job_seq.fetch_add(1, Ordering::SeqCst);
+        let decision = shared.cfg.chaos.map(|p| p.decide(seq));
+        let fault_seed = decision.and_then(|d| d.fault_seed);
+        let kill = decision.is_some_and(|d| d.kill);
+
+        // The job body owns no locks, so a panic here cannot poison
+        // anything; it is caught and answered like any other failure.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if kill {
+                std::panic::panic_any(ChaosKill);
+            }
+            shared.ctx.execute(&job.spec, fault_seed)
+        }));
+        let (status, died) = match outcome {
+            Ok(status) => (status, false),
+            Err(payload) => {
+                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                let detail = if payload.downcast_ref::<ChaosKill>().is_some() {
+                    "chaos kill: worker thread terminated mid-job".to_string()
+                } else {
+                    "job panicked; worker replaced".to_string()
+                };
+                (Status::Failed { kind: "worker_killed".into(), detail }, true)
+            }
+        };
+        match &status {
+            Status::Ok(_) => shared.counters.ok.fetch_add(1, Ordering::Relaxed),
+            Status::Failed { .. } => shared.counters.failed.fetch_add(1, Ordering::Relaxed),
+            Status::Rejected { .. } => shared.counters.rejected.fetch_add(1, Ordering::Relaxed),
+            Status::Busy { .. } => unreachable!("workers never emit busy"),
+        };
+        if job.resp.send(Response { id: job.id, status }).is_err() {
+            shared.counters.abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+        if died {
+            let _ = shared.events.send(WorkerEvent::Died);
+            return;
+        }
+    }
+    let _ = shared.events.send(WorkerEvent::Exited);
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_conn(&shared, stream));
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx) = mpsc::channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        for resp in rx {
+            if writeln!(out, "{}", resp.to_line()).is_err() || out.flush().is_err() {
+                // Client went away; dropping the receiver makes further
+                // job sends fail fast, where they are counted abandoned.
+                break;
+            }
+        }
+    });
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::parse_line(&line) {
+            Err(e) => {
+                shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Response::failed("", "parse", e));
+                continue;
+            }
+            Ok(req) => req,
+        };
+        match req {
+            Request::Stats { id } => {
+                let _ = tx.send(shared.stats_response(&id));
+            }
+            Request::Shutdown { id } => {
+                let _ = tx.send(Response::ok(&id, vec![("draining".into(), Val::Bool(true))]));
+                shared.drain();
+            }
+            Request::Job { id, spec } => {
+                let job = Job { id, spec, resp: tx.clone() };
+                match shared.queue.try_push(job) {
+                    Ok(()) => {
+                        shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(PushErr::Full(job)) => {
+                        shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Response {
+                            id: job.id,
+                            status: Status::Busy {
+                                retry_after_ms: retry_after_ms(shared.queue.capacity()),
+                            },
+                        });
+                    }
+                    Err(PushErr::Closed(job)) => {
+                        shared.counters.drain_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Response::rejected(&job.id, "draining"));
+                    }
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}

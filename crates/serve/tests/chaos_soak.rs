@@ -1,0 +1,82 @@
+//! The reduced-scale chaos soak: many concurrent clients firing short
+//! jobs at a server whose chaos plan kills worker threads mid-job and
+//! arms memory fault injection, while clients drop connections in
+//! flight and garble lines. The invariant under all of it: **zero lost,
+//! zero duplicated** job results — every awaited job answered exactly
+//! once. CI runs this same harness at larger scale via
+//! `majc-serve load`.
+
+use std::time::Duration;
+
+use majc_serve::{run_load, server, ChaosPlan, LoadCfg, ServeConfig};
+
+fn soak(server_cfg: ServeConfig, load_cfg: LoadCfg) -> majc_serve::LoadReport {
+    let handle = server::start(0, server_cfg).expect("bind localhost");
+    let report = run_load(handle.addr(), &load_cfg);
+    handle.shutdown();
+    report
+}
+
+/// Every client job slot ends in exactly one bucket.
+fn assert_ledger_balances(r: &majc_serve::LoadReport) {
+    assert!(r.exactly_once(), "lost={} dup={} wrong={}", r.lost, r.duplicated, r.wrong_id);
+    assert_eq!(
+        r.terminal() + r.gave_up + r.dropped_inflight + r.lost,
+        r.clients * r.jobs_per_client,
+        "ledger does not balance: {r:?}"
+    );
+}
+
+#[test]
+fn chaos_soak_delivers_exactly_once() {
+    let report = soak(
+        ServeConfig {
+            workers: 3,
+            queue_depth: 8,
+            // Aggressive kill rate so the respawn path is exercised even
+            // at reduced scale.
+            chaos: Some(ChaosPlan { seed: 1234, kill_per_mille: 60, fault_per_mille: 150 }),
+        },
+        LoadCfg {
+            clients: 6,
+            jobs_per_client: 35,
+            seed: 42,
+            drop_per_mille: 25,
+            garble_per_mille: 25,
+            max_busy_retries: 500,
+            lost_timeout: Duration::from_secs(120),
+        },
+    );
+    assert_ledger_balances(&report);
+    assert!(report.ok > 0, "some jobs succeed: {report:?}");
+    assert!(
+        report.server.panics > 0,
+        "kill rate 6% over ~200 jobs must kill at least once: {report:?}"
+    );
+    assert!(
+        report.server.respawns + report.server.panics > 0
+            && report.server.respawns <= report.server.panics,
+        "every respawn answers a panic: {report:?}"
+    );
+    assert_eq!(report.garbled_sent, report.garbled_acked, "every garble acked: {report:?}");
+}
+
+#[test]
+fn queue_full_storm_backpressure_not_loss() {
+    let report = soak(
+        ServeConfig { workers: 1, queue_depth: 1, chaos: None },
+        LoadCfg {
+            clients: 6,
+            jobs_per_client: 12,
+            seed: 7,
+            drop_per_mille: 0,
+            garble_per_mille: 0,
+            max_busy_retries: 5_000,
+            lost_timeout: Duration::from_secs(120),
+        },
+    );
+    assert_ledger_balances(&report);
+    assert!(report.busy_rounds > 0, "six clients vs one slot must collide: {report:?}");
+    assert_eq!(report.gave_up, 0, "retry budget generous enough: {report:?}");
+    assert_eq!(report.server.panics, 0, "no chaos, no panics");
+}

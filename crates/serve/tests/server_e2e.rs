@@ -1,0 +1,339 @@
+//! End-to-end daemon tests over real sockets: every job kind, the
+//! watchdog-backed deadline path, backpressure, graceful drain, and
+//! checkpoint/resume digest equality — including resuming a func-engine
+//! checkpoint on the cycle engine (both execute the same `exec_slot`
+//! semantics, so the architectural digest must agree).
+
+use std::time::Duration;
+
+use majc_serve::{
+    server, Client, Engine, JobSpec, Request, Response, ServeConfig, SimSpec, Status, Val,
+};
+
+fn start(workers: usize, queue_depth: usize) -> server::ServerHandle {
+    server::start(0, ServeConfig { workers, queue_depth, chaos: None }).expect("bind localhost")
+}
+
+fn job(id: &str, spec: JobSpec) -> Request {
+    Request::Job { id: id.into(), spec }
+}
+
+fn sim_kernel(name: &str, engine: Engine, budget: u64) -> JobSpec {
+    JobSpec::Simulate(SimSpec {
+        kernel: Some(name.into()),
+        source: None,
+        engine,
+        budget,
+        checkpoint: false,
+        resume: None,
+    })
+}
+
+fn ok_fields(resp: &Response) -> &[(String, Val)] {
+    match &resp.status {
+        Status::Ok(fields) => fields,
+        other => panic!("expected ok, got {other:?} (id {})", resp.id),
+    }
+}
+
+fn field_str<'a>(resp: &'a Response, name: &str) -> &'a str {
+    resp.field(name).and_then(Val::as_str).unwrap_or_else(|| panic!("missing {name}: {resp:?}"))
+}
+
+/// A countdown nest: `outer * 30_000 * 2 + outer * 2 + 2` packets, no
+/// memory traffic — slow enough to hold a worker busy in debug builds.
+fn slow_source(outer: u32) -> String {
+    format!(
+        "setlo g2, {outer}\n\
+         outer: setlo g1, 30000\n\
+         inner: sub g1, g1, 1\n\
+         br.gt.t g1, inner\n\
+         sub g2, g2, 1\n\
+         br.gt.t g2, outer\n\
+         halt\n"
+    )
+}
+
+fn slow_job(id: &str, outer: u32) -> Request {
+    job(
+        id,
+        JobSpec::Simulate(SimSpec {
+            kernel: None,
+            source: Some(slow_source(outer)),
+            engine: Engine::Func,
+            budget: 1_000_000_000,
+            checkpoint: false,
+            resume: None,
+        }),
+    )
+}
+
+#[test]
+fn every_job_kind_round_trips() {
+    let handle = start(2, 16);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Assemble: second submission of identical source hits the cache.
+    let src = "setlo g1, 41\nadd g1, g1, 1\nhalt\n";
+    let r = c.request(&job("a1", JobSpec::Assemble { source: src.into() })).unwrap();
+    assert_eq!(r.id, "a1");
+    assert_eq!(r.field("packets").and_then(Val::as_u64), Some(3));
+    let r2 = c.request(&job("a2", JobSpec::Assemble { source: src.into() })).unwrap();
+    assert_eq!(r2.field("cached"), Some(&Val::Bool(true)));
+
+    // Assemble failure is structured, not fatal.
+    let r = c.request(&job("a3", JobSpec::Assemble { source: "warp 9\n".into() })).unwrap();
+    assert!(matches!(&r.status, Status::Failed { kind, .. } if kind == "asm"), "{r:?}");
+
+    // Lint.
+    let r = c.request(&job("l1", JobSpec::Lint { source: src.into(), strict: false })).unwrap();
+    assert_eq!(r.field("clean"), Some(&Val::Bool(true)), "{r:?}");
+
+    // Simulate a suite kernel on both engines; func digest is stable.
+    let r = c.request(&job("s1", sim_kernel("fir", Engine::Func, 10_000_000))).unwrap();
+    assert_eq!(r.field("halted"), Some(&Val::Bool(true)), "{r:?}");
+    let d1 = field_str(&r, "digest").to_string();
+    let r = c.request(&job("s2", sim_kernel("fir", Engine::Func, 10_000_000))).unwrap();
+    assert_eq!(field_str(&r, "digest"), d1, "same kernel, same digest");
+    let r = c.request(&job("s3", sim_kernel("biquad", Engine::Cycle, 50_000_000))).unwrap();
+    assert!(r.field("cycles").and_then(Val::as_u64).unwrap() > 0, "{r:?}");
+
+    // Unknown kernel: deterministic rejection.
+    let r = c.request(&job("s4", sim_kernel("warp-core", Engine::Func, 1_000))).unwrap();
+    assert!(matches!(&r.status, Status::Rejected { reason } if reason.contains("warp-core")));
+
+    // Fuzz.
+    let r = c.request(&job("f1", JobSpec::Fuzz { seed: 11, budget: 20_000 })).unwrap();
+    assert_eq!(r.field("diverged"), Some(&Val::Bool(false)), "{r:?}");
+
+    // Stats sees the traffic.
+    let r = c.request(&Request::Stats { id: "st".into() }).unwrap();
+    let admitted = r.field("admitted").and_then(Val::as_u64).unwrap();
+    assert!(admitted >= 8, "stats counted {admitted} admissions");
+    assert!(ok_fields(&r).iter().any(|(k, _)| k == "queue_capacity"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_turns_runaway_programs_into_structured_hang() {
+    let handle = start(1, 4);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let spin = "spin: setlo g1, 1\nbr.gt.t g1, spin\nhalt\n";
+    for (id, engine, budget) in [("h1", Engine::Func, 5_000), ("h2", Engine::Cycle, 5_000)] {
+        let r = c
+            .request(&job(
+                id,
+                JobSpec::Simulate(SimSpec {
+                    kernel: None,
+                    source: Some(spin.into()),
+                    engine,
+                    budget,
+                    checkpoint: false,
+                    resume: None,
+                }),
+            ))
+            .unwrap();
+        match &r.status {
+            Status::Failed { kind, detail } => {
+                assert_eq!(kind, "hang", "{engine:?}: {detail}");
+                assert!(detail.contains("0x"), "hang names the stuck pc: {detail}");
+            }
+            other => panic!("{engine:?}: expected hang, got {other:?}"),
+        }
+    }
+    // The worker survived both hangs and still serves.
+    let r = c.request(&job("after", sim_kernel("maxsearch", Engine::Func, 1_000_000))).unwrap();
+    assert_eq!(r.field("halted"), Some(&Val::Bool(true)), "{r:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_answers_busy_with_declared_backoff() {
+    let handle = start(1, 1);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Occupy the single worker, then the single queue slot.
+    c.send(&slow_job("occupy", 150)).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // worker pops it
+    c.send(&slow_job("queued", 1)).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // reaches the queue
+    c.send(&job("turned-away", JobSpec::Fuzz { seed: 1, budget: 100 })).unwrap();
+
+    // The busy answer comes from the connection thread immediately; the
+    // two slow jobs complete later. Collect all three by id.
+    let mut statuses = std::collections::HashMap::new();
+    for _ in 0..3 {
+        let r = c.recv().unwrap();
+        statuses.insert(r.id.clone(), r.status);
+    }
+    match &statuses["turned-away"] {
+        Status::Busy { retry_after_ms } => {
+            assert_eq!(*retry_after_ms, majc_serve::retry_after_ms(1), "declared backoff");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert!(matches!(statuses["occupy"], Status::Ok(_)));
+    assert!(matches!(statuses["queued"], Status::Ok(_)));
+
+    // After the storm, a retry is admitted.
+    let r = c.request(&job("retry", JobSpec::Fuzz { seed: 1, budget: 100 })).unwrap();
+    assert!(matches!(r.status, Status::Ok(_)), "{r:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_and_rejects_backlog() {
+    let handle = start(1, 4);
+    let mut a = Client::connect(handle.addr()).unwrap();
+
+    // One long job in flight, two queued behind it.
+    a.send(&slow_job("inflight", 150)).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    a.send(&slow_job("backlog-1", 1)).unwrap();
+    a.send(&slow_job("backlog-2", 1)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Shutdown arrives on a second connection (like an operator would).
+    let mut b = Client::connect(handle.addr()).unwrap();
+    let r = b.request(&Request::Shutdown { id: "op".into() }).unwrap();
+    assert!(matches!(r.status, Status::Ok(_)));
+
+    let mut statuses = std::collections::HashMap::new();
+    for _ in 0..3 {
+        let r = a.recv().unwrap();
+        statuses.insert(r.id.clone(), r.status);
+    }
+    assert!(
+        matches!(statuses["inflight"], Status::Ok(_)),
+        "in-flight work finishes: {:?}",
+        statuses["inflight"]
+    );
+    for id in ["backlog-1", "backlog-2"] {
+        assert!(
+            matches!(&statuses[id], Status::Rejected { reason } if reason == "drained"),
+            "{id}: {:?}",
+            statuses[id]
+        );
+    }
+
+    // Jobs submitted on a surviving connection during drain are refused.
+    a.send(&job("late", JobSpec::Fuzz { seed: 2, budget: 100 })).unwrap();
+    let r = a.recv().unwrap();
+    assert!(matches!(&r.status, Status::Rejected { reason } if reason == "draining"), "{r:?}");
+
+    let drained = handle.counters();
+    assert_eq!(drained.drain_rejected, 3, "two backlog + one late");
+    handle.join(); // terminates: workers exited, acceptor woken
+}
+
+#[test]
+fn checkpoint_resume_replays_to_identical_digests() {
+    let handle = start(2, 8);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let src = slow_source(2); // ~120k packets, no memory traffic
+
+    // Uninterrupted reference digest.
+    let whole = c
+        .request(&job(
+            "whole",
+            JobSpec::Simulate(SimSpec {
+                kernel: None,
+                source: Some(src.clone()),
+                engine: Engine::Func,
+                budget: 100_000_000,
+                checkpoint: false,
+                resume: None,
+            }),
+        ))
+        .unwrap();
+    let want = field_str(&whole, "digest").to_string();
+
+    // Phase 1: stop at a packet boundary mid-run and checkpoint.
+    let phase1 = c
+        .request(&job(
+            "phase1",
+            JobSpec::Simulate(SimSpec {
+                kernel: None,
+                source: Some(src.clone()),
+                engine: Engine::Func,
+                budget: 10_000,
+                checkpoint: true,
+                resume: None,
+            }),
+        ))
+        .unwrap();
+    assert_eq!(phase1.field("halted"), Some(&Val::Bool(false)), "{phase1:?}");
+    let ckpt = field_str(&phase1, "checkpoint").to_string();
+
+    // Phase 2, twice: resume must be deterministic and match the
+    // uninterrupted digest.
+    for id in ["resume-a", "resume-b"] {
+        let r = c
+            .request(&job(
+                id,
+                JobSpec::Simulate(SimSpec {
+                    kernel: None,
+                    source: Some(src.clone()),
+                    engine: Engine::Func,
+                    budget: 100_000_000,
+                    checkpoint: false,
+                    resume: Some(ckpt.clone()),
+                }),
+            ))
+            .unwrap();
+        assert_eq!(r.field("halted"), Some(&Val::Bool(true)), "{r:?}");
+        assert_eq!(field_str(&r, "digest"), want, "{id}: split run diverged");
+    }
+
+    // Cross-engine: the cycle engine resumes the same checkpoint to the
+    // same architectural digest (timing differs, architecture cannot).
+    let r = c
+        .request(&job(
+            "resume-cycle",
+            JobSpec::Simulate(SimSpec {
+                kernel: None,
+                source: Some(src.clone()),
+                engine: Engine::Cycle,
+                budget: 1_000_000_000,
+                checkpoint: false,
+                resume: Some(ckpt.clone()),
+            }),
+        ))
+        .unwrap();
+    assert_eq!(field_str(&r, "digest"), want, "cycle-engine resume diverged: {r:?}");
+
+    // Unknown checkpoint ids are structured failures.
+    let r = c
+        .request(&job(
+            "bad-resume",
+            JobSpec::Simulate(SimSpec {
+                kernel: None,
+                source: Some(src),
+                engine: Engine::Func,
+                budget: 1_000,
+                checkpoint: false,
+                resume: Some("feedfacefeedface".into()),
+            }),
+        ))
+        .unwrap();
+    assert!(matches!(&r.status, Status::Failed { kind, .. } if kind == "bad_request"), "{r:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn garbled_lines_get_structured_parse_failures() {
+    let handle = start(1, 4);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.send_raw(b"}}} not json at all\n").unwrap();
+    let r = c.recv().unwrap();
+    assert_eq!(r.id, "", "parse failures carry a null id");
+    assert!(matches!(&r.status, Status::Failed { kind, .. } if kind == "parse"), "{r:?}");
+
+    // The connection survives garbage.
+    let r = c.request(&job("after-garbage", JobSpec::Fuzz { seed: 3, budget: 100 })).unwrap();
+    assert!(matches!(r.status, Status::Ok(_)), "{r:?}");
+    assert_eq!(handle.counters().parse_errors, 1);
+    handle.shutdown();
+}

@@ -24,8 +24,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use majc_core::{
-    Completion, CpuCore, Event, MemLevelStats, MemPort, MemReq, MemResp, NullSink, Reject, ReqPort,
-    Served, SimError, TimingConfig, TraceSink,
+    Completion, CpuCore, CpuSnap, Event, MemLevelStats, MemPort, MemReq, MemResp, NullSink, Reject,
+    ReqPort, Served, SimError, TimingConfig, TraceSink,
 };
 use majc_isa::Program;
 use majc_mem::{DCache, DKind, DStall, FaultEvent, FaultPlan, FaultSite, FlatMem, ICache};
@@ -308,12 +308,38 @@ pub struct Majc5200<S: TraceSink = NullSink> {
     max_cycles: u64,
 }
 
+/// The complete architectural state of the chip at a quiesce point: both
+/// CPUs' context-0 state plus the shared memory image. This is what a
+/// checkpoint serializes — a restored chip replays bit-identically (the
+/// micro-architecture re-fills cold, the architecture continues exactly).
+#[derive(Clone)]
+pub struct ChipState {
+    pub cpus: [CpuSnap; 2],
+    pub mem: FlatMem,
+}
+
 impl Majc5200 {
     /// Build with one program per CPU over a shared memory image. Each
     /// program may be an owned [`Program`] or an [`Arc<Program>`]
     /// (shared read-only images across a simulation farm).
     pub fn new<P: Into<Arc<Program>>>(progs: [P; 2], mem: FlatMem, cfg: TimingConfig) -> Majc5200 {
         Majc5200::with_sinks(progs, mem, cfg, [NullSink, NullSink])
+    }
+
+    /// Rebuild a chip from a captured [`ChipState`]: fresh timing state
+    /// (cold caches, reset predictors), restored architectural state. The
+    /// programs may differ from the captured run's — that is how a long
+    /// phase-structured run is split across farm workers.
+    pub fn resume<P: Into<Arc<Program>>>(
+        progs: [P; 2],
+        state: &ChipState,
+        cfg: TimingConfig,
+    ) -> Majc5200 {
+        let mut chip = Majc5200::new(progs, state.mem.clone(), cfg);
+        for (core, snap) in chip.cpu.iter_mut().zip(&state.cpus) {
+            core.restore_context(0, snap);
+        }
+        chip
     }
 }
 
@@ -346,6 +372,17 @@ impl<S: TraceSink> Majc5200<S> {
     /// Arm deterministic fault injection at every memory-side site.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         self.chip.apply_fault_plan(plan);
+    }
+
+    /// Capture the chip's architectural state (both CPUs' context 0 plus
+    /// the shared memory). Call at a quiesce point — both CPUs at a
+    /// packet boundary, typically after [`Majc5200::run`] returns — so
+    /// no in-flight pipeline state is lost.
+    pub fn capture_arch(&self) -> ChipState {
+        ChipState {
+            cpus: [self.cpu[0].capture(0), self.cpu[1].capture(0)],
+            mem: self.chip.mem.clone(),
+        }
     }
 
     /// The PCs of all CPUs still executing — the hang diagnosis.

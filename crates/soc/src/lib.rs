@@ -14,7 +14,7 @@ pub mod dte;
 pub mod gpp;
 pub mod io;
 
-pub use chip::{ChipMem, ChipMemStats, ChipPort, Majc5200};
+pub use chip::{ChipMem, ChipMemStats, ChipPort, ChipState, Majc5200};
 pub use crossbar::{Crossbar, Routed, Source, SourceStats, XbarGrantRec};
 pub use dte::{DmaResult, Dte, Endpoint};
 pub use gpp::{run_scene, GppConfig, GppRun};

@@ -1,0 +1,150 @@
+//! Dual-CPU checkpoint/restore: a long run split at a quiesce point and
+//! resumed from the captured [`ChipState`] must reproduce the
+//! architectural results of the uninterrupted run bit-for-bit, and
+//! resuming the same checkpoint twice must be deterministic.
+
+use majc_asm::Asm;
+use majc_core::TimingConfig;
+use majc_isa::{AluOp, CachePolicy, Cond, Instr, MemWidth, Off, Program, Reg, Src};
+use majc_mem::FlatMem;
+use majc_soc::Majc5200;
+
+const OUT0: u32 = 0x0003_0000;
+const OUT1: u32 = 0x0003_0100;
+
+/// Phase 1 of CPU `cpu`: accumulate `1..=n` into g1 and store it.
+fn phase1(base: u32, out: u32, n: i16) -> Program {
+    let mut a = Asm::new(base);
+    a.set32(Reg::g(0), out);
+    a.op(Instr::SetLo { rd: Reg::g(2), imm: n });
+    a.label("loop");
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Reg(Reg::g(2)) });
+    a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
+    a.br(Cond::Gt, Reg::g(2), "loop", true);
+    a.op(Instr::St {
+        w: MemWidth::W,
+        pol: CachePolicy::Cached,
+        rs: Reg::g(1),
+        base: Reg::g(0),
+        off: Off::Imm(0),
+    });
+    a.op(Instr::Halt);
+    a.finish().unwrap()
+}
+
+/// Phase 2: triple the phase-1 accumulator (still live in g1 — the
+/// checkpoint carries registers across the split) and store it next door.
+fn phase2(base: u32) -> Program {
+    let mut a = Asm::new(base);
+    a.op(Instr::Alu { op: AluOp::Sll, rd: Reg::g(3), rs1: Reg::g(1), src2: Src::Imm(1) });
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(3), src2: Src::Reg(Reg::g(1)) });
+    a.op(Instr::St {
+        w: MemWidth::W,
+        pol: CachePolicy::Cached,
+        rs: Reg::g(3),
+        base: Reg::g(0),
+        off: Off::Imm(4),
+    });
+    a.op(Instr::Halt);
+    a.finish().unwrap()
+}
+
+/// Both phases in one image — the uninterrupted reference run.
+fn monolithic(base: u32, out: u32, n: i16) -> Program {
+    let mut a = Asm::new(base);
+    a.set32(Reg::g(0), out);
+    a.op(Instr::SetLo { rd: Reg::g(2), imm: n });
+    a.label("loop");
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(1), rs1: Reg::g(1), src2: Src::Reg(Reg::g(2)) });
+    a.op(Instr::Alu { op: AluOp::Sub, rd: Reg::g(2), rs1: Reg::g(2), src2: Src::Imm(1) });
+    a.br(Cond::Gt, Reg::g(2), "loop", true);
+    a.op(Instr::St {
+        w: MemWidth::W,
+        pol: CachePolicy::Cached,
+        rs: Reg::g(1),
+        base: Reg::g(0),
+        off: Off::Imm(0),
+    });
+    a.op(Instr::Alu { op: AluOp::Sll, rd: Reg::g(3), rs1: Reg::g(1), src2: Src::Imm(1) });
+    a.op(Instr::Alu { op: AluOp::Add, rd: Reg::g(3), rs1: Reg::g(3), src2: Src::Reg(Reg::g(1)) });
+    a.op(Instr::St {
+        w: MemWidth::W,
+        pol: CachePolicy::Cached,
+        rs: Reg::g(3),
+        base: Reg::g(0),
+        off: Off::Imm(4),
+    });
+    a.op(Instr::Halt);
+    a.finish().unwrap()
+}
+
+#[test]
+fn split_run_matches_uninterrupted_run_bit_for_bit() {
+    let cfg = TimingConfig::default();
+
+    // Uninterrupted reference.
+    let mut whole =
+        Majc5200::new([monolithic(0, OUT0, 40), monolithic(0x4000, OUT1, 25)], FlatMem::new(), cfg);
+    whole.run(1_000_000).unwrap();
+    let want = whole.capture_arch().mem.to_snapshot();
+
+    // Phase 1, checkpoint at the halt quiesce point.
+    let mut first =
+        Majc5200::new([phase1(0, OUT0, 40), phase1(0x4000, OUT1, 25)], FlatMem::new(), cfg);
+    first.run(1_000_000).unwrap();
+    assert!(first.cpu[0].halted() && first.cpu[1].halted());
+    let state = first.capture_arch();
+
+    // Resume into phase 2 (fresh worker, cold caches) and finish.
+    let p2 = [phase2(0x8000), phase2(0xC000)];
+    let mut second = Majc5200::resume([p2[0].clone(), p2[1].clone()], &state, cfg);
+    second.cpu[0].set_context_pc(0, 0x8000);
+    second.cpu[1].set_context_pc(0, 0xC000);
+    second.run(1_000_000).unwrap();
+
+    let got = second.capture_arch().mem.to_snapshot();
+    assert_eq!(got, want, "split-at-checkpoint must reproduce the uninterrupted digests");
+    let mem = &mut second.chip_mut().mem;
+    assert_eq!(mem.read_u32(OUT0), 820, "sum 1..=40");
+    assert_eq!(mem.read_u32(OUT0 + 4), 2460);
+    assert_eq!(mem.read_u32(OUT1), 325, "sum 1..=25");
+    assert_eq!(mem.read_u32(OUT1 + 4), 975);
+}
+
+#[test]
+fn resuming_the_same_checkpoint_twice_is_deterministic() {
+    let cfg = TimingConfig::default();
+    let mut first =
+        Majc5200::new([phase1(0, OUT0, 12), phase1(0x4000, OUT1, 7)], FlatMem::new(), cfg);
+    first.run(1_000_000).unwrap();
+    let state = first.capture_arch();
+
+    let outcome = |state: &majc_soc::ChipState| {
+        let mut chip = Majc5200::resume([phase2(0x8000), phase2(0xC000)], state, cfg);
+        chip.cpu[0].set_context_pc(0, 0x8000);
+        chip.cpu[1].set_context_pc(0, 0xC000);
+        let cycles = chip.run(1_000_000).unwrap();
+        let arch = chip.capture_arch();
+        (cycles, arch.mem.to_snapshot(), arch.cpus[0].to_bytes(), arch.cpus[1].to_bytes())
+    };
+    assert_eq!(outcome(&state), outcome(&state));
+}
+
+#[test]
+fn capture_restore_round_trip_preserves_arch_state() {
+    let cfg = TimingConfig::default();
+    let progs = [phase1(0, OUT0, 9), phase1(0x4000, OUT1, 5)];
+    let mut chip = Majc5200::new([progs[0].clone(), progs[1].clone()], FlatMem::new(), cfg);
+    chip.run(1_000_000).unwrap();
+    let state = chip.capture_arch();
+
+    let back = Majc5200::resume([progs[0].clone(), progs[1].clone()], &state, cfg);
+    for cpu in 0..2 {
+        assert_eq!(back.cpu[cpu].capture(0), state.cpus[cpu], "cpu{cpu} arch state");
+    }
+    assert_eq!(
+        back.chip().mem.clone().to_snapshot(),
+        state.mem.clone().to_snapshot(),
+        "memory image"
+    );
+}

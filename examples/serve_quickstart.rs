@@ -1,0 +1,102 @@
+//! Simulation-as-a-service quickstart: start the `majc-serve` daemon
+//! in-process, drive it over TCP with the line protocol, interrupt a
+//! kernel mid-run with a checkpoint, and resume it — on the *other*
+//! engine — to the same architectural digest.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use majc::serve::{
+    server, ChaosPlan, Client, Engine, JobSpec, Request, ServeConfig, SimSpec, Status,
+};
+
+fn sim(
+    kernel: &str,
+    engine: Engine,
+    budget: u64,
+    checkpoint: bool,
+    resume: Option<String>,
+) -> JobSpec {
+    JobSpec::Simulate(SimSpec {
+        kernel: Some(kernel.to_string()),
+        source: None,
+        engine,
+        budget,
+        checkpoint,
+        resume,
+    })
+}
+
+fn main() {
+    // 1. A daemon on an ephemeral localhost port: 2 resident workers, a
+    //    bounded 8-slot admission queue, chaos disabled.
+    let handle = server::start(0, ServeConfig { workers: 2, queue_depth: 8, chaos: None })
+        .expect("bind localhost");
+    println!("--- daemon on {} ---", handle.addr());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // 2. Assemble a program remotely. Every request/response is one JSON
+    //    line; the id is the caller's correlation handle.
+    let asm = Request::Job {
+        id: "asm-1".into(),
+        spec: JobSpec::Assemble { source: "setlo g1, 7\nadd g2, g2, g1\nhalt\n".into() },
+    };
+    let resp = client.request(&asm).expect("round trip");
+    println!("assemble: {}", resp.to_line());
+
+    // 3. The uninterrupted reference: run the FIR kernel to halt on the
+    //    functional engine and note its architectural digest.
+    let whole = client
+        .request(&Request::Job {
+            id: "whole".into(),
+            spec: sim("fir", Engine::Func, 5_000_000, false, None),
+        })
+        .expect("round trip");
+    let want = whole.field("digest").and_then(|v| v.as_str()).expect("digest").to_string();
+    println!("uninterrupted fir digest: {want}");
+
+    // 4. Interrupt it: a 2 000-packet budget with `checkpoint: true`
+    //    parks the machine state in the server's checkpoint store and
+    //    returns the container id (its FNV-1a digest).
+    let phase1 = client
+        .request(&Request::Job {
+            id: "ckpt".into(),
+            spec: sim("fir", Engine::Func, 2_000, true, None),
+        })
+        .expect("round trip");
+    let ckpt_id = phase1.field("checkpoint").and_then(|v| v.as_str()).expect("ckpt id").to_string();
+    let halted = phase1.field("halted").and_then(|v| v.as_u64()) == Some(1);
+    println!("phase 1: halted={halted}, checkpoint {ckpt_id}");
+    assert!(!halted, "2k packets must interrupt fir mid-run");
+
+    // 5. Resume the checkpoint on the *cycle-accurate* engine. Timing
+    //    state is cold but architectural state is exact, so the digest
+    //    must match the uninterrupted functional run.
+    let resumed = client
+        .request(&Request::Job {
+            id: "resume".into(),
+            spec: sim("fir", Engine::Cycle, 50_000_000, false, Some(ckpt_id)),
+        })
+        .expect("round trip");
+    let got = resumed.field("digest").and_then(|v| v.as_str()).expect("digest");
+    println!("resumed-on-cycle digest:  {got}");
+    assert_eq!(got, want, "checkpoint/resume must replay to the same architectural state");
+
+    // 6. Server-side counters, then a graceful drain: in-flight jobs
+    //    finish, the backlog is rejected deterministically.
+    let stats = client.request(&Request::Stats { id: "stats".into() }).expect("round trip");
+    println!("stats: {}", stats.to_line());
+    match stats.status {
+        Status::Ok(_) => {}
+        other => panic!("stats must succeed, got {other:?}"),
+    }
+    handle.shutdown();
+    println!("drained; exactly-once held end to end");
+
+    // The chaos plan used by tests and CI is plain data — show what the
+    // soak actually arms per thousand jobs.
+    let plan = ChaosPlan::soak(1);
+    let (kills, faults) = plan.tally(1000);
+    println!("soak plan per 1000 jobs: ~{kills} worker kills, ~{faults} fault plans");
+}

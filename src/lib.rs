@@ -40,6 +40,7 @@
 //! | [`kernels`] | `majc-kernels` | every Table 1/2 benchmark kernel |
 //! | [`apps`] | `majc-apps` | every Table 3 application model |
 //! | [`lint`] | `majc-lint` | static VLIW schedule & dataflow verifier |
+//! | [`serve`] | `majc-serve` | crash-safe simulation daemon: queue, deadlines, checkpoints |
 //! | [`bench`] | `majc-bench` | simulation farm, differential fuzzer, report harness |
 //!
 //! Run `cargo run -p majc-bench --release -- all` to regenerate the
@@ -54,4 +55,5 @@ pub use majc_isa as isa;
 pub use majc_kernels as kernels;
 pub use majc_lint as lint;
 pub use majc_mem as mem;
+pub use majc_serve as serve;
 pub use majc_soc as soc;
