@@ -8,11 +8,16 @@
 //! both simulators with [`diff_run`], and any failure is shrunk to a
 //! minimal program by the greedy packet-bisection reducer in [`shrink`]
 //! and written to a repro file by [`write_repro`].
+//!
+//! [`diff_run3`] extends the pair to a three-way check: the interpreter
+//! ([`FuncSim`]), the translated engine ([`XlateSim`]) — compared
+//! bit-for-bit on *everything*, counters and trap registers included —
+//! and then the cycle model against the functional consensus.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use majc_core::{CycleSim, FuncSim, PerfectPort, SimError, TimingConfig};
+use majc_core::{CycleSim, FuncSim, PerfectPort, SimError, TimingConfig, XlateSim};
 use majc_isa::gen::{self, GenCfg};
 use majc_isa::{Instr, Packet, Program, SplitMix64};
 use majc_mem::FlatMem;
@@ -89,6 +94,83 @@ pub fn diff_run(prog: &Program, budget: u64) -> DiffOutcome {
     let packets = func.stats.packets;
     let divergence = first_divergence(&func, &cyc, &f_end, &c_end);
     DiffOutcome { cycles, packets, divergence }
+}
+
+/// Run the program on the interpreter, the translated engine, and the
+/// cycle model under the same budget. The two functional engines must be
+/// *bit-identical* — same end state, [`majc_core::FuncStats`] counters,
+/// trap registers, PC, every register, every byte of memory — and then
+/// the functional consensus is compared to the cycle model exactly as in
+/// [`diff_run`]. The first discrepancy found is reported.
+pub fn diff_run3(prog: &Program, budget: u64) -> DiffOutcome {
+    let image = Arc::new(prog.clone());
+
+    let mut func = FuncSim::new(Arc::clone(&image), FlatMem::new());
+    let f_end = match func.run(budget) {
+        Ok(_) if func.halted() => End::Halted,
+        Ok(_) => End::Budget,
+        Err(t) => End::Trap(format!("{t:?}")),
+    };
+
+    let mut xl = XlateSim::new(Arc::clone(&image), FlatMem::new());
+    let x_end = match xl.run(budget) {
+        Ok(_) if xl.halted() => End::Halted,
+        Ok(_) => End::Budget,
+        Err(t) => End::Trap(format!("{t:?}")),
+    };
+
+    if let Some(d) = engine_divergence(&func, &xl, &f_end, &x_end) {
+        return DiffOutcome { cycles: 0, packets: func.stats.packets, divergence: Some(d) };
+    }
+
+    let mut cyc = CycleSim::new(image, PerfectPort::new(), TimingConfig::default());
+    let c_end = match cyc.run(budget) {
+        Ok(_) if cyc.halted() => End::Halted,
+        Ok(_) => End::Budget,
+        Err(SimError::Trap(t)) => End::Trap(format!("{t:?}")),
+        Err(e @ SimError::Hang { .. }) => End::Trap(format!("{e:?}")),
+    };
+
+    let cycles = cyc.stats.cycles;
+    let packets = func.stats.packets;
+    let divergence = first_divergence(&func, &cyc, &f_end, &c_end);
+    DiffOutcome { cycles, packets, divergence }
+}
+
+/// The bit-identity check between the two functional engines. Stricter
+/// than the func-vs-cycle comparison: the translation is *supposed* to be
+/// the same machine, so every counter and trap register must match too.
+fn engine_divergence(func: &FuncSim, xl: &XlateSim, f_end: &End, x_end: &End) -> Option<String> {
+    if f_end != x_end {
+        return Some(format!("outcome: interp={f_end:?} xlate={x_end:?}"));
+    }
+    if func.stats != xl.stats {
+        return Some(format!("stats: interp={:?} xlate={:?}", func.stats, xl.stats));
+    }
+    if func.pc() != xl.pc() || func.halted() != xl.halted() {
+        return Some(format!(
+            "flow: interp pc={:#010x} halted={} xlate pc={:#010x} halted={}",
+            func.pc(),
+            func.halted(),
+            xl.pc(),
+            xl.halted()
+        ));
+    }
+    if func.trap_regs() != xl.trap_regs() {
+        return Some(format!(
+            "trap regs: interp={:?} xlate={:?}",
+            func.trap_regs(),
+            xl.trap_regs()
+        ));
+    }
+    let fr = func.regs.raw();
+    let xr = xl.regs.raw();
+    if let Some(i) = (0..fr.len()).find(|&i| fr[i] != xr[i]) {
+        return Some(format!("reg[{i}]: interp={:#010x} xlate={:#010x}", fr[i], xr[i]));
+    }
+    func.mem
+        .first_diff_detail(&xl.mem)
+        .map(|d| format!("mem[{:#010x}]: interp={:#04x} xlate={:#04x}", d.addr, d.lhs, d.rhs))
 }
 
 fn first_divergence(
@@ -194,6 +276,15 @@ mod tests {
         let out = diff_run(&p, FUZZ_BUDGET);
         assert_eq!(out.divergence, None, "{:?}", out);
         assert!(out.packets > 0);
+    }
+
+    #[test]
+    fn three_way_diff_agrees_on_clean_seeds() {
+        for seed in [0u64, 3, 11, 42] {
+            let p = fuzz_program(seed);
+            let out = diff_run3(&p, FUZZ_BUDGET);
+            assert_eq!(out.divergence, None, "seed {seed}: {:?}", out);
+        }
     }
 
     #[test]

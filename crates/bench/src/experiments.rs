@@ -1477,6 +1477,260 @@ pub fn profile() -> Table {
     t
 }
 
+// ------------------------------- E14 -------------------------------
+
+/// FNV-1a over the complete architectural end state — CPU snapshot,
+/// memory image, trap registers, and counters. Equal digests mean the
+/// two engines finished as indistinguishable machines.
+fn xlate_state_digest<E: majc_core::ExecEngine>(sim: &E) -> u64 {
+    let mut bytes = sim.capture().to_bytes();
+    bytes.extend_from_slice(&sim.mem().to_snapshot());
+    bytes.extend_from_slice(format!("{:?}{:?}", sim.trap_regs(), sim.stats()).as_bytes());
+    majc_mem::fnv1a(&bytes)
+}
+
+/// One kernel's deterministic E14 record: dynamic packets, the
+/// cross-engine state digest, and the shape of its translation.
+struct XlateKernelRec {
+    name: &'static str,
+    packets: u64,
+    digest: u64,
+    uops: usize,
+    specialized: usize,
+    fallback: usize,
+}
+
+/// Run one kernel to halt on both engines and assert bit-identity —
+/// counters and full architectural end state.
+fn xlate_kernel_rec(case: &majc_kernels::suite::KernelCase) -> XlateKernelRec {
+    use majc_core::{FuncSim, XlateSim};
+    use std::sync::Arc;
+    const BUDGET: u64 = 200_000_000;
+    let mut a = FuncSim::new(Arc::clone(&case.prog), case.mem.clone());
+    let mut b = XlateSim::new(Arc::clone(&case.prog), case.mem.clone());
+    a.run_to_halt(BUDGET).unwrap_or_else(|e| panic!("{}: interp: {e}", case.name));
+    b.run_to_halt(BUDGET).unwrap_or_else(|e| panic!("{}: xlate: {e}", case.name));
+    assert_eq!(a.stats, b.stats, "{}: counters diverge across engines", case.name);
+    let (da, db) = (xlate_state_digest(&a), xlate_state_digest(&b));
+    assert_eq!(da, db, "{}: architectural end state diverges", case.name);
+    let tr = b.translation();
+    XlateKernelRec {
+        name: case.name,
+        packets: b.stats.packets,
+        digest: da,
+        uops: tr.uop_count(),
+        specialized: tr.specialized_uops(),
+        fallback: tr.fallback_uops(),
+    }
+}
+
+/// The deterministic E14 report: per-kernel digests and translation
+/// shape, the three-way fuzz tally, and the cache counters from a fixed
+/// serial request sequence. No wall-clock field anywhere — CI `cmp`s
+/// this file across `--jobs` values.
+fn xlate_json(
+    recs: &[XlateKernelRec],
+    fuzz_cases: usize,
+    cache: majc_core::XlateCacheStats,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"kernels\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\":{},\"packets\":{},\"digest\":\"{:016x}\",\"uops\":{},\
+             \"specialized\":{},\"fallback\":{}}}{}\n",
+            crate::report::json_str(r.name),
+            r.packets,
+            r.digest,
+            r.uops,
+            r.specialized,
+            r.fallback,
+            if i + 1 == recs.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"fuzz\": {{\"cases\": {fuzz_cases}, \"divergences\": 0}},\n"));
+    s.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"resident\": {}}}\n",
+        cache.hits, cache.misses, cache.evictions, cache.resident
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// E14: the decode-once translated engine. Replays the kernel suite on
+/// both functional engines asserting bit-identical end states, sweeps a
+/// three-way fuzz corpus (interpreter vs translated vs cycle), exercises
+/// the translation cache over a fixed request sequence, and measures
+/// wall-clock throughput of both engines over the suite. The
+/// deterministic part is saved to `target/reports/xlate.json` (CI `cmp`s
+/// it across `--jobs`); throughput appears only in the table. In release
+/// builds a regression gate fails the run if the translated engine is
+/// not faster than the interpreter.
+pub fn xlate(jobs: Option<usize>) -> Table {
+    use crate::diff::{diff_run3, fuzz_program, FUZZ_BUDGET};
+    use crate::farm::{shard_seed, Farm};
+    use majc_core::{FuncSim, XlateCache, XlateSim, XLATE_CACHE_CAP};
+    use std::sync::Arc;
+
+    const FUZZ_CASES: usize = 256;
+    const MASTER_SEED: u64 = 0xE14;
+    const BUDGET: u64 = 200_000_000;
+
+    // Heavy (megacycle) kernels only run in release builds, like the rest
+    // of the debug test surface.
+    let cases: Vec<majc_kernels::suite::KernelCase> = majc_kernels::suite::cases()
+        .into_iter()
+        .filter(|c| !(c.heavy && cfg!(debug_assertions)))
+        .collect();
+
+    let run_batch = |n: usize| -> (String, Vec<XlateKernelRec>) {
+        let farm = Farm::new(n);
+        let recs = farm.run(cases.iter().collect::<Vec<_>>(), |_, c| xlate_kernel_rec(c));
+        let divergences: Vec<String> = farm
+            .run((0..FUZZ_CASES).collect::<Vec<_>>(), |_, i| {
+                let seed = shard_seed(MASTER_SEED, i as u64);
+                diff_run3(&fuzz_program(seed), FUZZ_BUDGET)
+                    .divergence
+                    .map(|d| format!("seed {seed:#018x}: {d}"))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(
+            divergences.is_empty(),
+            "{} three-way divergence(s):\n{}",
+            divergences.len(),
+            divergences.join("\n")
+        );
+        // A fixed serial request sequence (the suite, twice) through a
+        // fresh cache: second pass must be all hits.
+        let cache = XlateCache::new(XLATE_CACHE_CAP);
+        for c in &cases {
+            cache.translate(&c.prog);
+        }
+        for c in &cases {
+            cache.translate(&c.prog);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits as usize, cases.len(), "second pass must hit every kernel");
+        (xlate_json(&recs, FUZZ_CASES, stats), recs)
+    };
+
+    let save = |report: &str| {
+        let out = std::path::Path::new("target/reports");
+        match std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(out.join("xlate.json"), report))
+        {
+            Ok(()) => "saved target/reports/xlate.json".to_string(),
+            Err(e) => format!("not saved: {e}"),
+        }
+    };
+
+    // Wall-clock throughput over the suite, one engine at a time. Never
+    // part of the cmp'd report. The translated engine runs from resolved
+    // translations — the resident-worker steady state the architecture is
+    // built for (decode once, execute many) — so one-time lowering cost
+    // is kept out of the per-packet figure.
+    let translations: Vec<_> =
+        cases.iter().map(|c| majc_core::global_xlate_cache().translate(&c.prog)).collect();
+    let throughput = |translated: bool| -> (u64, f64) {
+        let start = std::time::Instant::now();
+        let mut packets = 0u64;
+        for (i, c) in cases.iter().enumerate() {
+            packets += if translated {
+                let mut s = XlateSim::from_translation(Arc::clone(&translations[i]), c.mem.clone());
+                s.run_to_halt(BUDGET).unwrap_or_else(|e| panic!("{}: xlate: {e}", c.name));
+                s.stats.packets
+            } else {
+                let mut s = FuncSim::new(Arc::clone(&c.prog), c.mem.clone());
+                s.run_to_halt(BUDGET).unwrap_or_else(|e| panic!("{}: interp: {e}", c.name));
+                s.stats.packets
+            };
+        }
+        (packets, packets as f64 / start.elapsed().as_secs_f64().max(1e-9))
+    };
+
+    let summarize = |t: &mut Table, recs: &[XlateKernelRec]| {
+        t.push(Row::new(
+            "kernels validated",
+            "-",
+            k(recs.len() as u64),
+            "bit-identical end state on both engines",
+        ));
+        t.push(Row::new(
+            "dynamic packets",
+            "-",
+            k(recs.iter().map(|r| r.packets).sum::<u64>()),
+            "per run, identical on both engines",
+        ));
+        let (uops, spec, fall) = recs
+            .iter()
+            .fold((0, 0, 0), |(u, s, f), r| (u + r.uops, s + r.specialized, f + r.fallback));
+        t.push(Row::new(
+            "static micro-ops",
+            "-",
+            k(uops as u64),
+            format!("{spec} specialized, {fall} generic-fallback"),
+        ));
+        t.push(Row::new(
+            "three-way fuzz",
+            "0 divergences",
+            "0 divergences",
+            format!("{FUZZ_CASES} seeds: interp vs xlate vs cycle"),
+        ));
+    };
+
+    let mut t = Table::new("xlate_summary", "E14: decode-once translated execution engine");
+    match jobs {
+        Some(n) => {
+            let (report, recs) = run_batch(n);
+            summarize(&mut t, &recs);
+            t.push(Row::new("report", "-", save(&report), format!("--jobs {n}")));
+        }
+        None => {
+            let sweep: Vec<(usize, (String, Vec<XlateKernelRec>))> =
+                [1usize, 2, 4].into_iter().map(|n| (n, run_batch(n))).collect();
+            let (base_report, base_recs) = &sweep[0].1;
+            for (n, (report, _)) in &sweep {
+                assert_eq!(report, base_report, "report must be byte-identical at --jobs {n}");
+            }
+            summarize(&mut t, base_recs);
+            t.push(Row::new(
+                "determinism",
+                "byte-identical",
+                "byte-identical",
+                "reports at --jobs 1/2/4",
+            ));
+            t.push(Row::new("report", "-", save(base_report), ""));
+        }
+    }
+
+    let (pkts, interp_pps) = throughput(false);
+    let (_, xlate_pps) = throughput(true);
+    let speedup = xlate_pps / interp_pps.max(1e-9);
+    t.push(Row::new(
+        "interp throughput",
+        "-",
+        format!("{:.1} Mpkt/s", interp_pps / 1e6),
+        format!("{pkts} packets, wall clock"),
+    ));
+    t.push(Row::new(
+        "xlate throughput",
+        ">= interp",
+        format!("{:.1} Mpkt/s ({speedup:.1}x)", xlate_pps / 1e6),
+        "release gate: regression below interp fails",
+    ));
+    if !cfg!(debug_assertions) {
+        assert!(
+            xlate_pps > interp_pps,
+            "throughput gate: translated engine ({xlate_pps:.0} pkt/s) regressed below the \
+             interpreter ({interp_pps:.0} pkt/s)"
+        );
+    }
+    t
+}
+
 /// Every experiment, in paper order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -1495,5 +1749,6 @@ pub fn all() -> Vec<Table> {
         trace(),
         profile(),
         serve(),
+        xlate(None),
     ]
 }

@@ -18,7 +18,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 use majc_core::{
-    CycleSim, CycleStats, FuncSim, LocalMemSys, MemLevelStats, TimingConfig, TrapPolicy,
+    CycleSim, CycleStats, LocalMemSys, MemLevelStats, TimingConfig, TrapPolicy, XlateSim,
 };
 use majc_isa::{Instr, Packet, Program};
 use majc_mem::{FaultPlan, FlatMem, MemDiff};
@@ -321,7 +321,11 @@ pub fn with_handler(prog: &Program) -> (Program, u32) {
 /// mismatch) panic with `name`; an architectural divergence after
 /// recovery is returned as data so the farm can merge it.
 pub fn run_soak(name: &str, prog: &Arc<Program>, mem: &FlatMem, fault_seed: u64) -> SoakOutcome {
-    let mut oracle_sim = FuncSim::new(Arc::clone(prog), mem.clone());
+    // The oracle runs on the translated engine: bit-identical to the
+    // interpreter (the differential fuzzer enforces it) and much faster,
+    // and the process-wide translation cache means shards soaking the same
+    // kernel under different fault seeds translate it once.
+    let mut oracle_sim = XlateSim::new(Arc::clone(prog), mem.clone());
     oracle_sim.run(200_000_000).unwrap_or_else(|t| panic!("{name}: oracle trapped: {t}"));
     assert!(oracle_sim.halted(), "{name}: oracle did not halt");
     let oracle = oracle_sim.mem;

@@ -11,7 +11,7 @@ pub mod microbench;
 pub mod report;
 
 pub use experiments::{
-    ablations, all, fig1, fig2, graphics, peak_rates, serve, table1, table2, table3,
+    ablations, all, fig1, fig2, graphics, peak_rates, serve, table1, table2, table3, xlate,
 };
 pub use farm::{shard_seed, Farm, Shard, ShardResult, XorShift64Star};
 pub use report::{Row, Table};

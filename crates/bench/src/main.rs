@@ -1,6 +1,6 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|lintfacts|trace|profile|serve|all] [--jobs N]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|lintfacts|trace|profile|serve|xlate|all] [--jobs N]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
 //! JSON report under `target/reports/`. `farm --jobs N` runs the
 //! simulation-farm batch on N workers (omit `--jobs` for the 1/2/4
@@ -11,13 +11,18 @@
 //! `serve` sweeps the majc-serve daemon over worker count × queue depth
 //! under the chaos load harness, asserting exactly-once delivery in
 //! every cell and saving `target/reports/serve_load.json`.
+//! `xlate` validates the decode-once translated engine bit-for-bit
+//! against the interpreter (kernel suite + three-way fuzz corpus),
+//! saves the deterministic `target/reports/xlate.json` (same `--jobs`
+//! contract), and measures engine throughput — in release builds a
+//! translated engine slower than the interpreter fails the run.
 
 use std::process::ExitCode;
 
 use majc_bench::experiments;
 use majc_bench::report::Table;
 
-const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile serve all (plus optional `--jobs N` for farm/lintfacts)";
+const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile serve xlate all (plus optional `--jobs N` for farm/lintfacts/xlate)";
 
 fn emit(t: Table) {
     println!("{}", t.render());
@@ -69,6 +74,13 @@ fn main() -> ExitCode {
         "trace" => emit(experiments::trace()),
         "profile" => emit(experiments::profile()),
         "serve" => emit(experiments::serve()),
+        "xlate" => match jobs_flag() {
+            Ok(jobs) => emit(experiments::xlate(jobs)),
+            Err(e) => {
+                eprintln!("{e}; {USAGE}");
+                return ExitCode::from(2);
+            }
+        },
         "all" => {
             for t in experiments::all() {
                 emit(t);

@@ -1,0 +1,188 @@
+//! Property tests for the decode-once translation layer.
+//!
+//! Three properties the translated engine must uphold beyond the
+//! three-way differential fuzz:
+//!
+//! * **snapshot portability** — a [`CpuSnap`] captured at *any* packet
+//!   boundary on either engine resumes on the other engine to the exact
+//!   architectural state an uninterrupted run reaches (same step budget,
+//!   same trap outcome, same state digest);
+//! * **kernel-suite bit-identity** — every shipped kernel halts with the
+//!   same counters, registers, and memory image on both engines;
+//! * **cache determinism** — the translation cache's hit/miss/eviction
+//!   counters and resident set are a pure function of the request
+//!   multiset, identical across farm `--jobs 1/2/4` interleavings.
+
+use std::sync::Arc;
+
+use majc_bench::diff::{fuzz_program, FUZZ_BUDGET};
+use majc_bench::farm::{shard_seed, Farm};
+use majc_core::{
+    program_digest, CpuSnap, ExecEngine, FuncSim, XlateCache, XlateCacheStats, XlateSim,
+};
+use majc_isa::Program;
+use majc_mem::{fnv1a, FlatMem};
+
+const MASTER_SEED: u64 = 0x51AB_517E;
+
+/// FNV-1a over the full architectural state (CPU context + memory) plus
+/// the trap registers the context doesn't carry in its digest-visible
+/// part. Equal digests mean the machines are indistinguishable.
+fn state_digest<E: ExecEngine>(sim: &E) -> u64 {
+    let mut bytes = sim.capture().to_bytes();
+    bytes.extend_from_slice(&sim.mem().to_snapshot());
+    bytes.extend_from_slice(format!("{:?}{:?}", sim.trap_regs(), sim.stats()).as_bytes());
+    fnv1a(&bytes)
+}
+
+/// Run `steps` more steps and summarize how the run ended.
+fn drive<E: ExecEngine>(sim: &mut E, steps: u64) -> String {
+    match sim.run(steps) {
+        Ok(_) if sim.halted() => "halted".into(),
+        Ok(_) => "budget".into(),
+        Err(t) => format!("trap {t:?}"),
+    }
+}
+
+fn interp(prog: &Arc<Program>) -> FuncSim {
+    FuncSim::new(Arc::clone(prog), FlatMem::new())
+}
+
+fn xlate(prog: &Arc<Program>) -> XlateSim {
+    XlateSim::new(Arc::clone(prog), FlatMem::new())
+}
+
+fn resume_interp(prog: &Arc<Program>, mem: FlatMem, snap: &CpuSnap) -> FuncSim {
+    FuncSim::resume(Arc::clone(prog), mem, snap)
+}
+
+fn resume_xlate(prog: &Arc<Program>, mem: FlatMem, snap: &CpuSnap) -> XlateSim {
+    XlateSim::resume(Arc::clone(prog), mem, snap)
+}
+
+/// A snapshot taken after `k` steps on one engine and resumed on the
+/// other must reach the uninterrupted run's exact end state. Both
+/// engines charge every step (including trap deliveries) against the
+/// budget, so `k` steps + `budget - k` steps ≡ `budget` steps.
+#[test]
+fn snapshots_cross_engines_at_arbitrary_packet_boundaries() {
+    let splits = [0u64, 1, 2, 5, 17, 101, 999];
+    for case in 0..24u64 {
+        let seed = shard_seed(MASTER_SEED, case);
+        let prog = Arc::new(fuzz_program(seed));
+
+        let mut oracle = interp(&prog);
+        let want_end = drive(&mut oracle, FUZZ_BUDGET);
+        let want = state_digest(&oracle);
+
+        // Sanity: the two engines agree end-to-end before any splitting.
+        let mut whole = xlate(&prog);
+        assert_eq!(drive(&mut whole, FUZZ_BUDGET), want_end, "seed {seed}: whole-run end");
+        assert_eq!(state_digest(&whole), want, "seed {seed}: whole-run digest");
+
+        for &k in &splits {
+            // Interpreter first, translated engine finishes...
+            let mut a = interp(&prog);
+            match a.run(k) {
+                Ok(_) => {
+                    let mut b = resume_xlate(&prog, a.mem.clone(), &a.capture());
+                    // Stats live outside the snapshot: carry them over so
+                    // the end-state counters remain comparable.
+                    b.stats = a.stats;
+                    let end = drive(&mut b, FUZZ_BUDGET - k);
+                    assert_eq!(end, want_end, "seed {seed} split {k} interp->xlate end");
+                    assert_eq!(state_digest(&b), want, "seed {seed} split {k} interp->xlate");
+                }
+                Err(_) => {
+                    // Unvectored trap before the boundary: the oracle hit
+                    // the identical trap inside its budget too.
+                    assert!(want_end.starts_with("trap"), "seed {seed} split {k}: early trap");
+                }
+            }
+
+            // ...and the mirror image.
+            let mut a = xlate(&prog);
+            match a.run(k) {
+                Ok(_) => {
+                    let mut b = resume_interp(&prog, a.mem.clone(), &a.capture());
+                    b.stats = a.stats;
+                    let end = drive(&mut b, FUZZ_BUDGET - k);
+                    assert_eq!(end, want_end, "seed {seed} split {k} xlate->interp end");
+                    assert_eq!(state_digest(&b), want, "seed {seed} split {k} xlate->interp");
+                }
+                Err(_) => {
+                    assert!(want_end.starts_with("trap"), "seed {seed} split {k}: early trap");
+                }
+            }
+        }
+    }
+}
+
+/// Every shipped kernel halts bit-identically on both engines: same
+/// counters, same trap registers, same registers, same memory bytes.
+/// Heavy (megacycle) kernels only run in release builds.
+#[test]
+fn kernel_suite_is_bit_identical_across_engines() {
+    const BUDGET: u64 = 200_000_000;
+    for case in majc_kernels::suite::cases() {
+        if case.heavy && cfg!(debug_assertions) {
+            continue;
+        }
+        let mut a = FuncSim::new(Arc::clone(&case.prog), case.mem.clone());
+        let mut b = XlateSim::new(Arc::clone(&case.prog), case.mem.clone());
+        a.run_to_halt(BUDGET).unwrap_or_else(|e| panic!("{}: interp: {e}", case.name));
+        b.run_to_halt(BUDGET).unwrap_or_else(|e| panic!("{}: xlate: {e}", case.name));
+        assert_eq!(a.stats, b.stats, "{}: counters diverge", case.name);
+        assert_eq!(a.pc(), b.pc(), "{}: final pc", case.name);
+        assert_eq!(state_digest(&a), state_digest(&b), "{}: state digest", case.name);
+    }
+}
+
+/// Cache behaviour is a pure function of the request multiset. Phase 1
+/// translates `N` distinct programs once each (all misses; the `CAP`
+/// largest digests stay resident). Phase 2 re-requests the whole set:
+/// the residents hit, the rest re-miss and immediately self-evict (their
+/// digests are below every resident's). Neither phase's counters depend
+/// on worker interleaving — asserted across `--jobs 1/2/4`.
+#[test]
+fn translation_cache_counters_are_jobs_invariant() {
+    const CAP: usize = 8;
+    const N: usize = 20;
+    let progs: Vec<Arc<Program>> = (0..N as u64)
+        .map(|i| Arc::new(fuzz_program(shard_seed(MASTER_SEED ^ 0xCAC8E, i))))
+        .collect();
+    let mut digests: Vec<u64> = progs.iter().map(|p| program_digest(p)).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), N, "fuzz corpus must be digest-distinct");
+    let floor = digests[N - CAP]; // smallest digest that stays resident
+
+    let expected = XlateCacheStats {
+        hits: CAP as u64,
+        misses: (2 * N - CAP) as u64,
+        evictions: 2 * (N - CAP) as u64,
+        resident: CAP,
+    };
+
+    for jobs in [1usize, 2, 4] {
+        let cache = XlateCache::new(CAP);
+        let farm = Farm::new(jobs);
+        farm.run(progs.clone(), |_, p| {
+            cache.translate(&p);
+        });
+        farm.run(progs.clone(), |_, p| {
+            cache.translate(&p);
+        });
+        assert_eq!(cache.stats(), expected, "jobs={jobs}");
+
+        // The resident set is exactly the CAP largest digests: a serial
+        // re-probe hits iff the digest is at or above the floor (probing
+        // below the floor self-evicts and leaves the residents alone).
+        for p in &progs {
+            let before = cache.stats().hits;
+            cache.translate(p);
+            let hit = cache.stats().hits > before;
+            assert_eq!(hit, program_digest(p) >= floor, "jobs={jobs}: residency by digest rank");
+        }
+    }
+}

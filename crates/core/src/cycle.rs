@@ -671,7 +671,7 @@ impl<S: TraceSink> CpuCore<S> {
             return Ok(!self.halted());
         }
         // 64 consecutive context switches without an issue: livelock.
-        Err(SimError::Hang { cycle: self.stats.cycles, pcs: self.stuck_pcs() })
+        Err(SimError::Hang { at: self.stats.cycles, pcs: self.stuck_pcs() })
     }
 
     /// Issue slot 0's memory operation through the LSU, advancing `t` over
@@ -719,7 +719,7 @@ impl<S: TraceSink> CpuCore<S> {
                         }
                     }
                 }
-                return Err(SimError::Hang { cycle: *t, pcs: vec![pc] });
+                return Err(SimError::Hang { at: *t, pcs: vec![pc] });
             }
             _ => return Ok(None),
         };
@@ -736,7 +736,7 @@ impl<S: TraceSink> CpuCore<S> {
                 Err(LsuStall::DataError) => return Err(Trap::DataError { pc, addr }.into()),
             }
         }
-        Err(SimError::Hang { cycle: *t, pcs: vec![pc] })
+        Err(SimError::Hang { at: *t, pcs: vec![pc] })
     }
 
     /// Run against `port` until halt or `max_packets`; returns the cycle
@@ -753,7 +753,7 @@ impl<S: TraceSink> CpuCore<S> {
         let start = self.stats.packets;
         while self.stats.packets - start < max_packets {
             if self.stats.cycles > self.cfg.max_cycles {
-                return Err(SimError::Hang { cycle: self.stats.cycles, pcs: self.stuck_pcs() });
+                return Err(SimError::Hang { at: self.stats.cycles, pcs: self.stuck_pcs() });
             }
             if !self.step_on(port)? {
                 break;

@@ -94,7 +94,7 @@ fn pol_of(p: CachePolicy) -> DPolicy {
 }
 
 #[inline]
-fn lane_op(mode: SatMode, a: i16, b: i16, sub: bool) -> u16 {
+pub(crate) fn lane_op(mode: SatMode, a: i16, b: i16, sub: bool) -> u16 {
     let (x, y) = if mode == SatMode::Unsigned {
         (a as u16 as i32, b as u16 as i32)
     } else {
@@ -106,7 +106,7 @@ fn lane_op(mode: SatMode, a: i16, b: i16, sub: bool) -> u16 {
 /// Per-lane multiply with format-dependent saturation: fixed-point formats
 /// saturate signed; plain `Int16` wraps (two's-complement low half).
 #[inline]
-fn lane_mul(fmt: FixFmt, a: i16, b: i16) -> u16 {
+pub(crate) fn lane_mul(fmt: FixFmt, a: i16, b: i16) -> u16 {
     let p = fmt.mul(a, b);
     match fmt {
         FixFmt::Int16 => p as u16,
@@ -115,7 +115,7 @@ fn lane_mul(fmt: FixFmt, a: i16, b: i16) -> u16 {
 }
 
 #[inline]
-fn lane_mac(fmt: FixFmt, acc: i16, a: i16, b: i16) -> u16 {
+pub(crate) fn lane_mac(fmt: FixFmt, acc: i16, a: i16, b: i16) -> u16 {
     let p = fmt.mul(a, b) + acc as i32;
     match fmt {
         FixFmt::Int16 => p as u16,
@@ -125,7 +125,7 @@ fn lane_mac(fmt: FixFmt, acc: i16, a: i16, b: i16) -> u16 {
 
 /// Truncating float->int with IEEE-style clamping (NaN -> 0).
 #[inline]
-fn f2i(v: f32) -> i32 {
+pub(crate) fn f2i(v: f32) -> i32 {
     if v.is_nan() {
         0
     } else {

@@ -16,7 +16,7 @@ use crate::snapshot::CpuSnap;
 use crate::trap::{SimError, TrapRegs};
 
 /// Counters kept by the functional simulator.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FuncStats {
     pub packets: u64,
     pub instrs: u64,
@@ -177,10 +177,18 @@ impl FuncSim {
         Ok(!self.halted)
     }
 
-    /// Run until `Halt` or `max_packets`; returns packets executed.
-    pub fn run(&mut self, max_packets: u64) -> Result<u64, Trap> {
+    /// Run until `halt` or until `max_steps` calls to [`FuncSim::step`]
+    /// have been made; returns packets committed.
+    ///
+    /// Every step consumes budget — including a trap delivery, which
+    /// commits no packet. (Charging only committed packets would let a
+    /// program ping-ponging between a faulting packet and its handler
+    /// stretch the watchdog budget without bound.)
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, Trap> {
         let start = self.stats.packets;
-        while self.stats.packets - start < max_packets {
+        let mut steps = 0u64;
+        while steps < max_steps {
+            steps += 1;
             if !self.step()? {
                 break;
             }
@@ -188,17 +196,17 @@ impl FuncSim {
         Ok(self.stats.packets - start)
     }
 
-    /// [`FuncSim::run`] with a watchdog: exhausting the packet budget
+    /// [`FuncSim::run`] with a watchdog: exhausting the step budget
     /// without reaching `halt` is a hang, reported as a structured
     /// [`SimError::Hang`] carrying the stuck PC — the functional analogue
     /// of the cycle model's `max_cycles` watchdog, so a runaway program
     /// surfaces as data instead of a wedged worker.
-    pub fn run_to_halt(&mut self, max_packets: u64) -> Result<u64, SimError> {
-        let n = self.run(max_packets).map_err(SimError::Trap)?;
+    pub fn run_to_halt(&mut self, max_steps: u64) -> Result<u64, SimError> {
+        let n = self.run(max_steps).map_err(SimError::Trap)?;
         if self.halted() {
             Ok(n)
         } else {
-            Err(SimError::Hang { cycle: self.stats.packets, pcs: vec![self.pc] })
+            Err(SimError::Hang { at: self.stats.packets, pcs: vec![self.pc] })
         }
     }
 

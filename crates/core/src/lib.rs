@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod cycle;
+pub mod engine;
 pub mod events;
 pub mod exec;
 pub mod func_sim;
@@ -33,9 +34,11 @@ pub mod stats;
 pub mod trace;
 pub mod trap;
 pub mod txn;
+pub mod xlate;
 
 pub use config::{BypassModel, ThreadingConfig, TimingConfig, TrapPolicy};
 pub use cycle::{CpuCore, CycleSim};
+pub use engine::ExecEngine;
 pub use events::{
     Event, JsonlSink, MemSink, NullSink, PacketStalls, RedirectKind, RetryReason, Served,
     StallReason, TraceSink, NUM_STALL_REASONS,
@@ -53,3 +56,7 @@ pub use stats::CycleStats;
 pub use trace::{render as render_trace, TraceRec};
 pub use trap::{SimError, TrapRegs};
 pub use txn::{Completion, MemLevelStats, MemPort, MemReq, MemResp, Reject, ReqPort, Tag};
+pub use xlate::{
+    global_xlate_cache, program_digest, Translation, XlateCache, XlateCacheStats, XlateSim,
+    XLATE_CACHE_CAP,
+};

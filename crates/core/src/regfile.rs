@@ -78,6 +78,23 @@ impl RegFile {
     pub fn raw(&self) -> &[u32] {
         &self.v
     }
+
+    /// Read by pre-validated absolute index — the translated engine's fast
+    /// path. Indices come from [`Reg::index`] at translation time, so the
+    /// bounds check never fires on translated code.
+    #[inline]
+    pub(crate) fn get_at(&self, i: u8) -> u32 {
+        self.v[i as usize]
+    }
+
+    /// Read the pair `(i, i+1)` as a 64-bit value — the raw-index twin of
+    /// [`RegFile::get_u64`], with identical out-of-range behaviour.
+    #[inline]
+    pub(crate) fn get_pair_at(&self, i: u8) -> u64 {
+        let lo = self.v[i as usize] as u64;
+        let hi = self.v[i as usize + 1] as u64;
+        lo | (hi << 32)
+    }
 }
 
 /// Buffered register writes of one packet, applied after every slot has
@@ -109,6 +126,24 @@ impl WriteSet {
     #[inline]
     pub fn push_f32(&mut self, r: Reg, val: f32) {
         self.push(r, val.to_bits());
+    }
+
+    /// Push by pre-validated absolute index — the translated engine's fast
+    /// path. Must only receive indices obtained from [`Reg::index`].
+    #[inline]
+    pub(crate) fn push_at(&mut self, i: u8, val: u32) {
+        self.entries[self.len as usize] = (i, val);
+        self.len += 1;
+    }
+
+    /// Raw-index twin of [`WriteSet::push_u64`]: identical drop-the-high-
+    /// word behaviour when the pair runs off the end of the register file.
+    #[inline]
+    pub(crate) fn push_pair_at(&mut self, i: u8, val: u64) {
+        self.push_at(i, val as u32);
+        if (i as u16) + 1 < NUM_REGS {
+            self.push_at(i + 1, (val >> 32) as u32);
+        }
     }
 
     #[inline]

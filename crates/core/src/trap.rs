@@ -59,10 +59,12 @@ impl TrapRegs {
 pub enum SimError {
     /// An unhandled trap (no vector configured, or a double trap).
     Trap(Trap),
-    /// The watchdog fired: no context halted within the cycle budget, or
-    /// the machine stopped making forward progress. `pcs` holds the PC of
-    /// each stuck CPU/context.
-    Hang { cycle: u64, pcs: Vec<u32> },
+    /// The watchdog fired: no context halted within its budget, or the
+    /// machine stopped making forward progress. `at` is the watchdog
+    /// position when it fired — cycles on the cycle-accurate model, packet
+    /// steps on the functional engines. `pcs` holds the PC of each stuck
+    /// CPU/context.
+    Hang { at: u64, pcs: Vec<u32> },
 }
 
 impl From<Trap> for SimError {
@@ -75,8 +77,8 @@ impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SimError::Trap(t) => write!(f, "unhandled trap: {t}"),
-            SimError::Hang { cycle, pcs } => {
-                write!(f, "hang detected at cycle {cycle}; stuck at pcs [")?;
+            SimError::Hang { at, pcs } => {
+                write!(f, "hang detected after {at} steps; stuck at pcs [")?;
                 for (i, pc) in pcs.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
@@ -118,8 +120,8 @@ mod tests {
     fn sim_error_formats() {
         let e = SimError::from(Trap::DivZero { pc: 0x40 });
         assert!(e.to_string().contains("divide by zero"));
-        let h = SimError::Hang { cycle: 99, pcs: vec![0x10, 0x20] };
-        assert!(h.to_string().contains("cycle 99"));
+        let h = SimError::Hang { at: 99, pcs: vec![0x10, 0x20] };
+        assert!(h.to_string().contains("after 99 steps"));
         assert!(h.to_string().contains("0x00000010"));
     }
 }

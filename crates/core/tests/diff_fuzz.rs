@@ -1,46 +1,50 @@
-//! Differential fuzzing: seeded random packet streams through the
-//! functional and cycle-accurate simulators, fanned across the
-//! simulation farm. Any architectural divergence is shrunk by the
-//! packet-bisection reducer and written to a repro file before the
-//! test fails — the panic message names the file.
+//! Differential fuzzing: seeded random packet streams through *three*
+//! engines — the functional interpreter, the decode-once translated
+//! engine (bit-for-bit identical, counters and trap registers included),
+//! and the cycle-accurate simulator — fanned across the simulation farm.
+//! Any architectural divergence is shrunk by the packet-bisection reducer
+//! and written to a repro file before the test fails — the panic message
+//! names the file.
 //!
 //! Every fuzz program also runs through the linter's abstract
 //! interpretation, and each must-fact it emits is replayed against the
-//! functional run: the fuzzer that guards the simulators guards the
+//! translated engine: the fuzzer that guards the simulators guards the
 //! analyses with the same corpus.
 //!
-//! The CI smoke budget is 1024 seeds; `reproduce farm` runs a larger
-//! sweep of the same stream.
+//! The smoke budget is 1024 seeds in debug builds and 8192 in release —
+//! CI runs both (`cargo test` and the release three-way smoke step);
+//! `reproduce farm` sweeps a larger slice of the same stream.
 
-use majc_bench::diff::{diff_run, fuzz_program, shrink, write_repro, FUZZ_BUDGET};
+use majc_bench::diff::{diff_run3, fuzz_program, shrink_with, write_repro, FUZZ_BUDGET};
 use majc_bench::farm::{shard_seed, Farm};
-use majc_core::FuncSim;
+use majc_core::XlateSim;
 use majc_lint::{analyze, validate, LintOptions};
 use majc_mem::FlatMem;
 
 const MASTER_SEED: u64 = 0xD1FF_F22E;
 
-/// Analyze `prog` and replay its must-facts against a functional run;
-/// returns the first contradiction, if any.
+/// Analyze `prog` and replay its must-facts against a run on the
+/// translated engine; returns the first contradiction, if any.
 fn lint_fact_violation(prog: &majc_isa::Program) -> Option<String> {
     let a = analyze(prog, &LintOptions::default());
-    let mut sim = FuncSim::new(prog.clone(), FlatMem::new());
+    let mut sim = XlateSim::new(prog.clone(), FlatMem::new());
     let v = validate(&mut sim, &a.facts, FUZZ_BUDGET);
     v.violations.into_iter().next()
 }
 
-/// CI smoke: 1024 seeded programs, zero unreduced divergences and zero
-/// lint must-fact contradictions. Each divergence is minimized and
-/// persisted so the failure is actionable straight from the CI log.
+/// CI smoke: seeded programs through the three-way diff, zero unreduced
+/// divergences and zero lint must-fact contradictions. Each divergence
+/// is minimized and persisted so the failure is actionable straight from
+/// the CI log. Release builds sweep 8x the debug corpus.
 #[test]
 fn a_thousand_seeded_programs_agree_across_simulators() {
-    const CASES: usize = 1024;
+    const CASES: usize = if cfg!(debug_assertions) { 1024 } else { 8192 };
     let farm = Farm::new(Farm::available());
     let failures: Vec<(u64, String)> = farm
         .run((0..CASES).collect::<Vec<_>>(), |_, i| {
             let seed = shard_seed(MASTER_SEED, i as u64);
             let prog = fuzz_program(seed);
-            diff_run(&prog, FUZZ_BUDGET)
+            diff_run3(&prog, FUZZ_BUDGET)
                 .divergence
                 .or_else(|| lint_fact_violation(&prog).map(|v| format!("lint fact: {v}")))
                 .map(|d| (seed, d))
@@ -55,7 +59,8 @@ fn a_thousand_seeded_programs_agree_across_simulators() {
     let dir = std::env::temp_dir().join("majc-diff-fuzz");
     let mut lines = Vec::new();
     for (seed, divergence) in &failures {
-        let small = shrink(&fuzz_program(*seed), FUZZ_BUDGET);
+        let small =
+            shrink_with(&fuzz_program(*seed), |p| diff_run3(p, FUZZ_BUDGET).divergence.is_some());
         let path = write_repro(&dir, *seed, &small, divergence).expect("write repro file");
         lines.push(format!(
             "seed {seed:#018x}: {divergence} (minimized to {} packet(s): {})",
@@ -72,7 +77,7 @@ fn a_thousand_seeded_programs_agree_across_simulators() {
 #[test]
 fn fuzz_results_are_jobs_invariant() {
     let seeds: Vec<u64> = (0..64).map(|i| shard_seed(MASTER_SEED, i)).collect();
-    Farm::new(2).run_verified(seeds, |_, seed| diff_run(&fuzz_program(seed), FUZZ_BUDGET));
+    Farm::new(2).run_verified(seeds, |_, seed| diff_run3(&fuzz_program(seed), FUZZ_BUDGET));
 }
 
 /// Repro files round-trip: a written repro reassembles to the exact

@@ -189,8 +189,8 @@ fn watchdog_diagnoses_an_infinite_loop_as_a_hang() {
     let mut c = CycleSim::new(prog, PerfectPort::new(), cfg);
     let e = c.run(u64::MAX).unwrap_err();
     match e {
-        SimError::Hang { cycle, pcs } => {
-            assert!(cycle > 5_000);
+        SimError::Hang { at, pcs } => {
+            assert!(at > 5_000);
             assert_eq!(pcs, vec![0], "the stuck PC is reported");
         }
         other => panic!("expected a hang, got {other:?}"),

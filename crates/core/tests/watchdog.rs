@@ -28,8 +28,8 @@ fn func_sim_watchdog_trips_on_infinite_loop() {
     let mut sim = FuncSim::new(infinite_loop(), FlatMem::new());
     let err = sim.run_to_halt(10_000).unwrap_err();
     match err {
-        SimError::Hang { cycle, pcs } => {
-            assert_eq!(cycle, 10_000, "budget exhausted exactly");
+        SimError::Hang { at, pcs } => {
+            assert_eq!(at, 10_000, "budget exhausted exactly");
             assert_eq!(pcs, vec![SPIN_PC], "hang reports the offending PC");
         }
         other => panic!("expected Hang, got {other:?}"),
@@ -62,9 +62,9 @@ fn cycle_sim_max_cycles_trips_on_infinite_loop() {
     let mut sim = CycleSim::new(infinite_loop(), PerfectPort::new(), cfg);
     let err = sim.run(u64::MAX).unwrap_err();
     match err {
-        SimError::Hang { cycle, pcs } => {
-            assert!(cycle > 5_000, "watchdog fires just past the budget, got {cycle}");
-            assert!(cycle < 6_000, "watchdog must not overshoot wildly, got {cycle}");
+        SimError::Hang { at, pcs } => {
+            assert!(at > 5_000, "watchdog fires just past the budget, got {at}");
+            assert!(at < 6_000, "watchdog must not overshoot wildly, got {at}");
             assert_eq!(pcs, vec![SPIN_PC], "hang reports the offending PC");
         }
         other => panic!("expected Hang, got {other:?}"),

@@ -3,8 +3,9 @@
 //! Every must-fact the analyses emit is a claim about *all* executions that
 //! reach a packet: a register holds exactly this value, an effective
 //! address resolves to this symbol, a branch goes one way. This module
-//! replays those claims against [`FuncSim`] — the same interpreter the
-//! differential fuzzer trusts — one packet at a time:
+//! replays those claims against any [`ExecEngine`] — the interpreter or
+//! the translated engine, which the differential fuzzer keeps
+//! bit-identical — one packet at a time:
 //!
 //! * before a packet executes, its constant and range facts are compared
 //!   against the live register file, and every address fact is compared
@@ -23,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use majc_core::{FuncSim, Trap};
+use majc_core::{ExecEngine, RegFile, Trap};
 use majc_isa::{Instr, Off, Reg, NUM_REGS};
 
 use crate::facts::{AddrBase, AddrFact, BranchFact, ConstFact, Facts, RangeFact};
@@ -57,8 +58,7 @@ fn record(v: &mut Validation, msg: String) {
 
 /// The effective address `exec_slot` would compute for the memory access
 /// in this slot, from pre-packet register state.
-fn actual_ea(sim: &FuncSim, ins: &Instr) -> Option<u32> {
-    let regs = &sim.regs;
+fn actual_ea(regs: &RegFile, ins: &Instr) -> Option<u32> {
     match ins {
         Instr::Ld { base, off, .. } | Instr::St { base, off, .. } => {
             let off = match off {
@@ -74,12 +74,14 @@ fn actual_ea(sim: &FuncSim, ins: &Instr) -> Option<u32> {
     }
 }
 
-/// Replay `facts` against a prepared simulator, stepping up to
+/// Replay `facts` against a prepared execution engine, stepping up to
 /// `max_packets`. Returns the tally of checks and any contradictions.
+/// The engines are bit-identical, so a fact that holds on one holds on
+/// all; replaying on [`majc_core::XlateSim`] is the fast path.
 ///
 /// When `facts.must_facts` is false (the analyses abstained) this is a
 /// no-op success: there is nothing checkable.
-pub fn validate(sim: &mut FuncSim, facts: &Facts, max_packets: u64) -> Validation {
+pub fn validate<E: ExecEngine>(sim: &mut E, facts: &Facts, max_packets: u64) -> Validation {
     let mut v = Validation::default();
     if !facts.must_facts {
         v.halted = sim.halted();
@@ -90,7 +92,7 @@ pub fn validate(sim: &mut FuncSim, facts: &Facts, max_packets: u64) -> Validatio
     let mut entry = [0u32; NUM_REGS as usize];
     for (i, e) in entry.iter_mut().enumerate() {
         let r = Reg::from_index(i as u8).expect("index < NUM_REGS");
-        *e = sim.regs.get(r);
+        *e = sim.regs().get(r);
     }
 
     // Per-packet fact indices.
@@ -117,7 +119,7 @@ pub fn validate(sim: &mut FuncSim, facts: &Facts, max_packets: u64) -> Validatio
 
         for f in consts.get(&i).into_iter().flatten() {
             v.checks += 1;
-            let got = sim.regs.get(f.reg);
+            let got = sim.regs().get(f.reg);
             if got != f.value {
                 record(
                     &mut v,
@@ -130,7 +132,7 @@ pub fn validate(sim: &mut FuncSim, facts: &Facts, max_packets: u64) -> Validatio
         }
         for f in ranges.get(&i).into_iter().flatten() {
             v.checks += 1;
-            let got = sim.regs.get_i32(f.reg);
+            let got = sim.regs().get_i32(f.reg);
             if got < f.lo || got > f.hi {
                 record(
                     &mut v,
@@ -147,7 +149,7 @@ pub fn validate(sim: &mut FuncSim, facts: &Facts, max_packets: u64) -> Validatio
                 record(&mut v, format!("packet {i}: addr fact names missing slot {}", f.slot));
                 continue;
             };
-            let Some(got) = actual_ea(sim, ins) else {
+            let Some(got) = actual_ea(sim.regs(), ins) else {
                 record(&mut v, format!("packet {i} slot {}: addr fact on non-memory slot", f.slot));
                 continue;
             };
@@ -223,6 +225,7 @@ pub fn validate(sim: &mut FuncSim, facts: &Facts, max_packets: u64) -> Validatio
 #[cfg(test)]
 mod tests {
     use super::*;
+    use majc_core::{FuncSim, XlateSim};
     use majc_isa::{AluOp, Packet, Program, Src};
     use majc_mem::FlatMem;
 
@@ -260,6 +263,20 @@ mod tests {
         assert!(v.ok(), "{:?}", v.violations);
         assert!(v.halted);
         assert!(v.checks > 0);
+    }
+
+    #[test]
+    fn facts_validate_on_the_translated_engine() {
+        let p = simple_prog();
+        let a = analyze(&p, &LintOptions::default());
+        let mut interp = FuncSim::new(p.clone(), FlatMem::new());
+        let vi = validate(&mut interp, &a.facts, 10_000);
+        let mut xlate = XlateSim::new(p, FlatMem::new());
+        let vx = validate(&mut xlate, &a.facts, 10_000);
+        assert!(vx.ok(), "{:?}", vx.violations);
+        assert_eq!(vi.packets, vx.packets);
+        assert_eq!(vi.checks, vx.checks);
+        assert_eq!(vi.halted, vx.halted);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use majc_core::{CycleSim, FuncSim, LocalMemSys, SimError, TimingConfig};
+use majc_core::{CycleSim, FuncSim, LocalMemSys, SimError, TimingConfig, XlateSim};
 use majc_isa::gen::{self, GenCfg};
 use majc_isa::{Program, SplitMix64};
 use majc_mem::{fnv1a, FaultPlan, FlatMem};
@@ -174,6 +174,11 @@ impl ExecCtx {
         }
     }
 
+    /// Func-engine jobs run on the translated engine: bit-identical to
+    /// the interpreter (clients see the same packets, digests, and trap
+    /// reports) and every resident worker shares the process-wide
+    /// translation cache, so a hot kernel is lowered once per daemon, not
+    /// once per request.
     fn run_func(
         &self,
         prog: Arc<Program>,
@@ -182,8 +187,8 @@ impl ExecCtx {
         sim: &SimSpec,
     ) -> Status {
         let mut fs = match snap {
-            Some(s) => FuncSim::resume(prog, mem, s),
-            None => FuncSim::new(prog, mem),
+            Some(s) => XlateSim::resume(prog, mem, s),
+            None => XlateSim::new(prog, mem),
         };
         if sim.checkpoint {
             // Budget-capped by design: stop at the boundary and snapshot.

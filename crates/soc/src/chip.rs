@@ -418,7 +418,7 @@ impl<S: TraceSink> Majc5200<S> {
             };
             let cycle = self.cpu[pick].stats.cycles;
             if cycle > self.max_cycles {
-                return Err(SimError::Hang { cycle, pcs: self.stuck_pcs() });
+                return Err(SimError::Hang { at: cycle, pcs: self.stuck_pcs() });
             }
             self.cpu[pick].step_on(&mut ChipPort { chip: &mut self.chip })?;
             issued += 1;

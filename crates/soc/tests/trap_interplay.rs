@@ -160,8 +160,8 @@ fn chip_watchdog_reports_the_stuck_cpu() {
     let mut chip = Majc5200::new([p0, p1], FlatMem::new(), cfg);
     let e = chip.run(u64::MAX).unwrap_err();
     match e {
-        SimError::Hang { cycle, pcs } => {
-            assert!(cycle > 20_000);
+        SimError::Hang { at, pcs } => {
+            assert!(at > 20_000);
             assert_eq!(pcs, vec![spin_pc], "only CPU0 is stuck");
         }
         other => panic!("expected a hang, got {other:?}"),
