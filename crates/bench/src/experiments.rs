@@ -925,13 +925,13 @@ fn run_farm_scenario(shard: usize, sc: FarmScenario) -> crate::farm::ShardResult
 /// and emits the per-job scaling table. Wall-clock appears only in the
 /// printed table, never in the merged report.
 pub fn farm(jobs: Option<usize>) -> Table {
-    use crate::farm::{merged_json, Farm};
+    use crate::farm::{merged_json, merged_json_full, Farm, PoolMetrics};
 
     let run_batch = |n: usize| {
         let t0 = std::time::Instant::now();
-        let results = Farm::new(n).run(farm_batch(), run_farm_scenario);
+        let (results, pool) = Farm::new(n).run_metered(farm_batch(), run_farm_scenario);
         let elapsed = t0.elapsed().as_secs_f64();
-        (merged_json(FARM_MASTER_SEED, &results), results, elapsed)
+        (merged_json(FARM_MASTER_SEED, &results), results, elapsed, pool)
     };
     let save = |report: &str| {
         let out = std::path::Path::new("target/reports");
@@ -939,6 +939,21 @@ pub fn farm(jobs: Option<usize>) -> Table {
             .and_then(|()| std::fs::write(out.join("farm_merged.json"), report))
         {
             Ok(()) => "saved target/reports/farm_merged.json".to_string(),
+            Err(e) => format!("not saved: {e}"),
+        }
+    };
+    // The operator-facing sibling of the merged report: same shards, plus
+    // the pool's scheduling tallies in an explicitly nondeterministic
+    // trailer. Never byte-compared — that is the point.
+    let save_pool = |results: &[crate::farm::ShardResult], pool: &PoolMetrics| {
+        let out = std::path::Path::new("target/reports");
+        let full = merged_json_full(FARM_MASTER_SEED, results, Some(pool));
+        match std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(out.join("farm_pool.json"), full))
+        {
+            Ok(()) => {
+                format!("saved target/reports/farm_pool.json ({} steals)", pool.total_steals())
+            }
             Err(e) => format!("not saved: {e}"),
         }
     };
@@ -954,7 +969,7 @@ pub fn farm(jobs: Option<usize>) -> Table {
     let mut t = Table::new("farm", "E11: deterministic parallel simulation farm");
     match jobs {
         Some(n) => {
-            let (report, results, elapsed) = run_batch(n);
+            let (report, results, elapsed, pool) = run_batch(n);
             let divergences = results.iter().filter(|r| r.divergence.is_some()).count();
             t.push(Row::new("scenarios", "-", k(results.len() as u64), format!("--jobs {n}")));
             t.push(Row::new(
@@ -971,13 +986,19 @@ pub fn farm(jobs: Option<usize>) -> Table {
                 throughput(&results, elapsed),
             ));
             t.push(Row::new("merged report", "-", save(&report), "no wall-clock fields"));
+            t.push(Row::new(
+                "pool report",
+                "-",
+                save_pool(&results, &pool),
+                "scheduling tallies, nondeterministic",
+            ));
         }
         None => {
-            type BatchRun = (String, Vec<crate::farm::ShardResult>, f64);
+            type BatchRun = (String, Vec<crate::farm::ShardResult>, f64, PoolMetrics);
             let sweep: Vec<(usize, BatchRun)> =
                 [1usize, 2, 4].into_iter().map(|n| (n, run_batch(n))).collect();
-            let (base_report, _, base_elapsed) = &sweep[0].1;
-            for (n, (report, results, elapsed)) in &sweep {
+            let (base_report, _, base_elapsed, _) = &sweep[0].1;
+            for (n, (report, results, elapsed, _)) in &sweep {
                 assert_eq!(
                     report, base_report,
                     "merged report must be byte-identical at --jobs {n}"
@@ -1000,6 +1021,13 @@ pub fn farm(jobs: Option<usize>) -> Table {
                 "merged reports at --jobs 1/2/4",
             ));
             t.push(Row::new("merged report", "-", save(base_report), "no wall-clock fields"));
+            let (_, (_, last_results, _, last_pool)) = &sweep[sweep.len() - 1];
+            t.push(Row::new(
+                "pool report",
+                "-",
+                save_pool(last_results, last_pool),
+                "scheduling tallies, nondeterministic",
+            ));
         }
     }
     t
@@ -1731,6 +1759,266 @@ pub fn xlate(jobs: Option<usize>) -> Table {
     t
 }
 
+// ------------------------------- E15 -------------------------------
+
+/// Master seed for the E15 observability batch; every shard's job mix is
+/// derived from it with [`crate::farm::shard_seed`].
+pub const OBS_MASTER_SEED: u64 = 0xE15;
+
+/// Histogram bounds (work units) for the E15 per-job packet/cycle
+/// distributions.
+const OBS_WORK_BOUNDS: &[u64] =
+    &[16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216];
+
+/// Run one E15 shard: a seeded mix of func-engine simulate jobs through a
+/// private [`majc_serve::ExecCtx`], tallied into the shard's own metrics
+/// registry. Everything recorded is architectural (packets, cycles, job
+/// kinds), so the returned snapshot is a pure function of
+/// `(OBS_MASTER_SEED, shard)` — and the shared `cache`'s counters are a
+/// pure function of the request *multiset*, independent of shard
+/// interleaving.
+fn obs_shard(
+    shard: usize,
+    names: &[&'static str],
+    cache: &std::sync::Arc<majc_core::XlateCache>,
+) -> majc_obs::Snapshot {
+    use majc_obs::{Class, MetricsRegistry};
+    use majc_serve::{Engine, ExecCtx, JobSpec, SimSpec, Status, Val};
+
+    const JOBS_PER_SHARD: usize = 10;
+    let payload_u64 = |st: &Status, field: &str| -> Option<u64> {
+        match st {
+            Status::Ok(fields) => {
+                fields.iter().find(|(k, _)| k == field).and_then(|(_, v)| match v {
+                    Val::U64(n) => Some(*n),
+                    _ => None,
+                })
+            }
+            other => panic!("E15 job must succeed, got {other:?}"),
+        }
+    };
+
+    let ctx = ExecCtx::with_xlate_cache(std::sync::Arc::clone(cache));
+    let reg = MetricsRegistry::new();
+    let jobs_total = reg.counter("jobs.total", Class::Det);
+    let packets_total = reg.counter("engine.packets.total", Class::Det);
+    let cycles_total = reg.counter("engine.cycles.total", Class::Det);
+    let packets_per_job = reg.histogram("engine.packets.per_job", Class::Det, OBS_WORK_BOUNDS);
+    let cycles_per_job = reg.histogram("engine.cycles.per_job", Class::Det, OBS_WORK_BOUNDS);
+
+    let seed = crate::farm::shard_seed(OBS_MASTER_SEED, shard as u64);
+    let mut rng = crate::farm::XorShift64Star::new(seed);
+    for _ in 0..JOBS_PER_SHARD {
+        let kernel = names[rng.below(names.len() as u64) as usize];
+        // One job in three runs cycle-accurate (the only engine that
+        // reports cycles); the rest run the translated func engine and
+        // exercise the shared private translation cache.
+        let engine = if rng.below(3) == 0 { Engine::Cycle } else { Engine::Func };
+        let spec = JobSpec::Simulate(SimSpec {
+            kernel: Some(kernel.to_string()),
+            source: None,
+            engine,
+            budget: 200_000_000,
+            checkpoint: false,
+            resume: None,
+        });
+        let status = ctx.execute(&spec, None);
+        let packets = payload_u64(&status, "packets")
+            .unwrap_or_else(|| panic!("{kernel}: simulate payload lacks packets"));
+        jobs_total.inc();
+        reg.counter(&format!("jobs.kernel.{kernel}"), Class::Det).inc();
+        reg.counter(
+            &format!("jobs.engine.{}", if engine == Engine::Cycle { "cycle" } else { "func" }),
+            Class::Det,
+        )
+        .inc();
+        packets_total.add(packets);
+        packets_per_job.observe(packets);
+        if let Some(cycles) = payload_u64(&status, "cycles") {
+            cycles_total.add(cycles);
+            cycles_per_job.observe(cycles);
+        }
+    }
+    reg.snapshot()
+}
+
+/// The deterministic E15 report: the shard registries merged in shard
+/// order (counters sum, histogram buckets sum — both order-independent)
+/// plus the shared private translation cache's counters. No wall-clock
+/// field anywhere — CI `cmp`s this file across `--jobs` values.
+fn obs_json(
+    merged: &majc_obs::Snapshot,
+    shards: usize,
+    cache: majc_core::XlateCacheStats,
+) -> String {
+    format!(
+        "{{\n  \"shards\": {shards},\n  \"metrics\": {},\n  \"xlate_cache\": \
+         {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"resident\": {}}}\n}}\n",
+        merged.det_json(),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.resident,
+    )
+}
+
+/// E15: service-level observability. Phase A is deterministic: a farm of
+/// seeded job shards, each tallying architectural metrics into its own
+/// registry through a *private* translation cache; the merged snapshot
+/// plus cache counters are saved to `target/reports/obs.json`, which must
+/// be byte-identical for any `--jobs` (the sweep asserts it, CI `cmp`s
+/// it). Phase B is explicitly nondeterministic: a workers × queue-depth
+/// chaos-load sweep over live metrics-enabled servers, reporting
+/// queue-wait and service-time percentiles from the wall-clock histograms
+/// and saving the largest cell's per-job span timeline as a Perfetto
+/// trace (`target/reports/obs_job_spans.json`).
+pub fn obs(jobs: Option<usize>) -> Table {
+    use crate::farm::Farm;
+    use majc_core::{XlateCache, XLATE_CACHE_CAP};
+    use std::sync::Arc;
+
+    const SHARDS: usize = 12;
+    // Heavy (megacycle) kernels only run in release builds, like the rest
+    // of the debug test surface.
+    let names: Vec<&'static str> = {
+        let mut v: Vec<&'static str> = majc_kernels::suite::cases()
+            .iter()
+            .filter(|c| !(c.heavy && cfg!(debug_assertions)))
+            .map(|c| c.name)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+
+    let run_batch = |n: usize| -> (String, majc_obs::Snapshot) {
+        let cache = Arc::new(XlateCache::new(XLATE_CACHE_CAP));
+        let snaps = Farm::new(n)
+            .run((0..SHARDS).collect::<Vec<usize>>(), |_, shard| obs_shard(shard, &names, &cache));
+        let merged = snaps.iter().fold(majc_obs::Snapshot::default(), |acc, s| acc.merge(s));
+        (obs_json(&merged, SHARDS, cache.stats()), merged)
+    };
+    let save = |report: &str| {
+        let out = std::path::Path::new("target/reports");
+        match std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(out.join("obs.json"), report))
+        {
+            Ok(()) => "saved target/reports/obs.json".to_string(),
+            Err(e) => format!("not saved: {e}"),
+        }
+    };
+    let summarize = |t: &mut Table, merged: &majc_obs::Snapshot| {
+        let get =
+            |name: &str| merged.get(name).and_then(majc_obs::MetricValue::as_u64).unwrap_or(0);
+        t.push(Row::new(
+            "det jobs tallied",
+            "-",
+            k(get("jobs.total")),
+            format!("{SHARDS} shards, seeded kernel mix"),
+        ));
+        t.push(Row::new(
+            "det packets / cycles",
+            "-",
+            format!("{} / {}", k(get("engine.packets.total")), k(get("engine.cycles.total"))),
+            "architectural counters only",
+        ));
+    };
+
+    // `obs.json` belongs to the deterministic metrics report written
+    // above, which CI `cmp`s across `--jobs` values; the table itself
+    // saves under `obs_summary`.
+    let mut t = Table::new("obs_summary", "E15: service metrics, job spans, live introspection");
+    match jobs {
+        Some(n) => {
+            let (report, merged) = run_batch(n);
+            summarize(&mut t, &merged);
+            t.push(Row::new("det report", "-", save(&report), format!("--jobs {n}")));
+        }
+        None => {
+            let sweep: Vec<(usize, (String, majc_obs::Snapshot))> =
+                [1usize, 2, 4].into_iter().map(|n| (n, run_batch(n))).collect();
+            let (base_report, base_merged) = &sweep[0].1;
+            for (n, (report, _)) in &sweep {
+                assert_eq!(report, base_report, "obs report must be byte-identical at --jobs {n}");
+            }
+            summarize(&mut t, base_merged);
+            t.push(Row::new(
+                "determinism",
+                "byte-identical",
+                "byte-identical",
+                "det reports at --jobs 1/2/4",
+            ));
+            t.push(Row::new("det report", "-", save(base_report), ""));
+        }
+    }
+
+    // Phase B: live servers under chaos load — wall-clock percentiles and
+    // span timelines, never part of the cmp'd report.
+    obs_live_sweep(&mut t);
+    t
+}
+
+/// The nondeterministic half of E15: self-hosted chaos servers swept over
+/// workers × queue depth, percentiles read straight from the live metrics
+/// registry, and the largest cell's job spans exported as a validated
+/// Perfetto trace.
+fn obs_live_sweep(t: &mut Table) {
+    use majc_serve::{run_load, server, ChaosPlan, LoadCfg, ServeConfig};
+
+    const SEED: u64 = 0xE15;
+    let load_cfg = LoadCfg {
+        clients: 4,
+        jobs_per_client: 20,
+        seed: SEED,
+        max_busy_retries: 5_000,
+        ..LoadCfg::default()
+    };
+    let cells: &[(usize, usize)] = &[(1, 4), (2, 8), (4, 16)];
+    let mut largest: Option<(String, String)> = None;
+
+    for &(workers, queue_depth) in cells {
+        let cfg = ServeConfig { workers, queue_depth, chaos: Some(ChaosPlan::soak(SEED)) };
+        let handle = server::start(0, cfg).expect("bind localhost");
+        let report = run_load(handle.addr(), &load_cfg);
+        assert!(report.exactly_once(), "w{workers} q{queue_depth}: exactly-once violated");
+        handle.drain();
+
+        let snap = handle.metrics();
+        let pct = |name: &str, permille: u64| -> String {
+            match snap.get(name).and_then(|m| m.quantile_le(permille)) {
+                Some(v) => format!("{v}us"),
+                None => "-".to_string(),
+            }
+        };
+        t.push(Row::new(
+            format!("{workers} worker(s), queue {queue_depth}"),
+            "-",
+            format!("wait p50<={} p99<={}", pct("queue.wait_us", 500), pct("queue.wait_us", 990)),
+            format!(
+                "service p50<={} p99<={}, {} spans, {} respawns",
+                pct("worker.service_us", 500),
+                pct("worker.service_us", 990),
+                handle.job_spans().len(),
+                handle.counters().respawns,
+            ),
+        ));
+        largest = Some((handle.job_spans_perfetto(), format!("w{workers} q{queue_depth}")));
+        handle.shutdown();
+    }
+
+    if let Some((trace, cell)) = largest {
+        let events = majc_core::validate_perfetto(&trace)
+            .unwrap_or_else(|e| panic!("E15 span trace failed validation: {e}"));
+        let out = std::path::Path::new("target/reports");
+        let saved = match std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(out.join("obs_job_spans.json"), &trace))
+        {
+            Ok(()) => format!("saved target/reports/obs_job_spans.json ({events} events)"),
+            Err(e) => format!("not saved: {e}"),
+        };
+        t.push(Row::new("job span timeline", "-", saved, format!("{cell}, ui.perfetto.dev")));
+    }
+}
+
 /// Every experiment, in paper order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -1750,5 +2038,6 @@ pub fn all() -> Vec<Table> {
         profile(),
         serve(),
         xlate(None),
+        obs(None),
     ]
 }

@@ -81,6 +81,45 @@ pub struct Shard {
 // The pool
 // ---------------------------------------------------------------------------
 
+/// Per-worker scheduling tallies from one [`Farm::run_metered`] batch.
+///
+/// `executed[w]` counts items worker `w` ran; `stolen[w]` counts how many
+/// of those it took from another worker's deque. The totals are invariant
+/// (`total_executed()` always equals the batch size) but the per-worker
+/// split depends on thread timing — report it only as nondeterministic.
+#[derive(Clone, Debug, Default)]
+pub struct PoolMetrics {
+    pub workers: usize,
+    pub executed: Vec<u64>,
+    pub stolen: Vec<u64>,
+}
+
+impl PoolMetrics {
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    pub fn total_steals(&self) -> u64 {
+        self.stolen.iter().sum()
+    }
+
+    /// One JSON object, fixed field order.
+    pub fn to_json(&self) -> String {
+        let list = |v: &[u64]| {
+            let items: Vec<String> = v.iter().map(u64::to_string).collect();
+            format!("[{}]", items.join(","))
+        };
+        format!(
+            "{{\"workers\":{},\"executed\":{},\"stolen\":{},\"total_executed\":{},\"total_steals\":{}}}",
+            self.workers,
+            list(&self.executed),
+            list(&self.stolen),
+            self.total_executed(),
+            self.total_steals(),
+        )
+    }
+}
+
 /// A work-stealing pool of `jobs` worker threads.
 ///
 /// Items are dealt round-robin into per-worker deques; each worker pops
@@ -114,11 +153,30 @@ impl Farm {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.run_metered(items, f).0
+    }
+
+    /// [`Farm::run`], but also tally how the pool actually scheduled the
+    /// batch: per-worker executed and stolen counts. The tallies describe
+    /// *this run's* work placement — scheduling-dependent by construction
+    /// — so they belong in a report's explicitly nondeterministic section
+    /// ([`merged_json_full`]), never in the byte-compared merge.
+    pub fn run_metered<T, R, F>(&self, items: Vec<T>, f: F) -> (Vec<R>, PoolMetrics)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
         let n = items.len();
         let workers = self.jobs.min(n.max(1));
         if workers <= 1 {
-            return items.into_iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            let out: Vec<R> = items.into_iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            let metrics = PoolMetrics { workers: 1, executed: vec![n as u64], stolen: vec![0] };
+            return (out, metrics);
         }
+        let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let stolen: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
 
         let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -139,15 +197,23 @@ impl Farm {
                 let tx = tx.clone();
                 let queues = &queues;
                 let f = &f;
+                let executed = &executed;
+                let stolen = &stolen;
                 s.spawn(move || loop {
                     // Own queue first (front), then steal from the back of
                     // the most distant peer onward.
+                    let mut stole = false;
                     let next = queues[w].lock().unwrap().pop_front().or_else(|| {
+                        stole = true;
                         (1..workers)
                             .find_map(|d| queues[(w + d) % workers].lock().unwrap().pop_back())
                     });
                     match next {
                         Some((i, it)) => {
+                            executed[w].fetch_add(1, Ordering::Relaxed);
+                            if stole {
+                                stolen[w].fetch_add(1, Ordering::Relaxed);
+                            }
                             let _ = tx.send((i, f(i, it)));
                         }
                         None => return,
@@ -159,7 +225,14 @@ impl Farm {
                 slots[i] = Some(r);
             }
         });
-        slots.into_iter().map(|r| r.expect("each shard reports exactly once")).collect()
+        let out: Vec<R> =
+            slots.into_iter().map(|r| r.expect("each shard reports exactly once")).collect();
+        let metrics = PoolMetrics {
+            workers,
+            executed: executed.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            stolen: stolen.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        };
+        (out, metrics)
     }
 
     /// [`Farm::run`], but each item's closure also receives the shard's
@@ -279,6 +352,28 @@ pub fn merged_json(master_seed: u64, results: &[ShardResult]) -> String {
         s.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// [`merged_json`] plus an explicitly nondeterministic trailer carrying
+/// the pool's scheduling tallies. With `pool: None` the output is
+/// byte-identical to [`merged_json`] — the determinism gate keeps
+/// comparing the merge while operators still get to see how the batch
+/// was scheduled.
+pub fn merged_json_full(
+    master_seed: u64,
+    results: &[ShardResult],
+    pool: Option<&PoolMetrics>,
+) -> String {
+    let mut s = merged_json(master_seed, results);
+    if let Some(p) = pool {
+        let tail = "  ]\n}\n";
+        assert!(s.ends_with(tail), "merged_json changed shape under merged_json_full");
+        s.truncate(s.len() - tail.len());
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"nondeterministic\": {{\"pool\": {}}}\n", p.to_json()));
+        s.push_str("}\n");
+    }
     s
 }
 
@@ -442,6 +537,46 @@ mod tests {
         let again =
             Farm::new(1).run_seeded(7, vec![(); 8], |shard, ()| (shard.seed, shard.rng.next_u64()));
         assert_eq!(streams, again);
+    }
+
+    #[test]
+    fn metered_runs_account_for_every_item_and_keep_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        for jobs in [1, 3, 8] {
+            let (got, pool) = Farm::new(jobs).run_metered(items.clone(), |_, x| x + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+            assert_eq!(pool.total_executed(), 200, "jobs={jobs}");
+            assert_eq!(pool.workers, jobs.min(200));
+            assert_eq!(pool.executed.len(), pool.workers);
+            assert_eq!(pool.stolen.len(), pool.workers);
+            assert!(pool.total_steals() <= pool.total_executed());
+        }
+        // Serial path: one worker executed everything, stole nothing.
+        let (_, pool) = Farm::new(1).run_metered(vec![1u64, 2, 3], |_, x| x);
+        assert_eq!((pool.executed, pool.stolen), (vec![3], vec![0]));
+    }
+
+    #[test]
+    fn merged_json_full_without_pool_matches_merged_json_exactly() {
+        let r = ShardResult {
+            shard: 0,
+            name: "demo".into(),
+            seed: 1,
+            cycles: 10,
+            stats: CycleStats::default(),
+            mem: MemLevelStats::default(),
+            fault_events: 0,
+            fault_digest: 0,
+            divergence: None,
+        };
+        let base = merged_json(5, std::slice::from_ref(&r));
+        assert_eq!(merged_json_full(5, std::slice::from_ref(&r), None), base);
+        let pool = PoolMetrics { workers: 2, executed: vec![1, 0], stolen: vec![0, 0] };
+        let full = merged_json_full(5, &[r], Some(&pool));
+        assert!(full.starts_with(&base[..base.len() - "  ]\n}\n".len()]));
+        assert!(full.contains("\"nondeterministic\": {\"pool\": {\"workers\":2"));
+        assert!(full.ends_with("}\n"));
     }
 
     #[test]

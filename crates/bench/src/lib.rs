@@ -11,7 +11,9 @@ pub mod microbench;
 pub mod report;
 
 pub use experiments::{
-    ablations, all, fig1, fig2, graphics, peak_rates, serve, table1, table2, table3, xlate,
+    ablations, all, fig1, fig2, graphics, obs, peak_rates, serve, table1, table2, table3, xlate,
 };
-pub use farm::{shard_seed, Farm, Shard, ShardResult, XorShift64Star};
+pub use farm::{
+    merged_json_full, shard_seed, Farm, PoolMetrics, Shard, ShardResult, XorShift64Star,
+};
 pub use report::{Row, Table};

@@ -1,6 +1,6 @@
 //! `reproduce` — regenerate every table and figure of the MAJC-5200 paper.
 //!
-//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|lintfacts|trace|profile|serve|xlate|all] [--jobs N]`
+//! Usage: `reproduce [table1|table2|table3|fig1|fig2|peak|graphics|ablations|faults|memstats|farm|lintfacts|trace|profile|serve|xlate|obs|all] [--jobs N]`
 //! (default: `all`). Each run prints paper-vs-measured rows and saves a
 //! JSON report under `target/reports/`. `farm --jobs N` runs the
 //! simulation-farm batch on N workers (omit `--jobs` for the 1/2/4
@@ -16,13 +16,17 @@
 //! saves the deterministic `target/reports/xlate.json` (same `--jobs`
 //! contract), and measures engine throughput — in release builds a
 //! translated engine slower than the interpreter fails the run.
+//! `obs` exercises the majc-obs metrics layer: a deterministic seeded
+//! job batch whose merged registry snapshot (`target/reports/obs.json`)
+//! is byte-identical for any `--jobs`, plus a live chaos-server sweep
+//! whose job spans are saved as a Perfetto trace.
 
 use std::process::ExitCode;
 
 use majc_bench::experiments;
 use majc_bench::report::Table;
 
-const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile serve xlate all (plus optional `--jobs N` for farm/lintfacts/xlate)";
+const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile serve xlate obs all (plus optional `--jobs N` for farm/lintfacts/xlate/obs)";
 
 fn emit(t: Table) {
     println!("{}", t.render());
@@ -76,6 +80,13 @@ fn main() -> ExitCode {
         "serve" => emit(experiments::serve()),
         "xlate" => match jobs_flag() {
             Ok(jobs) => emit(experiments::xlate(jobs)),
+            Err(e) => {
+                eprintln!("{e}; {USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        "obs" => match jobs_flag() {
+            Ok(jobs) => emit(experiments::obs(jobs)),
             Err(e) => {
                 eprintln!("{e}; {USAGE}");
                 return ExitCode::from(2);

@@ -522,4 +522,45 @@ mod tests {
         assert!(out.contains("\"ev\":\"dma\""));
         assert!(out.contains("\"write\":true"));
     }
+
+    /// A writer that accepts `ok_left` writes and then fails every call
+    /// — a disk-full / closed-pipe stand-in.
+    struct FailAfter {
+        ok_left: usize,
+        attempts: usize,
+    }
+
+    impl std::io::Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.attempts += 1;
+            if self.ok_left == 0 {
+                return Err(std::io::Error::other("sink failed"));
+            }
+            self.ok_left -= 1;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_every_drop_on_a_failing_writer() {
+        let mut s = JsonlSink::new(FailAfter { ok_left: 0, attempts: 0 });
+        for at in 0..7u64 {
+            s.emit(&Event::CtxSwitch { cpu: 0, from: 0, to: 1, at });
+        }
+        assert_eq!(s.write_errors, 7, "every drop is counted");
+        assert!(s.into_inner().attempts >= 7, "emit keeps trying, never wedges");
+    }
+
+    #[test]
+    fn jsonl_sink_survives_a_writer_that_fails_mid_stream() {
+        let mut s = JsonlSink::new(FailAfter { ok_left: 3, attempts: 0 });
+        for at in 0..10u64 {
+            s.emit(&Event::CtxSwitch { cpu: 0, from: 0, to: 1, at });
+        }
+        assert_eq!(s.write_errors, 7, "3 delivered, 7 dropped and counted");
+    }
 }

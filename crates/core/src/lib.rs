@@ -47,7 +47,7 @@ pub use exec::{branch_taken, exec_slot, Flow, MemEffect, SlotOutcome, Trap};
 pub use func_sim::{FuncSim, FuncStats};
 pub use lsu::{Lsu, LsuStall, LsuStats};
 pub use memsys::{Backend, LocalMemSys, PerfectPort};
-pub use perfetto::{export as export_perfetto, validate as validate_perfetto};
+pub use perfetto::{export as export_perfetto, validate as validate_perfetto, TraceDoc};
 pub use predictor::{Gshare, PredictorConfig, PredictorStats};
 pub use profile::{intervals, profile, IntervalSample, PcProfile, Profile};
 pub use regfile::{RegFile, WriteSet};

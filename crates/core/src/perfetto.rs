@@ -50,21 +50,62 @@ fn thread_name(pid: u64, tid: u64) -> String {
     }
 }
 
-/// Accumulates the `traceEvents` array.
-struct Writer {
+/// Builder for a Chrome `trace_event` JSON document.
+///
+/// This is the writer behind [`export`], opened up so other layers can
+/// render their own timelines into the same UI — `majc-serve` uses it to
+/// draw per-job spans (queue wait, worker service) next to cycle traces.
+/// Emit slices with [`TraceDoc::complete`] / [`TraceDoc::instant`], name
+/// tracks with [`TraceDoc::name_process`] / [`TraceDoc::name_thread`],
+/// then [`TraceDoc::finish`] assembles the document with sorted track
+/// metadata ahead of the body. Names and `args` are interpolated
+/// verbatim: names must not contain `"` or `\`, and `args` must already
+/// be a JSON object body (`"k":v,...`) or empty.
+#[derive(Debug, Default)]
+pub struct TraceDoc {
     body: Vec<String>,
     tracks: Vec<(u64, u64)>,
+    pnames: Vec<(u64, String)>,
+    tnames: Vec<((u64, u64), String)>,
 }
 
-impl Writer {
+impl TraceDoc {
+    pub fn new() -> TraceDoc {
+        TraceDoc::default()
+    }
+
+    /// Pre-size the body for roughly `n` slices.
+    pub fn with_capacity(n: usize) -> TraceDoc {
+        TraceDoc { body: Vec::with_capacity(n), ..TraceDoc::default() }
+    }
+
+    /// Name a process track. First registration wins.
+    pub fn name_process(&mut self, pid: u64, name: &str) {
+        if !self.pnames.iter().any(|(p, _)| *p == pid) {
+            self.pnames.push((pid, name.to_string()));
+        }
+    }
+
+    /// Name a thread track. First registration wins.
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        if !self.tnames.iter().any(|(k, _)| *k == (pid, tid)) {
+            self.tnames.push(((pid, tid), name.to_string()));
+        }
+    }
+
     fn track(&mut self, pid: u64, tid: u64) {
         if !self.tracks.contains(&(pid, tid)) {
             self.tracks.push((pid, tid));
         }
     }
 
-    /// `args` must already be a JSON object body (`"k":v,...`) or empty.
-    fn complete(&mut self, pid: u64, tid: u64, name: &str, ts: u64, dur: u64, args: &str) {
+    /// Every `(pid, tid)` a slice or instant has touched so far.
+    pub fn tracks(&self) -> &[(u64, u64)] {
+        &self.tracks
+    }
+
+    /// A complete ("X") slice: `ts..ts+dur`.
+    pub fn complete(&mut self, pid: u64, tid: u64, name: &str, ts: u64, dur: u64, args: &str) {
         self.track(pid, tid);
         let mut s = String::with_capacity(96);
         let _ = write!(
@@ -74,7 +115,8 @@ impl Writer {
         self.body.push(s);
     }
 
-    fn instant(&mut self, pid: u64, tid: u64, name: &str, ts: u64, args: &str) {
+    /// A thread-scoped instant ("i") marker.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, ts: u64, args: &str) {
         self.track(pid, tid);
         let mut s = String::with_capacity(96);
         let _ = write!(
@@ -82,6 +124,51 @@ impl Writer {
             "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\"args\":{{{args}}}}}"
         );
         self.body.push(s);
+    }
+
+    /// Assemble the final document. Track metadata comes first (sorted
+    /// by `(pid, tid)` for determinism) so viewers name tracks before
+    /// any slice references them; unnamed tracks fall back to
+    /// `pid<N>` / `tid<N>`.
+    pub fn finish(mut self) -> String {
+        self.tracks.sort_unstable();
+        let mut head: Vec<String> = Vec::new();
+        let mut named_pids: Vec<u64> = Vec::new();
+        for &(pid, tid) in &self.tracks {
+            if !named_pids.contains(&pid) {
+                named_pids.push(pid);
+                let name = self
+                    .pnames
+                    .iter()
+                    .find(|(p, _)| *p == pid)
+                    .map(|(_, n)| n.clone())
+                    .unwrap_or_else(|| format!("pid{pid}"));
+                head.push(format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{name}\"}}}}"
+                ));
+            }
+            let name = self
+                .tnames
+                .iter()
+                .find(|(k, _)| *k == (pid, tid))
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("tid{tid}"));
+            head.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+
+        let mut out = String::with_capacity(64 + (head.len() + self.body.len()) * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in head.iter().chain(self.body.iter()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(s);
+        }
+        out.push_str("\n]}\n");
+        out
     }
 }
 
@@ -109,7 +196,7 @@ fn stall_name(stalls: &crate::events::PacketStalls) -> String {
 /// document (`{"traceEvents":[...]}`). Output is a pure function of the
 /// input slice: deterministic streams export to byte-identical documents.
 pub fn export(events: &[Event]) -> String {
-    let mut w = Writer { body: Vec::with_capacity(events.len() + 16), tracks: Vec::new() };
+    let mut w = TraceDoc::with_capacity(events.len() + 16);
     for ev in events {
         match *ev {
             Event::Fetch { cpu, line, at, done, served } => {
@@ -254,36 +341,11 @@ pub fn export(events: &[Event]) -> String {
         }
     }
 
-    // Metadata first so viewers name tracks before any slice references
-    // them; sorted for deterministic output.
-    w.tracks.sort_unstable();
-    let mut head: Vec<String> = Vec::new();
-    let mut named_pids: Vec<u64> = Vec::new();
-    for &(pid, tid) in &w.tracks {
-        if !named_pids.contains(&pid) {
-            named_pids.push(pid);
-            head.push(format!(
-                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
-                process_name(pid)
-            ));
-        }
-        head.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
-            thread_name(pid, tid)
-        ));
+    for (pid, tid) in w.tracks().to_vec() {
+        w.name_process(pid, &process_name(pid));
+        w.name_thread(pid, tid, &thread_name(pid, tid));
     }
-
-    let mut out = String::with_capacity(64 + (head.len() + w.body.len()) * 96);
-    out.push_str("{\"traceEvents\":[");
-    for (i, s) in head.iter().chain(w.body.iter()).enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push('\n');
-        out.push_str(s);
-    }
-    out.push_str("\n]}\n");
-    out
+    w.finish()
 }
 
 /// Parse `src` with the in-tree JSON parser and check the `trace_event`
@@ -378,6 +440,26 @@ mod tests {
             Event::CtxSwitch { cpu: 1, from: 0, to: 1, at: 3 },
         ];
         assert_eq!(export(&evs), export(&evs));
+    }
+
+    #[test]
+    fn trace_doc_names_tracks_first_registration_wins() {
+        let mut doc = TraceDoc::new();
+        doc.name_process(1, "majc-serve");
+        doc.name_process(1, "ignored");
+        doc.name_thread(1, 0, "admission-queue");
+        doc.complete(1, 0, "queue.wait", 10, 5, "\"seq\":1");
+        doc.instant(1, 7, "reply", 15, "");
+        assert_eq!(doc.tracks(), [(1, 0), (1, 7)]);
+        let out = doc.finish();
+        assert!(out.contains("\"majc-serve\""));
+        assert!(!out.contains("\"ignored\""));
+        assert!(out.contains("\"admission-queue\""));
+        assert!(out.contains("\"tid7\""), "unnamed track falls back:\n{out}");
+        let meta = out.find("process_name").unwrap();
+        let slice = out.find("queue.wait").unwrap();
+        assert!(meta < slice, "metadata precedes slices");
+        validate(&out).expect("hand-built docs pass the schema check");
     }
 
     #[test]

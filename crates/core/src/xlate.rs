@@ -906,11 +906,19 @@ impl XlateCache {
 
     /// Get or build the translation of `prog`.
     pub fn translate(&self, prog: &Arc<Program>) -> Arc<Translation> {
+        self.translate_counted(prog).0
+    }
+
+    /// Like [`XlateCache::translate`], but also reports whether this
+    /// request hit the cache — per-request attribution for job spans,
+    /// where the aggregate [`XlateCache::stats`] cannot say which job
+    /// paid for the translation.
+    pub fn translate_counted(&self, prog: &Arc<Program>) -> (Arc<Translation>, bool) {
         let digest = program_digest(prog);
         let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(t) = g.map.get(&digest).map(Arc::clone) {
             g.hits += 1;
-            return t;
+            return (t, true);
         }
         g.misses += 1;
         let t = Arc::new(Translation::build(Arc::clone(prog), digest));
@@ -924,7 +932,7 @@ impl XlateCache {
                 g.evictions += 1;
             }
         }
-        t
+        (t, false)
     }
 
     /// Sample the cache counters.
@@ -1151,7 +1159,15 @@ impl XlateSim {
     /// continuation of the run `snap` was captured from — including a snap
     /// captured on a `FuncSim`.
     pub fn resume(prog: impl Into<Arc<Program>>, mem: FlatMem, snap: &CpuSnap) -> XlateSim {
-        let mut sim = XlateSim::new(prog, mem);
+        let prog = prog.into();
+        let xl = global_xlate_cache().translate(&prog);
+        XlateSim::resume_translated(xl, mem, snap)
+    }
+
+    /// [`XlateSim::resume`] from an already-built translation (e.g. from
+    /// a private [`XlateCache`]).
+    pub fn resume_translated(xl: Arc<Translation>, mem: FlatMem, snap: &CpuSnap) -> XlateSim {
+        let mut sim = XlateSim::from_translation(xl, mem);
         snap.apply_regs(&mut sim.regs);
         sim.pc = snap.pc;
         sim.halted = snap.halted;

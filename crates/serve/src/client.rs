@@ -71,6 +71,26 @@ impl Client {
         self.recv()
     }
 
+    /// Fetch the server's live stats snapshot and pull the `metrics`
+    /// payload field out of it: the [`majc_obs`] registry as a JSON
+    /// string. Errors if the server answered anything but `ok` or the
+    /// field is missing (a pre-observability server).
+    pub fn stats_metrics_json(&mut self) -> std::io::Result<String> {
+        let resp = self.request(&Request::Stats { id: "stats".into() })?;
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        match resp.status {
+            Status::Ok(fields) => fields
+                .iter()
+                .find(|(k, _)| k == "metrics")
+                .and_then(|(_, v)| match v {
+                    crate::proto::Val::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| bad("stats response carries no metrics field")),
+            _ => Err(bad("stats request refused")),
+        }
+    }
+
     /// Submit with bounded busy-retry, honoring the server's declared
     /// `retry_after_ms` backoff.
     pub fn submit_retry(

@@ -13,7 +13,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use majc_core::{CycleSim, FuncSim, LocalMemSys, SimError, TimingConfig, XlateSim};
+use majc_core::{
+    global_xlate_cache, CycleSim, FuncSim, LocalMemSys, SimError, TimingConfig, Translation,
+    XlateCache, XlateSim,
+};
 use majc_isa::gen::{self, GenCfg};
 use majc_isa::{Program, SplitMix64};
 use majc_mem::{fnv1a, FaultPlan, FlatMem};
@@ -29,6 +32,11 @@ pub struct ExecCtx {
     pub checkpoints: CheckpointStore,
     /// Assemble requests served from the program cache.
     pub cache_hits: AtomicU64,
+    /// Translation cache for func-engine jobs: `None` uses the
+    /// process-wide cache (daemon default); a private cache isolates
+    /// counters from process history, which is what makes the E15
+    /// deterministic metrics report possible.
+    xlate: Option<Arc<XlateCache>>,
 }
 
 impl Default for ExecCtx {
@@ -47,6 +55,22 @@ impl ExecCtx {
             prog_cache: Mutex::new(HashMap::new()),
             checkpoints: CheckpointStore::new(),
             cache_hits: AtomicU64::new(0),
+            xlate: None,
+        }
+    }
+
+    /// An [`ExecCtx`] whose func-engine jobs translate through `cache`
+    /// instead of the process-wide one.
+    pub fn with_xlate_cache(cache: Arc<XlateCache>) -> ExecCtx {
+        ExecCtx { xlate: Some(cache), ..ExecCtx::new() }
+    }
+
+    /// Translate through the private cache when configured, else the
+    /// process-wide one; the bool is this request's hit/miss.
+    fn translate(&self, prog: &Arc<Program>) -> (Arc<Translation>, bool) {
+        match &self.xlate {
+            Some(cache) => cache.translate_counted(prog),
+            None => global_xlate_cache().translate_counted(prog),
         }
     }
 
@@ -186,9 +210,10 @@ impl ExecCtx {
         snap: Option<&majc_core::CpuSnap>,
         sim: &SimSpec,
     ) -> Status {
+        let (xl, xlate_hit) = self.translate(&prog);
         let mut fs = match snap {
-            Some(s) => XlateSim::resume(prog, mem, s),
-            None => XlateSim::new(prog, mem),
+            Some(s) => XlateSim::resume_translated(xl, mem, s),
+            None => XlateSim::from_translation(xl, mem),
         };
         if sim.checkpoint {
             // Budget-capped by design: stop at the boundary and snapshot.
@@ -205,6 +230,7 @@ impl ExecCtx {
                 ("halted".into(), Val::Bool(halted)),
                 ("checkpoint".into(), Val::Str(id)),
                 ("digest".into(), Val::Str(digest)),
+                ("xlate_hit".into(), Val::Bool(xlate_hit)),
             ])
         } else {
             match fs.run_to_halt(sim.budget) {
@@ -212,6 +238,7 @@ impl ExecCtx {
                     ("packets".into(), Val::U64(packets)),
                     ("halted".into(), Val::Bool(true)),
                     ("digest".into(), Val::Str(arch_digest(&fs.capture(), &fs.mem))),
+                    ("xlate_hit".into(), Val::Bool(xlate_hit)),
                 ]),
                 Err(e) => sim_error(e),
             }
@@ -392,6 +419,28 @@ mod tests {
             resume: None,
         });
         assert!(matches!(c.execute(&spec, None), Status::Rejected { .. }));
+    }
+
+    #[test]
+    fn private_xlate_cache_attributes_hits_per_request() {
+        let cache = Arc::new(XlateCache::new(8));
+        let c = ExecCtx::with_xlate_cache(Arc::clone(&cache));
+        let spec = JobSpec::Simulate(SimSpec {
+            kernel: Some("fir".into()),
+            source: None,
+            engine: Engine::Func,
+            budget: 10_000_000,
+            checkpoint: false,
+            resume: None,
+        });
+        let hit_of = |status: &Status| match status {
+            Status::Ok(fields) => fields.iter().find(|(k, _)| k == "xlate_hit").unwrap().1.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(hit_of(&c.execute(&spec, None)), Val::Bool(false), "cold cache misses");
+        assert_eq!(hit_of(&c.execute(&spec, None)), Val::Bool(true), "second request hits");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "private cache counts only this ctx");
     }
 
     #[test]

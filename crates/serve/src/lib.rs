@@ -28,6 +28,7 @@ pub mod load;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod telemetry;
 
 pub use chaos::{ChaosDecision, ChaosKill, ChaosPlan};
 pub use checkpoint::{Checkpoint, CheckpointStore, CKPT_MAGIC};
@@ -36,4 +37,8 @@ pub use jobs::{arch_digest, ExecCtx};
 pub use load::{run_load, LoadCfg, LoadReport};
 pub use proto::{Engine, JobSpec, Request, Response, SimSpec, Status, Val};
 pub use queue::{BoundedQueue, PushErr};
-pub use server::{retry_after_ms, start, CounterSnapshot, Counters, ServeConfig, ServerHandle};
+pub use server::{
+    derive_retry_after_ms, retry_after_ms, start, CounterSnapshot, Counters, ServeConfig,
+    ServerHandle,
+};
+pub use telemetry::{spans_to_perfetto, Telemetry, SPAN_LOG_CAP};

@@ -112,7 +112,8 @@ impl LoadReport {
              \"p50_us\":{},\"p99_us\":{},\"max_us\":{},\"wall_ms\":{},\"jobs_per_sec\":{},\
              \"server\":{{\"admitted\":{},\"ok\":{},\"failed\":{},\"rejected\":{},\"busy\":{},\
              \"drain_rejected\":{},\"parse_errors\":{},\"panics\":{},\"respawns\":{},\
-             \"abandoned\":{}}}}}",
+             \"abandoned\":{},\"chaos_kills\":{},\"workers_spawned\":{},\
+             \"last_kill_seq\":{}}}}}",
             self.clients,
             self.jobs_per_client,
             self.seed,
@@ -143,6 +144,9 @@ impl LoadReport {
             self.server.panics,
             self.server.respawns,
             self.server.abandoned,
+            self.server.chaos_kills,
+            self.server.workers_spawned,
+            self.server.last_kill_seq,
         )
     }
 
@@ -413,6 +417,9 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadCfg) -> LoadReport {
                 panics: get("panics"),
                 respawns: get("respawns"),
                 abandoned: get("abandoned"),
+                chaos_kills: get("chaos_kills"),
+                workers_spawned: get("workers_spawned"),
+                last_kill_seq: get("last_kill_seq"),
             };
         }
     }

@@ -3,14 +3,22 @@
 //!
 //! ```text
 //! majc-serve serve  [--port P] [--workers N] [--queue D] [--chaos SEED]
+//!                   [--metrics-out FILE] [--spans-out FILE]
 //! majc-serve submit --addr HOST:PORT (--source FILE --kind assemble|lint
 //!                   | --kernel NAME [--engine func|cycle] [--budget N])
 //! majc-serve load   [--addr HOST:PORT] [--clients C] [--jobs J] [--seed S]
 //!                   [--workers N] [--queue D] [--chaos SEED]
 //!                   [--out FILE] [--det-out FILE]
+//!                   [--metrics-out FILE] [--spans-out FILE] [--spans-jsonl FILE]
 //! majc-serve stats --addr HOST:PORT
 //! majc-serve shutdown --addr HOST:PORT
 //! ```
+//!
+//! `--metrics-out` writes the final [`majc_obs`] registry snapshot as
+//! JSON; `--spans-out` writes the per-job span timeline as a Perfetto
+//! trace; `--spans-jsonl` writes the raw spans one JSON object per
+//! line. All three capture the self-hosted server (for `load`) or the
+//! daemon at drain (for `serve`).
 //!
 //! `load` self-hosts a chaos server unless `--addr` points at one.
 //! Exit codes: 0 success, 1 exactly-once invariant violated, 2 usage.
@@ -25,11 +33,13 @@ use majc_serve::{
 fn usage() -> ExitCode {
     eprintln!(
         "usage: majc-serve serve [--port P] [--workers N] [--queue D] [--chaos SEED]\n\
+         \x20                      [--metrics-out FILE] [--spans-out FILE]\n\
          \x20      majc-serve submit --addr A (--source FILE --kind assemble|lint |\n\
          \x20                                  --kernel NAME [--engine func|cycle] [--budget N])\n\
          \x20      majc-serve load [--addr A] [--clients C] [--jobs J] [--seed S]\n\
          \x20                      [--workers N] [--queue D] [--chaos SEED]\n\
          \x20                      [--out FILE] [--det-out FILE]\n\
+         \x20                      [--metrics-out FILE] [--spans-out FILE] [--spans-jsonl FILE]\n\
          \x20      majc-serve stats --addr A\n\
          \x20      majc-serve shutdown --addr A"
     );
@@ -109,8 +119,16 @@ fn cmd_serve(flags: &[(String, String)]) -> Result<ExitCode, String> {
         cfg.chaos.map_or("off".to_string(), |p| format!("seed {}", p.seed)),
     );
     // Runs until a client sends `shutdown` (the portable SIGTERM).
-    handle.join();
+    let (metrics, spans) = handle.join_final();
     println!("drained; goodbye");
+    if let Some(path) = flag(flags, "metrics-out") {
+        write_file(path, &metrics.to_json())?;
+        println!("metrics -> {path}");
+    }
+    if let Some(path) = flag(flags, "spans-out") {
+        write_file(path, &majc_serve::spans_to_perfetto(&spans))?;
+        println!("job spans -> {path}");
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -196,6 +214,18 @@ fn cmd_load(flags: &[(String, String)]) -> Result<ExitCode, String> {
 
     let report = load::run_load(addr, &cfg);
     if let Some(handle) = hosted {
+        // Drain first so the final snapshot covers the whole run, then
+        // pull observability while the handle is still alive.
+        handle.drain();
+        if let Some(path) = flag(flags, "metrics-out") {
+            write_file(path, &handle.metrics_json())?;
+        }
+        if let Some(path) = flag(flags, "spans-out") {
+            write_file(path, &handle.job_spans_perfetto())?;
+        }
+        if let Some(path) = flag(flags, "spans-jsonl") {
+            write_file(path, &handle.job_spans_jsonl())?;
+        }
         handle.shutdown();
     }
 

@@ -115,7 +115,10 @@ pub enum Request {
         id: String,
         spec: JobSpec,
     },
-    /// Snapshot of the server's counters.
+    /// Snapshot of the server's counters, plus a `metrics` payload
+    /// field carrying the full [`majc_obs`] registry snapshot as a JSON
+    /// string (deterministic and wall-clock sections) — the live
+    /// introspection verb.
     Stats {
         id: String,
     },

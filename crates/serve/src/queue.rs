@@ -24,6 +24,9 @@ pub enum PushErr<T> {
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Deepest the queue has ever been (items queued right after a
+    /// push) — the saturation signal backpressure tuning reads.
+    highwater: usize,
 }
 
 /// A fixed-capacity MPMC queue (mutex + condvar; no channels, so the
@@ -39,7 +42,11 @@ impl<T> BoundedQueue<T> {
         assert!(capacity > 0, "a zero-capacity queue admits nothing");
         BoundedQueue {
             capacity,
-            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                highwater: 0,
+            }),
             takers: Condvar::new(),
         }
     }
@@ -60,6 +67,11 @@ impl<T> BoundedQueue<T> {
         self.lock().items.len()
     }
 
+    /// Deepest the queue has ever been.
+    pub fn highwater(&self) -> usize {
+        self.lock().highwater
+    }
+
     /// Admit an item, or refuse without blocking.
     pub fn try_push(&self, item: T) -> Result<(), PushErr<T>> {
         let mut st = self.lock();
@@ -70,6 +82,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushErr::Full(item));
         }
         st.items.push_back(item);
+        st.highwater = st.highwater.max(st.items.len());
         drop(st);
         self.takers.notify_one();
         Ok(())
@@ -117,6 +130,19 @@ mod tests {
         assert_eq!(q.depth(), 2);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn highwater_tracks_peak_depth_not_current() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.highwater(), 0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.highwater(), 3, "peak survives draining");
     }
 
     #[test]

@@ -25,16 +25,42 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::thread::JoinHandle;
 
+use majc_obs::JobSpan;
+
 use crate::chaos::{ChaosKill, ChaosPlan};
 use crate::jobs::ExecCtx;
 use crate::proto::{JobSpec, Request, Response, Status, Val};
 use crate::queue::{BoundedQueue, PushErr};
+use crate::telemetry::{spans_to_perfetto, Telemetry};
 
-/// Deterministic backoff for a full queue: one millisecond per occupied
+/// Cold-start backoff for a full queue: one millisecond per occupied
 /// slot. A pure function of capacity, so two runs of the same load
-/// against the same config see identical `busy` responses.
+/// against the same config see identical `busy` responses until the
+/// first job retires (after which [`derive_retry_after_ms`] has a
+/// measured drain rate to work from).
 pub fn retry_after_ms(queue_capacity: usize) -> u64 {
     (queue_capacity as u64).max(1)
+}
+
+/// Backoff derived from the measured drain rate: estimated time for
+/// `workers` to retire the current backlog (`depth` queued plus one in
+/// service) at the mean observed service time, clamped to 1ms..10s.
+/// Falls back to the cold-start [`retry_after_ms`] constant until at
+/// least one job has retired.
+pub fn derive_retry_after_ms(
+    depth: usize,
+    capacity: usize,
+    drained_jobs: u64,
+    service_us_total: u64,
+    workers: usize,
+) -> u64 {
+    if drained_jobs == 0 {
+        return retry_after_ms(capacity);
+    }
+    let mean_service_us = (service_us_total / drained_jobs).max(1);
+    let backlog = depth as u64 + 1;
+    let est_us = backlog.saturating_mul(mean_service_us) / (workers.max(1) as u64);
+    est_us.div_ceil(1000).clamp(1, 10_000)
 }
 
 /// Server configuration.
@@ -65,6 +91,14 @@ pub struct Counters {
     pub respawns: AtomicU64,
     /// Responses whose client had already disconnected.
     pub abandoned: AtomicU64,
+    /// Panics that were seeded chaos kills (subset of `panics`); after
+    /// the monitor settles, `respawns` must equal this exactly.
+    pub chaos_kills: AtomicU64,
+    /// Worker threads ever started (initial pool + respawns); doubles
+    /// as the respawn-generation allocator.
+    pub workers_spawned: AtomicU64,
+    /// `seq + 1` of the most recent chaos-killed job (0 = none yet).
+    pub last_kill_seq: AtomicU64,
 }
 
 /// A plain snapshot of [`Counters`].
@@ -80,6 +114,10 @@ pub struct CounterSnapshot {
     pub panics: u64,
     pub respawns: u64,
     pub abandoned: u64,
+    pub chaos_kills: u64,
+    pub workers_spawned: u64,
+    /// `seq + 1` of the most recent chaos kill; 0 means none happened.
+    pub last_kill_seq: u64,
 }
 
 impl Counters {
@@ -95,6 +133,9 @@ impl Counters {
             panics: self.panics.load(Ordering::Relaxed),
             respawns: self.respawns.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
+            chaos_kills: self.chaos_kills.load(Ordering::Relaxed),
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            last_kill_seq: self.last_kill_seq.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +153,10 @@ struct Job {
     id: String,
     spec: JobSpec,
     resp: mpsc::Sender<Response>,
+    /// Telemetry timestamp at admission (µs since server epoch).
+    accept_us: u64,
+    /// Queue depth observed just before this job was pushed.
+    depth_at_accept: u64,
 }
 
 enum WorkerEvent {
@@ -131,6 +176,11 @@ struct Shared {
     /// Worker-side job sequence; feeds the chaos plan.
     job_seq: AtomicU64,
     events: mpsc::Sender<WorkerEvent>,
+    obs: Telemetry,
+    /// Jobs retired by workers — the denominator of the drain rate.
+    drained_jobs: AtomicU64,
+    /// Total worker service time (µs) — the numerator of the drain rate.
+    service_us_total: AtomicU64,
 }
 
 impl Shared {
@@ -151,8 +201,23 @@ impl Shared {
         let _ = TcpStream::connect(self.addr);
     }
 
+    /// Backoff a `busy` answer declares right now, from the measured
+    /// drain rate; also published as the `busy.retry_after_ms` gauge.
+    fn derived_retry_after_ms(&self) -> u64 {
+        let ms = derive_retry_after_ms(
+            self.queue.depth(),
+            self.queue.capacity(),
+            self.drained_jobs.load(Ordering::Relaxed),
+            self.service_us_total.load(Ordering::Relaxed),
+            self.cfg.workers,
+        );
+        self.obs.retry_after_ms.set(ms);
+        ms
+    }
+
     fn stats_response(&self, id: &str) -> Response {
         let c = self.counters.snapshot();
+        let metrics = self.obs.snapshot();
         Response::ok(
             id,
             vec![
@@ -168,8 +233,19 @@ impl Shared {
                 ("parse_errors".into(), Val::U64(c.parse_errors)),
                 ("panics".into(), Val::U64(c.panics)),
                 ("respawns".into(), Val::U64(c.respawns)),
+                ("abandoned".into(), Val::U64(c.abandoned)),
+                ("chaos_kills".into(), Val::U64(c.chaos_kills)),
+                ("workers_spawned".into(), Val::U64(c.workers_spawned)),
+                ("last_kill_seq".into(), Val::U64(c.last_kill_seq)),
+                ("retry_after_ms".into(), Val::U64(self.derived_retry_after_ms())),
+                ("queue_highwater".into(), Val::U64(self.queue.highwater() as u64)),
+                ("spans_recorded".into(), Val::U64(self.obs.spans.len() as u64)),
+                ("spans_dropped".into(), Val::U64(self.obs.spans.dropped())),
                 ("cache_hits".into(), Val::U64(self.ctx.cache_hits.load(Ordering::Relaxed))),
                 ("checkpoints".into(), Val::U64(self.ctx.checkpoints.len() as u64)),
+                // The full registry snapshot, det/wall-sectioned, as an
+                // embedded JSON document.
+                ("metrics".into(), Val::Str(metrics.to_json())),
             ],
         )
     }
@@ -192,6 +268,43 @@ impl ServerHandle {
         self.shared.counters.snapshot()
     }
 
+    /// Full metrics snapshot (deterministic + wall sections).
+    pub fn metrics(&self) -> majc_obs::Snapshot {
+        self.shared.obs.snapshot()
+    }
+
+    /// The complete registry as JSON — what `--metrics-out` writes.
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Only the deterministic section — byte-identical for identical
+    /// job streams, the `cmp`-gated artifact.
+    pub fn det_metrics_json(&self) -> String {
+        self.metrics().det_json()
+    }
+
+    /// Every job span recorded so far, sorted by execution seq.
+    pub fn job_spans(&self) -> Vec<JobSpan> {
+        self.shared.obs.spans.snapshot()
+    }
+
+    /// Job spans as JSON lines.
+    pub fn job_spans_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.job_spans() {
+            out.push_str(&s.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Job spans as a Perfetto timeline (queue-wait + worker-service
+    /// slices per job).
+    pub fn job_spans_perfetto(&self) -> String {
+        spans_to_perfetto(&self.job_spans())
+    }
+
     /// Programmatic graceful shutdown (same path as the `shutdown`
     /// request — the portable stand-in for SIGTERM).
     pub fn drain(&self) {
@@ -208,6 +321,17 @@ impl ServerHandle {
     pub fn shutdown(self) {
         self.drain();
         self.join();
+    }
+
+    /// Wait for shutdown (a client's `shutdown` verb, the portable
+    /// SIGTERM), then hand back the final metrics snapshot and job
+    /// spans — the observability the handle can no longer serve once
+    /// the daemon is gone.
+    pub fn join_final(self) -> (majc_obs::Snapshot, Vec<JobSpan>) {
+        let shared = Arc::clone(&self.shared);
+        self.join();
+        let spans = shared.obs.spans.snapshot();
+        (shared.obs.snapshot(), spans)
     }
 }
 
@@ -243,6 +367,9 @@ pub fn start(port: u16, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         job_seq: AtomicU64::new(0),
         events,
+        obs: Telemetry::default(),
+        drained_jobs: AtomicU64::new(0),
+        service_us_total: AtomicU64::new(0),
     });
 
     for _ in 0..cfg.workers {
@@ -260,8 +387,11 @@ pub fn start(port: u16, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 }
 
 fn spawn_worker(shared: &Arc<Shared>) {
+    // The fetch_add result is this worker's respawn generation: the
+    // initial pool takes 0..workers, every respawn gets a fresh one.
+    let generation = shared.counters.workers_spawned.fetch_add(1, Ordering::SeqCst);
     let shared = Arc::clone(shared);
-    std::thread::spawn(move || worker_loop(&shared));
+    std::thread::spawn(move || worker_loop(&shared, generation));
 }
 
 /// Keep the worker pool at strength: respawn after panics until drain,
@@ -285,8 +415,29 @@ fn monitor_loop(shared: &Arc<Shared>, events: &mpsc::Receiver<WorkerEvent>) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// Pull a numeric engine counter out of an `ok` payload.
+fn payload_u64(status: &Status, name: &str) -> u64 {
+    match status {
+        Status::Ok(fields) => {
+            fields.iter().find(|(k, _)| k == name).and_then(|(_, v)| v.as_u64()).unwrap_or(0)
+        }
+        _ => 0,
+    }
+}
+
+fn payload_bool(status: &Status, name: &str) -> Option<bool> {
+    match status {
+        Status::Ok(fields) => fields.iter().find(|(k, _)| k == name).and_then(|(_, v)| match v {
+            Val::Bool(b) => Some(*b),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, generation: u64) {
     while let Some(job) = shared.queue.pop() {
+        let start_us = shared.obs.now_us();
         let seq = shared.job_seq.fetch_add(1, Ordering::SeqCst);
         let decision = shared.cfg.chaos.map(|p| p.decide(seq));
         let fault_seed = decision.and_then(|d| d.fault_seed);
@@ -305,6 +456,8 @@ fn worker_loop(shared: &Arc<Shared>) {
             Err(payload) => {
                 shared.counters.panics.fetch_add(1, Ordering::Relaxed);
                 let detail = if payload.downcast_ref::<ChaosKill>().is_some() {
+                    shared.counters.chaos_kills.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.last_kill_seq.store(seq + 1, Ordering::Relaxed);
                     "chaos kill: worker thread terminated mid-job".to_string()
                 } else {
                     "job panicked; worker replaced".to_string()
@@ -318,6 +471,31 @@ fn worker_loop(shared: &Arc<Shared>) {
             Status::Rejected { .. } => shared.counters.rejected.fetch_add(1, Ordering::Relaxed),
             Status::Busy { .. } => unreachable!("workers never emit busy"),
         };
+        let end_us = shared.obs.now_us();
+        shared.drained_jobs.fetch_add(1, Ordering::Relaxed);
+        shared.service_us_total.fetch_add(end_us.saturating_sub(start_us), Ordering::Relaxed);
+        let outcome_name = match &status {
+            _ if died => "killed",
+            Status::Ok(_) => "ok",
+            Status::Failed { .. } => "failed",
+            Status::Rejected { .. } => "rejected",
+            Status::Busy { .. } => "busy",
+        };
+        shared.obs.record_job(JobSpan {
+            seq,
+            id: job.id.clone(),
+            kind: job.spec.kind().to_string(),
+            worker_gen: generation,
+            queue_depth_at_accept: job.depth_at_accept,
+            accept_us: job.accept_us,
+            start_us,
+            end_us,
+            outcome: outcome_name.to_string(),
+            packets: payload_u64(&status, "packets"),
+            cycles: payload_u64(&status, "cycles"),
+            xlate_hit: payload_bool(&status, "xlate_hit"),
+            killed: died,
+        });
         if job.resp.send(Response { id: job.id, status }).is_err() {
             shared.counters.abandoned.fetch_add(1, Ordering::Relaxed);
         }
@@ -377,17 +555,24 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 shared.drain();
             }
             Request::Job { id, spec } => {
-                let job = Job { id, spec, resp: tx.clone() };
+                let job = Job {
+                    id,
+                    spec,
+                    resp: tx.clone(),
+                    accept_us: shared.obs.now_us(),
+                    depth_at_accept: shared.queue.depth() as u64,
+                };
                 match shared.queue.try_push(job) {
                     Ok(()) => {
                         shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                        shared.obs.queue_highwater.raise(shared.queue.highwater() as u64);
                     }
                     Err(PushErr::Full(job)) => {
                         shared.counters.busy.fetch_add(1, Ordering::Relaxed);
                         let _ = tx.send(Response {
                             id: job.id,
                             status: Status::Busy {
-                                retry_after_ms: retry_after_ms(shared.queue.capacity()),
+                                retry_after_ms: shared.derived_retry_after_ms(),
                             },
                         });
                     }
@@ -401,4 +586,36 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     }
     drop(tx);
     let _ = writer.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_backoff_falls_back_until_a_job_retires() {
+        assert_eq!(derive_retry_after_ms(8, 8, 0, 0, 4), retry_after_ms(8));
+        assert_eq!(derive_retry_after_ms(0, 1, 0, 0, 1), retry_after_ms(1));
+    }
+
+    #[test]
+    fn derived_backoff_scales_with_backlog_and_drain_rate() {
+        // 10 jobs retired in 200ms total -> 20ms each; backlog of 3+1
+        // across 2 workers -> 40ms.
+        assert_eq!(derive_retry_after_ms(3, 8, 10, 200_000, 2), 40);
+        // Twice the workers, half the wait.
+        assert_eq!(derive_retry_after_ms(3, 8, 10, 200_000, 4), 20);
+        // Faster service, shorter backoff.
+        assert_eq!(derive_retry_after_ms(3, 8, 10, 20_000, 2), 4);
+    }
+
+    #[test]
+    fn derived_backoff_is_clamped_to_sane_bounds() {
+        // Sub-millisecond estimates still ask for at least 1ms.
+        assert_eq!(derive_retry_after_ms(0, 8, 100, 100, 4), 1);
+        // Pathological service times cap at 10s.
+        assert_eq!(derive_retry_after_ms(64, 64, 1, u64::MAX / 128, 1), 10_000);
+        // Zero workers is treated as one, not a divide-by-zero.
+        assert_eq!(derive_retry_after_ms(1, 8, 2, 4_000, 0), 4);
+    }
 }

@@ -6,7 +6,7 @@
 //! once. CI runs this same harness at larger scale via
 //! `majc-serve load`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use majc_serve::{run_load, server, ChaosPlan, LoadCfg, ServeConfig};
 
@@ -29,15 +29,14 @@ fn assert_ledger_balances(r: &majc_serve::LoadReport) {
 
 #[test]
 fn chaos_soak_delivers_exactly_once() {
-    let report = soak(
-        ServeConfig {
-            workers: 3,
-            queue_depth: 8,
-            // Aggressive kill rate so the respawn path is exercised even
-            // at reduced scale.
-            chaos: Some(ChaosPlan { seed: 1234, kill_per_mille: 60, fault_per_mille: 150 }),
-        },
-        LoadCfg {
+    // Aggressive kill rate so the respawn path is exercised even at
+    // reduced scale.
+    let plan = ChaosPlan { seed: 1234, kill_per_mille: 60, fault_per_mille: 150 };
+    let handle = server::start(0, ServeConfig { workers: 3, queue_depth: 8, chaos: Some(plan) })
+        .expect("bind localhost");
+    let report = run_load(
+        handle.addr(),
+        &LoadCfg {
             clients: 6,
             jobs_per_client: 35,
             seed: 42,
@@ -47,6 +46,34 @@ fn chaos_soak_delivers_exactly_once() {
             lost_timeout: Duration::from_secs(120),
         },
     );
+
+    // Respawn accounting is exact, not approximate: once the monitor
+    // settles, every seeded chaos kill has been answered by precisely one
+    // respawn, and the kill count itself is a pure function of the plan
+    // over the executed job sequence (each executed job consumed exactly
+    // one seq in 0..executed).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.counters().respawns != handle.counters().chaos_kills && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let c = handle.counters();
+    assert_eq!(
+        c.respawns, c.chaos_kills,
+        "monitor must replace every chaos-killed worker exactly once: {c:?}"
+    );
+    let executed = c.ok + c.failed + c.rejected;
+    let (expected_kills, _) = plan.tally(executed);
+    assert_eq!(
+        c.chaos_kills, expected_kills,
+        "kills must match the seeded plan over {executed} executed jobs: {c:?}"
+    );
+    assert!(expected_kills > 0, "kill rate 6% over ~200 jobs must kill at least once: {c:?}");
+    assert!(
+        c.last_kill_seq != 0 && c.last_kill_seq - 1 < executed,
+        "last kill seq must point at an executed job: {c:?}"
+    );
+    handle.shutdown();
+
     assert_ledger_balances(&report);
     assert!(report.ok > 0, "some jobs succeed: {report:?}");
     assert!(

@@ -323,6 +323,84 @@ fn checkpoint_resume_replays_to_identical_digests() {
 }
 
 #[test]
+fn det_metrics_are_identical_for_identical_job_sequences() {
+    // Two fresh servers running the same serial job sequence must produce
+    // byte-identical deterministic metric sections — the contract that
+    // lets CI cmp the det report. (The wall-clock section is free to
+    // differ; det_metrics_json excludes it.)
+    let run = || {
+        let handle = start(1, 8);
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for (id, kernel) in [("m1", "fir"), ("m2", "biquad"), ("m3", "fir")] {
+            let r = c.request(&job(id, sim_kernel(kernel, Engine::Func, 10_000_000))).unwrap();
+            assert!(matches!(r.status, Status::Ok(_)), "{r:?}");
+        }
+        let r = c.request(&job("m4", JobSpec::Fuzz { seed: 5, budget: 20_000 })).unwrap();
+        assert!(matches!(r.status, Status::Ok(_)), "{r:?}");
+        let det = handle.det_metrics_json();
+        handle.shutdown();
+        det
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "det metric sections diverged across identical runs");
+    assert!(a.contains("\"jobs.total\":4"), "{a}");
+    assert!(a.contains("\"jobs.kind.simulate\":3"), "{a}");
+    assert!(a.contains("\"engine.packets.per_job\""), "{a}");
+}
+
+#[test]
+fn stats_verb_carries_the_metrics_snapshot() {
+    let handle = start(1, 4);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let r = c.request(&job("warm", sim_kernel("fir", Engine::Func, 10_000_000))).unwrap();
+    assert!(matches!(r.status, Status::Ok(_)), "{r:?}");
+
+    let metrics = c.stats_metrics_json().unwrap();
+    assert!(metrics.contains("\"deterministic\""), "{metrics}");
+    assert!(metrics.contains("\"nondeterministic\""), "{metrics}");
+    assert!(metrics.contains("\"jobs.total\":1"), "{metrics}");
+
+    // The plain stats verb also reports the derived backoff and queue
+    // high-water mark alongside the legacy counters.
+    let r = c.request(&Request::Stats { id: "st".into() }).unwrap();
+    for field in ["retry_after_ms", "queue_highwater", "workers_spawned", "spans_recorded"] {
+        assert!(ok_fields(&r).iter().any(|(k, _)| k == field), "missing {field}: {r:?}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn job_spans_cover_the_lifecycle_and_export_to_perfetto() {
+    let handle = start(2, 8);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for (id, kernel) in [("sp1", "fir"), ("sp2", "biquad")] {
+        let r = c.request(&job(id, sim_kernel(kernel, Engine::Func, 10_000_000))).unwrap();
+        assert!(matches!(r.status, Status::Ok(_)), "{r:?}");
+    }
+
+    let spans = handle.job_spans();
+    assert_eq!(spans.len(), 2, "one span per executed job");
+    for s in &spans {
+        assert!(s.accept_us <= s.start_us, "accepted before started: {s:?}");
+        assert!(s.start_us <= s.end_us, "started before ended: {s:?}");
+        assert_eq!(s.outcome, "ok", "{s:?}");
+        assert!(s.packets > 0, "{s:?}");
+        assert!(s.xlate_hit.is_some(), "func jobs report cache attribution: {s:?}");
+    }
+
+    let trace = handle.job_spans_perfetto();
+    let events = majc_core::validate_perfetto(&trace).expect("span trace validates");
+    assert!(events >= 4, "queue.wait + exec slices per job, got {events}");
+    assert!(trace.contains("\"queue.wait\""), "admission stage visible");
+    assert!(trace.contains("\"exec.simulate\""), "engine stage visible");
+
+    let jsonl = handle.job_spans_jsonl();
+    assert_eq!(jsonl.lines().count(), 2);
+    assert!(jsonl.lines().all(|l| l.starts_with("{\"seq\":")), "{jsonl}");
+    handle.shutdown();
+}
+
+#[test]
 fn garbled_lines_get_structured_parse_failures() {
     let handle = start(1, 4);
     let mut c = Client::connect(handle.addr()).unwrap();

@@ -83,14 +83,37 @@ fn main() {
     println!("resumed-on-cycle digest:  {got}");
     assert_eq!(got, want, "checkpoint/resume must replay to the same architectural state");
 
-    // 6. Server-side counters, then a graceful drain: in-flight jobs
-    //    finish, the backlog is rejected deterministically.
+    // 6. Live introspection: the stats verb carries the full majc-obs
+    //    registry snapshot (deterministic counters in one section,
+    //    wall-clock latency histograms in another), and the handle
+    //    exposes one span per executed job.
     let stats = client.request(&Request::Stats { id: "stats".into() }).expect("round trip");
-    println!("stats: {}", stats.to_line());
     match stats.status {
         Status::Ok(_) => {}
         other => panic!("stats must succeed, got {other:?}"),
     }
+    let metrics = client.stats_metrics_json().expect("metrics payload");
+    assert!(metrics.contains("\"deterministic\""), "det section present");
+    println!("live metrics: {} bytes of registry snapshot", metrics.len());
+    for span in handle.job_spans() {
+        println!(
+            "  span seq={} id={} kind={} outcome={} wait={}us service={}us packets={}",
+            span.seq,
+            span.id,
+            span.kind,
+            span.outcome,
+            span.queue_wait_us(),
+            span.service_us(),
+            span.packets,
+        );
+    }
+
+    // 7. The span timeline renders as a Perfetto trace (load it at
+    //    ui.perfetto.dev); then a graceful drain — in-flight jobs
+    //    finish, the backlog is rejected deterministically.
+    let trace = handle.job_spans_perfetto();
+    let events = majc::core::validate_perfetto(&trace).expect("trace validates");
+    println!("perfetto timeline: {events} events");
     handle.shutdown();
     println!("drained; exactly-once held end to end");
 
