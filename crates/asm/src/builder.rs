@@ -114,11 +114,18 @@ impl Asm {
             addrs.push(pc);
             pc += 4 * slots.len().max(1) as u32;
         }
-        // Apply fixups.
+        // Apply fixups. A target is either a defined label or a numeric
+        // absolute byte address (`0x...` / decimal) — the form the
+        // disassembler falls back to when a control target lies outside
+        // the image, e.g. in a reducer-minimized repro.
         for f in std::mem::take(&mut self.fixups) {
-            let &target =
-                self.labels.get(&f.label).ok_or_else(|| AsmError::UnknownLabel(f.label.clone()))?;
-            let disp = addrs[target] as i64 - addrs[f.packet] as i64;
+            let target_addr = match self.labels.get(&f.label) {
+                Some(&idx) => addrs[idx] as i64,
+                None => numeric_target(&f.label)
+                    .ok_or_else(|| AsmError::UnknownLabel(f.label.clone()))?
+                    as i64,
+            };
+            let disp = target_addr - addrs[f.packet] as i64;
             let slot0 = &mut self.packets[f.packet][0];
             match slot0 {
                 Instr::Br { off, .. } => {
@@ -153,10 +160,42 @@ impl Asm {
     }
 }
 
+/// Parse a branch/call target written as an absolute byte address.
+fn numeric_target(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else if s.bytes().all(|b| b.is_ascii_digit()) && !s.is_empty() {
+        s.parse().ok()
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use majc_isa::{AluOp, Src};
+
+    #[test]
+    fn numeric_targets_resolve_as_absolute_addresses() {
+        // `br g0, 0x110` with no such label: the target is the absolute
+        // byte address, as the disassembler writes for out-of-image
+        // targets in minimized repros.
+        let mut a = Asm::new(0x100);
+        a.op(Instr::SetLo { rd: Reg::g(0), imm: 3 });
+        a.br(Cond::Gt, Reg::g(0), "0x110", true);
+        a.op(Instr::Halt);
+        let p = a.finish().expect("numeric target resolves");
+        let Instr::Br { off, .. } = p.packets()[1].slots().next().unwrap().1 else {
+            panic!("expected a branch");
+        };
+        assert_eq!(*off, 0x110 - 0x104);
+        // A malformed target is still an unknown label.
+        let mut bad = Asm::new(0);
+        bad.br(Cond::Eq, Reg::g(0), "0xZZ", false);
+        bad.op(Instr::Halt);
+        assert!(matches!(bad.finish(), Err(AsmError::UnknownLabel(_))));
+    }
 
     #[test]
     fn forward_and_backward_branches() {

@@ -148,7 +148,12 @@ pub fn instr_to_string(ins: &Instr, target: &dyn Fn(i32) -> String) -> String {
 
 /// Disassemble a whole program with synthesised labels at branch targets.
 pub fn program_to_string(p: &Program) -> String {
-    // Collect branch targets.
+    // Collect branch targets. Only targets that land on a packet in this
+    // image get a synthesised label; anything else (possible in
+    // reducer-minimized repros whose target packets were removed) renders
+    // as a numeric absolute address, which the assembler also accepts.
+    let addrs: std::collections::BTreeSet<u32> =
+        (0..p.packets().len()).map(|i| p.addr_of(i)).collect();
     let mut labels: BTreeMap<u32, String> = BTreeMap::new();
     for (i, pkt) in p.packets().iter().enumerate() {
         if let Some(ctrl) = pkt.control() {
@@ -157,8 +162,10 @@ pub fn program_to_string(p: &Program) -> String {
                 _ => continue,
             };
             let tgt = p.addr_of(i).wrapping_add(off as u32);
-            let n = labels.len();
-            labels.entry(tgt).or_insert_with(|| format!("L{n}"));
+            if addrs.contains(&tgt) {
+                let n = labels.len();
+                labels.entry(tgt).or_insert_with(|| format!("L{n}"));
+            }
         }
     }
     let mut out = String::new();

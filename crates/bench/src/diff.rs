@@ -103,16 +103,24 @@ pub fn diff_run(prog: &Program, budget: u64) -> DiffOutcome {
 /// the functional consensus is compared to the cycle model exactly as in
 /// [`diff_run`]. The first discrepancy found is reported.
 pub fn diff_run3(prog: &Program, budget: u64) -> DiffOutcome {
+    diff_run3_with_mem(prog, &FlatMem::new(), budget)
+}
+
+/// [`diff_run3`] with an initial memory image: all three engines start
+/// from a clone of `mem`. This is how the generated irregular-program
+/// corpus (whose programs read data sections) goes through the same
+/// three-way check as the random packet streams.
+pub fn diff_run3_with_mem(prog: &Program, mem: &FlatMem, budget: u64) -> DiffOutcome {
     let image = Arc::new(prog.clone());
 
-    let mut func = FuncSim::new(Arc::clone(&image), FlatMem::new());
+    let mut func = FuncSim::new(Arc::clone(&image), mem.clone());
     let f_end = match func.run(budget) {
         Ok(_) if func.halted() => End::Halted,
         Ok(_) => End::Budget,
         Err(t) => End::Trap(format!("{t:?}")),
     };
 
-    let mut xl = XlateSim::new(Arc::clone(&image), FlatMem::new());
+    let mut xl = XlateSim::new(Arc::clone(&image), mem.clone());
     let x_end = match xl.run(budget) {
         Ok(_) if xl.halted() => End::Halted,
         Ok(_) => End::Budget,
@@ -123,7 +131,8 @@ pub fn diff_run3(prog: &Program, budget: u64) -> DiffOutcome {
         return DiffOutcome { cycles: 0, packets: func.stats.packets, divergence: Some(d) };
     }
 
-    let mut cyc = CycleSim::new(image, PerfectPort::new(), TimingConfig::default());
+    let mut cyc =
+        CycleSim::new(image, PerfectPort::new().with_mem(mem.clone()), TimingConfig::default());
     let c_end = match cyc.run(budget) {
         Ok(_) if cyc.halted() => End::Halted,
         Ok(_) => End::Budget,

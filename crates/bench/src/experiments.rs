@@ -867,7 +867,7 @@ fn run_farm_scenario(shard: usize, sc: FarmScenario) -> crate::farm::ShardResult
     let seed = shard_seed(FARM_MASTER_SEED, shard as u64);
     match sc {
         FarmScenario::Soak(c) => {
-            run_soak(c.name, &c.prog, &c.mem, seed).into_shard_result(shard, c.name, seed)
+            run_soak(&c.name, &c.prog, &c.mem, seed).into_shard_result(shard, &c.name, seed)
         }
         FarmScenario::Fuzz { count } => {
             let mut stats = majc_core::CycleStats::default();
@@ -1129,7 +1129,7 @@ fn run_lint_scenario(sc: LintScenario) -> LintTally {
     match sc {
         LintScenario::Kernel(c) => {
             t.name = c.name.to_string();
-            lint_one(c.name, &c.prog, c.mem, 100_000_000, &mut t);
+            lint_one(&c.name, &c.prog, c.mem, 100_000_000, &mut t);
         }
         LintScenario::FuzzBatch { index, count } => {
             t.name = format!("fuzz[{index}] x{count}");
@@ -1520,7 +1520,7 @@ fn xlate_state_digest<E: majc_core::ExecEngine>(sim: &E) -> u64 {
 /// One kernel's deterministic E14 record: dynamic packets, the
 /// cross-engine state digest, and the shape of its translation.
 struct XlateKernelRec {
-    name: &'static str,
+    name: String,
     packets: u64,
     digest: u64,
     uops: usize,
@@ -1543,7 +1543,7 @@ fn xlate_kernel_rec(case: &majc_kernels::suite::KernelCase) -> XlateKernelRec {
     assert_eq!(da, db, "{}: architectural end state diverges", case.name);
     let tr = b.translation();
     XlateKernelRec {
-        name: case.name,
+        name: case.name.clone(),
         packets: b.stats.packets,
         digest: da,
         uops: tr.uop_count(),
@@ -1567,7 +1567,7 @@ fn xlate_json(
         s.push_str(&format!(
             "    {{\"name\":{},\"packets\":{},\"digest\":\"{:016x}\",\"uops\":{},\
              \"specialized\":{},\"fallback\":{}}}{}\n",
-            crate::report::json_str(r.name),
+            crate::report::json_str(&r.name),
             r.packets,
             r.digest,
             r.uops,
@@ -1779,7 +1779,7 @@ const OBS_WORK_BOUNDS: &[u64] =
 /// interleaving.
 fn obs_shard(
     shard: usize,
-    names: &[&'static str],
+    names: &[String],
     cache: &std::sync::Arc<majc_core::XlateCache>,
 ) -> majc_obs::Snapshot {
     use majc_obs::{Class, MetricsRegistry};
@@ -1809,7 +1809,7 @@ fn obs_shard(
     let seed = crate::farm::shard_seed(OBS_MASTER_SEED, shard as u64);
     let mut rng = crate::farm::XorShift64Star::new(seed);
     for _ in 0..JOBS_PER_SHARD {
-        let kernel = names[rng.below(names.len() as u64) as usize];
+        let kernel = &names[rng.below(names.len() as u64) as usize];
         // One job in three runs cycle-accurate (the only engine that
         // reports cycles); the rest run the translated func engine and
         // exercise the shared private translation cache.
@@ -1880,9 +1880,9 @@ pub fn obs(jobs: Option<usize>) -> Table {
     const SHARDS: usize = 12;
     // Heavy (megacycle) kernels only run in release builds, like the rest
     // of the debug test surface.
-    let names: Vec<&'static str> = {
-        let mut v: Vec<&'static str> = majc_kernels::suite::cases()
-            .iter()
+    let names: Vec<String> = {
+        let mut v: Vec<String> = majc_kernels::suite::cases()
+            .into_iter()
             .filter(|c| !(c.heavy && cfg!(debug_assertions)))
             .map(|c| c.name)
             .collect();
@@ -2019,6 +2019,329 @@ fn obs_live_sweep(t: &mut Table) {
     }
 }
 
+// ------------------------------- E16 -------------------------------
+
+/// Programs per family in the canonical E16 corpus batch.
+const E16_PER_FAMILY: usize = 2;
+/// Fault seed for the corpus soak leg, distinct from the kernel soak's.
+const E16_SOAK_SEED: u64 = 0xE16_50AC;
+/// Packet/cycle budget for the corpus runs; every program halts far
+/// below it.
+const E16_BUDGET: u64 = 200_000_000;
+
+/// Per-program record of the deterministic E16 report: every field is
+/// architectural or counted by the deterministic cycle model, so the
+/// merged report is a pure function of the corpus seed.
+struct CorpusRec {
+    name: String,
+    family: String,
+    packets: u64,
+    cycles: u64,
+    mispredicts: u64,
+    branch_lookups: u64,
+    data_stall: u64,
+    mem_stall: u64,
+    front_stall: u64,
+    lint_checks: u64,
+    soak_injected: u64,
+}
+
+/// Aggregate conditional-branch predictor profile of a batch of runs.
+#[derive(Clone, Copy, Default)]
+struct PredictProfile {
+    mispredicts: u64,
+    lookups: u64,
+}
+
+impl PredictProfile {
+    fn rate_str(&self) -> String {
+        if self.lookups == 0 {
+            return "0.000000".into();
+        }
+        format!("{:.6}", self.mispredicts as f64 / self.lookups as f64)
+    }
+}
+
+/// Run one generated corpus program through the whole validation stack:
+/// three-way engine agreement, the generator's self-check digest,
+/// lint-clean plus must-fact replay, the cycle model on the full
+/// MAJC-5200 memory system, and the fault soak. Any failed leg panics —
+/// E16 is a gate, not a survey.
+fn corpus_rec(c: &majc_kernels::suite::SuiteCase) -> CorpusRec {
+    use crate::diff::diff_run3_with_mem;
+    use crate::farm::run_soak;
+    use majc_core::{CycleSim, FuncSim, LocalMemSys, TimingConfig, XlateSim};
+    use std::sync::Arc;
+
+    let check = c.check.expect("corpus cases carry a self-check");
+
+    let out = diff_run3_with_mem(&c.prog, &c.mem, E16_BUDGET);
+    assert!(out.divergence.is_none(), "{}: engines diverge: {:?}", c.name, out.divergence);
+
+    let mut fs = FuncSim::new(Arc::clone(&c.prog), c.mem.clone());
+    fs.run_to_halt(E16_BUDGET).unwrap_or_else(|e| panic!("{}: interp: {e}", c.name));
+    let digest = majc_kernels::suite::result_digest(&mut fs.mem, check);
+    assert_eq!(digest, check.expect, "{}: self-check digest mismatch (got {digest:#018x})", c.name);
+
+    let a = majc_lint::analyze(&c.prog, &majc_lint::LintOptions::default());
+    assert!(a.report.is_clean(), "{}: corpus program must lint clean:\n{}", c.name, a.report);
+    let mut xs = XlateSim::new(Arc::clone(&c.prog), c.mem.clone());
+    let v = majc_lint::validate(&mut xs, &a.facts, E16_BUDGET);
+    assert!(
+        v.ok(),
+        "{}: {} lint must-fact violation(s): {:?}",
+        c.name,
+        v.violations.len(),
+        v.violations.first()
+    );
+
+    let cfg = TimingConfig { max_cycles: E16_BUDGET, ..TimingConfig::default() };
+    let port = LocalMemSys::majc5200().with_mem(c.mem.clone());
+    let mut cs = CycleSim::new(Arc::clone(&c.prog), port, cfg);
+    cs.run(u64::MAX).unwrap_or_else(|e| panic!("{}: cycle: {e}", c.name));
+    let st = cs.stats;
+
+    let soak = run_soak(&c.name, &c.prog, &c.mem, E16_SOAK_SEED);
+    assert!(soak.divergence.is_none(), "{}: soak diverged: {:?}", c.name, soak.divergence);
+
+    CorpusRec {
+        name: c.name.clone(),
+        family: c.name.rsplit_once('-').map(|(f, _)| f.to_string()).unwrap_or_default(),
+        packets: st.packets,
+        cycles: st.cycles,
+        mispredicts: st.mispredicts,
+        branch_lookups: st.branch.lookups,
+        data_stall: st.data_stall_cycles,
+        mem_stall: st.mem_stall_cycles,
+        front_stall: st.front_stall_cycles,
+        lint_checks: v.checks,
+        soak_injected: soak.injected as u64,
+    }
+}
+
+/// Predictor profile of one DSP kernel on the same cycle model + memory
+/// system the corpus runs use — the E16 baseline.
+fn kernel_predict_profile(c: &majc_kernels::suite::SuiteCase) -> PredictProfile {
+    use majc_core::{CycleSim, LocalMemSys, TimingConfig};
+    use std::sync::Arc;
+    let cfg = TimingConfig { max_cycles: E16_BUDGET, ..TimingConfig::default() };
+    let port = LocalMemSys::majc5200().with_mem(c.mem.clone());
+    let mut cs = CycleSim::new(Arc::clone(&c.prog), port, cfg);
+    cs.run(u64::MAX).unwrap_or_else(|e| panic!("{}: cycle: {e}", c.name));
+    PredictProfile { mispredicts: cs.stats.mispredicts, lookups: cs.stats.branch.lookups }
+}
+
+/// The deterministic E16 report: per-program validation results and the
+/// corpus-vs-DSP predictor comparison. No wall-clock field anywhere —
+/// CI `cmp`s this file across `--jobs` values.
+fn corpus_json(recs: &[CorpusRec], corpus: PredictProfile, dsp: PredictProfile) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"seed\": \"{:#018x}\",\n  \"per_family\": {},\n",
+        majc_kernels::suite::CORPUS_SEED,
+        E16_PER_FAMILY
+    ));
+    s.push_str("  \"programs\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"family\": {}, \"packets\": {}, \"cycles\": {}, \
+             \"mispredicts\": {}, \"branch_lookups\": {}, \"data_stall\": {}, \
+             \"mem_stall\": {}, \"front_stall\": {}, \"lint_checks\": {}, \
+             \"soak_injected\": {}}}{}\n",
+            crate::report::json_str(&r.name),
+            crate::report::json_str(&r.family),
+            r.packets,
+            r.cycles,
+            r.mispredicts,
+            r.branch_lookups,
+            r.data_stall,
+            r.mem_stall,
+            r.front_stall,
+            r.lint_checks,
+            r.soak_injected,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"corpus_mispredicts\": {}, \"corpus_branch_lookups\": {}, \
+         \"corpus_mispredict_rate\": \"{}\",\n",
+        corpus.mispredicts,
+        corpus.lookups,
+        corpus.rate_str()
+    ));
+    s.push_str(&format!(
+        "  \"dsp_mispredicts\": {}, \"dsp_branch_lookups\": {}, \
+         \"dsp_mispredict_rate\": \"{}\"\n",
+        dsp.mispredicts,
+        dsp.lookups,
+        dsp.rate_str()
+    ));
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+/// E16: the generated irregular-program corpus through the full
+/// validation stack, sharded across the simulation farm. Every program
+/// must agree bit-identically on all three engines, reproduce its
+/// generator-computed self-check digest, lint clean with every must-fact
+/// replaying, and survive the fault soak; the cycle model's predictor
+/// and stall profile is recorded per program and compared against the
+/// DSP suite baseline — the corpus must mispredict strictly more, which
+/// is the whole point of generating it. `jobs: Some(n)` runs one
+/// n-worker batch and writes `target/reports/corpus.json`; `jobs: None`
+/// sweeps 1/2/4 workers and asserts the report is byte-identical.
+pub fn corpus(jobs: Option<usize>) -> Table {
+    use crate::farm::Farm;
+
+    enum Sc {
+        Corpus(Box<majc_kernels::suite::SuiteCase>),
+        Kernel(Box<majc_kernels::suite::SuiteCase>),
+    }
+    enum Out {
+        Corpus(Box<CorpusRec>),
+        Kernel(PredictProfile),
+    }
+
+    let batch = || -> Vec<Sc> {
+        let mut v: Vec<Sc> = majc_kernels::suite::corpus_cases(E16_PER_FAMILY)
+            .into_iter()
+            .map(|c| Sc::Corpus(Box::new(c)))
+            .collect();
+        v.extend(majc_kernels::suite::fast_cases().into_iter().map(|c| Sc::Kernel(Box::new(c))));
+        v
+    };
+
+    let run_batch = |n: usize| -> (String, Vec<CorpusRec>, PredictProfile, PredictProfile) {
+        let outs = Farm::new(n).run(batch(), |_, sc| match sc {
+            Sc::Corpus(c) => Out::Corpus(Box::new(corpus_rec(&c))),
+            Sc::Kernel(c) => Out::Kernel(kernel_predict_profile(&c)),
+        });
+        let mut recs = Vec::new();
+        let mut dsp = PredictProfile::default();
+        for o in outs {
+            match o {
+                Out::Corpus(r) => recs.push(*r),
+                Out::Kernel(p) => {
+                    dsp.mispredicts += p.mispredicts;
+                    dsp.lookups += p.lookups;
+                }
+            }
+        }
+        let agg = PredictProfile {
+            mispredicts: recs.iter().map(|r| r.mispredicts).sum(),
+            lookups: recs.iter().map(|r| r.branch_lookups).sum(),
+        };
+        // The acceptance inequality, on cross-multiplied integers so no
+        // float compare is involved: corpus mispredict rate must be
+        // strictly higher than the DSP suite's.
+        assert!(
+            (agg.mispredicts as u128) * (dsp.lookups as u128)
+                > (dsp.mispredicts as u128) * (agg.lookups as u128),
+            "corpus mispredict rate ({} / {}) must exceed the DSP suite's ({} / {})",
+            agg.mispredicts,
+            agg.lookups,
+            dsp.mispredicts,
+            dsp.lookups
+        );
+        (corpus_json(&recs, agg, dsp), recs, agg, dsp)
+    };
+
+    let save = |report: &str| {
+        let out = std::path::Path::new("target/reports");
+        match std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(out.join("corpus.json"), report))
+        {
+            Ok(()) => "saved target/reports/corpus.json".to_string(),
+            Err(e) => format!("not saved: {e}"),
+        }
+    };
+
+    let summarize =
+        |t: &mut Table, recs: &[CorpusRec], agg: PredictProfile, dsp: PredictProfile| {
+            let sum = |f: fn(&CorpusRec) -> u64| recs.iter().map(f).sum::<u64>();
+            t.push(Row::new(
+                "programs validated",
+                "-",
+                k(recs.len() as u64),
+                format!("{} families x {}", majc_gen::Family::ALL.len(), E16_PER_FAMILY),
+            ));
+            t.push(Row::new(
+                "packets / cycles",
+                "-",
+                format!("{} / {}", k(sum(|r| r.packets)), k(sum(|r| r.cycles))),
+                "summed over the corpus",
+            ));
+            t.push(Row::new(
+                "corpus mispredict rate",
+                "> DSP suite",
+                agg.rate_str(),
+                format!("{} mispredicts / {} lookups", agg.mispredicts, agg.lookups),
+            ));
+            t.push(Row::new(
+                "DSP-suite mispredict rate",
+                "-",
+                dsp.rate_str(),
+                format!("{} mispredicts / {} lookups", dsp.mispredicts, dsp.lookups),
+            ));
+            t.push(Row::new(
+                "stall profile",
+                "-",
+                format!(
+                    "data {} / mem {} / front {}",
+                    k(sum(|r| r.data_stall)),
+                    k(sum(|r| r.mem_stall)),
+                    k(sum(|r| r.front_stall))
+                ),
+                "stall cycles by class",
+            ));
+            t.push(Row::new(
+                "lint must-facts replayed",
+                "0 violations",
+                k(sum(|r| r.lint_checks)),
+                "abstract interpretation vs translated engine",
+            ));
+            t.push(Row::new(
+                "soak faults injected",
+                "-",
+                k(sum(|r| r.soak_injected)),
+                "all runs bit-identical to fault-free",
+            ));
+        };
+
+    // The table's own save goes to `corpus_summary.json`: the
+    // `corpus.json` name belongs to the deterministic report written
+    // above, which CI `cmp`s across `--jobs` values.
+    let mut t =
+        Table::new("corpus_summary", "E16: irregular-program corpus through the validation stack");
+    match jobs {
+        Some(n) => {
+            let (report, recs, agg, dsp) = run_batch(n);
+            summarize(&mut t, &recs, agg, dsp);
+            t.push(Row::new("report", "-", save(&report), format!("--jobs {n}")));
+        }
+        None => {
+            type CorpusBatch = (String, Vec<CorpusRec>, PredictProfile, PredictProfile);
+            let sweep: Vec<(usize, CorpusBatch)> =
+                [1usize, 2, 4].into_iter().map(|n| (n, run_batch(n))).collect();
+            let (base_report, base_recs, agg, dsp) = &sweep[0].1;
+            for (n, (report, ..)) in &sweep {
+                assert_eq!(report, base_report, "report must be byte-identical at --jobs {n}");
+            }
+            summarize(&mut t, base_recs, *agg, *dsp);
+            t.push(Row::new(
+                "determinism",
+                "byte-identical",
+                "byte-identical",
+                "reports at --jobs 1/2/4",
+            ));
+            t.push(Row::new("report", "-", save(base_report), ""));
+        }
+    }
+    t
+}
+
 /// Every experiment, in paper order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -2039,5 +2362,6 @@ pub fn all() -> Vec<Table> {
         serve(),
         xlate(None),
         obs(None),
+        corpus(None),
     ]
 }

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use majc_bench::experiments;
 use majc_bench::report::Table;
 
-const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile serve xlate obs all (plus optional `--jobs N` for farm/lintfacts/xlate/obs)";
+const USAGE: &str = "expected one of: table1 table2 table3 fig1 fig2 peak graphics ablations faults memstats farm lintfacts trace profile serve xlate obs corpus all (plus optional `--jobs N` for farm/lintfacts/xlate/obs/corpus)";
 
 fn emit(t: Table) {
     println!("{}", t.render());
@@ -87,6 +87,13 @@ fn main() -> ExitCode {
         },
         "obs" => match jobs_flag() {
             Ok(jobs) => emit(experiments::obs(jobs)),
+            Err(e) => {
+                eprintln!("{e}; {USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        "corpus" => match jobs_flag() {
+            Ok(jobs) => emit(experiments::corpus(jobs)),
             Err(e) => {
                 eprintln!("{e}; {USAGE}");
                 return ExitCode::from(2);

@@ -1,0 +1,178 @@
+//! Bump + LIFO free-list allocator driven by a seeded op stream.
+//!
+//! Eight live "slots" hold at most one block each. Each op word decodes as
+//! `action = bits[0], slot = bits[8..11], payload = bits[16..32]`:
+//!
+//! * **alloc**: if the slot already holds a block, push it on the free list
+//!   first; then pop a block from the free list (or bump-allocate a fresh
+//!   16-byte block), write the payload, park it in the slot.
+//! * **free**: push the slot's block (if any) on the free list and clear the
+//!   slot.
+//!
+//! The finale streams every slot's payload (0 for empty), then pointer-chases
+//! the free list accumulating its length and wrapping address sum — a
+//! data-dependent walk over addresses the op stream scrambled.
+//!
+//! Block layout: `[next: u32, payload: u32]`, 16-byte stride.
+
+use crate::emit::Emit;
+use crate::{
+    words_section, ResultImage, Rng, SelfCheck, CODE_BASE, DATA_BASE, HEAP_BASE, RESULT_BASE,
+    SLOTS_BASE,
+};
+
+pub(crate) fn build(seed: u64) -> (String, Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut rng = Rng::new(seed);
+    let k = rng.range(30, 80) as usize;
+    let ops: Vec<u32> = (0..k)
+        .map(|_| {
+            let action = if rng.flip(55) { 0u32 } else { 1 }; // slight alloc bias
+            let slot = rng.below(8) as u32;
+            let payload = rng.below(0x1_0000) as u32;
+            action | (slot << 8) | (payload << 16)
+        })
+        .collect();
+
+    let asm = emit_asm(k);
+    let (sections, check) = model(&ops);
+    (asm, sections, check)
+}
+
+fn emit_asm(k: usize) -> String {
+    let mut e = Emit::new(CODE_BASE);
+    e.note("family: alloc — bump + free-list allocator over a seeded op stream");
+    e.set32("g80", RESULT_BASE);
+    e.set32("g81", DATA_BASE);
+    e.set32("g82", HEAP_BASE);
+    e.set32("g86", SLOTS_BASE);
+    e.op("ld.w g77, [g81]");
+    e.op("add g81, g81, 4");
+    e.op("add g85, g80, 64");
+    e.op("setlo g30, 0"); // free-list head
+    e.op(&format!("setlo g18, {k}"));
+
+    e.label("op_loop");
+    e.op("ld.w g3, [g81]");
+    e.op("add g81, g81, 4");
+    e.op("srl g5, g3, 8");
+    e.op("and g5, g5, 7");
+    e.op("sll g5, g5, 2");
+    e.op("add g6, g86, g5"); // &slots[slot]
+    e.op("and g4, g3, 1");
+    e.op("br.ne g4, do_free");
+    // alloc: evict any existing occupant to the free list first
+    e.op("ld.w g7, [g6]");
+    e.op("br.eq g7, alloc_grab");
+    e.op("st.w g30, [g7]"); // old.next = head
+    e.op("add g30, g7, 0"); // head = old
+    e.label("alloc_grab");
+    e.op("br.eq g30, alloc_bump");
+    e.op("add g8, g30, 0"); // block = head
+    e.op("ld.w g30, [g8]"); // head = block.next
+    e.jump("alloc_fill");
+    e.label("alloc_bump");
+    e.op("add g8, g82, 0");
+    e.op("add g82, g82, 16");
+    e.label("alloc_fill");
+    e.op("srl g10, g3, 16");
+    e.op("st.w g10, [g8+4]"); // payload
+    e.op("st.w g8, [g6]"); // slots[slot] = block
+    e.jump("op_next");
+    e.label("do_free");
+    e.op("ld.w g7, [g6]");
+    e.op("br.eq g7, op_next");
+    e.op("st.w g30, [g7]");
+    e.op("add g30, g7, 0");
+    e.op("st.w g78, [g6]"); // clear the slot
+    e.label("op_next");
+    e.op("sub g18, g18, 1");
+    e.op("br.gt g18, op_loop");
+
+    // Stream slot payloads (0 for empty).
+    e.op("setlo g18, 8");
+    e.op("add g9, g86, 0");
+    e.label("fin_slots");
+    e.op("ld.w g8, [g9]");
+    e.op("add g9, g9, 4");
+    e.op("br.eq g8, fin_zero");
+    e.op("ld.w g10, [g8+4]");
+    e.op("st.w g10, [g85]");
+    e.op("add g85, g85, 4");
+    e.jump("fin_next");
+    e.label("fin_zero");
+    e.op("st.w g78, [g85]");
+    e.op("add g85, g85, 4");
+    e.label("fin_next");
+    e.op("sub g18, g18, 1");
+    e.op("br.gt g18, fin_slots");
+
+    // Pointer-chase the free list: length + wrapping address sum.
+    e.op("setlo g21, 0");
+    e.op("setlo g22, 0");
+    e.op("add g8, g30, 0");
+    e.op("br.eq g8, fl_done");
+    e.label("fl_loop");
+    e.op("add g21, g21, 1");
+    e.op("add g22, g22, g8");
+    e.op("ld.w g8, [g8]");
+    e.op("br.ne g8, fl_loop");
+    e.label("fl_done");
+
+    e.op("st.w g21, [g80]");
+    e.op("st.w g22, [g80+4]");
+    e.op("st.w g82, [g80+8]"); // final bump pointer
+    e.op("st.w g30, [g80+12]"); // free-list head
+    e.op("st.w g85, [g80+16]");
+    e.op("halt");
+    e.text()
+}
+
+fn model(ops: &[u32]) -> (Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut slots = [0u32; 8];
+    let mut free: Vec<u32> = Vec::new(); // LIFO stack of block addrs
+    let mut bump = HEAP_BASE;
+    let mut payload: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+
+    for &op in ops {
+        let action = op & 1;
+        let slot = ((op >> 8) & 7) as usize;
+        if action == 0 {
+            if slots[slot] != 0 {
+                free.push(slots[slot]);
+            }
+            let block = match free.pop() {
+                Some(b) => b,
+                None => {
+                    let b = bump;
+                    bump += 16;
+                    b
+                }
+            };
+            payload.insert(block, op >> 16);
+            slots[slot] = block;
+        } else if slots[slot] != 0 {
+            free.push(slots[slot]);
+            slots[slot] = 0;
+        }
+    }
+
+    let mut res = ResultImage::new();
+    for &s in &slots {
+        res.push(if s == 0 { 0 } else { payload[&s] });
+    }
+    let mut len: u32 = 0;
+    let mut sum: u32 = 0;
+    for &addr in free.iter().rev() {
+        len = len.wrapping_add(1);
+        sum = sum.wrapping_add(addr);
+    }
+    res.put(0, len);
+    res.put(4, sum);
+    res.put(8, bump);
+    res.put(12, free.last().copied().unwrap_or(0));
+    res.put(16, res.out_addr());
+
+    let mut data = vec![1u32];
+    data.extend_from_slice(ops);
+    (vec![words_section(DATA_BASE, &data)], res.check())
+}

@@ -1,0 +1,222 @@
+//! Irregular data-dependent branching: per element, a fuel-bounded Collatz
+//! walk (the classic unpredictable-branch microbenchmark), then a seeded
+//! bit-test diamond tree steering four accumulators, then an inner while
+//! loop whose trip count depends on the element's low bits. Branch direction
+//! is a function of loaded data everywhere, so the gshare predictor sees
+//! histories nothing in the DSP suite produces.
+
+use crate::emit::Emit;
+use crate::{words_section, ResultImage, Rng, SelfCheck, CODE_BASE, DATA_BASE, RESULT_BASE};
+
+#[derive(Clone, Copy)]
+enum Leaf {
+    AddImm(u32),
+    XorImm(u32),
+    AddElem,
+    ShlAdd(u32),
+}
+
+impl Leaf {
+    fn apply(self, acc: u32, elem: u32) -> u32 {
+        match self {
+            Leaf::AddImm(c) => acc.wrapping_add(c),
+            Leaf::XorImm(c) => acc ^ c,
+            Leaf::AddElem => acc.wrapping_add(elem),
+            Leaf::ShlAdd(s) => (acc << s).wrapping_add(elem),
+        }
+    }
+}
+
+struct Shape {
+    bits: [u32; 3],    // tested bit positions (root, left child, right child)
+    leaves: [Leaf; 4], // ll, lr, rl, rr
+    accs: [usize; 4],  // which accumulator (0..3 -> g91..g93 + g90) per leaf
+    lim: u32,          // inner while-loop threshold
+}
+
+pub(crate) fn build(seed: u64) -> (String, Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut rng = Rng::new(seed);
+    let n = rng.range(20, 48) as usize;
+    let elems: Vec<u32> = (0..n).map(|_| rng.below(1 << 24) as u32).collect();
+    let leaf = |rng: &mut Rng| match rng.below(4) {
+        0 => Leaf::AddImm(rng.range(1, 200)),
+        1 => Leaf::XorImm(rng.range(1, 255)),
+        2 => Leaf::AddElem,
+        _ => Leaf::ShlAdd(rng.range(1, 3)),
+    };
+    let shape = Shape {
+        bits: [rng.range(0, 15), rng.range(0, 15), rng.range(0, 15)],
+        leaves: [leaf(&mut rng), leaf(&mut rng), leaf(&mut rng), leaf(&mut rng)],
+        accs: [
+            rng.below(3) as usize,
+            rng.below(3) as usize,
+            rng.below(3) as usize,
+            rng.below(3) as usize,
+        ],
+        lim: rng.range(60, 250),
+    };
+
+    let asm = emit_asm(n, &shape);
+    let (sections, check) = model(&elems, &shape);
+    (asm, sections, check)
+}
+
+const ACC_REGS: [&str; 3] = ["g91", "g92", "g93"];
+
+fn emit_asm(n: usize, shape: &Shape) -> String {
+    let mut e = Emit::new(CODE_BASE);
+    e.note("family: branchy — Collatz + bit-test diamonds + irregular while");
+    e.set32("g80", RESULT_BASE);
+    e.set32("g81", DATA_BASE);
+    e.op("ld.w g77, [g81]");
+    e.op("add g81, g81, 4");
+    e.op("add g85, g80, 64");
+    e.op("setlo g90, 0"); // total Collatz iterations
+    e.op("setlo g91, 0");
+    e.op("setlo g92, 0");
+    e.op("setlo g93, 0");
+    e.op("setlo g94, 0"); // while-loop residue sum
+    e.op("setlo g19, 4095"); // mask constant (ALU immediates are 9-bit)
+    e.op(&format!("setlo g18, {n}"));
+
+    e.label("elem_loop");
+    e.op("ld.w g3, [g81]");
+    e.op("add g81, g81, 4");
+
+    // Fuel-bounded Collatz: x = x/2 or 3x+1 until x == 1 or fuel runs out.
+    e.op("add g5, g3, 0");
+    e.op("setlo g44, 40"); // fuel
+    e.op("setlo g24, 0"); // iterations this element
+    e.label("coll_loop");
+    e.op("br.le g44, coll_done");
+    e.op("sub g44, g44, 1");
+    e.op("sub g6, g5, 1");
+    e.op("br.eq g6, coll_done");
+    e.op("add g24, g24, 1");
+    e.op("and g7, g5, 1");
+    e.op("br.ne g7, coll_odd");
+    e.op("srl g5, g5, 1");
+    e.jump("coll_loop");
+    e.label("coll_odd");
+    e.op("add g8, g5, g5");
+    e.op("add g5, g8, g5");
+    e.op("add g5, g5, 1");
+    e.jump("coll_loop");
+    e.label("coll_done");
+    e.op("add g90, g90, g24");
+    e.op("st.w g5, [g85]"); // final Collatz value per element
+    e.op("add g85, g85, 4");
+
+    // Depth-2 bit-test diamond.
+    e.op(&format!("srl g7, g3, {}", shape.bits[0]));
+    e.op("and g7, g7, 1");
+    e.op("br.ne g7, t_r");
+    e.op(&format!("srl g7, g3, {}", shape.bits[1]));
+    e.op("and g7, g7, 1");
+    e.op("br.ne g7, t_lr");
+    emit_leaf(&mut e, shape.leaves[0], shape.accs[0]);
+    e.jump("t_done");
+    e.label("t_lr");
+    emit_leaf(&mut e, shape.leaves[1], shape.accs[1]);
+    e.jump("t_done");
+    e.label("t_r");
+    e.op(&format!("srl g7, g3, {}", shape.bits[2]));
+    e.op("and g7, g7, 1");
+    e.op("br.ne g7, t_rr");
+    emit_leaf(&mut e, shape.leaves[2], shape.accs[2]);
+    e.jump("t_done");
+    e.label("t_rr");
+    emit_leaf(&mut e, shape.leaves[3], shape.accs[3]);
+    e.label("t_done");
+
+    // Irregular inner while: y = elem & 0xFFF; while y > lim: y -= (y&7)+1.
+    e.op("and g9, g3, g19");
+    e.label("w_loop");
+    e.op(&format!("sub g6, g9, {}", shape.lim));
+    e.op("br.le g6, w_done");
+    e.op("and g10, g9, 7");
+    e.op("add g10, g10, 1");
+    e.op("sub g9, g9, g10");
+    e.jump("w_loop");
+    e.label("w_done");
+    e.op("add g94, g94, g9");
+
+    e.op("sub g18, g18, 1");
+    e.op("br.gt g18, elem_loop");
+
+    e.op("st.w g90, [g80]");
+    e.op("st.w g91, [g80+4]");
+    e.op("st.w g92, [g80+8]");
+    e.op("st.w g93, [g80+12]");
+    e.op("st.w g94, [g80+16]");
+    e.op("st.w g85, [g80+20]");
+    e.op("halt");
+    e.text()
+}
+
+fn emit_leaf(e: &mut Emit, leaf: Leaf, acc: usize) {
+    let r = ACC_REGS[acc];
+    match leaf {
+        Leaf::AddImm(c) => e.op(&format!("add {r}, {r}, {c}")),
+        Leaf::XorImm(c) => e.op(&format!("xor {r}, {r}, {c}")),
+        Leaf::AddElem => e.op(&format!("add {r}, {r}, g3")),
+        Leaf::ShlAdd(s) => {
+            e.op(&format!("sll {r}, {r}, {s}"));
+            e.op(&format!("add {r}, {r}, g3"));
+        }
+    }
+}
+
+fn model(elems: &[u32], shape: &Shape) -> (Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut res = ResultImage::new();
+    let mut iters_total: u32 = 0;
+    let mut accs = [0u32; 3];
+    let mut residue: u32 = 0;
+
+    for &elem in elems {
+        // Collatz with fuel 40.
+        let mut x = elem;
+        let mut fuel = 40u32;
+        let mut iters = 0u32;
+        while fuel > 0 && x != 1 {
+            fuel -= 1;
+            iters = iters.wrapping_add(1);
+            x = if x & 1 == 0 { x >> 1 } else { x.wrapping_add(x).wrapping_add(x).wrapping_add(1) };
+        }
+        iters_total = iters_total.wrapping_add(iters);
+        res.push(x);
+
+        // Bit-test diamond.
+        let leaf_idx = if (elem >> shape.bits[0]) & 1 != 0 {
+            if (elem >> shape.bits[2]) & 1 != 0 {
+                3
+            } else {
+                2
+            }
+        } else if (elem >> shape.bits[1]) & 1 != 0 {
+            1
+        } else {
+            0
+        };
+        let a = shape.accs[leaf_idx];
+        accs[a] = shape.leaves[leaf_idx].apply(accs[a], elem);
+
+        // Inner while loop.
+        let mut y = elem & 4095;
+        while y > shape.lim {
+            y -= (y & 7) + 1;
+        }
+        residue = residue.wrapping_add(y);
+    }
+
+    res.put(0, iters_total);
+    res.put(4, accs[0]);
+    res.put(8, accs[1]);
+    res.put(12, accs[2]);
+    res.put(16, residue);
+    res.put(20, res.out_addr());
+
+    let mut data = vec![1u32];
+    data.extend_from_slice(elems);
+    (vec![words_section(DATA_BASE, &data)], res.check())
+}

@@ -1,0 +1,180 @@
+//! Binary search tree built by iterative insertion (equal keys go right),
+//! then a batch of probe lookups each recording its own search depth. The
+//! probe mix is half known keys, half random misses, so both the hit and
+//! miss exits are data-dependent and the branch history per probe is
+//! irregular.
+//!
+//! Node layout: `[key: u32, left: u32, right: u32]` (16-byte stride).
+
+use crate::emit::Emit;
+use crate::{
+    words_section, ResultImage, Rng, SelfCheck, CODE_BASE, DATA_BASE, HEAP_BASE, RESULT_BASE,
+};
+
+pub(crate) fn build(seed: u64) -> (String, Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut rng = Rng::new(seed);
+    let n = rng.range(14, 30) as usize;
+    let keys: Vec<u32> = (0..n).map(|_| rng.range(0, 1999)).collect();
+    let m = rng.range(10, 20) as usize;
+    let probes: Vec<u32> = (0..m)
+        .map(|_| {
+            if rng.flip(50) {
+                keys[rng.below(keys.len() as u64) as usize]
+            } else {
+                rng.range(0, 3999)
+            }
+        })
+        .collect();
+
+    let asm = emit_asm(n, m);
+    let (sections, check) = model(&keys, &probes);
+    (asm, sections, check)
+}
+
+fn emit_asm(n: usize, m: usize) -> String {
+    let mut e = Emit::new(CODE_BASE);
+    e.note("family: bst — iterative insert then probe lookups with depth stream");
+    e.set32("g80", RESULT_BASE);
+    e.set32("g81", DATA_BASE);
+    e.set32("g82", HEAP_BASE);
+    e.op("ld.w g77, [g81]");
+    e.op("add g81, g81, 4");
+    e.op("add g85, g80, 64");
+    e.op("setlo g16, 0"); // root
+    e.op(&format!("setlo g18, {n}"));
+
+    e.label("ins_loop");
+    e.op("ld.w g3, [g81]"); // key
+    e.op("add g81, g81, 4");
+    e.op("add g4, g82, 0"); // node
+    e.op("add g82, g82, 16");
+    e.op("st.w g3, [g4]");
+    e.op("br.ne g16, ins_walk_init");
+    e.op("add g16, g4, 0"); // first node becomes root
+    e.jump("ins_next");
+    e.label("ins_walk_init");
+    e.op("add g8, g16, 0"); // cur = root
+    e.label("ins_walk");
+    e.op("ld.w g5, [g8]"); // cur.key
+    e.op("sub g6, g3, g5");
+    e.op("br.lt g6, ins_left");
+    e.op("ld.w g9, [g8+8]"); // right child (equal keys go right)
+    e.op("br.eq g9, ins_link_r");
+    e.op("add g8, g9, 0");
+    e.jump("ins_walk");
+    e.label("ins_left");
+    e.op("ld.w g9, [g8+4]");
+    e.op("br.eq g9, ins_link_l");
+    e.op("add g8, g9, 0");
+    e.jump("ins_walk");
+    e.label("ins_link_r");
+    e.op("st.w g4, [g8+8]");
+    e.jump("ins_next");
+    e.label("ins_link_l");
+    e.op("st.w g4, [g8+4]");
+    e.label("ins_next");
+    e.op("sub g18, g18, 1");
+    e.op("br.gt g18, ins_loop");
+
+    // Lookups: per probe, walk from the root counting visited nodes.
+    e.op("setlo g20, 0"); // hit count
+    e.op("setlo g21, 0"); // sum of found keys
+    e.op("setlo g22, 0"); // total depth
+    e.op(&format!("setlo g18, {m}"));
+    e.label("lk_loop");
+    e.op("ld.w g3, [g81]"); // probe
+    e.op("add g81, g81, 4");
+    e.op("add g8, g16, 0");
+    e.op("setlo g23, 0"); // depth of this probe
+    e.label("lk_walk");
+    e.op("br.eq g8, lk_out"); // fell off: miss
+    e.op("ld.w g5, [g8]");
+    e.op("add g23, g23, 1");
+    e.op("sub g6, g3, g5");
+    e.op("br.eq g6, lk_hit");
+    e.op("br.lt g6, lk_left");
+    e.op("ld.w g8, [g8+8]");
+    e.jump("lk_walk");
+    e.label("lk_left");
+    e.op("ld.w g8, [g8+4]");
+    e.jump("lk_walk");
+    e.label("lk_hit");
+    e.op("add g20, g20, 1");
+    e.op("add g21, g21, g3");
+    e.label("lk_out");
+    e.op("add g22, g22, g23");
+    e.op("st.w g23, [g85]"); // depth stream
+    e.op("add g85, g85, 4");
+    e.op("sub g18, g18, 1");
+    e.op("br.gt g18, lk_loop");
+
+    e.op("st.w g20, [g80]");
+    e.op("st.w g21, [g80+4]");
+    e.op("st.w g22, [g80+8]");
+    e.op("st.w g82, [g80+12]"); // final bump pointer
+    e.op("st.w g85, [g80+16]");
+    e.op("halt");
+    e.text()
+}
+
+fn model(keys: &[u32], probes: &[u32]) -> (Vec<(u32, Vec<u8>)>, SelfCheck) {
+    // Nodes by index; (key, left, right) with 0 = none (index+1 handles).
+    let mut nodes: Vec<(u32, usize, usize)> = Vec::new();
+    let mut root: usize = 0; // 1-based handle, 0 = null
+    for &k in keys {
+        nodes.push((k, 0, 0));
+        let new = nodes.len(); // handle
+        if root == 0 {
+            root = new;
+            continue;
+        }
+        let mut cur = root;
+        loop {
+            let (ck, l, r) = nodes[cur - 1];
+            if (k as i32) < (ck as i32) {
+                if l == 0 {
+                    nodes[cur - 1].1 = new;
+                    break;
+                }
+                cur = l;
+            } else {
+                if r == 0 {
+                    nodes[cur - 1].2 = new;
+                    break;
+                }
+                cur = r;
+            }
+        }
+    }
+
+    let mut res = ResultImage::new();
+    let mut hits: u32 = 0;
+    let mut key_sum: u32 = 0;
+    let mut total_depth: u32 = 0;
+    for &p in probes {
+        let mut cur = root;
+        let mut depth: u32 = 0;
+        while cur != 0 {
+            let (ck, l, r) = nodes[cur - 1];
+            depth += 1;
+            if p == ck {
+                hits = hits.wrapping_add(1);
+                key_sum = key_sum.wrapping_add(p);
+                break;
+            }
+            cur = if (p as i32) < (ck as i32) { l } else { r };
+        }
+        total_depth = total_depth.wrapping_add(depth);
+        res.push(depth);
+    }
+    res.put(0, hits);
+    res.put(4, key_sum);
+    res.put(8, total_depth);
+    res.put(12, HEAP_BASE + 16 * keys.len() as u32);
+    res.put(16, res.out_addr());
+
+    let mut data = vec![1u32];
+    data.extend_from_slice(keys);
+    data.extend_from_slice(probes);
+    (vec![words_section(DATA_BASE, &data)], res.check())
+}

@@ -1,0 +1,203 @@
+//! A call DAG with varied register-save conventions plus bounded recursion.
+//!
+//! Functions `f0..f{F-1}` form a DAG: `fi` calls a seeded subset of higher-
+//! numbered functions, and the last function is self-recursive on a
+//! decrementing, masked argument. Each function draws its own link register
+//! (g1 / g44 / g45), its own work register, and its own frame shape, so the
+//! program exercises deep return-address chains, callee saves through the
+//! g83 stack, and `jmpl`-based returns — none of which any DSP kernel does.
+//!
+//! Calling convention: argument in g50 (callee-clobbered), running
+//! accumulator in g60 (global), `jmpl g2, <link>, 0` returns.
+
+use crate::emit::Emit;
+use crate::{
+    words_section, ResultImage, Rng, SelfCheck, CODE_BASE, DATA_BASE, RESULT_BASE, STACK_TOP,
+};
+
+const LINKS: [&str; 3] = ["g1", "g44", "g45"];
+
+#[derive(Clone, Copy)]
+enum Work {
+    AddImm(u32),
+    XorImm(u32),
+    ShlAdd(u32),
+}
+
+impl Work {
+    fn apply(self, x: u32) -> u32 {
+        match self {
+            Work::AddImm(c) => x.wrapping_add(c),
+            Work::XorImm(c) => x ^ c,
+            Work::ShlAdd(s) => (x << s).wrapping_add(x),
+        }
+    }
+}
+
+struct Func {
+    link: usize,                // index into LINKS
+    work: Work,                 // transform applied to the argument
+    callees: Vec<(usize, u32)>, // (callee index, argument delta)
+}
+
+pub(crate) fn build(seed: u64) -> (String, Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut rng = Rng::new(seed);
+    let f = rng.range(5, 9) as usize; // function count; f-1 is the recursive one
+    let mut funcs: Vec<Func> = (0..f)
+        .map(|i| {
+            let mut callees = Vec::new();
+            for j in i + 1..f {
+                if callees.len() < 2 && rng.flip(45) {
+                    callees.push((j, rng.range(1, 40)));
+                }
+            }
+            Func {
+                link: rng.below(3) as usize,
+                work: match rng.below(3) {
+                    0 => Work::AddImm(rng.range(1, 100)),
+                    1 => Work::XorImm(rng.range(1, 255)),
+                    _ => Work::ShlAdd(rng.range(1, 3)),
+                },
+                callees,
+            }
+        })
+        .collect();
+    // Every function must be reachable from func_0 at runtime, so orphans get
+    // a caller among the lower-numbered functions.
+    for j in 1..f {
+        if !funcs.iter().any(|fun| fun.callees.iter().any(|&(c, _)| c == j)) {
+            let caller = rng.below(j as u64) as usize;
+            let delta = rng.range(1, 40);
+            funcs[caller].callees.push((j, delta));
+            funcs[caller].callees.sort_by_key(|&(c, _)| c);
+        }
+    }
+    let top_calls = rng.range(2, 4) as usize;
+    let args: Vec<u32> = (0..top_calls).map(|_| rng.range(1, 50)).collect();
+
+    let asm = emit_asm(&funcs);
+    let (sections, check) = model(&funcs, &args);
+    (asm, sections, check)
+}
+
+fn emit_asm(funcs: &[Func]) -> String {
+    let f = funcs.len();
+    let mut e = Emit::new(CODE_BASE);
+    e.note("family: calls — call DAG, varied link regs/frames, bounded recursion");
+    e.set32("g80", RESULT_BASE);
+    e.set32("g81", DATA_BASE);
+    e.set32("g83", STACK_TOP);
+    e.op("ld.w g77, [g81]");
+    e.op("add g81, g81, 4");
+    e.op("add g85, g80, 64");
+    e.op("setlo g60, 0"); // global accumulator
+                          // Top-level driver: the arg count is read from DATA so the loop bound is
+                          // opaque to the linter.
+    e.op("ld.w g17, [g81]");
+    e.op("add g81, g81, 4");
+    e.label("top_loop");
+    e.op("ld.w g50, [g81]");
+    e.op("add g81, g81, 4");
+    e.op(&format!("call {}, func_0", LINKS[funcs[0].link]));
+    e.op("st.w g60, [g85]"); // accumulator snapshot per top call
+    e.op("add g85, g85, 4");
+    e.op("sub g17, g17, 1");
+    e.op("br.gt g17, top_loop");
+    e.op("st.w g60, [g80]");
+    e.op("st.w g83, [g80+4]"); // must be back at STACK_TOP
+    e.op("st.w g85, [g80+8]");
+    e.op("halt");
+
+    for (i, func) in funcs.iter().enumerate() {
+        let link = LINKS[func.link];
+        let wr = format!("g{}", 30 + i); // per-function work register
+        e.label(&format!("func_{i}"));
+        if i == f - 1 {
+            // The recursive leaf: acc += arg, arg, arg-1, ... down to 0.
+            e.op("and g50, g50, 31"); // bound the depth
+            e.label("rec_entry");
+            e.op("sub g83, g83, 8");
+            e.op(&format!("st.w {link}, [g83]"));
+            e.op("add g60, g60, g50");
+            e.op("br.le g50, rec_done");
+            e.op("sub g50, g50, 1");
+            e.op(&format!("call {link}, rec_entry"));
+            e.label("rec_done");
+            e.op(&format!("ld.w {link}, [g83]"));
+            e.op("add g83, g83, 8");
+            e.op(&format!("jmpl g2, {link}, 0"));
+        } else if func.callees.is_empty() {
+            // Leaf: no frame at all.
+            emit_work(&mut e, func.work, "g9", "g50");
+            e.op("add g60, g60, g9");
+            e.op(&format!("jmpl g2, {link}, 0"));
+        } else {
+            e.op("sub g83, g83, 16");
+            e.op(&format!("st.w {link}, [g83]"));
+            e.op(&format!("st.w {wr}, [g83+4]")); // callee-save the work reg
+            e.op("st.w g50, [g83+8]"); // original argument
+            emit_work(&mut e, func.work, &wr, "g50");
+            e.op(&format!("add g60, g60, {wr}"));
+            for &(callee, delta) in &func.callees {
+                e.op("ld.w g9, [g83+8]");
+                e.op(&format!("add g50, g9, {delta}"));
+                e.op(&format!("call {}, func_{}", LINKS[funcs[callee].link], callee));
+            }
+            e.op(&format!("ld.w {link}, [g83]"));
+            e.op(&format!("ld.w {wr}, [g83+4]"));
+            e.op("add g83, g83, 16");
+            e.op(&format!("jmpl g2, {link}, 0"));
+        }
+    }
+    e.text()
+}
+
+fn emit_work(e: &mut Emit, work: Work, dst: &str, src: &str) {
+    match work {
+        Work::AddImm(c) => e.op(&format!("add {dst}, {src}, {c}")),
+        Work::XorImm(c) => e.op(&format!("xor {dst}, {src}, {c}")),
+        Work::ShlAdd(s) => {
+            e.op(&format!("sll {dst}, {src}, {s}"));
+            e.op(&format!("add {dst}, {dst}, {src}"));
+        }
+    }
+}
+
+fn model(funcs: &[Func], args: &[u32]) -> (Vec<(u32, Vec<u8>)>, SelfCheck) {
+    fn run(funcs: &[Func], i: usize, arg: u32, acc: &mut u32) {
+        if i == funcs.len() - 1 {
+            // Recursive leaf with masked countdown.
+            let mut a = arg & 31;
+            loop {
+                *acc = acc.wrapping_add(a);
+                if (a as i32) <= 0 {
+                    return;
+                }
+                a -= 1;
+            }
+        }
+        let func = &funcs[i];
+        if func.callees.is_empty() {
+            *acc = acc.wrapping_add(func.work.apply(arg));
+            return;
+        }
+        *acc = acc.wrapping_add(func.work.apply(arg));
+        for &(callee, delta) in &func.callees {
+            run(funcs, callee, arg.wrapping_add(delta), acc);
+        }
+    }
+
+    let mut res = ResultImage::new();
+    let mut acc: u32 = 0;
+    for &a in args {
+        run(funcs, 0, a, &mut acc);
+        res.push(acc);
+    }
+    res.put(0, acc);
+    res.put(4, STACK_TOP);
+    res.put(8, res.out_addr());
+
+    let mut data = vec![1u32, args.len() as u32];
+    data.extend_from_slice(args);
+    (vec![words_section(DATA_BASE, &data)], res.check())
+}

@@ -1,0 +1,320 @@
+//! majc-gen — a seeded, deterministic generator of irregular MAJC programs.
+//!
+//! The hand-scheduled kernel suite is all DSP inner loops: dense, predictable,
+//! branch-light. This crate generates the other half of the workload space —
+//! pointer chasing, irregular data-dependent branching, dense and sparse
+//! switch dispatch, computed gotos through jump tables, and deep call trees —
+//! as plain MAJC assembly text plus initial memory sections.
+//!
+//! Every generated program is self-checking: the generator runs a Rust
+//! reference model of the same algorithm while it emits the assembly, and
+//! records the FNV-1a digest of the RESULT memory window the program will
+//! produce. A simulator run passes iff it halts and the digest of its RESULT
+//! window equals [`SelfCheck::expect`] — no oracle simulator needed.
+//!
+//! This crate is deliberately dependency-free (std only); CI enforces that no
+//! `[dependencies]` section appears in its manifest and no workspace crate is
+//! imported from `src/`. Consumers assemble the emitted text with `majc-asm`
+//! and load [`GenProgram::sections`] into a `FlatMem` (little-endian, exactly
+//! the byte order used when computing the digest).
+//!
+//! # Register conventions (shared by all families)
+//!
+//! | reg  | role |
+//! |------|------|
+//! | g1/g44/g45 | link registers (varied per call site in the `calls` family) |
+//! | g2   | `jmpl` junk link (never read, never digested) |
+//! | g3–g15 | per-loop scratch |
+//! | g16+ | family state (heads, roots, cursors) |
+//! | g77  | jump sentinel: loaded `1` from the DATA header; `br.gt g77, L` is a runtime-unconditional jump the linter cannot constant-fold |
+//! | g78  | always-zero source operand (never written) |
+//! | g80  | RESULT base |
+//! | g81  | DATA cursor |
+//! | g82  | heap bump pointer |
+//! | g83  | stack pointer (grows down from `STACK_TOP`) |
+//! | g84  | TABLE base |
+//! | g85  | out-stream pointer (RESULT+64 upward) |
+//! | g86  | SLOTS base |
+//! | g90+ | accumulators dumped in the epilogue |
+
+mod alloc;
+mod branchy;
+mod bst;
+mod calls;
+pub mod emit;
+mod list;
+mod vm;
+
+/// Base address where generated code is assembled (`.org CODE_BASE`).
+pub const CODE_BASE: u32 = 0x1000;
+/// Read-only input data; word 0 is always the jump sentinel (value 1).
+pub const DATA_BASE: u32 = 0x0011_0000;
+/// Bump-allocated heap (lists, trees, allocator blocks).
+pub const HEAP_BASE: u32 = 0x0012_0000;
+/// Self-checked output window: `[0..64)` epilogue register dump,
+/// `[64..)` the program's out-stream.
+pub const RESULT_BASE: u32 = 0x0013_0000;
+/// Call-stack top; frames grow downward.
+pub const STACK_TOP: u32 = 0x0014_0000;
+/// Jump tables (computed-goto dispatch).
+pub const TABLE_BASE: u32 = 0x0015_0000;
+/// Allocator slot table.
+pub const SLOTS_BASE: u32 = 0x0016_0000;
+/// Bytecode-VM operand stack; grows upward.
+pub const VMSTACK_BASE: u32 = 0x0017_0000;
+/// The self-check digest always covers `RESULT_BASE..RESULT_BASE+CHECK_LEN`.
+pub const CHECK_LEN: u32 = 4096;
+
+/// The program families the generator knows how to emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Sorted singly-linked list: insert, traverse, delete odd keys, re-traverse.
+    List,
+    /// Binary search tree: iterative inserts then probe lookups recording depth.
+    Bst,
+    /// Bump + LIFO free-list allocator driven by a seeded alloc/free op stream.
+    Alloc,
+    /// Stack bytecode VM, dense opcodes, jump-table dispatch via `jmpl`.
+    VmDense,
+    /// Same VM semantics, sparse random opcode bytes, compare-chain dispatch.
+    VmSparse,
+    /// Call DAG with varied link registers and save conventions, plus bounded
+    /// recursion.
+    Calls,
+    /// Data-dependent branching: fuel-bounded Collatz, seeded bit-test
+    /// diamonds, irregular inner while loops.
+    Branchy,
+}
+
+impl Family {
+    /// Every family, in canonical (report) order.
+    pub const ALL: [Family; 7] = [
+        Family::List,
+        Family::Bst,
+        Family::Alloc,
+        Family::VmDense,
+        Family::VmSparse,
+        Family::Calls,
+        Family::Branchy,
+    ];
+
+    /// Stable lower-case name used in program names, reports, and CLIs.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Family::List => "list",
+            Family::Bst => "bst",
+            Family::Alloc => "alloc",
+            Family::VmDense => "vm-dense",
+            Family::VmSparse => "vm-sparse",
+            Family::Calls => "calls",
+            Family::Branchy => "branchy",
+        }
+    }
+
+    /// Inverse of [`Family::name`].
+    pub fn from_name(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// The architectural postcondition a generated program must satisfy.
+///
+/// After the program halts, the FNV-1a digest of the `len` bytes of memory at
+/// `addr` must equal `expect` on every engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelfCheck {
+    pub addr: u32,
+    pub len: u32,
+    pub expect: u64,
+}
+
+/// One generated program: assembly text, initial memory image, postcondition.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    pub family: Family,
+    pub seed: u64,
+    /// `"<family>-<seed low 32 bits in hex>"`; unique within a corpus.
+    pub name: String,
+    /// Assembler-ready text (one packet per line, `.org CODE_BASE` header).
+    pub asm: String,
+    /// `(base_addr, bytes)` sections to load into memory before the run.
+    pub sections: Vec<(u32, Vec<u8>)>,
+    pub check: SelfCheck,
+}
+
+/// Generate one program. Pure: the result is a function of `(family, seed)`.
+pub fn generate(family: Family, seed: u64) -> GenProgram {
+    let (asm, sections, check) = match family {
+        Family::List => list::build(seed),
+        Family::Bst => bst::build(seed),
+        Family::Alloc => alloc::build(seed),
+        Family::VmDense => vm::build(seed, true),
+        Family::VmSparse => vm::build(seed, false),
+        Family::Calls => calls::build(seed),
+        Family::Branchy => branchy::build(seed),
+    };
+    GenProgram {
+        family,
+        seed,
+        name: format!("{}-{:08x}", family.name(), seed as u32),
+        asm,
+        sections,
+        check,
+    }
+}
+
+/// The per-program seed for slot `index` of `family` under `master_seed`.
+pub fn corpus_seed(master_seed: u64, family: Family, index: usize) -> u64 {
+    let tag = fnv1a(family.name().as_bytes());
+    mix(master_seed ^ tag.wrapping_add(index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generate `per_family` programs for every family, in canonical order.
+pub fn corpus(per_family: usize, master_seed: u64) -> Vec<GenProgram> {
+    let mut out = Vec::with_capacity(per_family * Family::ALL.len());
+    for family in Family::ALL {
+        for index in 0..per_family {
+            out.push(generate(family, corpus_seed(master_seed, family, index)));
+        }
+    }
+    out
+}
+
+/// 64-bit FNV-1a — the same digest the farm and the self-check use.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    // splitmix64 finalizer.
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic splitmix64 stream; the only randomness source in the crate.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below((hi - lo + 1) as u64) as u32
+    }
+
+    /// True with probability `percent`/100.
+    pub fn flip(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Little-endian image of the RESULT window the reference models fill in.
+pub(crate) struct ResultImage {
+    bytes: Vec<u8>,
+    out: u32,
+}
+
+impl ResultImage {
+    pub fn new() -> ResultImage {
+        ResultImage { bytes: vec![0u8; CHECK_LEN as usize], out: 64 }
+    }
+
+    /// Store a word at a fixed offset (the epilogue register dump).
+    pub fn put(&mut self, off: u32, v: u32) {
+        let i = off as usize;
+        self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a word to the out-stream (mirrors `st.w v, [g85]; g85 += 4`).
+    pub fn push(&mut self, v: u32) {
+        assert!(self.out + 4 <= CHECK_LEN, "out-stream overflowed RESULT window");
+        self.put(self.out, v);
+        self.out += 4;
+    }
+
+    /// The address the program's g85 holds after `push` calls so far.
+    pub fn out_addr(&self) -> u32 {
+        RESULT_BASE + self.out
+    }
+
+    pub fn check(&self) -> SelfCheck {
+        SelfCheck { addr: RESULT_BASE, len: CHECK_LEN, expect: fnv1a(&self.bytes) }
+    }
+}
+
+/// Helper shared by the family builders: word-granular little-endian section.
+pub(crate) fn words_section(base: u32, words: &[u32]) -> (u32, Vec<u8>) {
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    (base, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Family::from_name("nope"), None);
+    }
+
+    #[test]
+    fn corpus_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for f in Family::ALL {
+            for i in 0..16 {
+                assert!(seen.insert(corpus_seed(0xC0FFEE, f, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        for f in Family::ALL {
+            let a = generate(f, 42);
+            let b = generate(f, 42);
+            assert_eq!(a.asm, b.asm);
+            assert_eq!(a.sections, b.sections);
+            assert_eq!(a.check, b.check);
+            assert!(!a.asm.is_empty());
+            assert!(a.asm.contains("halt"));
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        // FNV-1a 64 of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+}

@@ -1,0 +1,164 @@
+//! Sorted singly-linked list: build by sorted insertion (pointer-chasing
+//! walk per insert), traverse writing the key stream, delete odd keys,
+//! traverse again. Every list link lives in heap memory, so every walk is a
+//! load-to-branch dependent chain — the exact shape the DSP kernels never
+//! produce.
+//!
+//! Node layout: `[key: u32, next: u32]` (8 bytes, bump-allocated).
+
+use crate::emit::Emit;
+use crate::{
+    words_section, ResultImage, Rng, SelfCheck, CODE_BASE, DATA_BASE, HEAP_BASE, RESULT_BASE,
+};
+
+pub(crate) fn build(seed: u64) -> (String, Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut rng = Rng::new(seed);
+    let n = rng.range(12, 28) as usize;
+    let keys: Vec<u32> = (0..n).map(|_| rng.range(0, 999)).collect();
+
+    let asm = emit_asm(n);
+    let (sections, check) = model(&keys);
+    (asm, sections, check)
+}
+
+fn emit_asm(n: usize) -> String {
+    let mut e = Emit::new(CODE_BASE);
+    e.note("family: list — sorted insert / traverse / delete-odd / traverse");
+    e.set32("g80", RESULT_BASE);
+    e.set32("g81", DATA_BASE);
+    e.set32("g82", HEAP_BASE);
+    e.op("ld.w g77, [g81]"); // jump sentinel = 1
+    e.op("add g81, g81, 4");
+    e.op("add g85, g80, 64"); // out-stream pointer
+    e.op("setlo g16, 0"); // head
+    e.op(&format!("setlo g18, {n}"));
+
+    // Sorted insertion: new node goes before the first node with key >= new.
+    e.label("build_loop");
+    e.op("ld.w g3, [g81]"); // key
+    e.op("add g81, g81, 4");
+    e.op("add g4, g82, 0"); // node = bump
+    e.op("add g82, g82, 8");
+    e.op("st.w g3, [g4]"); // node.key
+    e.op("br.eq g16, ins_front"); // empty list
+    e.op("ld.w g5, [g16]"); // head.key
+    e.op("sub g6, g5, g3");
+    e.op("br.ge g6, ins_front"); // head.key >= key
+    e.op("add g8, g16, 0"); // cur = head
+    e.label("walk");
+    e.op("add g7, g8, 0"); // prev = cur
+    e.op("ld.w g8, [g8+4]"); // cur = cur.next
+    e.op("ld.w g5, [g8]"); // cur.key (0 if cur null: FlatMem zero-default)
+    e.op_fu1("cmp.ne g9, g8, g78"); // cur != 0
+    e.op_fu1("cmp.lt g10, g5, g3"); // cur.key < key
+    e.op("and g11, g9, g10");
+    e.op("br.ne g11, walk");
+    e.op("st.w g8, [g4+4]"); // node.next = cur
+    e.op("st.w g4, [g7+4]"); // prev.next = node
+    e.op("sub g18, g18, 1");
+    e.op("br.gt g18, build_loop");
+    e.jump("traverse");
+    e.label("ins_front");
+    e.op("st.w g16, [g4+4]"); // node.next = head
+    e.op("add g16, g4, 0"); // head = node
+    e.op("sub g18, g18, 1");
+    e.op("br.gt g18, build_loop");
+
+    // First traversal: stream every key, sum and count.
+    e.label("traverse");
+    e.op("add g8, g16, 0");
+    e.op("setlo g20, 0"); // sum
+    e.op("setlo g21, 0"); // count
+    e.op("br.eq g8, trav_done");
+    e.label("trav_loop");
+    e.op("ld.w g5, [g8]");
+    e.op("add g20, g20, g5");
+    e.op("add g21, g21, 1");
+    e.op("st.w g5, [g85]");
+    e.op("add g85, g85, 4");
+    e.op("ld.w g8, [g8+4]");
+    e.op("br.ne g8, trav_loop");
+    e.label("trav_done");
+
+    // Delete every odd key (unlink in place, head updates included).
+    e.op("add g8, g16, 0"); // cur
+    e.op("setlo g7, 0"); // prev
+    e.op("br.eq g8, del_done");
+    e.label("del_loop");
+    e.op("ld.w g5, [g8]"); // cur.key
+    e.op("and g6, g5, 1");
+    e.op("ld.w g9, [g8+4]"); // next
+    e.op("br.ne g6, del_unlink");
+    e.op("add g7, g8, 0"); // prev = cur
+    e.op("add g8, g9, 0");
+    e.op("br.ne g8, del_loop");
+    e.jump("del_done");
+    e.label("del_unlink");
+    e.op("br.eq g7, del_sethead");
+    e.op("st.w g9, [g7+4]"); // prev.next = next
+    e.op("add g8, g9, 0");
+    e.op("br.ne g8, del_loop");
+    e.jump("del_done");
+    e.label("del_sethead");
+    e.op("add g16, g9, 0"); // head = next
+    e.op("add g8, g9, 0");
+    e.op("br.ne g8, del_loop");
+    e.label("del_done");
+
+    // Second traversal over the survivors.
+    e.op("add g8, g16, 0");
+    e.op("setlo g22, 0"); // sum2
+    e.op("setlo g23, 0"); // count2
+    e.op("br.eq g8, trav2_done");
+    e.label("trav2_loop");
+    e.op("ld.w g5, [g8]");
+    e.op("add g22, g22, g5");
+    e.op("add g23, g23, 1");
+    e.op("st.w g5, [g85]");
+    e.op("add g85, g85, 4");
+    e.op("ld.w g8, [g8+4]");
+    e.op("br.ne g8, trav2_loop");
+    e.label("trav2_done");
+
+    e.op("st.w g20, [g80]");
+    e.op("st.w g21, [g80+4]");
+    e.op("st.w g22, [g80+8]");
+    e.op("st.w g23, [g80+12]");
+    e.op("st.w g85, [g80+16]");
+    e.op("halt");
+    e.text()
+}
+
+/// Reference model mirroring the assembly above, producing the DATA section
+/// and the expected RESULT image.
+fn model(keys: &[u32]) -> (Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut list: Vec<u32> = Vec::with_capacity(keys.len());
+    for &k in keys {
+        let pos = list.iter().position(|&x| x >= k).unwrap_or(list.len());
+        list.insert(pos, k);
+    }
+
+    let mut res = ResultImage::new();
+    let mut sum1: u32 = 0;
+    for &k in &list {
+        sum1 = sum1.wrapping_add(k);
+        res.push(k);
+    }
+    let kept: Vec<u32> = list.iter().copied().filter(|k| k % 2 == 0).collect();
+    let mut sum2: u32 = 0;
+    for &k in &kept {
+        sum2 = sum2.wrapping_add(k);
+        res.push(k);
+    }
+    res.put(0, sum1);
+    res.put(4, list.len() as u32);
+    res.put(8, sum2);
+    res.put(12, kept.len() as u32);
+    res.put(16, res.out_addr());
+
+    let mut data = vec![1u32]; // g77 sentinel
+    data.extend_from_slice(keys);
+    let sections = vec![words_section(DATA_BASE, &data)];
+    let _ = HEAP_BASE; // heap starts zeroed; nothing to preload
+    (sections, res.check())
+}

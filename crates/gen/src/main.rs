@@ -1,0 +1,87 @@
+//! majc-gen CLI: emit a seeded corpus of irregular MAJC programs as `.s`
+//! files plus a manifest describing each program's memory sections and
+//! self-check digest.
+//!
+//! Usage:
+//!   majc-gen [--out DIR] [--per-family N] [--seed HEX] [--family NAME]
+//!
+//! Writes `<name>.s` per program and `manifest.json` to the output directory.
+
+use majc_gen::{corpus, corpus_seed, generate, Family, GenProgram};
+use std::io::Write;
+
+fn main() {
+    let mut out_dir = String::from("target/gen-corpus");
+    let mut per_family: usize = 4;
+    let mut seed: u64 = 0xC0E5_0A11;
+    let mut family: Option<Family> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_dir = args.next().expect("--out needs a directory"),
+            "--per-family" => {
+                per_family =
+                    args.next().and_then(|s| s.parse().ok()).expect("--per-family needs a count")
+            }
+            "--seed" => {
+                let s = args.next().expect("--seed needs a value");
+                let s = s.trim_start_matches("0x");
+                seed = u64::from_str_radix(s, 16).expect("--seed needs a hex value");
+            }
+            "--family" => {
+                let s = args.next().expect("--family needs a name");
+                family = Some(Family::from_name(&s).unwrap_or_else(|| {
+                    let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+                    panic!("unknown family {s}; known: {}", names.join(", "))
+                }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "majc-gen [--out DIR] [--per-family N] [--seed HEX] [--family NAME]\n\
+                     families: {}",
+                    Family::ALL.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let programs: Vec<GenProgram> = match family {
+        Some(f) => (0..per_family).map(|i| generate(f, corpus_seed(seed, f, i))).collect(),
+        None => corpus(per_family, seed),
+    };
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let mut manifest = String::from("[\n");
+    for (i, p) in programs.iter().enumerate() {
+        let path = format!("{}/{}.s", out_dir, p.name);
+        std::fs::write(&path, &p.asm).expect("write .s file");
+        let sections: Vec<String> = p
+            .sections
+            .iter()
+            .map(|(base, bytes)| format!("{{\"base\":{},\"len\":{}}}", base, bytes.len()))
+            .collect();
+        manifest.push_str(&format!(
+            "  {{\"name\":\"{}\",\"family\":\"{}\",\"seed\":{},\"check_addr\":{},\"check_len\":{},\"expect\":{},\"sections\":[{}]}}{}\n",
+            p.name,
+            p.family.name(),
+            p.seed,
+            p.check.addr,
+            p.check.len,
+            p.check.expect,
+            sections.join(","),
+            if i + 1 == programs.len() { "" } else { "," }
+        ));
+    }
+    manifest.push_str("]\n");
+    let manifest_path = format!("{out_dir}/manifest.json");
+    std::fs::write(&manifest_path, manifest).expect("write manifest");
+
+    let mut stdout = std::io::stdout().lock();
+    writeln!(stdout, "wrote {} programs to {}", programs.len(), out_dir).ok();
+}

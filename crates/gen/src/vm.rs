@@ -1,0 +1,298 @@
+//! A small stack bytecode VM, generated in two dispatch flavours:
+//!
+//! * **dense** — opcodes 0..=7, dispatch through a jump table in memory
+//!   (`ld.w` the handler address, `jmpl` to it): a computed goto.
+//! * **sparse** — the same VM semantics, but opcode byte values drawn at
+//!   random from 1..=255 and dispatched through a compare chain, the shape a
+//!   compiler emits for a sparse `switch`.
+//!
+//! Bytecode instruction word: `opcode = bits[0..8]`, signed 16-bit operand in
+//! `bits[16..32]`. The interpreter is fuel-bounded, and any fetch outside the
+//! bytecode (including wild `jnz` targets) reads zero words, which decode to
+//! halt — so every seeded program terminates with an exact, modelable state.
+//!
+//! The reference model executes the *encoded words*, not the abstract
+//! instruction list, so the assembly and the model cannot disagree about
+//! wrapping arithmetic, stack underflow (reads of never-written memory are
+//! zero on both sides), or jump targets.
+
+use crate::emit::Emit;
+use crate::{
+    words_section, ResultImage, Rng, SelfCheck, CODE_BASE, DATA_BASE, RESULT_BASE, TABLE_BASE,
+    VMSTACK_BASE,
+};
+use std::collections::HashMap;
+
+const OP_HALT: u32 = 0;
+const OP_PUSHI: u32 = 1;
+const OP_ADD: u32 = 2;
+const OP_SUB: u32 = 3;
+const OP_XOR: u32 = 4;
+const OP_DUP: u32 = 5;
+const OP_JNZ: u32 = 6;
+const OP_OUT: u32 = 7;
+
+pub(crate) fn build(seed: u64, dense: bool) -> (String, Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let mut rng = Rng::new(seed);
+    let code = gen_bytecode(&mut rng);
+    let fuel = rng.range(150, 249);
+
+    // Sparse flavour: remap the seven live opcodes to distinct random bytes;
+    // 0 stays "halt" (it is what out-of-range fetches produce).
+    let opmap: Vec<u32> = if dense {
+        (0..8).collect()
+    } else {
+        let mut vals: Vec<u32> = Vec::new();
+        while vals.len() < 8 {
+            let v = if vals.is_empty() { 0 } else { rng.range(1, 255) };
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        vals
+    };
+
+    let words: Vec<u32> = code
+        .iter()
+        .map(|&(op, operand)| opmap[op as usize] | ((operand as u16 as u32) << 16))
+        .collect();
+
+    // The sparse compare chain tests opcodes in a seeded shuffle order.
+    let mut chain: Vec<u32> = (1..8).collect();
+    for i in (1..chain.len()).rev() {
+        chain.swap(i, rng.below((i + 1) as u64) as usize);
+    }
+
+    let (asm, table) = emit_asm(fuel, dense, &opmap, &chain);
+    let (mut sections, check) = model(&words, &opmap, fuel);
+    if let Some(table) = table {
+        sections.push(words_section(TABLE_BASE, &table));
+    }
+    (asm, sections, check)
+}
+
+/// Abstract bytecode: `(opcode, operand)` pairs.
+fn gen_bytecode(rng: &mut Rng) -> Vec<(u32, i16)> {
+    let mut code: Vec<(u32, i16)> = Vec::new();
+    let segments = rng.range(4, 8);
+    for _ in 0..segments {
+        match rng.below(3) {
+            0 => {
+                // Straight-line arithmetic burst.
+                code.push((OP_PUSHI, rng.range(0, 200) as i16 - 100));
+                code.push((OP_PUSHI, rng.range(0, 200) as i16 - 100));
+                code.push(([OP_ADD, OP_SUB, OP_XOR][rng.below(3) as usize], 0));
+                if rng.flip(60) {
+                    code.push((OP_OUT, 0));
+                }
+            }
+            1 => {
+                // Countdown loop: counter lives on the stack.
+                code.push((OP_PUSHI, rng.range(2, 5) as i16));
+                let top = code.len() as i32;
+                code.push((OP_PUSHI, rng.range(0, 500) as i16));
+                code.push((OP_PUSHI, rng.range(0, 500) as i16));
+                code.push((OP_XOR, 0));
+                code.push((OP_OUT, 0));
+                code.push((OP_PUSHI, 1));
+                code.push((OP_SUB, 0));
+                code.push((OP_DUP, 0));
+                let jnz_at = code.len() as i32;
+                code.push((OP_JNZ, (top - (jnz_at + 1)) as i16));
+            }
+            _ => {
+                // Forward skip: data-dependent taken/not-taken over real code.
+                code.push((OP_PUSHI, rng.below(2) as i16));
+                let skip = rng.range(2, 4) as i16;
+                code.push((OP_JNZ, skip));
+                for _ in 0..skip {
+                    if rng.flip(50) {
+                        code.push((OP_PUSHI, rng.range(0, 300) as i16));
+                    } else {
+                        code.push((OP_OUT, 0));
+                    }
+                }
+            }
+        }
+    }
+    code.push((OP_OUT, 0));
+    code.push((OP_HALT, 0));
+    code
+}
+
+/// Returns the assembly text plus, for the dense flavour, the jump-table
+/// words (real handler packet addresses) to preload at `TABLE_BASE`.
+fn emit_asm(fuel: u32, dense: bool, opmap: &[u32], chain: &[u32]) -> (String, Option<Vec<u32>>) {
+    let mut e = Emit::new(CODE_BASE);
+    e.note(if dense {
+        "family: vm-dense — bytecode VM, jump-table dispatch via jmpl"
+    } else {
+        "family: vm-sparse — bytecode VM, sparse compare-chain dispatch"
+    });
+    e.set32("g80", RESULT_BASE);
+    e.set32("g81", DATA_BASE);
+    e.set32("g42", VMSTACK_BASE);
+    if dense {
+        e.set32("g84", TABLE_BASE);
+    }
+    e.op("ld.w g77, [g81]");
+    e.op("add g41, g81, 4"); // ip = first bytecode word
+    e.op("add g85, g80, 64");
+    e.op(&format!("setlo g40, {fuel}"));
+
+    e.label("vm_loop");
+    e.op("br.le g40, vm_done");
+    e.op("sub g40, g40, 1");
+    e.op("ld.w g3, [g41]");
+    e.op("add g41, g41, 4");
+    e.op("and g4, g3, 255");
+    e.op("sra g5, g3, 16"); // sign-extended operand
+    if dense {
+        e.op("sll g6, g4, 2");
+        e.op("ld.w g7, [g84+g6]");
+        e.op("jmpl g2, g7, 0");
+    } else {
+        let handlers = ["", "vm_pushi", "vm_add", "vm_sub", "vm_xor", "vm_dup", "vm_jnz", "vm_out"];
+        for &op in chain {
+            e.op(&format!("sub g6, g4, {}", opmap[op as usize]));
+            e.op(&format!("br.eq g6, {}", handlers[op as usize]));
+        }
+        e.jump("vm_done"); // unknown opcode (including 0) halts
+    }
+
+    e.label("vm_pushi");
+    e.op("st.w g5, [g42]");
+    e.op("add g42, g42, 4");
+    e.jump("vm_loop");
+
+    for (label, alu) in [("vm_add", "add"), ("vm_sub", "sub"), ("vm_xor", "xor")] {
+        e.label(label);
+        e.op("sub g42, g42, 4");
+        e.op("ld.w g9, [g42]"); // b
+        e.op("sub g42, g42, 4");
+        e.op("ld.w g8, [g42]"); // a
+        e.op(&format!("{alu} g8, g8, g9"));
+        e.op("st.w g8, [g42]");
+        e.op("add g42, g42, 4");
+        e.jump("vm_loop");
+    }
+
+    e.label("vm_dup");
+    e.op("ld.w g8, [g42-4]");
+    e.op("st.w g8, [g42]");
+    e.op("add g42, g42, 4");
+    e.jump("vm_loop");
+
+    e.label("vm_jnz");
+    e.op("sub g42, g42, 4");
+    e.op("ld.w g8, [g42]");
+    e.op("br.eq g8, vm_loop");
+    e.op("sll g9, g5, 2");
+    e.op("add g41, g41, g9");
+    e.jump("vm_loop");
+
+    e.label("vm_out");
+    e.op("sub g42, g42, 4");
+    e.op("ld.w g8, [g42]");
+    e.op("st.w g8, [g85]");
+    e.op("add g85, g85, 4");
+    e.jump("vm_loop");
+
+    e.label("vm_done");
+    e.op("st.w g40, [g80]"); // remaining fuel
+    e.op("st.w g42, [g80+4]"); // final sp
+    e.op("st.w g41, [g80+8]"); // final ip
+    e.op("st.w g85, [g80+12]");
+    e.op("halt");
+
+    // The jump table can only be filled in now that the handler labels have
+    // real packet addresses.
+    let table = dense.then(|| {
+        let addrs = vec![
+            e.addr("vm_done"), // opcode 0: halt
+            e.addr("vm_pushi"),
+            e.addr("vm_add"),
+            e.addr("vm_sub"),
+            e.addr("vm_xor"),
+            e.addr("vm_dup"),
+            e.addr("vm_jnz"),
+            e.addr("vm_out"),
+        ];
+        e.note(&format!(
+            "jump table @{TABLE_BASE:#x}: {}",
+            addrs.iter().map(|a| format!("{a:#x}")).collect::<Vec<_>>().join(" ")
+        ));
+        addrs
+    });
+    (e.text(), table)
+}
+
+fn model(words: &[u32], opmap: &[u32], fuel0: u32) -> (Vec<(u32, Vec<u8>)>, SelfCheck) {
+    let bc_base = DATA_BASE + 4;
+    let bc_end = bc_base + 4 * words.len() as u32;
+    let decode: HashMap<u32, u32> = opmap.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+
+    let mut ip = bc_base;
+    let mut sp = VMSTACK_BASE;
+    let mut fuel = fuel0;
+    let mut stack: HashMap<u32, u32> = HashMap::new();
+    let mut res = ResultImage::new();
+
+    while fuel > 0 {
+        fuel -= 1;
+        let w = if ip >= bc_base && ip < bc_end && (ip - bc_base).is_multiple_of(4) {
+            words[((ip - bc_base) / 4) as usize]
+        } else {
+            0
+        };
+        ip = ip.wrapping_add(4);
+        let raw = w & 255;
+        let operand = (w as i32) >> 16;
+        let op = decode.get(&raw).copied().unwrap_or(OP_HALT);
+        match op {
+            OP_PUSHI => {
+                stack.insert(sp, operand as u32);
+                sp = sp.wrapping_add(4);
+            }
+            OP_ADD | OP_SUB | OP_XOR => {
+                sp = sp.wrapping_sub(4);
+                let b = stack.get(&sp).copied().unwrap_or(0);
+                sp = sp.wrapping_sub(4);
+                let a = stack.get(&sp).copied().unwrap_or(0);
+                let v = match op {
+                    OP_ADD => a.wrapping_add(b),
+                    OP_SUB => a.wrapping_sub(b),
+                    _ => a ^ b,
+                };
+                stack.insert(sp, v);
+                sp = sp.wrapping_add(4);
+            }
+            OP_DUP => {
+                let a = stack.get(&sp.wrapping_sub(4)).copied().unwrap_or(0);
+                stack.insert(sp, a);
+                sp = sp.wrapping_add(4);
+            }
+            OP_JNZ => {
+                sp = sp.wrapping_sub(4);
+                let v = stack.get(&sp).copied().unwrap_or(0);
+                if v != 0 {
+                    ip = ip.wrapping_add((operand << 2) as u32);
+                }
+            }
+            OP_OUT => {
+                sp = sp.wrapping_sub(4);
+                res.push(stack.get(&sp).copied().unwrap_or(0));
+            }
+            _ => break, // halt
+        }
+    }
+
+    res.put(0, fuel);
+    res.put(4, sp);
+    res.put(8, ip);
+    res.put(12, res.out_addr());
+
+    let mut data = vec![1u32];
+    data.extend_from_slice(words);
+    (vec![words_section(DATA_BASE, &data)], res.check())
+}

@@ -1,0 +1,97 @@
+//! Corpus-wide properties: every generated program
+//!
+//! 1. assembles (`majc_asm::assemble`),
+//! 2. survives an encode → decode and a disassemble → reassemble round trip,
+//! 3. is lint-clean under the default model (no errors, no warnings),
+//! 4. runs to halt on the interpreter and reproduces the generator's
+//!    self-check digest over the RESULT window.
+//!
+//! Debug builds sweep a seeded slice; release builds sweep a full-size
+//! corpus (CI runs `cargo test --release`).
+
+use majc_core::FuncSim;
+use majc_gen::{corpus, fnv1a, GenProgram};
+use majc_isa::Program;
+use majc_lint::{analyze, LintOptions};
+use majc_mem::FlatMem;
+use std::sync::Arc;
+
+const BUDGET: u64 = 4_000_000;
+
+fn per_family() -> usize {
+    if cfg!(debug_assertions) {
+        2
+    } else {
+        8
+    }
+}
+
+fn assemble(p: &GenProgram) -> Program {
+    majc_asm::assemble(&p.asm)
+        .unwrap_or_else(|e| panic!("{}: generated asm does not assemble: {e}", p.name))
+}
+
+fn load_mem(p: &GenProgram) -> FlatMem {
+    let mut mem = FlatMem::new();
+    for (base, bytes) in &p.sections {
+        mem.write(*base, bytes);
+    }
+    mem
+}
+
+fn digest_of(mem: &mut FlatMem, p: &GenProgram) -> u64 {
+    let mut buf = vec![0u8; p.check.len as usize];
+    mem.read(p.check.addr, &mut buf);
+    fnv1a(&buf)
+}
+
+#[test]
+fn every_program_self_checks_on_the_interpreter() {
+    for p in corpus(per_family(), 0x5EED_0C0E) {
+        let prog = assemble(&p);
+        let mut sim = FuncSim::new(Arc::new(prog), load_mem(&p));
+        let packets = sim
+            .run_to_halt(BUDGET)
+            .unwrap_or_else(|e| panic!("{}: did not halt cleanly: {e:?}", p.name));
+        assert!(packets > 0, "{}: executed no packets", p.name);
+        let got = digest_of(&mut sim.mem, &p);
+        assert_eq!(
+            got, p.check.expect,
+            "{}: self-check digest mismatch (got {got:#x}, want {:#x})",
+            p.name, p.check.expect
+        );
+    }
+}
+
+#[test]
+fn every_program_round_trips_through_encode_and_disasm() {
+    for p in corpus(per_family(), 0xB17E_5EED) {
+        let prog = assemble(&p);
+        // Binary round trip.
+        let bytes = majc_isa::encode::encode_program(prog.packets())
+            .unwrap_or_else(|e| panic!("{}: encode failed: {e:?}", p.name));
+        let decoded = majc_isa::encode::decode_program(&bytes)
+            .unwrap_or_else(|e| panic!("{}: decode failed: {e:?}", p.name));
+        assert_eq!(prog.packets(), &decoded[..], "{}: binary round trip", p.name);
+        // Text round trip.
+        let text = majc_asm::program_to_string(&prog);
+        let back = majc_asm::assemble(&text)
+            .unwrap_or_else(|e| panic!("{}: disassembly does not reassemble: {e}", p.name));
+        assert_eq!(prog.packets(), back.packets(), "{}: text round trip", p.name);
+        assert_eq!(prog.base(), back.base());
+    }
+}
+
+#[test]
+fn every_program_is_lint_clean() {
+    for p in corpus(per_family(), 0xC1EA_4411) {
+        let prog = assemble(&p);
+        let analysis = analyze(&prog, &LintOptions::default());
+        assert!(
+            analysis.report.is_clean(),
+            "{}: lint found errors/warnings:\n{}",
+            p.name,
+            analysis.report
+        );
+    }
+}

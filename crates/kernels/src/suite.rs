@@ -1,36 +1,83 @@
-//! The canonical kernel scenario suite: every shipped kernel with its
-//! fixed deterministic workload (the same xorshift seeds the fault soak
-//! has always used), packaged as data so the soak test, the simulation
-//! farm, and the `reproduce farm` experiment all iterate one list
-//! instead of re-declaring seventeen workload builders.
+//! The canonical scenario suite: every shipped kernel with its fixed
+//! deterministic workload (the same xorshift seeds the fault soak has
+//! always used), plus the generated irregular-program corpus from
+//! `majc-gen`, packaged as one case shape so the soak test, the
+//! simulation farm, and the `reproduce` experiments all iterate one list
+//! instead of re-declaring workload builders.
 
 use std::sync::Arc;
 
+use majc_gen::{GenProgram, SelfCheck};
 use majc_isa::Program;
 use majc_mem::FlatMem;
 
 use crate::harness::XorShift;
 use crate::*;
 
-/// One ready-to-run kernel scenario: a program image (shareable across
-/// farm shards) and its input memory.
-pub struct KernelCase {
-    pub name: &'static str,
+/// One ready-to-run scenario: a program image (shareable across farm
+/// shards), its input memory, and — for generated corpus programs — the
+/// architectural self-check the run must reproduce.
+pub struct SuiteCase {
+    pub name: String,
     pub prog: Arc<Program>,
     pub mem: FlatMem,
     /// Megacycle image kernels, skipped in debug-mode test runs.
     pub heavy: bool,
+    /// Oracle-free postcondition: after a run, the FNV-1a digest of the
+    /// checked memory window must equal `check.expect`. `None` for the
+    /// hand-written kernels, which are verified against their Rust
+    /// reference models instead.
+    pub check: Option<SelfCheck>,
 }
 
-fn case(name: &'static str, (prog, mem): (Program, FlatMem), heavy: bool) -> KernelCase {
-    KernelCase { name, prog: Arc::new(prog), mem, heavy }
+/// The historical name for a suite entry, kept for older call sites.
+pub type KernelCase = SuiteCase;
+
+fn case(name: &str, (prog, mem): (Program, FlatMem), heavy: bool) -> SuiteCase {
+    SuiteCase { name: name.to_string(), prog: Arc::new(prog), mem, heavy, check: None }
+}
+
+/// Master seed for the canonical generated corpus. Load-bearing like the
+/// kernel xorshift seeds: E16, the farm soak, and the CI gates all
+/// reproduce these exact programs.
+pub const CORPUS_SEED: u64 = 0xC0E5_0A11;
+
+/// Assemble one generated program into a runnable suite case.
+pub fn gen_case(p: &GenProgram) -> SuiteCase {
+    let prog = majc_asm::assemble(&p.asm)
+        .unwrap_or_else(|e| panic!("{}: generated corpus program must assemble: {e}", p.name));
+    let mut mem = FlatMem::new();
+    for (base, bytes) in &p.sections {
+        mem.write(*base, bytes);
+    }
+    SuiteCase {
+        name: p.name.clone(),
+        prog: Arc::new(prog),
+        mem,
+        heavy: false,
+        check: Some(p.check),
+    }
+}
+
+/// The canonical generated corpus: `per_family` programs per family under
+/// [`CORPUS_SEED`], assembled and ready to run.
+pub fn corpus_cases(per_family: usize) -> Vec<SuiteCase> {
+    majc_gen::corpus(per_family, CORPUS_SEED).iter().map(gen_case).collect()
+}
+
+/// FNV-1a digest of a case's checked window in `mem` — compare against
+/// [`SelfCheck::expect`] after a run.
+pub fn result_digest(mem: &mut FlatMem, check: SelfCheck) -> u64 {
+    let mut buf = vec![0u8; check.len as usize];
+    mem.read(check.addr, &mut buf);
+    majc_gen::fnv1a(&buf)
 }
 
 /// Every shipped kernel with its fixed workload, fast ones first. The
 /// seeds are load-bearing: they reproduce the exact runs CI has always
 /// soaked, so cycle counts and fault traces stay comparable release to
 /// release.
-pub fn cases() -> Vec<KernelCase> {
+pub fn cases() -> Vec<SuiteCase> {
     let mut out = Vec::new();
 
     let c = biquad::Cascade::demo(4);
@@ -123,7 +170,7 @@ pub fn cases() -> Vec<KernelCase> {
 }
 
 /// The fast subset — everything but the megacycle image kernels.
-pub fn fast_cases() -> Vec<KernelCase> {
+pub fn fast_cases() -> Vec<SuiteCase> {
     let mut v = cases();
     v.retain(|c| !c.heavy);
     v
@@ -138,7 +185,7 @@ mod tests {
         let all = cases();
         assert_eq!(all.len(), 18);
         assert_eq!(all.iter().filter(|c| c.heavy).count(), 2);
-        let names: Vec<_> = all.iter().map(|c| c.name).collect();
+        let names: Vec<&str> = all.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names[0], "biquad");
         assert!(names.contains(&"fir") && names.contains(&"colorconv"));
         // Names are unique — the farm keys merged reports on them.
@@ -146,5 +193,24 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len());
+        // Hand-written kernels carry no self-check; the corpus always does.
+        assert!(all.iter().all(|c| c.check.is_none()));
+    }
+
+    #[test]
+    fn corpus_cases_assemble_and_share_the_suite_shape() {
+        let corpus = corpus_cases(1);
+        assert_eq!(corpus.len(), majc_gen::Family::ALL.len());
+        for c in &corpus {
+            assert!(c.check.is_some(), "{}: corpus cases must self-check", c.name);
+            assert!(!c.heavy);
+            assert!(!c.prog.is_empty());
+        }
+        // Corpus names never collide with kernel names (different alphabets:
+        // kernel names contain no hex-seed suffix).
+        let kernels = cases();
+        for c in &corpus {
+            assert!(kernels.iter().all(|k| k.name != c.name));
+        }
     }
 }

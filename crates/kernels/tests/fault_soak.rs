@@ -29,12 +29,12 @@ const SEED: u64 = 0x5EED_50AC;
 fn soak_every_fast_kernel_through_the_farm() {
     let cases = suite::fast_cases();
     let outcomes = Farm::new(Farm::available())
-        .run(cases, |_, c| (c.name, run_soak(c.name, &c.prog, &c.mem, SEED)));
+        .run(cases, |_, c| (c.name.clone(), run_soak(&c.name, &c.prog, &c.mem, SEED)));
     for (name, o) in &outcomes {
         assert!(o.divergence.is_none(), "{name}: architectural divergence: {:?}", o.divergence);
         assert!(o.cycles > 0, "{name}: empty run");
     }
-    let fir = outcomes.iter().find(|(n, _)| *n == "fir").expect("fir is in the suite");
+    let fir = outcomes.iter().find(|(n, _)| n == "fir").expect("fir is in the suite");
     assert!(
         fir.1.injected > 0,
         "the soak plan must inject faults into a multi-thousand-cycle kernel"
@@ -49,9 +49,27 @@ fn soak_results_are_identical_for_any_job_count() {
     let cases: Vec<_> = suite::fast_cases().into_iter().take(4).collect();
     let outcomes = Farm::new(3).run_verified((0..cases.len()).collect(), |_, i| {
         let c = &cases[i];
-        run_soak(c.name, &c.prog, &c.mem, SEED)
+        run_soak(&c.name, &c.prog, &c.mem, SEED)
     });
     assert_eq!(outcomes.len(), 4);
+}
+
+#[test]
+fn soak_the_generated_corpus_through_the_farm() {
+    // The irregular-program corpus rides the same soak harness as the
+    // kernels. run_soak asserts cycle-engine memory equals a fault-free
+    // functional run, and the functional run is separately pinned to each
+    // program's self-check digest (crates/gen/tests/prop_corpus.rs), so a
+    // clean soak transitively proves the faulted run reproduced the
+    // generator's expected architectural state.
+    let cases = suite::corpus_cases(1);
+    let outcomes = Farm::new(Farm::available())
+        .run(cases, |_, c| (c.name.clone(), run_soak(&c.name, &c.prog, &c.mem, SEED)));
+    assert_eq!(outcomes.len(), majc_gen::Family::ALL.len());
+    for (name, o) in &outcomes {
+        assert!(o.divergence.is_none(), "{name}: architectural divergence: {:?}", o.divergence);
+        assert!(o.cycles > 0, "{name}: empty run");
+    }
 }
 
 // The two 512x512 image kernels run for about a megacycle each; debug-mode
@@ -63,7 +81,7 @@ fn soak_heavy_kernels_through_the_farm() {
     let cases: Vec<_> = suite::cases().into_iter().filter(|c| c.heavy).collect();
     assert_eq!(cases.len(), 2);
     let outcomes = Farm::new(Farm::available())
-        .run(cases, |_, c| (c.name, run_soak(c.name, &c.prog, &c.mem, SEED)));
+        .run(cases, |_, c| (c.name.clone(), run_soak(&c.name, &c.prog, &c.mem, SEED)));
     for (name, o) in &outcomes {
         assert!(o.divergence.is_none(), "{name}: architectural divergence: {:?}", o.divergence);
     }

@@ -27,7 +27,7 @@ use crate::proto::{Engine, JobSpec, SimSpec, Status, Val};
 /// Shared read-mostly execution context: the kernel table, the
 /// digest-keyed program cache, and the checkpoint store.
 pub struct ExecCtx {
-    kernels: HashMap<&'static str, (Arc<Program>, FlatMem)>,
+    kernels: HashMap<String, (Arc<Program>, FlatMem)>,
     prog_cache: Mutex<HashMap<u64, Arc<Program>>>,
     pub checkpoints: CheckpointStore,
     /// Assemble requests served from the program cache.
@@ -46,10 +46,15 @@ impl Default for ExecCtx {
 }
 
 impl ExecCtx {
-    /// Load the canonical kernel suite and empty caches.
+    /// Load the canonical kernel suite — plus one generated corpus
+    /// program per family, so `simulate` jobs can name irregular
+    /// workloads the same way they name DSP kernels — and empty caches.
     pub fn new() -> ExecCtx {
-        let kernels =
-            majc_kernels::suite::cases().into_iter().map(|c| (c.name, (c.prog, c.mem))).collect();
+        let kernels = majc_kernels::suite::cases()
+            .into_iter()
+            .chain(majc_kernels::suite::corpus_cases(1))
+            .map(|c| (c.name, (c.prog, c.mem)))
+            .collect();
         ExecCtx {
             kernels,
             prog_cache: Mutex::new(HashMap::new()),
@@ -75,8 +80,8 @@ impl ExecCtx {
     }
 
     /// Kernel names the `simulate` job accepts, sorted.
-    pub fn kernel_names(&self) -> Vec<&'static str> {
-        let mut names: Vec<_> = self.kernels.keys().copied().collect();
+    pub fn kernel_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.kernels.keys().cloned().collect();
         names.sort_unstable();
         names
     }
@@ -329,7 +334,16 @@ pub fn fuzz_program(seed: u64) -> Program {
 /// One differential fuzz case: run the seeded program on both engines
 /// (ideal memory, so timing cannot mask architectural bugs) and report
 /// the first divergence. A divergence is a *finding*, not a job failure.
+///
+/// Every fourth seed draws from the generated irregular-program corpus
+/// instead of the random packet stream: pointer chases, VM dispatch, and
+/// data-dependent branching reach predictor and memory paths legal random
+/// packets never produce, and the corpus adds an oracle the stream lacks
+/// — each program's architectural self-check digest.
 fn run_fuzz(seed: u64, budget: u64) -> Status {
+    if seed % 4 == 3 {
+        return run_fuzz_corpus(seed, budget);
+    }
     let image = Arc::new(fuzz_program(seed));
 
     let mut func = FuncSim::new(Arc::clone(&image), FlatMem::new());
@@ -351,6 +365,52 @@ fn run_fuzz(seed: u64, budget: u64) -> Status {
     Status::Ok(vec![
         ("packets".into(), Val::U64(func.stats.packets)),
         ("cycles".into(), Val::U64(cyc.stats.cycles)),
+        ("diverged".into(), Val::Bool(divergence.is_some())),
+        ("divergence".into(), Val::Str(divergence.unwrap_or_default())),
+    ])
+}
+
+/// Corpus-mode fuzz case: generate a seeded irregular program, run it on
+/// both engines with its data sections loaded, diff the final states, and
+/// verify the generator's precomputed self-check digest.
+fn run_fuzz_corpus(seed: u64, budget: u64) -> Status {
+    let families = majc_gen::Family::ALL;
+    let family = families[((seed >> 2) % families.len() as u64) as usize];
+    let p = majc_gen::generate(family, seed);
+    let image = match majc_asm::assemble(&p.asm) {
+        Ok(prog) => Arc::new(prog),
+        Err(e) => return Status::Failed { kind: "asm".into(), detail: format!("{}: {e}", p.name) },
+    };
+    let mut mem = FlatMem::new();
+    for (base, bytes) in &p.sections {
+        mem.write(*base, bytes);
+    }
+
+    let mut func = FuncSim::new(Arc::clone(&image), mem.clone());
+    let f_end = match func.run(budget) {
+        Ok(_) if func.halted() => End::Halted,
+        Ok(_) => End::Budget,
+        Err(t) => End::Trap(format!("{t:?}")),
+    };
+
+    let port = majc_core::PerfectPort::new().with_mem(mem);
+    let mut cyc = CycleSim::new(image, port, TimingConfig::default());
+    let c_end = match cyc.run(budget) {
+        Ok(_) if cyc.halted() => End::Halted,
+        Ok(_) => End::Budget,
+        Err(SimError::Trap(t)) => End::Trap(format!("{t:?}")),
+        Err(e) => End::Trap(format!("{e:?}")),
+    };
+
+    let divergence = diff(&func, &cyc, &f_end, &c_end);
+    let mut window = vec![0u8; p.check.len as usize];
+    func.mem.read(p.check.addr, &mut window);
+    let check_ok = f_end == End::Halted && fnv1a(&window) == p.check.expect;
+    Status::Ok(vec![
+        ("family".into(), Val::Str(family.name().into())),
+        ("packets".into(), Val::U64(func.stats.packets)),
+        ("cycles".into(), Val::U64(cyc.stats.cycles)),
+        ("check_ok".into(), Val::Bool(check_ok)),
         ("diverged".into(), Val::Bool(divergence.is_some())),
         ("divergence".into(), Val::Str(divergence.unwrap_or_default())),
     ])
@@ -451,5 +511,29 @@ mod tests {
             let diverged = fields.iter().find(|(k, _)| k == "diverged").unwrap();
             assert_eq!(diverged.1, Val::Bool(false), "seed {seed} diverged");
         }
+    }
+
+    #[test]
+    fn corpus_fuzz_cases_agree_and_self_check() {
+        // seed % 4 == 3 routes through the generated corpus; each case
+        // must agree across engines AND reproduce its self-check digest.
+        for seed in [3u64, 7, 11, 19] {
+            let status = run_fuzz(seed, 4_000_000);
+            let Status::Ok(fields) = status else { panic!("corpus fuzz {seed}: {status:?}") };
+            let get = |k: &str| fields.iter().find(|(key, _)| key == k).unwrap().1.clone();
+            assert!(matches!(get("family"), Val::Str(_)));
+            assert_eq!(get("diverged"), Val::Bool(false), "seed {seed} diverged");
+            assert_eq!(get("check_ok"), Val::Bool(true), "seed {seed} failed its self-check");
+        }
+    }
+
+    #[test]
+    fn kernel_table_includes_corpus_programs() {
+        let names = ctx().kernel_names();
+        assert!(names.iter().any(|n| n == "fir"));
+        assert!(
+            names.iter().any(|n| n.starts_with("list-")),
+            "corpus programs should be addressable by name: {names:?}"
+        );
     }
 }

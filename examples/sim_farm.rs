@@ -18,7 +18,7 @@ fn soak_batch(jobs: usize) -> Vec<ShardResult> {
     let farm = Farm::new(jobs);
     farm.run(suite::fast_cases(), |i, c| {
         let seed = shard_seed(MASTER_SEED, i as u64);
-        run_soak(c.name, &c.prog, &c.mem, seed).into_shard_result(i, c.name, seed)
+        run_soak(&c.name, &c.prog, &c.mem, seed).into_shard_result(i, &c.name, seed)
     })
 }
 
